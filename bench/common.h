@@ -1,0 +1,61 @@
+// Shared harness for the experiment benches.
+//
+// Every bench binary:
+//   * accepts --datasets/--scale/--sample/--reps/--alphas/--seed/--csv-dir
+//     flags (plus --quick for a fast smoke run);
+//   * obtains profile graphs through a small on-disk cache so the four
+//     synthetic datasets are generated once per checkout, not once per
+//     binary;
+//   * prints a human-readable table mirroring the paper's artifact, along
+//     with the paper's reference numbers, and optionally writes CSV.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/profiles.h"
+#include "graph/graph.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace vicinity::bench {
+
+struct BenchOptions {
+  std::vector<std::string> datasets;  ///< default: all four paper profiles
+  double scale = 0.0;                 ///< 0 = per-profile default
+  std::size_t sample_nodes = 300;     ///< query-node sample per repetition
+  unsigned reps = 2;                  ///< experiment repetitions
+  std::vector<double> alphas;         ///< bench-specific default when empty
+  std::uint64_t seed = 42;
+  std::string csv_dir;                ///< empty = no CSV output
+  bool quick = false;                 ///< shrink everything for smoke runs
+  std::size_t max_pairs = 50'000;     ///< cap on query pairs per config
+};
+
+/// Parses flags; unknown flags abort with a usage message.
+BenchOptions parse_args(int argc, char** argv,
+                        const std::string& bench_name);
+
+/// Profile graph via the on-disk cache (bench_cache/<name>_<scale>.bin next
+/// to the working directory). Generation happens once; later benches load
+/// the binary in milliseconds.
+gen::ProfileGraph cached_profile(const std::string& name, double scale,
+                                 std::uint64_t seed);
+
+/// Directed twitter-like profile through the same cache.
+gen::ProfileGraph cached_directed_profile(double scale, std::uint64_t seed);
+
+/// k distinct random nodes of g.
+std::vector<NodeId> sample_nodes(const graph::Graph& g, std::size_t k,
+                                 util::Rng& rng);
+
+/// Writes csv into options.csv_dir/<file> when csv_dir is set.
+void maybe_write_csv(const BenchOptions& options, const util::CsvWriter& csv,
+                     const std::string& file);
+
+/// Prints a section header ("== Figure 2 (left): ... ==").
+void print_header(const std::string& title, const std::string& paper_note);
+
+}  // namespace vicinity::bench

@@ -1,0 +1,150 @@
+// vicinity_cli — a small command-line front end for the library, the tool a
+// downstream user would actually run:
+//
+//   generate a graph:
+//     vicinity_cli gen --profile=livejournal --scale=0.01 --out=graph.bin
+//   build an index:
+//     vicinity_cli build --graph=graph.bin --alpha=16 --out=index.idx
+//   query (REPL):       vicinity_cli query --graph=graph.bin --index=index.idx
+//                       then type "s t" pairs on stdin ("path s t" for paths)
+//   one-shot stats:     vicinity_cli stats --graph=graph.bin
+//
+// Graphs load from the binary container or from SNAP-style edge lists
+// (--edges=FILE), so real downloaded datasets work unchanged.
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "vicinity.h"
+
+using namespace vicinity;
+
+namespace {
+
+std::string flag_value(int argc, char** argv, const std::string& name,
+                       const std::string& fallback = "") {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]).rfind(prefix, 0) == 0) {
+      return std::string(argv[i]).substr(prefix.size());
+    }
+  }
+  return fallback;
+}
+
+graph::Graph load_graph(int argc, char** argv) {
+  const std::string bin = flag_value(argc, argv, "graph");
+  const std::string edges = flag_value(argc, argv, "edges");
+  if (!bin.empty()) return graph::load_binary_file(bin);
+  if (!edges.empty()) {
+    auto g = graph::load_edge_list_file(edges);
+    auto lcc = graph::largest_component(g);
+    std::cerr << "loaded edge list; largest component "
+              << lcc.graph.summary() << "\n";
+    return std::move(lcc.graph);
+  }
+  throw std::runtime_error("need --graph=FILE.bin or --edges=FILE.txt");
+}
+
+int cmd_gen(int argc, char** argv) {
+  const std::string name = flag_value(argc, argv, "profile", "livejournal");
+  const double scale = std::stod(flag_value(argc, argv, "scale", "0.01"));
+  const auto seed = std::stoull(flag_value(argc, argv, "seed", "42"));
+  const std::string out = flag_value(argc, argv, "out", "graph.bin");
+  auto profile = gen::make_profile(name, seed, scale);
+  graph::save_binary_file(profile.graph, out);
+  std::cout << "wrote " << out << ": " << profile.graph.summary() << "\n";
+  return 0;
+}
+
+int cmd_build(int argc, char** argv) {
+  const auto g = load_graph(argc, argv);
+  core::OracleOptions options;
+  options.alpha = std::stod(flag_value(argc, argv, "alpha", "16"));
+  options.seed = std::stoull(flag_value(argc, argv, "seed", "42"));
+  options.store_landmark_parents = true;
+  const std::string out = flag_value(argc, argv, "out", "index.idx");
+  util::Timer t;
+  auto oracle = core::VicinityOracle::build(g, options);
+  core::save_oracle_file(oracle, out);
+  const auto mem = oracle.memory_stats();
+  std::cout << "built index in " << util::fmt_fixed(t.elapsed_seconds(), 1)
+            << "s: " << oracle.landmarks().size() << " landmarks, "
+            << util::fmt_si(static_cast<double>(mem.vicinity_entries))
+            << " vicinity entries, " << util::fmt_bytes(mem.bytes)
+            << " -> " << out << "\n";
+  return 0;
+}
+
+int cmd_query(int argc, char** argv) {
+  const auto g = load_graph(argc, argv);
+  const std::string index = flag_value(argc, argv, "index");
+  core::OracleOptions options;
+  options.alpha = std::stod(flag_value(argc, argv, "alpha", "16"));
+  options.store_landmark_parents = true;
+  options.fallback = core::Fallback::kBidirectionalBfs;
+  auto oracle = index.empty() ? core::VicinityOracle::build(g, options)
+                              : core::load_oracle_file(index, g);
+  std::cout << "ready (" << g.summary() << "); enter \"s t\" or "
+            << "\"path s t\"; EOF quits\n";
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream is(line);
+    std::string first;
+    if (!(is >> first)) continue;
+    try {
+      if (first == "path") {
+        NodeId s, t;
+        if (!(is >> s >> t)) throw std::runtime_error("usage: path s t");
+        util::Timer q;
+        const auto p = oracle.path(s, t);
+        std::cout << "dist=" << p.dist << " [" << core::to_string(p.method)
+                  << ", " << util::fmt_fixed(q.elapsed_us(), 1) << "us]";
+        for (const NodeId v : p.path) std::cout << " " << v;
+        std::cout << "\n";
+      } else {
+        const auto s = static_cast<NodeId>(std::stoul(first));
+        NodeId t;
+        if (!(is >> t)) throw std::runtime_error("usage: s t");
+        util::Timer q;
+        const auto d = oracle.distance(s, t);
+        std::cout << "dist=" << d.dist << " [" << core::to_string(d.method)
+                  << ", " << d.hash_lookups << " look-ups, "
+                  << util::fmt_fixed(q.elapsed_us(), 1) << "us]\n";
+      }
+    } catch (const std::exception& e) {
+      std::cout << "error: " << e.what() << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  const auto g = load_graph(argc, argv);
+  util::Rng rng(1);
+  std::cout << g.summary() << "\n"
+            << graph::compute_stats(g, rng).to_string() << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: vicinity_cli {gen|build|query|stats} [flags]\n";
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "gen") return cmd_gen(argc, argv);
+    if (cmd == "build") return cmd_build(argc, argv);
+    if (cmd == "query") return cmd_query(argc, argv);
+    if (cmd == "stats") return cmd_stats(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "unknown command: " << cmd << "\n";
+  return 2;
+}

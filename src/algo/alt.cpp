@@ -1,0 +1,120 @@
+#include "algo/alt.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "algo/bfs.h"
+#include "algo/dijkstra.h"
+
+namespace vicinity::algo {
+
+namespace {
+
+std::vector<Distance> sssp_dist(const graph::Graph& g, NodeId src,
+                                bool reverse) {
+  if (g.weighted()) {
+    return (reverse ? dijkstra_reverse(g, src) : dijkstra(g, src)).dist;
+  }
+  return (reverse ? bfs_reverse(g, src) : bfs(g, src)).dist;
+}
+
+}  // namespace
+
+AltOracle::AltOracle(const graph::Graph& g, unsigned num_landmarks)
+    : g_(g), dist_(g.num_nodes()), settled_(g.num_nodes()) {
+  if (num_landmarks == 0 || g.num_nodes() == 0) {
+    throw std::invalid_argument("AltOracle: need landmarks and nodes");
+  }
+  // Farthest-point selection: start at the max-degree node, then repeatedly
+  // add the node maximizing the distance to the chosen set.
+  NodeId start = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (g.degree(u) > g.degree(start)) start = u;
+  }
+  std::vector<Distance> min_dist(g.num_nodes(), kInfDistance);
+  NodeId next = start;
+  for (unsigned i = 0; i < num_landmarks; ++i) {
+    landmarks_.push_back(next);
+    dist_from_.push_back(sssp_dist(g, next, /*reverse=*/false));
+    if (g.directed()) {
+      dist_to_.push_back(sssp_dist(g, next, /*reverse=*/true));
+    }
+    const auto& d = dist_from_.back();
+    NodeId farthest = next;
+    Distance best = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (d[u] != kInfDistance) min_dist[u] = std::min(min_dist[u], d[u]);
+      if (min_dist[u] != kInfDistance && min_dist[u] > best) {
+        best = min_dist[u];
+        farthest = u;
+      }
+    }
+    next = farthest;
+  }
+}
+
+Distance AltOracle::lower_bound(NodeId v, NodeId t) const {
+  // Triangle inequality: d(v,t) >= |d(l,t) - d(l,v)| (undirected), and for
+  // directed graphs d(v,t) >= d(l,t) - d(l,v) and >= d(v,l) - d(t,l).
+  Distance h = 0;
+  for (std::size_t i = 0; i < landmarks_.size(); ++i) {
+    const Distance lv = dist_from_[i][v];
+    const Distance lt = dist_from_[i][t];
+    if (lv == kInfDistance || lt == kInfDistance) continue;
+    if (!g_.directed()) {
+      const Distance diff = lv > lt ? lv - lt : lt - lv;
+      h = std::max(h, diff);
+    } else {
+      if (lt > lv) h = std::max(h, lt - lv);
+      const Distance vl = dist_to_[i][v];
+      const Distance tl = dist_to_[i][t];
+      if (vl != kInfDistance && tl != kInfDistance && vl > tl) {
+        h = std::max(h, vl - tl);
+      }
+    }
+  }
+  return h;
+}
+
+Distance AltOracle::distance(NodeId s, NodeId t) {
+  arcs_scanned_ = 0;
+  if (s == t) return 0;
+  dist_.reset();
+  settled_.reset();
+  heap_.clear();
+  auto cmp = [](const auto& a, const auto& b) { return a.first > b.first; };
+  dist_.set(s, 0);
+  heap_.emplace_back(lower_bound(s, t), s);
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), cmp);
+    const NodeId u = heap_.back().second;
+    heap_.pop_back();
+    if (settled_.contains(u)) continue;
+    settled_.insert(u);
+    const Distance du = dist_.get(u);
+    if (u == t) return du;
+    const auto nbrs = g_.neighbors(u);
+    const auto wts = g_.weighted() ? g_.weights(u) : std::span<const Weight>{};
+    arcs_scanned_ += nbrs.size();
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      const Weight w = g_.weighted() ? wts[i] : 1;
+      const Distance dv = dist_add(du, w);
+      if (dv < dist_.get_or(v, kInfDistance)) {
+        dist_.set(v, dv);
+        heap_.emplace_back(dist_add(dv, lower_bound(v, t)), v);
+        std::push_heap(heap_.begin(), heap_.end(), cmp);
+      }
+    }
+  }
+  return kInfDistance;
+}
+
+std::uint64_t AltOracle::memory_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& v : dist_from_) bytes += v.size() * sizeof(Distance);
+  for (const auto& v : dist_to_) bytes += v.size() * sizeof(Distance);
+  return bytes;
+}
+
+}  // namespace vicinity::algo

@@ -1,0 +1,44 @@
+// ALT: A* search with landmark (triangle-inequality) lower bounds — the
+// paper's reference [3] ("A* meets graph theory") family of heuristics.
+// Preprocessing picks landmarks by a farthest-point sweep and stores exact
+// distance arrays; queries run A* with h(v) = max_l |d(l,t) - d(l,v)|.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+#include "util/visit_stamp.h"
+
+namespace vicinity::algo {
+
+class AltOracle {
+ public:
+  /// Preprocesses `num_landmarks` landmark distance arrays (farthest-point
+  /// selection seeded at the max-degree node). Cost: one SSSP per landmark;
+  /// memory: num_landmarks * n distances (x2 on directed graphs).
+  AltOracle(const graph::Graph& g, unsigned num_landmarks);
+
+  Distance distance(NodeId s, NodeId t);
+  std::uint64_t last_arcs_scanned() const { return arcs_scanned_; }
+  std::uint64_t memory_bytes() const;
+  const std::vector<NodeId>& landmarks() const { return landmarks_; }
+
+ private:
+  Distance lower_bound(NodeId v, NodeId t) const;
+
+  const graph::Graph& g_;
+  std::vector<NodeId> landmarks_;
+  // dist_from_[l][v] = d(landmark_l, v); on directed graphs dist_to_ holds
+  // d(v, landmark_l) (equal arrays when undirected; dist_to_ left empty).
+  std::vector<std::vector<Distance>> dist_from_;
+  std::vector<std::vector<Distance>> dist_to_;
+
+  util::StampedArray<Distance> dist_;
+  util::StampedSet settled_;
+  std::vector<std::pair<Distance, NodeId>> heap_;  // (f = g + h, node)
+  std::uint64_t arcs_scanned_ = 0;
+};
+
+}  // namespace vicinity::algo

@@ -1,0 +1,93 @@
+#include "algo/bfs.h"
+
+#include <algorithm>
+
+namespace vicinity::algo {
+
+namespace {
+
+BfsTree bfs_impl(const graph::Graph& g, NodeId source, bool reverse) {
+  const NodeId n = g.num_nodes();
+  BfsTree t;
+  t.dist.assign(n, kInfDistance);
+  t.parent.assign(n, kInvalidNode);
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  t.dist[source] = 0;
+  queue.push_back(source);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    const Distance du = t.dist[u];
+    const auto nbrs = reverse ? g.in_neighbors(u) : g.neighbors(u);
+    t.arcs_scanned += nbrs.size();
+    for (const NodeId v : nbrs) {
+      if (t.dist[v] == kInfDistance) {
+        t.dist[v] = du + 1;
+        t.parent[v] = u;
+        queue.push_back(v);
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+BfsTree bfs(const graph::Graph& g, NodeId source) {
+  return bfs_impl(g, source, /*reverse=*/false);
+}
+
+BfsTree bfs_reverse(const graph::Graph& g, NodeId source) {
+  return bfs_impl(g, source, /*reverse=*/true);
+}
+
+BfsRunner::BfsRunner(const graph::Graph& g)
+    : g_(g), dist_(g.num_nodes()), parent_(g.num_nodes()) {
+  queue_.reserve(g.num_nodes());
+}
+
+Distance BfsRunner::run(NodeId s, NodeId t, bool record_parents) {
+  arcs_scanned_ = 0;
+  if (s == t) return 0;
+  dist_.reset();
+  if (record_parents) parent_.reset();
+  queue_.clear();
+  dist_.set(s, 0);
+  queue_.push_back(s);
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const NodeId u = queue_[head];
+    const Distance du = dist_.get(u);
+    const auto nbrs = g_.neighbors(u);
+    arcs_scanned_ += nbrs.size();
+    for (const NodeId v : nbrs) {
+      if (!dist_.is_set(v)) {
+        dist_.set(v, du + 1);
+        if (record_parents) parent_.set(v, u);
+        if (v == t) return du + 1;
+        queue_.push_back(v);
+      }
+    }
+  }
+  return kInfDistance;
+}
+
+Distance BfsRunner::distance(NodeId s, NodeId t) {
+  return run(s, t, /*record_parents=*/false);
+}
+
+std::vector<NodeId> BfsRunner::path(NodeId s, NodeId t) {
+  const Distance d = run(s, t, /*record_parents=*/true);
+  std::vector<NodeId> out;
+  if (d == kInfDistance) return out;
+  if (s == t) return {s};
+  out.push_back(t);
+  NodeId cur = t;
+  while (cur != s) {
+    cur = parent_.get(cur);
+    out.push_back(cur);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace vicinity::algo

@@ -1,0 +1,57 @@
+// Breadth-first search — the paper's first baseline ("an optimized
+// implementation of breadth-first algorithm", Table 3).
+//
+// Two interfaces:
+//  * free functions for one-off full searches (tests, preprocessing);
+//  * BfsRunner, a reusable engine with pre-allocated scratch, for query
+//    benchmarks where allocation would dominate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+#include "util/visit_stamp.h"
+
+namespace vicinity::algo {
+
+struct BfsTree {
+  std::vector<Distance> dist;   ///< kInfDistance for unreachable nodes
+  std::vector<NodeId> parent;   ///< kInvalidNode for root/unreachable
+  std::uint64_t arcs_scanned = 0;
+};
+
+/// Full single-source BFS over out-edges.
+BfsTree bfs(const graph::Graph& g, NodeId source);
+
+/// BFS over in-edges (equals bfs() on undirected graphs).
+BfsTree bfs_reverse(const graph::Graph& g, NodeId source);
+
+/// Reusable point-to-point / single-source BFS engine.
+class BfsRunner {
+ public:
+  explicit BfsRunner(const graph::Graph& g);
+
+  /// Distance s->t with early exit once t is dequeued; kInfDistance when
+  /// unreachable.
+  Distance distance(NodeId s, NodeId t);
+
+  /// Shortest path s->t inclusive of endpoints; empty when unreachable.
+  std::vector<NodeId> path(NodeId s, NodeId t);
+
+  /// Arcs scanned by the most recent query.
+  std::uint64_t last_arcs_scanned() const { return arcs_scanned_; }
+
+ private:
+  /// Runs BFS until t is found (or exhaustion); returns d(s,t).
+  Distance run(NodeId s, NodeId t, bool record_parents);
+
+  const graph::Graph& g_;
+  util::StampedArray<Distance> dist_;
+  util::StampedArray<NodeId> parent_;
+  std::vector<NodeId> queue_;
+  std::uint64_t arcs_scanned_ = 0;
+};
+
+}  // namespace vicinity::algo

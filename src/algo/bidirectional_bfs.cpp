@@ -1,0 +1,105 @@
+#include "algo/bidirectional_bfs.h"
+
+#include <algorithm>
+
+namespace vicinity::algo {
+
+BidirectionalBfsRunner::BidirectionalBfsRunner(const graph::Graph& g)
+    : g_(g),
+      dist_f_(g.num_nodes()),
+      dist_b_(g.num_nodes()),
+      parent_f_(g.num_nodes()),
+      parent_b_(g.num_nodes()) {}
+
+BidirResult BidirectionalBfsRunner::run(NodeId s, NodeId t,
+                                        bool record_parents) {
+  BidirResult res;
+  if (s == t) {
+    res.dist = 0;
+    res.meeting_node = s;
+    return res;
+  }
+  dist_f_.reset();
+  dist_b_.reset();
+  if (record_parents) {
+    parent_f_.reset();
+    parent_b_.reset();
+  }
+  frontier_f_ = {s};
+  frontier_b_ = {t};
+  dist_f_.set(s, 0);
+  dist_b_.set(t, 0);
+  Distance depth_f = 0, depth_b = 0;
+
+  Distance best = kInfDistance;
+  NodeId best_meet = kInvalidNode;
+
+  while (!frontier_f_.empty() && !frontier_b_.empty()) {
+    // Lower bound on any path found from now on: expanding a side at depth d
+    // discovers nodes at d+1, so the cheapest yet-unseen meeting costs
+    // depth_f + depth_b + 1.
+    if (dist_add(dist_add(depth_f, depth_b), 1) >= best) break;
+
+    const bool forward = frontier_f_.size() <= frontier_b_.size();
+    auto& frontier = forward ? frontier_f_ : frontier_b_;
+    auto& dist_mine = forward ? dist_f_ : dist_b_;
+    auto& dist_other = forward ? dist_b_ : dist_f_;
+    auto& parent_mine = forward ? parent_f_ : parent_b_;
+
+    next_.clear();
+    for (const NodeId u : frontier) {
+      // Forward expands out-edges; backward expands in-edges (so that
+      // backward levels measure distance *to* t on directed graphs).
+      const auto nbrs = forward ? g_.neighbors(u) : g_.in_neighbors(u);
+      res.arcs_scanned += nbrs.size();
+      const Distance du = dist_mine.get(u);
+      for (const NodeId v : nbrs) {
+        if (!dist_mine.is_set(v)) {
+          dist_mine.set(v, du + 1);
+          if (record_parents) parent_mine.set(v, u);
+          next_.push_back(v);
+          if (dist_other.is_set(v)) {
+            const Distance total = dist_add(du + 1, dist_other.get(v));
+            if (total < best) {
+              best = total;
+              best_meet = v;
+            }
+          }
+        }
+      }
+    }
+    frontier.swap(next_);
+    (forward ? depth_f : depth_b) += 1;
+  }
+  res.dist = best;
+  res.meeting_node = best_meet;
+  return res;
+}
+
+BidirResult BidirectionalBfsRunner::distance(NodeId s, NodeId t) {
+  return run(s, t, /*record_parents=*/false);
+}
+
+std::vector<NodeId> BidirectionalBfsRunner::path(NodeId s, NodeId t) {
+  const BidirResult res = run(s, t, /*record_parents=*/true);
+  std::vector<NodeId> out;
+  if (res.dist == kInfDistance) return out;
+  if (s == t) return {s};
+  // Forward half: meeting node back to s.
+  NodeId cur = res.meeting_node;
+  while (cur != s) {
+    out.push_back(cur);
+    cur = parent_f_.get(cur);
+  }
+  out.push_back(s);
+  std::reverse(out.begin(), out.end());
+  // Backward half: successor chain from meeting node to t.
+  cur = res.meeting_node;
+  while (cur != t) {
+    cur = parent_b_.get(cur);
+    out.push_back(cur);
+  }
+  return out;
+}
+
+}  // namespace vicinity::algo

@@ -1,0 +1,87 @@
+#include "algo/bidirectional_dijkstra.h"
+
+#include <algorithm>
+
+namespace vicinity::algo {
+
+BidirectionalDijkstraRunner::BidirectionalDijkstraRunner(const graph::Graph& g)
+    : g_(g),
+      dist_f_(g.num_nodes()),
+      dist_b_(g.num_nodes()),
+      settled_f_(g.num_nodes()),
+      settled_b_(g.num_nodes()) {}
+
+BidirDijkstraResult BidirectionalDijkstraRunner::distance(NodeId s, NodeId t) {
+  BidirDijkstraResult res;
+  if (s == t) {
+    res.dist = 0;
+    res.meeting_node = s;
+    return res;
+  }
+  dist_f_.reset();
+  dist_b_.reset();
+  settled_f_.reset();
+  settled_b_.reset();
+  heap_f_.clear();
+  heap_b_.clear();
+  auto cmp = [](const auto& a, const auto& b) { return a.first > b.first; };
+  dist_f_.set(s, 0);
+  dist_b_.set(t, 0);
+  heap_f_.emplace_back(0, s);
+  heap_b_.emplace_back(0, t);
+
+  Distance best = kInfDistance;
+  NodeId best_meet = kInvalidNode;
+
+  auto step = [&](bool forward) {
+    auto& heap = forward ? heap_f_ : heap_b_;
+    auto& dist_mine = forward ? dist_f_ : dist_b_;
+    auto& dist_other = forward ? dist_b_ : dist_f_;
+    auto& settled = forward ? settled_f_ : settled_b_;
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      const auto [du, u] = heap.back();
+      heap.pop_back();
+      if (settled.contains(u)) continue;
+      settled.insert(u);
+      const auto nbrs = forward ? g_.neighbors(u) : g_.in_neighbors(u);
+      const auto wts = g_.weighted()
+                           ? (forward ? g_.weights(u) : g_.in_weights(u))
+                           : std::span<const Weight>{};
+      res.arcs_scanned += nbrs.size();
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const NodeId v = nbrs[i];
+        const Weight w = g_.weighted() ? wts[i] : 1;
+        const Distance dv = dist_add(du, w);
+        if (dv < dist_mine.get_or(v, kInfDistance)) {
+          dist_mine.set(v, dv);
+          heap.emplace_back(dv, v);
+          std::push_heap(heap.begin(), heap.end(), cmp);
+        }
+        if (dist_other.is_set(v)) {
+          const Distance total = dist_add(dv, dist_other.get(v));
+          if (total < best) {
+            best = total;
+            best_meet = v;
+          }
+        }
+      }
+      return true;  // settled one node
+    }
+    return false;
+  };
+
+  while (!heap_f_.empty() && !heap_b_.empty()) {
+    // Standard termination: when the smallest keys on both sides already
+    // sum to >= best, no undiscovered meeting can improve the answer.
+    const Distance top_f = heap_f_.front().first;
+    const Distance top_b = heap_b_.front().first;
+    if (dist_add(top_f, top_b) >= best) break;
+    step(top_f <= top_b);
+  }
+  res.dist = best;
+  res.meeting_node = best_meet;
+  return res;
+}
+
+}  // namespace vicinity::algo

@@ -1,0 +1,33 @@
+// Bidirectional Dijkstra — the weighted counterpart of the paper's
+// bidirectional-BFS comparator [4].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+#include "util/visit_stamp.h"
+
+namespace vicinity::algo {
+
+struct BidirDijkstraResult {
+  Distance dist = kInfDistance;
+  NodeId meeting_node = kInvalidNode;
+  std::uint64_t arcs_scanned = 0;
+};
+
+class BidirectionalDijkstraRunner {
+ public:
+  explicit BidirectionalDijkstraRunner(const graph::Graph& g);
+
+  BidirDijkstraResult distance(NodeId s, NodeId t);
+
+ private:
+  const graph::Graph& g_;
+  util::StampedArray<Distance> dist_f_, dist_b_;
+  util::StampedSet settled_f_, settled_b_;
+  std::vector<std::pair<Distance, NodeId>> heap_f_, heap_b_;
+};
+
+}  // namespace vicinity::algo

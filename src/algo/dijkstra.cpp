@@ -1,0 +1,144 @@
+#include "algo/dijkstra.h"
+
+#include <algorithm>
+
+namespace vicinity::algo {
+
+namespace {
+
+DijkstraTree dijkstra_impl(const graph::Graph& g, NodeId source, bool reverse) {
+  const NodeId n = g.num_nodes();
+  DijkstraTree t;
+  t.dist.assign(n, kInfDistance);
+  t.parent.assign(n, kInvalidNode);
+  std::vector<std::pair<Distance, NodeId>> heap;
+  auto cmp = [](const auto& a, const auto& b) { return a.first > b.first; };
+  t.dist[source] = 0;
+  heap.emplace_back(0, source);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    const auto [du, u] = heap.back();
+    heap.pop_back();
+    if (du != t.dist[u]) continue;  // stale entry
+    const auto nbrs = reverse ? g.in_neighbors(u) : g.neighbors(u);
+    const auto wts =
+        g.weighted() ? (reverse ? g.in_weights(u) : g.weights(u))
+                     : std::span<const Weight>{};
+    t.arcs_scanned += nbrs.size();
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      const Weight w = g.weighted() ? wts[i] : 1;
+      const Distance dv = dist_add(du, w);
+      if (dv < t.dist[v]) {
+        t.dist[v] = dv;
+        t.parent[v] = u;
+        heap.emplace_back(dv, v);
+        std::push_heap(heap.begin(), heap.end(), cmp);
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+DijkstraTree dijkstra(const graph::Graph& g, NodeId source) {
+  return dijkstra_impl(g, source, /*reverse=*/false);
+}
+
+DijkstraTree dijkstra_reverse(const graph::Graph& g, NodeId source) {
+  return dijkstra_impl(g, source, /*reverse=*/true);
+}
+
+DijkstraRunner::DijkstraRunner(const graph::Graph& g)
+    : g_(g), dist_(g.num_nodes()), parent_(g.num_nodes()),
+      settled_(g.num_nodes()) {}
+
+Distance DijkstraRunner::run(NodeId s, NodeId t, bool record_parents) {
+  arcs_scanned_ = 0;
+  if (s == t) return 0;
+  dist_.reset();
+  settled_.reset();
+  if (record_parents) parent_.reset();
+  heap_.clear();
+  auto cmp = [](const auto& a, const auto& b) { return a.first > b.first; };
+  dist_.set(s, 0);
+  heap_.emplace_back(0, s);
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), cmp);
+    const auto [du, u] = heap_.back();
+    heap_.pop_back();
+    if (settled_.contains(u)) continue;
+    settled_.insert(u);
+    if (u == t) return du;
+    const auto nbrs = g_.neighbors(u);
+    const auto wts = g_.weighted() ? g_.weights(u) : std::span<const Weight>{};
+    arcs_scanned_ += nbrs.size();
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      const Weight w = g_.weighted() ? wts[i] : 1;
+      const Distance dv = dist_add(du, w);
+      if (dv < dist_.get_or(v, kInfDistance)) {
+        dist_.set(v, dv);
+        if (record_parents) parent_.set(v, u);
+        heap_.emplace_back(dv, v);
+        std::push_heap(heap_.begin(), heap_.end(), cmp);
+      }
+    }
+  }
+  return kInfDistance;
+}
+
+Distance DijkstraRunner::distance(NodeId s, NodeId t) {
+  return run(s, t, /*record_parents=*/false);
+}
+
+std::vector<NodeId> DijkstraRunner::path(NodeId s, NodeId t) {
+  const Distance d = run(s, t, /*record_parents=*/true);
+  std::vector<NodeId> out;
+  if (d == kInfDistance) return out;
+  if (s == t) return {s};
+  out.push_back(t);
+  NodeId cur = t;
+  while (cur != s) {
+    cur = parent_.get(cur);
+    out.push_back(cur);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+BucketDijkstraRunner::BucketDijkstraRunner(const graph::Graph& g)
+    : g_(g), dist_(g.num_nodes()), settled_(g.num_nodes()),
+      queue_(g.max_weight()) {}
+
+Distance BucketDijkstraRunner::distance(NodeId s, NodeId t) {
+  arcs_scanned_ = 0;
+  if (s == t) return 0;
+  dist_.reset();
+  settled_.reset();
+  queue_.clear();
+  dist_.set(s, 0);
+  queue_.push(0, s);
+  while (!queue_.empty()) {
+    const auto [du, u] = queue_.pop_min();
+    if (settled_.contains(u)) continue;  // stale
+    settled_.insert(u);
+    if (u == t) return du;
+    const auto nbrs = g_.neighbors(u);
+    const auto wts = g_.weighted() ? g_.weights(u) : std::span<const Weight>{};
+    arcs_scanned_ += nbrs.size();
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      const Weight w = g_.weighted() ? wts[i] : 1;
+      const Distance dv = dist_add(du, w);
+      if (dv < dist_.get_or(v, kInfDistance)) {
+        dist_.set(v, dv);
+        queue_.push(dv, v);
+      }
+    }
+  }
+  return kInfDistance;
+}
+
+}  // namespace vicinity::algo

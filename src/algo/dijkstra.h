@@ -1,0 +1,67 @@
+// Dijkstra's algorithm for the weighted-graph extension (Definition 1
+// covers non-negative weights). Binary-heap engine plus a Dial/bucket-queue
+// variant that is faster for the small integer weights used in the
+// experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/bucket_queue.h"
+#include "util/types.h"
+#include "util/visit_stamp.h"
+
+namespace vicinity::algo {
+
+struct DijkstraTree {
+  std::vector<Distance> dist;
+  std::vector<NodeId> parent;
+  std::uint64_t arcs_scanned = 0;
+};
+
+/// Full single-source shortest paths. Works on unweighted graphs too
+/// (weight 1 per edge), though BFS is cheaper there.
+DijkstraTree dijkstra(const graph::Graph& g, NodeId source);
+
+/// Reverse (in-edge) variant for directed graphs.
+DijkstraTree dijkstra_reverse(const graph::Graph& g, NodeId source);
+
+/// Reusable point-to-point engine with a binary heap.
+class DijkstraRunner {
+ public:
+  explicit DijkstraRunner(const graph::Graph& g);
+
+  Distance distance(NodeId s, NodeId t);
+  std::vector<NodeId> path(NodeId s, NodeId t);
+  std::uint64_t last_arcs_scanned() const { return arcs_scanned_; }
+
+ private:
+  Distance run(NodeId s, NodeId t, bool record_parents);
+
+  const graph::Graph& g_;
+  util::StampedArray<Distance> dist_;
+  util::StampedArray<NodeId> parent_;
+  util::StampedSet settled_;
+  std::vector<std::pair<Distance, NodeId>> heap_;
+  std::uint64_t arcs_scanned_ = 0;
+};
+
+/// Reusable point-to-point engine with a monotone bucket queue; requires
+/// integer weights bounded by g.max_weight().
+class BucketDijkstraRunner {
+ public:
+  explicit BucketDijkstraRunner(const graph::Graph& g);
+
+  Distance distance(NodeId s, NodeId t);
+  std::uint64_t last_arcs_scanned() const { return arcs_scanned_; }
+
+ private:
+  const graph::Graph& g_;
+  util::StampedArray<Distance> dist_;
+  util::StampedSet settled_;
+  util::BucketQueue queue_;
+  std::uint64_t arcs_scanned_ = 0;
+};
+
+}  // namespace vicinity::algo

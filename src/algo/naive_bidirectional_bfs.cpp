@@ -1,0 +1,52 @@
+#include "algo/naive_bidirectional_bfs.h"
+
+#include <algorithm>
+
+namespace vicinity::algo {
+
+Distance NaiveBidirectionalBfs::distance(NodeId s, NodeId t) const {
+  arcs_scanned_ = 0;
+  if (s == t) return 0;
+  // Per-query hash maps: the "standard implementation" cost model.
+  std::unordered_map<NodeId, Distance> dist_f, dist_b;
+  std::queue<NodeId> frontier_f, frontier_b;
+  dist_f.emplace(s, 0);
+  dist_b.emplace(t, 0);
+  frontier_f.push(s);
+  frontier_b.push(t);
+  Distance depth_f = 0, depth_b = 0;
+  Distance best = kInfDistance;
+
+  // Strict alternation, one full level at a time.
+  bool forward = true;
+  while (!frontier_f.empty() && !frontier_b.empty()) {
+    if (dist_add(dist_add(depth_f, depth_b), 1) >= best) break;
+    auto& frontier = forward ? frontier_f : frontier_b;
+    auto& dist_mine = forward ? dist_f : dist_b;
+    auto& dist_other = forward ? dist_b : dist_f;
+    const Distance next_depth = (forward ? depth_f : depth_b) + 1;
+
+    std::queue<NodeId> next;
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      const auto nbrs = forward ? g_.neighbors(u) : g_.in_neighbors(u);
+      arcs_scanned_ += nbrs.size();
+      for (const NodeId v : nbrs) {
+        if (dist_mine.emplace(v, next_depth).second) {
+          next.push(v);
+          const auto other = dist_other.find(v);
+          if (other != dist_other.end()) {
+            best = std::min(best, dist_add(next_depth, other->second));
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+    (forward ? depth_f : depth_b) = next_depth;
+    forward = !forward;
+  }
+  return best;
+}
+
+}  // namespace vicinity::algo

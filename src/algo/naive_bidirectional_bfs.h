@@ -1,0 +1,37 @@
+// Textbook bidirectional BFS with hash-based bookkeeping — a faithful
+// stand-in for the paper's 2012-era comparator.
+//
+// The paper's Table 3 reports 18.6-761 ms per bidirectional-BFS query,
+// which is only reachable with a "standard implementation": per-query
+// std::unordered_map distance maps, std::queue frontiers, strict
+// alternation between sides, and no shared scratch reuse. Our optimized
+// BidirectionalBfsRunner is 1-2 orders of magnitude faster; benchmarks
+// report both so the reproduction shows the comparator sensitivity
+// explicitly (EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace vicinity::algo {
+
+class NaiveBidirectionalBfs {
+ public:
+  explicit NaiveBidirectionalBfs(const graph::Graph& g) : g_(g) {}
+
+  /// Exact distance s->t; allocates fresh hash maps per query (that is the
+  /// point — see header comment).
+  Distance distance(NodeId s, NodeId t) const;
+
+  std::uint64_t last_arcs_scanned() const { return arcs_scanned_; }
+
+ private:
+  const graph::Graph& g_;
+  mutable std::uint64_t arcs_scanned_ = 0;
+};
+
+}  // namespace vicinity::algo

@@ -1,0 +1,39 @@
+#include "algo/path.h"
+
+#include <algorithm>
+
+namespace vicinity::algo {
+
+Distance path_length(const graph::Graph& g, const std::vector<NodeId>& path) {
+  if (path.empty()) return kInfDistance;
+  Distance total = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const Weight w = g.edge_weight(path[i], path[i + 1]);
+    if (w == kInfDistance) return kInfDistance;
+    total = dist_add(total, w);
+  }
+  return total;
+}
+
+bool is_valid_path(const graph::Graph& g, const std::vector<NodeId>& path,
+                   NodeId s, NodeId t) {
+  if (path.empty() || path.front() != s || path.back() != t) return false;
+  return path_length(g, path) != kInfDistance;
+}
+
+std::vector<NodeId> path_from_parents(const std::vector<NodeId>& parent,
+                                      NodeId root, NodeId t) {
+  std::vector<NodeId> out;
+  NodeId cur = t;
+  while (cur != kInvalidNode) {
+    out.push_back(cur);
+    if (cur == root) {
+      std::reverse(out.begin(), out.end());
+      return out;
+    }
+    cur = parent[cur];
+  }
+  return {};  // chain broke before reaching root
+}
+
+}  // namespace vicinity::algo

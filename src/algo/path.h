@@ -1,0 +1,28 @@
+// Path validation and reconstruction helpers shared by tests, the oracle
+// and the examples.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace vicinity::algo {
+
+/// Total weight of `path` if every consecutive pair is an arc of g
+/// (edge for undirected graphs); kInfDistance otherwise. A single-node
+/// path has length 0; an empty path is invalid.
+Distance path_length(const graph::Graph& g, const std::vector<NodeId>& path);
+
+/// True when path is non-empty, starts at s, ends at t, and every hop is an
+/// arc of g.
+bool is_valid_path(const graph::Graph& g, const std::vector<NodeId>& path,
+                   NodeId s, NodeId t);
+
+/// Walks parent pointers from t back to root; returns root..t, or empty if
+/// t is unreachable (parent chain broken). `parent[root]` must be
+/// kInvalidNode.
+std::vector<NodeId> path_from_parents(const std::vector<NodeId>& parent,
+                                      NodeId root, NodeId t);
+
+}  // namespace vicinity::algo

@@ -1,0 +1,60 @@
+#include "baselines/landmark_est.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "algo/bfs.h"
+#include "algo/dijkstra.h"
+
+namespace vicinity::baselines {
+
+LandmarkEstimator::LandmarkEstimator(const graph::Graph& g,
+                                     unsigned num_landmarks) {
+  if (g.directed()) {
+    throw std::invalid_argument("LandmarkEstimator: undirected graphs only");
+  }
+  if (num_landmarks == 0 || g.num_nodes() == 0) {
+    throw std::invalid_argument("LandmarkEstimator: bad parameters");
+  }
+  std::vector<NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return g.degree(a) > g.degree(b);
+  });
+  order.resize(std::min<std::size_t>(num_landmarks, order.size()));
+  landmarks_ = std::move(order);
+  rows_.reserve(landmarks_.size());
+  for (const NodeId l : landmarks_) {
+    rows_.push_back(g.weighted() ? algo::dijkstra(g, l).dist
+                                 : algo::bfs(g, l).dist);
+  }
+}
+
+Distance LandmarkEstimator::upper_bound(NodeId u, NodeId v) const {
+  if (u == v) return 0;
+  Distance best = kInfDistance;
+  for (const auto& row : rows_) {
+    best = std::min(best, dist_add(row[u], row[v]));
+  }
+  return best;
+}
+
+Distance LandmarkEstimator::lower_bound(NodeId u, NodeId v) const {
+  if (u == v) return 0;
+  Distance best = 0;
+  for (const auto& row : rows_) {
+    if (row[u] == kInfDistance || row[v] == kInfDistance) continue;
+    const Distance diff = row[u] > row[v] ? row[u] - row[v] : row[v] - row[u];
+    best = std::max(best, diff);
+  }
+  return best;
+}
+
+std::uint64_t LandmarkEstimator::memory_bytes() const {
+  std::uint64_t bytes = landmarks_.size() * sizeof(NodeId);
+  for (const auto& r : rows_) bytes += r.size() * sizeof(Distance);
+  return bytes;
+}
+
+}  // namespace vicinity::baselines

@@ -1,0 +1,33 @@
+// Landmark-based distance estimation in the style of Potamias et al.
+// (paper reference [11], CIKM'09): pick k high-centrality landmarks
+// (highest degree, the paper's best-performing cheap strategy), store
+// d(landmark, ·) arrays, estimate d(u,v) ≈ min_l d(u,l) + d(l,v).
+// Distance-only (no paths) — the limitation §4 calls out for [11, 19].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace vicinity::baselines {
+
+class LandmarkEstimator {
+ public:
+  LandmarkEstimator(const graph::Graph& g, unsigned num_landmarks);
+
+  /// Upper bound on d(u,v).
+  Distance upper_bound(NodeId u, NodeId v) const;
+  /// Lower bound max_l |d(u,l) - d(l,v)|.
+  Distance lower_bound(NodeId u, NodeId v) const;
+
+  std::uint64_t memory_bytes() const;
+  const std::vector<NodeId>& landmarks() const { return landmarks_; }
+
+ private:
+  std::vector<NodeId> landmarks_;
+  std::vector<std::vector<Distance>> rows_;
+};
+
+}  // namespace vicinity::baselines

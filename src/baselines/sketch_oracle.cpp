@@ -1,0 +1,90 @@
+#include "baselines/sketch_oracle.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/landmarks.h"
+
+namespace vicinity::baselines {
+
+SketchOracle::SketchOracle(const graph::Graph& g, util::Rng& rng,
+                           unsigned num_repetitions) {
+  if (g.directed()) {
+    throw std::invalid_argument("SketchOracle: undirected graphs only");
+  }
+  const NodeId n = g.num_nodes();
+  if (n == 0) throw std::invalid_argument("SketchOracle: empty graph");
+  sketches_.resize(n);
+
+  unsigned levels = 0;
+  while ((1u << (levels + 1)) <= n) ++levels;
+
+  for (unsigned rep = 0; rep < num_repetitions; ++rep) {
+    for (unsigned r = 0; r <= levels; ++r) {
+      const std::uint64_t size = std::min<std::uint64_t>(n, 1ull << r);
+      core::LandmarkSet seeds;
+      seeds.member.resize(n);
+      for (const auto idx : rng.sample_without_replacement(n, size)) {
+        seeds.nodes.push_back(static_cast<NodeId>(idx));
+        seeds.member.set(static_cast<std::size_t>(idx));
+      }
+      std::sort(seeds.nodes.begin(), seeds.nodes.end());
+      const auto nearest = core::nearest_landmarks(g, seeds);
+      for (NodeId u = 0; u < n; ++u) {
+        if (nearest.landmark[u] != kInvalidNode) {
+          sketches_[u].push_back(
+              SketchEntry{nearest.landmark[u], nearest.dist[u]});
+        }
+      }
+    }
+  }
+  // Canonicalize: sort by seed, keep the best distance per seed.
+  for (auto& sk : sketches_) {
+    std::sort(sk.begin(), sk.end(), [](const auto& a, const auto& b) {
+      if (a.seed != b.seed) return a.seed < b.seed;
+      return a.dist < b.dist;
+    });
+    sk.erase(std::unique(sk.begin(), sk.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.seed == b.seed;
+                         }),
+             sk.end());
+  }
+}
+
+Distance SketchOracle::distance(NodeId u, NodeId v) const {
+  if (u == v) return 0;
+  const auto& a = sketches_[u];
+  const auto& b = sketches_[v];
+  Distance best = kInfDistance;
+  // Merge join over seed-sorted sketches.
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].seed < b[j].seed) {
+      ++i;
+    } else if (a[i].seed > b[j].seed) {
+      ++j;
+    } else {
+      best = std::min(best, dist_add(a[i].dist, b[j].dist));
+      ++i;
+      ++j;
+    }
+  }
+  return best;
+}
+
+double SketchOracle::sketch_entries_per_node() const {
+  std::uint64_t total = 0;
+  for (const auto& sk : sketches_) total += sk.size();
+  return sketches_.empty()
+             ? 0.0
+             : static_cast<double>(total) / static_cast<double>(sketches_.size());
+}
+
+std::uint64_t SketchOracle::memory_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& sk : sketches_) bytes += sk.capacity() * sizeof(SketchEntry);
+  return bytes;
+}
+
+}  // namespace vicinity::baselines

@@ -1,0 +1,46 @@
+// Sketch-based distance oracle in the style of Das Sarma et al. (paper
+// reference [12], WSDM'10): the approximate comparator the paper singles
+// out as "comparable latency ... absolute error of more than 3 hops".
+//
+// Offline: for r = 0..log2(n), sample seed sets S_r of size 2^r; one
+// multi-source search per set records, for every node u, the closest seed
+// (w_r(u), d(u, w_r(u))). A node's sketch is that list of (seed, distance)
+// pairs, repeated `num_repetitions` times with fresh seeds.
+//
+// Query(u,v): min over common seeds w of d(u,w) + d(w,v) — an upper bound,
+// never an underestimate, with no stretch guarantee on undirected graphs
+// beyond O(log n) in theory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace vicinity::baselines {
+
+class SketchOracle {
+ public:
+  SketchOracle(const graph::Graph& g, util::Rng& rng,
+               unsigned num_repetitions = 2);
+
+  /// Upper-bound estimate; kInfDistance when the sketches share no seed.
+  Distance distance(NodeId u, NodeId v) const;
+
+  /// Mean sketch entries per node.
+  double sketch_entries_per_node() const;
+  std::uint64_t memory_bytes() const;
+
+ private:
+  struct SketchEntry {
+    NodeId seed;
+    Distance dist;
+  };
+
+  /// sketches_[u] sorted by seed id for merge-join queries.
+  std::vector<std::vector<SketchEntry>> sketches_;
+};
+
+}  // namespace vicinity::baselines

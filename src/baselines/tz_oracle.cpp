@@ -1,0 +1,97 @@
+#include "baselines/tz_oracle.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "algo/bfs.h"
+#include "algo/dijkstra.h"
+#include "core/landmarks.h"
+#include "core/vicinity_builder.h"
+
+namespace vicinity::baselines {
+
+TzOracle::TzOracle(const graph::Graph& g, util::Rng& rng, double sample_prob)
+    : g_(g) {
+  if (g.directed()) {
+    throw std::invalid_argument("TzOracle: undirected graphs only");
+  }
+  const NodeId n = g.num_nodes();
+  if (n == 0) throw std::invalid_argument("TzOracle: empty graph");
+  const double p =
+      sample_prob > 0.0 ? sample_prob : 1.0 / std::sqrt(static_cast<double>(n));
+
+  a_index_.assign(n, kInvalidNode);
+  for (NodeId u = 0; u < n; ++u) {
+    if (rng.next_bool(p)) {
+      a_index_[u] = static_cast<NodeId>(a_nodes_.size());
+      a_nodes_.push_back(u);
+    }
+  }
+  if (a_nodes_.empty()) {
+    // Degenerate draw: promote node 0 so p(u) is defined everywhere.
+    a_index_[0] = 0;
+    a_nodes_.push_back(0);
+  }
+
+  // d(a, ·) rows and the nearest-sample assignment p(u).
+  a_rows_.resize(a_nodes_.size());
+  for (std::size_t i = 0; i < a_nodes_.size(); ++i) {
+    a_rows_[i] = g.weighted() ? algo::dijkstra(g, a_nodes_[i]).dist
+                              : algo::bfs(g, a_nodes_[i]).dist;
+  }
+  core::LandmarkSet as_landmarks;
+  as_landmarks.nodes = a_nodes_;
+  as_landmarks.member.resize(n);
+  for (NodeId a : a_nodes_) as_landmarks.member.set(a);
+  const auto nearest = core::nearest_landmarks(g, as_landmarks);
+  dist_to_p_ = nearest.dist;
+  p_ = nearest.landmark;
+
+  // Bunches via the truncated search: B(u)\A = { v : d(u,v) < d(u,p(u)) }
+  // is exactly the paper's ball B(u), so we reuse the vicinity builder and
+  // keep only ball members.
+  bunches_.reserve(n);
+  core::VicinityBuilder builder(g);
+  for (NodeId u = 0; u < n; ++u) {
+    util::FlatHashMap<NodeId, Distance> bunch(0);
+    const core::Vicinity vic = builder.build(u, dist_to_p_[u], p_[u]);
+    std::size_t balls = 0;
+    for (const auto& m : vic.members) {
+      if (m.in_ball) ++balls;
+    }
+    bunch.reserve(balls);
+    for (const auto& m : vic.members) {
+      if (m.in_ball) bunch.insert_or_assign(m.node, m.dist);
+    }
+    bunch_entries_ += bunch.size();
+    bunches_.push_back(std::move(bunch));
+  }
+}
+
+Distance TzOracle::distance(NodeId u, NodeId v) const {
+  if (u == v) return 0;
+  if (a_index_[u] != kInvalidNode) return a_rows_[a_index_[u]][v];
+  if (a_index_[v] != kInvalidNode) return a_rows_[a_index_[v]][u];
+  if (const Distance* d = bunches_[u].find(v)) return *d;
+  if (const Distance* d = bunches_[v].find(u)) return *d;
+  // Stretch-3 estimate through the witness.
+  if (p_[u] == kInvalidNode) return kInfDistance;
+  return dist_add(dist_to_p_[u], a_rows_[a_index_[p_[u]]][v]);
+}
+
+bool TzOracle::is_exact(NodeId u, NodeId v) const {
+  if (u == v) return true;
+  if (a_index_[u] != kInvalidNode || a_index_[v] != kInvalidNode) return true;
+  return bunches_[u].find(v) != nullptr || bunches_[v].find(u) != nullptr;
+}
+
+std::uint64_t TzOracle::memory_bytes() const {
+  std::uint64_t bytes = a_index_.size() * sizeof(NodeId) +
+                        dist_to_p_.size() * sizeof(Distance) +
+                        p_.size() * sizeof(NodeId);
+  for (const auto& r : a_rows_) bytes += r.size() * sizeof(Distance);
+  for (const auto& b : bunches_) bytes += b.memory_bytes();
+  return bytes;
+}
+
+}  // namespace vicinity::baselines

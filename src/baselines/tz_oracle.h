@@ -1,0 +1,53 @@
+// Thorup–Zwick approximate distance oracle, k = 2 (paper reference [16]).
+//
+// The paper's vicinity machinery builds directly on the TZ ball/bunch
+// construction ("it runs a modified shortest path algorithm [16]"), so TZ
+// is both the theoretical underpinning and the natural approximate
+// comparator: O(n^1.5) space, O(1)-ish query, stretch <= 3.
+//
+// k=2 construction: sample A ⊂ V with probability n^{-1/2} per node;
+// p(u) = nearest A-node; bunch B(u) = { v ∈ V\A : d(u,v) < d(u,p(u)) } ∪ A.
+// Query(u,v): if v ∈ B(u) exact; else d(u,p(u)) + d(p(u),v), which is at
+// most 3·d(u,v).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/flat_hash.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace vicinity::baselines {
+
+class TzOracle {
+ public:
+  /// Builds the k=2 oracle. sample_prob <= 0 selects the canonical
+  /// n^{-1/2}.
+  TzOracle(const graph::Graph& g, util::Rng& rng, double sample_prob = 0.0);
+
+  /// Distance estimate with stretch <= 3 (exact when the bunch hits).
+  Distance distance(NodeId u, NodeId v) const;
+
+  /// True when the last term returned would be exact (v in u's bunch or
+  /// either endpoint in A). Exposed for accuracy accounting in benches.
+  bool is_exact(NodeId u, NodeId v) const;
+
+  std::uint64_t total_bunch_entries() const { return bunch_entries_; }
+  std::uint64_t memory_bytes() const;
+  std::size_t num_samples() const { return a_nodes_.size(); }
+
+ private:
+  const graph::Graph& g_;
+  std::vector<NodeId> a_nodes_;            ///< the sample set A
+  std::vector<NodeId> a_index_;            ///< node -> index in A (or invalid)
+  std::vector<Distance> dist_to_p_;        ///< d(u, p(u))
+  std::vector<NodeId> p_;                  ///< witness p(u)
+  std::vector<std::vector<Distance>> a_rows_;  ///< d(a, v) for a in A
+  /// Bunch hash per node: v -> d(u,v) for v in B(u)\A.
+  std::vector<util::FlatHashMap<NodeId, Distance>> bunches_;
+  std::uint64_t bunch_entries_ = 0;
+};
+
+}  // namespace vicinity::baselines

@@ -1,0 +1,390 @@
+#include "core/directed_oracle.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "algo/path.h"
+#include "util/bit_vector.h"
+#include "util/timer.h"
+
+namespace vicinity::core {
+
+DirectedVicinityOracle DirectedVicinityOracle::build(
+    const graph::Graph& g, const OracleOptions& options) {
+  std::vector<NodeId> all(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) all[u] = u;
+  return build_impl(g, options, all);
+}
+
+DirectedVicinityOracle DirectedVicinityOracle::build_for(
+    const graph::Graph& g, const OracleOptions& options,
+    std::span<const NodeId> query_nodes) {
+  return build_impl(g, options, query_nodes);
+}
+
+DirectedVicinityOracle DirectedVicinityOracle::build_impl(
+    const graph::Graph& g, const OracleOptions& options,
+    std::span<const NodeId> nodes) {
+  if (!g.directed()) {
+    throw std::invalid_argument(
+        "DirectedVicinityOracle: use VicinityOracle for undirected graphs");
+  }
+  util::Timer timer;
+  DirectedVicinityOracle o;
+  o.g_ = &g;
+  o.opt_ = options;
+
+  util::Rng rng(options.seed);
+  o.landmarks_ = sample_landmarks(g, options.alpha, options.strategy, rng,
+                                  options.sampling_constant);
+  o.nearest_out_ = nearest_landmarks(g, o.landmarks_, Direction::kOut);
+  o.nearest_in_ = nearest_landmarks(g, o.landmarks_, Direction::kIn);
+
+  o.out_store_ = VicinityStore(g.num_nodes(), options.backend);
+  o.in_store_ = VicinityStore(g.num_nodes(), options.backend);
+  {
+    util::BitVector seen(g.num_nodes());
+    for (const NodeId u : nodes) {
+      if (u >= g.num_nodes()) {
+        throw std::out_of_range("DirectedVicinityOracle: node out of range");
+      }
+      if (!seen.get(u)) {
+        seen.set(u);
+        o.indexed_.push_back(u);
+      }
+    }
+  }
+  o.out_store_.prepare(o.indexed_);
+  o.in_store_.prepare(o.indexed_);
+
+  OracleBuildStats stats;
+  VicinityBuilder out_builder(g, Direction::kOut);
+  VicinityBuilder in_builder(g, Direction::kIn);
+  for (const NodeId u : o.indexed_) {
+    const Vicinity vo =
+        out_builder.build(u, o.nearest_out_.dist[u], o.nearest_out_.landmark[u]);
+    const Vicinity vi =
+        in_builder.build(u, o.nearest_in_.dist[u], o.nearest_in_.landmark[u]);
+    o.out_store_.set(u, vo);
+    o.in_store_.set(u, vi);
+    stats.mean_vicinity_size +=
+        static_cast<double>(vo.members.size() + vi.members.size()) / 2.0;
+    stats.max_vicinity_size =
+        std::max({stats.max_vicinity_size,
+                  static_cast<double>(vo.members.size()),
+                  static_cast<double>(vi.members.size())});
+    stats.mean_boundary_size +=
+        static_cast<double>(vo.boundary_size + vi.boundary_size) / 2.0;
+    stats.max_boundary_size =
+        std::max({stats.max_boundary_size,
+                  static_cast<double>(vo.boundary_size),
+                  static_cast<double>(vi.boundary_size)});
+    if (vo.radius != kInfDistance) {
+      stats.mean_radius += static_cast<double>(vo.radius);
+      stats.max_radius =
+          std::max(stats.max_radius, static_cast<double>(vo.radius));
+    }
+    stats.construction_arcs_scanned += vo.arcs_scanned + vi.arcs_scanned;
+  }
+
+  if (options.store_landmark_tables) {
+    const bool full_rows = o.indexed_.size() == g.num_nodes() ||
+                           o.landmarks_.size() <= o.indexed_.size();
+    if (full_rows) {
+      o.tables_ = LandmarkTables::build_full(g, o.landmarks_,
+                                             options.store_landmark_parents);
+    } else {
+      o.tables_ = LandmarkTables::build_subset(g, o.landmarks_, o.indexed_);
+    }
+  }
+
+  const auto count =
+      static_cast<double>(std::max<std::size_t>(1, o.indexed_.size()));
+  stats.mean_vicinity_size /= count;
+  stats.mean_boundary_size /= count;
+  stats.mean_radius /= count;
+  stats.indexed_nodes = o.indexed_.size();
+  stats.num_landmarks = o.landmarks_.size();
+  stats.seconds = timer.elapsed_seconds();
+  o.build_stats_ = stats;
+  return o;
+}
+
+QueryResult DirectedVicinityOracle::distance(NodeId s, NodeId t) {
+  if (s >= g_->num_nodes() || t >= g_->num_nodes()) {
+    throw std::out_of_range("DirectedVicinityOracle::distance: bad node");
+  }
+  QueryResult r;
+  if (s == t) {
+    r.dist = 0;
+    r.method = QueryMethod::kIdenticalNodes;
+    r.exact = true;
+    return r;
+  }
+  if (tables_.mode() != LandmarkTables::Mode::kNone) {
+    const bool s_lm = landmarks_.contains(s);
+    const bool t_lm = landmarks_.contains(t);
+    const bool subset = tables_.mode() == LandmarkTables::Mode::kSubset;
+    if (s_lm && (!subset || tables_.in_subset(t))) {
+      r.dist = tables_.landmark_query(s, t, /*s_is_landmark=*/true);
+      r.method = QueryMethod::kSourceIsLandmark;
+      r.exact = true;
+      return r;
+    }
+    if (t_lm && (!subset || tables_.in_subset(s))) {
+      r.dist = tables_.landmark_query(s, t, /*s_is_landmark=*/false);
+      r.method = QueryMethod::kTargetIsLandmark;
+      r.exact = true;
+      return r;
+    }
+  }
+
+  std::uint32_t lookups = 0;
+  const bool have_s = out_store_.has(s);
+  const bool have_t = in_store_.has(t);
+  if (have_s) {
+    const StoredEntry* e = out_store_.find(s, t);
+    ++lookups;
+    if (e) {
+      return QueryResult{e->dist, QueryMethod::kTargetInSourceVicinity,
+                         lookups, true};
+    }
+  }
+  if (have_t) {
+    const StoredEntry* e = in_store_.find(t, s);
+    ++lookups;
+    if (e) {
+      return QueryResult{e->dist, QueryMethod::kSourceInTargetVicinity,
+                         lookups, true};
+    }
+  }
+  if (have_s && have_t) {
+    // Intersection of Γ_out(s) with Γ_in(t); iterate the smaller boundary.
+    // Weighted soundness guard as in VicinityOracle::intersect().
+    const Distance accept_limit =
+        dist_add(out_store_.radius(s), in_store_.radius(t));
+    const bool iterate_out =
+        !opt_.iterate_smaller_side ||
+        out_store_.boundary_size(s) <= in_store_.boundary_size(t);
+    Distance best = kInfDistance;
+    if (opt_.use_boundary_optimization) {
+      const auto view =
+          iterate_out ? out_store_.boundary(s) : in_store_.boundary(t);
+      const VicinityStore& other = iterate_out ? in_store_ : out_store_;
+      const NodeId other_node = iterate_out ? t : s;
+      for (std::size_t i = 0; i < view.nodes.size(); ++i) {
+        const StoredEntry* e = other.find(other_node, view.nodes[i]);
+        ++lookups;
+        if (e) best = std::min(best, dist_add(view.dists[i], e->dist));
+      }
+    } else {
+      const VicinityStore& mine = iterate_out ? out_store_ : in_store_;
+      const VicinityStore& other = iterate_out ? in_store_ : out_store_;
+      const NodeId my_node = iterate_out ? s : t;
+      const NodeId other_node = iterate_out ? t : s;
+      mine.for_each_member(my_node, [&](NodeId w, const StoredEntry& we) {
+        const StoredEntry* e = other.find(other_node, w);
+        ++lookups;
+        if (e) best = std::min(best, dist_add(we.dist, e->dist));
+      });
+    }
+    if (best != kInfDistance && best <= accept_limit) {
+      return QueryResult{best, QueryMethod::kVicinityIntersection, lookups,
+                         true};
+    }
+  }
+  return fallback_distance(s, t, lookups);
+}
+
+QueryResult DirectedVicinityOracle::fallback_distance(NodeId s, NodeId t,
+                                                      std::uint32_t lookups) {
+  QueryResult r;
+  r.hash_lookups = lookups;
+  if (opt_.fallback == Fallback::kBidirectionalBfs) {
+    if (!exact_runner_) {
+      exact_runner_ = std::make_unique<algo::BidirectionalBfsRunner>(*g_);
+    }
+    r.dist = exact_runner_->distance(s, t).dist;
+    r.method = QueryMethod::kFallbackExact;
+    r.exact = true;
+    return r;
+  }
+  if (opt_.fallback == Fallback::kLandmarkEstimate &&
+      tables_.mode() != LandmarkTables::Mode::kNone) {
+    // d(s,t) <= d(s, ℓ_out(s)) + d(ℓ_out(s), t).
+    const NodeId ls = nearest_out_.landmark[s];
+    const bool subset = tables_.mode() == LandmarkTables::Mode::kSubset;
+    if (ls != kInvalidNode && (!subset || tables_.in_subset(t))) {
+      const Distance est = dist_add(nearest_out_.dist[s],
+                                    tables_.landmark_query(ls, t, true));
+      if (est != kInfDistance) {
+        r.dist = est;
+        r.method = QueryMethod::kFallbackEstimate;
+        r.exact = false;
+        return r;
+      }
+    }
+  }
+  r.method = QueryMethod::kNotFound;
+  return r;
+}
+
+bool DirectedVicinityOracle::chase_out(NodeId origin, NodeId from,
+                                       std::vector<NodeId>& out) const {
+  NodeId cur = from;
+  out.push_back(cur);
+  while (cur != origin) {
+    const StoredEntry* e = out_store_.find(origin, cur);
+    if (e == nullptr || e->parent == kInvalidNode || e->parent == cur) {
+      return false;
+    }
+    cur = e->parent;
+    out.push_back(cur);
+  }
+  return true;
+}
+
+bool DirectedVicinityOracle::chase_in(NodeId origin, NodeId from,
+                                      std::vector<NodeId>& out) const {
+  // Γ_in parents are successors toward the origin, so the walk emits the
+  // forward path from..origin in order.
+  NodeId cur = from;
+  out.push_back(cur);
+  while (cur != origin) {
+    const StoredEntry* e = in_store_.find(origin, cur);
+    if (e == nullptr || e->parent == kInvalidNode || e->parent == cur) {
+      return false;
+    }
+    cur = e->parent;
+    out.push_back(cur);
+  }
+  return true;
+}
+
+PathResult DirectedVicinityOracle::path(NodeId s, NodeId t) {
+  if (s >= g_->num_nodes() || t >= g_->num_nodes()) {
+    throw std::out_of_range("DirectedVicinityOracle::path: bad node");
+  }
+  PathResult p;
+  if (s == t) {
+    p.dist = 0;
+    p.path = {s};
+    p.method = QueryMethod::kIdenticalNodes;
+    p.exact = true;
+    return p;
+  }
+  // Landmark source with full parent trees: walk the forward SPT.
+  if (tables_.mode() == LandmarkTables::Mode::kFull && tables_.has_parents() &&
+      landmarks_.contains(s)) {
+    const Distance d = tables_.dist_from_landmark(s, t);
+    if (d == kInfDistance) {
+      p.exact = true;
+      p.method = QueryMethod::kSourceIsLandmark;
+      return p;
+    }
+    std::vector<NodeId> walk;
+    NodeId cur = t;
+    while (cur != s) {
+      walk.push_back(cur);
+      cur = tables_.parent_from_landmark(s, cur);
+    }
+    walk.push_back(s);
+    std::reverse(walk.begin(), walk.end());
+    return PathResult{d, std::move(walk), QueryMethod::kSourceIsLandmark,
+                      true};
+  }
+
+  if (out_store_.has(s)) {
+    if (const StoredEntry* e = out_store_.find(s, t)) {
+      std::vector<NodeId> rev;
+      if (chase_out(s, t, rev)) {
+        std::reverse(rev.begin(), rev.end());
+        return PathResult{e->dist, std::move(rev),
+                          QueryMethod::kTargetInSourceVicinity, true};
+      }
+    }
+  }
+  if (in_store_.has(t)) {
+    if (const StoredEntry* e = in_store_.find(t, s)) {
+      std::vector<NodeId> walk;
+      if (chase_in(t, s, walk)) {
+        return PathResult{e->dist, std::move(walk),
+                          QueryMethod::kSourceInTargetVicinity, true};
+      }
+    }
+  }
+  if (out_store_.has(s) && in_store_.has(t)) {
+    const auto view = out_store_.boundary(s);
+    const Distance accept_limit =
+        dist_add(out_store_.radius(s), in_store_.radius(t));
+    Distance best = kInfDistance;
+    NodeId witness = kInvalidNode;
+    for (std::size_t i = 0; i < view.nodes.size(); ++i) {
+      const StoredEntry* e = in_store_.find(t, view.nodes[i]);
+      if (e) {
+        const Distance total = dist_add(view.dists[i], e->dist);
+        if (total < best) {
+          best = total;
+          witness = view.nodes[i];
+        }
+      }
+    }
+    if (best > accept_limit) witness = kInvalidNode;  // weighted guard
+    if (witness != kInvalidNode) {
+      std::vector<NodeId> left, right;
+      if (chase_out(s, witness, left) && chase_in(t, witness, right)) {
+        std::reverse(left.begin(), left.end());
+        left.insert(left.end(), right.begin() + 1, right.end());
+        return PathResult{best, std::move(left),
+                          QueryMethod::kVicinityIntersection, true};
+      }
+    }
+  }
+  // Exact fallback for anything unresolved.
+  if (opt_.fallback != Fallback::kNone) {
+    if (!exact_runner_) {
+      exact_runner_ = std::make_unique<algo::BidirectionalBfsRunner>(*g_);
+    }
+    p.path = exact_runner_->path(s, t);
+    if (!p.path.empty()) {
+      p.dist = g_->weighted()
+                   ? algo::path_length(*g_, p.path)
+                   : static_cast<Distance>(p.path.size() - 1);
+    }
+    p.method = QueryMethod::kFallbackExact;
+    p.exact = true;
+  }
+  return p;
+}
+
+double DirectedVicinityOracle::estimate_coverage(std::size_t pairs,
+                                                 util::Rng& rng) {
+  if (indexed_.size() < 2 || pairs == 0) return 0.0;
+  std::size_t answered = 0;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const NodeId s = indexed_[rng.next_below(indexed_.size())];
+    NodeId t = s;
+    while (t == s) t = indexed_[rng.next_below(indexed_.size())];
+    const Fallback saved = opt_.fallback;
+    opt_.fallback = Fallback::kNone;
+    const QueryResult r = distance(s, t);
+    opt_.fallback = saved;
+    if (r.method != QueryMethod::kNotFound) ++answered;
+  }
+  return static_cast<double>(answered) / static_cast<double>(pairs);
+}
+
+OracleMemoryStats DirectedVicinityOracle::memory_stats() const {
+  OracleMemoryStats m;
+  m.vicinity_entries = out_store_.total_entries() + in_store_.total_entries();
+  m.boundary_entries =
+      out_store_.total_boundary_entries() + in_store_.total_boundary_entries();
+  m.landmark_entries = tables_.entries();
+  m.bytes = out_store_.memory_bytes() + in_store_.memory_bytes() +
+            tables_.memory_bytes();
+  const auto n = static_cast<std::uint64_t>(g_->num_nodes());
+  m.apsp_entries = n * (n - 1);  // ordered pairs for directed graphs
+  return m;
+}
+
+}  // namespace vicinity::core

@@ -1,0 +1,75 @@
+// DirectedVicinityOracle — the paper's §5 research challenge ("is it
+// possible to extend our approach to social networks modeled as directed
+// networks (Twitter, for example)?"), implemented.
+//
+// Construction keeps two vicinity families:
+//   Γ_out(u): grown along out-arcs with radius r_out(u) = min_l d(u -> l)
+//   Γ_in(u):  grown along in-arcs  with radius r_in(u)  = min_l d(l -> u)
+// A query (s, t) intersects ∂Γ_out(s) with Γ_in(t) (or the symmetric
+// pairing), minimizing d(s -> w) + d(w -> t). The Theorem 1 / Lemma 1
+// arguments carry over arc-by-arc (validated by property tests against
+// forward BFS).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "algo/bidirectional_bfs.h"
+#include "core/landmark_table.h"
+#include "core/landmarks.h"
+#include "core/options.h"
+#include "core/oracle.h"
+#include "core/vicinity_store.h"
+#include "graph/graph.h"
+
+namespace vicinity::core {
+
+class DirectedVicinityOracle {
+ public:
+  /// Indexes every node (two vicinities per node). Graph must be directed.
+  static DirectedVicinityOracle build(const graph::Graph& g,
+                                      const OracleOptions& options);
+  /// Indexes a query subset (paper §2.3 methodology).
+  static DirectedVicinityOracle build_for(const graph::Graph& g,
+                                          const OracleOptions& options,
+                                          std::span<const NodeId> query_nodes);
+
+  /// Exact d(s -> t).
+  QueryResult distance(NodeId s, NodeId t);
+  /// Directed shortest path s -> t.
+  PathResult path(NodeId s, NodeId t);
+
+  double estimate_coverage(std::size_t pairs, util::Rng& rng);
+
+  const graph::Graph& graph() const { return *g_; }
+  const LandmarkSet& landmarks() const { return landmarks_; }
+  const VicinityStore& out_store() const { return out_store_; }
+  const VicinityStore& in_store() const { return in_store_; }
+  const OracleBuildStats& build_stats() const { return build_stats_; }
+  OracleMemoryStats memory_stats() const;
+
+ private:
+  DirectedVicinityOracle() = default;
+  static DirectedVicinityOracle build_impl(const graph::Graph& g,
+                                           const OracleOptions& options,
+                                           std::span<const NodeId> nodes);
+
+  QueryResult fallback_distance(NodeId s, NodeId t, std::uint32_t lookups);
+  bool chase_out(NodeId origin, NodeId from, std::vector<NodeId>& out) const;
+  bool chase_in(NodeId origin, NodeId from, std::vector<NodeId>& out) const;
+
+  const graph::Graph* g_ = nullptr;
+  OracleOptions opt_;
+  LandmarkSet landmarks_;
+  NearestLandmarkInfo nearest_out_;  ///< r_out(u), ℓ_out(u)
+  NearestLandmarkInfo nearest_in_;   ///< r_in(u), ℓ_in(u)
+  VicinityStore out_store_;
+  VicinityStore in_store_;
+  LandmarkTables tables_;
+  OracleBuildStats build_stats_;
+  std::vector<NodeId> indexed_;
+  std::unique_ptr<algo::BidirectionalBfsRunner> exact_runner_;
+};
+
+}  // namespace vicinity::core

@@ -1,0 +1,180 @@
+#include "core/landmark_table.h"
+
+#include <stdexcept>
+
+#include "algo/bfs.h"
+#include "algo/dijkstra.h"
+
+namespace vicinity::core {
+
+namespace {
+
+void sssp(const graph::Graph& g, NodeId src, bool reverse,
+          std::vector<Distance>& dist_out, std::vector<NodeId>* parent_out) {
+  if (g.weighted()) {
+    auto t = reverse ? algo::dijkstra_reverse(g, src) : algo::dijkstra(g, src);
+    dist_out = std::move(t.dist);
+    if (parent_out) *parent_out = std::move(t.parent);
+  } else {
+    auto t = reverse ? algo::bfs_reverse(g, src) : algo::bfs(g, src);
+    dist_out = std::move(t.dist);
+    if (parent_out) *parent_out = std::move(t.parent);
+  }
+}
+
+}  // namespace
+
+void LandmarkTables::index_landmarks(const LandmarkSet& landmarks, NodeId n) {
+  landmark_nodes_ = landmarks.nodes;
+  landmark_index_.assign(n, kInvalidNode);
+  for (std::size_t i = 0; i < landmark_nodes_.size(); ++i) {
+    landmark_index_[landmark_nodes_[i]] = static_cast<NodeId>(i);
+  }
+}
+
+LandmarkTables LandmarkTables::build_full(const graph::Graph& g,
+                                          const LandmarkSet& landmarks,
+                                          bool parents,
+                                          util::ThreadPool* pool) {
+  LandmarkTables t;
+  t.mode_ = Mode::kFull;
+  t.directed_ = g.directed();
+  t.index_landmarks(landmarks, g.num_nodes());
+  const std::size_t k = t.landmark_nodes_.size();
+  t.dist_rows_.resize(k);
+  if (g.directed()) t.rev_rows_.resize(k);
+  if (parents) t.parent_rows_.resize(k);
+
+  auto work = [&](std::uint64_t i) {
+    const NodeId l = t.landmark_nodes_[i];
+    sssp(g, l, /*reverse=*/false, t.dist_rows_[i],
+         parents ? &t.parent_rows_[i] : nullptr);
+    if (g.directed()) {
+      sssp(g, l, /*reverse=*/true, t.rev_rows_[i], nullptr);
+    }
+  };
+  if (pool && pool->thread_count() > 1) {
+    pool->parallel_for(k, work);
+  } else {
+    for (std::uint64_t i = 0; i < k; ++i) work(i);
+  }
+  return t;
+}
+
+LandmarkTables LandmarkTables::build_subset(const graph::Graph& g,
+                                            const LandmarkSet& landmarks,
+                                            std::span<const NodeId> subset,
+                                            util::ThreadPool* pool) {
+  LandmarkTables t;
+  t.mode_ = Mode::kSubset;
+  t.directed_ = g.directed();
+  t.index_landmarks(landmarks, g.num_nodes());
+  t.subset_nodes_.assign(subset.begin(), subset.end());
+  t.subset_index_.assign(g.num_nodes(), kInvalidNode);
+  for (std::size_t i = 0; i < t.subset_nodes_.size(); ++i) {
+    t.subset_index_[t.subset_nodes_[i]] = static_cast<NodeId>(i);
+  }
+  const std::size_t k = t.landmark_nodes_.size();
+  const std::size_t s = t.subset_nodes_.size();
+  t.to_lm_.assign(s * k, kInfDistance);
+  if (g.directed()) t.from_lm_.assign(s * k, kInfDistance);
+
+  auto work = [&](std::uint64_t i) {
+    const NodeId v = t.subset_nodes_[i];
+    std::vector<Distance> dist;
+    // Forward search from v: d(v -> x); read off landmark positions.
+    sssp(g, v, /*reverse=*/false, dist, nullptr);
+    for (std::size_t j = 0; j < k; ++j) {
+      t.to_lm_[i * k + j] = dist[t.landmark_nodes_[j]];
+    }
+    if (g.directed()) {
+      // Backward search: d(x -> v).
+      sssp(g, v, /*reverse=*/true, dist, nullptr);
+      for (std::size_t j = 0; j < k; ++j) {
+        t.from_lm_[i * k + j] = dist[t.landmark_nodes_[j]];
+      }
+    }
+  };
+  if (pool && pool->thread_count() > 1) {
+    pool->parallel_for(s, work);
+  } else {
+    for (std::uint64_t i = 0; i < s; ++i) work(i);
+  }
+  return t;
+}
+
+Distance LandmarkTables::dist_from_landmark(NodeId l, NodeId v) const {
+  if (mode_ != Mode::kFull) throw std::logic_error("landmark table: not full mode");
+  const NodeId i = landmark_index_.at(l);
+  if (i == kInvalidNode) throw std::invalid_argument("not a landmark");
+  return dist_rows_[i][v];
+}
+
+Distance LandmarkTables::dist_to_landmark(NodeId v, NodeId l) const {
+  if (mode_ != Mode::kFull) throw std::logic_error("landmark table: not full mode");
+  const NodeId i = landmark_index_.at(l);
+  if (i == kInvalidNode) throw std::invalid_argument("not a landmark");
+  return directed_ ? rev_rows_[i][v] : dist_rows_[i][v];
+}
+
+NodeId LandmarkTables::parent_from_landmark(NodeId l, NodeId v) const {
+  if (mode_ != Mode::kFull || parent_rows_.empty()) {
+    throw std::logic_error("landmark table: parents unavailable");
+  }
+  const NodeId i = landmark_index_.at(l);
+  if (i == kInvalidNode) throw std::invalid_argument("not a landmark");
+  return parent_rows_[i][v];
+}
+
+Distance LandmarkTables::subset_dist_to_landmark(NodeId v, NodeId l) const {
+  if (mode_ != Mode::kSubset) throw std::logic_error("landmark table: not subset mode");
+  const NodeId si = subset_index_.at(v);
+  const NodeId li = landmark_index_.at(l);
+  if (si == kInvalidNode || li == kInvalidNode) {
+    throw std::invalid_argument("subset_dist_to_landmark: bad pair");
+  }
+  return to_lm_[static_cast<std::size_t>(si) * landmark_nodes_.size() + li];
+}
+
+Distance LandmarkTables::subset_dist_from_landmark(NodeId l, NodeId v) const {
+  if (mode_ != Mode::kSubset) throw std::logic_error("landmark table: not subset mode");
+  if (!directed_) return subset_dist_to_landmark(v, l);
+  const NodeId si = subset_index_.at(v);
+  const NodeId li = landmark_index_.at(l);
+  if (si == kInvalidNode || li == kInvalidNode) {
+    throw std::invalid_argument("subset_dist_from_landmark: bad pair");
+  }
+  return from_lm_[static_cast<std::size_t>(si) * landmark_nodes_.size() + li];
+}
+
+Distance LandmarkTables::landmark_query(NodeId s, NodeId t,
+                                        bool s_is_landmark) const {
+  switch (mode_) {
+    case Mode::kNone:
+      throw std::logic_error("landmark table: no tables built");
+    case Mode::kFull:
+      // d(s -> t): via s's forward row, or t's backward row.
+      return s_is_landmark ? dist_from_landmark(s, t) : dist_to_landmark(s, t);
+    case Mode::kSubset:
+      return s_is_landmark ? subset_dist_from_landmark(s, t)
+                           : subset_dist_to_landmark(s, t);
+  }
+  return kInfDistance;
+}
+
+std::uint64_t LandmarkTables::entries() const {
+  std::uint64_t e = 0;
+  for (const auto& r : dist_rows_) e += r.size();
+  for (const auto& r : rev_rows_) e += r.size();
+  for (const auto& r : parent_rows_) e += r.size();
+  e += to_lm_.size() + from_lm_.size();
+  return e;
+}
+
+std::uint64_t LandmarkTables::memory_bytes() const {
+  return entries() * sizeof(Distance) +
+         landmark_index_.size() * sizeof(NodeId) +
+         subset_index_.size() * sizeof(NodeId);
+}
+
+}  // namespace vicinity::core

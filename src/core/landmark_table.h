@@ -1,0 +1,106 @@
+// Per-landmark distance tables (paper §3.1: "if u ∈ L, the data structure
+// stores a hash table containing the exact distance from u to each other
+// node v ∈ V").
+//
+// Two storage modes:
+//  * kFull — one dense distance row per landmark (plus optional parent rows
+//    for path retrieval). This is the paper's structure; we use flat arrays
+//    instead of hash tables because landmark rows are dense over V.
+//  * kSubset — the paper's own evaluation (§2.3) queries only pairs from a
+//    sampled node set; then it suffices to store d(v, l) for v in the
+//    sample and l in L, computed with one search per sampled node. Memory
+//    drops from |L|·n to |sample|·|L|.
+//
+// The oracle picks the cheaper mode automatically in build_for().
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/landmarks.h"
+#include "graph/graph.h"
+#include "util/thread_pool.h"
+#include "util/types.h"
+
+namespace vicinity::core {
+
+class LandmarkTables {
+ public:
+  enum class Mode { kNone, kFull, kSubset };
+
+  LandmarkTables() = default;
+
+  /// Full mode: one SSSP per landmark. `parents` additionally stores
+  /// shortest-path-tree parents (doubles memory). `pool` may be null.
+  static LandmarkTables build_full(const graph::Graph& g,
+                                   const LandmarkSet& landmarks, bool parents,
+                                   util::ThreadPool* pool = nullptr);
+
+  /// Subset mode: one SSSP per subset node (two on directed graphs),
+  /// recording distances to every landmark.
+  static LandmarkTables build_subset(const graph::Graph& g,
+                                     const LandmarkSet& landmarks,
+                                     std::span<const NodeId> subset,
+                                     util::ThreadPool* pool = nullptr);
+
+  Mode mode() const { return mode_; }
+  bool has_parents() const { return !parent_rows_.empty(); }
+
+  /// d(l -> v) for landmark l. kFull mode only.
+  Distance dist_from_landmark(NodeId l, NodeId v) const;
+  /// d(v -> l) for landmark l (== dist_from_landmark on undirected graphs).
+  /// kFull mode only.
+  Distance dist_to_landmark(NodeId v, NodeId l) const;
+
+  /// SPT parent of v in landmark l's tree (kFull with parents). The tree
+  /// is rooted at l over forward arcs; parent(v) is the predecessor on a
+  /// shortest l->v path.
+  NodeId parent_from_landmark(NodeId l, NodeId v) const;
+
+  /// Subset mode: d(v -> l) / d(l -> v) for a *subset* node v and landmark
+  /// l; throws if v is not in the subset or l not a landmark.
+  Distance subset_dist_to_landmark(NodeId v, NodeId l) const;
+  Distance subset_dist_from_landmark(NodeId l, NodeId v) const;
+
+  /// Resolves d(s, t) when s or t is a landmark, honoring the mode; returns
+  /// kInfDistance when unreachable. `s_is_landmark` selects which endpoint
+  /// is in L. In subset mode the non-landmark endpoint must be a subset
+  /// node.
+  Distance landmark_query(NodeId s, NodeId t, bool s_is_landmark) const;
+
+  bool is_landmark(NodeId u) const {
+    return u < landmark_index_.size() && landmark_index_[u] != kInvalidNode;
+  }
+  bool in_subset(NodeId u) const {
+    return u < subset_index_.size() && subset_index_[u] != kInvalidNode;
+  }
+
+  std::uint64_t entries() const;
+  std::uint64_t memory_bytes() const;
+
+  // Raw access for serialization.
+  const std::vector<std::vector<Distance>>& rows() const { return dist_rows_; }
+
+ private:
+  friend class OracleSerializer;
+
+  void index_landmarks(const LandmarkSet& landmarks, NodeId n);
+
+  Mode mode_ = Mode::kNone;
+  bool directed_ = false;
+  std::vector<NodeId> landmark_nodes_;
+  std::vector<NodeId> landmark_index_;  ///< node -> landmark ordinal
+  // kFull: dist_rows_[i][v] = d(l_i -> v); rev_rows_ only for directed
+  // graphs: rev_rows_[i][v] = d(v -> l_i).
+  std::vector<std::vector<Distance>> dist_rows_;
+  std::vector<std::vector<Distance>> rev_rows_;
+  std::vector<std::vector<NodeId>> parent_rows_;
+  // kSubset: row per subset node over landmark ordinals.
+  std::vector<NodeId> subset_nodes_;
+  std::vector<NodeId> subset_index_;  ///< node -> subset ordinal
+  std::vector<Distance> to_lm_;    ///< [subset][lm] d(v -> l)
+  std::vector<Distance> from_lm_;  ///< [subset][lm] d(l -> v); alias of to_ on undirected
+};
+
+}  // namespace vicinity::core

@@ -1,0 +1,162 @@
+#include "core/landmarks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace vicinity::core {
+
+LandmarkSet sample_landmarks(const graph::Graph& g, double alpha,
+                             SamplingStrategy strategy, util::Rng& rng,
+                             double sampling_constant) {
+  if (alpha <= 0.0 || sampling_constant <= 0.0) {
+    throw std::invalid_argument("sample_landmarks: need alpha, c > 0");
+  }
+  const NodeId n = g.num_nodes();
+  if (n == 0) throw std::invalid_argument("sample_landmarks: empty graph");
+
+  LandmarkSet out;
+  out.alpha = alpha;
+  out.strategy = strategy;
+  out.member.resize(n);
+
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  const double scale = sampling_constant / (alpha * sqrt_n);
+  // Total degree across nodes = 2m undirected / in+out for directed.
+  auto total_degree = [&] {
+    std::uint64_t t = 0;
+    for (NodeId u = 0; u < n; ++u) t += g.degree(u) + (g.directed() ? g.in_degree(u) : 0);
+    return g.directed() ? t : 2 * g.num_edges();
+  };
+
+  switch (strategy) {
+    case SamplingStrategy::kDegreeProportional: {
+      for (NodeId u = 0; u < n; ++u) {
+        const double deg = static_cast<double>(
+            g.directed() ? g.degree(u) + g.in_degree(u) : g.degree(u));
+        if (rng.next_bool(deg * scale)) {
+          out.nodes.push_back(u);
+          out.member.set(u);
+        }
+      }
+      break;
+    }
+    case SamplingStrategy::kUniform: {
+      // Match the degree-proportional expected size: E|L| = c*2m/(α√n).
+      const double p =
+          static_cast<double>(total_degree()) * scale / static_cast<double>(n);
+      for (NodeId u = 0; u < n; ++u) {
+        if (rng.next_bool(p)) {
+          out.nodes.push_back(u);
+          out.member.set(u);
+        }
+      }
+      break;
+    }
+    case SamplingStrategy::kTopDegree: {
+      const double expected = static_cast<double>(total_degree()) * scale;
+      const auto k = std::max<std::uint64_t>(
+          1, std::min<std::uint64_t>(
+                 n, static_cast<std::uint64_t>(std::llround(expected))));
+      std::vector<NodeId> order(n);
+      std::iota(order.begin(), order.end(), NodeId{0});
+      std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+        return g.degree(a) > g.degree(b);
+      });
+      order.resize(k);
+      std::sort(order.begin(), order.end());
+      out.nodes = std::move(order);
+      for (NodeId u : out.nodes) out.member.set(u);
+      break;
+    }
+  }
+
+  if (out.nodes.empty()) {
+    // Degenerate draw (tiny graph or extreme alpha): force the max-degree
+    // node so every vicinity radius is finite on connected graphs.
+    NodeId best = 0;
+    for (NodeId u = 1; u < n; ++u) {
+      if (g.degree(u) > g.degree(best)) best = u;
+    }
+    out.nodes.push_back(best);
+    out.member.set(best);
+  }
+  return out;
+}
+
+NearestLandmarkInfo nearest_landmarks(const graph::Graph& g,
+                                      const LandmarkSet& landmarks,
+                                      Direction direction) {
+  const NodeId n = g.num_nodes();
+  NearestLandmarkInfo info;
+  info.dist.assign(n, kInfDistance);
+  info.landmark.assign(n, kInvalidNode);
+
+  // Direction::kOut wants d(u -> l); growing the search *backwards* from
+  // the landmarks along in-edges measures exactly that. On undirected
+  // graphs both arc sets coincide.
+  const bool use_in_arcs = (direction == Direction::kOut);
+
+  auto arcs = [&](NodeId u) {
+    return use_in_arcs ? g.in_neighbors(u) : g.neighbors(u);
+  };
+  auto arc_weights = [&](NodeId u) {
+    return use_in_arcs ? g.in_weights(u) : g.weights(u);
+  };
+
+  if (!g.weighted()) {
+    std::vector<NodeId> queue;
+    queue.reserve(n);
+    for (NodeId l : landmarks.nodes) {
+      info.dist[l] = 0;
+      info.landmark[l] = l;
+      queue.push_back(l);
+    }
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId u = queue[head];
+      const Distance du = info.dist[u];
+      for (const NodeId v : arcs(u)) {
+        if (info.dist[v] == kInfDistance) {
+          info.dist[v] = du + 1;
+          info.landmark[v] = info.landmark[u];
+          queue.push_back(v);
+        }
+      }
+    }
+    return info;
+  }
+
+  // Weighted: multi-source Dijkstra.
+  std::vector<std::pair<Distance, NodeId>> heap;
+  auto cmp = [](const auto& a, const auto& b) { return a.first > b.first; };
+  std::vector<bool> settled(n, false);
+  for (NodeId l : landmarks.nodes) {
+    info.dist[l] = 0;
+    info.landmark[l] = l;
+    heap.emplace_back(0, l);
+  }
+  std::make_heap(heap.begin(), heap.end(), cmp);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    const auto [du, u] = heap.back();
+    heap.pop_back();
+    if (settled[u]) continue;
+    settled[u] = true;
+    const auto nbrs = arcs(u);
+    const auto wts = arc_weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      const Distance dv = dist_add(du, wts[i]);
+      if (dv < info.dist[v]) {
+        info.dist[v] = dv;
+        info.landmark[v] = info.landmark[u];
+        heap.emplace_back(dv, v);
+        std::push_heap(heap.begin(), heap.end(), cmp);
+      }
+    }
+  }
+  return info;
+}
+
+}  // namespace vicinity::core

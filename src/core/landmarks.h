@@ -1,0 +1,55 @@
+// Landmark set construction (paper §2.2) and the nearest-landmark sweep
+// that defines every vicinity radius d(u, ℓ(u)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.h"
+#include "graph/graph.h"
+#include "util/bit_vector.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace vicinity::core {
+
+struct LandmarkSet {
+  std::vector<NodeId> nodes;      ///< sorted ascending
+  util::BitVector member;         ///< size n membership bitmap
+  double alpha = 0.0;
+  SamplingStrategy strategy = SamplingStrategy::kDegreeProportional;
+
+  bool contains(NodeId u) const { return member.get(u); }
+  std::size_t size() const { return nodes.size(); }
+};
+
+/// Samples L. Degree-proportional: p_s(u) = min(1, c·deg(u)/(α√n)), the
+/// paper's §2.2 rule (see OracleOptions::sampling_constant for the constant
+/// convention). Guarantees |L| >= 1 by force-adding the maximum-degree node
+/// when sampling returns empty.
+LandmarkSet sample_landmarks(const graph::Graph& g, double alpha,
+                             SamplingStrategy strategy, util::Rng& rng,
+                             double sampling_constant = 1.0);
+
+/// Search direction for vicinity machinery on directed graphs. kOut
+/// measures d(u -> x) (source-side vicinities); kIn measures d(x -> u)
+/// (target-side). Identical on undirected graphs.
+enum class Direction { kOut, kIn };
+
+struct NearestLandmarkInfo {
+  /// d(u, L): distance from u to its closest landmark along the chosen
+  /// direction; kInfDistance when no landmark is reachable.
+  std::vector<Distance> dist;
+  /// ℓ(u): the closest landmark (ties broken by search order);
+  /// kInvalidNode when unreachable.
+  std::vector<NodeId> landmark;
+};
+
+/// One multi-source BFS (unweighted) / Dijkstra (weighted) from all of L.
+/// O(n + m) for unweighted graphs; gives the vicinity radius of every node
+/// without any per-node search.
+NearestLandmarkInfo nearest_landmarks(const graph::Graph& g,
+                                      const LandmarkSet& landmarks,
+                                      Direction direction = Direction::kOut);
+
+}  // namespace vicinity::core

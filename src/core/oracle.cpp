@@ -1,0 +1,549 @@
+#include "core/oracle.h"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+
+#include "algo/path.h"
+#include "util/log.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace vicinity::core {
+
+const char* to_string(QueryMethod m) {
+  switch (m) {
+    case QueryMethod::kIdenticalNodes: return "identical";
+    case QueryMethod::kSourceIsLandmark: return "source-landmark";
+    case QueryMethod::kTargetIsLandmark: return "target-landmark";
+    case QueryMethod::kTargetInSourceVicinity: return "target-in-Γ(s)";
+    case QueryMethod::kSourceInTargetVicinity: return "source-in-Γ(t)";
+    case QueryMethod::kVicinityIntersection: return "vicinity-intersection";
+    case QueryMethod::kFallbackExact: return "fallback-exact";
+    case QueryMethod::kFallbackEstimate: return "fallback-estimate";
+    case QueryMethod::kNotFound: return "not-found";
+  }
+  return "?";
+}
+
+VicinityOracle VicinityOracle::build(const graph::Graph& g,
+                                     const OracleOptions& options) {
+  std::vector<NodeId> all(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) all[u] = u;
+  return build_impl(g, options, all, /*full_index=*/true);
+}
+
+VicinityOracle VicinityOracle::build_for(const graph::Graph& g,
+                                         const OracleOptions& options,
+                                         std::span<const NodeId> query_nodes) {
+  return build_impl(g, options, query_nodes, /*full_index=*/false);
+}
+
+VicinityOracle VicinityOracle::build_impl(const graph::Graph& g,
+                                          const OracleOptions& options,
+                                          std::span<const NodeId> query_nodes,
+                                          bool full_index) {
+  if (g.directed()) {
+    throw std::invalid_argument(
+        "VicinityOracle: directed graphs need DirectedVicinityOracle");
+  }
+  if (g.num_nodes() == 0) {
+    throw std::invalid_argument("VicinityOracle: empty graph");
+  }
+  util::Timer timer;
+  VicinityOracle o;
+  o.g_ = &g;
+  o.opt_ = options;
+
+  util::Rng rng(options.seed);
+  o.landmarks_ = sample_landmarks(g, options.alpha, options.strategy, rng,
+                                  options.sampling_constant);
+  o.nearest_ = nearest_landmarks(g, o.landmarks_);
+
+  // Deduplicate the index set, preserving order.
+  o.store_ = VicinityStore(g.num_nodes(), options.backend);
+  o.indexed_.clear();
+  {
+    util::BitVector seen(g.num_nodes());
+    for (const NodeId u : query_nodes) {
+      if (u >= g.num_nodes()) {
+        throw std::out_of_range("VicinityOracle: query node out of range");
+      }
+      if (!seen.get(u)) {
+        seen.set(u);
+        o.indexed_.push_back(u);
+      }
+    }
+  }
+  o.store_.prepare(o.indexed_);
+
+  // Vicinity construction: embarrassingly parallel over indexed nodes.
+  const unsigned threads =
+      options.build_threads == 0
+          ? std::max(1u, std::thread::hardware_concurrency())
+          : options.build_threads;
+  std::mutex stats_mu;
+  OracleBuildStats stats;
+  auto build_range = [&](std::size_t lo, std::size_t hi) {
+    VicinityBuilder builder(g);
+    OracleBuildStats local;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const NodeId u = o.indexed_[i];
+      const Vicinity v =
+          builder.build(u, o.nearest_.dist[u], o.nearest_.landmark[u]);
+      o.store_.set(u, v);
+      const auto sz = static_cast<double>(v.members.size());
+      const auto bz = static_cast<double>(v.boundary_size);
+      local.mean_vicinity_size += sz;
+      local.max_vicinity_size = std::max(local.max_vicinity_size, sz);
+      local.mean_boundary_size += bz;
+      local.max_boundary_size = std::max(local.max_boundary_size, bz);
+      if (v.radius != kInfDistance) {
+        local.mean_radius += static_cast<double>(v.radius);
+        local.max_radius =
+            std::max(local.max_radius, static_cast<double>(v.radius));
+      }
+      local.construction_arcs_scanned += v.arcs_scanned;
+    }
+    std::lock_guard<std::mutex> lock(stats_mu);
+    stats.mean_vicinity_size += local.mean_vicinity_size;
+    stats.max_vicinity_size =
+        std::max(stats.max_vicinity_size, local.max_vicinity_size);
+    stats.mean_boundary_size += local.mean_boundary_size;
+    stats.max_boundary_size =
+        std::max(stats.max_boundary_size, local.max_boundary_size);
+    stats.mean_radius += local.mean_radius;
+    stats.max_radius = std::max(stats.max_radius, local.max_radius);
+    stats.construction_arcs_scanned += local.construction_arcs_scanned;
+  };
+  if (threads > 1 && o.indexed_.size() > 64) {
+    util::ThreadPool pool(threads);
+    const std::size_t count = o.indexed_.size();
+    const std::size_t chunk = (count + threads - 1) / threads;
+    for (unsigned w = 0; w < threads; ++w) {
+      const std::size_t lo = std::min<std::size_t>(count, w * chunk);
+      const std::size_t hi = std::min<std::size_t>(count, lo + chunk);
+      if (lo < hi) pool.submit([&, lo, hi] { build_range(lo, hi); });
+    }
+    pool.wait_idle();
+  } else {
+    build_range(0, o.indexed_.size());
+  }
+
+  // Landmark tables. Full-index oracles need full rows; subset oracles pick
+  // the cheaper side: |L| searches (full rows) vs |subset| searches
+  // (subset matrix).
+  if (options.store_landmark_tables) {
+    const bool full_rows =
+        full_index || o.landmarks_.size() <= o.indexed_.size();
+    std::unique_ptr<util::ThreadPool> pool;
+    if (threads > 1) pool = std::make_unique<util::ThreadPool>(threads);
+    if (full_rows) {
+      o.tables_ = LandmarkTables::build_full(
+          g, o.landmarks_, options.store_landmark_parents, pool.get());
+    } else {
+      if (options.store_landmark_parents) {
+        util::log_info(
+            "VicinityOracle: landmark parents unavailable in subset mode; "
+            "landmark-endpoint path queries will use the fallback");
+      }
+      o.tables_ = LandmarkTables::build_subset(g, o.landmarks_, o.indexed_,
+                                               pool.get());
+    }
+  }
+
+  const auto count = static_cast<double>(std::max<std::size_t>(1, o.indexed_.size()));
+  stats.mean_vicinity_size /= count;
+  stats.mean_boundary_size /= count;
+  stats.mean_radius /= count;
+  stats.indexed_nodes = o.indexed_.size();
+  stats.num_landmarks = o.landmarks_.size();
+  stats.seconds = timer.elapsed_seconds();
+  o.build_stats_ = stats;
+  return o;
+}
+
+bool VicinityOracle::try_landmark_query(NodeId s, NodeId t,
+                                        QueryResult& out) const {
+  if (tables_.mode() == LandmarkTables::Mode::kNone) return false;
+  const bool s_lm = landmarks_.contains(s);
+  const bool t_lm = landmarks_.contains(t);
+  if (!s_lm && !t_lm) return false;
+  // Subset tables can only resolve pairs whose non-landmark endpoint is a
+  // subset node.
+  if (tables_.mode() == LandmarkTables::Mode::kSubset) {
+    if (s_lm && !t_lm && !tables_.in_subset(t)) return false;
+    if (t_lm && !s_lm && !tables_.in_subset(s)) return false;
+    if (s_lm && t_lm && !tables_.in_subset(s) && !tables_.in_subset(t)) {
+      return false;
+    }
+  }
+  if (s_lm && (!t_lm || tables_.mode() == LandmarkTables::Mode::kFull ||
+               tables_.in_subset(t))) {
+    out.dist = tables_.landmark_query(s, t, /*s_is_landmark=*/true);
+    out.method = QueryMethod::kSourceIsLandmark;
+  } else {
+    out.dist = tables_.landmark_query(s, t, /*s_is_landmark=*/false);
+    out.method = QueryMethod::kTargetIsLandmark;
+  }
+  out.exact = true;
+  return true;
+}
+
+QueryResult VicinityOracle::intersect(NodeId s, NodeId t) const {
+  QueryResult r;
+  r.method = QueryMethod::kVicinityIntersection;
+  // Weighted-graph soundness guard (no-op on unweighted graphs, where every
+  // stored distance is <= the radius): shell members of Γ can lie beyond
+  // the radius, and an off-path pair of far shell members can intersect
+  // without witnessing d(s,t). A minimum of at most radius(s) + radius(t)
+  // is provably exact: if d(s,t) <= r_s + r_t, the last shortest-path node
+  // inside Γ(s) is a boundary member that also lies in Γ(t) and attains
+  // d(s,t); any accepted value can therefore not overshoot.
+  const Distance accept_limit = dist_add(store_.radius(s), store_.radius(t));
+  // Pick the iteration side (Lemma 1 holds symmetrically).
+  NodeId iter = s, probe = t;
+  if (opt_.use_boundary_optimization) {
+    if (opt_.iterate_smaller_side &&
+        store_.boundary_size(t) < store_.boundary_size(s)) {
+      std::swap(iter, probe);
+    }
+    const auto view = store_.boundary(iter);
+    Distance best = kInfDistance;
+    for (std::size_t i = 0; i < view.nodes.size(); ++i) {
+      const StoredEntry* e = store_.find(probe, view.nodes[i]);
+      ++r.hash_lookups;
+      if (e) best = std::min(best, dist_add(view.dists[i], e->dist));
+    }
+    r.dist = best > accept_limit ? kInfDistance : best;
+  } else {
+    // Ablation path: iterate the full vicinity of the chosen side.
+    if (opt_.iterate_smaller_side &&
+        store_.vicinity_size(t) < store_.vicinity_size(s)) {
+      std::swap(iter, probe);
+    }
+    Distance best = kInfDistance;
+    std::uint32_t lookups = 0;
+    store_.for_each_member(iter, [&](NodeId w, const StoredEntry& we) {
+      const StoredEntry* e = store_.find(probe, w);
+      ++lookups;
+      if (e) best = std::min(best, dist_add(we.dist, e->dist));
+    });
+    r.hash_lookups = lookups;
+    r.dist = best > accept_limit ? kInfDistance : best;
+  }
+  r.exact = r.dist != kInfDistance;  // Theorem 1 (+ weighted guard above)
+  return r;
+}
+
+QueryResult VicinityOracle::distance(NodeId s, NodeId t) {
+  if (opt_.fallback == Fallback::kBidirectionalBfs && !exact_runner_) {
+    exact_runner_ = std::make_unique<algo::BidirectionalBfsRunner>(*g_);
+  }
+  return distance_impl(s, t, exact_runner_.get());
+}
+
+QueryResult VicinityOracle::distance_impl(
+    NodeId s, NodeId t, algo::BidirectionalBfsRunner* runner) const {
+  if (s >= g_->num_nodes() || t >= g_->num_nodes()) {
+    throw std::out_of_range("VicinityOracle::distance: node out of range");
+  }
+  QueryResult r;
+  if (s == t) {
+    r.dist = 0;
+    r.method = QueryMethod::kIdenticalNodes;
+    r.exact = true;
+    return r;
+  }
+  if (try_landmark_query(s, t, r)) return r;
+
+  std::uint32_t lookups = 0;
+  const bool have_s = store_.has(s);
+  const bool have_t = store_.has(t);
+  if (have_s) {
+    const StoredEntry* e = store_.find(s, t);
+    ++lookups;
+    if (e) {
+      return QueryResult{e->dist, QueryMethod::kTargetInSourceVicinity,
+                         lookups, true};
+    }
+  }
+  if (have_t) {
+    const StoredEntry* e = store_.find(t, s);
+    ++lookups;
+    if (e) {
+      return QueryResult{e->dist, QueryMethod::kSourceInTargetVicinity,
+                         lookups, true};
+    }
+  }
+  if (have_s && have_t) {
+    QueryResult ir = intersect(s, t);
+    ir.hash_lookups += lookups;
+    if (ir.dist != kInfDistance) return ir;
+    lookups = ir.hash_lookups;
+  }
+  return fallback_distance_impl(s, t, lookups, runner);
+}
+
+std::vector<QueryResult> VicinityOracle::distance_batch(
+    std::span<const std::pair<NodeId, NodeId>> pairs, unsigned threads) const {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  std::vector<QueryResult> out(pairs.size());
+  if (pairs.empty()) return out;
+  if (threads == 1) {
+    std::unique_ptr<algo::BidirectionalBfsRunner> runner;
+    if (opt_.fallback == Fallback::kBidirectionalBfs) {
+      runner = std::make_unique<algo::BidirectionalBfsRunner>(*g_);
+    }
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      out[i] = distance_impl(pairs[i].first, pairs[i].second, runner.get());
+    }
+    return out;
+  }
+  util::ThreadPool pool(threads);
+  const std::size_t chunk = (pairs.size() + threads - 1) / threads;
+  for (unsigned w = 0; w < threads; ++w) {
+    const std::size_t lo = std::min(pairs.size(), w * chunk);
+    const std::size_t hi = std::min(pairs.size(), lo + chunk);
+    if (lo >= hi) break;
+    pool.submit([this, &pairs, &out, lo, hi] {
+      // One exact-search runner per worker: the index itself is read-only.
+      std::unique_ptr<algo::BidirectionalBfsRunner> runner;
+      if (opt_.fallback == Fallback::kBidirectionalBfs) {
+        runner = std::make_unique<algo::BidirectionalBfsRunner>(*g_);
+      }
+      for (std::size_t i = lo; i < hi; ++i) {
+        out[i] = distance_impl(pairs[i].first, pairs[i].second, runner.get());
+      }
+    });
+  }
+  pool.wait_idle();
+  return out;
+}
+
+QueryResult VicinityOracle::fallback_distance_impl(
+    NodeId s, NodeId t, std::uint32_t lookups,
+    algo::BidirectionalBfsRunner* runner) const {
+  QueryResult r;
+  r.hash_lookups = lookups;
+  switch (opt_.fallback) {
+    case Fallback::kNone:
+      r.method = QueryMethod::kNotFound;
+      return r;
+    case Fallback::kBidirectionalBfs: {
+      if (runner == nullptr) {
+        r.method = QueryMethod::kNotFound;
+        return r;
+      }
+      r.dist = runner->distance(s, t).dist;
+      r.method = QueryMethod::kFallbackExact;
+      r.exact = true;
+      return r;
+    }
+    case Fallback::kLandmarkEstimate: {
+      // Upper bound d(s,t) <= d(s, ℓ(s)) + d(ℓ(s), t) (and symmetrically).
+      Distance best = kInfDistance;
+      if (tables_.mode() != LandmarkTables::Mode::kNone) {
+        const NodeId ls = nearest_.landmark[s];
+        const NodeId lt = nearest_.landmark[t];
+        const bool subset = tables_.mode() == LandmarkTables::Mode::kSubset;
+        if (ls != kInvalidNode && (!subset || tables_.in_subset(t))) {
+          best = std::min(best,
+                          dist_add(nearest_.dist[s],
+                                   tables_.landmark_query(ls, t, true)));
+        }
+        if (lt != kInvalidNode && (!subset || tables_.in_subset(s))) {
+          best = std::min(best,
+                          dist_add(nearest_.dist[t],
+                                   tables_.landmark_query(lt, s, true)));
+        }
+      }
+      r.dist = best;
+      r.method = best == kInfDistance ? QueryMethod::kNotFound
+                                      : QueryMethod::kFallbackEstimate;
+      r.exact = false;
+      return r;
+    }
+  }
+  r.method = QueryMethod::kNotFound;
+  return r;
+}
+
+bool VicinityOracle::chase_parents(NodeId origin, NodeId from,
+                                   std::vector<NodeId>& out) const {
+  NodeId cur = from;
+  out.push_back(cur);
+  while (cur != origin) {
+    const StoredEntry* e = store_.find(origin, cur);
+    if (e == nullptr || e->parent == kInvalidNode || e->parent == cur) {
+      return false;  // chain left the stored vicinity (weighted corner case)
+    }
+    cur = e->parent;
+    out.push_back(cur);
+  }
+  return true;
+}
+
+PathResult VicinityOracle::fallback_path(NodeId s, NodeId t) {
+  PathResult p;
+  if (opt_.fallback == Fallback::kNone) return p;
+  // Both fallback flavors resolve paths exactly: the landmark estimate has
+  // no path-bearing structure for arbitrary pairs, so we degrade to the
+  // exact search for path queries.
+  if (!exact_runner_) {
+    exact_runner_ = std::make_unique<algo::BidirectionalBfsRunner>(*g_);
+  }
+  p.path = exact_runner_->path(s, t);
+  p.dist = p.path.empty() ? kInfDistance
+                          : static_cast<Distance>(
+                                g_->weighted()
+                                    ? algo::path_length(*g_, p.path)
+                                    : p.path.size() - 1);
+  p.method = QueryMethod::kFallbackExact;
+  p.exact = true;
+  return p;
+}
+
+PathResult VicinityOracle::path(NodeId s, NodeId t) {
+  if (s >= g_->num_nodes() || t >= g_->num_nodes()) {
+    throw std::out_of_range("VicinityOracle::path: node out of range");
+  }
+  PathResult p;
+  if (s == t) {
+    p.dist = 0;
+    p.path = {s};
+    p.method = QueryMethod::kIdenticalNodes;
+    p.exact = true;
+    return p;
+  }
+
+  // Landmark-endpoint paths need full tables with parents.
+  if (tables_.mode() == LandmarkTables::Mode::kFull && tables_.has_parents()) {
+    // Tree rooted at the landmark: parents point toward the landmark.
+    if (landmarks_.contains(s)) {
+      const Distance d = tables_.dist_from_landmark(s, t);
+      if (d == kInfDistance) {
+        p.exact = true;
+        p.method = QueryMethod::kSourceIsLandmark;
+        return p;  // provably unreachable
+      }
+      std::vector<NodeId> parent_walk;
+      NodeId cur = t;
+      while (cur != s) {
+        parent_walk.push_back(cur);
+        cur = tables_.parent_from_landmark(s, cur);
+      }
+      parent_walk.push_back(s);
+      std::reverse(parent_walk.begin(), parent_walk.end());
+      return PathResult{d, std::move(parent_walk),
+                        QueryMethod::kSourceIsLandmark, true};
+    }
+    if (landmarks_.contains(t)) {
+      const Distance d = tables_.dist_from_landmark(t, s);
+      if (d == kInfDistance) {
+        p.exact = true;
+        p.method = QueryMethod::kTargetIsLandmark;
+        return p;
+      }
+      std::vector<NodeId> walk;
+      NodeId cur = s;
+      while (cur != t) {
+        walk.push_back(cur);
+        cur = tables_.parent_from_landmark(t, cur);
+      }
+      walk.push_back(t);
+      return PathResult{d, std::move(walk), QueryMethod::kTargetIsLandmark,
+                        true};
+    }
+  }
+
+  const bool have_s = store_.has(s);
+  const bool have_t = store_.has(t);
+  if (have_s) {
+    if (const StoredEntry* e = store_.find(s, t)) {
+      std::vector<NodeId> rev;
+      if (chase_parents(s, t, rev)) {
+        std::reverse(rev.begin(), rev.end());
+        return PathResult{e->dist, std::move(rev),
+                          QueryMethod::kTargetInSourceVicinity, true};
+      }
+    }
+  }
+  if (have_t) {
+    if (const StoredEntry* e = store_.find(t, s)) {
+      std::vector<NodeId> walk;
+      if (chase_parents(t, s, walk)) {
+        // chase produced s..t already (parents point toward t).
+        return PathResult{e->dist, std::move(walk),
+                          QueryMethod::kSourceInTargetVicinity, true};
+      }
+    }
+  }
+  if (have_s && have_t) {
+    // Re-run the intersection to find the best witness w.
+    const auto view = store_.boundary(s);
+    const Distance accept_limit =
+        dist_add(store_.radius(s), store_.radius(t));
+    Distance best = kInfDistance;
+    NodeId witness = kInvalidNode;
+    for (std::size_t i = 0; i < view.nodes.size(); ++i) {
+      const StoredEntry* e = store_.find(t, view.nodes[i]);
+      if (e) {
+        const Distance total = dist_add(view.dists[i], e->dist);
+        if (total < best) {
+          best = total;
+          witness = view.nodes[i];
+        }
+      }
+    }
+    if (best > accept_limit) witness = kInvalidNode;  // weighted guard
+    if (witness != kInvalidNode) {
+      std::vector<NodeId> left;  // w..s -> reversed to s..w
+      std::vector<NodeId> right; // w..t
+      if (chase_parents(s, witness, left) && chase_parents(t, witness, right)) {
+        std::reverse(left.begin(), left.end());
+        left.insert(left.end(), right.begin() + 1, right.end());
+        return PathResult{best, std::move(left),
+                          QueryMethod::kVicinityIntersection, true};
+      }
+    }
+  }
+  return fallback_path(s, t);
+}
+
+double VicinityOracle::estimate_coverage(std::size_t pairs, util::Rng& rng) {
+  if (indexed_.size() < 2 || pairs == 0) return 0.0;
+  std::size_t answered = 0;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const NodeId s = indexed_[rng.next_below(indexed_.size())];
+    NodeId t = s;
+    while (t == s) t = indexed_[rng.next_below(indexed_.size())];
+    // Count resolutions that do not require the exact fallback (a null
+    // runner makes the exact fallback report not-found; the landmark
+    // estimate still counts as answered, matching the paper's footnote 1).
+    const QueryResult r = distance_impl(s, t, nullptr);
+    if (r.method != QueryMethod::kNotFound &&
+        r.method != QueryMethod::kFallbackEstimate) {
+      ++answered;
+    }
+  }
+  return static_cast<double>(answered) / static_cast<double>(pairs);
+}
+
+OracleMemoryStats VicinityOracle::memory_stats() const {
+  OracleMemoryStats m;
+  m.vicinity_entries = store_.total_entries();
+  m.boundary_entries = store_.total_boundary_entries();
+  m.landmark_entries = tables_.entries();
+  m.bytes = store_.memory_bytes() + tables_.memory_bytes() +
+            nearest_.dist.size() * sizeof(Distance) +
+            nearest_.landmark.size() * sizeof(NodeId) +
+            landmarks_.member.memory_bytes();
+  const auto n = static_cast<std::uint64_t>(g_->num_nodes());
+  m.apsp_entries = n * (n - 1) / 2;
+  return m;
+}
+
+}  // namespace vicinity::core

@@ -1,0 +1,176 @@
+// VicinityOracle — the paper's point-to-point shortest-path oracle (§3.1,
+// Algorithm 1) for undirected networks.
+//
+// Query resolution order (Algorithm 1):
+//   (0) s == t                        -> 0
+//   (1) s ∈ L                         -> landmark table row
+//   (2) t ∈ L                         -> landmark table row
+//   (3) t ∈ Γ(s)                      -> stored entry
+//   (4) s ∈ Γ(t)                      -> stored entry
+//   (5) vicinity intersection: iterate ∂Γ(s) (Lemma 1) probing Γ(t),
+//       minimizing d(s,w) + d(w,t)    -> exact by Theorem 1
+//   (6) fallback (exact bidirectional BFS, landmark upper bound, or none)
+//
+// Build modes: build() indexes every node (a deployable index);
+// build_for() indexes a query subset, reproducing the paper's §2.3
+// sampled-pairs methodology at a fraction of the memory.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "algo/bidirectional_bfs.h"
+#include "core/landmark_table.h"
+#include "core/landmarks.h"
+#include "core/options.h"
+#include "core/vicinity_store.h"
+#include "graph/graph.h"
+
+namespace vicinity::core {
+
+enum class QueryMethod {
+  kIdenticalNodes,
+  kSourceIsLandmark,
+  kTargetIsLandmark,
+  kTargetInSourceVicinity,
+  kSourceInTargetVicinity,
+  kVicinityIntersection,
+  kFallbackExact,
+  kFallbackEstimate,
+  kNotFound,
+};
+
+const char* to_string(QueryMethod m);
+
+struct QueryResult {
+  Distance dist = kInfDistance;
+  QueryMethod method = QueryMethod::kNotFound;
+  /// Hash-table probes performed (Table 3's "# Hash-table look-ups").
+  std::uint32_t hash_lookups = 0;
+  /// True when dist is the exact shortest-path length (kInfDistance with
+  /// exact=true means provably unreachable).
+  bool exact = false;
+};
+
+struct PathResult {
+  Distance dist = kInfDistance;
+  std::vector<NodeId> path;  ///< s..t inclusive; empty when unavailable
+  QueryMethod method = QueryMethod::kNotFound;
+  bool exact = false;
+};
+
+struct OracleBuildStats {
+  double seconds = 0.0;
+  std::size_t indexed_nodes = 0;
+  std::size_t num_landmarks = 0;
+  double mean_vicinity_size = 0.0;
+  double max_vicinity_size = 0.0;
+  double mean_boundary_size = 0.0;
+  double max_boundary_size = 0.0;
+  double mean_radius = 0.0;   ///< over indexed nodes (Figure 2 right)
+  double max_radius = 0.0;
+  std::uint64_t construction_arcs_scanned = 0;
+};
+
+struct OracleMemoryStats {
+  std::uint64_t vicinity_entries = 0;
+  std::uint64_t boundary_entries = 0;
+  std::uint64_t landmark_entries = 0;
+  std::uint64_t bytes = 0;
+  /// APSP comparison of §3.2: n(n-1)/2 stored distances.
+  std::uint64_t apsp_entries = 0;
+};
+
+class VicinityOracle {
+ public:
+  /// Indexes every node. The graph must be undirected (see
+  /// DirectedVicinityOracle) and must outlive the oracle.
+  static VicinityOracle build(const graph::Graph& g,
+                              const OracleOptions& options);
+
+  /// Indexes only `query_nodes` (duplicates ignored). Queries are then
+  /// supported between any two indexed nodes (plus landmark endpoints).
+  static VicinityOracle build_for(const graph::Graph& g,
+                                  const OracleOptions& options,
+                                  std::span<const NodeId> query_nodes);
+
+  /// Exact distance query (Algorithm 1 + configured fallback).
+  QueryResult distance(NodeId s, NodeId t);
+
+  /// Shortest-path retrieval (§3.1 path extension): parent chains inside
+  /// the stored vicinities / landmark trees.
+  PathResult path(NodeId s, NodeId t);
+
+  /// Fraction of sampled indexed pairs answerable without fallback — the
+  /// paper's coverage metric ("99.9% of queries").
+  double estimate_coverage(std::size_t pairs, util::Rng& rng);
+
+  /// Batch distance queries across a thread pool — the paper's §5
+  /// parallelization question: unlike the search baselines, oracle queries
+  /// share no mutable state (the index is read-only; each worker carries
+  /// its own fallback runner), so they scale without replicating the
+  /// network or moving data. threads == 0 selects hardware concurrency.
+  std::vector<QueryResult> distance_batch(
+      std::span<const std::pair<NodeId, NodeId>> pairs,
+      unsigned threads = 0) const;
+
+  const graph::Graph& graph() const { return *g_; }
+  const OracleOptions& options() const { return opt_; }
+  const LandmarkSet& landmarks() const { return landmarks_; }
+  const NearestLandmarkInfo& nearest_landmark_info() const { return nearest_; }
+  const VicinityStore& store() const { return store_; }
+  const LandmarkTables& tables() const { return tables_; }
+  const OracleBuildStats& build_stats() const { return build_stats_; }
+  const std::vector<NodeId>& indexed_nodes() const { return indexed_; }
+  bool is_indexed(NodeId u) const { return store_.has(u); }
+
+  OracleMemoryStats memory_stats() const;
+
+ private:
+  friend class OracleSerializer;
+
+  VicinityOracle() = default;
+
+  static VicinityOracle build_impl(const graph::Graph& g,
+                                   const OracleOptions& options,
+                                   std::span<const NodeId> query_nodes,
+                                   bool full_index);
+
+  /// Steps (1)-(2); returns true when resolved.
+  bool try_landmark_query(NodeId s, NodeId t, QueryResult& out) const;
+
+  /// Stateless (const) query core used by distance() and distance_batch():
+  /// runs Algorithm 1 and the landmark-estimate fallback; exact-search
+  /// fallbacks go through the supplied runner (may be null => not-found).
+  QueryResult distance_impl(NodeId s, NodeId t,
+                            algo::BidirectionalBfsRunner* runner) const;
+
+  /// Step (5); dist=kInfDistance when the vicinities do not intersect.
+  QueryResult intersect(NodeId s, NodeId t) const;
+
+  QueryResult fallback_distance_impl(NodeId s, NodeId t,
+                                     std::uint32_t lookups,
+                                     algo::BidirectionalBfsRunner* runner) const;
+
+  /// Appends `from`..origin walking parent pointers inside Γ(origin);
+  /// false when the chain leaves the stored vicinity (possible only on
+  /// weighted graphs).
+  bool chase_parents(NodeId origin, NodeId from,
+                     std::vector<NodeId>& out) const;
+
+  PathResult fallback_path(NodeId s, NodeId t);
+
+  const graph::Graph* g_ = nullptr;
+  OracleOptions opt_;
+  LandmarkSet landmarks_;
+  NearestLandmarkInfo nearest_;
+  VicinityStore store_;
+  LandmarkTables tables_;
+  OracleBuildStats build_stats_;
+  std::vector<NodeId> indexed_;
+  std::unique_ptr<algo::BidirectionalBfsRunner> exact_runner_;
+};
+
+}  // namespace vicinity::core

@@ -1,0 +1,242 @@
+#include "core/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace vicinity::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'V', 'C', 'N', 'I', 'D', 'X', '0', '1'};
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("oracle index: truncated input");
+  return v;
+}
+
+template <typename T>
+void write_vec(std::ostream& out, const std::vector<T>& v) {
+  write_pod<std::uint64_t>(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& in) {
+  const auto n = read_pod<std::uint64_t>(in);
+  std::vector<T> v(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  if (!in) throw std::runtime_error("oracle index: truncated array");
+  return v;
+}
+
+struct MemberRecord {
+  NodeId node;
+  Distance dist;
+  NodeId parent;
+  std::uint8_t flags;  // bit0 in_ball, bit1 on_boundary
+  std::uint8_t pad[3] = {0, 0, 0};
+};
+static_assert(sizeof(MemberRecord) == 16);
+
+}  // namespace
+
+/// Friend of VicinityOracle / LandmarkTables with full member access.
+class OracleSerializer {
+ public:
+  static void save(const VicinityOracle& o, std::ostream& out) {
+    out.write(kMagic, sizeof(kMagic));
+    const graph::Graph& g = o.graph();
+    write_pod<std::uint64_t>(out, g.num_nodes());
+    write_pod<std::uint64_t>(out, g.num_arcs());
+    write_pod<std::uint8_t>(out, g.directed() ? 1 : 0);
+    write_pod<std::uint8_t>(out, g.weighted() ? 1 : 0);
+
+    // Options (what affects query behavior).
+    write_pod(out, o.opt_.alpha);
+    write_pod(out, o.opt_.sampling_constant);
+    write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(o.opt_.strategy));
+    write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(o.opt_.backend));
+    write_pod<std::uint8_t>(out, o.opt_.use_boundary_optimization ? 1 : 0);
+    write_pod<std::uint8_t>(out, o.opt_.iterate_smaller_side ? 1 : 0);
+    write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(o.opt_.fallback));
+    write_pod(out, o.opt_.seed);
+
+    write_vec(out, o.landmarks_.nodes);
+    write_vec(out, o.nearest_.dist);
+    write_vec(out, o.nearest_.landmark);
+
+    // Vicinities.
+    write_vec(out, o.indexed_);
+    for (const NodeId u : o.indexed_) {
+      write_pod<Distance>(out, o.store_.radius(u));
+      write_pod<NodeId>(out, o.store_.nearest_landmark(u));
+      std::vector<MemberRecord> members;
+      members.reserve(o.store_.vicinity_size(u));
+      const Distance radius = o.store_.radius(u);
+      o.store_.for_each_member(u, [&](NodeId v, const StoredEntry& e) {
+        MemberRecord rec{v, e.dist, e.parent, 0, {0, 0, 0}};
+        if (e.dist < radius) rec.flags |= 1;
+        members.push_back(rec);
+      });
+      const auto bview = o.store_.boundary(u);
+      util::FlatHashSet<NodeId> on_boundary(bview.nodes.size());
+      for (const NodeId b : bview.nodes) on_boundary.insert(b);
+      for (auto& rec : members) {
+        if (on_boundary.contains(rec.node)) rec.flags |= 2;
+      }
+      write_vec(out, members);
+    }
+
+    // Landmark tables.
+    write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(o.tables_.mode()));
+    if (o.tables_.mode() != LandmarkTables::Mode::kNone) {
+      const LandmarkTables& t = o.tables_;
+      write_vec(out, t.landmark_nodes_);
+      write_pod<std::uint64_t>(out, t.dist_rows_.size());
+      for (const auto& row : t.dist_rows_) write_vec(out, row);
+      write_pod<std::uint64_t>(out, t.parent_rows_.size());
+      for (const auto& row : t.parent_rows_) write_vec(out, row);
+      write_vec(out, t.subset_nodes_);
+      write_vec(out, t.to_lm_);
+    }
+    if (!out) throw std::runtime_error("oracle index: write failed");
+  }
+
+  static VicinityOracle load(std::istream& in, const graph::Graph& g) {
+    char magic[8];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+      throw std::runtime_error("oracle index: bad magic");
+    }
+    const auto n = read_pod<std::uint64_t>(in);
+    const auto arcs = read_pod<std::uint64_t>(in);
+    const bool directed = read_pod<std::uint8_t>(in) != 0;
+    const bool weighted = read_pod<std::uint8_t>(in) != 0;
+    if (n != g.num_nodes() || arcs != g.num_arcs() ||
+        directed != g.directed() || weighted != g.weighted()) {
+      throw std::runtime_error("oracle index: graph shape mismatch");
+    }
+
+    VicinityOracle o;
+    o.g_ = &g;
+    o.opt_.alpha = read_pod<double>(in);
+    o.opt_.sampling_constant = read_pod<double>(in);
+    o.opt_.strategy =
+        static_cast<SamplingStrategy>(read_pod<std::uint8_t>(in));
+    o.opt_.backend = static_cast<StoreBackend>(read_pod<std::uint8_t>(in));
+    o.opt_.use_boundary_optimization = read_pod<std::uint8_t>(in) != 0;
+    o.opt_.iterate_smaller_side = read_pod<std::uint8_t>(in) != 0;
+    o.opt_.fallback = static_cast<Fallback>(read_pod<std::uint8_t>(in));
+    o.opt_.seed = read_pod<std::uint64_t>(in);
+
+    o.landmarks_.nodes = read_vec<NodeId>(in);
+    o.landmarks_.alpha = o.opt_.alpha;
+    o.landmarks_.strategy = o.opt_.strategy;
+    o.landmarks_.member.resize(g.num_nodes());
+    for (const NodeId l : o.landmarks_.nodes) o.landmarks_.member.set(l);
+    o.nearest_.dist = read_vec<Distance>(in);
+    o.nearest_.landmark = read_vec<NodeId>(in);
+
+    o.indexed_ = read_vec<NodeId>(in);
+    o.store_ = VicinityStore(g.num_nodes(), o.opt_.backend);
+    o.store_.prepare(o.indexed_);
+    for (const NodeId u : o.indexed_) {
+      Vicinity v;
+      v.origin = u;
+      v.radius = read_pod<Distance>(in);
+      v.nearest_landmark = read_pod<NodeId>(in);
+      const auto members = read_vec<MemberRecord>(in);
+      v.members.reserve(members.size());
+      for (const MemberRecord& rec : members) {
+        VicinityMember m{rec.node, rec.dist, rec.parent,
+                         (rec.flags & 1) != 0, (rec.flags & 2) != 0};
+        if (m.in_ball) ++v.ball_size;
+        if (m.on_boundary) ++v.boundary_size;
+        v.members.push_back(m);
+      }
+      o.store_.set(u, v);
+    }
+
+    const auto mode =
+        static_cast<LandmarkTables::Mode>(read_pod<std::uint8_t>(in));
+    if (mode != LandmarkTables::Mode::kNone) {
+      LandmarkTables& t = o.tables_;
+      t.mode_ = mode;
+      t.directed_ = g.directed();
+      t.landmark_nodes_ = read_vec<NodeId>(in);
+      t.landmark_index_.assign(g.num_nodes(), kInvalidNode);
+      for (std::size_t i = 0; i < t.landmark_nodes_.size(); ++i) {
+        t.landmark_index_[t.landmark_nodes_[i]] = static_cast<NodeId>(i);
+      }
+      const auto rows = read_pod<std::uint64_t>(in);
+      t.dist_rows_.resize(rows);
+      for (auto& row : t.dist_rows_) row = read_vec<Distance>(in);
+      const auto prows = read_pod<std::uint64_t>(in);
+      t.parent_rows_.resize(prows);
+      for (auto& row : t.parent_rows_) row = read_vec<NodeId>(in);
+      t.subset_nodes_ = read_vec<NodeId>(in);
+      t.subset_index_.assign(g.num_nodes(), kInvalidNode);
+      for (std::size_t i = 0; i < t.subset_nodes_.size(); ++i) {
+        t.subset_index_[t.subset_nodes_[i]] = static_cast<NodeId>(i);
+      }
+      t.to_lm_ = read_vec<Distance>(in);
+    }
+
+    // Rebuild derived statistics so callers see sane numbers after load.
+    OracleBuildStats stats;
+    stats.indexed_nodes = o.indexed_.size();
+    stats.num_landmarks = o.landmarks_.size();
+    for (const NodeId u : o.indexed_) {
+      stats.mean_vicinity_size +=
+          static_cast<double>(o.store_.vicinity_size(u));
+      stats.mean_boundary_size +=
+          static_cast<double>(o.store_.boundary_size(u));
+      if (o.store_.radius(u) != kInfDistance) {
+        stats.mean_radius += static_cast<double>(o.store_.radius(u));
+      }
+    }
+    const auto cnt =
+        static_cast<double>(std::max<std::size_t>(1, o.indexed_.size()));
+    stats.mean_vicinity_size /= cnt;
+    stats.mean_boundary_size /= cnt;
+    stats.mean_radius /= cnt;
+    o.build_stats_ = stats;
+    return o;
+  }
+};
+
+void save_oracle(const VicinityOracle& oracle, std::ostream& out) {
+  OracleSerializer::save(oracle, out);
+}
+
+void save_oracle_file(const VicinityOracle& oracle, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  save_oracle(oracle, f);
+}
+
+VicinityOracle load_oracle(std::istream& in, const graph::Graph& g) {
+  return OracleSerializer::load(in, g);
+}
+
+VicinityOracle load_oracle_file(const std::string& path,
+                                const graph::Graph& g) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return load_oracle(f, g);
+}
+
+}  // namespace vicinity::core

@@ -1,0 +1,26 @@
+// Oracle persistence: save a built index and reload it against the same
+// graph, skipping preprocessing on restart (practically relevant: the paper
+// targets "offline phase" / "online phase" deployments, §2.1).
+//
+// The container embeds the graph's shape (n, arc count, directedness,
+// weightedness) and a checksum; load_oracle() refuses an index that was
+// built for a different graph.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/oracle.h"
+
+namespace vicinity::core {
+
+void save_oracle(const VicinityOracle& oracle, std::ostream& out);
+void save_oracle_file(const VicinityOracle& oracle, const std::string& path);
+
+/// The graph must be the one the oracle was built on (shape-checked) and
+/// must outlive the returned oracle.
+VicinityOracle load_oracle(std::istream& in, const graph::Graph& g);
+VicinityOracle load_oracle_file(const std::string& path,
+                                const graph::Graph& g);
+
+}  // namespace vicinity::core

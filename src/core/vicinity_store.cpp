@@ -1,0 +1,95 @@
+#include "core/vicinity_store.h"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+namespace vicinity::core {
+
+VicinityStore::VicinityStore(NodeId num_nodes, StoreBackend backend)
+    : backend_(backend) {
+  slot_of_.assign(num_nodes, kInvalidNode);
+}
+
+void VicinityStore::prepare(std::span<const NodeId> nodes) {
+  for (const NodeId u : nodes) {
+    if (u >= slot_of_.size()) {
+      throw std::out_of_range("VicinityStore::prepare: node out of range");
+    }
+    if (slot_of_[u] != kInvalidNode) continue;  // already registered
+    slot_of_[u] = static_cast<NodeId>(slots_.size());
+    slots_.emplace_back();
+  }
+}
+
+void VicinityStore::set(NodeId u, const Vicinity& v) {
+  if (!has(u)) throw std::logic_error("VicinityStore::set: node not prepared");
+  if (v.origin != u) throw std::logic_error("VicinityStore::set: origin mismatch");
+  PerNode& p = slots_[slot_of_[u]];
+  p.radius = v.radius;
+  p.nearest_landmark = v.nearest_landmark;
+  p.gamma_size = static_cast<std::uint32_t>(v.members.size());
+
+  if (backend_ == StoreBackend::kFlatHash) {
+    p.flat.reserve(v.members.size());
+  } else {
+    p.std.reserve(v.members.size());
+  }
+  p.boundary_nodes.clear();
+  p.boundary_dists.clear();
+  p.boundary_nodes.reserve(v.boundary_size);
+  p.boundary_dists.reserve(v.boundary_size);
+  for (const VicinityMember& m : v.members) {
+    const StoredEntry e{m.dist, m.parent};
+    if (backend_ == StoreBackend::kFlatHash) {
+      p.flat.insert_or_assign(m.node, e);
+    } else {
+      p.std.emplace(m.node, e);
+    }
+    if (m.on_boundary) {
+      p.boundary_nodes.push_back(m.node);
+      p.boundary_dists.push_back(m.dist);
+    }
+  }
+  // Canonical boundary order (ascending node id): makes tie-breaking in the
+  // intersection loop deterministic and stable across serialization.
+  {
+    std::vector<std::size_t> order(p.boundary_nodes.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return p.boundary_nodes[a] < p.boundary_nodes[b];
+    });
+    std::vector<NodeId> nodes(order.size());
+    std::vector<Distance> dists(order.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      nodes[i] = p.boundary_nodes[order[i]];
+      dists[i] = p.boundary_dists[order[i]];
+    }
+    p.boundary_nodes = std::move(nodes);
+    p.boundary_dists = std::move(dists);
+  }
+  // set() is called once per slot; concurrent writers touch distinct slots,
+  // so plain (non-atomic) accumulation would race. Use relaxed atomics.
+  static_assert(sizeof(std::uint64_t) == 8);
+  std::atomic_ref<std::uint64_t>(total_entries_)
+      .fetch_add(v.members.size(), std::memory_order_relaxed);
+  std::atomic_ref<std::uint64_t>(total_boundary_)
+      .fetch_add(p.boundary_nodes.size(), std::memory_order_relaxed);
+}
+
+std::uint64_t VicinityStore::memory_bytes() const {
+  std::uint64_t bytes = slot_of_.size() * sizeof(NodeId);
+  for (const PerNode& p : slots_) {
+    bytes += sizeof(PerNode);
+    bytes += p.flat.memory_bytes();
+    // unordered_map approximation: bucket pointers + one heap node per
+    // entry (key, value, next pointer, allocator overhead).
+    bytes += p.std.bucket_count() * sizeof(void*) +
+             p.std.size() * (sizeof(std::pair<NodeId, StoredEntry>) + 16);
+    bytes += p.boundary_nodes.capacity() * sizeof(NodeId) +
+             p.boundary_dists.capacity() * sizeof(Distance);
+  }
+  return bytes;
+}
+
+}  // namespace vicinity::core

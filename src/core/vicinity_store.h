@@ -1,0 +1,116 @@
+// Per-node vicinity storage (paper §3.1 data structure).
+//
+// For each indexed node u the store keeps:
+//   * a hash table  v -> (d(u,v), parent)  for O(1) membership probes —
+//     the paper's central data structure;
+//   * the boundary ∂Γ(u) as parallel (node, distance) arrays so
+//     Algorithm 1's loop is a linear scan;
+//   * metadata (radius, nearest landmark, sizes).
+//
+// Two interchangeable hash backends (§5 challenge): the GNU-STL
+// unordered_map the paper used, and our open-addressing flat table.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/options.h"
+#include "core/vicinity_builder.h"
+#include "util/flat_hash.h"
+#include "util/types.h"
+
+namespace vicinity::core {
+
+struct StoredEntry {
+  Distance dist = kInfDistance;
+  NodeId parent = kInvalidNode;
+};
+
+class VicinityStore {
+ public:
+  VicinityStore() = default;
+  VicinityStore(NodeId num_nodes, StoreBackend backend);
+
+  StoreBackend backend() const { return backend_; }
+
+  /// Registers `nodes` for indexing, allocating one slot each. Must be
+  /// called before set(); slots for distinct nodes may then be filled
+  /// concurrently.
+  void prepare(std::span<const NodeId> nodes);
+
+  /// Fills u's slot from a built vicinity (v.origin must equal u).
+  void set(NodeId u, const Vicinity& v);
+
+  /// True when u was prepared (vicinity available; possibly empty if u∈L).
+  bool has(NodeId u) const {
+    return u < slot_of_.size() && slot_of_[u] != kInvalidNode;
+  }
+
+  /// Γ(u) probe: entry for v, or nullptr. Requires has(u).
+  const StoredEntry* find(NodeId u, NodeId v) const {
+    const PerNode& p = slots_[slot_of_[u]];
+    if (backend_ == StoreBackend::kFlatHash) return p.flat.find(v);
+    const auto it = p.std.find(v);
+    return it == p.std.end() ? nullptr : &it->second;
+  }
+
+  struct BoundaryView {
+    std::span<const NodeId> nodes;
+    std::span<const Distance> dists;
+  };
+  /// ∂Γ(u) as parallel arrays. Requires has(u).
+  BoundaryView boundary(NodeId u) const {
+    const PerNode& p = slots_[slot_of_[u]];
+    return BoundaryView{p.boundary_nodes, p.boundary_dists};
+  }
+
+  /// All members of Γ(u) with entries, via callback: fn(node, entry).
+  template <typename Fn>
+  void for_each_member(NodeId u, Fn&& fn) const {
+    const PerNode& p = slots_[slot_of_[u]];
+    if (backend_ == StoreBackend::kFlatHash) {
+      p.flat.for_each([&](NodeId v, const StoredEntry& e) { fn(v, e); });
+    } else {
+      for (const auto& [v, e] : p.std) fn(v, e);
+    }
+  }
+
+  Distance radius(NodeId u) const { return slots_[slot_of_[u]].radius; }
+  NodeId nearest_landmark(NodeId u) const {
+    return slots_[slot_of_[u]].nearest_landmark;
+  }
+  std::size_t vicinity_size(NodeId u) const {
+    return slots_[slot_of_[u]].gamma_size;
+  }
+  std::size_t boundary_size(NodeId u) const {
+    return slots_[slot_of_[u]].boundary_nodes.size();
+  }
+
+  std::size_t indexed_nodes() const { return slots_.size(); }
+  /// Total Γ entries across indexed nodes (the paper's per-node ~α√n cost).
+  std::uint64_t total_entries() const { return total_entries_; }
+  std::uint64_t total_boundary_entries() const { return total_boundary_; }
+  /// Approximate heap bytes of hash tables + boundary arrays + slot index.
+  std::uint64_t memory_bytes() const;
+
+ private:
+  struct PerNode {
+    util::FlatHashMap<NodeId, StoredEntry> flat{0};
+    std::unordered_map<NodeId, StoredEntry> std;
+    std::vector<NodeId> boundary_nodes;
+    std::vector<Distance> boundary_dists;
+    Distance radius = kInfDistance;
+    NodeId nearest_landmark = kInvalidNode;
+    std::uint32_t gamma_size = 0;
+  };
+
+  StoreBackend backend_ = StoreBackend::kFlatHash;
+  std::vector<NodeId> slot_of_;  ///< node -> slot or kInvalidNode
+  std::vector<PerNode> slots_;
+  std::uint64_t total_entries_ = 0;
+  std::uint64_t total_boundary_ = 0;
+};
+
+}  // namespace vicinity::core

@@ -1,0 +1,50 @@
+#include "gen/affiliation.h"
+
+#include <stdexcept>
+
+#include "graph/builder.h"
+#include "util/flat_hash.h"
+
+namespace vicinity::gen {
+
+graph::Graph affiliation_graph(const AffiliationParams& p, util::Rng& rng) {
+  if (p.nodes < 2 || p.communities == 0 || p.min_size < 2 ||
+      p.max_size < p.min_size || p.preferential < 0.0 ||
+      p.preferential > 1.0) {
+    throw std::invalid_argument("affiliation_graph: bad parameters");
+  }
+
+  graph::GraphBuilder builder(p.nodes, /*directed=*/false);
+  // Membership endpoint list: uniform draws from it are proportional to the
+  // number of community memberships, concentrating activity on "prolific"
+  // nodes as in real collaboration data.
+  std::vector<NodeId> member_endpoints;
+  member_endpoints.reserve(p.communities * p.min_size);
+
+  std::vector<NodeId> members;
+  util::FlatHashSet<NodeId> seen(p.max_size * 2);
+  for (std::uint64_t c = 0; c < p.communities; ++c) {
+    const auto size = static_cast<NodeId>(
+        rng.next_in(p.min_size, p.max_size));
+    members.clear();
+    seen.clear();
+    while (members.size() < size) {
+      NodeId u;
+      if (!member_endpoints.empty() && rng.next_bool(p.preferential)) {
+        u = member_endpoints[rng.next_below(member_endpoints.size())];
+      } else {
+        u = static_cast<NodeId>(rng.next_below(p.nodes));
+      }
+      if (seen.insert(u)) members.push_back(u);
+    }
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      member_endpoints.push_back(members[i]);
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        builder.add_edge(members[i], members[j]);
+      }
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace vicinity::gen

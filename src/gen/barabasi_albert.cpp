@@ -1,0 +1,47 @@
+#include "gen/barabasi_albert.h"
+
+#include <stdexcept>
+
+#include "graph/builder.h"
+#include "util/flat_hash.h"
+
+namespace vicinity::gen {
+
+graph::Graph barabasi_albert(NodeId n, NodeId edges_per_node, util::Rng& rng) {
+  if (edges_per_node == 0 || n < edges_per_node + 1) {
+    throw std::invalid_argument("barabasi_albert: need n >= m+1, m >= 1");
+  }
+  graph::GraphBuilder builder(n, /*directed=*/false);
+  builder.reserve(std::uint64_t{n} * edges_per_node);
+
+  // endpoints holds each edge endpoint once; uniform sampling from it is
+  // degree-proportional sampling.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2ull * n * edges_per_node);
+
+  const NodeId seed = edges_per_node + 1;
+  for (NodeId u = 0; u < seed; ++u) {
+    for (NodeId v = u + 1; v < seed; ++v) {
+      builder.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  util::FlatHashSet<NodeId> picked(edges_per_node * 2);
+  for (NodeId u = seed; u < n; ++u) {
+    picked.clear();
+    while (picked.size() < edges_per_node) {
+      const NodeId v = endpoints[rng.next_below(endpoints.size())];
+      picked.insert(v);
+    }
+    picked.for_each([&](NodeId v) {
+      builder.add_edge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    });
+  }
+  return builder.build();
+}
+
+}  // namespace vicinity::gen

@@ -1,0 +1,17 @@
+// Barabási–Albert preferential attachment: each arriving node links to
+// `edges_per_node` existing nodes chosen proportionally to degree. Produces
+// the power-law degree tails that drive the paper's degree-proportional
+// landmark sampling.
+#pragma once
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace vicinity::gen {
+
+/// n >= edges_per_node + 1. The first edges_per_node + 1 nodes form a
+/// clique seed; remaining nodes attach preferentially to `edges_per_node`
+/// distinct targets. The result is connected.
+graph::Graph barabasi_albert(NodeId n, NodeId edges_per_node, util::Rng& rng);
+
+}  // namespace vicinity::gen

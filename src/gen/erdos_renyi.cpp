@@ -1,0 +1,47 @@
+#include "gen/erdos_renyi.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "graph/builder.h"
+
+namespace vicinity::gen {
+
+namespace {
+
+graph::Graph sample_pairs(NodeId n, std::uint64_t edges, bool directed,
+                          util::Rng& rng) {
+  if (n < 2) throw std::invalid_argument("erdos_renyi: need n >= 2");
+  const std::uint64_t max_edges =
+      directed ? std::uint64_t{n} * (n - 1)
+               : std::uint64_t{n} * (n - 1) / 2;
+  if (edges > max_edges) {
+    throw std::invalid_argument("erdos_renyi: too many edges requested");
+  }
+  graph::GraphBuilder builder(n, directed);
+  builder.reserve(edges);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(edges * 2);
+  while (seen.size() < edges) {
+    auto u = static_cast<NodeId>(rng.next_below(n));
+    auto v = static_cast<NodeId>(rng.next_below(n));
+    if (u == v) continue;
+    if (!directed && u > v) std::swap(u, v);
+    const std::uint64_t key = (std::uint64_t{u} << 32) | v;
+    if (seen.insert(key).second) builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+}  // namespace
+
+graph::Graph erdos_renyi(NodeId n, std::uint64_t edges, util::Rng& rng) {
+  return sample_pairs(n, edges, /*directed=*/false, rng);
+}
+
+graph::Graph erdos_renyi_directed(NodeId n, std::uint64_t edges,
+                                  util::Rng& rng) {
+  return sample_pairs(n, edges, /*directed=*/true, rng);
+}
+
+}  // namespace vicinity::gen

@@ -1,0 +1,19 @@
+// Erdős–Rényi G(n, m) random graphs. Mostly a testing substrate: ER graphs
+// lack the heavy-tailed degrees the paper's technique exploits, which makes
+// them a useful negative control in ablation experiments.
+#pragma once
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace vicinity::gen {
+
+/// Samples a simple undirected graph with exactly `edges` distinct edges
+/// (self loops excluded). Requires edges <= n*(n-1)/2.
+graph::Graph erdos_renyi(NodeId n, std::uint64_t edges, util::Rng& rng);
+
+/// Directed variant: `edges` distinct ordered pairs.
+graph::Graph erdos_renyi_directed(NodeId n, std::uint64_t edges,
+                                  util::Rng& rng);
+
+}  // namespace vicinity::gen

@@ -1,0 +1,66 @@
+#include "gen/powerlaw_cluster.h"
+
+#include <stdexcept>
+
+#include "graph/builder.h"
+#include "util/flat_hash.h"
+
+namespace vicinity::gen {
+
+graph::Graph powerlaw_cluster(NodeId n, NodeId edges_per_node, double triad_p,
+                              util::Rng& rng) {
+  if (edges_per_node == 0 || n < edges_per_node + 1) {
+    throw std::invalid_argument("powerlaw_cluster: need n >= m+1, m >= 1");
+  }
+  if (triad_p < 0.0 || triad_p > 1.0) {
+    throw std::invalid_argument("powerlaw_cluster: triad_p in [0,1]");
+  }
+
+  graph::GraphBuilder builder(n, /*directed=*/false);
+  builder.reserve(std::uint64_t{n} * edges_per_node);
+
+  // Adjacency kept during generation for triad steps; endpoint list gives
+  // degree-proportional sampling as in plain BA.
+  std::vector<std::vector<NodeId>> adj(n);
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2ull * n * edges_per_node);
+
+  auto link = [&](NodeId u, NodeId v) {
+    builder.add_edge(u, v);
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+    endpoints.push_back(u);
+    endpoints.push_back(v);
+  };
+
+  const NodeId seed = edges_per_node + 1;
+  for (NodeId u = 0; u < seed; ++u) {
+    for (NodeId v = u + 1; v < seed; ++v) link(u, v);
+  }
+
+  util::FlatHashSet<NodeId> picked(edges_per_node * 2);
+  for (NodeId u = seed; u < n; ++u) {
+    picked.clear();
+    NodeId last_target = kInvalidNode;
+    while (picked.size() < edges_per_node) {
+      NodeId v = kInvalidNode;
+      if (last_target != kInvalidNode && rng.next_bool(triad_p) &&
+          !adj[last_target].empty()) {
+        v = adj[last_target][rng.next_below(adj[last_target].size())];
+      } else {
+        v = endpoints[rng.next_below(endpoints.size())];
+      }
+      if (v == u || !picked.insert(v)) {
+        // Duplicate or self; fall back to a fresh preferential draw next
+        // iteration to guarantee progress.
+        last_target = kInvalidNode;
+        continue;
+      }
+      last_target = v;
+    }
+    picked.for_each([&](NodeId v) { link(u, v); });
+  }
+  return builder.build();
+}
+
+}  // namespace vicinity::gen

@@ -1,0 +1,20 @@
+// Holme–Kim power-law-cluster model: Barabási–Albert preferential
+// attachment plus triad-formation steps. Yields both the power-law degree
+// tail and the high local clustering typical of friendship networks —
+// our stand-in for Orkut / LiveJournal-shaped datasets.
+#pragma once
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace vicinity::gen {
+
+/// Each arriving node makes `edges_per_node` connections; after a
+/// preferential step to some target v, each subsequent step is, with
+/// probability triad_p, a link to a random neighbor of v (closing a
+/// triangle), otherwise another preferential step. Connected by
+/// construction. Requires n >= edges_per_node + 1, triad_p in [0,1].
+graph::Graph powerlaw_cluster(NodeId n, NodeId edges_per_node, double triad_p,
+                              util::Rng& rng);
+
+}  // namespace vicinity::gen

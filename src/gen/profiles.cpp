@@ -1,0 +1,124 @@
+#include "gen/profiles.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "gen/affiliation.h"
+#include "gen/powerlaw_cluster.h"
+#include "gen/rmat.h"
+#include "graph/components.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace vicinity::gen {
+
+namespace {
+
+// Table 2 of the paper, in millions.
+const PaperDataset kDblp{0.71, 2.51, 2.51};
+const PaperDataset kFlickr{1.72, 22.61, 15.56};
+const PaperDataset kOrkut{3.07, 223.53, 117.19};
+const PaperDataset kLiveJournal{4.85, 68.99, 42.85};
+
+unsigned scale_for_nodes(double target_nodes) {
+  unsigned s = 1;
+  while ((1ull << s) < static_cast<std::uint64_t>(target_nodes) && s < 31) ++s;
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::string> profile_names() {
+  return {"dblp", "flickr", "orkut", "livejournal"};
+}
+
+double default_profile_scale(const std::string& name) {
+  if (name == "dblp" || name == "flickr") return 1.0 / 20.0;
+  if (name == "orkut" || name == "livejournal") return 1.0 / 50.0;
+  throw std::invalid_argument("unknown profile: " + name);
+}
+
+ProfileGraph make_profile(const std::string& name, std::uint64_t seed,
+                          double scale) {
+  if (scale <= 0.0) scale = default_profile_scale(name);
+  // Independent stream per (profile, seed).
+  util::Rng rng(seed ^ util::mix64(std::hash<std::string>{}(name)));
+
+  ProfileGraph out;
+  out.name = name;
+  out.scale = scale;
+
+  graph::Graph raw;
+  if (name == "dblp") {
+    out.paper = kDblp;
+    out.generator = "affiliation (clique-per-paper co-authorship)";
+    const auto target_nodes = static_cast<NodeId>(kDblp.nodes_m * 1e6 * scale);
+    const auto target_edges =
+        static_cast<std::uint64_t>(kDblp.undirected_links_m * 1e6 * scale);
+    AffiliationParams p;
+    p.nodes = target_nodes;
+    // Mean community size 4 => ~7 clique edges per community before overlap
+    // dedup; 1.15 compensates for duplicated co-authorships.
+    p.communities =
+        static_cast<std::uint64_t>(static_cast<double>(target_edges) / 7.0 * 1.15);
+    p.min_size = 2;
+    p.max_size = 6;
+    p.preferential = 0.55;
+    raw = affiliation_graph(p, rng);
+  } else if (name == "flickr") {
+    out.paper = kFlickr;
+    out.generator = "R-MAT (crawl-shaped, heavy-tailed)";
+    const double target_nodes = kFlickr.nodes_m * 1e6 * scale;
+    const auto target_edges =
+        static_cast<std::uint64_t>(kFlickr.undirected_links_m * 1e6 * scale);
+    RmatParams p;  // Graph500 skew
+    // R-MAT loses ~20% of samples to duplicates/self-loops at this density
+    // and the largest component trims isolated nodes; oversample edges.
+    raw = rmat(scale_for_nodes(target_nodes * 1.15),
+               static_cast<std::uint64_t>(static_cast<double>(target_edges) * 1.3),
+               p, rng);
+  } else if (name == "orkut") {
+    out.paper = kOrkut;
+    out.generator = "Holme-Kim power-law cluster";
+    const auto target_nodes = static_cast<NodeId>(kOrkut.nodes_m * 1e6 * scale);
+    // Paper avg degree 2m/n = 76.3 => 38 edges per arriving node.
+    raw = powerlaw_cluster(target_nodes, 38, 0.5, rng);
+  } else if (name == "livejournal") {
+    out.paper = kLiveJournal;
+    out.generator = "Holme-Kim power-law cluster";
+    const auto target_nodes =
+        static_cast<NodeId>(kLiveJournal.nodes_m * 1e6 * scale);
+    // Paper avg degree 17.7 => 9 edges per arriving node.
+    raw = powerlaw_cluster(target_nodes, 9, 0.4, rng);
+  } else {
+    throw std::invalid_argument("unknown profile: " + name);
+  }
+
+  auto lcc = graph::largest_component(raw);
+  out.graph = std::move(lcc.graph);
+  util::log_debug("profile ", name, ": ", out.graph.summary());
+  return out;
+}
+
+ProfileGraph make_directed_profile(std::uint64_t seed, double scale) {
+  if (scale <= 0.0) scale = 1.0 / 20.0;
+  util::Rng rng(seed ^ 0x7717E4D1A2B3C4D5ULL);
+  ProfileGraph out;
+  out.name = "twitter-like";
+  out.scale = scale;
+  out.paper = PaperDataset{};  // not in the paper's Table 2 (§5 challenge)
+  out.generator = "R-MAT directed (follower graph)";
+  const double target_nodes = 2.0e6 * scale;
+  const auto target_edges = static_cast<std::uint64_t>(30.0e6 * scale);
+  RmatParams p;
+  p.directed = true;
+  graph::Graph raw =
+      rmat(scale_for_nodes(target_nodes * 1.15),
+           static_cast<std::uint64_t>(static_cast<double>(target_edges) * 1.2),
+           p, rng);
+  auto lcc = graph::largest_component(raw);
+  out.graph = std::move(lcc.graph);
+  return out;
+}
+
+}  // namespace vicinity::gen

@@ -1,0 +1,51 @@
+// Dataset profiles: synthetic stand-ins for the paper's four evaluation
+// datasets (Table 2), generated at a configurable fraction of the original
+// size. Each profile pairs a generator + parameters with the paper's
+// reference numbers so benchmark output can print paper-vs-measured rows.
+//
+// Substitution rationale (see DESIGN.md): the SNAP/MPI-SWS downloads are
+// not available offline; what the technique exploits is the degree
+// structure (heavy tail, dense neighborhoods anchored by hubs), which the
+// chosen generators reproduce. Profiles always return the largest connected
+// component, matching the paper's connectedness assumption (Table 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace vicinity::gen {
+
+/// Reference numbers from Table 2 of the paper (millions).
+struct PaperDataset {
+  double nodes_m = 0.0;
+  double directed_links_m = 0.0;
+  double undirected_links_m = 0.0;
+};
+
+struct ProfileGraph {
+  std::string name;        ///< "dblp", "flickr", "orkut", "livejournal"
+  graph::Graph graph;      ///< largest connected component, undirected
+  double scale = 1.0;      ///< fraction of the paper's dataset size
+  PaperDataset paper;      ///< what the paper measured (for table output)
+  std::string generator;   ///< generator family used
+};
+
+/// Profile names in the paper's Table 2 order.
+std::vector<std::string> profile_names();
+
+/// Default scale for a profile: chosen so every benchmark runs in seconds
+/// on one laptop core (DBLP/Flickr 1/20, Orkut/LiveJournal 1/50).
+double default_profile_scale(const std::string& name);
+
+/// Builds a profile graph. scale <= 0 selects the default scale. Throws
+/// std::invalid_argument for unknown names.
+ProfileGraph make_profile(const std::string& name, std::uint64_t seed,
+                          double scale = 0.0);
+
+/// Directed variant for the §5 research challenge (Twitter-style follower
+/// graph, R-MAT directed, largest weakly-connected component).
+ProfileGraph make_directed_profile(std::uint64_t seed, double scale = 0.0);
+
+}  // namespace vicinity::gen

@@ -1,0 +1,46 @@
+#include "gen/rmat.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/builder.h"
+
+namespace vicinity::gen {
+
+graph::Graph rmat(unsigned scale, std::uint64_t edges, const RmatParams& p,
+                  util::Rng& rng) {
+  if (scale == 0 || scale > 31) {
+    throw std::invalid_argument("rmat: scale in [1, 31]");
+  }
+  const double total = p.a + p.b + p.c + p.d;
+  if (std::abs(total - 1.0) > 1e-9) {
+    throw std::invalid_argument("rmat: a+b+c+d must be 1");
+  }
+  const auto n = static_cast<NodeId>(1u << scale);
+
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  if (p.scramble_ids) rng.shuffle(perm);
+
+  graph::GraphBuilder builder(n, p.directed);
+  builder.reserve(edges);
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    NodeId u = 0, v = 0;
+    for (unsigned bit = 0; bit < scale; ++bit) {
+      const double r = rng.next_double();
+      // Quadrant choice: a=top-left, b=top-right, c=bottom-left, d=bottom-right.
+      const unsigned row = (r >= p.a + p.b) ? 1u : 0u;
+      const unsigned col = (r >= p.a && r < p.a + p.b) || (r >= p.a + p.b + p.c)
+                               ? 1u
+                               : 0u;
+      u = static_cast<NodeId>((u << 1) | row);
+      v = static_cast<NodeId>((v << 1) | col);
+    }
+    if (u == v) continue;
+    builder.add_edge(perm[u], perm[v]);
+  }
+  return builder.build();
+}
+
+}  // namespace vicinity::gen

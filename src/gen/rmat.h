@@ -1,0 +1,27 @@
+// R-MAT (recursive matrix) generator. Samples each edge by recursively
+// descending into one of four adjacency-matrix quadrants with probabilities
+// (a, b, c, d). Produces heavy-tailed, scale-free-like graphs with
+// community-of-communities structure; our stand-in for crawl-shaped
+// datasets (Flickr) and for directed follower graphs (Twitter-like).
+#pragma once
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace vicinity::gen {
+
+struct RmatParams {
+  double a = 0.57, b = 0.19, c = 0.19, d = 0.05;  // Graph500 defaults
+  /// Randomly permute node ids so degree is not correlated with id.
+  bool scramble_ids = true;
+  bool directed = false;
+};
+
+/// Generates 2^scale nodes and approximately `edges` edges (duplicates and
+/// self loops are dropped, so the final count is slightly lower). Isolated
+/// nodes may remain; callers wanting a connected graph should extract the
+/// largest component.
+graph::Graph rmat(unsigned scale, std::uint64_t edges, const RmatParams& params,
+                  util::Rng& rng);
+
+}  // namespace vicinity::gen

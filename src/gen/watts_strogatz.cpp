@@ -1,0 +1,36 @@
+#include "gen/watts_strogatz.h"
+
+#include <stdexcept>
+
+#include "graph/builder.h"
+
+namespace vicinity::gen {
+
+graph::Graph watts_strogatz(NodeId n, NodeId k, double beta, util::Rng& rng) {
+  if (k == 0 || n <= 2 * k) {
+    throw std::invalid_argument("watts_strogatz: need n > 2k, k >= 1");
+  }
+  if (beta < 0.0 || beta > 1.0) {
+    throw std::invalid_argument("watts_strogatz: beta in [0,1]");
+  }
+  graph::GraphBuilder builder(n, /*directed=*/false);
+  builder.reserve(std::uint64_t{n} * k);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId j = 1; j <= k; ++j) {
+      NodeId v = static_cast<NodeId>((u + j) % n);
+      if (rng.next_bool(beta)) {
+        // Rewire the far endpoint; retry on self loop (duplicates are
+        // collapsed by the builder).
+        NodeId w;
+        do {
+          w = static_cast<NodeId>(rng.next_below(n));
+        } while (w == u);
+        v = w;
+      }
+      builder.add_edge(u, v);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace vicinity::gen

@@ -1,0 +1,16 @@
+// Watts–Strogatz small-world graphs: ring lattice with random rewiring.
+// High clustering, near-uniform degrees — a contrast workload showing how
+// the oracle behaves without degree skew.
+#pragma once
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace vicinity::gen {
+
+/// n nodes on a ring, each linked to the k nearest neighbors on each side
+/// (2k per node before rewiring); every edge's far endpoint is rewired to a
+/// uniform random node with probability beta. Requires n > 2k.
+graph::Graph watts_strogatz(NodeId n, NodeId k, double beta, util::Rng& rng);
+
+}  // namespace vicinity::gen

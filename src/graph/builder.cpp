@@ -1,0 +1,55 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vicinity::graph {
+
+void GraphBuilder::add_edge(NodeId u, NodeId v, Weight w) {
+  if (u == kInvalidNode || v == kInvalidNode) {
+    throw std::invalid_argument("GraphBuilder: invalid node id");
+  }
+  edges_.push_back(RawEdge{u, v, w});
+  n_ = std::max(n_, static_cast<NodeId>(std::max(u, v) + 1));
+}
+
+Graph GraphBuilder::build(bool weighted) {
+  std::vector<RawEdge> arcs;
+  arcs.reserve(directed_ ? edges_.size() : edges_.size() * 2);
+  for (const RawEdge& e : edges_) {
+    if (e.u == e.v) continue;  // self loop
+    arcs.push_back(e);
+    if (!directed_) arcs.push_back(RawEdge{e.v, e.u, e.w});
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+
+  std::sort(arcs.begin(), arcs.end(), [](const RawEdge& a, const RawEdge& b) {
+    if (a.u != b.u) return a.u < b.u;
+    if (a.v != b.v) return a.v < b.v;
+    return a.w < b.w;
+  });
+  // Collapse parallel arcs; the sort above puts the minimum weight first.
+  arcs.erase(std::unique(arcs.begin(), arcs.end(),
+                         [](const RawEdge& a, const RawEdge& b) {
+                           return a.u == b.u && a.v == b.v;
+                         }),
+             arcs.end());
+
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(n_) + 1, 0);
+  for (const RawEdge& e : arcs) ++offsets[static_cast<std::size_t>(e.u) + 1];
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<NodeId> targets(arcs.size());
+  std::vector<Weight> weights;
+  if (weighted) weights.resize(arcs.size());
+  // arcs are sorted by (u, v) so a single pass fills CSR in order.
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    targets[i] = arcs[i].v;
+    if (weighted) weights[i] = arcs[i].w;
+  }
+  return Graph(std::move(offsets), std::move(targets), std::move(weights),
+               directed_);
+}
+
+}  // namespace vicinity::graph

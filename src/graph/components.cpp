@@ -1,0 +1,76 @@
+#include "graph/components.h"
+
+#include <algorithm>
+
+#include "graph/builder.h"
+
+namespace vicinity::graph {
+
+ComponentInfo connected_components(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  ComponentInfo info;
+  info.label.assign(n, UINT32_MAX);
+  std::vector<NodeId> stack;
+  for (NodeId root = 0; root < n; ++root) {
+    if (info.label[root] != UINT32_MAX) continue;
+    const std::uint32_t c = info.num_components++;
+    info.size.push_back(0);
+    stack.push_back(root);
+    info.label[root] = c;
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      ++info.size[c];
+      auto visit = [&](NodeId v) {
+        if (info.label[v] == UINT32_MAX) {
+          info.label[v] = c;
+          stack.push_back(v);
+        }
+      };
+      for (NodeId v : g.neighbors(u)) visit(v);
+      if (g.directed()) {
+        for (NodeId v : g.in_neighbors(u)) visit(v);
+      }
+    }
+  }
+  if (info.num_components > 0) {
+    info.largest = static_cast<std::uint32_t>(
+        std::max_element(info.size.begin(), info.size.end()) -
+        info.size.begin());
+  }
+  return info;
+}
+
+LargestComponent largest_component(const Graph& g) {
+  const ComponentInfo info = connected_components(g);
+  const NodeId n = g.num_nodes();
+
+  LargestComponent out;
+  out.old_to_new.assign(n, kInvalidNode);
+  out.new_to_old.reserve(info.num_components
+                             ? info.size[info.largest]
+                             : 0);
+  for (NodeId u = 0; u < n; ++u) {
+    if (info.num_components && info.label[u] == info.largest) {
+      out.old_to_new[u] = static_cast<NodeId>(out.new_to_old.size());
+      out.new_to_old.push_back(u);
+    }
+  }
+
+  GraphBuilder builder(static_cast<NodeId>(out.new_to_old.size()),
+                       g.directed());
+  for (NodeId nu = 0; nu < out.new_to_old.size(); ++nu) {
+    const NodeId u = out.new_to_old[nu];
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId nv = out.old_to_new[nbrs[i]];
+      if (nv == kInvalidNode) continue;
+      if (!g.directed() && nv < nu) continue;  // add each edge once
+      builder.add_edge(nu, nv, g.weighted() ? g.weights(u)[i] : Weight{1});
+    }
+  }
+  out.graph = builder.build(g.weighted());
+  return out;
+}
+
+}  // namespace vicinity::graph

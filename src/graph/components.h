@@ -1,0 +1,40 @@
+// Connected components. The paper assumes a connected undirected network
+// (Table 1); dataset profiles therefore extract the largest component before
+// building the oracle, and the oracle itself defends against queries across
+// components.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace vicinity::graph {
+
+struct ComponentInfo {
+  /// Component label per node, in [0, num_components).
+  std::vector<std::uint32_t> label;
+  /// Node count per component label.
+  std::vector<std::uint64_t> size;
+  std::uint32_t num_components = 0;
+  /// Label of a largest component.
+  std::uint32_t largest = 0;
+};
+
+/// Computes weakly connected components (directed edges treated as
+/// undirected).
+ComponentInfo connected_components(const Graph& g);
+
+struct LargestComponent {
+  Graph graph;
+  /// old node id -> new id, or kInvalidNode when dropped.
+  std::vector<NodeId> old_to_new;
+  /// new node id -> old id.
+  std::vector<NodeId> new_to_old;
+};
+
+/// Induced subgraph on a largest connected component, with compact ids.
+/// Preserves directedness and weights.
+LargestComponent largest_component(const Graph& g);
+
+}  // namespace vicinity::graph

@@ -1,0 +1,89 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace vicinity::graph {
+
+Graph::Graph(std::vector<std::uint64_t> offsets, std::vector<NodeId> targets,
+             std::vector<Weight> weights, bool directed)
+    : directed_(directed),
+      offsets_(std::move(offsets)),
+      targets_(std::move(targets)),
+      weights_(std::move(weights)) {
+  if (offsets_.empty()) throw std::invalid_argument("Graph: empty offsets");
+  n_ = static_cast<NodeId>(offsets_.size() - 1);
+  validate();
+  max_weight_ = 1;
+  for (Weight w : weights_) max_weight_ = std::max(max_weight_, w);
+  if (directed_) build_reverse();
+}
+
+void Graph::validate() const {
+  if (offsets_.front() != 0 || offsets_.back() != targets_.size()) {
+    throw std::invalid_argument("Graph: offsets do not frame targets");
+  }
+  for (std::size_t i = 0; i + 1 < offsets_.size(); ++i) {
+    if (offsets_[i] > offsets_[i + 1]) {
+      throw std::invalid_argument("Graph: offsets not monotone");
+    }
+  }
+  for (NodeId t : targets_) {
+    if (t >= n_) throw std::invalid_argument("Graph: target out of range");
+  }
+  if (!weights_.empty() && weights_.size() != targets_.size()) {
+    throw std::invalid_argument("Graph: weights/targets size mismatch");
+  }
+}
+
+void Graph::build_reverse() {
+  in_offsets_.assign(static_cast<std::size_t>(n_) + 2, 0);
+  // Counting sort of arcs by target.
+  for (NodeId t : targets_) ++in_offsets_[static_cast<std::size_t>(t) + 2];
+  for (std::size_t i = 2; i < in_offsets_.size(); ++i) {
+    in_offsets_[i] += in_offsets_[i - 1];
+  }
+  in_targets_.resize(targets_.size());
+  if (!weights_.empty()) in_weights_.resize(weights_.size());
+  for (NodeId u = 0; u < n_; ++u) {
+    for (std::uint64_t a = offsets_[u]; a < offsets_[u + 1]; ++a) {
+      const NodeId v = targets_[a];
+      const std::uint64_t slot = in_offsets_[static_cast<std::size_t>(v) + 1]++;
+      in_targets_[slot] = u;
+      if (!weights_.empty()) in_weights_[slot] = weights_[a];
+    }
+  }
+  in_offsets_.pop_back();
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  const auto nbrs = neighbors(u);
+  return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+}
+
+Weight Graph::edge_weight(NodeId u, NodeId v) const {
+  const auto nbrs = neighbors(u);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (nbrs[i] == v) return weighted() ? weights(u)[i] : Weight{1};
+  }
+  return kInfDistance;
+}
+
+std::uint64_t Graph::memory_bytes() const {
+  return offsets_.size() * sizeof(std::uint64_t) +
+         targets_.size() * sizeof(NodeId) + weights_.size() * sizeof(Weight) +
+         in_offsets_.size() * sizeof(std::uint64_t) +
+         in_targets_.size() * sizeof(NodeId) +
+         in_weights_.size() * sizeof(Weight);
+}
+
+std::string Graph::summary() const {
+  std::ostringstream os;
+  os << "Graph(n=" << n_ << ", m=" << num_edges() << ", "
+     << (directed_ ? "directed" : "undirected")
+     << (weighted() ? ", weighted" : "") << ")";
+  return os.str();
+}
+
+}  // namespace vicinity::graph

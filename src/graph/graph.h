@@ -1,0 +1,112 @@
+// Immutable compressed-sparse-row graph.
+//
+// This is the substrate every algorithm in the repository runs on. Design
+// points (cf. Per.19 "access memory predictably"):
+//   * adjacency is two flat arrays (offsets, targets) — a neighbor scan is a
+//     linear walk over one cache-resident span;
+//   * undirected graphs store each edge as two arcs; directed graphs
+//     additionally carry the reverse adjacency so backward searches
+//     (bidirectional BFS, in-vicinities) are symmetric in cost;
+//   * weights, when present, are a parallel array aligned with targets.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace vicinity::graph {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Constructs from pre-built CSR arrays. offsets.size() == n + 1;
+  /// weights must be empty or targets.size(). For directed graphs the
+  /// reverse adjacency is derived internally. Use GraphBuilder for edge
+  /// lists; this constructor validates but does not sort or deduplicate.
+  Graph(std::vector<std::uint64_t> offsets, std::vector<NodeId> targets,
+        std::vector<Weight> weights, bool directed);
+
+  NodeId num_nodes() const { return n_; }
+  /// Number of stored arcs (2x edge count for undirected graphs).
+  std::uint64_t num_arcs() const { return targets_.size(); }
+  /// Number of edges: arcs for directed graphs, arcs/2 for undirected.
+  std::uint64_t num_edges() const {
+    return directed_ ? num_arcs() : num_arcs() / 2;
+  }
+
+  bool directed() const { return directed_; }
+  bool weighted() const { return !weights_.empty(); }
+
+  /// Out-degree (== degree for undirected graphs).
+  std::uint64_t degree(NodeId u) const {
+    return offsets_[u + 1] - offsets_[u];
+  }
+  std::uint64_t in_degree(NodeId u) const {
+    return directed_ ? in_offsets_[u + 1] - in_offsets_[u] : degree(u);
+  }
+
+  /// Out-neighbors of u as a contiguous span.
+  std::span<const NodeId> neighbors(NodeId u) const {
+    return {targets_.data() + offsets_[u],
+            targets_.data() + offsets_[u + 1]};
+  }
+
+  /// In-neighbors of u (== neighbors(u) for undirected graphs).
+  std::span<const NodeId> in_neighbors(NodeId u) const {
+    if (!directed_) return neighbors(u);
+    return {in_targets_.data() + in_offsets_[u],
+            in_targets_.data() + in_offsets_[u + 1]};
+  }
+
+  /// Weights aligned with neighbors(u); valid only when weighted().
+  std::span<const Weight> weights(NodeId u) const {
+    return {weights_.data() + offsets_[u], weights_.data() + offsets_[u + 1]};
+  }
+
+  std::span<const Weight> in_weights(NodeId u) const {
+    if (!directed_) return weights(u);
+    return {in_weights_.data() + in_offsets_[u],
+            in_weights_.data() + in_offsets_[u + 1]};
+  }
+
+  /// Maximum edge weight (1 for unweighted). O(1); computed at build.
+  Weight max_weight() const { return max_weight_; }
+
+  /// True if v appears among u's out-neighbors. O(degree(u)).
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Weight of arc u->v, or kInfDistance when absent. O(degree(u)).
+  Weight edge_weight(NodeId u, NodeId v) const;
+
+  /// Approximate heap footprint of the CSR arrays in bytes.
+  std::uint64_t memory_bytes() const;
+
+  /// One-line summary, e.g. "Graph(n=35500, m=125624, undirected)".
+  std::string summary() const;
+
+  // Raw array access for serialization and transforms.
+  const std::vector<std::uint64_t>& raw_offsets() const { return offsets_; }
+  const std::vector<NodeId>& raw_targets() const { return targets_; }
+  const std::vector<Weight>& raw_weights() const { return weights_; }
+
+ private:
+  void build_reverse();
+  void validate() const;
+
+  NodeId n_ = 0;
+  bool directed_ = false;
+  Weight max_weight_ = 1;
+  std::vector<std::uint64_t> offsets_{0};
+  std::vector<NodeId> targets_;
+  std::vector<Weight> weights_;
+  // Reverse adjacency; populated only for directed graphs.
+  std::vector<std::uint64_t> in_offsets_;
+  std::vector<NodeId> in_targets_;
+  std::vector<Weight> in_weights_;
+};
+
+}  // namespace vicinity::graph

@@ -1,0 +1,114 @@
+#include "graph/gstats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/flat_hash.h"
+#include "util/stats.h"
+
+namespace vicinity::graph {
+
+double local_clustering(const Graph& g, NodeId u) {
+  const auto nbrs = g.neighbors(u);
+  const std::size_t d = nbrs.size();
+  if (d < 2) return 0.0;
+  util::FlatHashSet<NodeId> nb(d);
+  for (NodeId v : nbrs) nb.insert(v);
+  std::uint64_t closed = 0;
+  for (NodeId v : nbrs) {
+    for (NodeId w : g.neighbors(v)) {
+      if (w != u && nb.contains(w)) ++closed;
+    }
+  }
+  // Each closed wedge counted twice (v->w and w->v).
+  return static_cast<double>(closed) /
+         (static_cast<double>(d) * static_cast<double>(d - 1));
+}
+
+GraphStats compute_stats(const Graph& g, util::Rng& rng,
+                         std::size_t cluster_samples) {
+  GraphStats s;
+  s.num_nodes = g.num_nodes();
+  s.num_edges = g.num_edges();
+  s.num_directed_links = g.directed() ? g.num_arcs() : g.num_arcs();
+  const NodeId n = g.num_nodes();
+  if (n == 0) return s;
+
+  std::vector<std::uint64_t> degrees(n);
+  std::uint64_t total = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    degrees[u] = g.degree(u);
+    total += degrees[u];
+  }
+  s.avg_degree = static_cast<double>(total) / static_cast<double>(n);
+  std::sort(degrees.begin(), degrees.end());
+  s.min_degree = degrees.front();
+  s.max_degree = degrees.back();
+  auto pct = [&](double q) {
+    const auto idx = static_cast<std::size_t>(q * static_cast<double>(n - 1));
+    return static_cast<double>(degrees[idx]);
+  };
+  s.degree_p50 = pct(0.50);
+  s.degree_p90 = pct(0.90);
+  s.degree_p99 = pct(0.99);
+  s.degree_p999 = pct(0.999);
+
+  // Rough tail exponent: regress log(1-CDF) on log(degree) above the median.
+  {
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    std::uint64_t k = 0;
+    for (std::size_t i = 0; i < degrees.size(); ++i) {
+      const double d = static_cast<double>(degrees[i]);
+      if (d <= s.degree_p50 || d <= 0) continue;
+      const double ccdf =
+          static_cast<double>(degrees.size() - i) / static_cast<double>(n);
+      const double x = std::log(d);
+      const double y = std::log(ccdf);
+      sx += x;
+      sy += y;
+      sxx += x * x;
+      sxy += x * y;
+      ++k;
+    }
+    if (k >= 8) {
+      const double kd = static_cast<double>(k);
+      const double denom = kd * sxx - sx * sx;
+      // CCDF slope -(gamma-1) => exponent estimate = 1 - slope.
+      if (std::abs(denom) > 1e-12) {
+        s.degree_tail_exponent = 1.0 - (kd * sxy - sx * sy) / denom;
+      }
+    }
+  }
+
+  const std::size_t samples = std::min<std::size_t>(cluster_samples, n);
+  if (samples > 0) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < samples; ++i) {
+      const auto u = static_cast<NodeId>(rng.next_below(n));
+      acc += local_clustering(g, u);
+    }
+    s.clustering = acc / static_cast<double>(samples);
+  }
+  return s;
+}
+
+std::vector<std::uint64_t> degree_histogram(const Graph& g,
+                                            std::size_t max_degree_bucket) {
+  std::vector<std::uint64_t> hist(max_degree_bucket + 1, 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const std::uint64_t d = g.degree(u);
+    ++hist[std::min<std::uint64_t>(d, max_degree_bucket)];
+  }
+  return hist;
+}
+
+std::string GraphStats::to_string() const {
+  std::ostringstream os;
+  os << "n=" << num_nodes << " m=" << num_edges << " avg_deg=" << avg_degree
+     << " max_deg=" << max_degree << " p99_deg=" << degree_p99
+     << " clustering=" << clustering << " tail_exp=" << degree_tail_exponent;
+  return os.str();
+}
+
+}  // namespace vicinity::graph

@@ -1,0 +1,47 @@
+// Descriptive graph statistics, used by the Table 2 reproduction and by the
+// generator tests that check our synthetic profiles track the paper's
+// datasets in shape (average degree, degree tail, clustering).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace vicinity::graph {
+
+struct GraphStats {
+  NodeId num_nodes = 0;
+  std::uint64_t num_edges = 0;          ///< undirected edge count / arcs if directed
+  std::uint64_t num_directed_links = 0; ///< arcs (Table 2 "directed links")
+  double avg_degree = 0.0;
+  std::uint64_t max_degree = 0;
+  std::uint64_t min_degree = 0;
+  /// Degree distribution percentiles: p50, p90, p99, p999.
+  double degree_p50 = 0.0, degree_p90 = 0.0, degree_p99 = 0.0,
+         degree_p999 = 0.0;
+  /// Mean local clustering coefficient estimated over sampled nodes.
+  double clustering = 0.0;
+  /// Log-log slope of the degree tail (rough power-law exponent estimate,
+  /// fitted above the median degree). Heavy-tailed graphs: ~2-3.
+  double degree_tail_exponent = 0.0;
+
+  std::string to_string() const;
+};
+
+/// Computes stats; clustering is estimated on min(n, cluster_samples) nodes.
+GraphStats compute_stats(const Graph& g, util::Rng& rng,
+                         std::size_t cluster_samples = 2000);
+
+/// Exact local clustering coefficient of one node (fraction of neighbor
+/// pairs that are linked).
+double local_clustering(const Graph& g, NodeId u);
+
+/// Degree histogram: index d holds the number of nodes with degree d
+/// (capped at max_degree_bucket, last bucket accumulates the tail).
+std::vector<std::uint64_t> degree_histogram(const Graph& g,
+                                            std::size_t max_degree_bucket);
+
+}  // namespace vicinity::graph

@@ -1,0 +1,178 @@
+#include "graph/io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/builder.h"
+
+namespace vicinity::graph {
+
+namespace {
+
+constexpr char kMagic[8] = {'V', 'C', 'N', 'G', 'R', 'P', 'H', '1'};
+constexpr std::uint32_t kVersion = 1;
+
+std::uint64_t fnv1a(const void* data, std::size_t len,
+                    std::uint64_t seed = 0xCBF29CE484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("graph binary: truncated input");
+  return v;
+}
+
+template <typename T>
+void write_vec(std::ostream& out, const std::vector<T>& v) {
+  write_pod<std::uint64_t>(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& in) {
+  const auto size = read_pod<std::uint64_t>(in);
+  std::vector<T> v(size);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(size * sizeof(T)));
+  if (!in) throw std::runtime_error("graph binary: truncated array");
+  return v;
+}
+
+}  // namespace
+
+Graph load_edge_list(std::istream& in, bool directed, bool weighted) {
+  GraphBuilder builder(0, directed);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t u = 0, v = 0;
+    if (!(ls >> u >> v)) {
+      throw std::runtime_error("edge list: malformed line " +
+                               std::to_string(lineno));
+    }
+    if (u >= kInvalidNode || v >= kInvalidNode) {
+      throw std::runtime_error("edge list: node id out of range at line " +
+                               std::to_string(lineno));
+    }
+    Weight w = 1;
+    if (weighted) {
+      std::uint64_t wv = 1;
+      if (ls >> wv) w = static_cast<Weight>(wv);
+    }
+    builder.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v), w);
+  }
+  return builder.build(weighted);
+}
+
+Graph load_edge_list_file(const std::string& path, bool directed,
+                          bool weighted) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return load_edge_list(f, directed, weighted);
+}
+
+void save_edge_list(const Graph& g, std::ostream& out) {
+  out << "# vicinity edge list: n=" << g.num_nodes() << " m=" << g.num_edges()
+      << (g.directed() ? " directed" : " undirected") << "\n";
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      if (!g.directed() && v < u) continue;  // emit each edge once
+      out << u << "\t" << v;
+      if (g.weighted()) out << "\t" << g.weights(u)[i];
+      out << "\n";
+    }
+  }
+}
+
+void save_edge_list_file(const Graph& g, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  save_edge_list(g, f);
+  if (!f) throw std::runtime_error("write failed for " + path);
+}
+
+void save_binary(const Graph& g, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod<std::uint8_t>(out, g.directed() ? 1 : 0);
+  write_pod<std::uint8_t>(out, g.weighted() ? 1 : 0);
+  write_pod<std::uint16_t>(out, 0);  // reserved
+  write_vec(out, g.raw_offsets());
+  write_vec(out, g.raw_targets());
+  write_vec(out, g.raw_weights());
+  std::uint64_t checksum = fnv1a(g.raw_offsets().data(),
+                                 g.raw_offsets().size() * sizeof(std::uint64_t));
+  checksum = fnv1a(g.raw_targets().data(),
+                   g.raw_targets().size() * sizeof(NodeId), checksum);
+  checksum = fnv1a(g.raw_weights().data(),
+                   g.raw_weights().size() * sizeof(Weight), checksum);
+  write_pod(out, checksum);
+  if (!out) throw std::runtime_error("graph binary: write failed");
+}
+
+void save_binary_file(const Graph& g, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  save_binary(g, f);
+}
+
+Graph load_binary(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("graph binary: bad magic");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("graph binary: unsupported version " +
+                             std::to_string(version));
+  }
+  const bool directed = read_pod<std::uint8_t>(in) != 0;
+  read_pod<std::uint8_t>(in);   // weighted flag implied by array below
+  read_pod<std::uint16_t>(in);  // reserved
+  auto offsets = read_vec<std::uint64_t>(in);
+  auto targets = read_vec<NodeId>(in);
+  auto weights = read_vec<Weight>(in);
+  const auto stored = read_pod<std::uint64_t>(in);
+  std::uint64_t checksum =
+      fnv1a(offsets.data(), offsets.size() * sizeof(std::uint64_t));
+  checksum = fnv1a(targets.data(), targets.size() * sizeof(NodeId), checksum);
+  checksum = fnv1a(weights.data(), weights.size() * sizeof(Weight), checksum);
+  if (stored != checksum) {
+    throw std::runtime_error("graph binary: checksum mismatch");
+  }
+  return Graph(std::move(offsets), std::move(targets), std::move(weights),
+               directed);
+}
+
+Graph load_binary_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return load_binary(f);
+}
+
+}  // namespace vicinity::graph

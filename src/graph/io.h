@@ -1,0 +1,39 @@
+// Graph persistence.
+//
+// Two formats:
+//  * SNAP-style text edge lists ("u<TAB>v" per line, '#' comments) — the
+//    format of the datasets the paper evaluates on, so real DBLP / Flickr /
+//    Orkut / LiveJournal downloads drop straight in;
+//  * a little-endian binary container with magic, version and checksum for
+//    fast reload of generated graphs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace vicinity::graph {
+
+/// Parses a SNAP-style edge list. Lines are "u v" or "u v w" separated by
+/// whitespace; lines starting with '#' or '%' are comments. Node ids are
+/// arbitrary non-negative integers and are used verbatim (the graph gets
+/// 1 + max id nodes). Throws std::runtime_error on malformed input.
+Graph load_edge_list(std::istream& in, bool directed = false,
+                     bool weighted = false);
+Graph load_edge_list_file(const std::string& path, bool directed = false,
+                          bool weighted = false);
+
+/// Writes "u v[ w]" lines (arcs for directed graphs; each undirected edge
+/// once, with u < v).
+void save_edge_list(const Graph& g, std::ostream& out);
+void save_edge_list_file(const Graph& g, const std::string& path);
+
+/// Binary round-trip. The format stores the forward CSR plus flags and an
+/// FNV-1a checksum; directed graphs rebuild the reverse adjacency on load.
+void save_binary(const Graph& g, std::ostream& out);
+void save_binary_file(const Graph& g, const std::string& path);
+Graph load_binary(std::istream& in);
+Graph load_binary_file(const std::string& path);
+
+}  // namespace vicinity::graph

@@ -1,0 +1,115 @@
+#include "graph/transform.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/builder.h"
+
+namespace vicinity::graph {
+
+Graph relabel(const Graph& g, const std::vector<NodeId>& perm) {
+  const NodeId n = g.num_nodes();
+  if (perm.size() != n) throw std::invalid_argument("relabel: size mismatch");
+  GraphBuilder builder(n, g.directed());
+  for (NodeId u = 0; u < n; ++u) {
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      if (!g.directed() && v < u) continue;
+      builder.add_edge(perm[u], perm[v],
+                       g.weighted() ? g.weights(u)[i] : Weight{1});
+    }
+  }
+  return builder.build(g.weighted());
+}
+
+std::vector<NodeId> bfs_order(const Graph& g, NodeId root) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> perm(n, kInvalidNode);
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  NodeId next = 0;
+  if (n == 0) return perm;
+  queue.push_back(root);
+  perm[root] = next++;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    for (NodeId v : g.neighbors(u)) {
+      if (perm[v] == kInvalidNode) {
+        perm[v] = next++;
+        queue.push_back(v);
+      }
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    if (perm[u] == kInvalidNode) perm[u] = next++;
+  }
+  return perm;
+}
+
+std::vector<NodeId> degree_order(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), NodeId{0});
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](NodeId a, NodeId b) { return g.degree(a) > g.degree(b); });
+  std::vector<NodeId> perm(n);
+  for (NodeId rank = 0; rank < n; ++rank) perm[by_degree[rank]] = rank;
+  return perm;
+}
+
+Graph induced_subgraph(const Graph& g, const std::vector<NodeId>& nodes) {
+  std::vector<NodeId> old_to_new(g.num_nodes(), kInvalidNode);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] >= g.num_nodes()) {
+      throw std::invalid_argument("induced_subgraph: node out of range");
+    }
+    old_to_new[nodes[i]] = static_cast<NodeId>(i);
+  }
+  GraphBuilder builder(static_cast<NodeId>(nodes.size()), g.directed());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const NodeId u = nodes[i];
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      const NodeId nv = old_to_new[nbrs[k]];
+      if (nv == kInvalidNode) continue;
+      if (!g.directed() && nv < i) continue;
+      builder.add_edge(static_cast<NodeId>(i), nv,
+                       g.weighted() ? g.weights(u)[k] : Weight{1});
+    }
+  }
+  return builder.build(g.weighted());
+}
+
+Graph to_undirected(const Graph& g) {
+  if (!g.directed()) return g;
+  GraphBuilder builder(g.num_nodes(), /*directed=*/false);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      builder.add_edge(u, nbrs[i], g.weighted() ? g.weights(u)[i] : Weight{1});
+    }
+  }
+  return builder.build(g.weighted());
+}
+
+Graph with_random_weights(const Graph& g, util::Rng& rng, Weight min_w,
+                          Weight max_w) {
+  if (min_w > max_w || min_w == 0) {
+    throw std::invalid_argument("with_random_weights: need 0 < min_w <= max_w");
+  }
+  GraphBuilder builder(g.num_nodes(), g.directed());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (!g.directed() && v < u) continue;
+      const auto w = static_cast<Weight>(
+          rng.next_in(static_cast<std::int64_t>(min_w),
+                      static_cast<std::int64_t>(max_w)));
+      builder.add_edge(u, v, w);
+    }
+  }
+  return builder.build(/*weighted=*/true);
+}
+
+}  // namespace vicinity::graph

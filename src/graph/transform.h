@@ -1,0 +1,37 @@
+// Structure-preserving graph transforms: relabeling, induced subgraphs,
+// symmetrization, weight assignment. Used to canonicalize inputs and to
+// derive weighted / directed variants of the synthetic datasets.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace vicinity::graph {
+
+/// Relabels nodes: new id of u is perm[u]. perm must be a permutation of
+/// [0, n). Preserves directedness and weights.
+Graph relabel(const Graph& g, const std::vector<NodeId>& perm);
+
+/// Permutation ordering nodes by BFS discovery from `root` (unreached nodes
+/// keep relative order at the end). Improves locality of adjacency scans.
+std::vector<NodeId> bfs_order(const Graph& g, NodeId root = 0);
+
+/// Permutation ordering nodes by non-increasing degree.
+std::vector<NodeId> degree_order(const Graph& g);
+
+/// Induced subgraph on `nodes` (compact relabeling in the given order).
+Graph induced_subgraph(const Graph& g, const std::vector<NodeId>& nodes);
+
+/// Returns the undirected version of a directed graph (edge {u,v} present
+/// when either arc exists); identity for undirected inputs.
+Graph to_undirected(const Graph& g);
+
+/// Copies g, assigning each edge an independent uniform weight in
+/// [min_w, max_w]. For undirected graphs both arcs of an edge receive the
+/// same weight.
+Graph with_random_weights(const Graph& g, util::Rng& rng, Weight min_w,
+                          Weight max_w);
+
+}  // namespace vicinity::graph

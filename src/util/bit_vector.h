@@ -1,0 +1,71 @@
+// Compact bit vector with word-level operations.
+//
+// Used by the intersection-census harness (Figure 2 left): pairwise vicinity
+// co-occurrence is computed by OR-ing 64-bit incidence words, which turns a
+// quadratic probe loop into a handful of word operations per vicinity entry.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vicinity::util {
+
+class BitVector {
+ public:
+  explicit BitVector(std::size_t n = 0, bool value = false) { resize(n, value); }
+
+  void resize(std::size_t n, bool value = false) {
+    n_ = n;
+    words_.assign((n + 63) / 64, value ? ~std::uint64_t{0} : 0);
+    trim();
+  }
+
+  std::size_t size() const { return n_; }
+
+  bool get(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void set(std::size_t i) { words_[i >> 6] |= std::uint64_t{1} << (i & 63); }
+  void clear(std::size_t i) { words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63)); }
+
+  void clear_all() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// this |= other. Sizes must match.
+  void or_with(const BitVector& other) {
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  }
+
+  /// Number of set bits.
+  std::size_t popcount() const {
+    std::size_t c = 0;
+    for (std::uint64_t w : words_) c += static_cast<std::size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  /// Popcount of (this & other).
+  std::size_t and_popcount(const BitVector& other) const {
+    std::size_t c = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      c += static_cast<std::size_t>(__builtin_popcountll(words_[w] & other.words_[w]));
+    }
+    return c;
+  }
+
+  const std::vector<std::uint64_t>& words() const { return words_; }
+  std::vector<std::uint64_t>& words() { return words_; }
+
+  std::size_t memory_bytes() const { return words_.size() * 8; }
+
+ private:
+  void trim() {
+    if (n_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (std::uint64_t{1} << (n_ % 64)) - 1;
+    }
+  }
+
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace vicinity::util

@@ -1,0 +1,73 @@
+// Monotone bucket (Dial) priority queue for Dijkstra on small integer
+// weights. pop_min() is amortized O(1 + C) where C is the maximum edge
+// weight; social-network experiments use weights in [1, 16], making this
+// considerably faster than a binary heap.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace vicinity::util {
+
+class BucketQueue {
+ public:
+  /// max_edge_weight bounds the key increase of any relaxation; the queue
+  /// keeps max_edge_weight + 1 open buckets (keys are monotone in Dijkstra).
+  explicit BucketQueue(Weight max_edge_weight = 1)
+      : buckets_(static_cast<std::size_t>(max_edge_weight) + 1) {}
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  void clear() {
+    for (auto& b : buckets_) b.clear();
+    size_ = 0;
+    current_ = 0;
+  }
+
+  /// key must be >= the key of the last popped element (monotonicity) and
+  /// within current_min + max_edge_weight. current_ is never advanced here:
+  /// when the queue drains mid-run, a later push in the same relaxation
+  /// round may carry a smaller key than the first one, so pop_min() must
+  /// keep scanning forward from the last popped key instead.
+  void push(Distance key, NodeId node) {
+    assert(key >= current_);
+    buckets_[key % buckets_.size()].push_back(Entry{key, node});
+    ++size_;
+  }
+
+  /// Pops an element with the minimum key. Stale entries (nodes already
+  /// settled with a smaller distance) must be filtered by the caller.
+  std::pair<Distance, NodeId> pop_min() {
+    assert(size_ > 0);
+    while (true) {
+      auto& b = buckets_[current_ % buckets_.size()];
+      // Entries with key != current_ belong to a later wrap of this bucket;
+      // skip over them by scanning for a match.
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        if (b[i].key == current_) {
+          const Entry e = b[i];
+          b[i] = b.back();
+          b.pop_back();
+          --size_;
+          return {e.key, e.node};
+        }
+      }
+      ++current_;
+    }
+  }
+
+ private:
+  struct Entry {
+    Distance key;
+    NodeId node;
+  };
+  std::vector<std::vector<Entry>> buckets_;
+  std::size_t size_ = 0;
+  Distance current_ = 0;
+};
+
+}  // namespace vicinity::util

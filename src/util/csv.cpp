@@ -1,0 +1,112 @@
+#include "util/csv.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <stdexcept>
+
+namespace vicinity::util {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("CsvWriter: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    os << (i ? "," : "") << escape(header_[i]);
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << (i ? "," : "") << escape(row[i]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("CsvWriter: cannot open " + path);
+  f << to_string();
+  if (!f) throw std::runtime_error("CsvWriter: write failed for " + path);
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("TextTable: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << (i ? " | " : "") << std::left << std::setw(static_cast<int>(width[i]))
+         << row[i];
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    os << (i ? "-+-" : "") << std::string(width[i], '-');
+  }
+  os << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string fmt_fixed(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
+
+std::string fmt_si(double v) {
+  const char* suffix = "";
+  double x = v;
+  if (x >= 1e9) {
+    x /= 1e9;
+    suffix = "G";
+  } else if (x >= 1e6) {
+    x /= 1e6;
+    suffix = "M";
+  } else if (x >= 1e3) {
+    x /= 1e3;
+    suffix = "k";
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(x == static_cast<std::int64_t>(x) && !*suffix ? 0 : 2)
+     << x << suffix;
+  return os.str();
+}
+
+}  // namespace vicinity::util

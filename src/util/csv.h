@@ -1,0 +1,85 @@
+// CSV emission and fixed-width console tables for the benchmark harness.
+// Every bench binary prints a human-readable table (mirroring the paper's
+// tables/figures) and optionally writes the raw series as CSV.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace vicinity::util {
+
+/// Accumulates rows of string cells and writes RFC-4180-style CSV.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Adds a row; cell count must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  template <typename... Ts>
+  void add(const Ts&... vals) {
+    std::vector<std::string> cells;
+    (cells.push_back(to_cell(vals)), ...);
+    add_row(std::move(cells));
+  }
+
+  std::size_t rows() const { return rows_.size(); }
+
+  std::string to_string() const;
+  /// Writes to path; throws std::runtime_error on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+
+  static std::string escape(const std::string& cell);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Console table with auto-sized columns, e.g.
+///   name      | n      | m
+///   ----------+--------+------
+///   dblp-like | 35500  | 125k
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  template <typename... Ts>
+  void add(const Ts&... vals) {
+    std::vector<std::string> cells;
+    (cells.push_back(to_cell(vals)), ...);
+    add_row(std::move(cells));
+  }
+
+  std::string to_string() const;
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats v with `digits` significant decimal places (fixed notation).
+std::string fmt_fixed(double v, int digits);
+
+/// Human-friendly large-number formatting: 1234567 -> "1.23M".
+std::string fmt_si(double v);
+
+}  // namespace vicinity::util

@@ -1,0 +1,250 @@
+// Open-addressing hash map/set with linear probing.
+//
+// This is the "more customized implementation of the data structures" the
+// paper lists as an open challenge (§5): vicinity entries keyed by NodeId in
+// a single flat array, power-of-two capacity, multiplicative mixing. Probes
+// touch consecutive cache lines, unlike the node-based buckets of
+// std::unordered_map. An empty-key sentinel marks free slots, so the table
+// stores no per-slot metadata at all.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace vicinity::util {
+
+/// Default hash: splitmix64 finalizer over the integral key.
+template <typename K>
+struct MixHash {
+  static_assert(std::is_integral_v<K>, "MixHash requires an integral key");
+  std::uint64_t operator()(K key) const {
+    return mix64(static_cast<std::uint64_t>(key));
+  }
+};
+
+/// Flat hash map from an integral key to V. One key value (default: the
+/// maximum representable key) is reserved as the empty sentinel and must
+/// never be inserted. Erase is not supported; the intended workload —
+/// vicinity storage — is build-once, probe-many.
+template <typename K, typename V, typename Hash = MixHash<K>>
+class FlatHashMap {
+  static_assert(std::is_integral_v<K>, "FlatHashMap requires an integral key");
+
+ public:
+  struct Slot {
+    K key;
+    V value;
+  };
+
+  explicit FlatHashMap(std::size_t expected_size = 0,
+                       K empty_key = std::numeric_limits<K>::max())
+      : empty_key_(empty_key) {
+    rehash_to(capacity_for(expected_size));
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return slots_.size(); }
+  K empty_key() const { return empty_key_; }
+
+  void reserve(std::size_t n) {
+    const std::size_t want = capacity_for(n);
+    if (want > slots_.size()) rehash_to(want);
+  }
+
+  void clear() {
+    for (auto& s : slots_) s.key = empty_key_;
+    size_ = 0;
+  }
+
+  /// Inserts (key, value) or overwrites the existing mapping.
+  void insert_or_assign(K key, const V& value) {
+    V* v = find_or_insert(key);
+    *v = value;
+  }
+
+  /// Returns the value slot for `key`, inserting a default-constructed V
+  /// if absent.
+  V& operator[](K key) { return *find_or_insert(key); }
+
+  /// Returns nullptr when absent. Never invalidated by lookups.
+  const V* find(K key) const {
+    assert(key != empty_key_);
+    std::size_t i = index_of(key);
+    while (true) {
+      const Slot& s = slots_[i];
+      if (s.key == key) return &s.value;
+      if (s.key == empty_key_) return nullptr;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  V* find(K key) {
+    return const_cast<V*>(static_cast<const FlatHashMap*>(this)->find(key));
+  }
+
+  bool contains(K key) const { return find(key) != nullptr; }
+
+  /// Calls fn(key, value) for every stored entry, in unspecified order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.key != empty_key_) fn(s.key, s.value);
+    }
+  }
+
+  /// Approximate heap footprint in bytes (slot array only).
+  std::size_t memory_bytes() const { return slots_.size() * sizeof(Slot); }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 8;
+  // Max load factor 7/8: cheap to test with shifts, keeps probe chains short.
+  static std::size_t capacity_for(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    while (cap - cap / 8 < n + 1) cap <<= 1;
+    return cap;
+  }
+
+  std::size_t index_of(K key) const {
+    return static_cast<std::size_t>(hash_(key)) & mask_;
+  }
+
+  V* find_or_insert(K key) {
+    if (key == empty_key_) {
+      throw std::invalid_argument("FlatHashMap: inserting the empty sentinel");
+    }
+    if ((size_ + 1) * 8 > slots_.size() * 7) rehash_to(slots_.size() * 2);
+    std::size_t i = index_of(key);
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.key == key) return &s.value;
+      if (s.key == empty_key_) {
+        s.key = key;
+        s.value = V{};
+        ++size_;
+        return &s.value;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  void rehash_to(std::size_t new_capacity) {
+    assert((new_capacity & (new_capacity - 1)) == 0);
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{empty_key_, V{}});
+    mask_ = new_capacity - 1;
+    size_ = 0;
+    for (const Slot& s : old) {
+      if (s.key != empty_key_) insert_or_assign(s.key, s.value);
+    }
+  }
+
+  K empty_key_;
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  [[no_unique_address]] Hash hash_{};
+};
+
+/// Flat hash set over an integral key; same design as FlatHashMap.
+template <typename K, typename Hash = MixHash<K>>
+class FlatHashSet {
+  static_assert(std::is_integral_v<K>, "FlatHashSet requires an integral key");
+
+ public:
+  explicit FlatHashSet(std::size_t expected_size = 0,
+                       K empty_key = std::numeric_limits<K>::max())
+      : empty_key_(empty_key) {
+    rehash_to(capacity_for(expected_size));
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  void reserve(std::size_t n) {
+    const std::size_t want = capacity_for(n);
+    if (want > slots_.size()) rehash_to(want);
+  }
+
+  void clear() {
+    for (auto& s : slots_) s = empty_key_;
+    size_ = 0;
+  }
+
+  /// Returns true if the key was newly inserted.
+  bool insert(K key) {
+    if (key == empty_key_) {
+      throw std::invalid_argument("FlatHashSet: inserting the empty sentinel");
+    }
+    if ((size_ + 1) * 8 > slots_.size() * 7) rehash_to(slots_.size() * 2);
+    std::size_t i = index_of(key);
+    while (true) {
+      if (slots_[i] == key) return false;
+      if (slots_[i] == empty_key_) {
+        slots_[i] = key;
+        ++size_;
+        return true;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  bool contains(K key) const {
+    assert(key != empty_key_);
+    std::size_t i = index_of(key);
+    while (true) {
+      if (slots_[i] == key) return true;
+      if (slots_[i] == empty_key_) return false;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (K s : slots_) {
+      if (s != empty_key_) fn(s);
+    }
+  }
+
+  std::size_t memory_bytes() const { return slots_.size() * sizeof(K); }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 8;
+  static std::size_t capacity_for(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    while (cap - cap / 8 < n + 1) cap <<= 1;
+    return cap;
+  }
+
+  std::size_t index_of(K key) const {
+    return static_cast<std::size_t>(hash_(key)) & mask_;
+  }
+
+  void rehash_to(std::size_t new_capacity) {
+    std::vector<K> old = std::move(slots_);
+    slots_.assign(new_capacity, empty_key_);
+    mask_ = new_capacity - 1;
+    size_ = 0;
+    for (K s : old) {
+      if (s != empty_key_) insert(s);
+    }
+  }
+
+  K empty_key_;
+  std::vector<K> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  [[no_unique_address]] Hash hash_{};
+};
+
+}  // namespace vicinity::util

@@ -1,0 +1,46 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+
+namespace vicinity::util {
+
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("VICINITY_LOG");
+  if (!env) return LogLevel::kInfo;
+  if (std::strcmp(env, "quiet") == 0 || std::strcmp(env, "0") == 0) {
+    return LogLevel::kQuiet;
+  }
+  if (std::strcmp(env, "debug") == 0 || std::strcmp(env, "2") == 0) {
+    return LogLevel::kDebug;
+  }
+  return LogLevel::kInfo;
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level{static_cast<int>(level_from_env())};
+  return level;
+}
+
+std::mutex& log_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(level_storage().load()); }
+void set_log_level(LogLevel level) { level_storage().store(static_cast<int>(level)); }
+
+void log_line(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(log_mutex());
+  std::cerr << (level == LogLevel::kDebug ? "[debug] " : "[info] ") << msg
+            << "\n";
+}
+
+}  // namespace vicinity::util

@@ -1,0 +1,33 @@
+// Lightweight leveled logging to stderr. Verbosity is controlled by the
+// VICINITY_LOG environment variable ("quiet", "info", "debug"; default info).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace vicinity::util {
+
+enum class LogLevel { kQuiet = 0, kInfo = 1, kDebug = 2 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_line(LogLevel level, const std::string& msg);
+
+template <typename... Ts>
+void log_info(const Ts&... parts) {
+  if (log_level() < LogLevel::kInfo) return;
+  std::ostringstream os;
+  (os << ... << parts);
+  log_line(LogLevel::kInfo, os.str());
+}
+
+template <typename... Ts>
+void log_debug(const Ts&... parts) {
+  if (log_level() < LogLevel::kDebug) return;
+  std::ostringstream os;
+  (os << ... << parts);
+  log_line(LogLevel::kDebug, os.str());
+}
+
+}  // namespace vicinity::util

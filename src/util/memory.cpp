@@ -1,0 +1,36 @@
+#include "util/memory.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace vicinity::util {
+
+std::string fmt_bytes(std::uint64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  std::ostringstream os;
+  os.precision(u == 0 ? 0 : 1);
+  os << std::fixed << v << " " << units[u];
+  return os.str();
+}
+
+std::uint64_t current_rss_bytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (!f) return 0;
+  unsigned long size = 0, resident = 0;
+  const int got = std::fscanf(f, "%lu %lu", &size, &resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return static_cast<std::uint64_t>(resident) *
+         static_cast<std::uint64_t>(page > 0 ? page : 4096);
+}
+
+}  // namespace vicinity::util

@@ -1,0 +1,17 @@
+// Memory accounting helpers: index-size bookkeeping for the §3.2 memory
+// comparison and process RSS probing for sanity checks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vicinity::util {
+
+/// Formats a byte count as "12.3 MiB" etc.
+std::string fmt_bytes(std::uint64_t bytes);
+
+/// Current process resident set size in bytes (Linux /proc/self/statm);
+/// returns 0 when unavailable.
+std::uint64_t current_rss_bytes();
+
+}  // namespace vicinity::util

@@ -1,0 +1,112 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace vicinity::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // xoshiro state must not be all-zero; splitmix64 seeding guarantees that
+  // with overwhelming probability, and we re-seed defensively otherwise.
+  std::uint64_t s = seed;
+  do {
+    for (auto& word : s_) word = splitmix64(s);
+  } while (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's method: multiply-shift with rejection in the biased region.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_double() {
+  // 53 top bits -> [0,1) with full double precision.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+Rng Rng::fork() { return Rng((*this)()); }
+
+std::vector<std::uint64_t> Rng::sample_without_replacement(std::uint64_t n,
+                                                           std::uint64_t k) {
+  if (k > n) throw std::invalid_argument("sample_without_replacement: k > n");
+  std::vector<std::uint64_t> out;
+  out.reserve(k);
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher–Yates over an explicit index vector.
+    std::vector<std::uint64_t> idx(n);
+    for (std::uint64_t i = 0; i < n; ++i) idx[i] = i;
+    for (std::uint64_t i = 0; i < k; ++i) {
+      const std::uint64_t j = i + next_below(n - i);
+      std::swap(idx[i], idx[j]);
+      out.push_back(idx[i]);
+    }
+  } else {
+    // Sparse case: rejection sampling.
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(static_cast<std::size_t>(k) * 2);
+    while (out.size() < k) {
+      const std::uint64_t v = next_below(n);
+      if (seen.insert(v).second) out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace vicinity::util

@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation.
+//
+// Every experiment in the repository is reproducible from a single 64-bit
+// seed. We implement xoshiro256** (public domain, Blackman & Vigna) seeded
+// via splitmix64, rather than relying on std::mt19937 whose stream differs
+// across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vicinity::util {
+
+/// splitmix64 step; also usable as a standalone integer mixer/finalizer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Mixes a 64-bit value into a well-distributed hash (splitmix64 finalizer).
+std::uint64_t mix64(std::uint64_t x);
+
+/// xoshiro256** generator. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// unbiased multiply-shift rejection method.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Derives an independent child generator; used to give each parallel
+  /// worker / repetition its own stream.
+  Rng fork();
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample k distinct values from [0, n) (k <= n), in unspecified order.
+  std::vector<std::uint64_t> sample_without_replacement(std::uint64_t n,
+                                                        std::uint64_t k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace vicinity::util

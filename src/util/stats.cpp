@@ -1,0 +1,135 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace vicinity::util {
+
+void StreamingStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void StreamingStats::merge(const StreamingStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double StreamingStats::mean() const { return count_ ? mean_ : 0.0; }
+
+double StreamingStats::variance() const {
+  return count_ ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+double StreamingStats::min() const { return count_ ? min_ : 0.0; }
+double StreamingStats::max() const { return count_ ? max_ : 0.0; }
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::mean() const {
+  if (values_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double SampleSet::min() const {
+  ensure_sorted();
+  return values_.empty() ? 0.0 : values_.front();
+}
+
+double SampleSet::max() const {
+  ensure_sorted();
+  return values_.empty() ? 0.0 : values_.back();
+}
+
+double SampleSet::percentile(double q) const {
+  if (values_.empty()) throw std::logic_error("percentile of empty SampleSet");
+  if (q < 0.0 || q > 100.0) throw std::invalid_argument("percentile range");
+  ensure_sorted();
+  if (values_.size() == 1) return values_[0];
+  const double rank = q / 100.0 * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= values_.size()) return values_.back();
+  return values_[lo] * (1.0 - frac) + values_[lo + 1] * frac;
+}
+
+std::vector<std::pair<double, double>> SampleSet::cdf(
+    std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (values_.empty() || points == 0) return out;
+  ensure_sorted();
+  out.reserve(points);
+  const auto n = values_.size();
+  for (std::size_t i = 0; i < points; ++i) {
+    // Sample the empirical CDF at evenly spaced ranks, ending exactly at the
+    // maximum with cumulative fraction 1.
+    const std::size_t rank =
+        (points == 1) ? (n - 1) : (i * (n - 1)) / (points - 1);
+    out.emplace_back(values_[rank],
+                     static_cast<double>(rank + 1) / static_cast<double>(n));
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  if (buckets == 0 || !(hi > lo)) {
+    throw std::invalid_argument("Histogram: need hi > lo and buckets > 0");
+  }
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::int64_t>(t * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_low(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    os << bucket_low(i) << "\t" << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace vicinity::util

@@ -1,0 +1,84 @@
+// Streaming statistics, percentile sketches and CDF extraction used by the
+// experiment harness (Figure 2 CDFs, Table 3 avg/worst columns).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vicinity::util {
+
+/// Single-pass accumulator for count / mean / variance / min / max
+/// (Welford's algorithm; numerically stable).
+class StreamingStats {
+ public:
+  void add(double x);
+  void merge(const StreamingStats& other);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const;
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Stores every sample; supports exact percentiles and CDF dumps. Intended
+/// for experiment-sized sample sets (up to a few million values).
+class SampleSet {
+ public:
+  void add(double x) { values_.push_back(x); }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// Exact percentile, q in [0,100]. Uses nearest-rank on the sorted data.
+  double percentile(double q) const;
+
+  /// Evenly spaced CDF points: `points` pairs of (value, cumulative
+  /// fraction), suitable for plotting Figure 2(b)-style curves.
+  std::vector<std::pair<double, double>> cdf(std::size_t points = 100) const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::uint64_t bucket_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t buckets() const { return counts_.size(); }
+  std::uint64_t total() const { return total_; }
+  double bucket_low(std::size_t i) const;
+  std::string to_string() const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace vicinity::util

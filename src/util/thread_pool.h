@@ -1,0 +1,53 @@
+// Minimal fixed-size thread pool.
+//
+// The paper (§5) notes that shortest-path preprocessing parallelizes poorly
+// across machines; within one machine, however, vicinity construction is
+// embarrassingly parallel (one truncated search per node). The oracle uses
+// this pool for construction; queries stay single-threaded as in the paper.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace vicinity::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency() (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a task. Tasks must not throw; exceptions terminate.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Runs fn(i) for i in [0, count) across the pool and waits. Static
+  /// chunking: good enough for uniform per-node work.
+  void parallel_for(std::uint64_t count,
+                    const std::function<void(std::uint64_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::uint64_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace vicinity::util

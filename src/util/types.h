@@ -1,0 +1,30 @@
+// Fundamental identifiers and distance types shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace vicinity {
+
+/// Node identifier. Graphs are limited to 2^32 - 2 nodes; the max value is
+/// reserved as the invalid sentinel.
+using NodeId = std::uint32_t;
+
+/// Distance / path length. Unweighted graphs use hop counts; weighted graphs
+/// use sums of non-negative integer edge weights.
+using Distance = std::uint32_t;
+
+/// Edge weight. Non-negative; 1 for every edge of an unweighted graph.
+using Weight = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr Distance kInfDistance = std::numeric_limits<Distance>::max();
+
+/// Saturating distance addition: infinity is absorbing and sums never wrap.
+constexpr Distance dist_add(Distance a, Distance b) {
+  if (a == kInfDistance || b == kInfDistance) return kInfDistance;
+  const std::uint64_t s = std::uint64_t{a} + std::uint64_t{b};
+  return s >= kInfDistance ? kInfDistance : static_cast<Distance>(s);
+}
+
+}  // namespace vicinity

@@ -1,0 +1,96 @@
+// Epoch-stamped per-node scratch arrays.
+//
+// Graph searches that run thousands of times per second (bidirectional BFS,
+// truncated vicinity searches) cannot afford an O(n) reset per query. A
+// StampedArray keeps a per-slot epoch; reset() bumps the epoch, making every
+// slot logically "unset" in O(1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vicinity::util {
+
+template <typename T>
+class StampedArray {
+ public:
+  explicit StampedArray(std::size_t n = 0) { resize(n); }
+
+  void resize(std::size_t n) {
+    stamps_.assign(n, 0);
+    values_.assign(n, T{});
+    epoch_ = 1;
+  }
+
+  std::size_t size() const { return stamps_.size(); }
+
+  /// O(1) logical clear. Handles epoch wraparound by doing one physical
+  /// clear every 2^32 - 1 resets.
+  void reset() {
+    if (++epoch_ == 0) {
+      std::fill(stamps_.begin(), stamps_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  bool is_set(std::size_t i) const { return stamps_[i] == epoch_; }
+
+  void set(std::size_t i, const T& v) {
+    stamps_[i] = epoch_;
+    values_[i] = v;
+  }
+
+  /// Value at i; only meaningful when is_set(i).
+  const T& get(std::size_t i) const { return values_[i]; }
+  T& get_mutable(std::size_t i) { return values_[i]; }
+
+  /// Value at i, or `fallback` when unset this epoch.
+  T get_or(std::size_t i, const T& fallback) const {
+    return is_set(i) ? values_[i] : fallback;
+  }
+
+  std::size_t memory_bytes() const {
+    return stamps_.size() * sizeof(std::uint32_t) +
+           values_.size() * sizeof(T);
+  }
+
+ private:
+  std::vector<std::uint32_t> stamps_;
+  std::vector<T> values_;
+  std::uint32_t epoch_ = 1;
+};
+
+/// Stamped membership set over [0, n).
+class StampedSet {
+ public:
+  explicit StampedSet(std::size_t n = 0) : stamps_(n, 0) {}
+
+  void resize(std::size_t n) {
+    stamps_.assign(n, 0);
+    epoch_ = 1;
+  }
+
+  std::size_t size() const { return stamps_.size(); }
+
+  void reset() {
+    if (++epoch_ == 0) {
+      std::fill(stamps_.begin(), stamps_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  bool contains(std::size_t i) const { return stamps_[i] == epoch_; }
+
+  /// Returns true if newly inserted.
+  bool insert(std::size_t i) {
+    if (stamps_[i] == epoch_) return false;
+    stamps_[i] = epoch_;
+    return true;
+  }
+
+ private:
+  std::vector<std::uint32_t> stamps_;
+  std::uint32_t epoch_ = 1;
+};
+
+}  // namespace vicinity::util

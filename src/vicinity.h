@@ -1,0 +1,56 @@
+// Umbrella header for libvicinity — a reproduction of "Shortest Paths in
+// Less Than a Millisecond" (Agarwal, Caesar, Godfrey, Zhao; WOSN'12).
+//
+// Quick start:
+//
+//   #include "vicinity.h"
+//   using namespace vicinity;
+//
+//   util::Rng rng(7);
+//   graph::Graph g = gen::powerlaw_cluster(100'000, 9, 0.4, rng);
+//   core::OracleOptions opt;             // alpha = 4 (paper default)
+//   auto oracle = core::VicinityOracle::build(g, opt);
+//   auto r = oracle.distance(12, 3456);  // sub-millisecond, exact
+//   auto p = oracle.path(12, 3456);      // the actual shortest path
+//
+// See README.md for the architecture overview and bench/ for the
+// experiment harness that regenerates the paper's tables and figures.
+#pragma once
+
+#include "algo/alt.h"
+#include "algo/bfs.h"
+#include "algo/bidirectional_bfs.h"
+#include "algo/bidirectional_dijkstra.h"
+#include "algo/dijkstra.h"
+#include "algo/naive_bidirectional_bfs.h"
+#include "algo/path.h"
+#include "baselines/landmark_est.h"
+#include "baselines/sketch_oracle.h"
+#include "baselines/tz_oracle.h"
+#include "core/directed_oracle.h"
+#include "core/landmark_table.h"
+#include "core/landmarks.h"
+#include "core/options.h"
+#include "core/oracle.h"
+#include "core/serialize.h"
+#include "core/vicinity_builder.h"
+#include "core/vicinity_store.h"
+#include "gen/affiliation.h"
+#include "gen/barabasi_albert.h"
+#include "gen/erdos_renyi.h"
+#include "gen/powerlaw_cluster.h"
+#include "gen/profiles.h"
+#include "gen/rmat.h"
+#include "gen/watts_strogatz.h"
+#include "graph/builder.h"
+#include "graph/components.h"
+#include "graph/graph.h"
+#include "graph/gstats.h"
+#include "graph/io.h"
+#include "graph/transform.h"
+#include "util/csv.h"
+#include "util/memory.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/timer.h"
+#include "util/types.h"

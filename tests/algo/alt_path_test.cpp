@@ -1,0 +1,112 @@
+// ALT oracle exactness/efficiency and path utility tests.
+#include <gtest/gtest.h>
+
+#include "algo/alt.h"
+#include "algo/bfs.h"
+#include "algo/dijkstra.h"
+#include "algo/path.h"
+#include "graph/transform.h"
+#include "test_support.h"
+
+namespace vicinity::algo {
+namespace {
+
+TEST(AltTest, ExactOnUnweightedGraphs) {
+  const auto g = testing::random_connected(1500, 6000, 81);
+  AltOracle alt(g, 4);
+  util::Rng rng(82);
+  for (int i = 0; i < 60; ++i) {
+    const auto s = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto t = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    EXPECT_EQ(alt.distance(s, t), testing::ref_distance(g, s, t));
+  }
+}
+
+TEST(AltTest, ExactOnWeightedGraphs) {
+  auto base = testing::random_connected(600, 2400, 83);
+  util::Rng wrng(84);
+  const auto g = graph::with_random_weights(base, wrng, 1, 8);
+  AltOracle alt(g, 4);
+  util::Rng rng(85);
+  for (int i = 0; i < 40; ++i) {
+    const auto s = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto t = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    EXPECT_EQ(alt.distance(s, t), dijkstra(g, s).dist[t]);
+  }
+}
+
+TEST(AltTest, ExactOnDirectedGraphs) {
+  util::Rng rng(86);
+  const auto g = gen::erdos_renyi_directed(400, 2800, rng);
+  AltOracle alt(g, 4);
+  for (NodeId s = 0; s < 15; ++s) {
+    const auto full = bfs(g, s);
+    for (NodeId t = 0; t < g.num_nodes(); t += 23) {
+      EXPECT_EQ(alt.distance(s, t), full.dist[t]) << s << "->" << t;
+    }
+  }
+}
+
+TEST(AltTest, HeuristicPrunesSearch) {
+  // On a long path graph the landmark bound is tight, so A* should settle
+  // far fewer nodes than blind Dijkstra.
+  const auto g = testing::path_graph(5000);
+  AltOracle alt(g, 2);
+  DijkstraRunner plain(g);
+  ASSERT_EQ(alt.distance(2500, 3800), 1300u);
+  const auto alt_scans = alt.last_arcs_scanned();
+  plain.distance(2500, 3800);
+  // A perfect landmark bound explores only the forward side; blind
+  // Dijkstra expands both directions (about twice the arcs).
+  EXPECT_LT(alt_scans, plain.last_arcs_scanned() * 2 / 3);
+}
+
+TEST(AltTest, LandmarksAreDistinct) {
+  const auto g = testing::random_connected(500, 1500, 87);
+  AltOracle alt(g, 6);
+  auto lm = alt.landmarks();
+  std::sort(lm.begin(), lm.end());
+  EXPECT_EQ(std::unique(lm.begin(), lm.end()), lm.end());
+  EXPECT_GT(alt.memory_bytes(), 0u);
+}
+
+TEST(AltTest, RejectsZeroLandmarks) {
+  const auto g = testing::path_graph(4);
+  EXPECT_THROW(AltOracle(g, 0), std::invalid_argument);
+}
+
+TEST(PathUtilTest, PathLengthOnWeightedEdges) {
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1, 2);
+  b.add_edge(1, 2, 5);
+  const auto g = b.build(true);
+  EXPECT_EQ(path_length(g, {0, 1, 2}), 7u);
+  EXPECT_EQ(path_length(g, {0}), 0u);
+  EXPECT_EQ(path_length(g, {}), kInfDistance);
+  EXPECT_EQ(path_length(g, {0, 2}), kInfDistance);  // missing edge
+}
+
+TEST(PathUtilTest, IsValidPathChecksEndpointsAndEdges) {
+  const auto g = testing::path_graph(4);
+  EXPECT_TRUE(is_valid_path(g, {0, 1, 2}, 0, 2));
+  EXPECT_FALSE(is_valid_path(g, {0, 1, 2}, 0, 3));  // wrong endpoint
+  EXPECT_FALSE(is_valid_path(g, {0, 2}, 0, 2));     // hole
+  EXPECT_FALSE(is_valid_path(g, {}, 0, 0));
+}
+
+TEST(PathUtilTest, PathFromParents) {
+  const auto g = testing::path_graph(5);
+  const auto t = bfs(g, 0);
+  const auto p = path_from_parents(t.parent, 0, 4);
+  EXPECT_EQ(p, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(path_from_parents(t.parent, 0, 0), std::vector<NodeId>{0});
+  // Broken chain: unreachable target.
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const auto h = b.build();
+  const auto th = bfs(h, 0);
+  EXPECT_TRUE(path_from_parents(th.parent, 0, 2).empty());
+}
+
+}  // namespace
+}  // namespace vicinity::algo

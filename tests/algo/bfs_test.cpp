@@ -1,0 +1,124 @@
+#include "algo/bfs.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/path.h"
+#include "test_support.h"
+
+namespace vicinity::algo {
+namespace {
+
+using vicinity::testing::grid_graph;
+using vicinity::testing::karate_club;
+using vicinity::testing::path_graph;
+
+TEST(BfsTest, PathGraphDistances) {
+  const auto g = path_graph(6);
+  const BfsTree t = bfs(g, 0);
+  for (NodeId u = 0; u < 6; ++u) EXPECT_EQ(t.dist[u], u);
+  EXPECT_EQ(t.parent[0], kInvalidNode);
+  EXPECT_EQ(t.parent[3], 2u);
+}
+
+TEST(BfsTest, UnreachableIsInfinity) {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const auto g = b.build();
+  const BfsTree t = bfs(g, 0);
+  EXPECT_EQ(t.dist[1], 1u);
+  EXPECT_EQ(t.dist[2], kInfDistance);
+  EXPECT_EQ(t.parent[3], kInvalidNode);
+}
+
+TEST(BfsTest, GridDistancesAreManhattan) {
+  const auto g = grid_graph(5, 5);
+  const BfsTree t = bfs(g, 0);
+  for (NodeId r = 0; r < 5; ++r) {
+    for (NodeId c = 0; c < 5; ++c) {
+      EXPECT_EQ(t.dist[r * 5 + c], r + c);
+    }
+  }
+}
+
+TEST(BfsTest, DirectedRespectsArcDirection) {
+  graph::GraphBuilder b(3, /*directed=*/true);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const auto g = b.build();
+  EXPECT_EQ(bfs(g, 0).dist[2], 2u);
+  EXPECT_EQ(bfs(g, 2).dist[0], kInfDistance);
+  // Reverse BFS from 2 reaches 0 in 2 hops.
+  EXPECT_EQ(bfs_reverse(g, 2).dist[0], 2u);
+}
+
+TEST(BfsTest, ArcsScannedBounded) {
+  const auto g = karate_club();
+  const BfsTree t = bfs(g, 0);
+  EXPECT_GT(t.arcs_scanned, 0u);
+  EXPECT_LE(t.arcs_scanned, g.num_arcs());
+}
+
+TEST(BfsRunnerTest, DistanceMatchesFullBfs) {
+  const auto g = karate_club();
+  BfsRunner runner(g);
+  for (NodeId s = 0; s < g.num_nodes(); s += 5) {
+    const BfsTree t = bfs(g, s);
+    for (NodeId u = 0; u < g.num_nodes(); u += 3) {
+      EXPECT_EQ(runner.distance(s, u), t.dist[u]) << s << "->" << u;
+    }
+  }
+}
+
+TEST(BfsRunnerTest, EarlyExitScansLess) {
+  const auto g = path_graph(1000);
+  BfsRunner runner(g);
+  EXPECT_EQ(runner.distance(0, 3), 3u);
+  const auto near_scan = runner.last_arcs_scanned();
+  EXPECT_EQ(runner.distance(0, 999), 999u);
+  EXPECT_GT(runner.last_arcs_scanned(), near_scan * 10);
+}
+
+TEST(BfsRunnerTest, PathIsValidShortest) {
+  const auto g = karate_club();
+  BfsRunner runner(g);
+  for (NodeId s : {0u, 5u, 33u}) {
+    const BfsTree t = bfs(g, s);
+    for (NodeId u = 0; u < g.num_nodes(); u += 7) {
+      const auto p = runner.path(s, u);
+      ASSERT_TRUE(is_valid_path(g, p, s, u));
+      EXPECT_EQ(p.size() - 1, t.dist[u]);
+    }
+  }
+}
+
+TEST(BfsRunnerTest, SelfQuery) {
+  const auto g = path_graph(3);
+  BfsRunner runner(g);
+  EXPECT_EQ(runner.distance(1, 1), 0u);
+  EXPECT_EQ(runner.path(1, 1), std::vector<NodeId>{1});
+}
+
+TEST(BfsRunnerTest, UnreachablePathEmpty) {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const auto g = b.build();
+  BfsRunner runner(g);
+  EXPECT_EQ(runner.distance(0, 3), kInfDistance);
+  EXPECT_TRUE(runner.path(0, 3).empty());
+}
+
+TEST(BfsRunnerTest, ReusableAcrossManyQueries) {
+  const auto g = testing::random_connected(500, 1500, 31);
+  BfsRunner runner(g);
+  util::Rng rng(32);
+  for (int i = 0; i < 50; ++i) {
+    const auto s = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto t = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    EXPECT_EQ(runner.distance(s, t), testing::ref_distance(g, s, t));
+  }
+}
+
+}  // namespace
+}  // namespace vicinity::algo

@@ -1,0 +1,111 @@
+#include "algo/dijkstra.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/bfs.h"
+#include "algo/path.h"
+#include "graph/transform.h"
+#include "test_support.h"
+
+namespace vicinity::algo {
+namespace {
+
+TEST(DijkstraTest, WeightedPathGraph) {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1, 2);
+  b.add_edge(1, 2, 3);
+  b.add_edge(2, 3, 4);
+  b.add_edge(0, 3, 100);  // long shortcut loses
+  const auto g = b.build(true);
+  const auto t = dijkstra(g, 0);
+  EXPECT_EQ(t.dist[3], 9u);
+  EXPECT_EQ(t.parent[3], 2u);
+}
+
+TEST(DijkstraTest, PrefersMultiHopWhenCheaper) {
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 2, 10);
+  b.add_edge(0, 1, 3);
+  b.add_edge(1, 2, 3);
+  const auto g = b.build(true);
+  EXPECT_EQ(dijkstra(g, 0).dist[2], 6u);
+}
+
+TEST(DijkstraTest, UnweightedMatchesBfsEverywhere) {
+  const auto g = testing::random_connected(800, 3000, 61);
+  for (NodeId s = 0; s < 10; ++s) {
+    const auto d = dijkstra(g, s);
+    const auto bf = bfs(g, s);
+    EXPECT_EQ(d.dist, bf.dist) << "source " << s;
+  }
+}
+
+TEST(DijkstraTest, DirectedReverseConsistency) {
+  util::Rng rng(62);
+  auto base = gen::erdos_renyi_directed(300, 1500, rng);
+  util::Rng wrng(63);
+  // Build a weighted directed graph by hand (with_random_weights keeps
+  // direction).
+  const auto g = graph::with_random_weights(base, wrng, 1, 5);
+  for (NodeId s = 0; s < 10; ++s) {
+    const auto fwd = dijkstra(g, s);
+    for (NodeId t = 0; t < g.num_nodes(); t += 31) {
+      // d(s -> t) computed backwards from t must agree.
+      EXPECT_EQ(dijkstra_reverse(g, t).dist[s], fwd.dist[t]);
+    }
+  }
+}
+
+TEST(DijkstraRunnerTest, MatchesFullRun) {
+  auto base = testing::random_connected(500, 2000, 64);
+  util::Rng wrng(65);
+  const auto g = graph::with_random_weights(base, wrng, 1, 9);
+  DijkstraRunner runner(g);
+  util::Rng rng(66);
+  for (int i = 0; i < 40; ++i) {
+    const auto s = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto t = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    EXPECT_EQ(runner.distance(s, t), dijkstra(g, s).dist[t]);
+  }
+}
+
+TEST(DijkstraRunnerTest, PathValidAndOptimal) {
+  auto base = testing::random_connected(400, 1600, 67);
+  util::Rng wrng(68);
+  const auto g = graph::with_random_weights(base, wrng, 1, 7);
+  DijkstraRunner runner(g);
+  util::Rng rng(69);
+  for (int i = 0; i < 30; ++i) {
+    const auto s = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto t = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto p = runner.path(s, t);
+    ASSERT_TRUE(is_valid_path(g, p, s, t));
+    EXPECT_EQ(path_length(g, p), dijkstra(g, s).dist[t]);
+  }
+}
+
+TEST(BucketDijkstraTest, MatchesBinaryHeapDijkstra) {
+  auto base = testing::random_connected(600, 2400, 71);
+  util::Rng wrng(72);
+  const auto g = graph::with_random_weights(base, wrng, 1, 6);
+  BucketDijkstraRunner bucket(g);
+  DijkstraRunner heap(g);
+  util::Rng rng(73);
+  for (int i = 0; i < 60; ++i) {
+    const auto s = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto t = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    EXPECT_EQ(bucket.distance(s, t), heap.distance(s, t));
+  }
+}
+
+TEST(BucketDijkstraTest, WorksOnUnweightedGraphs) {
+  const auto g = testing::karate_club();
+  BucketDijkstraRunner runner(g);
+  const auto full = bfs(g, 0);
+  for (NodeId t = 0; t < g.num_nodes(); ++t) {
+    EXPECT_EQ(runner.distance(0, t), full.dist[t]);
+  }
+}
+
+}  // namespace
+}  // namespace vicinity::algo

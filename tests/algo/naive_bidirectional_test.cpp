@@ -1,0 +1,79 @@
+// The 2012-era comparator must be exact (only slow).
+#include "algo/naive_bidirectional_bfs.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/bfs.h"
+#include "algo/bidirectional_bfs.h"
+#include "test_support.h"
+
+namespace vicinity::algo {
+namespace {
+
+TEST(NaiveBidirectionalTest, MatchesBfsOnKarateClub) {
+  const auto g = testing::karate_club();
+  NaiveBidirectionalBfs naive(g);
+  for (NodeId s = 0; s < g.num_nodes(); s += 3) {
+    const auto full = bfs(g, s);
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      EXPECT_EQ(naive.distance(s, t), full.dist[t]) << s << "->" << t;
+    }
+  }
+}
+
+TEST(NaiveBidirectionalTest, MatchesOptimizedOnRandomGraphs) {
+  const auto g = testing::random_connected(800, 3200, 801);
+  NaiveBidirectionalBfs naive(g);
+  BidirectionalBfsRunner optimized(g);
+  util::Rng rng(802);
+  for (int i = 0; i < 120; ++i) {
+    const auto s = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto t = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    EXPECT_EQ(naive.distance(s, t), optimized.distance(s, t).dist);
+  }
+}
+
+TEST(NaiveBidirectionalTest, HandlesUnreachableAndSelf) {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const auto g = b.build();
+  NaiveBidirectionalBfs naive(g);
+  EXPECT_EQ(naive.distance(0, 0), 0u);
+  EXPECT_EQ(naive.distance(0, 1), 1u);
+  EXPECT_EQ(naive.distance(0, 3), kInfDistance);
+}
+
+TEST(NaiveBidirectionalTest, DirectedCorrectness) {
+  util::Rng rng(803);
+  const auto g = gen::erdos_renyi_directed(300, 1800, rng);
+  NaiveBidirectionalBfs naive(g);
+  for (NodeId s = 0; s < 10; ++s) {
+    const auto full = bfs(g, s);
+    for (NodeId t = 0; t < g.num_nodes(); t += 29) {
+      EXPECT_EQ(naive.distance(s, t), full.dist[t]) << s << "->" << t;
+    }
+  }
+}
+
+TEST(NaiveBidirectionalTest, SlowerThanOptimizedPerArcBookkeeping) {
+  // Sanity on the cost model: on identical queries the naive version must
+  // scan at least as many arcs (strict alternation can't do better than
+  // smaller-side alternation).
+  const auto g = testing::random_connected(2000, 8000, 804);
+  NaiveBidirectionalBfs naive(g);
+  BidirectionalBfsRunner optimized(g);
+  util::Rng rng(805);
+  std::uint64_t naive_arcs = 0, opt_arcs = 0;
+  for (int i = 0; i < 30; ++i) {
+    const auto s = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto t = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    naive.distance(s, t);
+    naive_arcs += naive.last_arcs_scanned();
+    opt_arcs += optimized.distance(s, t).arcs_scanned;
+  }
+  EXPECT_GE(naive_arcs * 2, opt_arcs);  // same order of magnitude
+}
+
+}  // namespace
+}  // namespace vicinity::algo

@@ -1,0 +1,126 @@
+// Related-work baselines: Thorup–Zwick k=2 (stretch <= 3), sketch oracle
+// (upper bound), landmark estimator (bracketing bounds).
+#include <gtest/gtest.h>
+
+#include "algo/bfs.h"
+#include "baselines/landmark_est.h"
+#include "baselines/sketch_oracle.h"
+#include "baselines/tz_oracle.h"
+#include "test_support.h"
+
+namespace vicinity::baselines {
+namespace {
+
+TEST(TzOracleTest, StretchAtMostThree) {
+  const auto g = testing::random_connected(1000, 4000, 501);
+  util::Rng rng(502);
+  TzOracle tz(g, rng);
+  util::Rng qrng(503);
+  for (int i = 0; i < 300; ++i) {
+    const auto s = static_cast<NodeId>(qrng.next_below(g.num_nodes()));
+    const auto t = static_cast<NodeId>(qrng.next_below(g.num_nodes()));
+    const Distance ref = testing::ref_distance(g, s, t);
+    const Distance est = tz.distance(s, t);
+    ASSERT_GE(est, ref) << s << "->" << t;       // never underestimates
+    ASSERT_LE(est, 3 * ref) << s << "->" << t;   // k=2 stretch bound
+  }
+}
+
+TEST(TzOracleTest, ExactWhenFlagged) {
+  const auto g = testing::random_connected(800, 3200, 504);
+  util::Rng rng(505);
+  TzOracle tz(g, rng);
+  util::Rng qrng(506);
+  std::size_t exact_hits = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto s = static_cast<NodeId>(qrng.next_below(g.num_nodes()));
+    const auto t = static_cast<NodeId>(qrng.next_below(g.num_nodes()));
+    if (!tz.is_exact(s, t)) continue;
+    ++exact_hits;
+    ASSERT_EQ(tz.distance(s, t), testing::ref_distance(g, s, t));
+  }
+  EXPECT_GT(exact_hits, 0u);
+}
+
+TEST(TzOracleTest, SelfDistanceZeroAndSpaceSubquadratic) {
+  const auto g = testing::random_connected(2000, 8000, 507);
+  util::Rng rng(508);
+  TzOracle tz(g, rng);
+  EXPECT_EQ(tz.distance(5, 5), 0u);
+  // Bunches + sample rows should be far below n^2 entries.
+  const auto n = static_cast<std::uint64_t>(g.num_nodes());
+  EXPECT_LT(tz.total_bunch_entries() + tz.num_samples() * n, n * n / 10);
+}
+
+TEST(TzOracleTest, RejectsDirected) {
+  util::Rng grng(509);
+  const auto d = gen::erdos_renyi_directed(20, 60, grng);
+  util::Rng rng(510);
+  EXPECT_THROW(TzOracle(d, rng), std::invalid_argument);
+}
+
+TEST(SketchOracleTest, UpperBoundAndOftenClose) {
+  const auto g = testing::random_connected(1000, 4000, 511);
+  util::Rng rng(512);
+  SketchOracle sk(g, rng, /*num_repetitions=*/2);
+  util::Rng qrng(513);
+  double err_sum = 0;
+  int answered = 0;
+  for (int i = 0; i < 300; ++i) {
+    const auto s = static_cast<NodeId>(qrng.next_below(g.num_nodes()));
+    const auto t = static_cast<NodeId>(qrng.next_below(g.num_nodes()));
+    const Distance ref = testing::ref_distance(g, s, t);
+    const Distance est = sk.distance(s, t);
+    ASSERT_GE(est, ref);
+    if (est != kInfDistance && ref > 0) {
+      err_sum += static_cast<double>(est - ref);
+      ++answered;
+    }
+  }
+  ASSERT_GT(answered, 250);
+  // Mean absolute error of a few hops, matching [12]'s reported regime.
+  EXPECT_LT(err_sum / answered, 5.0);
+}
+
+TEST(SketchOracleTest, SketchSizeLogarithmic) {
+  const auto g = testing::random_connected(4000, 16000, 514);
+  util::Rng rng(515);
+  SketchOracle sk(g, rng, 2);
+  // ~2 * log2(n) entries per node, far below sqrt(n).
+  EXPECT_LT(sk.sketch_entries_per_node(), 64.0);
+  EXPECT_GT(sk.sketch_entries_per_node(), 4.0);
+  EXPECT_GT(sk.memory_bytes(), 0u);
+}
+
+TEST(LandmarkEstimatorTest, BoundsBracketTruth) {
+  const auto g = testing::random_connected(1000, 4000, 516);
+  LandmarkEstimator est(g, 16);
+  util::Rng qrng(517);
+  for (int i = 0; i < 300; ++i) {
+    const auto s = static_cast<NodeId>(qrng.next_below(g.num_nodes()));
+    const auto t = static_cast<NodeId>(qrng.next_below(g.num_nodes()));
+    const Distance ref = testing::ref_distance(g, s, t);
+    ASSERT_LE(est.lower_bound(s, t), ref);
+    ASSERT_GE(est.upper_bound(s, t), ref);
+  }
+}
+
+TEST(LandmarkEstimatorTest, PicksHighestDegreeLandmarks) {
+  const auto g = testing::star_graph(50);
+  LandmarkEstimator est(g, 1);
+  ASSERT_EQ(est.landmarks().size(), 1u);
+  EXPECT_EQ(est.landmarks()[0], 0u);  // the hub
+  // Through-hub estimates are exact on a star.
+  EXPECT_EQ(est.upper_bound(3, 7), 2u);
+}
+
+TEST(LandmarkEstimatorTest, Validation) {
+  const auto g = testing::path_graph(5);
+  EXPECT_THROW(LandmarkEstimator(g, 0), std::invalid_argument);
+  util::Rng grng(518);
+  const auto d = gen::erdos_renyi_directed(20, 40, grng);
+  EXPECT_THROW(LandmarkEstimator(d, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vicinity::baselines

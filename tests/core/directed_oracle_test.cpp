@@ -1,0 +1,145 @@
+// Directed oracle (§5 challenge): exactness against forward BFS, directed
+// path validity, subset mode and coverage.
+#include "core/directed_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/bfs.h"
+#include "algo/path.h"
+#include "graph/components.h"
+#include "test_support.h"
+
+namespace vicinity::core {
+namespace {
+
+graph::Graph directed_graph(NodeId n, std::uint64_t m, std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto g = gen::erdos_renyi_directed(n, m, rng);
+  return graph::largest_component(g).graph;
+}
+
+OracleOptions defaults() {
+  OracleOptions opt;
+  opt.alpha = 4.0;
+  opt.seed = 31;
+  return opt;
+}
+
+TEST(DirectedOracleTest, RejectsUndirected) {
+  const auto g = testing::karate_club();
+  EXPECT_THROW(DirectedVicinityOracle::build(g, defaults()),
+               std::invalid_argument);
+}
+
+TEST(DirectedOracleTest, AnsweredDistancesMatchForwardBfs) {
+  const auto g = directed_graph(800, 6400, 301);
+  auto oracle = DirectedVicinityOracle::build(g, defaults());
+  std::size_t answered = 0, total = 0;
+  for (NodeId s = 0; s < g.num_nodes(); s += 41) {
+    const auto ref = algo::bfs(g, s).dist;
+    for (NodeId t = 0; t < g.num_nodes(); t += 13) {
+      ++total;
+      const auto r = oracle.distance(s, t);
+      if (r.method == QueryMethod::kNotFound) continue;
+      ++answered;
+      ASSERT_EQ(r.dist, ref[t])
+          << s << "->" << t << " via " << to_string(r.method);
+    }
+  }
+  EXPECT_GT(answered, total / 2);
+}
+
+TEST(DirectedOracleTest, AsymmetricDistancesHandled) {
+  // 0 -> 1 -> 2 -> 0 ring plus chord 0 -> 2.
+  graph::GraphBuilder b(3, /*directed=*/true);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(0, 2);
+  const auto g = b.build();
+  auto opt = defaults();
+  opt.fallback = Fallback::kBidirectionalBfs;
+  auto oracle = DirectedVicinityOracle::build(g, opt);
+  EXPECT_EQ(oracle.distance(0, 2).dist, 1u);
+  EXPECT_EQ(oracle.distance(2, 1).dist, 2u);  // must go around
+  EXPECT_EQ(oracle.distance(1, 0).dist, 2u);
+}
+
+TEST(DirectedOracleTest, FallbackMakesItTotal) {
+  const auto g = directed_graph(600, 3600, 302);
+  auto opt = defaults();
+  opt.alpha = 0.5;
+  opt.fallback = Fallback::kBidirectionalBfs;
+  auto oracle = DirectedVicinityOracle::build(g, opt);
+  util::Rng rng(303);
+  for (int i = 0; i < 150; ++i) {
+    const auto s = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto t = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto r = oracle.distance(s, t);
+    ASSERT_TRUE(r.exact);
+    ASSERT_EQ(r.dist, algo::bfs(g, s).dist[t]);
+  }
+}
+
+TEST(DirectedOracleTest, PathsFollowArcDirections) {
+  const auto g = directed_graph(600, 4800, 304);
+  auto opt = defaults();
+  opt.store_landmark_parents = true;
+  opt.fallback = Fallback::kBidirectionalBfs;
+  auto oracle = DirectedVicinityOracle::build(g, opt);
+  util::Rng rng(305);
+  for (int i = 0; i < 100; ++i) {
+    const auto s = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto t = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto ref = algo::bfs(g, s).dist[t];
+    const auto p = oracle.path(s, t);
+    if (ref == kInfDistance) {
+      EXPECT_TRUE(p.path.empty());
+      continue;
+    }
+    ASSERT_TRUE(algo::is_valid_path(g, p.path, s, t))
+        << s << "->" << t << " via " << to_string(p.method);
+    EXPECT_EQ(static_cast<Distance>(p.path.size() - 1), ref);
+  }
+}
+
+TEST(DirectedOracleTest, SubsetModeWorks) {
+  const auto g = directed_graph(1500, 12000, 306);
+  util::Rng rng(307);
+  std::vector<NodeId> sample;
+  for (int i = 0; i < 40; ++i) {
+    sample.push_back(static_cast<NodeId>(rng.next_below(g.num_nodes())));
+  }
+  auto oracle = DirectedVicinityOracle::build_for(g, defaults(), sample);
+  std::size_t answered = 0;
+  for (const NodeId s : sample) {
+    const auto ref = algo::bfs(g, s).dist;
+    for (const NodeId t : sample) {
+      if (s == t) continue;
+      const auto r = oracle.distance(s, t);
+      if (r.method == QueryMethod::kNotFound) continue;
+      ++answered;
+      ASSERT_EQ(r.dist, ref[t]);
+    }
+  }
+  EXPECT_GT(answered, 0u);
+}
+
+TEST(DirectedOracleTest, CoverageReasonable) {
+  const auto g = directed_graph(1000, 10000, 308);
+  auto oracle = DirectedVicinityOracle::build(g, defaults());
+  util::Rng rng(309);
+  EXPECT_GT(oracle.estimate_coverage(300, rng), 0.5);
+}
+
+TEST(DirectedOracleTest, MemoryCountsBothStores) {
+  const auto g = directed_graph(500, 3000, 310);
+  auto oracle = DirectedVicinityOracle::build(g, defaults());
+  const auto m = oracle.memory_stats();
+  EXPECT_EQ(m.vicinity_entries, oracle.out_store().total_entries() +
+                                    oracle.in_store().total_entries());
+  EXPECT_GT(m.vicinity_entries, 0u);
+}
+
+}  // namespace
+}  // namespace vicinity::core

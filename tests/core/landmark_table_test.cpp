@@ -1,0 +1,136 @@
+// Landmark tables: full-row and subset modes must agree with BFS ground
+// truth and with each other on the queries both can answer.
+#include "core/landmark_table.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/bfs.h"
+#include "test_support.h"
+
+namespace vicinity::core {
+namespace {
+
+LandmarkSet make_landmarks(const graph::Graph& g, double alpha,
+                           std::uint64_t seed) {
+  util::Rng rng(seed);
+  return sample_landmarks(g, alpha, SamplingStrategy::kDegreeProportional,
+                          rng);
+}
+
+TEST(LandmarkTableTest, FullModeMatchesBfs) {
+  const auto g = testing::random_connected(400, 1600, 901);
+  const auto lms = make_landmarks(g, 2.0, 902);
+  const auto tables = LandmarkTables::build_full(g, lms, /*parents=*/true);
+  ASSERT_EQ(tables.mode(), LandmarkTables::Mode::kFull);
+  for (const NodeId l : lms.nodes) {
+    const auto truth = algo::bfs(g, l).dist;
+    for (NodeId v = 0; v < g.num_nodes(); v += 17) {
+      EXPECT_EQ(tables.dist_from_landmark(l, v), truth[v]);
+      EXPECT_EQ(tables.dist_to_landmark(v, l), truth[v]);  // undirected
+    }
+  }
+}
+
+TEST(LandmarkTableTest, FullModeParentsFormShortestPathTree) {
+  const auto g = testing::random_connected(300, 1200, 903);
+  const auto lms = make_landmarks(g, 4.0, 904);
+  const auto tables = LandmarkTables::build_full(g, lms, /*parents=*/true);
+  ASSERT_TRUE(tables.has_parents());
+  const NodeId l = lms.nodes.front();
+  const auto truth = algo::bfs(g, l).dist;
+  for (NodeId v = 0; v < g.num_nodes(); v += 7) {
+    if (v == l || truth[v] == kInfDistance) continue;
+    const NodeId p = tables.parent_from_landmark(l, v);
+    ASSERT_NE(p, kInvalidNode);
+    EXPECT_TRUE(g.has_edge(p, v));
+    EXPECT_EQ(truth[p] + 1, truth[v]);
+  }
+}
+
+TEST(LandmarkTableTest, SubsetModeMatchesFullMode) {
+  const auto g = testing::random_connected(600, 2400, 905);
+  const auto lms = make_landmarks(g, 2.0, 906);
+  util::Rng rng(907);
+  std::vector<NodeId> subset;
+  for (auto v : rng.sample_without_replacement(g.num_nodes(), 40)) {
+    subset.push_back(static_cast<NodeId>(v));
+  }
+  const auto full = LandmarkTables::build_full(g, lms, false);
+  const auto sub = LandmarkTables::build_subset(g, lms, subset);
+  ASSERT_EQ(sub.mode(), LandmarkTables::Mode::kSubset);
+  for (const NodeId v : subset) {
+    EXPECT_TRUE(sub.in_subset(v));
+    for (const NodeId l : lms.nodes) {
+      EXPECT_EQ(sub.subset_dist_to_landmark(v, l),
+                full.dist_to_landmark(v, l));
+      EXPECT_EQ(sub.landmark_query(l, v, /*s_is_landmark=*/true),
+                full.landmark_query(l, v, /*s_is_landmark=*/true));
+      EXPECT_EQ(sub.landmark_query(v, l, /*s_is_landmark=*/false),
+                full.landmark_query(v, l, /*s_is_landmark=*/false));
+    }
+  }
+}
+
+TEST(LandmarkTableTest, DirectedModesRespectArcDirection) {
+  util::Rng grng(908);
+  const auto g = gen::erdos_renyi_directed(250, 1500, grng);
+  const auto lms = make_landmarks(g, 2.0, 909);
+  const auto tables = LandmarkTables::build_full(g, lms, false);
+  const NodeId l = lms.nodes.front();
+  const auto fwd = algo::bfs(g, l).dist;          // d(l -> v)
+  const auto bwd = algo::bfs_reverse(g, l).dist;  // d(v -> l)
+  for (NodeId v = 0; v < g.num_nodes(); v += 13) {
+    EXPECT_EQ(tables.dist_from_landmark(l, v), fwd[v]);
+    EXPECT_EQ(tables.dist_to_landmark(v, l), bwd[v]);
+  }
+}
+
+TEST(LandmarkTableTest, DirectedSubsetMatchesFull) {
+  util::Rng grng(910);
+  const auto g = gen::erdos_renyi_directed(300, 2400, grng);
+  const auto lms = make_landmarks(g, 2.0, 911);
+  util::Rng rng(912);
+  std::vector<NodeId> subset;
+  for (auto v : rng.sample_without_replacement(g.num_nodes(), 30)) {
+    subset.push_back(static_cast<NodeId>(v));
+  }
+  const auto full = LandmarkTables::build_full(g, lms, false);
+  const auto sub = LandmarkTables::build_subset(g, lms, subset);
+  for (const NodeId v : subset) {
+    for (const NodeId l : lms.nodes) {
+      EXPECT_EQ(sub.subset_dist_to_landmark(v, l),
+                full.dist_to_landmark(v, l));
+      EXPECT_EQ(sub.subset_dist_from_landmark(l, v),
+                full.dist_from_landmark(l, v));
+    }
+  }
+}
+
+TEST(LandmarkTableTest, MisuseThrows) {
+  const auto g = testing::karate_club();
+  const auto lms = make_landmarks(g, 1.0, 913);
+  const auto full = LandmarkTables::build_full(g, lms, false);
+  NodeId non_landmark = 0;
+  while (lms.contains(non_landmark)) ++non_landmark;
+  EXPECT_THROW(full.dist_from_landmark(non_landmark, 0),
+               std::invalid_argument);
+  EXPECT_THROW(full.parent_from_landmark(lms.nodes.front(), 0),
+               std::logic_error);  // parents not built
+  EXPECT_THROW(full.subset_dist_to_landmark(0, lms.nodes.front()),
+               std::logic_error);  // wrong mode
+  LandmarkTables none;
+  EXPECT_THROW(none.landmark_query(0, 1, true), std::logic_error);
+}
+
+TEST(LandmarkTableTest, EntriesAndMemoryAccounting) {
+  const auto g = testing::random_connected(200, 800, 914);
+  const auto lms = make_landmarks(g, 2.0, 915);
+  const auto no_parents = LandmarkTables::build_full(g, lms, false);
+  const auto with_parents = LandmarkTables::build_full(g, lms, true);
+  EXPECT_EQ(no_parents.entries(), lms.size() * g.num_nodes());
+  EXPECT_EQ(with_parents.entries(), 2 * lms.size() * g.num_nodes());
+  EXPECT_GT(with_parents.memory_bytes(), no_parents.memory_bytes());
+}
+
+}  // namespace
+}  // namespace vicinity::core

@@ -1,0 +1,194 @@
+#include "core/landmarks.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/bfs.h"
+#include "test_support.h"
+
+namespace vicinity::core {
+namespace {
+
+TEST(LandmarkSamplingTest, ExpectedSizeTracksFormula) {
+  // E|L| = c * 2m / (alpha * sqrt(n)); average over repetitions.
+  const auto g = testing::random_connected(4000, 16000, 101);
+  const double alpha = 4.0, c = 1.0;
+  const double expected = c * 2.0 * static_cast<double>(g.num_edges()) /
+                          (alpha * std::sqrt(g.num_nodes()));
+  double total = 0;
+  const int reps = 20;
+  util::Rng rng(102);
+  for (int i = 0; i < reps; ++i) {
+    total += static_cast<double>(
+        sample_landmarks(g, alpha, SamplingStrategy::kDegreeProportional, rng,
+                         c)
+            .size());
+  }
+  EXPECT_NEAR(total / reps, expected, expected * 0.25);
+}
+
+TEST(LandmarkSamplingTest, AlphaShrinksLandmarkSet) {
+  const auto g = testing::random_connected(2000, 8000, 103);
+  util::Rng r1(104), r2(104);
+  const auto small_alpha =
+      sample_landmarks(g, 0.5, SamplingStrategy::kDegreeProportional, r1);
+  const auto big_alpha =
+      sample_landmarks(g, 8.0, SamplingStrategy::kDegreeProportional, r2);
+  EXPECT_GT(small_alpha.size(), big_alpha.size() * 4);
+}
+
+TEST(LandmarkSamplingTest, DegreeProportionalFavorsHubs) {
+  util::Rng grng(105);
+  const auto g = gen::barabasi_albert(5000, 3, grng);
+  // Count how often the max-degree node is sampled vs a min-degree node.
+  NodeId hub = 0, leaf = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (g.degree(u) > g.degree(hub)) hub = u;
+    if (g.degree(u) < g.degree(leaf)) leaf = u;
+  }
+  int hub_hits = 0, leaf_hits = 0;
+  util::Rng rng(106);
+  for (int i = 0; i < 200; ++i) {
+    const auto L =
+        sample_landmarks(g, 4.0, SamplingStrategy::kDegreeProportional, rng);
+    hub_hits += L.contains(hub);
+    leaf_hits += L.contains(leaf);
+  }
+  EXPECT_GT(hub_hits, leaf_hits * 3);
+}
+
+TEST(LandmarkSamplingTest, MembershipBitmapConsistent) {
+  const auto g = testing::random_connected(500, 2000, 107);
+  util::Rng rng(108);
+  const auto L =
+      sample_landmarks(g, 2.0, SamplingStrategy::kDegreeProportional, rng);
+  std::size_t count = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) count += L.contains(u);
+  EXPECT_EQ(count, L.size());
+  for (const NodeId l : L.nodes) EXPECT_TRUE(L.contains(l));
+}
+
+TEST(LandmarkSamplingTest, NeverEmpty) {
+  const auto g = testing::path_graph(4);  // tiny, huge alpha
+  util::Rng rng(109);
+  const auto L = sample_landmarks(
+      g, 1e9, SamplingStrategy::kDegreeProportional, rng);
+  EXPECT_GE(L.size(), 1u);
+}
+
+TEST(LandmarkSamplingTest, TopDegreeIsDeterministicHubs) {
+  util::Rng grng(110);
+  const auto g = gen::barabasi_albert(2000, 3, grng);
+  util::Rng rng(111);
+  const auto L = sample_landmarks(g, 4.0, SamplingStrategy::kTopDegree, rng);
+  ASSERT_GE(L.size(), 1u);
+  // Every landmark's degree >= every non-landmark's degree.
+  std::uint64_t min_lm_deg = UINT64_MAX;
+  for (const NodeId l : L.nodes) min_lm_deg = std::min(min_lm_deg, g.degree(l));
+  std::uint64_t max_other = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (!L.contains(u)) max_other = std::max(max_other, g.degree(u));
+  }
+  EXPECT_GE(min_lm_deg, max_other);
+}
+
+TEST(LandmarkSamplingTest, UniformMatchesExpectedCount) {
+  const auto g = testing::random_connected(4000, 16000, 112);
+  util::Rng rng(113);
+  double total = 0;
+  const int reps = 20;
+  for (int i = 0; i < reps; ++i) {
+    total += static_cast<double>(
+        sample_landmarks(g, 4.0, SamplingStrategy::kUniform, rng).size());
+  }
+  const double expected = 2.0 * static_cast<double>(g.num_edges()) /
+                          (4.0 * std::sqrt(g.num_nodes()));
+  EXPECT_NEAR(total / reps, expected, expected * 0.3);
+}
+
+TEST(LandmarkSamplingTest, ValidatesArguments) {
+  const auto g = testing::path_graph(4);
+  util::Rng rng(114);
+  EXPECT_THROW(
+      sample_landmarks(g, 0.0, SamplingStrategy::kUniform, rng),
+      std::invalid_argument);
+  EXPECT_THROW(
+      sample_landmarks(g, 1.0, SamplingStrategy::kUniform, rng, -1.0),
+      std::invalid_argument);
+}
+
+TEST(NearestLandmarksTest, MatchesBruteForceMinOverL) {
+  const auto g = testing::random_connected(600, 2400, 115);
+  util::Rng rng(116);
+  const auto L =
+      sample_landmarks(g, 4.0, SamplingStrategy::kDegreeProportional, rng);
+  const auto info = nearest_landmarks(g, L);
+  // Reference: min over per-landmark BFS.
+  std::vector<Distance> best(g.num_nodes(), kInfDistance);
+  for (const NodeId l : L.nodes) {
+    const auto d = algo::bfs(g, l).dist;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      best[u] = std::min(best[u], d[u]);
+    }
+  }
+  EXPECT_EQ(info.dist, best);
+  // Witness consistency: d(u, landmark[u]) == dist[u].
+  for (NodeId u = 0; u < g.num_nodes(); u += 13) {
+    ASSERT_NE(info.landmark[u], kInvalidNode);
+    EXPECT_EQ(algo::bfs(g, info.landmark[u]).dist[u], info.dist[u]);
+  }
+}
+
+TEST(NearestLandmarksTest, LandmarksHaveZeroRadius) {
+  const auto g = testing::karate_club();
+  util::Rng rng(117);
+  const auto L =
+      sample_landmarks(g, 1.0, SamplingStrategy::kDegreeProportional, rng);
+  const auto info = nearest_landmarks(g, L);
+  for (const NodeId l : L.nodes) {
+    EXPECT_EQ(info.dist[l], 0u);
+    EXPECT_EQ(info.landmark[l], l);
+  }
+}
+
+TEST(NearestLandmarksTest, DirectedOutAndInDiffer) {
+  // 0 -> 1 -> 2, landmark {0}: out-distances follow arcs, in-distances
+  // follow reversed arcs.
+  graph::GraphBuilder b(3, /*directed=*/true);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const auto g = b.build();
+  LandmarkSet L;
+  L.nodes = {0};
+  L.member.resize(3);
+  L.member.set(0);
+  const auto out = nearest_landmarks(g, L, Direction::kOut);
+  const auto in = nearest_landmarks(g, L, Direction::kIn);
+  // d(u -> 0): node 1 and 2 cannot reach 0.
+  EXPECT_EQ(out.dist[0], 0u);
+  EXPECT_EQ(out.dist[1], kInfDistance);
+  EXPECT_EQ(out.dist[2], kInfDistance);
+  // d(0 -> u): 0,1,2 hops.
+  EXPECT_EQ(in.dist[0], 0u);
+  EXPECT_EQ(in.dist[1], 1u);
+  EXPECT_EQ(in.dist[2], 2u);
+}
+
+TEST(NearestLandmarksTest, WeightedUsesDijkstra) {
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1, 10);
+  b.add_edge(1, 2, 10);
+  b.add_edge(0, 2, 5);
+  const auto g = b.build(true);
+  LandmarkSet L;
+  L.nodes = {0};
+  L.member.resize(3);
+  L.member.set(0);
+  const auto info = nearest_landmarks(g, L);
+  EXPECT_EQ(info.dist[2], 5u);
+  EXPECT_EQ(info.dist[1], 10u);
+}
+
+}  // namespace
+}  // namespace vicinity::core

@@ -1,0 +1,115 @@
+// Exhaustive option-matrix sweep: every combination of backend, boundary
+// optimization, side selection and fallback must preserve exactness of
+// answered queries and produce identical distances (methods may differ
+// only between fallback flavors).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/oracle.h"
+#include "test_support.h"
+
+namespace vicinity::core {
+namespace {
+
+using MatrixParam =
+    std::tuple<StoreBackend, bool /*boundary*/, bool /*smaller*/, Fallback>;
+
+class OptionsMatrix : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(OptionsMatrix, AnsweredQueriesExactUnderAnyConfiguration) {
+  const auto [backend, boundary, smaller, fallback] = GetParam();
+  const auto g = testing::random_connected(700, 2800, 1001);
+  OracleOptions opt;
+  opt.alpha = 2.0;
+  opt.seed = 1002;
+  opt.backend = backend;
+  opt.use_boundary_optimization = boundary;
+  opt.iterate_smaller_side = smaller;
+  opt.fallback = fallback;
+  opt.store_landmark_parents = true;
+  auto oracle = VicinityOracle::build(g, opt);
+
+  util::Rng rng(1003);
+  for (int i = 0; i < 120; ++i) {
+    const auto s = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto t = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto r = oracle.distance(s, t);
+    const auto truth = testing::ref_distance(g, s, t);
+    if (r.method == QueryMethod::kNotFound) {
+      EXPECT_EQ(fallback, Fallback::kNone);
+      continue;
+    }
+    if (r.exact) {
+      ASSERT_EQ(r.dist, truth) << to_string(r.method);
+    } else {
+      ASSERT_EQ(r.method, QueryMethod::kFallbackEstimate);
+      ASSERT_GE(r.dist, truth);  // upper bound
+    }
+    // Path agrees with distance whenever the method is exact.
+    if (r.exact) {
+      const auto p = oracle.path(s, t);
+      if (!p.path.empty()) {
+        ASSERT_EQ(static_cast<Distance>(p.path.size() - 1), truth);
+      }
+    }
+  }
+}
+
+std::string matrix_name(
+    const ::testing::TestParamInfo<MatrixParam>& info) {
+  const auto [backend, boundary, smaller, fallback] = info.param;
+  std::string s;
+  s += backend == StoreBackend::kFlatHash ? "flat" : "stdmap";
+  s += boundary ? "_boundary" : "_full";
+  s += smaller ? "_smaller" : "_fixed";
+  switch (fallback) {
+    case Fallback::kNone: s += "_nofb"; break;
+    case Fallback::kBidirectionalBfs: s += "_bidifb"; break;
+    case Fallback::kLandmarkEstimate: s += "_estfb"; break;
+  }
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, OptionsMatrix,
+    ::testing::Combine(::testing::Values(StoreBackend::kFlatHash,
+                                         StoreBackend::kStdUnorderedMap),
+                       ::testing::Bool(), ::testing::Bool(),
+                       ::testing::Values(Fallback::kNone,
+                                         Fallback::kBidirectionalBfs,
+                                         Fallback::kLandmarkEstimate)),
+    matrix_name);
+
+TEST(OptionsMatrixTest, AllConfigurationsAgreeOnDistances) {
+  const auto g = testing::random_connected(500, 2000, 1004);
+  std::vector<VicinityOracle> oracles;
+  for (const auto backend :
+       {StoreBackend::kFlatHash, StoreBackend::kStdUnorderedMap}) {
+    for (const bool boundary : {true, false}) {
+      for (const bool smaller : {true, false}) {
+        OracleOptions opt;
+        opt.alpha = 4.0;
+        opt.seed = 1005;  // same landmarks everywhere
+        opt.backend = backend;
+        opt.use_boundary_optimization = boundary;
+        opt.iterate_smaller_side = smaller;
+        oracles.push_back(VicinityOracle::build(g, opt));
+      }
+    }
+  }
+  util::Rng rng(1006);
+  for (int i = 0; i < 150; ++i) {
+    const auto s = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto t = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto ref = oracles.front().distance(s, t);
+    for (std::size_t k = 1; k < oracles.size(); ++k) {
+      const auto r = oracles[k].distance(s, t);
+      ASSERT_EQ(r.dist, ref.dist) << "config " << k;
+      ASSERT_EQ(r.method, ref.method);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vicinity::core

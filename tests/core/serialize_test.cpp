@@ -1,0 +1,108 @@
+#include "core/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_support.h"
+
+namespace vicinity::core {
+namespace {
+
+OracleOptions opts() {
+  OracleOptions o;
+  o.alpha = 4.0;
+  o.seed = 9;
+  o.store_landmark_parents = true;
+  return o;
+}
+
+TEST(SerializeTest, RoundTripPreservesEveryAnswer) {
+  const auto g = testing::random_connected(600, 2400, 401);
+  auto oracle = VicinityOracle::build(g, opts());
+  std::stringstream buf;
+  save_oracle(oracle, buf);
+  auto loaded = load_oracle(buf, g);
+
+  EXPECT_EQ(loaded.landmarks().nodes, oracle.landmarks().nodes);
+  EXPECT_EQ(loaded.memory_stats().vicinity_entries,
+            oracle.memory_stats().vicinity_entries);
+
+  util::Rng rng(402);
+  for (int i = 0; i < 300; ++i) {
+    const auto s = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto t = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto a = oracle.distance(s, t);
+    const auto b = loaded.distance(s, t);
+    ASSERT_EQ(a.dist, b.dist) << s << "->" << t;
+    ASSERT_EQ(a.method, b.method);
+    ASSERT_EQ(a.hash_lookups, b.hash_lookups);
+  }
+}
+
+TEST(SerializeTest, RoundTripPreservesPaths) {
+  const auto g = testing::random_connected(400, 1600, 403);
+  auto oracle = VicinityOracle::build(g, opts());
+  std::stringstream buf;
+  save_oracle(oracle, buf);
+  auto loaded = load_oracle(buf, g);
+  util::Rng rng(404);
+  for (int i = 0; i < 80; ++i) {
+    const auto s = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto t = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    EXPECT_EQ(oracle.path(s, t).path, loaded.path(s, t).path);
+  }
+}
+
+TEST(SerializeTest, SubsetOracleRoundTrips) {
+  const auto g = testing::random_connected(1500, 6000, 405);
+  util::Rng rng(406);
+  std::vector<NodeId> sample;
+  for (int i = 0; i < 30; ++i) {
+    sample.push_back(static_cast<NodeId>(rng.next_below(g.num_nodes())));
+  }
+  OracleOptions o;
+  o.alpha = 4.0;
+  o.seed = 11;
+  auto oracle = VicinityOracle::build_for(g, o, sample);
+  std::stringstream buf;
+  save_oracle(oracle, buf);
+  auto loaded = load_oracle(buf, g);
+  for (const NodeId s : sample) {
+    for (const NodeId t : sample) {
+      const auto a = oracle.distance(s, t);
+      const auto b = loaded.distance(s, t);
+      ASSERT_EQ(a.dist, b.dist);
+      ASSERT_EQ(a.method, b.method);
+    }
+  }
+}
+
+TEST(SerializeTest, RejectsWrongGraph) {
+  const auto g = testing::random_connected(300, 1200, 407);
+  auto oracle = VicinityOracle::build(g, opts());
+  std::stringstream buf;
+  save_oracle(oracle, buf);
+  const auto other = testing::random_connected(301, 1200, 408);
+  EXPECT_THROW(load_oracle(buf, other), std::runtime_error);
+}
+
+TEST(SerializeTest, RejectsGarbage) {
+  const auto g = testing::karate_club();
+  std::istringstream in("this is not an oracle index");
+  EXPECT_THROW(load_oracle(in, g), std::runtime_error);
+}
+
+TEST(SerializeTest, FileHelpers) {
+  const auto g = testing::karate_club();
+  auto oracle = VicinityOracle::build(g, opts());
+  const std::string path = ::testing::TempDir() + "/oracle.idx";
+  save_oracle_file(oracle, path);
+  auto loaded = load_oracle_file(path, g);
+  EXPECT_EQ(loaded.landmarks().size(), oracle.landmarks().size());
+  EXPECT_THROW(load_oracle_file("/nonexistent/oracle.idx", g),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vicinity::core

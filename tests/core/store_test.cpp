@@ -1,0 +1,141 @@
+// VicinityStore: both hash backends must behave identically.
+#include "core/vicinity_store.h"
+
+#include <gtest/gtest.h>
+
+#include "core/landmarks.h"
+#include "test_support.h"
+
+namespace vicinity::core {
+namespace {
+
+class StoreTest : public ::testing::TestWithParam<StoreBackend> {
+ protected:
+  Vicinity make_vicinity(const graph::Graph& g, NodeId u, Distance r) {
+    VicinityBuilder builder(g);
+    return builder.build(u, r, kInvalidNode);
+  }
+};
+
+TEST_P(StoreTest, FindReturnsStoredEntries) {
+  const auto g = testing::karate_club();
+  VicinityStore store(g.num_nodes(), GetParam());
+  const std::vector<NodeId> nodes = {0, 5};
+  store.prepare(nodes);
+  const Vicinity v = make_vicinity(g, 0, 2);
+  store.set(0, v);
+  EXPECT_TRUE(store.has(0));
+  EXPECT_TRUE(store.has(5));   // prepared but empty
+  EXPECT_FALSE(store.has(1));  // never prepared
+  for (const auto& m : v.members) {
+    const StoredEntry* e = store.find(0, m.node);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->dist, m.dist);
+    EXPECT_EQ(e->parent, m.parent);
+  }
+  // Non-members probe as absent.
+  std::size_t missing = 0;
+  for (NodeId x = 0; x < g.num_nodes(); ++x) {
+    bool member = false;
+    for (const auto& m : v.members) member |= (m.node == x);
+    if (!member && store.find(0, x) == nullptr) ++missing;
+  }
+  EXPECT_EQ(missing, g.num_nodes() - v.members.size());
+}
+
+TEST_P(StoreTest, BoundaryViewMatchesFlags) {
+  const auto g = testing::random_connected(200, 700, 141);
+  VicinityStore store(g.num_nodes(), GetParam());
+  const std::vector<NodeId> nodes = {3};
+  store.prepare(nodes);
+  const Vicinity v = make_vicinity(g, 3, 2);
+  store.set(3, v);
+  const auto view = store.boundary(3);
+  EXPECT_EQ(view.nodes.size(), v.boundary_size);
+  EXPECT_EQ(store.boundary_size(3), v.boundary_size);
+  for (std::size_t i = 0; i < view.nodes.size(); ++i) {
+    const StoredEntry* e = store.find(3, view.nodes[i]);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->dist, view.dists[i]);
+  }
+}
+
+TEST_P(StoreTest, MetadataAccessors) {
+  const auto g = testing::karate_club();
+  VicinityStore store(g.num_nodes(), GetParam());
+  store.prepare(std::vector<NodeId>{7});
+  const Vicinity v = make_vicinity(g, 7, 3);
+  store.set(7, v);
+  EXPECT_EQ(store.radius(7), 3u);
+  EXPECT_EQ(store.vicinity_size(7), v.members.size());
+  EXPECT_EQ(store.total_entries(), v.members.size());
+  EXPECT_EQ(store.indexed_nodes(), 1u);
+  EXPECT_GT(store.memory_bytes(), 0u);
+}
+
+TEST_P(StoreTest, ForEachMemberVisitsAll) {
+  const auto g = testing::karate_club();
+  VicinityStore store(g.num_nodes(), GetParam());
+  store.prepare(std::vector<NodeId>{0});
+  const Vicinity v = make_vicinity(g, 0, 2);
+  store.set(0, v);
+  std::size_t count = 0;
+  store.for_each_member(0, [&](NodeId, const StoredEntry&) { ++count; });
+  EXPECT_EQ(count, v.members.size());
+}
+
+TEST_P(StoreTest, SetValidatesUsage) {
+  const auto g = testing::karate_club();
+  VicinityStore store(g.num_nodes(), GetParam());
+  store.prepare(std::vector<NodeId>{0});
+  Vicinity v = make_vicinity(g, 1, 2);
+  EXPECT_THROW(store.set(1, v), std::logic_error);   // not prepared
+  EXPECT_THROW(store.set(0, v), std::logic_error);   // origin mismatch
+  EXPECT_THROW(store.prepare(std::vector<NodeId>{999}), std::out_of_range);
+}
+
+TEST_P(StoreTest, DuplicatePrepareIsIdempotent) {
+  const auto g = testing::karate_club();
+  VicinityStore store(g.num_nodes(), GetParam());
+  store.prepare(std::vector<NodeId>{0, 0, 1, 0});
+  EXPECT_EQ(store.indexed_nodes(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, StoreTest,
+                         ::testing::Values(StoreBackend::kFlatHash,
+                                           StoreBackend::kStdUnorderedMap),
+                         [](const auto& info) {
+                           return info.param == StoreBackend::kFlatHash
+                                      ? "FlatHash"
+                                      : "StdUnorderedMap";
+                         });
+
+TEST(StoreBackendTest, BackendsAgreeProbeForProbe) {
+  const auto g = testing::random_connected(300, 1200, 142);
+  VicinityStore flat(g.num_nodes(), StoreBackend::kFlatHash);
+  VicinityStore stdm(g.num_nodes(), StoreBackend::kStdUnorderedMap);
+  const std::vector<NodeId> nodes = {1, 2, 3, 4, 5};
+  flat.prepare(nodes);
+  stdm.prepare(nodes);
+  VicinityBuilder builder(g);
+  for (const NodeId u : nodes) {
+    const Vicinity v = builder.build(u, 2, kInvalidNode);
+    flat.set(u, v);
+    stdm.set(u, v);
+  }
+  for (const NodeId u : nodes) {
+    for (NodeId x = 0; x < g.num_nodes(); ++x) {
+      const StoredEntry* a = flat.find(u, x);
+      const StoredEntry* b = stdm.find(u, x);
+      ASSERT_EQ(a == nullptr, b == nullptr);
+      if (a) {
+        EXPECT_EQ(a->dist, b->dist);
+        EXPECT_EQ(a->parent, b->parent);
+      }
+    }
+  }
+  EXPECT_EQ(flat.total_entries(), stdm.total_entries());
+}
+
+}  // namespace
+}  // namespace vicinity::core

@@ -1,0 +1,189 @@
+// Generator invariants: node/edge counts, simplicity, determinism,
+// connectivity and degree-shape properties.
+#include <gtest/gtest.h>
+
+#include "gen/affiliation.h"
+#include "gen/barabasi_albert.h"
+#include "gen/erdos_renyi.h"
+#include "gen/powerlaw_cluster.h"
+#include "gen/rmat.h"
+#include "gen/watts_strogatz.h"
+#include "graph/components.h"
+#include "graph/gstats.h"
+#include "test_support.h"
+
+namespace vicinity::gen {
+namespace {
+
+void expect_simple(const graph::Graph& g) {
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      ASSERT_NE(nbrs[i], u) << "self loop at " << u;
+      if (i > 0) {
+        ASSERT_NE(nbrs[i], nbrs[i - 1]) << "parallel edge at " << u;
+      }
+    }
+  }
+}
+
+TEST(ErdosRenyiTest, ExactEdgeCountSimple) {
+  util::Rng rng(1);
+  const auto g = erdos_renyi(500, 2000, rng);
+  EXPECT_EQ(g.num_nodes(), 500u);
+  EXPECT_EQ(g.num_edges(), 2000u);
+  expect_simple(g);
+}
+
+TEST(ErdosRenyiTest, DirectedVariant) {
+  util::Rng rng(2);
+  const auto g = erdos_renyi_directed(300, 1500, rng);
+  EXPECT_TRUE(g.directed());
+  EXPECT_EQ(g.num_edges(), 1500u);
+  expect_simple(g);
+}
+
+TEST(ErdosRenyiTest, RejectsImpossibleRequests) {
+  util::Rng rng(3);
+  EXPECT_THROW(erdos_renyi(1, 0, rng), std::invalid_argument);
+  EXPECT_THROW(erdos_renyi(10, 46, rng), std::invalid_argument);  // > C(10,2)
+}
+
+TEST(ErdosRenyiTest, DeterministicUnderSeed) {
+  util::Rng a(42), b(42);
+  const auto g1 = erdos_renyi(200, 800, a);
+  const auto g2 = erdos_renyi(200, 800, b);
+  EXPECT_EQ(g1.raw_targets(), g2.raw_targets());
+}
+
+TEST(BarabasiAlbertTest, SizeAndConnectivity) {
+  util::Rng rng(4);
+  const auto g = barabasi_albert(5000, 3, rng);
+  EXPECT_EQ(g.num_nodes(), 5000u);
+  // seed clique C(4,2)=6 edges + 3 per remaining node.
+  EXPECT_EQ(g.num_edges(), 6u + 3u * (5000 - 4));
+  expect_simple(g);
+  EXPECT_EQ(graph::connected_components(g).num_components, 1u);
+}
+
+TEST(BarabasiAlbertTest, HeavyTailEmerges) {
+  util::Rng rng(5);
+  const auto g = barabasi_albert(20000, 2, rng);
+  std::uint64_t max_deg = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    max_deg = std::max(max_deg, g.degree(u));
+  }
+  // Hubs far above the mean degree (~4) are the signature of pref. attach.
+  EXPECT_GT(max_deg, 100u);
+}
+
+TEST(BarabasiAlbertTest, ParameterValidation) {
+  util::Rng rng(6);
+  EXPECT_THROW(barabasi_albert(3, 3, rng), std::invalid_argument);
+  EXPECT_THROW(barabasi_albert(10, 0, rng), std::invalid_argument);
+}
+
+TEST(WattsStrogatzTest, ZeroBetaIsRingLattice) {
+  util::Rng rng(7);
+  const auto g = watts_strogatz(100, 3, 0.0, rng);
+  EXPECT_EQ(g.num_edges(), 300u);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) EXPECT_EQ(g.degree(u), 6u);
+  // High clustering of the lattice.
+  util::Rng rng2(8);
+  const auto s = graph::compute_stats(g, rng2);
+  EXPECT_GT(s.clustering, 0.5);
+}
+
+TEST(WattsStrogatzTest, RewiringReducesClustering) {
+  util::Rng r1(9), r2(10);
+  const auto lattice = watts_strogatz(2000, 4, 0.0, r1);
+  const auto rewired = watts_strogatz(2000, 4, 0.9, r2);
+  util::Rng s1(11), s2(12);
+  EXPECT_GT(graph::compute_stats(lattice, s1).clustering,
+            graph::compute_stats(rewired, s2).clustering + 0.2);
+}
+
+TEST(WattsStrogatzTest, ParameterValidation) {
+  util::Rng rng(13);
+  EXPECT_THROW(watts_strogatz(6, 3, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW(watts_strogatz(100, 2, 1.5, rng), std::invalid_argument);
+}
+
+TEST(PowerlawClusterTest, SizeConnectivityClustering) {
+  util::Rng rng(14);
+  const auto g = powerlaw_cluster(10000, 4, 0.6, rng);
+  EXPECT_EQ(g.num_nodes(), 10000u);
+  expect_simple(g);
+  EXPECT_EQ(graph::connected_components(g).num_components, 1u);
+  util::Rng rng2(15);
+  const auto s = graph::compute_stats(g, rng2);
+  // Triad formation drives clustering well above an equivalent BA graph.
+  EXPECT_GT(s.clustering, 0.05);
+  EXPECT_NEAR(s.avg_degree, 8.0, 1.0);
+}
+
+TEST(PowerlawClusterTest, TriadParameterValidation) {
+  util::Rng rng(16);
+  EXPECT_THROW(powerlaw_cluster(100, 2, -0.1, rng), std::invalid_argument);
+  EXPECT_THROW(powerlaw_cluster(100, 2, 1.1, rng), std::invalid_argument);
+}
+
+TEST(RmatTest, RespectsScaleAndSkew) {
+  util::Rng rng(17);
+  RmatParams p;
+  const auto g = rmat(12, 40000, p, rng);
+  EXPECT_EQ(g.num_nodes(), 4096u);
+  EXPECT_LE(g.num_edges(), 40000u);   // duplicates removed
+  EXPECT_GT(g.num_edges(), 20000u);   // but most survive
+  expect_simple(g);
+  std::uint64_t max_deg = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    max_deg = std::max(max_deg, g.degree(u));
+  }
+  EXPECT_GT(max_deg, 50u);  // heavy tail from quadrant skew
+}
+
+TEST(RmatTest, DirectedMode) {
+  util::Rng rng(18);
+  RmatParams p;
+  p.directed = true;
+  const auto g = rmat(10, 8000, p, rng);
+  EXPECT_TRUE(g.directed());
+}
+
+TEST(RmatTest, ValidatesParameters) {
+  util::Rng rng(19);
+  RmatParams bad;
+  bad.a = 0.9;  // sums > 1
+  EXPECT_THROW(rmat(10, 100, bad, rng), std::invalid_argument);
+  RmatParams p;
+  EXPECT_THROW(rmat(0, 100, p, rng), std::invalid_argument);
+}
+
+TEST(AffiliationTest, CliqueStructureAndClustering) {
+  util::Rng rng(20);
+  AffiliationParams p;
+  p.nodes = 5000;
+  p.communities = 4000;
+  p.min_size = 2;
+  p.max_size = 6;
+  const auto g = affiliation_graph(p, rng);
+  EXPECT_EQ(g.num_nodes(), 5000u);
+  expect_simple(g);
+  util::Rng rng2(21);
+  const auto s = graph::compute_stats(g, rng2);
+  // Clique-per-community structure yields co-authorship-like clustering.
+  EXPECT_GT(s.clustering, 0.3);
+}
+
+TEST(AffiliationTest, ParameterValidation) {
+  util::Rng rng(22);
+  AffiliationParams p;  // nodes = 0
+  EXPECT_THROW(affiliation_graph(p, rng), std::invalid_argument);
+  p.nodes = 10;
+  p.communities = 0;
+  EXPECT_THROW(affiliation_graph(p, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vicinity::gen

@@ -1,0 +1,82 @@
+// Dataset-profile tests: the synthetic stand-ins must match the paper's
+// datasets in the properties the technique exploits.
+#include "gen/profiles.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/components.h"
+#include "graph/gstats.h"
+#include "util/rng.h"
+
+namespace vicinity::gen {
+namespace {
+
+class ProfileTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ProfileTest, ConnectedAndRightShape) {
+  // Small scale keeps this test fast; shape properties are scale-free.
+  const ProfileGraph p = make_profile(GetParam(), /*seed=*/7, /*scale=*/0.004);
+  ASSERT_GT(p.graph.num_nodes(), 500u);
+  EXPECT_FALSE(p.graph.directed());
+  EXPECT_EQ(graph::connected_components(p.graph).num_components, 1u);
+
+  // Average degree within 2x of the paper's dataset (generators are tuned
+  // for degree; LCC extraction shifts it somewhat).
+  const double paper_avg_deg =
+      2.0 * p.paper.undirected_links_m / p.paper.nodes_m;
+  util::Rng rng(1);
+  const auto s = graph::compute_stats(p.graph, rng);
+  EXPECT_GT(s.avg_degree, paper_avg_deg * 0.5)
+      << p.name << " avg degree " << s.avg_degree;
+  EXPECT_LT(s.avg_degree, paper_avg_deg * 2.0)
+      << p.name << " avg degree " << s.avg_degree;
+
+  // Heavy-tailed degrees: p99 well above the median.
+  EXPECT_GT(s.degree_p99, 3.0 * std::max(1.0, s.degree_p50)) << p.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, ProfileTest,
+                         ::testing::Values("dblp", "flickr", "orkut",
+                                           "livejournal"));
+
+TEST(ProfilesTest, DeterministicUnderSeed) {
+  const auto a = make_profile("dblp", 99, 0.004);
+  const auto b = make_profile("dblp", 99, 0.004);
+  EXPECT_EQ(a.graph.num_nodes(), b.graph.num_nodes());
+  EXPECT_EQ(a.graph.raw_targets(), b.graph.raw_targets());
+}
+
+TEST(ProfilesTest, SeedsChangeTheGraph) {
+  const auto a = make_profile("dblp", 1, 0.004);
+  const auto b = make_profile("dblp", 2, 0.004);
+  EXPECT_TRUE(a.graph.num_nodes() != b.graph.num_nodes() ||
+              a.graph.raw_targets() != b.graph.raw_targets());
+}
+
+TEST(ProfilesTest, UnknownNameThrows) {
+  EXPECT_THROW(make_profile("facebook", 1), std::invalid_argument);
+  EXPECT_THROW(default_profile_scale("nope"), std::invalid_argument);
+}
+
+TEST(ProfilesTest, NamesListedInPaperOrder) {
+  const auto names = profile_names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "dblp");
+  EXPECT_EQ(names[3], "livejournal");
+}
+
+TEST(ProfilesTest, PaperReferenceNumbersPresent) {
+  const auto p = make_profile("orkut", 3, 0.002);
+  EXPECT_NEAR(p.paper.nodes_m, 3.07, 1e-9);
+  EXPECT_NEAR(p.paper.undirected_links_m, 117.19, 1e-9);
+}
+
+TEST(ProfilesTest, DirectedProfileIsDirectedAndWeaklyConnected) {
+  const auto p = make_directed_profile(5, 0.004);
+  EXPECT_TRUE(p.graph.directed());
+  EXPECT_GT(p.graph.num_nodes(), 500u);
+  EXPECT_EQ(graph::connected_components(p.graph).num_components, 1u);
+}
+
+}  // namespace
+}  // namespace vicinity::gen

@@ -1,0 +1,94 @@
+#include "graph/components.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "test_support.h"
+
+namespace vicinity::graph {
+namespace {
+
+TEST(ComponentsTest, SingleComponent) {
+  const Graph g = testing::cycle_graph(10);
+  const ComponentInfo info = connected_components(g);
+  EXPECT_EQ(info.num_components, 1u);
+  EXPECT_EQ(info.size[0], 10u);
+}
+
+TEST(ComponentsTest, CountsIsolatedNodes) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  const ComponentInfo info = connected_components(g);
+  EXPECT_EQ(info.num_components, 4u);  // {0,1}, {2}, {3}, {4}
+  EXPECT_EQ(info.size[info.largest], 2u);
+}
+
+TEST(ComponentsTest, TwoComponentsLabeledConsistently) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  const Graph g = b.build();
+  const ComponentInfo info = connected_components(g);
+  EXPECT_EQ(info.num_components, 2u);
+  EXPECT_EQ(info.label[0], info.label[2]);
+  EXPECT_EQ(info.label[3], info.label[5]);
+  EXPECT_NE(info.label[0], info.label[3]);
+}
+
+TEST(ComponentsTest, DirectedUsesWeakConnectivity) {
+  GraphBuilder b(3, /*directed=*/true);
+  b.add_edge(0, 1);
+  b.add_edge(2, 1);  // 2 only reaches 1; weakly all connected
+  const Graph g = b.build();
+  const ComponentInfo info = connected_components(g);
+  EXPECT_EQ(info.num_components, 1u);
+}
+
+TEST(LargestComponentTest, ExtractsAndRelabels) {
+  GraphBuilder b(7);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(4, 5);  // smaller component
+  const Graph g = b.build();
+  const LargestComponent lcc = largest_component(g);
+  EXPECT_EQ(lcc.graph.num_nodes(), 3u);
+  EXPECT_EQ(lcc.graph.num_edges(), 3u);
+  // Mapping is a bijection between the component and [0,3).
+  for (NodeId nu = 0; nu < 3; ++nu) {
+    EXPECT_EQ(lcc.old_to_new[lcc.new_to_old[nu]], nu);
+  }
+  // Non-members are dropped.
+  EXPECT_EQ(lcc.old_to_new[4], kInvalidNode);
+  EXPECT_EQ(lcc.old_to_new[6], kInvalidNode);
+}
+
+TEST(LargestComponentTest, PreservesWeights) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 9);
+  b.add_edge(2, 3, 2);
+  b.add_edge(0, 2, 7);
+  const Graph g = b.build(true);
+  const LargestComponent lcc = largest_component(g);
+  EXPECT_EQ(lcc.graph.num_nodes(), 4u);
+  const NodeId n0 = lcc.old_to_new[0];
+  const NodeId n1 = lcc.old_to_new[1];
+  EXPECT_EQ(lcc.graph.edge_weight(n0, n1), 9u);
+}
+
+TEST(LargestComponentTest, GeneratedGraphBecomesConnected) {
+  util::Rng rng(21);
+  // Sparse ER graph is disconnected whp; the LCC must be connected.
+  const Graph g = gen::erdos_renyi(2000, 2200, rng);
+  const LargestComponent lcc = largest_component(g);
+  const ComponentInfo info = connected_components(lcc.graph);
+  EXPECT_EQ(info.num_components, 1u);
+  EXPECT_GT(lcc.graph.num_nodes(), 0u);
+  EXPECT_LE(lcc.graph.num_nodes(), g.num_nodes());
+}
+
+}  // namespace
+}  // namespace vicinity::graph

@@ -1,0 +1,155 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/builder.h"
+#include "test_support.h"
+
+namespace vicinity::graph {
+namespace {
+
+using vicinity::testing::path_graph;
+using vicinity::testing::star_graph;
+
+TEST(GraphTest, EmptyBuilderYieldsIsolatedNodes) {
+  GraphBuilder b(3);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_TRUE(g.neighbors(1).empty());
+}
+
+TEST(GraphTest, UndirectedEdgeAppearsBothWays) {
+  GraphBuilder b(4);
+  b.add_edge(0, 2);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.num_arcs(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(GraphTest, BuilderRemovesSelfLoopsAndDuplicates) {
+  GraphBuilder b(3);
+  b.add_edge(0, 0);  // dropped
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);  // duplicate of {0,1}
+  b.add_edge(0, 1);  // duplicate
+  b.add_edge(1, 2);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(GraphTest, BuilderGrowsNodeCount) {
+  GraphBuilder b;
+  b.add_edge(0, 9);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_nodes(), 10u);
+}
+
+TEST(GraphTest, NeighborsSortedAfterBuild) {
+  GraphBuilder b(5);
+  b.add_edge(0, 4);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  const Graph g = b.build();
+  const auto nbrs = g.neighbors(0);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(GraphTest, DirectedArcsAndReverse) {
+  GraphBuilder b(3, /*directed=*/true);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  const Graph g = b.build();
+  EXPECT_TRUE(g.directed());
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.num_arcs(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.in_degree(0), 0u);
+  EXPECT_EQ(g.in_degree(2), 2u);
+  const auto in2 = g.in_neighbors(2);
+  EXPECT_EQ(in2.size(), 2u);
+  EXPECT_TRUE(std::find(in2.begin(), in2.end(), 0u) != in2.end());
+  EXPECT_TRUE(std::find(in2.begin(), in2.end(), 1u) != in2.end());
+}
+
+TEST(GraphTest, ReverseArcCountMatchesForward) {
+  util::Rng rng(4);
+  auto g = gen::erdos_renyi_directed(200, 2000, rng);
+  std::uint64_t in_total = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) in_total += g.in_degree(u);
+  EXPECT_EQ(in_total, g.num_arcs());
+}
+
+TEST(GraphTest, WeightsAlignedWithNeighbors) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 5);
+  b.add_edge(1, 2, 7);
+  const Graph g = b.build(/*weighted=*/true);
+  EXPECT_TRUE(g.weighted());
+  EXPECT_EQ(g.edge_weight(0, 1), 5u);
+  EXPECT_EQ(g.edge_weight(1, 0), 5u);
+  EXPECT_EQ(g.edge_weight(1, 2), 7u);
+  EXPECT_EQ(g.edge_weight(0, 2), kInfDistance);
+  EXPECT_EQ(g.max_weight(), 7u);
+}
+
+TEST(GraphTest, ParallelEdgesKeepMinimumWeight) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, 9);
+  b.add_edge(0, 1, 4);
+  b.add_edge(1, 0, 6);
+  const Graph g = b.build(/*weighted=*/true);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edge_weight(0, 1), 4u);
+}
+
+TEST(GraphTest, UnweightedEdgeWeightIsOne) {
+  const Graph g = path_graph(3);
+  EXPECT_EQ(g.edge_weight(0, 1), 1u);
+  EXPECT_EQ(g.max_weight(), 1u);
+}
+
+TEST(GraphTest, ConstructorValidatesCsr) {
+  // offsets not framing targets
+  EXPECT_THROW(Graph({0, 1}, {}, {}, false), std::invalid_argument);
+  // target out of range
+  EXPECT_THROW(Graph({0, 1}, {5}, {}, false), std::invalid_argument);
+  // non-monotone offsets
+  EXPECT_THROW(Graph({0, 2, 1, 3}, {0, 1, 2}, {}, false),
+               std::invalid_argument);
+  // weight size mismatch
+  EXPECT_THROW(Graph({0, 1, 1}, {1}, {1, 2}, false), std::invalid_argument);
+}
+
+TEST(GraphTest, SummaryMentionsShape) {
+  const Graph g = star_graph(5);
+  const std::string s = g.summary();
+  EXPECT_NE(s.find("n=5"), std::string::npos);
+  EXPECT_NE(s.find("m=4"), std::string::npos);
+  EXPECT_NE(s.find("undirected"), std::string::npos);
+}
+
+TEST(GraphTest, MemoryBytesGrowsWithEdges) {
+  const Graph small = path_graph(10);
+  const Graph big = path_graph(1000);
+  EXPECT_GT(big.memory_bytes(), small.memory_bytes());
+}
+
+TEST(GraphTest, InvalidNodeIdRejectedByBuilder) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(kInvalidNode, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vicinity::graph

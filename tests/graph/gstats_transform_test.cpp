@@ -1,0 +1,144 @@
+// Tests for graph statistics and structure-preserving transforms.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "algo/bfs.h"
+#include "graph/gstats.h"
+#include "graph/transform.h"
+#include "test_support.h"
+
+namespace vicinity::graph {
+namespace {
+
+TEST(GStatsTest, PathGraphBasics) {
+  const Graph g = testing::path_graph(5);
+  util::Rng rng(1);
+  const GraphStats s = compute_stats(g, rng);
+  EXPECT_EQ(s.num_nodes, 5u);
+  EXPECT_EQ(s.num_edges, 4u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 8.0 / 5.0);
+  EXPECT_EQ(s.max_degree, 2u);
+  EXPECT_EQ(s.min_degree, 1u);
+  EXPECT_DOUBLE_EQ(s.clustering, 0.0);  // no triangles on a path
+}
+
+TEST(GStatsTest, CompleteGraphClusteringIsOne) {
+  const Graph g = testing::complete_graph(6);
+  util::Rng rng(2);
+  const GraphStats s = compute_stats(g, rng);
+  EXPECT_NEAR(s.clustering, 1.0, 1e-9);
+}
+
+TEST(GStatsTest, LocalClusteringExactValues) {
+  // Triangle 0-1-2 plus pendant 3 attached to 0.
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  const Graph g = b.build();
+  EXPECT_NEAR(local_clustering(g, 1), 1.0, 1e-9);   // both nbrs linked
+  EXPECT_NEAR(local_clustering(g, 0), 1.0 / 3.0, 1e-9);  // 1 of 3 pairs
+  EXPECT_DOUBLE_EQ(local_clustering(g, 3), 0.0);    // degree 1
+}
+
+TEST(GStatsTest, PowerLawTailExponentDetected) {
+  util::Rng rng(3);
+  const Graph g = gen::barabasi_albert(20000, 4, rng);
+  util::Rng rng2(4);
+  const GraphStats s = compute_stats(g, rng2);
+  // BA degree exponent is 3 in theory; accept a broad band.
+  EXPECT_GT(s.degree_tail_exponent, 1.8);
+  EXPECT_LT(s.degree_tail_exponent, 4.5);
+}
+
+TEST(GStatsTest, DegreeHistogramSumsToN) {
+  const Graph g = testing::star_graph(10);
+  const auto hist = degree_histogram(g, 5);
+  std::uint64_t total = std::accumulate(hist.begin(), hist.end(), 0ull);
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(hist[1], 9u);  // leaves
+  EXPECT_EQ(hist[5], 1u);  // center degree 9 clamped into last bucket
+}
+
+TEST(TransformTest, RelabelPreservesDistances) {
+  const Graph g = testing::karate_club();
+  std::vector<NodeId> perm(g.num_nodes());
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  util::Rng rng(5);
+  rng.shuffle(perm);
+  const Graph h = relabel(g, perm);
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  const auto dg = algo::bfs(g, 0).dist;
+  const auto dh = algo::bfs(h, perm[0]).dist;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(dg[u], dh[perm[u]]) << "node " << u;
+  }
+}
+
+TEST(TransformTest, BfsOrderIsPermutation) {
+  const Graph g = testing::karate_club();
+  const auto perm = bfs_order(g, 3);
+  std::vector<bool> seen(g.num_nodes(), false);
+  for (const NodeId p : perm) {
+    ASSERT_LT(p, g.num_nodes());
+    ASSERT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+  EXPECT_EQ(perm[3], 0u);  // root gets the first label
+}
+
+TEST(TransformTest, DegreeOrderPutsHubsFirst) {
+  const Graph g = testing::star_graph(8);
+  const auto perm = degree_order(g);
+  EXPECT_EQ(perm[0], 0u);  // center (degree 7) gets rank 0
+}
+
+TEST(TransformTest, InducedSubgraphKeepsInternalEdges) {
+  const Graph g = testing::grid_graph(4, 4);
+  const std::vector<NodeId> nodes = {0, 1, 2, 4, 5, 6};
+  const Graph h = induced_subgraph(g, nodes);
+  EXPECT_EQ(h.num_nodes(), 6u);
+  // Edges inside the selection: (0,1),(1,2),(4,5),(5,6),(0,4),(1,5),(2,6).
+  EXPECT_EQ(h.num_edges(), 7u);
+  EXPECT_THROW(induced_subgraph(g, {999}), std::invalid_argument);
+}
+
+TEST(TransformTest, ToUndirectedSymmetrizes) {
+  GraphBuilder b(3, /*directed=*/true);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);  // reciprocal pair collapses to one edge
+  b.add_edge(1, 2);
+  const Graph g = b.build();
+  const Graph u = to_undirected(g);
+  EXPECT_FALSE(u.directed());
+  EXPECT_EQ(u.num_edges(), 2u);
+  EXPECT_TRUE(u.has_edge(2, 1));
+}
+
+TEST(TransformTest, RandomWeightsInRangeAndSymmetric) {
+  const Graph g = testing::cycle_graph(50);
+  util::Rng rng(6);
+  const Graph w = with_random_weights(g, rng, 2, 9);
+  ASSERT_TRUE(w.weighted());
+  for (NodeId u = 0; u < w.num_nodes(); ++u) {
+    const auto nbrs = w.neighbors(u);
+    const auto wts = w.weights(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_GE(wts[i], 2u);
+      EXPECT_LE(wts[i], 9u);
+      EXPECT_EQ(w.edge_weight(nbrs[i], u), wts[i]);  // symmetric
+    }
+  }
+  EXPECT_THROW(with_random_weights(g, rng, 0, 5), std::invalid_argument);
+  EXPECT_THROW(with_random_weights(g, rng, 6, 5), std::invalid_argument);
+}
+
+TEST(TransformTest, RelabelRejectsWrongSize) {
+  const Graph g = testing::path_graph(4);
+  EXPECT_THROW(relabel(g, {0, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vicinity::graph

@@ -1,0 +1,129 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/erdos_renyi.h"
+#include "test_support.h"
+
+namespace vicinity::graph {
+namespace {
+
+TEST(GraphIoTest, ParsesSnapStyleEdgeList) {
+  std::istringstream in(
+      "# comment line\n"
+      "% another comment\n"
+      "0\t1\n"
+      "1 2\n"
+      "\n"
+      "2\t3\n");
+  const Graph g = load_edge_list(in);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(GraphIoTest, MalformedLineThrows) {
+  std::istringstream in("0 1\nnot numbers\n");
+  EXPECT_THROW(load_edge_list(in), std::runtime_error);
+}
+
+TEST(GraphIoTest, WeightedEdgeListRoundTrip) {
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1, 4);
+  b.add_edge(1, 2, 9);
+  const Graph g = b.build(true);
+  std::ostringstream out;
+  save_edge_list(g, out);
+  std::istringstream in(out.str());
+  const Graph h = load_edge_list(in, false, /*weighted=*/true);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_EQ(h.edge_weight(0, 1), 4u);
+  EXPECT_EQ(h.edge_weight(1, 2), 9u);
+}
+
+TEST(GraphIoTest, EdgeListRoundTripPreservesStructure) {
+  util::Rng rng(8);
+  const Graph g = gen::erdos_renyi(100, 300, rng);
+  std::ostringstream out;
+  save_edge_list(g, out);
+  std::istringstream in(out.str());
+  const Graph h = load_edge_list(in);
+  ASSERT_EQ(h.num_nodes(), g.num_nodes());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    ASSERT_EQ(h.degree(u), g.degree(u)) << u;
+  }
+}
+
+TEST(GraphIoTest, DirectedEdgeListKeepsArcDirection) {
+  graph::GraphBuilder b(3, /*directed=*/true);
+  b.add_edge(0, 1);
+  b.add_edge(2, 1);
+  const Graph g = b.build();
+  std::ostringstream out;
+  save_edge_list(g, out);
+  std::istringstream in(out.str());
+  const Graph h = load_edge_list(in, /*directed=*/true);
+  EXPECT_TRUE(h.has_edge(0, 1));
+  EXPECT_FALSE(h.has_edge(1, 0));
+  EXPECT_TRUE(h.has_edge(2, 1));
+}
+
+TEST(GraphIoTest, BinaryRoundTripExact) {
+  util::Rng rng(9);
+  const Graph g = gen::erdos_renyi(200, 600, rng);
+  std::stringstream buf;
+  save_binary(g, buf);
+  const Graph h = load_binary(buf);
+  EXPECT_EQ(h.raw_offsets(), g.raw_offsets());
+  EXPECT_EQ(h.raw_targets(), g.raw_targets());
+  EXPECT_EQ(h.directed(), g.directed());
+}
+
+TEST(GraphIoTest, BinaryRoundTripWeightedDirected) {
+  graph::GraphBuilder b(4, /*directed=*/true);
+  b.add_edge(0, 1, 3);
+  b.add_edge(1, 2, 5);
+  b.add_edge(3, 0, 2);
+  const Graph g = b.build(true);
+  std::stringstream buf;
+  save_binary(g, buf);
+  const Graph h = load_binary(buf);
+  EXPECT_TRUE(h.directed());
+  EXPECT_TRUE(h.weighted());
+  EXPECT_EQ(h.edge_weight(1, 2), 5u);
+  EXPECT_EQ(h.in_degree(0), 1u);
+}
+
+TEST(GraphIoTest, BinaryDetectsCorruption) {
+  const Graph g = testing::path_graph(5);
+  std::stringstream buf;
+  save_binary(g, buf);
+  std::string data = buf.str();
+  data[data.size() / 2] ^= 0x5A;  // flip bits mid-payload
+  std::istringstream in(data);
+  EXPECT_THROW(load_binary(in), std::runtime_error);
+}
+
+TEST(GraphIoTest, BinaryRejectsBadMagic) {
+  std::istringstream in("NOTAGRAPHFILE...");
+  EXPECT_THROW(load_binary(in), std::runtime_error);
+}
+
+TEST(GraphIoTest, FileHelpersWork) {
+  const Graph g = testing::cycle_graph(6);
+  const std::string base = ::testing::TempDir();
+  save_edge_list_file(g, base + "/cyc.txt");
+  save_binary_file(g, base + "/cyc.bin");
+  const Graph t = load_edge_list_file(base + "/cyc.txt");
+  const Graph b = load_binary_file(base + "/cyc.bin");
+  EXPECT_EQ(t.num_edges(), 6u);
+  EXPECT_EQ(b.num_edges(), 6u);
+  EXPECT_THROW(load_edge_list_file(base + "/missing.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vicinity::graph

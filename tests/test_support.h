@@ -1,0 +1,84 @@
+// Shared fixtures for the test suite: small canonical graphs plus random
+// connected graphs with brute-force reference distances.
+#pragma once
+
+#include <vector>
+
+#include "algo/bfs.h"
+#include "algo/dijkstra.h"
+#include "gen/barabasi_albert.h"
+#include "gen/erdos_renyi.h"
+#include "gen/powerlaw_cluster.h"
+#include "gen/watts_strogatz.h"
+#include "graph/builder.h"
+#include "graph/components.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace vicinity::testing {
+
+/// 0-1-2-...-(n-1) path graph.
+inline graph::Graph path_graph(NodeId n) {
+  graph::GraphBuilder b(n);
+  for (NodeId u = 0; u + 1 < n; ++u) b.add_edge(u, u + 1);
+  return b.build();
+}
+
+/// n-cycle.
+inline graph::Graph cycle_graph(NodeId n) {
+  graph::GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) b.add_edge(u, (u + 1) % n);
+  return b.build();
+}
+
+/// Star: center 0, leaves 1..n-1.
+inline graph::Graph star_graph(NodeId n) {
+  graph::GraphBuilder b(n);
+  for (NodeId u = 1; u < n; ++u) b.add_edge(0, u);
+  return b.build();
+}
+
+/// w x h grid, node (r, c) = r*w + c.
+inline graph::Graph grid_graph(NodeId w, NodeId h) {
+  graph::GraphBuilder b(w * h);
+  for (NodeId r = 0; r < h; ++r) {
+    for (NodeId c = 0; c < w; ++c) {
+      const NodeId u = r * w + c;
+      if (c + 1 < w) b.add_edge(u, u + 1);
+      if (r + 1 < h) b.add_edge(u, u + w);
+    }
+  }
+  return b.build();
+}
+
+/// Complete graph K_n.
+inline graph::Graph complete_graph(NodeId n) {
+  graph::GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+/// Zachary's karate club (34 nodes, 78 edges) — a real social network with
+/// known structure, handy for exact assertions.
+graph::Graph karate_club();
+
+/// Random connected undirected graph: ER(n, m) restricted to its largest
+/// component (so n may shrink slightly).
+inline graph::Graph random_connected(NodeId n, std::uint64_t m,
+                                     std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto g = gen::erdos_renyi(n, m, rng);
+  return graph::largest_component(g).graph.num_nodes() > 0
+             ? graph::largest_component(g).graph
+             : g;
+}
+
+/// Exact reference distance (BFS or Dijkstra depending on weights).
+inline Distance ref_distance(const graph::Graph& g, NodeId s, NodeId t) {
+  if (g.weighted()) return algo::dijkstra(g, s).dist[t];
+  return algo::bfs(g, s).dist[t];
+}
+
+}  // namespace vicinity::testing

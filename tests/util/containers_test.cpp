@@ -1,0 +1,148 @@
+// Tests for StampedArray/StampedSet, BitVector and BucketQueue.
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "util/bit_vector.h"
+#include "util/bucket_queue.h"
+#include "util/rng.h"
+#include "util/visit_stamp.h"
+
+namespace vicinity::util {
+namespace {
+
+TEST(StampedArrayTest, SetGetReset) {
+  StampedArray<int> a(10);
+  EXPECT_FALSE(a.is_set(3));
+  a.set(3, 42);
+  EXPECT_TRUE(a.is_set(3));
+  EXPECT_EQ(a.get(3), 42);
+  EXPECT_EQ(a.get_or(4, -1), -1);
+  a.reset();
+  EXPECT_FALSE(a.is_set(3));
+  EXPECT_EQ(a.get_or(3, -1), -1);
+}
+
+TEST(StampedArrayTest, ResetIsLogicalNotPhysical) {
+  StampedArray<int> a(4);
+  a.set(0, 1);
+  for (int i = 0; i < 100000; ++i) a.reset();
+  EXPECT_FALSE(a.is_set(0));
+  a.set(0, 7);
+  EXPECT_EQ(a.get(0), 7);
+}
+
+TEST(StampedSetTest, InsertSemantics) {
+  StampedSet s(5);
+  EXPECT_TRUE(s.insert(2));
+  EXPECT_FALSE(s.insert(2));
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_FALSE(s.contains(3));
+  s.reset();
+  EXPECT_FALSE(s.contains(2));
+  EXPECT_TRUE(s.insert(2));
+}
+
+TEST(BitVectorTest, SetClearGet) {
+  BitVector bv(130);
+  EXPECT_EQ(bv.size(), 130u);
+  EXPECT_FALSE(bv.get(0));
+  bv.set(0);
+  bv.set(64);
+  bv.set(129);
+  EXPECT_TRUE(bv.get(0));
+  EXPECT_TRUE(bv.get(64));
+  EXPECT_TRUE(bv.get(129));
+  EXPECT_FALSE(bv.get(1));
+  EXPECT_EQ(bv.popcount(), 3u);
+  bv.clear(64);
+  EXPECT_FALSE(bv.get(64));
+  EXPECT_EQ(bv.popcount(), 2u);
+}
+
+TEST(BitVectorTest, InitialValueTrue) {
+  BitVector bv(70, true);
+  EXPECT_EQ(bv.popcount(), 70u);  // tail bits beyond size are trimmed
+}
+
+TEST(BitVectorTest, OrAndPopcount) {
+  BitVector a(100), b(100);
+  a.set(1);
+  a.set(50);
+  b.set(50);
+  b.set(99);
+  EXPECT_EQ(a.and_popcount(b), 1u);
+  a.or_with(b);
+  EXPECT_EQ(a.popcount(), 3u);
+  EXPECT_TRUE(a.get(99));
+}
+
+TEST(BucketQueueTest, MonotonePopOrder) {
+  BucketQueue q(3);  // max edge weight 3
+  q.push(0, 10);
+  q.push(2, 20);
+  q.push(1, 30);
+  ASSERT_EQ(q.size(), 3u);
+  auto [d0, n0] = q.pop_min();
+  EXPECT_EQ(d0, 0u);
+  EXPECT_EQ(n0, 10u);
+  q.push(3, 40);  // within d0 + max_weight
+  auto [d1, n1] = q.pop_min();
+  EXPECT_EQ(d1, 1u);
+  EXPECT_EQ(n1, 30u);
+  auto [d2, n2] = q.pop_min();
+  EXPECT_EQ(d2, 2u);
+  auto [d3, n3] = q.pop_min();
+  EXPECT_EQ(d3, 3u);
+  EXPECT_TRUE(q.empty());
+  (void)n2;
+  (void)n3;
+}
+
+TEST(BucketQueueTest, MatchesBinaryHeapOnRandomMonotoneWorkload) {
+  Rng rng(77);
+  const Weight max_w = 8;
+  BucketQueue q(max_w);
+  using Entry = std::pair<Distance, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> ref;
+  q.push(0, 0);
+  ref.emplace(0, 0);
+  Distance last = 0;
+  NodeId next_node = 1;
+  for (int step = 0; step < 5000; ++step) {
+    ASSERT_EQ(q.empty(), ref.empty());
+    if (ref.empty()) break;
+    auto [dq, nq] = q.pop_min();
+    auto [dr, nr] = ref.top();
+    ref.pop();
+    ASSERT_EQ(dq, dr);
+    (void)nq;
+    (void)nr;
+    ASSERT_GE(dq, last);
+    last = dq;
+    // Push a few successors with keys in (dq, dq + max_w].
+    const int pushes = static_cast<int>(rng.next_below(3));
+    for (int p = 0; p < pushes; ++p) {
+      const Distance key =
+          dq + 1 + static_cast<Distance>(rng.next_below(max_w));
+      q.push(key, next_node);
+      ref.emplace(key, next_node);
+      ++next_node;
+    }
+  }
+}
+
+TEST(BucketQueueTest, ClearEmpties) {
+  BucketQueue q(2);
+  q.push(0, 1);
+  q.push(1, 2);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  q.push(5, 3);  // fresh monotone sequence can start anywhere
+  auto [d, n] = q.pop_min();
+  EXPECT_EQ(d, 5u);
+  EXPECT_EQ(n, 3u);
+}
+
+}  // namespace
+}  // namespace vicinity::util

@@ -1,0 +1,137 @@
+#include "util/flat_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace vicinity::util {
+namespace {
+
+TEST(FlatHashMapTest, InsertFindBasic) {
+  FlatHashMap<NodeId, int> m;
+  EXPECT_TRUE(m.empty());
+  m.insert_or_assign(5, 50);
+  m.insert_or_assign(7, 70);
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_NE(m.find(5), nullptr);
+  EXPECT_EQ(*m.find(5), 50);
+  EXPECT_EQ(m.find(6), nullptr);
+  EXPECT_TRUE(m.contains(7));
+  EXPECT_FALSE(m.contains(8));
+}
+
+TEST(FlatHashMapTest, OverwriteKeepsSize) {
+  FlatHashMap<NodeId, int> m;
+  m.insert_or_assign(1, 10);
+  m.insert_or_assign(1, 11);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(*m.find(1), 11);
+}
+
+TEST(FlatHashMapTest, OperatorBracketDefaultConstructs) {
+  FlatHashMap<NodeId, int> m;
+  EXPECT_EQ(m[3], 0);
+  m[3] = 42;
+  EXPECT_EQ(m[3], 42);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatHashMapTest, RejectsSentinelKey) {
+  FlatHashMap<NodeId, int> m;
+  EXPECT_THROW(m.insert_or_assign(m.empty_key(), 1), std::invalid_argument);
+}
+
+TEST(FlatHashMapTest, GrowsThroughManyInserts) {
+  FlatHashMap<NodeId, NodeId> m(4);
+  for (NodeId i = 0; i < 10000; ++i) m.insert_or_assign(i, i * 2);
+  EXPECT_EQ(m.size(), 10000u);
+  for (NodeId i = 0; i < 10000; ++i) {
+    ASSERT_NE(m.find(i), nullptr) << i;
+    EXPECT_EQ(*m.find(i), i * 2);
+  }
+  EXPECT_EQ(m.find(10001), nullptr);
+}
+
+TEST(FlatHashMapTest, MatchesUnorderedMapUnderRandomWorkload) {
+  Rng rng(99);
+  FlatHashMap<std::uint32_t, std::uint64_t> mine;
+  std::unordered_map<std::uint32_t, std::uint64_t> ref;
+  for (int i = 0; i < 20000; ++i) {
+    const auto key = static_cast<std::uint32_t>(rng.next_below(5000));
+    const std::uint64_t val = rng();
+    mine.insert_or_assign(key, val);
+    ref[key] = val;
+  }
+  EXPECT_EQ(mine.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    ASSERT_NE(mine.find(k), nullptr);
+    EXPECT_EQ(*mine.find(k), v);
+  }
+  std::size_t visited = 0;
+  mine.for_each([&](std::uint32_t k, const std::uint64_t& v) {
+    ++visited;
+    auto it = ref.find(k);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(it->second, v);
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(FlatHashMapTest, ClearResets) {
+  FlatHashMap<NodeId, int> m;
+  for (NodeId i = 0; i < 100; ++i) m.insert_or_assign(i, 1);
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_FALSE(m.contains(5));
+  m.insert_or_assign(5, 2);
+  EXPECT_EQ(*m.find(5), 2);
+}
+
+TEST(FlatHashMapTest, ReserveAvoidsGrowth) {
+  FlatHashMap<NodeId, int> m;
+  m.reserve(1000);
+  const auto cap = m.capacity();
+  for (NodeId i = 0; i < 1000; ++i) m.insert_or_assign(i, 1);
+  EXPECT_EQ(m.capacity(), cap);
+}
+
+TEST(FlatHashSetTest, InsertContains) {
+  FlatHashSet<NodeId> s;
+  EXPECT_TRUE(s.insert(3));
+  EXPECT_FALSE(s.insert(3));
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(FlatHashSetTest, MatchesUnorderedSet) {
+  Rng rng(123);
+  FlatHashSet<std::uint32_t> mine;
+  std::unordered_set<std::uint32_t> ref;
+  for (int i = 0; i < 20000; ++i) {
+    const auto key = static_cast<std::uint32_t>(rng.next_below(3000));
+    EXPECT_EQ(mine.insert(key), ref.insert(key).second);
+  }
+  EXPECT_EQ(mine.size(), ref.size());
+  for (auto k : ref) EXPECT_TRUE(mine.contains(k));
+}
+
+TEST(FlatHashSetTest, RejectsSentinel) {
+  FlatHashSet<NodeId> s;
+  EXPECT_THROW(s.insert(kInvalidNode), std::invalid_argument);
+}
+
+TEST(FlatHashMapTest, CustomEmptyKey) {
+  // Zero as the sentinel lets kInvalidNode itself be stored.
+  FlatHashMap<NodeId, int> m(0, /*empty_key=*/0);
+  m.insert_or_assign(kInvalidNode, 7);
+  EXPECT_EQ(*m.find(kInvalidNode), 7);
+  EXPECT_THROW(m.insert_or_assign(0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vicinity::util

@@ -1,0 +1,113 @@
+// Tests for CSV/TextTable, byte formatting, types helpers and ThreadPool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/memory.h"
+#include "util/thread_pool.h"
+#include "util/types.h"
+
+namespace vicinity::util {
+namespace {
+
+TEST(TypesTest, DistAddSaturates) {
+  EXPECT_EQ(dist_add(2, 3), 5u);
+  EXPECT_EQ(dist_add(kInfDistance, 3), kInfDistance);
+  EXPECT_EQ(dist_add(3, kInfDistance), kInfDistance);
+  EXPECT_EQ(dist_add(kInfDistance - 1, 5), kInfDistance);
+  EXPECT_EQ(dist_add(0, 0), 0u);
+}
+
+TEST(CsvWriterTest, EscapesSpecialCharacters) {
+  CsvWriter w({"a", "b"});
+  w.add("plain", "with,comma");
+  w.add("with\"quote", "multi\nline");
+  const std::string out = w.to_string();
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+  EXPECT_NE(out.find("\"multi\nline\""), std::string::npos);
+}
+
+TEST(CsvWriterTest, RowWidthEnforced) {
+  CsvWriter w({"a", "b"});
+  EXPECT_THROW(w.add_row({"only-one"}), std::invalid_argument);
+  w.add(1, 2);
+  EXPECT_EQ(w.rows(), 1u);
+}
+
+TEST(CsvWriterTest, FileRoundTrip) {
+  CsvWriter w({"x", "y"});
+  w.add(1, 2.5);
+  const std::string path = ::testing::TempDir() + "/vicinity_csv_test.csv";
+  w.write_file(path);
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1,2.5");
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"name", "n"});
+  t.add("dblp", 35500);
+  t.add("livejournal-like", 97000);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("dblp"), std::string::npos);
+  EXPECT_NE(out.find("-+-"), std::string::npos);
+  // All lines equal length (fixed-width columns).
+  std::istringstream is(out);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(is, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len);
+  }
+}
+
+TEST(FormatTest, FmtBytes) {
+  EXPECT_EQ(fmt_bytes(512), "512 B");
+  EXPECT_EQ(fmt_bytes(2048), "2.0 KiB");
+  EXPECT_EQ(fmt_bytes(3u * 1024 * 1024), "3.0 MiB");
+}
+
+TEST(FormatTest, FmtFixedAndSi) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_si(1500.0), "1.50k");
+  EXPECT_EQ(fmt_si(2500000.0), "2.50M");
+  EXPECT_EQ(fmt_si(3.2e9), "3.20G");
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::uint64_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPool) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not deadlock
+  pool.parallel_for(0, [](std::uint64_t) { FAIL(); });
+}
+
+TEST(MemoryTest, RssIsPositiveOnLinux) {
+  EXPECT_GT(current_rss_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace vicinity::util

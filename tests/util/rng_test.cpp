@@ -1,0 +1,131 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace vicinity::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowCoversSmallRangeUniformly) {
+  Rng rng(11);
+  std::vector<int> counts(8, 0);
+  const int trials = 80000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.next_below(8)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, trials / 8, trials / 8 * 0.1);
+  }
+}
+
+TEST(RngTest, NextInIsInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) hits += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+  EXPECT_FALSE(rng.next_bool(0.0));
+  EXPECT_TRUE(rng.next_bool(1.0));
+  EXPECT_FALSE(rng.next_bool(-1.0));
+  EXPECT_TRUE(rng.next_bool(2.0));
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.fork();
+  Rng b(42);
+  b.fork();
+  // The parent stream after forking matches a reference that also forked.
+  EXPECT_EQ(a(), b());
+  // Child differs from parent.
+  Rng a2(42);
+  EXPECT_NE(child(), a2());
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto sorted = v;
+  rng.shuffle(v);
+  auto shuffled_sorted = v;
+  std::sort(shuffled_sorted.begin(), shuffled_sorted.end());
+  EXPECT_EQ(shuffled_sorted, sorted);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(17);
+  for (std::uint64_t n : {10ull, 100ull, 10000ull}) {
+    for (std::uint64_t k : {std::uint64_t{0}, n / 10, n / 2, n}) {
+      auto sample = rng.sample_without_replacement(n, k);
+      EXPECT_EQ(sample.size(), k);
+      std::set<std::uint64_t> uniq(sample.begin(), sample.end());
+      EXPECT_EQ(uniq.size(), k);
+      for (auto v : sample) EXPECT_LT(v, n);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementRejectsOverdraw) {
+  Rng rng(1);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), std::invalid_argument);
+}
+
+TEST(RngTest, Mix64IsStableAndSpreads) {
+  EXPECT_EQ(mix64(0), mix64(0));
+  EXPECT_NE(mix64(0), mix64(1));
+  // Avalanche sanity: flipping one input bit flips many output bits.
+  const auto a = mix64(0x1234), b = mix64(0x1235);
+  EXPECT_GT(__builtin_popcountll(a ^ b), 12);
+}
+
+}  // namespace
+}  // namespace vicinity::util

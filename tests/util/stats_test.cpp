@@ -1,0 +1,124 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace vicinity::util {
+namespace {
+
+TEST(StreamingStatsTest, BasicMoments) {
+  StreamingStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStatsTest, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStatsTest, MergeEqualsSequential) {
+  Rng rng(5);
+  StreamingStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double() * 100;
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStatsTest, MergeWithEmpty) {
+  StreamingStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // copy
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(SampleSetTest, PercentilesExactOnKnownData) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(90), 90.1, 1e-9);
+}
+
+TEST(SampleSetTest, PercentileErrors) {
+  SampleSet s;
+  EXPECT_THROW(s.percentile(50), std::logic_error);
+  s.add(1);
+  EXPECT_THROW(s.percentile(-1), std::invalid_argument);
+  EXPECT_THROW(s.percentile(101), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 1.0);
+}
+
+TEST(SampleSetTest, CdfMonotoneAndComplete) {
+  SampleSet s;
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) s.add(rng.next_double());
+  const auto cdf = s.cdf(50);
+  ASSERT_EQ(cdf.size(), 50u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(SampleSetTest, CdfOfEmptyIsEmpty) {
+  SampleSet s;
+  EXPECT_TRUE(s.cdf(10).empty());
+}
+
+TEST(SampleSetTest, MeanMinMax) {
+  SampleSet s;
+  s.add(3);
+  s.add(1);
+  s.add(2);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5);    // clamps to bucket 0
+  h.add(0.5);   // bucket 0
+  h.add(9.99);  // bucket 9
+  h.add(15);    // clamps to bucket 9
+  h.add(5.0);   // bucket 5
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(9), 2u);
+  EXPECT_EQ(h.bucket_count(5), 1u);
+  EXPECT_DOUBLE_EQ(h.bucket_low(5), 5.0);
+}
+
+TEST(HistogramTest, RejectsBadRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vicinity::util
