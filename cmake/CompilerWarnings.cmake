@@ -1,0 +1,20 @@
+# vicinity_set_warnings(<target> [WERROR])
+#
+# Applies the project warning set to <target>. Pass WERROR to also promote
+# warnings to errors (used for src/, which is required to stay warning-clean;
+# tests/bench/examples get the same warnings but only fail CI via the
+# top-level VICINITY_WERROR switch).
+function(vicinity_set_warnings target)
+  cmake_parse_arguments(ARG "WERROR" "" "" ${ARGN})
+  if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    target_compile_options(${target} PRIVATE -Wall -Wextra)
+    if(ARG_WERROR AND VICINITY_WERROR)
+      target_compile_options(${target} PRIVATE -Werror)
+    endif()
+  elseif(MSVC)
+    target_compile_options(${target} PRIVATE /W4)
+    if(ARG_WERROR AND VICINITY_WERROR)
+      target_compile_options(${target} PRIVATE /WX)
+    endif()
+  endif()
+endfunction()

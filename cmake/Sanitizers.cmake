@@ -1,0 +1,16 @@
+# Opt-in ASan + UBSan build: cmake -DVICINITY_SANITIZE=ON.
+#
+# Applied globally (compile and link) so the library, tests, benches and
+# examples all run instrumented; mixing instrumented and uninstrumented
+# translation units produces false negatives.
+if(VICINITY_SANITIZE)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(FATAL_ERROR "VICINITY_SANITIZE requires GCC or Clang "
+      "(got ${CMAKE_CXX_COMPILER_ID})")
+  endif()
+  set(_vicinity_san_flags -fsanitize=address,undefined -fno-omit-frame-pointer
+    -fno-sanitize-recover=all)
+  add_compile_options(${_vicinity_san_flags})
+  add_link_options(${_vicinity_san_flags})
+  message(STATUS "vicinity: building with AddressSanitizer + UBSan")
+endif()
