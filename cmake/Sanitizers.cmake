@@ -1,16 +1,31 @@
-# Opt-in ASan + UBSan build: cmake -DVICINITY_SANITIZE=ON.
+# Opt-in sanitizer builds:
+#   cmake -DVICINITY_SANITIZE=ON        -> AddressSanitizer + UBSan
+#   cmake -DVICINITY_SANITIZE=address   -> AddressSanitizer + UBSan
+#   cmake -DVICINITY_SANITIZE=thread    -> ThreadSanitizer (race-checks the
+#                                          concurrent query/build paths)
 #
 # Applied globally (compile and link) so the library, tests, benches and
 # examples all run instrumented; mixing instrumented and uninstrumented
-# translation units produces false negatives.
+# translation units produces false negatives. TSan and ASan cannot be
+# combined, hence the mode switch.
 if(VICINITY_SANITIZE)
   if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
     message(FATAL_ERROR "VICINITY_SANITIZE requires GCC or Clang "
       "(got ${CMAKE_CXX_COMPILER_ID})")
   endif()
-  set(_vicinity_san_flags -fsanitize=address,undefined -fno-omit-frame-pointer
-    -fno-sanitize-recover=all)
+  string(TOUPPER "${VICINITY_SANITIZE}" _vicinity_san_mode)
+  if(_vicinity_san_mode STREQUAL "THREAD")
+    set(_vicinity_san_flags -fsanitize=thread -fno-omit-frame-pointer)
+    message(STATUS "vicinity: building with ThreadSanitizer")
+  elseif(_vicinity_san_mode STREQUAL "ADDRESS" OR _vicinity_san_mode MATCHES "^(ON|TRUE|YES|1)$")
+    set(_vicinity_san_flags -fsanitize=address,undefined -fno-omit-frame-pointer
+      -fno-sanitize-recover=all)
+    message(STATUS "vicinity: building with AddressSanitizer + UBSan")
+  else()
+    # A typo like `=tsan` must not silently select the ASan build.
+    message(FATAL_ERROR "unknown VICINITY_SANITIZE value "
+      "'${VICINITY_SANITIZE}' (use ON, address, or thread)")
+  endif()
   add_compile_options(${_vicinity_san_flags})
   add_link_options(${_vicinity_san_flags})
-  message(STATUS "vicinity: building with AddressSanitizer + UBSan")
 endif()

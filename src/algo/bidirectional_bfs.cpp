@@ -4,60 +4,56 @@
 
 namespace vicinity::algo {
 
-BidirectionalBfsRunner::BidirectionalBfsRunner(const graph::Graph& g)
-    : g_(g),
-      dist_f_(g.num_nodes()),
-      dist_b_(g.num_nodes()),
-      parent_f_(g.num_nodes()),
-      parent_b_(g.num_nodes()) {}
+namespace {
 
-BidirResult BidirectionalBfsRunner::run(NodeId s, NodeId t,
-                                        bool record_parents) {
+BidirResult run(const graph::Graph& g, BidirBfsScratch& sc, NodeId s, NodeId t,
+                bool record_parents) {
   BidirResult res;
   if (s == t) {
     res.dist = 0;
     res.meeting_node = s;
     return res;
   }
-  dist_f_.reset();
-  dist_b_.reset();
+  sc.ensure(g.num_nodes());
+  sc.dist_f.reset();
+  sc.dist_b.reset();
   if (record_parents) {
-    parent_f_.reset();
-    parent_b_.reset();
+    sc.parent_f.reset();
+    sc.parent_b.reset();
   }
-  frontier_f_ = {s};
-  frontier_b_ = {t};
-  dist_f_.set(s, 0);
-  dist_b_.set(t, 0);
+  sc.frontier_f = {s};
+  sc.frontier_b = {t};
+  sc.dist_f.set(s, 0);
+  sc.dist_b.set(t, 0);
   Distance depth_f = 0, depth_b = 0;
 
   Distance best = kInfDistance;
   NodeId best_meet = kInvalidNode;
 
-  while (!frontier_f_.empty() && !frontier_b_.empty()) {
+  while (!sc.frontier_f.empty() && !sc.frontier_b.empty()) {
     // Lower bound on any path found from now on: expanding a side at depth d
     // discovers nodes at d+1, so the cheapest yet-unseen meeting costs
     // depth_f + depth_b + 1.
     if (dist_add(dist_add(depth_f, depth_b), 1) >= best) break;
 
-    const bool forward = frontier_f_.size() <= frontier_b_.size();
-    auto& frontier = forward ? frontier_f_ : frontier_b_;
-    auto& dist_mine = forward ? dist_f_ : dist_b_;
-    auto& dist_other = forward ? dist_b_ : dist_f_;
-    auto& parent_mine = forward ? parent_f_ : parent_b_;
+    const bool forward = sc.frontier_f.size() <= sc.frontier_b.size();
+    auto& frontier = forward ? sc.frontier_f : sc.frontier_b;
+    auto& dist_mine = forward ? sc.dist_f : sc.dist_b;
+    auto& dist_other = forward ? sc.dist_b : sc.dist_f;
+    auto& parent_mine = forward ? sc.parent_f : sc.parent_b;
 
-    next_.clear();
+    sc.next.clear();
     for (const NodeId u : frontier) {
       // Forward expands out-edges; backward expands in-edges (so that
       // backward levels measure distance *to* t on directed graphs).
-      const auto nbrs = forward ? g_.neighbors(u) : g_.in_neighbors(u);
+      const auto nbrs = forward ? g.neighbors(u) : g.in_neighbors(u);
       res.arcs_scanned += nbrs.size();
       const Distance du = dist_mine.get(u);
       for (const NodeId v : nbrs) {
         if (!dist_mine.is_set(v)) {
           dist_mine.set(v, du + 1);
           if (record_parents) parent_mine.set(v, u);
-          next_.push_back(v);
+          sc.next.push_back(v);
           if (dist_other.is_set(v)) {
             const Distance total = dist_add(du + 1, dist_other.get(v));
             if (total < best) {
@@ -68,7 +64,7 @@ BidirResult BidirectionalBfsRunner::run(NodeId s, NodeId t,
         }
       }
     }
-    frontier.swap(next_);
+    frontier.swap(sc.next);
     (forward ? depth_f : depth_b) += 1;
   }
   res.dist = best;
@@ -76,12 +72,18 @@ BidirResult BidirectionalBfsRunner::run(NodeId s, NodeId t,
   return res;
 }
 
-BidirResult BidirectionalBfsRunner::distance(NodeId s, NodeId t) {
-  return run(s, t, /*record_parents=*/false);
+}  // namespace
+
+BidirResult bidirectional_bfs_distance(const graph::Graph& g,
+                                       BidirBfsScratch& scratch, NodeId s,
+                                       NodeId t) {
+  return run(g, scratch, s, t, /*record_parents=*/false);
 }
 
-std::vector<NodeId> BidirectionalBfsRunner::path(NodeId s, NodeId t) {
-  const BidirResult res = run(s, t, /*record_parents=*/true);
+std::vector<NodeId> bidirectional_bfs_path(const graph::Graph& g,
+                                           BidirBfsScratch& scratch, NodeId s,
+                                           NodeId t) {
+  const BidirResult res = run(g, scratch, s, t, /*record_parents=*/true);
   std::vector<NodeId> out;
   if (res.dist == kInfDistance) return out;
   if (s == t) return {s};
@@ -89,14 +91,14 @@ std::vector<NodeId> BidirectionalBfsRunner::path(NodeId s, NodeId t) {
   NodeId cur = res.meeting_node;
   while (cur != s) {
     out.push_back(cur);
-    cur = parent_f_.get(cur);
+    cur = scratch.parent_f.get(cur);
   }
   out.push_back(s);
   std::reverse(out.begin(), out.end());
   // Backward half: successor chain from meeting node to t.
   cur = res.meeting_node;
   while (cur != t) {
-    cur = parent_b_.get(cur);
+    cur = scratch.parent_b.get(cur);
     out.push_back(cur);
   }
   return out;

@@ -4,10 +4,24 @@
 #include <stdexcept>
 
 #include "algo/path.h"
+#include "core/query_engine.h"
 #include "util/bit_vector.h"
 #include "util/timer.h"
 
 namespace vicinity::core {
+
+// Defined where QueryContext is complete (core/query_engine.h).
+DirectedVicinityOracle::DirectedVicinityOracle() = default;
+DirectedVicinityOracle::DirectedVicinityOracle(
+    DirectedVicinityOracle&&) noexcept = default;
+DirectedVicinityOracle& DirectedVicinityOracle::operator=(
+    DirectedVicinityOracle&&) noexcept = default;
+DirectedVicinityOracle::~DirectedVicinityOracle() = default;
+
+QueryContext& DirectedVicinityOracle::default_context() {
+  if (!default_ctx_) default_ctx_ = std::make_unique<QueryContext>();
+  return *default_ctx_;
+}
 
 DirectedVicinityOracle DirectedVicinityOracle::build(
     const graph::Graph& g, const OracleOptions& options) {
@@ -111,6 +125,18 @@ DirectedVicinityOracle DirectedVicinityOracle::build_impl(
 }
 
 QueryResult DirectedVicinityOracle::distance(NodeId s, NodeId t) {
+  return distance(s, t, default_context());
+}
+
+QueryResult DirectedVicinityOracle::distance(NodeId s, NodeId t,
+                                             QueryContext& ctx) const {
+  const QueryResult r = distance_impl(s, t, &ctx);
+  ctx.stats().record(r);
+  return r;
+}
+
+QueryResult DirectedVicinityOracle::distance_impl(NodeId s, NodeId t,
+                                                  QueryContext* ctx) const {
   if (s >= g_->num_nodes() || t >= g_->num_nodes()) {
     throw std::out_of_range("DirectedVicinityOracle::distance: bad node");
   }
@@ -193,18 +219,20 @@ QueryResult DirectedVicinityOracle::distance(NodeId s, NodeId t) {
                          true};
     }
   }
-  return fallback_distance(s, t, lookups);
+  return fallback_distance(s, t, lookups, ctx);
 }
 
 QueryResult DirectedVicinityOracle::fallback_distance(NodeId s, NodeId t,
-                                                      std::uint32_t lookups) {
+                                                      std::uint32_t lookups,
+                                                      QueryContext* ctx) const {
   QueryResult r;
   r.hash_lookups = lookups;
   if (opt_.fallback == Fallback::kBidirectionalBfs) {
-    if (!exact_runner_) {
-      exact_runner_ = std::make_unique<algo::BidirectionalBfsRunner>(*g_);
+    if (ctx == nullptr) {
+      r.method = QueryMethod::kNotFound;
+      return r;
     }
-    r.dist = exact_runner_->distance(s, t).dist;
+    r.dist = algo::bidirectional_bfs_distance(*g_, ctx->scratch_, s, t).dist;
     r.method = QueryMethod::kFallbackExact;
     r.exact = true;
     return r;
@@ -262,6 +290,11 @@ bool DirectedVicinityOracle::chase_in(NodeId origin, NodeId from,
 }
 
 PathResult DirectedVicinityOracle::path(NodeId s, NodeId t) {
+  return path(s, t, default_context());
+}
+
+PathResult DirectedVicinityOracle::path(NodeId s, NodeId t,
+                                        QueryContext& ctx) const {
   if (s >= g_->num_nodes() || t >= g_->num_nodes()) {
     throw std::out_of_range("DirectedVicinityOracle::path: bad node");
   }
@@ -342,10 +375,7 @@ PathResult DirectedVicinityOracle::path(NodeId s, NodeId t) {
   }
   // Exact fallback for anything unresolved.
   if (opt_.fallback != Fallback::kNone) {
-    if (!exact_runner_) {
-      exact_runner_ = std::make_unique<algo::BidirectionalBfsRunner>(*g_);
-    }
-    p.path = exact_runner_->path(s, t);
+    p.path = algo::bidirectional_bfs_path(*g_, ctx.scratch_, s, t);
     if (!p.path.empty()) {
       p.dist = g_->weighted()
                    ? algo::path_length(*g_, p.path)
@@ -358,18 +388,20 @@ PathResult DirectedVicinityOracle::path(NodeId s, NodeId t) {
 }
 
 double DirectedVicinityOracle::estimate_coverage(std::size_t pairs,
-                                                 util::Rng& rng) {
+                                                 util::Rng& rng) const {
   if (indexed_.size() < 2 || pairs == 0) return 0.0;
   std::size_t answered = 0;
   for (std::size_t i = 0; i < pairs; ++i) {
     const NodeId s = indexed_[rng.next_below(indexed_.size())];
     NodeId t = s;
     while (t == s) t = indexed_[rng.next_below(indexed_.size())];
-    const Fallback saved = opt_.fallback;
-    opt_.fallback = Fallback::kNone;
-    const QueryResult r = distance(s, t);
-    opt_.fallback = saved;
-    if (r.method != QueryMethod::kNotFound) ++answered;
+    // Null context: the exact fallback reports not-found instead of
+    // searching; landmark estimates are excluded explicitly (footnote 1).
+    const QueryResult r = distance_impl(s, t, nullptr);
+    if (r.method != QueryMethod::kNotFound &&
+        r.method != QueryMethod::kFallbackEstimate) {
+      ++answered;
+    }
   }
   return static_cast<double>(answered) / static_cast<double>(pairs);
 }

@@ -15,7 +15,6 @@
 #include <span>
 #include <vector>
 
-#include "algo/bidirectional_bfs.h"
 #include "core/landmark_table.h"
 #include "core/landmarks.h"
 #include "core/options.h"
@@ -35,12 +34,17 @@ class DirectedVicinityOracle {
                                           const OracleOptions& options,
                                           std::span<const NodeId> query_nodes);
 
-  /// Exact d(s -> t).
+  /// Exact d(s -> t) through an internal default context.
   QueryResult distance(NodeId s, NodeId t);
+  /// Thread-safe d(s -> t): all mutable state lives in `ctx` (one context
+  /// per querying thread; the oracle itself is only read).
+  QueryResult distance(NodeId s, NodeId t, QueryContext& ctx) const;
   /// Directed shortest path s -> t.
   PathResult path(NodeId s, NodeId t);
+  /// Thread-safe path query (same contract as distance(s, t, ctx)).
+  PathResult path(NodeId s, NodeId t, QueryContext& ctx) const;
 
-  double estimate_coverage(std::size_t pairs, util::Rng& rng);
+  double estimate_coverage(std::size_t pairs, util::Rng& rng) const;
 
   const graph::Graph& graph() const { return *g_; }
   const LandmarkSet& landmarks() const { return landmarks_; }
@@ -49,13 +53,22 @@ class DirectedVicinityOracle {
   const OracleBuildStats& build_stats() const { return build_stats_; }
   OracleMemoryStats memory_stats() const;
 
+  DirectedVicinityOracle(DirectedVicinityOracle&&) noexcept;
+  DirectedVicinityOracle& operator=(DirectedVicinityOracle&&) noexcept;
+  ~DirectedVicinityOracle();
+
  private:
-  DirectedVicinityOracle() = default;
+  // Out-of-line special members: default_ctx_ holds an incomplete
+  // QueryContext here (completed in core/query_engine.h).
+  DirectedVicinityOracle();
   static DirectedVicinityOracle build_impl(const graph::Graph& g,
                                            const OracleOptions& options,
                                            std::span<const NodeId> nodes);
 
-  QueryResult fallback_distance(NodeId s, NodeId t, std::uint32_t lookups);
+  QueryResult distance_impl(NodeId s, NodeId t, QueryContext* ctx) const;
+  QueryResult fallback_distance(NodeId s, NodeId t, std::uint32_t lookups,
+                                QueryContext* ctx) const;
+  QueryContext& default_context();
   bool chase_out(NodeId origin, NodeId from, std::vector<NodeId>& out) const;
   bool chase_in(NodeId origin, NodeId from, std::vector<NodeId>& out) const;
 
@@ -69,7 +82,7 @@ class DirectedVicinityOracle {
   LandmarkTables tables_;
   OracleBuildStats build_stats_;
   std::vector<NodeId> indexed_;
-  std::unique_ptr<algo::BidirectionalBfsRunner> exact_runner_;
+  std::unique_ptr<QueryContext> default_ctx_;
 };
 
 }  // namespace vicinity::core

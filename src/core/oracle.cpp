@@ -5,11 +5,18 @@
 #include <stdexcept>
 
 #include "algo/path.h"
+#include "core/query_engine.h"
 #include "util/log.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace vicinity::core {
+
+// Defined where QueryContext is complete (core/query_engine.h).
+VicinityOracle::VicinityOracle() = default;
+VicinityOracle::VicinityOracle(VicinityOracle&&) noexcept = default;
+VicinityOracle& VicinityOracle::operator=(VicinityOracle&&) noexcept = default;
+VicinityOracle::~VicinityOracle() = default;
 
 const char* to_string(QueryMethod m) {
   switch (m) {
@@ -236,15 +243,24 @@ QueryResult VicinityOracle::intersect(NodeId s, NodeId t) const {
   return r;
 }
 
-QueryResult VicinityOracle::distance(NodeId s, NodeId t) {
-  if (opt_.fallback == Fallback::kBidirectionalBfs && !exact_runner_) {
-    exact_runner_ = std::make_unique<algo::BidirectionalBfsRunner>(*g_);
-  }
-  return distance_impl(s, t, exact_runner_.get());
+QueryContext& VicinityOracle::default_context() {
+  if (!default_ctx_) default_ctx_ = std::make_unique<QueryContext>();
+  return *default_ctx_;
 }
 
-QueryResult VicinityOracle::distance_impl(
-    NodeId s, NodeId t, algo::BidirectionalBfsRunner* runner) const {
+QueryResult VicinityOracle::distance(NodeId s, NodeId t) {
+  return distance(s, t, default_context());
+}
+
+QueryResult VicinityOracle::distance(NodeId s, NodeId t,
+                                     QueryContext& ctx) const {
+  const QueryResult r = distance_impl(s, t, &ctx);
+  ctx.stats().record(r);
+  return r;
+}
+
+QueryResult VicinityOracle::distance_impl(NodeId s, NodeId t,
+                                          QueryContext* ctx) const {
   if (s >= g_->num_nodes() || t >= g_->num_nodes()) {
     throw std::out_of_range("VicinityOracle::distance: node out of range");
   }
@@ -282,50 +298,37 @@ QueryResult VicinityOracle::distance_impl(
     if (ir.dist != kInfDistance) return ir;
     lookups = ir.hash_lookups;
   }
-  return fallback_distance_impl(s, t, lookups, runner);
+  return fallback_distance_impl(s, t, lookups, ctx);
 }
 
 std::vector<QueryResult> VicinityOracle::distance_batch(
     std::span<const std::pair<NodeId, NodeId>> pairs, unsigned threads) const {
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  std::vector<QueryResult> out(pairs.size());
-  if (pairs.empty()) return out;
+  if (pairs.empty()) return {};
   if (threads == 1) {
-    std::unique_ptr<algo::BidirectionalBfsRunner> runner;
-    if (opt_.fallback == Fallback::kBidirectionalBfs) {
-      runner = std::make_unique<algo::BidirectionalBfsRunner>(*g_);
-    }
+    // No pool for the sequential case — no worker thread would run.
+    std::vector<QueryResult> out(pairs.size());
+    QueryContext ctx;
     for (std::size_t i = 0; i < pairs.size(); ++i) {
-      out[i] = distance_impl(pairs[i].first, pairs[i].second, runner.get());
+      out[i] = distance(pairs[i].first, pairs[i].second, ctx);
     }
     return out;
   }
-  util::ThreadPool pool(threads);
-  const std::size_t chunk = (pairs.size() + threads - 1) / threads;
-  for (unsigned w = 0; w < threads; ++w) {
-    const std::size_t lo = std::min(pairs.size(), w * chunk);
-    const std::size_t hi = std::min(pairs.size(), lo + chunk);
-    if (lo >= hi) break;
-    pool.submit([this, &pairs, &out, lo, hi] {
-      // One exact-search runner per worker: the index itself is read-only.
-      std::unique_ptr<algo::BidirectionalBfsRunner> runner;
-      if (opt_.fallback == Fallback::kBidirectionalBfs) {
-        runner = std::make_unique<algo::BidirectionalBfsRunner>(*g_);
-      }
-      for (std::size_t i = lo; i < hi; ++i) {
-        out[i] = distance_impl(pairs[i].first, pairs[i].second, runner.get());
-      }
-    });
+  std::vector<Query> queries(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    queries[i] = Query{pairs[i].first, pairs[i].second};
   }
-  pool.wait_idle();
-  return out;
+  // One-shot engine over a non-owning alias of this oracle. Long-lived
+  // callers should hold a QueryEngine instead and reuse its warm pool.
+  QueryEngine engine(
+      std::shared_ptr<const VicinityOracle>(std::shared_ptr<const void>{},
+                                            this),
+      threads);
+  return engine.run_batch(queries);
 }
 
-QueryResult VicinityOracle::fallback_distance_impl(
-    NodeId s, NodeId t, std::uint32_t lookups,
-    algo::BidirectionalBfsRunner* runner) const {
+QueryResult VicinityOracle::fallback_distance_impl(NodeId s, NodeId t,
+                                                   std::uint32_t lookups,
+                                                   QueryContext* ctx) const {
   QueryResult r;
   r.hash_lookups = lookups;
   switch (opt_.fallback) {
@@ -333,11 +336,11 @@ QueryResult VicinityOracle::fallback_distance_impl(
       r.method = QueryMethod::kNotFound;
       return r;
     case Fallback::kBidirectionalBfs: {
-      if (runner == nullptr) {
+      if (ctx == nullptr) {
         r.method = QueryMethod::kNotFound;
         return r;
       }
-      r.dist = runner->distance(s, t).dist;
+      r.dist = algo::bidirectional_bfs_distance(*g_, ctx->scratch_, s, t).dist;
       r.method = QueryMethod::kFallbackExact;
       r.exact = true;
       return r;
@@ -386,16 +389,14 @@ bool VicinityOracle::chase_parents(NodeId origin, NodeId from,
   return true;
 }
 
-PathResult VicinityOracle::fallback_path(NodeId s, NodeId t) {
+PathResult VicinityOracle::fallback_path(NodeId s, NodeId t,
+                                         QueryContext& ctx) const {
   PathResult p;
   if (opt_.fallback == Fallback::kNone) return p;
   // Both fallback flavors resolve paths exactly: the landmark estimate has
   // no path-bearing structure for arbitrary pairs, so we degrade to the
   // exact search for path queries.
-  if (!exact_runner_) {
-    exact_runner_ = std::make_unique<algo::BidirectionalBfsRunner>(*g_);
-  }
-  p.path = exact_runner_->path(s, t);
+  p.path = algo::bidirectional_bfs_path(*g_, ctx.scratch_, s, t);
   p.dist = p.path.empty() ? kInfDistance
                           : static_cast<Distance>(
                                 g_->weighted()
@@ -407,6 +408,10 @@ PathResult VicinityOracle::fallback_path(NodeId s, NodeId t) {
 }
 
 PathResult VicinityOracle::path(NodeId s, NodeId t) {
+  return path(s, t, default_context());
+}
+
+PathResult VicinityOracle::path(NodeId s, NodeId t, QueryContext& ctx) const {
   if (s >= g_->num_nodes() || t >= g_->num_nodes()) {
     throw std::out_of_range("VicinityOracle::path: node out of range");
   }
@@ -510,19 +515,20 @@ PathResult VicinityOracle::path(NodeId s, NodeId t) {
       }
     }
   }
-  return fallback_path(s, t);
+  return fallback_path(s, t, ctx);
 }
 
-double VicinityOracle::estimate_coverage(std::size_t pairs, util::Rng& rng) {
+double VicinityOracle::estimate_coverage(std::size_t pairs,
+                                         util::Rng& rng) const {
   if (indexed_.size() < 2 || pairs == 0) return 0.0;
   std::size_t answered = 0;
   for (std::size_t i = 0; i < pairs; ++i) {
     const NodeId s = indexed_[rng.next_below(indexed_.size())];
     NodeId t = s;
     while (t == s) t = indexed_[rng.next_below(indexed_.size())];
-    // Count resolutions that do not require the exact fallback (a null
-    // runner makes the exact fallback report not-found; the landmark
-    // estimate still counts as answered, matching the paper's footnote 1).
+    // Count only resolutions the index answers exactly: a null context
+    // makes the exact fallback report not-found, and landmark estimates
+    // are excluded below — both fall into the paper's footnote-1 residue.
     const QueryResult r = distance_impl(s, t, nullptr);
     if (r.method != QueryMethod::kNotFound &&
         r.method != QueryMethod::kFallbackEstimate) {

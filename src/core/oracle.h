@@ -19,9 +19,9 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "algo/bidirectional_bfs.h"
 #include "core/landmark_table.h"
 #include "core/landmarks.h"
 #include "core/options.h"
@@ -42,7 +42,17 @@ enum class QueryMethod {
   kNotFound,
 };
 
+/// Number of QueryMethod enumerators (QueryStats histogram width). Tied to
+/// the enum via the last enumerator so appending a method can't silently
+/// write past the stats array.
+inline constexpr std::size_t kNumQueryMethods =
+    static_cast<std::size_t>(QueryMethod::kNotFound) + 1;
+
 const char* to_string(QueryMethod m);
+
+/// Per-thread mutable query state (fallback search scratch + statistics);
+/// defined in core/query_engine.h.
+class QueryContext;
 
 struct QueryResult {
   Distance dist = kInfDistance;
@@ -96,22 +106,34 @@ class VicinityOracle {
                                   const OracleOptions& options,
                                   std::span<const NodeId> query_nodes);
 
-  /// Exact distance query (Algorithm 1 + configured fallback).
+  /// Exact distance query (Algorithm 1 + configured fallback) through an
+  /// internal default context. Convenience for single-threaded callers;
+  /// concurrent callers must use the context overload below.
   QueryResult distance(NodeId s, NodeId t);
 
+  /// Thread-safe distance query: the oracle is only read, all mutable state
+  /// (fallback scratch, stats accumulation) lives in `ctx`. Any number of
+  /// threads may query concurrently as long as each owns its context.
+  QueryResult distance(NodeId s, NodeId t, QueryContext& ctx) const;
+
   /// Shortest-path retrieval (§3.1 path extension): parent chains inside
-  /// the stored vicinities / landmark trees.
+  /// the stored vicinities / landmark trees. Default-context convenience.
   PathResult path(NodeId s, NodeId t);
+
+  /// Thread-safe path query (same contract as distance(s, t, ctx)).
+  PathResult path(NodeId s, NodeId t, QueryContext& ctx) const;
 
   /// Fraction of sampled indexed pairs answerable without fallback — the
   /// paper's coverage metric ("99.9% of queries").
-  double estimate_coverage(std::size_t pairs, util::Rng& rng);
+  double estimate_coverage(std::size_t pairs, util::Rng& rng) const;
 
   /// Batch distance queries across a thread pool — the paper's §5
   /// parallelization question: unlike the search baselines, oracle queries
   /// share no mutable state (the index is read-only; each worker carries
-  /// its own fallback runner), so they scale without replicating the
-  /// network or moving data. threads == 0 selects hardware concurrency.
+  /// its own QueryContext), so they scale without replicating the network
+  /// or moving data. threads == 0 selects hardware concurrency. Long-lived
+  /// servers should prefer QueryEngine (core/query_engine.h), which keeps
+  /// the worker pool and contexts warm across batches.
   std::vector<QueryResult> distance_batch(
       std::span<const std::pair<NodeId, NodeId>> pairs,
       unsigned threads = 0) const;
@@ -128,10 +150,16 @@ class VicinityOracle {
 
   OracleMemoryStats memory_stats() const;
 
+  VicinityOracle(VicinityOracle&&) noexcept;
+  VicinityOracle& operator=(VicinityOracle&&) noexcept;
+  ~VicinityOracle();
+
  private:
   friend class OracleSerializer;
 
-  VicinityOracle() = default;
+  // Out-of-line destructor/moves: default_ctx_ holds an incomplete
+  // QueryContext here (completed in core/query_engine.h).
+  VicinityOracle();
 
   static VicinityOracle build_impl(const graph::Graph& g,
                                    const OracleOptions& options,
@@ -141,18 +169,17 @@ class VicinityOracle {
   /// Steps (1)-(2); returns true when resolved.
   bool try_landmark_query(NodeId s, NodeId t, QueryResult& out) const;
 
-  /// Stateless (const) query core used by distance() and distance_batch():
-  /// runs Algorithm 1 and the landmark-estimate fallback; exact-search
-  /// fallbacks go through the supplied runner (may be null => not-found).
-  QueryResult distance_impl(NodeId s, NodeId t,
-                            algo::BidirectionalBfsRunner* runner) const;
+  /// Stateless (const) query core used by every distance entry point: runs
+  /// Algorithm 1 and the landmark-estimate fallback; exact-search fallbacks
+  /// use the context's scratch (null context => not-found).
+  QueryResult distance_impl(NodeId s, NodeId t, QueryContext* ctx) const;
 
   /// Step (5); dist=kInfDistance when the vicinities do not intersect.
   QueryResult intersect(NodeId s, NodeId t) const;
 
   QueryResult fallback_distance_impl(NodeId s, NodeId t,
                                      std::uint32_t lookups,
-                                     algo::BidirectionalBfsRunner* runner) const;
+                                     QueryContext* ctx) const;
 
   /// Appends `from`..origin walking parent pointers inside Γ(origin);
   /// false when the chain leaves the stored vicinity (possible only on
@@ -160,7 +187,10 @@ class VicinityOracle {
   bool chase_parents(NodeId origin, NodeId from,
                      std::vector<NodeId>& out) const;
 
-  PathResult fallback_path(NodeId s, NodeId t);
+  PathResult fallback_path(NodeId s, NodeId t, QueryContext& ctx) const;
+
+  /// Lazily-created context backing the convenience (non-const) overloads.
+  QueryContext& default_context();
 
   const graph::Graph* g_ = nullptr;
   OracleOptions opt_;
@@ -170,7 +200,7 @@ class VicinityOracle {
   LandmarkTables tables_;
   OracleBuildStats build_stats_;
   std::vector<NodeId> indexed_;
-  std::unique_ptr<algo::BidirectionalBfsRunner> exact_runner_;
+  std::unique_ptr<QueryContext> default_ctx_;
 };
 
 }  // namespace vicinity::core

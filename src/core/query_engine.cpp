@@ -1,0 +1,86 @@
+#include "core/query_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace vicinity::core {
+
+QueryEngine::QueryEngine(std::shared_ptr<const VicinityOracle> oracle,
+                         unsigned threads)
+    : oracle_(std::move(oracle)), pool_(threads) {
+  if (!oracle_) {
+    throw std::invalid_argument("QueryEngine: null oracle");
+  }
+  contexts_.reserve(pool_.thread_count());
+  for (unsigned i = 0; i < pool_.thread_count(); ++i) {
+    contexts_.push_back(std::make_unique<QueryContext>());
+  }
+}
+
+QueryEngine::QueryEngine(VicinityOracle&& oracle, unsigned threads)
+    : QueryEngine(std::make_shared<const VicinityOracle>(std::move(oracle)),
+                  threads) {}
+
+std::vector<QueryResult> QueryEngine::run_batch(std::span<const Query> queries,
+                                                unsigned threads) {
+  std::vector<QueryResult> out(queries.size());
+  run_batch(queries, out, threads);
+  return out;
+}
+
+void QueryEngine::run_batch(std::span<const Query> queries,
+                            std::span<QueryResult> results, unsigned threads) {
+  if (results.size() != queries.size()) {
+    throw std::invalid_argument("QueryEngine::run_batch: size mismatch");
+  }
+  if (queries.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  // More lanes than queries would allocate contexts that can never receive
+  // work (contexts_ persists for the engine's lifetime), so cap at the
+  // batch size; chunking never changes the answers, only who computes them.
+  const unsigned lanes = static_cast<unsigned>(
+      std::min<std::size_t>(threads == 0 ? pool_.thread_count() : threads,
+                            queries.size()));
+  while (contexts_.size() < lanes) {
+    contexts_.push_back(std::make_unique<QueryContext>());
+  }
+  const VicinityOracle& oracle = *oracle_;
+  if (lanes == 1) {
+    QueryContext& ctx = *contexts_[0];
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      results[i] = oracle.distance(queries[i].s, queries[i].t, ctx);
+    }
+    return;
+  }
+  // Static contiguous chunking, one context per lane. Each query is
+  // independent and deterministic against the immutable index, so the
+  // partition never changes the answers — only who computes them.
+  const std::size_t chunk = (queries.size() + lanes - 1) / lanes;
+  for (unsigned w = 0; w < lanes; ++w) {
+    const std::size_t lo = std::min(queries.size(), w * chunk);
+    const std::size_t hi = std::min(queries.size(), lo + chunk);
+    if (lo >= hi) break;
+    QueryContext* ctx = contexts_[w].get();
+    pool_.submit([&oracle, queries, results, ctx, lo, hi] {
+      for (std::size_t i = lo; i < hi; ++i) {
+        results[i] = oracle.distance(queries[i].s, queries[i].t, *ctx);
+      }
+    });
+  }
+  pool_.wait_idle();  // rethrows the first worker exception
+}
+
+QueryStats QueryEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryStats total;
+  for (const auto& ctx : contexts_) total.merge(ctx->stats());
+  return total;
+}
+
+void QueryEngine::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& ctx : contexts_) ctx->reset_stats();
+}
+
+}  // namespace vicinity::core

@@ -1,0 +1,143 @@
+// QueryEngine — concurrent batch-query serving on top of a built
+// VicinityOracle (the paper's §5 parallelization question, answered the way
+// production route/path servers do it: one immutable shared index, one
+// mutable context per worker).
+//
+// Thread-safety contract:
+//   * Shared-immutable: the graph, the vicinity store, the landmark tables
+//     and every other byte of a built VicinityOracle. Queries through the
+//     const context-taking overloads never mutate the oracle.
+//   * Per-context mutable: fallback bidirectional-BFS scratch (visit
+//     stamps, frontiers) and QueryStats accumulation live in QueryContext.
+//     A context must not be used by two threads at once; contexts are
+//     reusable across any number of queries with zero per-query allocation
+//     on the hot path.
+//
+// The engine owns a persistent ThreadPool and one QueryContext per worker
+// slot, so run_batch() dispatches onto warm threads instead of rebuilding a
+// pool per call. Results are deterministic: for a fixed oracle the answer
+// vector is bit-identical for every thread count.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "algo/bidirectional_bfs.h"
+#include "core/oracle.h"
+#include "util/thread_pool.h"
+
+namespace vicinity::core {
+
+/// One point-to-point distance request.
+struct Query {
+  NodeId s = 0;
+  NodeId t = 0;
+};
+
+/// Per-context (and mergeable) query accounting: how a slice of traffic was
+/// answered. Mirrors Table 3's resolution-method mix at serving time.
+struct QueryStats {
+  std::uint64_t queries = 0;
+  std::uint64_t exact = 0;
+  std::uint64_t hash_lookups = 0;
+  std::array<std::uint64_t, kNumQueryMethods> by_method{};
+
+  void record(const QueryResult& r) {
+    ++queries;
+    exact += r.exact ? 1 : 0;
+    hash_lookups += r.hash_lookups;
+    ++by_method[static_cast<std::size_t>(r.method)];
+  }
+
+  void merge(const QueryStats& other) {
+    queries += other.queries;
+    exact += other.exact;
+    hash_lookups += other.hash_lookups;
+    for (std::size_t i = 0; i < by_method.size(); ++i) {
+      by_method[i] += other.by_method[i];
+    }
+  }
+
+  std::uint64_t method_count(QueryMethod m) const {
+    return by_method[static_cast<std::size_t>(m)];
+  }
+};
+
+/// Per-thread mutable query state: exact-fallback search scratch plus stats.
+/// Create one per worker (QueryEngine does this internally; callers running
+/// their own threads use VicinityOracle::distance(s, t, ctx) with one
+/// context per thread). Default-constructed contexts size their scratch
+/// lazily on the first fallback search.
+class QueryContext {
+ public:
+  QueryContext() = default;
+
+  QueryStats& stats() { return stats_; }
+  const QueryStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = QueryStats{}; }
+
+  /// Heap footprint of the scratch (0 until the first exact fallback).
+  std::size_t memory_bytes() const { return scratch_.memory_bytes(); }
+
+ private:
+  friend class VicinityOracle;
+  friend class DirectedVicinityOracle;
+
+  algo::BidirBfsScratch scratch_;
+  QueryStats stats_;
+};
+
+/// Concurrent batch-query server. Construction is cheap relative to oracle
+/// build: it spawns the worker pool once and allocates one context per
+/// worker slot. run_batch() is internally serialized (one batch at a time);
+/// individual queries via query()/distance(s,t,ctx) need no lock at all.
+class QueryEngine {
+ public:
+  /// Serves queries against a shared immutable oracle. threads == 0 selects
+  /// hardware concurrency.
+  explicit QueryEngine(std::shared_ptr<const VicinityOracle> oracle,
+                       unsigned threads = 0);
+
+  /// Adopts an oracle by value (the common "build then serve" flow).
+  explicit QueryEngine(VicinityOracle&& oracle, unsigned threads = 0);
+
+  unsigned thread_count() const { return pool_.thread_count(); }
+  const VicinityOracle& oracle() const { return *oracle_; }
+
+  /// Answers queries[i] into the returned vector's slot i. threads == 0
+  /// uses every pool worker; smaller values restrict the batch to that many
+  /// concurrent lanes (larger values are allowed — extra lanes queue).
+  /// Results are identical for every `threads` value. Rethrows the first
+  /// exception a worker raised (e.g. out-of-range node ids).
+  std::vector<QueryResult> run_batch(std::span<const Query> queries,
+                                     unsigned threads = 0);
+
+  /// In-place variant: results.size() must equal queries.size().
+  void run_batch(std::span<const Query> queries,
+                 std::span<QueryResult> results, unsigned threads = 0);
+
+  /// Single query on a caller-owned context (lock-free; one context per
+  /// caller thread).
+  QueryResult query(NodeId s, NodeId t, QueryContext& ctx) const {
+    return oracle_->distance(s, t, ctx);
+  }
+
+  /// Fresh context for callers managing their own threads.
+  QueryContext make_context() const { return QueryContext{}; }
+
+  /// Aggregated statistics over everything this engine has served.
+  QueryStats stats() const;
+  void reset_stats();
+
+ private:
+  std::shared_ptr<const VicinityOracle> oracle_;
+  util::ThreadPool pool_;
+  mutable std::mutex mu_;  ///< serializes batches and guards contexts_
+  std::vector<std::unique_ptr<QueryContext>> contexts_;
+};
+
+}  // namespace vicinity::core

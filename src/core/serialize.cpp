@@ -1,10 +1,14 @@
 #include "core/serialize.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <stdexcept>
+
+#include "util/bit_vector.h"
 
 namespace vicinity::core {
 
@@ -35,11 +39,31 @@ void write_vec(std::ostream& out, const std::vector<T>& v) {
 template <typename T>
 std::vector<T> read_vec(std::istream& in) {
   const auto n = read_pod<std::uint64_t>(in);
-  std::vector<T> v(n);
-  in.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(n * sizeof(T)));
-  if (!in) throw std::runtime_error("oracle index: truncated array");
+  if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) {
+    throw std::runtime_error("oracle index: corrupt array length");
+  }
+  // The length is untrusted input: grow in bounded chunks so a corrupt or
+  // truncated file fails with "truncated array" after at most one chunk
+  // instead of front-loading a multi-GB allocation (or bad_alloc).
+  constexpr std::uint64_t kChunkElems =
+      std::max<std::uint64_t>(1, (std::uint64_t{1} << 22) / sizeof(T));
+  std::vector<T> v;
+  v.reserve(static_cast<std::size_t>(std::min(n, kChunkElems)));
+  std::uint64_t done = 0;
+  while (done < n) {
+    const std::uint64_t step = std::min(n - done, kChunkElems);
+    v.resize(static_cast<std::size_t>(done + step));
+    in.read(reinterpret_cast<char*>(v.data() + done),
+            static_cast<std::streamsize>(step * sizeof(T)));
+    if (!in) throw std::runtime_error("oracle index: truncated array");
+    done += step;
+  }
   return v;
+}
+
+/// Untrusted-input guard used throughout load().
+void require(bool ok, const char* what) {
+  if (!ok) throw std::runtime_error(std::string("oracle index: ") + what);
 }
 
 struct MemberRecord {
@@ -134,23 +158,50 @@ class OracleSerializer {
     o.g_ = &g;
     o.opt_.alpha = read_pod<double>(in);
     o.opt_.sampling_constant = read_pod<double>(in);
-    o.opt_.strategy =
-        static_cast<SamplingStrategy>(read_pod<std::uint8_t>(in));
-    o.opt_.backend = static_cast<StoreBackend>(read_pod<std::uint8_t>(in));
+    const auto strategy_raw = read_pod<std::uint8_t>(in);
+    require(strategy_raw <= static_cast<std::uint8_t>(
+                                SamplingStrategy::kTopDegree),
+            "corrupt sampling strategy");
+    o.opt_.strategy = static_cast<SamplingStrategy>(strategy_raw);
+    const auto backend_raw = read_pod<std::uint8_t>(in);
+    require(backend_raw <=
+                static_cast<std::uint8_t>(StoreBackend::kStdUnorderedMap),
+            "corrupt store backend");
+    o.opt_.backend = static_cast<StoreBackend>(backend_raw);
     o.opt_.use_boundary_optimization = read_pod<std::uint8_t>(in) != 0;
     o.opt_.iterate_smaller_side = read_pod<std::uint8_t>(in) != 0;
-    o.opt_.fallback = static_cast<Fallback>(read_pod<std::uint8_t>(in));
+    const auto fallback_raw = read_pod<std::uint8_t>(in);
+    require(fallback_raw <=
+                static_cast<std::uint8_t>(Fallback::kLandmarkEstimate),
+            "corrupt fallback mode");
+    o.opt_.fallback = static_cast<Fallback>(fallback_raw);
     o.opt_.seed = read_pod<std::uint64_t>(in);
 
     o.landmarks_.nodes = read_vec<NodeId>(in);
     o.landmarks_.alpha = o.opt_.alpha;
     o.landmarks_.strategy = o.opt_.strategy;
     o.landmarks_.member.resize(g.num_nodes());
-    for (const NodeId l : o.landmarks_.nodes) o.landmarks_.member.set(l);
+    for (const NodeId l : o.landmarks_.nodes) {
+      require(l < n, "landmark id out of range");
+      o.landmarks_.member.set(l);
+    }
     o.nearest_.dist = read_vec<Distance>(in);
     o.nearest_.landmark = read_vec<NodeId>(in);
+    require(o.nearest_.dist.size() == n && o.nearest_.landmark.size() == n,
+            "nearest-landmark arrays have wrong length");
+    for (const NodeId l : o.nearest_.landmark) {
+      require(l < n || l == kInvalidNode, "nearest landmark out of range");
+    }
 
     o.indexed_ = read_vec<NodeId>(in);
+    {
+      util::BitVector seen(g.num_nodes());
+      for (const NodeId u : o.indexed_) {
+        require(u < n, "indexed node out of range");
+        require(!seen.get(u), "duplicate indexed node");
+        seen.set(u);
+      }
+    }
     o.store_ = VicinityStore(g.num_nodes(), o.opt_.backend);
     o.store_.prepare(o.indexed_);
     for (const NodeId u : o.indexed_) {
@@ -158,9 +209,14 @@ class OracleSerializer {
       v.origin = u;
       v.radius = read_pod<Distance>(in);
       v.nearest_landmark = read_pod<NodeId>(in);
+      require(v.nearest_landmark < n || v.nearest_landmark == kInvalidNode,
+              "vicinity nearest landmark out of range");
       const auto members = read_vec<MemberRecord>(in);
       v.members.reserve(members.size());
       for (const MemberRecord& rec : members) {
+        require(rec.node < n, "vicinity member out of range");
+        require(rec.parent < n || rec.parent == kInvalidNode,
+                "vicinity parent out of range");
         VicinityMember m{rec.node, rec.dist, rec.parent,
                          (rec.flags & 1) != 0, (rec.flags & 2) != 0};
         if (m.in_ball) ++v.ball_size;
@@ -170,8 +226,10 @@ class OracleSerializer {
       o.store_.set(u, v);
     }
 
-    const auto mode =
-        static_cast<LandmarkTables::Mode>(read_pod<std::uint8_t>(in));
+    const auto mode_raw = read_pod<std::uint8_t>(in);
+    require(mode_raw <= static_cast<std::uint8_t>(LandmarkTables::Mode::kSubset),
+            "corrupt landmark-table mode");
+    const auto mode = static_cast<LandmarkTables::Mode>(mode_raw);
     if (mode != LandmarkTables::Mode::kNone) {
       LandmarkTables& t = o.tables_;
       t.mode_ = mode;
@@ -179,20 +237,38 @@ class OracleSerializer {
       t.landmark_nodes_ = read_vec<NodeId>(in);
       t.landmark_index_.assign(g.num_nodes(), kInvalidNode);
       for (std::size_t i = 0; i < t.landmark_nodes_.size(); ++i) {
+        require(t.landmark_nodes_[i] < n, "table landmark out of range");
         t.landmark_index_[t.landmark_nodes_[i]] = static_cast<NodeId>(i);
       }
       const auto rows = read_pod<std::uint64_t>(in);
+      require(rows <= n, "corrupt landmark row count");
       t.dist_rows_.resize(rows);
-      for (auto& row : t.dist_rows_) row = read_vec<Distance>(in);
+      for (auto& row : t.dist_rows_) {
+        row = read_vec<Distance>(in);
+        require(row.size() == n, "landmark row has wrong length");
+      }
       const auto prows = read_pod<std::uint64_t>(in);
+      require(prows == 0 || prows == rows, "corrupt parent row count");
       t.parent_rows_.resize(prows);
-      for (auto& row : t.parent_rows_) row = read_vec<NodeId>(in);
+      for (auto& row : t.parent_rows_) {
+        row = read_vec<NodeId>(in);
+        require(row.size() == n, "parent row has wrong length");
+      }
       t.subset_nodes_ = read_vec<NodeId>(in);
       t.subset_index_.assign(g.num_nodes(), kInvalidNode);
       for (std::size_t i = 0; i < t.subset_nodes_.size(); ++i) {
+        require(t.subset_nodes_[i] < n, "subset node out of range");
         t.subset_index_[t.subset_nodes_[i]] = static_cast<NodeId>(i);
       }
       t.to_lm_ = read_vec<Distance>(in);
+      if (mode == LandmarkTables::Mode::kFull) {
+        require(t.dist_rows_.size() == t.landmark_nodes_.size(),
+                "landmark row count mismatch");
+      } else {
+        require(t.to_lm_.size() ==
+                    t.subset_nodes_.size() * t.landmark_nodes_.size(),
+                "subset table has wrong length");
+      }
     }
 
     // Rebuild derived statistics so callers see sane numbers after load.

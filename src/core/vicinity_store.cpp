@@ -40,6 +40,12 @@ void VicinityStore::set(NodeId u, const Vicinity& v) {
   p.boundary_nodes.reserve(v.boundary_size);
   p.boundary_dists.reserve(v.boundary_size);
   for (const VicinityMember& m : v.members) {
+    // kInvalidNode is the flat backend's empty-key sentinel; storing it
+    // would corrupt that table, so both backends reject it uniformly.
+    if (m.node == kInvalidNode) {
+      throw std::invalid_argument(
+          "VicinityStore::set: member is the invalid-node sentinel");
+    }
     const StoredEntry e{m.dist, m.parent};
     if (backend_ == StoreBackend::kFlatHash) {
       p.flat.insert_or_assign(m.node, e);

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
@@ -48,10 +49,16 @@ class VicinityStore {
     return u < slot_of_.size() && slot_of_[u] != kInvalidNode;
   }
 
-  /// Γ(u) probe: entry for v, or nullptr. Requires has(u).
+  /// Γ(u) probe: entry for v, or nullptr. Requires has(u). Probing the
+  /// invalid-node sentinel is a checked error on both backends (the flat
+  /// backend reserves it as its empty key; the std backend mirrors the
+  /// contract so behavior doesn't depend on the StoreBackend switch).
   const StoredEntry* find(NodeId u, NodeId v) const {
     const PerNode& p = slots_[slot_of_[u]];
     if (backend_ == StoreBackend::kFlatHash) return p.flat.find(v);
+    if (v == kInvalidNode) {
+      throw std::invalid_argument("VicinityStore: probing the invalid node");
+    }
     const auto it = p.std.find(v);
     return it == p.std.end() ? nullptr : &it->second;
   }

@@ -76,9 +76,14 @@ class FlatHashMap {
   /// if absent.
   V& operator[](K key) { return *find_or_insert(key); }
 
-  /// Returns nullptr when absent. Never invalidated by lookups.
+  /// Returns nullptr when absent. Never invalidated by lookups. Probing
+  /// the empty sentinel is a checked error in every build type: the probe
+  /// would otherwise "find" the first free slot and return a pointer to
+  /// garbage (an assert would vanish in Release and corrupt silently).
   const V* find(K key) const {
-    assert(key != empty_key_);
+    if (key == empty_key_) {
+      throw std::invalid_argument("FlatHashMap: probing the empty sentinel");
+    }
     std::size_t i = index_of(key);
     while (true) {
       const Slot& s = slots_[i];
@@ -200,7 +205,9 @@ class FlatHashSet {
   }
 
   bool contains(K key) const {
-    assert(key != empty_key_);
+    if (key == empty_key_) {
+      throw std::invalid_argument("FlatHashSet: probing the empty sentinel");
+    }
     std::size_t i = index_of(key);
     while (true) {
       if (slots_[i] == key) return true;

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace vicinity::util {
 
@@ -33,8 +34,13 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::parallel_for(std::uint64_t count,
@@ -63,7 +69,16 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    // A throwing task must still count as finished: capture the first
+    // exception for wait_idle() and keep draining so in_flight_ reaches 0
+    // (the pre-fix code called task() unguarded — any exception hit
+    // std::terminate, and in_flight_ stayed >0, deadlocking wait_idle()).
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--in_flight_ == 0) cv_idle_.notify_all();

@@ -2,12 +2,15 @@
 //
 // The paper (§5) notes that shortest-path preprocessing parallelizes poorly
 // across machines; within one machine, however, vicinity construction is
-// embarrassingly parallel (one truncated search per node). The oracle uses
-// this pool for construction; queries stay single-threaded as in the paper.
+// embarrassingly parallel (one truncated search per node) and oracle queries
+// share no mutable state at all (core/query_engine.h). The pool is built
+// once and reused: submit()/wait_idle() cycles and parallel_for() calls keep
+// dispatching onto the same workers instead of respawning threads.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -27,14 +30,20 @@ class ThreadPool {
 
   unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
 
-  /// Enqueues a task. Tasks must not throw; exceptions terminate.
+  /// Enqueues a task. If a task throws, the first exception is captured and
+  /// the queue keeps draining; the exception is rethrown from the next
+  /// wait_idle() (and therefore parallel_for()).
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any of them raised (clearing it, so the pool stays
+  /// usable afterwards).
   void wait_idle();
 
   /// Runs fn(i) for i in [0, count) across the pool and waits. Static
-  /// chunking: good enough for uniform per-node work.
+  /// chunking: good enough for uniform per-node work. Reuses the existing
+  /// workers — no pool construction per call. Rethrows the first exception
+  /// fn raised.
   void parallel_for(std::uint64_t count,
                     const std::function<void(std::uint64_t)>& fn);
 
@@ -48,6 +57,9 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::uint64_t in_flight_ = 0;
   bool stop_ = false;
+  /// First exception thrown by a task since the last wait_idle(); guarded
+  /// by mu_. Dropped if the pool is destroyed without a wait_idle().
+  std::exception_ptr first_error_;
 };
 
 }  // namespace vicinity::util

@@ -32,6 +32,7 @@
 #include "core/landmarks.h"
 #include "core/options.h"
 #include "core/oracle.h"
+#include "core/query_engine.h"
 #include "core/serialize.h"
 #include "core/vicinity_builder.h"
 #include "core/vicinity_store.h"

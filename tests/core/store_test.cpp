@@ -110,6 +110,29 @@ INSTANTIATE_TEST_SUITE_P(Backends, StoreTest,
                                       : "StdUnorderedMap";
                          });
 
+TEST_P(StoreTest, ProbingInvalidNodeIsCheckedError) {
+  // Regression: the flat backend reserves kInvalidNode as its empty-key
+  // sentinel; in Release builds a sentinel probe used to "find" the first
+  // free slot. Both backends must reject it identically, in every build
+  // type, so behavior does not depend on the StoreBackend switch.
+  const auto g = testing::karate_club();
+  VicinityStore store(g.num_nodes(), GetParam());
+  const std::vector<NodeId> nodes = {0};
+  store.prepare(nodes);
+  store.set(0, make_vicinity(g, 0, 2));
+  EXPECT_THROW(store.find(0, kInvalidNode), std::invalid_argument);
+}
+
+TEST_P(StoreTest, StoringInvalidNodeMemberIsCheckedError) {
+  const auto g = testing::karate_club();
+  VicinityStore store(g.num_nodes(), GetParam());
+  const std::vector<NodeId> nodes = {0};
+  store.prepare(nodes);
+  Vicinity v = make_vicinity(g, 0, 2);
+  v.members.push_back(VicinityMember{kInvalidNode, 1, 0, true, false});
+  EXPECT_THROW(store.set(0, v), std::invalid_argument);
+}
+
 TEST(StoreBackendTest, BackendsAgreeProbeForProbe) {
   const auto g = testing::random_connected(300, 1200, 142);
   VicinityStore flat(g.num_nodes(), StoreBackend::kFlatHash);

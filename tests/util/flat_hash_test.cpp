@@ -125,6 +125,28 @@ TEST(FlatHashSetTest, RejectsSentinel) {
   EXPECT_THROW(s.insert(kInvalidNode), std::invalid_argument);
 }
 
+TEST(FlatHashSetTest, ProbingSentinelIsCheckedError) {
+  // contains(sentinel) used to be assert-only: in Release it matched the
+  // first free slot and returned true for a key that must never be stored.
+  FlatHashSet<NodeId> s;
+  s.insert(1);
+  EXPECT_THROW(s.contains(kInvalidNode), std::invalid_argument);
+}
+
+TEST(FlatHashMapTest, InsertAndProbeOfSentinelAreCheckedErrors) {
+  FlatHashMap<NodeId, int> m;
+  m.insert_or_assign(3, 30);
+  EXPECT_THROW(m.insert_or_assign(kInvalidNode, 1), std::invalid_argument);
+  EXPECT_THROW(m[kInvalidNode], std::invalid_argument);
+  EXPECT_THROW(m.find(kInvalidNode), std::invalid_argument);
+  EXPECT_THROW(m.contains(kInvalidNode), std::invalid_argument);
+  const auto& cm = m;
+  EXPECT_THROW(cm.find(kInvalidNode), std::invalid_argument);
+  // The failed operations corrupted nothing.
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(*m.find(3), 30);
+}
+
 TEST(FlatHashMapTest, CustomEmptyKey) {
   // Zero as the sentinel lets kInvalidNode itself be stored.
   FlatHashMap<NodeId, int> m(0, /*empty_key=*/0);

@@ -1,0 +1,86 @@
+// Regression tests for ThreadPool exception propagation: a throwing task
+// used to call std::terminate (task() ran outside any try/catch) and leaked
+// its in_flight_ increment, deadlocking wait_idle().
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "util/thread_pool.h"
+
+namespace vicinity::util {
+namespace {
+
+TEST(ThreadPoolExceptionTest, WaitIdleRethrowsTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+}
+
+TEST(ThreadPoolExceptionTest, ThrowingTaskStillCountsAsFinished) {
+  // Pre-fix this deadlocked (if it did not terminate outright): the
+  // throwing task never decremented in_flight_.
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 32; ++i) {
+    if (i == 7) {
+      pool.submit([] { throw std::runtime_error("mid-batch"); });
+    } else {
+      pool.submit([&done] { done.fetch_add(1); });
+    }
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(done.load(), 31);
+}
+
+TEST(ThreadPoolExceptionTest, PoolRemainsUsableAfterException) {
+  ThreadPool pool(3);
+  pool.submit([] { throw std::logic_error("first"); });
+  EXPECT_THROW(pool.wait_idle(), std::logic_error);
+  // The error was consumed; the next cycle is clean.
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) pool.submit([&done] { done.fetch_add(1); });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(done.load(), 10);
+}
+
+TEST(ThreadPoolExceptionTest, OnlyFirstExceptionIsReported) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([] { throw std::runtime_error("one of many"); });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_NO_THROW(pool.wait_idle());  // drained, error consumed
+}
+
+TEST(ThreadPoolExceptionTest, ParallelForRethrows) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::uint64_t i) {
+                                   if (i == 37) {
+                                     throw std::out_of_range("i == 37");
+                                   }
+                                   sum.fetch_add(1);
+                                 }),
+               std::out_of_range);
+  // Later parallel_for calls reuse the same workers and start clean.
+  sum = 0;
+  pool.parallel_for(50, [&](std::uint64_t) { sum.fetch_add(1); });
+  EXPECT_EQ(sum.load(), 50u);
+}
+
+TEST(ThreadPoolExceptionTest, DestructionWithPendingErrorDoesNotTerminate) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("never observed"); });
+  // Destructor drains and drops the captured error.
+}
+
+TEST(ThreadPoolExceptionTest, NonStdExceptionPropagates) {
+  ThreadPool pool(2);
+  pool.submit([] { throw 42; });
+  EXPECT_THROW(pool.wait_idle(), int);
+}
+
+}  // namespace
+}  // namespace vicinity::util
