@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""bench-smoke gate: merge bench JSON outputs and fail on perf regressions.
+
+Reads the JSON emitted by `bench_throughput --json` and `bench_updates
+--json`, extracts the headline metrics, writes the combined BENCH report
+(the repo's perf-trajectory record, uploaded as a CI artifact), and exits
+non-zero when any metric regresses more than the tolerance against the
+checked-in baseline.
+
+The baseline values are deliberately conservative floors/ceilings (roughly
+half of what a single modern core achieves) so the gate catches real
+regressions — an accidentally quadratic repair path, a lock on the query
+hot path — rather than runner-to-runner noise.
+
+Usage:
+  check_bench_regression.py --throughput tp.json --updates up.json \
+      --baseline bench/baselines/bench_smoke_baseline.json \
+      --out BENCH_pr3.json [--tolerance 0.20]
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def extract_metrics(throughput, updates):
+    qps_rows = throughput.get("throughput", [])
+    return {
+        "query_qps_best": max((r["qps"] for r in qps_rows), default=0.0),
+        "query_p50_us": throughput["latency_us"]["p50"],
+        "query_p99_us": throughput["latency_us"]["p99"],
+        "updates_per_sec": updates["updates_per_sec"],
+        "insert_per_sec": updates["insert"]["per_sec"],
+        "delete_per_sec": updates["delete"]["per_sec"],
+        "post_update_query_p50_us": updates["post_update_query"]["p50_us"],
+        "post_update_query_p99_us": updates["post_update_query"]["p99_us"],
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--throughput", required=True)
+    ap.add_argument("--updates", required=True)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--out", required=True)
+    ap.add_argument("--tolerance", type=float, default=None,
+                    help="override the baseline file's tolerance")
+    args = ap.parse_args()
+
+    with open(args.throughput) as f:
+        throughput = json.load(f)
+    with open(args.updates) as f:
+        updates = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    tolerance = (args.tolerance if args.tolerance is not None
+                 else baseline.get("tolerance", 0.20))
+    metrics = extract_metrics(throughput, updates)
+
+    failures = []
+    report_rows = {}
+    for name, spec in baseline["metrics"].items():
+        if name not in metrics:
+            failures.append(f"{name}: missing from bench output")
+            continue
+        measured = metrics[name]
+        ref = spec["value"]
+        higher_is_better = spec["higher_is_better"]
+        if higher_is_better:
+            limit = ref * (1.0 - tolerance)
+            ok = measured >= limit
+        else:
+            limit = ref * (1.0 + tolerance)
+            ok = measured <= limit
+        report_rows[name] = {
+            "measured": measured,
+            "baseline": ref,
+            "limit": limit,
+            "higher_is_better": higher_is_better,
+            "ok": ok,
+        }
+        status = "ok  " if ok else "FAIL"
+        print(f"  [{status}] {name}: measured={measured:.2f} "
+              f"baseline={ref:.2f} limit={limit:.2f} "
+              f"({'>=' if higher_is_better else '<='})")
+        if not ok:
+            failures.append(
+                f"{name}: {measured:.2f} vs limit {limit:.2f} "
+                f"(baseline {ref:.2f}, tolerance {tolerance:.0%})")
+
+    report = {
+        "metrics": metrics,
+        "gate": {"tolerance": tolerance, "rows": report_rows,
+                 "passed": not failures},
+        "throughput": throughput,
+        "updates": updates,
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out}")
+
+    if failures:
+        print("bench-smoke regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("bench-smoke regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 #include "algo/path.h"
 #include "core/query_engine.h"
 #include "util/bit_vector.h"
+#include "util/flat_hash.h"
 #include "util/timer.h"
 
 namespace vicinity::core {
@@ -122,6 +124,152 @@ DirectedVicinityOracle DirectedVicinityOracle::build_impl(
   stats.seconds = timer.elapsed_seconds();
   o.build_stats_ = stats;
   return o;
+}
+
+void DirectedVicinityOracle::rebuild_vicinities(
+    std::span<const NodeId> out_nodes, std::span<const NodeId> in_nodes) {
+  if (!out_nodes.empty()) {
+    VicinityBuilder builder(*g_, Direction::kOut);
+    for (const NodeId u : out_nodes) {
+      out_store_.set(
+          u, builder.build(u, nearest_out_.dist[u], nearest_out_.landmark[u]));
+    }
+  }
+  if (!in_nodes.empty()) {
+    VicinityBuilder builder(*g_, Direction::kIn);
+    for (const NodeId u : in_nodes) {
+      in_store_.set(
+          u, builder.build(u, nearest_in_.dist[u], nearest_in_.landmark[u]));
+    }
+  }
+}
+
+UpdateStats DirectedVicinityOracle::apply_update(graph::Graph& g,
+                                                 const GraphUpdate& update) {
+  util::Timer timer;
+  if (&g != g_) {
+    throw std::invalid_argument(
+        "DirectedVicinityOracle::apply_update: not the graph this oracle was "
+        "built on");
+  }
+  if (indexed_.size() != g.num_nodes()) {
+    throw std::logic_error(
+        "DirectedVicinityOracle::apply_update: requires a full index");
+  }
+  const NodeId a = update.u;
+  const NodeId b = update.v;
+  if (a >= g.num_nodes() || b >= g.num_nodes()) {
+    throw std::out_of_range(
+        "DirectedVicinityOracle::apply_update: node out of range");
+  }
+  UpdateStats stats;
+  stats.kind = update.kind;
+  Weight w = update.weight;
+  if (update.kind == UpdateKind::kDelete) {
+    w = g.edge_weight(a, b);
+    if (w == kInfDistance) {
+      throw std::invalid_argument(
+          "DirectedVicinityOracle::apply_update: arc not present");
+    }
+  } else if (g.has_edge(a, b)) {
+    throw std::invalid_argument(
+        "DirectedVicinityOracle::apply_update: arc already present");
+  }
+
+  // (1) Candidate regions + classification on the PRE-mutation graph:
+  // Γ_out(x) ∋ endpoint is a backward question (searched along in-arcs,
+  // pruned by r_out), Γ_in(x) a forward one.
+  const Distance slack = g.weighted() ? g.max_weight() : 0;
+  util::FlatHashMap<NodeId, Distance> out_from_a(512);
+  util::FlatHashMap<NodeId, Distance> out_from_b(512);
+  util::FlatHashMap<NodeId, Distance> in_from_a(512);
+  util::FlatHashMap<NodeId, Distance> in_from_b(512);
+  detail::collect_candidates(g, nearest_out_.dist, a, Direction::kOut, slack,
+                             out_from_a, stats.candidates_scanned);
+  detail::collect_candidates(g, nearest_out_.dist, b, Direction::kOut, slack,
+                             out_from_b, stats.candidates_scanned);
+  detail::collect_candidates(g, nearest_in_.dist, a, Direction::kIn, slack,
+                             in_from_a, stats.candidates_scanned);
+  detail::collect_candidates(g, nearest_in_.dist, b, Direction::kIn, slack,
+                             in_from_b, stats.candidates_scanned);
+  detail::AffectedSets sets_out = detail::decide_affected(
+      g, out_store_, nearest_out_.dist, update.kind, Direction::kOut, a, b, w,
+      out_from_a, out_from_b);
+  detail::AffectedSets sets_in = detail::decide_affected(
+      g, in_store_, nearest_in_.dist, update.kind, Direction::kIn, a, b, w,
+      in_from_a, in_from_b);
+
+  // (2) Mutate, then (3) repair both radius fields.
+  std::vector<NodeId> changed_out;
+  std::vector<NodeId> changed_in;
+  std::vector<NodeId> assign_out;
+  std::vector<NodeId> assign_in;
+  if (update.kind == UpdateKind::kInsert) {
+    g.add_edge(a, b, w);
+    changed_out = detail::repair_nearest_insert(g, nearest_out_, a, b, w,
+                                                Direction::kOut);
+    changed_in = detail::repair_nearest_insert(g, nearest_in_, a, b, w,
+                                               Direction::kIn);
+  } else {
+    g.remove_edge(a, b);
+    changed_out = detail::repair_nearest_delete(
+        g, landmarks_, nearest_out_, a, b, w, Direction::kOut, &assign_out);
+    changed_in = detail::repair_nearest_delete(
+        g, landmarks_, nearest_in_, a, b, w, Direction::kIn, &assign_in);
+  }
+  stats.radius_changes = changed_out.size() + changed_in.size();
+  util::FlatHashSet<NodeId> rebuild_out(sets_out.rebuild.size() +
+                                        changed_out.size() + 1);
+  util::FlatHashSet<NodeId> rebuild_in(sets_in.rebuild.size() +
+                                       changed_in.size() + 1);
+  detail::merge_radius_changes(sets_out, changed_out, rebuild_out);
+  detail::merge_radius_changes(sets_in, changed_in, rebuild_in);
+
+  // (4) Repair or rebuild (two vicinities per node -> 2n budget), then the
+  // boundary-flag and metadata patches for everything not rebuilt.
+  const auto threshold = static_cast<std::size_t>(
+      opt_.update_rebuild_fraction * 2.0 *
+      static_cast<double>(indexed_.size()));
+  if (sets_out.rebuild.size() + sets_in.rebuild.size() > threshold) {
+    stats.full_rebuild = true;
+    stats.affected_vicinities = 2 * indexed_.size();
+    rebuild_vicinities(indexed_, indexed_);
+  } else {
+    stats.affected_vicinities =
+        sets_out.rebuild.size() + sets_in.rebuild.size();
+    rebuild_vicinities(sets_out.rebuild, sets_in.rebuild);
+    for (const auto& [x, member] : sets_out.flag_patches) {
+      if (rebuild_out.contains(x)) continue;
+      out_store_.refresh_boundary_flag(x, member, g, Direction::kOut);
+      ++stats.boundary_patches;
+    }
+    for (const auto& [x, member] : sets_in.flag_patches) {
+      if (rebuild_in.contains(x)) continue;
+      in_store_.refresh_boundary_flag(x, member, g, Direction::kIn);
+      ++stats.boundary_patches;
+    }
+    for (const NodeId x : assign_out) {
+      if (!rebuild_out.contains(x) && out_store_.has(x)) {
+        out_store_.set_nearest_landmark(x, nearest_out_.landmark[x]);
+      }
+    }
+    for (const NodeId x : assign_in) {
+      if (!rebuild_in.contains(x) && in_store_.has(x)) {
+        in_store_.set_nearest_landmark(x, nearest_in_.landmark[x]);
+      }
+    }
+  }
+
+  // (5) Landmark rows (forward + backward).
+  if (tables_.mode() == LandmarkTables::Mode::kFull) {
+    stats.landmark_rows_refreshed =
+        update.kind == UpdateKind::kInsert
+            ? tables_.refresh_rows_insert(g, a, b, w)
+            : tables_.refresh_rows_delete(g, a, b);
+  }
+
+  stats.seconds = timer.elapsed_seconds();
+  return stats;
 }
 
 QueryResult DirectedVicinityOracle::distance(NodeId s, NodeId t) {

@@ -44,6 +44,15 @@ class DirectedVicinityOracle {
   /// Thread-safe path query (same contract as distance(s, t, ctx)).
   PathResult path(NodeId s, NodeId t, QueryContext& ctx) const;
 
+  /// Directed counterpart of VicinityOracle::apply_update: mutates arc
+  /// u -> v in `g` (the graph this oracle was built on) and incrementally
+  /// repairs both vicinity families — Γ_out via a backward candidate search
+  /// from the endpoints, Γ_in via a forward one — plus both radius fields
+  /// and the forward/backward landmark rows. Falls back to rebuilding all
+  /// vicinities past options().update_rebuild_fraction. Requires a full
+  /// index; not safe against in-flight queries.
+  UpdateStats apply_update(graph::Graph& g, const GraphUpdate& update);
+
   double estimate_coverage(std::size_t pairs, util::Rng& rng) const;
 
   const graph::Graph& graph() const { return *g_; }
@@ -66,6 +75,8 @@ class DirectedVicinityOracle {
                                            std::span<const NodeId> nodes);
 
   QueryResult distance_impl(NodeId s, NodeId t, QueryContext* ctx) const;
+  void rebuild_vicinities(std::span<const NodeId> out_nodes,
+                          std::span<const NodeId> in_nodes);
   QueryResult fallback_distance(NodeId s, NodeId t, std::uint32_t lookups,
                                 QueryContext* ctx) const;
   QueryContext& default_context();

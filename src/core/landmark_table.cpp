@@ -1,9 +1,11 @@
 #include "core/landmark_table.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "algo/bfs.h"
 #include "algo/dijkstra.h"
+#include "core/dynamic.h"
 
 namespace vicinity::core {
 
@@ -101,6 +103,78 @@ LandmarkTables LandmarkTables::build_subset(const graph::Graph& g,
     for (std::uint64_t i = 0; i < s; ++i) work(i);
   }
   return t;
+}
+
+std::size_t LandmarkTables::refresh_rows_insert(const graph::Graph& g,
+                                                NodeId a, NodeId b, Weight w) {
+  if (mode_ != Mode::kFull) {
+    throw std::logic_error("landmark table refresh: requires full mode");
+  }
+  std::size_t touched = 0;
+  for (std::size_t i = 0; i < dist_rows_.size(); ++i) {
+    bool row_changed = false;
+    // Forward row d(l -> v): the new arc can lower b via a (either
+    // orientation on undirected graphs); improvements then cascade along
+    // out-arcs.
+    {
+      auto& row = dist_rows_[i];
+      NodeId* parents =
+          parent_rows_.empty() ? nullptr : parent_rows_[i].data();
+      std::vector<NodeId> seeds;
+      auto seed = [&](NodeId to, NodeId via) {
+        const Distance cand = dist_add(row[via], w);
+        if (cand < row[to]) {
+          row[to] = cand;
+          if (parents != nullptr) parents[to] = via;
+          seeds.push_back(to);
+        }
+      };
+      seed(b, a);
+      if (!g.directed()) seed(a, b);
+      if (!seeds.empty()) {
+        detail::relax_row(g, /*use_in_arcs=*/false, row, seeds, parents);
+        row_changed = true;
+      }
+    }
+    // Backward row d(v -> l) (directed only): the arc lowers a via b, and
+    // improvements cascade along in-arcs.
+    if (!rev_rows_.empty()) {
+      auto& row = rev_rows_[i];
+      const Distance cand = dist_add(row[b], w);
+      if (cand < row[a]) {
+        row[a] = cand;
+        const NodeId seeds[] = {a};
+        detail::relax_row(g, /*use_in_arcs=*/true, row, seeds, nullptr);
+        row_changed = true;
+      }
+    }
+    if (row_changed) ++touched;
+  }
+  return touched;
+}
+
+std::size_t LandmarkTables::refresh_rows_delete(const graph::Graph& g,
+                                                NodeId a, NodeId b) {
+  if (mode_ != Mode::kFull) {
+    throw std::logic_error("landmark table refresh: requires full mode");
+  }
+  std::size_t touched = 0;
+  for (std::size_t i = 0; i < dist_rows_.size(); ++i) {
+    NodeId* parents = parent_rows_.empty() ? nullptr : parent_rows_[i].data();
+    std::size_t changed = detail::repair_row_delete(
+        g, /*use_in_arcs=*/false, dist_rows_[i], parents, a, b);
+    if (!g.directed()) {
+      // Undirected deletes remove both arcs; repair each orientation (the
+      // second call is a cheap support check once the first settled).
+      changed += detail::repair_row_delete(g, /*use_in_arcs=*/false,
+                                           dist_rows_[i], parents, b, a);
+    } else if (!rev_rows_.empty()) {
+      changed += detail::repair_row_delete(g, /*use_in_arcs=*/true,
+                                           rev_rows_[i], nullptr, a, b);
+    }
+    if (changed != 0) ++touched;
+  }
+  return touched;
 }
 
 Distance LandmarkTables::dist_from_landmark(NodeId l, NodeId v) const {

@@ -63,6 +63,22 @@ class LandmarkTables {
   Distance subset_dist_to_landmark(NodeId v, NodeId l) const;
   Distance subset_dist_from_landmark(NodeId l, NodeId v) const;
 
+  // --- Dynamic refresh (core/dynamic.h) -----------------------------------
+  // kFull mode only; both throw std::logic_error otherwise.
+
+  /// Decrease-only relaxation of every row after inserting arc a -> b of
+  /// weight w into `g` (post-insert; undirected graphs repair both
+  /// orientations). Parent rows, when stored, track the improving
+  /// predecessor. Returns the number of rows with at least one change.
+  std::size_t refresh_rows_insert(const graph::Graph& g, NodeId a, NodeId b,
+                                  Weight w);
+
+  /// Repair after deleting arc a -> b (`g` is post-delete). Each row runs the bounded increase-repair
+  /// (core/dynamic.h repair_row_delete): rows where the arc was not
+  /// load-bearing exit after one O(degree) support check, others re-settle
+  /// only the invalidated region. Returns rows with at least one change.
+  std::size_t refresh_rows_delete(const graph::Graph& g, NodeId a, NodeId b);
+
   /// Resolves d(s, t) when s or t is a landmark, honoring the mode; returns
   /// kInfDistance when unreachable. `s_is_landmark` selects which endpoint
   /// is in L. In subset mode the non-landmark endpoint must be a subset

@@ -66,6 +66,13 @@ struct OracleOptions {
 
   Fallback fallback = Fallback::kNone;
 
+  /// Dynamic updates (apply_update): when one edge insert/delete invalidates
+  /// more than this fraction of the indexed vicinities, fall back to
+  /// rebuilding every vicinity (landmarks kept) instead of repairing them
+  /// one by one — the targeted-rebuild threshold of the follow-up paper.
+  /// Must be >= 0; values >= 1 disable the fallback entirely.
+  double update_rebuild_fraction = 0.25;
+
   /// Seed for landmark sampling (and nothing else).
   std::uint64_t seed = 42;
 

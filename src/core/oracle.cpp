@@ -125,14 +125,11 @@ VicinityOracle VicinityOracle::build_impl(const graph::Graph& g,
   };
   if (threads > 1 && o.indexed_.size() > 64) {
     util::ThreadPool pool(threads);
-    const std::size_t count = o.indexed_.size();
-    const std::size_t chunk = (count + threads - 1) / threads;
-    for (unsigned w = 0; w < threads; ++w) {
-      const std::size_t lo = std::min<std::size_t>(count, w * chunk);
-      const std::size_t hi = std::min<std::size_t>(count, lo + chunk);
-      if (lo < hi) pool.submit([&, lo, hi] { build_range(lo, hi); });
-    }
-    pool.wait_idle();
+    pool.parallel_for_ranges(
+        o.indexed_.size(), threads,
+        [&](std::uint64_t lo, std::uint64_t hi, unsigned) {
+          build_range(lo, hi);
+        });
   } else {
     build_range(0, o.indexed_.size());
   }
@@ -168,6 +165,140 @@ VicinityOracle VicinityOracle::build_impl(const graph::Graph& g,
   stats.seconds = timer.elapsed_seconds();
   o.build_stats_ = stats;
   return o;
+}
+
+void VicinityOracle::rebuild_vicinities(std::span<const NodeId> nodes) {
+  if (nodes.empty()) return;
+  auto rebuild_range = [&](std::uint64_t lo, std::uint64_t hi) {
+    VicinityBuilder builder(*g_);
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      const NodeId u = nodes[i];
+      store_.set(u, builder.build(u, nearest_.dist[u], nearest_.landmark[u]));
+    }
+  };
+  const unsigned threads =
+      opt_.build_threads == 0
+          ? std::max(1u, std::thread::hardware_concurrency())
+          : opt_.build_threads;
+  // Tiny repairs would pay more for dispatch than the rebuilds cost;
+  // anything hub-sized (hundreds of vicinities) parallelizes well. The
+  // pool persists across updates — spawning threads per apply_update would
+  // put ~ms of thread churn on the measured update path.
+  if (threads > 1 && nodes.size() > 128) {
+    if (!update_pool_ || update_pool_->thread_count() != threads) {
+      update_pool_ = std::make_unique<util::ThreadPool>(threads);
+    }
+    update_pool_->parallel_for_ranges(
+        nodes.size(), threads,
+        [&](std::uint64_t lo, std::uint64_t hi, unsigned) {
+          rebuild_range(lo, hi);
+        });
+  } else {
+    rebuild_range(0, nodes.size());
+  }
+}
+
+UpdateStats VicinityOracle::apply_update(graph::Graph& g,
+                                         const GraphUpdate& update) {
+  util::Timer timer;
+  if (&g != g_) {
+    throw std::invalid_argument(
+        "VicinityOracle::apply_update: not the graph this oracle was built "
+        "on");
+  }
+  if (indexed_.size() != g.num_nodes()) {
+    throw std::logic_error(
+        "VicinityOracle::apply_update: requires a full index (build(), not "
+        "build_for())");
+  }
+  const NodeId a = update.u;
+  const NodeId b = update.v;
+  if (a >= g.num_nodes() || b >= g.num_nodes()) {
+    throw std::out_of_range("VicinityOracle::apply_update: node out of range");
+  }
+  UpdateStats stats;
+  stats.kind = update.kind;
+  Weight w = update.weight;
+  if (update.kind == UpdateKind::kDelete) {
+    w = g.edge_weight(a, b);
+    if (w == kInfDistance) {
+      throw std::invalid_argument(
+          "VicinityOracle::apply_update: edge not present");
+    }
+  } else if (g.has_edge(a, b)) {
+    throw std::invalid_argument(
+        "VicinityOracle::apply_update: edge already present");
+  }
+
+  // (1) Candidate region + classification on the PRE-mutation graph (see
+  // core/dynamic.h): vicinities the edge is local to get rebuilt, member
+  // endpoints whose other end stays outside only need a flag refresh.
+  const Distance slack = g.weighted() ? g.max_weight() : 0;
+  util::FlatHashMap<NodeId, Distance> from_a(1024);
+  util::FlatHashMap<NodeId, Distance> from_b(1024);
+  detail::collect_candidates(g, nearest_.dist, a, Direction::kOut, slack,
+                             from_a, stats.candidates_scanned);
+  detail::collect_candidates(g, nearest_.dist, b, Direction::kOut, slack,
+                             from_b, stats.candidates_scanned);
+  detail::AffectedSets sets =
+      detail::decide_affected(g, store_, nearest_.dist, update.kind,
+                              Direction::kOut, a, b, w, from_a, from_b);
+
+  // (2) Mutate the graph, then (3) repair the radius field against it.
+  std::vector<NodeId> radius_changed;
+  std::vector<NodeId> assignment_changed;
+  if (update.kind == UpdateKind::kInsert) {
+    g.add_edge(a, b, w);
+    radius_changed =
+        detail::repair_nearest_insert(g, nearest_, a, b, w, Direction::kOut);
+  } else {
+    g.remove_edge(a, b);
+    radius_changed =
+        detail::repair_nearest_delete(g, landmarks_, nearest_, a, b, w,
+                                      Direction::kOut, &assignment_changed);
+  }
+  stats.radius_changes = radius_changed.size();
+  // A changed radius re-truncates the vicinity regardless of locality.
+  util::FlatHashSet<NodeId> rebuild_set(sets.rebuild.size() +
+                                        radius_changed.size() + 1);
+  detail::merge_radius_changes(sets, radius_changed, rebuild_set);
+
+  // (4) Repair or rebuild the vicinities, then apply the flag and metadata
+  // patches to everything that was not rebuilt outright.
+  const auto threshold = static_cast<std::size_t>(
+      opt_.update_rebuild_fraction * static_cast<double>(indexed_.size()));
+  if (sets.rebuild.size() > threshold) {
+    stats.full_rebuild = true;
+    stats.affected_vicinities = indexed_.size();
+    rebuild_vicinities(indexed_);
+  } else {
+    stats.affected_vicinities = sets.rebuild.size();
+    rebuild_vicinities(sets.rebuild);
+    for (const auto& [x, member] : sets.flag_patches) {
+      if (rebuild_set.contains(x)) continue;
+      store_.refresh_boundary_flag(x, member, g, Direction::kOut);
+      ++stats.boundary_patches;
+    }
+    // Tie re-breaks (same radius, different landmark): the vicinity is
+    // unchanged but its stored metadata — which serialization persists —
+    // must track the repaired field.
+    for (const NodeId x : assignment_changed) {
+      if (!rebuild_set.contains(x) && store_.has(x)) {
+        store_.set_nearest_landmark(x, nearest_.landmark[x]);
+      }
+    }
+  }
+
+  // (5) Landmark rows.
+  if (tables_.mode() == LandmarkTables::Mode::kFull) {
+    stats.landmark_rows_refreshed =
+        update.kind == UpdateKind::kInsert
+            ? tables_.refresh_rows_insert(g, a, b, w)
+            : tables_.refresh_rows_delete(g, a, b);
+  }
+
+  stats.seconds = timer.elapsed_seconds();
+  return stats;
 }
 
 bool VicinityOracle::try_landmark_query(NodeId s, NodeId t,

@@ -22,11 +22,16 @@
 #include <utility>
 #include <vector>
 
+#include "core/dynamic.h"
 #include "core/landmark_table.h"
 #include "core/landmarks.h"
 #include "core/options.h"
 #include "core/vicinity_store.h"
 #include "graph/graph.h"
+
+namespace vicinity::util {
+class ThreadPool;  // util/thread_pool.h; the repair pool is lazily created
+}
 
 namespace vicinity::core {
 
@@ -123,6 +128,19 @@ class VicinityOracle {
   /// Thread-safe path query (same contract as distance(s, t, ctx)).
   PathResult path(NodeId s, NodeId t, QueryContext& ctx) const;
 
+  /// Applies one edge insertion/deletion to `g` — which must be the exact
+  /// graph object this oracle was built on — and incrementally repairs the
+  /// index (core/dynamic.h): the nearest-landmark field is relaxed or
+  /// re-swept, only the vicinities containing an endpoint of the edge are
+  /// rebuilt (the exact affected set), and landmark rows are refreshed.
+  /// When the affected set exceeds options().update_rebuild_fraction of the
+  /// indexed nodes, every vicinity is rebuilt instead (landmarks kept);
+  /// either way the post-update index answers every query exactly as a
+  /// from-scratch build() would. Requires a full index (build(), not
+  /// build_for()). Not safe against in-flight queries — long-lived servers
+  /// fence updates through QueryEngine::apply_update.
+  UpdateStats apply_update(graph::Graph& g, const GraphUpdate& update);
+
   /// Fraction of sampled indexed pairs answerable without fallback — the
   /// paper's coverage metric ("99.9% of queries").
   double estimate_coverage(std::size_t pairs, util::Rng& rng) const;
@@ -192,6 +210,10 @@ class VicinityOracle {
   /// Lazily-created context backing the convenience (non-const) overloads.
   QueryContext& default_context();
 
+  /// Re-runs the truncated-search builder for `nodes` against the current
+  /// graph and nearest-landmark field, replacing their store slots.
+  void rebuild_vicinities(std::span<const NodeId> nodes);
+
   const graph::Graph* g_ = nullptr;
   OracleOptions opt_;
   LandmarkSet landmarks_;
@@ -201,6 +223,9 @@ class VicinityOracle {
   OracleBuildStats build_stats_;
   std::vector<NodeId> indexed_;
   std::unique_ptr<QueryContext> default_ctx_;
+  /// Lazily-created worker pool reused across apply_update() calls so
+  /// hub-sized repairs do not pay thread spawn/teardown per update.
+  std::unique_ptr<util::ThreadPool> update_pool_;
 };
 
 }  // namespace vicinity::core

@@ -18,9 +18,29 @@ QueryEngine::QueryEngine(std::shared_ptr<const VicinityOracle> oracle,
   }
 }
 
+QueryEngine::QueryEngine(std::shared_ptr<VicinityOracle> oracle,
+                         unsigned threads)
+    : QueryEngine(std::shared_ptr<const VicinityOracle>(oracle), threads) {
+  mutable_oracle_ = std::move(oracle);
+}
+
 QueryEngine::QueryEngine(VicinityOracle&& oracle, unsigned threads)
-    : QueryEngine(std::make_shared<const VicinityOracle>(std::move(oracle)),
+    : QueryEngine(std::make_shared<VicinityOracle>(std::move(oracle)),
                   threads) {}
+
+UpdateStats QueryEngine::apply_update(graph::Graph& g,
+                                      const GraphUpdate& update) {
+  if (!mutable_oracle_) {
+    throw std::logic_error(
+        "QueryEngine::apply_update: engine serves a const oracle snapshot");
+  }
+  // The batch lock is the epoch fence: no queries are in flight while the
+  // index and graph mutate, and the next batch observes the new epoch.
+  std::lock_guard<std::mutex> lock(mu_);
+  UpdateStats stats = mutable_oracle_->apply_update(g, update);
+  epoch_.fetch_add(1, std::memory_order_release);
+  return stats;
+}
 
 std::vector<QueryResult> QueryEngine::run_batch(std::span<const Query> queries,
                                                 unsigned threads) {
@@ -53,22 +73,19 @@ void QueryEngine::run_batch(std::span<const Query> queries,
     }
     return;
   }
-  // Static contiguous chunking, one context per lane. Each query is
-  // independent and deterministic against the immutable index, so the
+  // Static contiguous balanced chunking, one context per lane. Each query
+  // is independent and deterministic against the immutable index, so the
   // partition never changes the answers — only who computes them.
-  const std::size_t chunk = (queries.size() + lanes - 1) / lanes;
-  for (unsigned w = 0; w < lanes; ++w) {
-    const std::size_t lo = std::min(queries.size(), w * chunk);
-    const std::size_t hi = std::min(queries.size(), lo + chunk);
-    if (lo >= hi) break;
-    QueryContext* ctx = contexts_[w].get();
-    pool_.submit([&oracle, queries, results, ctx, lo, hi] {
-      for (std::size_t i = lo; i < hi; ++i) {
-        results[i] = oracle.distance(queries[i].s, queries[i].t, *ctx);
-      }
-    });
-  }
-  pool_.wait_idle();  // rethrows the first worker exception
+  // parallel_for_ranges rethrows the first worker exception.
+  pool_.parallel_for_ranges(
+      queries.size(), lanes,
+      [this, &oracle, queries, results](std::uint64_t lo, std::uint64_t hi,
+                                        unsigned lane) {
+        QueryContext& ctx = *contexts_[lane];
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          results[i] = oracle.distance(queries[i].s, queries[i].t, ctx);
+        }
+      });
 }
 
 QueryStats QueryEngine::stats() const {

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -27,6 +28,7 @@
 #include <vector>
 
 #include "algo/bidirectional_bfs.h"
+#include "core/dynamic.h"
 #include "core/oracle.h"
 #include "util/thread_pool.h"
 
@@ -95,14 +97,31 @@ class QueryContext {
 /// build: it spawns the worker pool once and allocates one context per
 /// worker slot. run_batch() is internally serialized (one batch at a time);
 /// individual queries via query()/distance(s,t,ctx) need no lock at all.
+///
+/// Epoch/consistency contract for dynamic updates: the engine carries a
+/// monotonically increasing epoch(), advanced once per apply_update().
+/// Updates take the same exclusive lock as batches, so an update lands
+/// strictly between batches — every query of one run_batch() call sees one
+/// epoch of the index, and for a fixed epoch the answer vector stays
+/// bit-identical across thread counts. apply_update() requires an engine
+/// constructed over a mutable oracle (the adopting constructor or the
+/// shared_ptr<VicinityOracle> overload); engines over const oracles serve
+/// frozen snapshots and refuse updates.
 class QueryEngine {
  public:
   /// Serves queries against a shared immutable oracle. threads == 0 selects
-  /// hardware concurrency.
+  /// hardware concurrency. apply_update() is unavailable through this
+  /// constructor.
   explicit QueryEngine(std::shared_ptr<const VicinityOracle> oracle,
                        unsigned threads = 0);
 
-  /// Adopts an oracle by value (the common "build then serve" flow).
+  /// Serves queries against a shared oracle the engine may also mutate
+  /// through apply_update().
+  explicit QueryEngine(std::shared_ptr<VicinityOracle> oracle,
+                       unsigned threads = 0);
+
+  /// Adopts an oracle by value (the common "build then serve" flow); the
+  /// adopted oracle is mutable, so apply_update() works.
   explicit QueryEngine(VicinityOracle&& oracle, unsigned threads = 0);
 
   unsigned thread_count() const { return pool_.thread_count(); }
@@ -129,15 +148,36 @@ class QueryEngine {
   /// Fresh context for callers managing their own threads.
   QueryContext make_context() const { return QueryContext{}; }
 
+  /// Applies one edge mutation to `g` (the graph the oracle was built on)
+  /// and repairs the oracle in place (VicinityOracle::apply_update),
+  /// fenced from batches by the engine lock and advancing epoch() by one.
+  /// Safe to call from any thread, including concurrently with run_batch()
+  /// — the update waits for the in-flight batch and the next batch sees the
+  /// new epoch. Throws std::logic_error when the engine was constructed
+  /// over a const oracle. Caller-owned QueryContext queries issued outside
+  /// run_batch()/apply_update() are NOT fenced and must be quiesced by the
+  /// caller while an update is in flight.
+  UpdateStats apply_update(graph::Graph& g, const GraphUpdate& update);
+
+  /// Number of updates applied so far; every batch is served entirely at
+  /// one epoch.
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
   /// Aggregated statistics over everything this engine has served.
   QueryStats stats() const;
   void reset_stats();
 
  private:
   std::shared_ptr<const VicinityOracle> oracle_;
+  /// Same object as oracle_ when constructed mutable; null for engines over
+  /// const snapshots (apply_update then throws).
+  std::shared_ptr<VicinityOracle> mutable_oracle_;
   util::ThreadPool pool_;
-  mutable std::mutex mu_;  ///< serializes batches and guards contexts_
+  mutable std::mutex mu_;  ///< serializes batches/updates, guards contexts_
   std::vector<std::unique_ptr<QueryContext>> contexts_;
+  std::atomic<std::uint64_t> epoch_{0};
 };
 
 }  // namespace vicinity::core

@@ -14,7 +14,12 @@ namespace vicinity::core {
 
 namespace {
 
-constexpr char kMagic[8] = {'V', 'C', 'N', 'I', 'D', 'X', '0', '1'};
+// Container header: 6-byte magic + 2 ASCII-digit format version. Version 2
+// added OracleOptions::update_rebuild_fraction (dynamic updates); version-1
+// files predate it and are rejected up front with a versioned error rather
+// than misparsed.
+constexpr char kMagic[6] = {'V', 'C', 'N', 'I', 'D', 'X'};
+constexpr int kFormatVersion = 2;
 
 template <typename T>
 void write_pod(std::ostream& out, const T& v) {
@@ -82,6 +87,10 @@ class OracleSerializer {
  public:
   static void save(const VicinityOracle& o, std::ostream& out) {
     out.write(kMagic, sizeof(kMagic));
+    const char version[2] = {
+        static_cast<char>('0' + kFormatVersion / 10),
+        static_cast<char>('0' + kFormatVersion % 10)};
+    out.write(version, sizeof(version));
     const graph::Graph& g = o.graph();
     write_pod<std::uint64_t>(out, g.num_nodes());
     write_pod<std::uint64_t>(out, g.num_arcs());
@@ -96,6 +105,7 @@ class OracleSerializer {
     write_pod<std::uint8_t>(out, o.opt_.use_boundary_optimization ? 1 : 0);
     write_pod<std::uint8_t>(out, o.opt_.iterate_smaller_side ? 1 : 0);
     write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(o.opt_.fallback));
+    write_pod(out, o.opt_.update_rebuild_fraction);
     write_pod(out, o.opt_.seed);
 
     write_vec(out, o.landmarks_.nodes);
@@ -140,10 +150,21 @@ class OracleSerializer {
   }
 
   static VicinityOracle load(std::istream& in, const graph::Graph& g) {
-    char magic[8];
-    in.read(magic, sizeof(magic));
-    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    char header[8];
+    in.read(header, sizeof(header));
+    if (!in || std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
       throw std::runtime_error("oracle index: bad magic");
+    }
+    if (header[6] < '0' || header[6] > '9' || header[7] < '0' ||
+        header[7] > '9') {
+      throw std::runtime_error("oracle index: corrupt format version");
+    }
+    const int version = (header[6] - '0') * 10 + (header[7] - '0');
+    if (version != kFormatVersion) {
+      throw std::runtime_error(
+          "oracle index: unsupported format version " +
+          std::to_string(version) + " (this build reads version " +
+          std::to_string(kFormatVersion) + "; rebuild the index)");
     }
     const auto n = read_pod<std::uint64_t>(in);
     const auto arcs = read_pod<std::uint64_t>(in);
@@ -175,6 +196,11 @@ class OracleSerializer {
                 static_cast<std::uint8_t>(Fallback::kLandmarkEstimate),
             "corrupt fallback mode");
     o.opt_.fallback = static_cast<Fallback>(fallback_raw);
+    // Values above 1 are legitimate ("never fall back to a full rebuild");
+    // only negatives and NaN (which fails >= 0) are corrupt.
+    o.opt_.update_rebuild_fraction = read_pod<double>(in);
+    require(o.opt_.update_rebuild_fraction >= 0.0,
+            "corrupt update-rebuild fraction");
     o.opt_.seed = read_pod<std::uint64_t>(in);
 
     o.landmarks_.nodes = read_vec<NodeId>(in);

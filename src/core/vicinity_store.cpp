@@ -26,6 +26,13 @@ void VicinityStore::set(NodeId u, const Vicinity& v) {
   if (!has(u)) throw std::logic_error("VicinityStore::set: node not prepared");
   if (v.origin != u) throw std::logic_error("VicinityStore::set: origin mismatch");
   PerNode& p = slots_[slot_of_[u]];
+  // Replacing a slot (dynamic-update repair): retire the old contents first
+  // so totals stay exact. clear() keeps hash capacity, so repeated repairs
+  // of the same node do not re-allocate.
+  const std::uint64_t old_entries = p.gamma_size;
+  const std::uint64_t old_boundary = p.boundary_nodes.size();
+  p.flat.clear();
+  p.std.clear();
   p.radius = v.radius;
   p.nearest_landmark = v.nearest_landmark;
   p.gamma_size = static_cast<std::uint32_t>(v.members.size());
@@ -74,13 +81,52 @@ void VicinityStore::set(NodeId u, const Vicinity& v) {
     p.boundary_nodes = std::move(nodes);
     p.boundary_dists = std::move(dists);
   }
-  // set() is called once per slot; concurrent writers touch distinct slots,
-  // so plain (non-atomic) accumulation would race. Use relaxed atomics.
+  // Concurrent writers touch distinct slots, so plain (non-atomic)
+  // accumulation would race. Use relaxed atomics; replacement applies the
+  // delta against what the slot previously held.
   static_assert(sizeof(std::uint64_t) == 8);
   std::atomic_ref<std::uint64_t>(total_entries_)
-      .fetch_add(v.members.size(), std::memory_order_relaxed);
+      .fetch_add(v.members.size() - old_entries, std::memory_order_relaxed);
   std::atomic_ref<std::uint64_t>(total_boundary_)
-      .fetch_add(p.boundary_nodes.size(), std::memory_order_relaxed);
+      .fetch_add(p.boundary_nodes.size() - old_boundary,
+                 std::memory_order_relaxed);
+}
+
+void VicinityStore::refresh_boundary_flag(NodeId u, NodeId member,
+                                          const graph::Graph& g,
+                                          Direction direction) {
+  PerNode& p = slots_[slot_of_[u]];
+  const StoredEntry* e = find(u, member);
+  if (e == nullptr) {
+    throw std::logic_error("VicinityStore::refresh_boundary_flag: not a member");
+  }
+  bool on = false;
+  if (e->dist >= p.radius) {  // ball members are interior by construction
+    const auto nbrs = direction == Direction::kOut ? g.neighbors(member)
+                                                   : g.in_neighbors(member);
+    for (const NodeId y : nbrs) {
+      if (find(u, y) == nullptr) {
+        on = true;
+        break;
+      }
+    }
+  }
+  const auto it = std::lower_bound(p.boundary_nodes.begin(),
+                                   p.boundary_nodes.end(), member);
+  const bool present = it != p.boundary_nodes.end() && *it == member;
+  if (on == present) return;
+  const auto idx = static_cast<std::size_t>(it - p.boundary_nodes.begin());
+  if (on) {
+    p.boundary_nodes.insert(it, member);
+    p.boundary_dists.insert(
+        p.boundary_dists.begin() + static_cast<std::ptrdiff_t>(idx), e->dist);
+    ++total_boundary_;
+  } else {
+    p.boundary_nodes.erase(it);
+    p.boundary_dists.erase(p.boundary_dists.begin() +
+                           static_cast<std::ptrdiff_t>(idx));
+    --total_boundary_;
+  }
 }
 
 std::uint64_t VicinityStore::memory_bytes() const {

@@ -41,7 +41,9 @@ class VicinityStore {
   /// concurrently.
   void prepare(std::span<const NodeId> nodes);
 
-  /// Fills u's slot from a built vicinity (v.origin must equal u).
+  /// Fills u's slot from a built vicinity (v.origin must equal u). Calling
+  /// set() again for the same node replaces the previous vicinity — the
+  /// dynamic-update repair path; totals are adjusted by the delta.
   void set(NodeId u, const Vicinity& v);
 
   /// True when u was prepared (vicinity available; possibly empty if u∈L).
@@ -88,12 +90,26 @@ class VicinityStore {
   NodeId nearest_landmark(NodeId u) const {
     return slots_[slot_of_[u]].nearest_landmark;
   }
+  /// Dynamic repair: refreshes the stored nearest-landmark metadata when a
+  /// delete re-breaks a tie at unchanged distance (same radius, so the
+  /// vicinity itself needs no rebuild). Requires has(u).
+  void set_nearest_landmark(NodeId u, NodeId l) {
+    slots_[slot_of_[u]].nearest_landmark = l;
+  }
   std::size_t vicinity_size(NodeId u) const {
     return slots_[slot_of_[u]].gamma_size;
   }
   std::size_t boundary_size(NodeId u) const {
     return slots_[slot_of_[u]].boundary_nodes.size();
   }
+
+  /// Dynamic repair: recomputes whether `member` (∈ Γ(u)) has a
+  /// `direction` neighbor outside Γ(u) and updates its flag in the
+  /// boundary arrays in place (early-exits on the first outside neighbor).
+  /// Ball members stay interior by construction. Requires has(u) and
+  /// member ∈ Γ(u).
+  void refresh_boundary_flag(NodeId u, NodeId member, const graph::Graph& g,
+                             Direction direction);
 
   std::size_t indexed_nodes() const { return slots_.size(); }
   /// Total Γ entries across indexed nodes (the paper's per-node ~α√n cost).

@@ -14,6 +14,7 @@ Graph::Graph(std::vector<std::uint64_t> offsets, std::vector<NodeId> targets,
       weights_(std::move(weights)) {
   if (offsets_.empty()) throw std::invalid_argument("Graph: empty offsets");
   n_ = static_cast<NodeId>(offsets_.size() - 1);
+  arc_count_ = targets_.size();
   validate();
   max_weight_ = 1;
   for (Weight w : weights_) max_weight_ = std::max(max_weight_, w);
@@ -70,12 +71,171 @@ Weight Graph::edge_weight(NodeId u, NodeId v) const {
   return kInfDistance;
 }
 
+void Graph::require_canonical() const {
+  if (dyn_) {
+    throw std::logic_error(
+        "Graph: raw CSR accessors are stale while a mutation overlay is "
+        "live; call compact() first");
+  }
+}
+
+void Graph::ensure_overlay() {
+  if (dyn_) return;
+  DynState d;
+  d.out.assign(n_, AdjBlock{});
+  if (directed_) d.in.assign(n_, AdjBlock{});
+  // Touched adjacency migrates here; a modest reserve avoids the first few
+  // arena reallocations (each of which invalidates outstanding spans).
+  d.arena.reserve(256);
+  if (weighted()) d.warena.reserve(256);
+  dyn_ = std::move(d);
+}
+
+void Graph::relocate(AdjBlock& b, std::span<const NodeId> nbrs,
+                     std::span<const Weight> wts, std::uint32_t extra_cap) {
+  DynState& d = *dyn_;
+  // The source may be the block's own old arena slots, which resize() below
+  // can reallocate from under the spans — copy first.
+  const std::vector<NodeId> src_nbrs(nbrs.begin(), nbrs.end());
+  const std::vector<Weight> src_wts(wts.begin(), wts.end());
+  const auto deg = static_cast<std::uint32_t>(src_nbrs.size());
+  const std::uint32_t cap = std::max<std::uint32_t>(4, deg + extra_cap);
+  const std::uint64_t begin = d.arena.size();
+  d.arena.resize(begin + cap);
+  std::copy(src_nbrs.begin(), src_nbrs.end(), d.arena.begin() + begin);
+  if (weighted()) {
+    d.warena.resize(begin + cap);
+    std::copy(src_wts.begin(), src_wts.end(), d.warena.begin() + begin);
+  }
+  b.begin = begin;
+  b.deg = deg;
+  b.cap = cap;
+}
+
+void Graph::push_arc(bool in_side, NodeId u, NodeId v, Weight w) {
+  DynState& d = *dyn_;
+  AdjBlock& b = in_side ? d.in[u] : d.out[u];
+  if (!b.moved()) {
+    relocate(b, in_side ? in_neighbors(u) : neighbors(u),
+             weighted() ? (in_side ? in_weights(u) : weights(u))
+                        : std::span<const Weight>{},
+             /*extra_cap=*/4);
+  } else if (b.deg == b.cap) {
+    // Full block: move to a doubled block at the arena end. The old slots
+    // become slack until compact(); growth is amortized-constant.
+    const AdjBlock old = b;
+    relocate(b, {d.arena.data() + old.begin, old.deg},
+             weighted() ? std::span<const Weight>{d.warena.data() + old.begin,
+                                                  old.deg}
+                        : std::span<const Weight>{},
+             /*extra_cap=*/old.deg);
+  }
+  d.arena[b.begin + b.deg] = v;
+  if (weighted()) d.warena[b.begin + b.deg] = w;
+  ++b.deg;
+}
+
+void Graph::drop_arc(bool in_side, NodeId u, NodeId v) {
+  DynState& d = *dyn_;
+  AdjBlock& b = in_side ? d.in[u] : d.out[u];
+  if (!b.moved()) {
+    relocate(b, in_side ? in_neighbors(u) : neighbors(u),
+             weighted() ? (in_side ? in_weights(u) : weights(u))
+                        : std::span<const Weight>{},
+             /*extra_cap=*/4);
+  }
+  for (std::uint32_t i = 0; i < b.deg; ++i) {
+    if (d.arena[b.begin + i] == v) {
+      d.arena[b.begin + i] = d.arena[b.begin + b.deg - 1];
+      if (weighted()) d.warena[b.begin + i] = d.warena[b.begin + b.deg - 1];
+      --b.deg;
+      return;
+    }
+  }
+  throw std::logic_error("Graph::drop_arc: arc not found");
+}
+
+void Graph::add_edge(NodeId u, NodeId v, Weight w) {
+  if (u >= n_ || v >= n_) {
+    throw std::invalid_argument("Graph::add_edge: node out of range");
+  }
+  if (u == v) throw std::invalid_argument("Graph::add_edge: self-loop");
+  if (w == 0 || w == kInfDistance) {
+    throw std::invalid_argument("Graph::add_edge: weight must be in [1, inf)");
+  }
+  if (!weighted() && w != 1) {
+    throw std::invalid_argument("Graph::add_edge: unweighted graph needs w=1");
+  }
+  if (has_edge(u, v)) {
+    throw std::invalid_argument("Graph::add_edge: edge already present");
+  }
+  ensure_overlay();
+  push_arc(/*in_side=*/false, u, v, w);
+  if (directed_) {
+    push_arc(/*in_side=*/true, v, u, w);
+    arc_count_ += 1;
+  } else {
+    push_arc(/*in_side=*/false, v, u, w);
+    arc_count_ += 2;
+  }
+  if (weighted()) max_weight_ = std::max(max_weight_, w);
+}
+
+void Graph::remove_edge(NodeId u, NodeId v) {
+  if (u >= n_ || v >= n_) {
+    throw std::invalid_argument("Graph::remove_edge: node out of range");
+  }
+  if (!has_edge(u, v)) {
+    throw std::invalid_argument("Graph::remove_edge: edge not present");
+  }
+  ensure_overlay();
+  drop_arc(/*in_side=*/false, u, v);
+  if (directed_) {
+    drop_arc(/*in_side=*/true, v, u);
+    arc_count_ -= 1;
+  } else {
+    drop_arc(/*in_side=*/false, v, u);
+    arc_count_ -= 2;
+  }
+}
+
+void Graph::compact() {
+  if (!dyn_) return;
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(n_) + 1, 0);
+  std::vector<NodeId> targets;
+  std::vector<Weight> wts;
+  targets.reserve(arc_count_);
+  if (weighted()) wts.reserve(arc_count_);
+  for (NodeId u = 0; u < n_; ++u) {
+    const auto nbrs = neighbors(u);
+    targets.insert(targets.end(), nbrs.begin(), nbrs.end());
+    if (weighted()) {
+      const auto ws = weights(u);
+      wts.insert(wts.end(), ws.begin(), ws.end());
+    }
+    offsets[static_cast<std::size_t>(u) + 1] = targets.size();
+  }
+  offsets_ = std::move(offsets);
+  targets_ = std::move(targets);
+  weights_ = std::move(wts);
+  dyn_.reset();
+  if (directed_) build_reverse();
+}
+
 std::uint64_t Graph::memory_bytes() const {
-  return offsets_.size() * sizeof(std::uint64_t) +
-         targets_.size() * sizeof(NodeId) + weights_.size() * sizeof(Weight) +
-         in_offsets_.size() * sizeof(std::uint64_t) +
-         in_targets_.size() * sizeof(NodeId) +
-         in_weights_.size() * sizeof(Weight);
+  std::uint64_t bytes =
+      offsets_.size() * sizeof(std::uint64_t) +
+      targets_.size() * sizeof(NodeId) + weights_.size() * sizeof(Weight) +
+      in_offsets_.size() * sizeof(std::uint64_t) +
+      in_targets_.size() * sizeof(NodeId) +
+      in_weights_.size() * sizeof(Weight);
+  if (dyn_) {
+    bytes += dyn_->out.capacity() * sizeof(AdjBlock) +
+             dyn_->in.capacity() * sizeof(AdjBlock) +
+             dyn_->arena.capacity() * sizeof(NodeId) +
+             dyn_->warena.capacity() * sizeof(Weight);
+  }
+  return bytes;
 }
 
 std::string Graph::summary() const {

@@ -1,4 +1,4 @@
-// Immutable compressed-sparse-row graph.
+// Compressed-sparse-row graph with an optional dynamic-edge overlay.
 //
 // This is the substrate every algorithm in the repository runs on. Design
 // points (cf. Per.19 "access memory predictably"):
@@ -8,9 +8,16 @@
 //     additionally carry the reverse adjacency so backward searches
 //     (bidirectional BFS, in-vicinities) are symmetric in cost;
 //   * weights, when present, are a parallel array aligned with targets.
+//
+// Mutation (add_edge / remove_edge) keeps the span-valued accessors intact
+// through a lazily-created overlay: the first mutation of a node copies its
+// adjacency into a growable arena block; untouched nodes keep reading the
+// original CSR arrays, so an unmutated graph pays nothing beyond one
+// predictable branch. compact() folds the overlay back into canonical CSR.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -32,7 +39,7 @@ class Graph {
 
   NodeId num_nodes() const { return n_; }
   /// Number of stored arcs (2x edge count for undirected graphs).
-  std::uint64_t num_arcs() const { return targets_.size(); }
+  std::uint64_t num_arcs() const { return arc_count_; }
   /// Number of edges: arcs for directed graphs, arcs/2 for undirected.
   std::uint64_t num_edges() const {
     return directed_ ? num_arcs() : num_arcs() / 2;
@@ -43,37 +50,59 @@ class Graph {
 
   /// Out-degree (== degree for undirected graphs).
   std::uint64_t degree(NodeId u) const {
+    if (dyn_ && dyn_->out[u].moved()) return dyn_->out[u].deg;
     return offsets_[u + 1] - offsets_[u];
   }
   std::uint64_t in_degree(NodeId u) const {
-    return directed_ ? in_offsets_[u + 1] - in_offsets_[u] : degree(u);
+    if (!directed_) return degree(u);
+    if (dyn_ && dyn_->in[u].moved()) return dyn_->in[u].deg;
+    return in_offsets_[u + 1] - in_offsets_[u];
   }
 
-  /// Out-neighbors of u as a contiguous span.
+  /// Out-neighbors of u as a contiguous span. Mutators invalidate spans
+  /// previously returned for any node.
   std::span<const NodeId> neighbors(NodeId u) const {
-    return {targets_.data() + offsets_[u],
-            targets_.data() + offsets_[u + 1]};
+    if (dyn_ && dyn_->out[u].moved()) {
+      const AdjBlock& b = dyn_->out[u];
+      return {dyn_->arena.data() + b.begin, b.deg};
+    }
+    return {targets_.data() + offsets_[u], targets_.data() + offsets_[u + 1]};
   }
 
   /// In-neighbors of u (== neighbors(u) for undirected graphs).
   std::span<const NodeId> in_neighbors(NodeId u) const {
     if (!directed_) return neighbors(u);
+    if (dyn_ && dyn_->in[u].moved()) {
+      const AdjBlock& b = dyn_->in[u];
+      return {dyn_->arena.data() + b.begin, b.deg};
+    }
     return {in_targets_.data() + in_offsets_[u],
             in_targets_.data() + in_offsets_[u + 1]};
   }
 
   /// Weights aligned with neighbors(u); valid only when weighted().
   std::span<const Weight> weights(NodeId u) const {
+    if (dyn_ && dyn_->out[u].moved()) {
+      const AdjBlock& b = dyn_->out[u];
+      return {dyn_->warena.data() + b.begin, b.deg};
+    }
     return {weights_.data() + offsets_[u], weights_.data() + offsets_[u + 1]};
   }
 
   std::span<const Weight> in_weights(NodeId u) const {
     if (!directed_) return weights(u);
+    if (dyn_ && dyn_->in[u].moved()) {
+      const AdjBlock& b = dyn_->in[u];
+      return {dyn_->warena.data() + b.begin, b.deg};
+    }
     return {in_weights_.data() + in_offsets_[u],
             in_weights_.data() + in_offsets_[u + 1]};
   }
 
-  /// Maximum edge weight (1 for unweighted). O(1); computed at build.
+  /// Upper bound on edge weights (1 for unweighted). O(1); computed at
+  /// build and raised by add_edge. remove_edge does not lower it, so after
+  /// deletions this is a bound, not necessarily a maximum — every consumer
+  /// (bucket-queue sizing, weighted vicinity guards) only needs the bound.
   Weight max_weight() const { return max_weight_; }
 
   /// True if v appears among u's out-neighbors. O(degree(u)).
@@ -82,24 +111,85 @@ class Graph {
   /// Weight of arc u->v, or kInfDistance when absent. O(degree(u)).
   Weight edge_weight(NodeId u, NodeId v) const;
 
+  // --- Mutation -----------------------------------------------------------
+  // Not thread-safe with concurrent readers; serve-time callers must fence
+  // updates from queries (see core::QueryEngine::apply_update). Amortized
+  // O(degree) per call; adjacency order of touched nodes is perturbed
+  // (remove swaps with the last slot), which is observable only through
+  // shortest-path tie-breaking.
+
+  /// Inserts edge u–v (directed: arc u->v). Throws std::invalid_argument on
+  /// self-loops, duplicates, or a weight other than 1 on unweighted graphs.
+  void add_edge(NodeId u, NodeId v, Weight w = 1);
+
+  /// Removes edge u–v (directed: arc u->v). Throws std::invalid_argument
+  /// when the edge is absent.
+  void remove_edge(NodeId u, NodeId v);
+
+  /// True once any mutation happened and the overlay is live.
+  bool mutated() const { return dyn_.has_value(); }
+
+  /// Folds the overlay back into canonical CSR arrays (re-validating the
+  /// raw_* accessors) and reclaims arena slack. Invalidates spans.
+  void compact();
+
   /// Approximate heap footprint of the CSR arrays in bytes.
   std::uint64_t memory_bytes() const;
 
   /// One-line summary, e.g. "Graph(n=35500, m=125624, undirected)".
   std::string summary() const;
 
-  // Raw array access for serialization and transforms.
-  const std::vector<std::uint64_t>& raw_offsets() const { return offsets_; }
-  const std::vector<NodeId>& raw_targets() const { return targets_; }
-  const std::vector<Weight>& raw_weights() const { return weights_; }
+  // Raw array access for serialization and transforms. Only meaningful on
+  // canonical (never-mutated or compacted) graphs; throws std::logic_error
+  // while a mutation overlay is live, because the base arrays are stale for
+  // relocated nodes.
+  const std::vector<std::uint64_t>& raw_offsets() const {
+    require_canonical();
+    return offsets_;
+  }
+  const std::vector<NodeId>& raw_targets() const {
+    require_canonical();
+    return targets_;
+  }
+  const std::vector<Weight>& raw_weights() const {
+    require_canonical();
+    return weights_;
+  }
 
  private:
+  /// One relocated adjacency list: [begin, begin+deg) in the arena, with
+  /// room to grow to cap before the block is moved again.
+  struct AdjBlock {
+    std::uint64_t begin = kUnmoved;
+    std::uint32_t deg = 0;
+    std::uint32_t cap = 0;
+
+    static constexpr std::uint64_t kUnmoved = ~std::uint64_t{0};
+    bool moved() const { return begin != kUnmoved; }
+  };
+
+  /// Mutation overlay; absent until the first add_edge/remove_edge.
+  struct DynState {
+    std::vector<AdjBlock> out;   ///< per node; !moved() -> base CSR
+    std::vector<AdjBlock> in;    ///< directed graphs only
+    std::vector<NodeId> arena;   ///< relocated adjacency (out and in blocks)
+    std::vector<Weight> warena;  ///< parallel weights (weighted graphs only)
+  };
+
   void build_reverse();
   void validate() const;
+  void require_canonical() const;
+  void ensure_overlay();
+  /// Moves node u's base (or full) adjacency into the arena with headroom.
+  void relocate(AdjBlock& b, std::span<const NodeId> nbrs,
+                std::span<const Weight> wts, std::uint32_t extra_cap);
+  void push_arc(bool in_side, NodeId u, NodeId v, Weight w);
+  void drop_arc(bool in_side, NodeId u, NodeId v);
 
   NodeId n_ = 0;
   bool directed_ = false;
   Weight max_weight_ = 1;
+  std::uint64_t arc_count_ = 0;
   std::vector<std::uint64_t> offsets_{0};
   std::vector<NodeId> targets_;
   std::vector<Weight> weights_;
@@ -107,6 +197,7 @@ class Graph {
   std::vector<std::uint64_t> in_offsets_;
   std::vector<NodeId> in_targets_;
   std::vector<Weight> in_weights_;
+  std::optional<DynState> dyn_;
 };
 
 }  // namespace vicinity::graph

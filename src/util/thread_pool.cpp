@@ -45,16 +45,29 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::parallel_for(std::uint64_t count,
                               const std::function<void(std::uint64_t)>& fn) {
+  parallel_for_ranges(count, 0,
+                      [&fn](std::uint64_t lo, std::uint64_t hi, unsigned) {
+                        for (std::uint64_t i = lo; i < hi; ++i) fn(i);
+                      });
+}
+
+void ThreadPool::parallel_for_ranges(
+    std::uint64_t count, unsigned max_chunks,
+    const std::function<void(std::uint64_t, std::uint64_t, unsigned)>& fn) {
   if (count == 0) return;
-  const std::uint64_t workers = thread_count();
-  const std::uint64_t chunk = (count + workers - 1) / workers;
-  for (std::uint64_t w = 0; w < workers; ++w) {
-    const std::uint64_t lo = w * chunk;
-    if (lo >= count) break;
-    const std::uint64_t hi = std::min(count, lo + chunk);
-    submit([lo, hi, &fn] {
-      for (std::uint64_t i = lo; i < hi; ++i) fn(i);
-    });
+  if (max_chunks == 0) max_chunks = thread_count();
+  const std::uint64_t chunks =
+      std::min<std::uint64_t>(count, std::max(1u, max_chunks));
+  // Balanced split: base-sized ranges, with the first `rem` chunks one
+  // element larger — every chunk within one element of the others, unlike
+  // ceil-division, which can leave the last chunk nearly empty.
+  const std::uint64_t base = count / chunks;
+  const std::uint64_t rem = count % chunks;
+  std::uint64_t lo = 0;
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    const std::uint64_t hi = lo + base + (c < rem ? 1 : 0);
+    submit([lo, hi, c, &fn] { fn(lo, hi, static_cast<unsigned>(c)); });
+    lo = hi;
   }
   wait_idle();
 }

@@ -41,11 +41,21 @@ class ThreadPool {
   void wait_idle();
 
   /// Runs fn(i) for i in [0, count) across the pool and waits. Static
-  /// chunking: good enough for uniform per-node work. Reuses the existing
-  /// workers — no pool construction per call. Rethrows the first exception
-  /// fn raised.
+  /// balanced chunking: good enough for uniform per-node work. Reuses the
+  /// existing workers — no pool construction per call. Rethrows the first
+  /// exception fn raised.
   void parallel_for(std::uint64_t count,
                     const std::function<void(std::uint64_t)>& fn);
+
+  /// Splits [0, count) into at most max_chunks contiguous ranges whose
+  /// sizes differ by at most one (ceil-division chunking can hand the last
+  /// worker a fraction of everyone else's range, or nothing), runs
+  /// fn(lo, hi, chunk) across the pool, and waits. chunk indices are dense:
+  /// 0..actual_chunks-1. max_chunks == 0 selects the worker count.
+  /// Rethrows the first exception fn raised.
+  void parallel_for_ranges(
+      std::uint64_t count, unsigned max_chunks,
+      const std::function<void(std::uint64_t, std::uint64_t, unsigned)>& fn);
 
  private:
   void worker_loop();

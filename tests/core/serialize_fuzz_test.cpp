@@ -37,8 +37,9 @@ Fixture make_fixture() {
 }
 
 // Byte offset of the first vector length field (the landmark node list):
-// magic(8) + graph shape(8+8+1+1) + options(8+8+1+1+1+1+1+8).
-constexpr std::size_t kFirstVecLenOffset = 55;
+// magic+version(8) + graph shape(8+8+1+1) +
+// options(8+8+1+1+1+1+1+8+8: ... fallback, update_rebuild_fraction, seed).
+constexpr std::size_t kFirstVecLenOffset = 63;
 
 TEST(SerializeFuzzTest, ValidBufferLoadsAndAnswers) {
   const Fixture f = make_fixture();
@@ -127,6 +128,59 @@ TEST(SerializeFuzzTest, EveryVectorLengthFieldCorruptionIsGraceful) {
     } catch (const std::runtime_error&) {
     }
   }
+}
+
+TEST(SerializeFuzzTest, OldFormatVersionIsRejectedNotMisparsed) {
+  // A version-1 file (pre update_rebuild_fraction) has the same magic with
+  // "01" in the version slot and 8 fewer option bytes. Loading it must fail
+  // up front on the version field — silently misparsing would shift every
+  // later field by 8 bytes.
+  const Fixture f = make_fixture();
+  std::string mangled = f.bytes;
+  ASSERT_EQ(mangled[6], '0');
+  ASSERT_EQ(mangled[7], '2');
+  mangled[7] = '1';
+  std::istringstream in(mangled, std::ios::binary);
+  try {
+    (void)load_oracle(in, f.g);
+    FAIL() << "version-1 file loaded";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported format version 1"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SerializeFuzzTest, FutureAndGarbageVersionsAreRejected) {
+  const Fixture f = make_fixture();
+  for (const char* version : {"03", "99", "12", "00"}) {
+    std::string mangled = f.bytes;
+    mangled[6] = version[0];
+    mangled[7] = version[1];
+    std::istringstream in(mangled, std::ios::binary);
+    EXPECT_THROW(load_oracle(in, f.g), std::runtime_error)
+        << "version=" << version;
+  }
+  // Non-digit version bytes are corrupt-header errors, not versions.
+  std::string mangled = f.bytes;
+  mangled[6] = 'z';
+  mangled[7] = '!';
+  std::istringstream in(mangled, std::ios::binary);
+  EXPECT_THROW(load_oracle(in, f.g), std::runtime_error);
+}
+
+TEST(SerializeFuzzTest, RoundTripPreservesUpdateRebuildFraction) {
+  Fixture f;
+  f.g = testing::random_connected(120, 400, 1207);
+  OracleOptions opt;
+  opt.alpha = 3.0;
+  opt.update_rebuild_fraction = 0.125;
+  const auto oracle = VicinityOracle::build(f.g, opt);
+  std::ostringstream out(std::ios::binary);
+  save_oracle(oracle, out);
+  std::istringstream in(out.str(), std::ios::binary);
+  const auto loaded = load_oracle(in, f.g);
+  EXPECT_DOUBLE_EQ(loaded.options().update_rebuild_fraction, 0.125);
 }
 
 TEST(SerializeFuzzTest, EmptyAndGarbageStreams) {

@@ -133,6 +133,66 @@ TEST_P(StoreTest, StoringInvalidNodeMemberIsCheckedError) {
   EXPECT_THROW(store.set(0, v), std::invalid_argument);
 }
 
+TEST_P(StoreTest, ReplacingASlotAdjustsTotalsAndContents) {
+  // Dynamic updates overwrite slots via set(); the old entries must vanish
+  // and the global totals must track the delta, not accumulate.
+  const auto g = testing::karate_club();
+  VicinityStore store(g.num_nodes(), GetParam());
+  const std::vector<NodeId> nodes = {0};
+  store.prepare(nodes);
+
+  const Vicinity big = make_vicinity(g, 0, 3);
+  store.set(0, big);
+  const auto big_total = store.total_entries();
+  const auto big_boundary = store.total_boundary_entries();
+  EXPECT_EQ(big_total, big.members.size());
+
+  const Vicinity small = make_vicinity(g, 0, 1);
+  ASSERT_LT(small.members.size(), big.members.size());
+  store.set(0, small);
+  EXPECT_EQ(store.total_entries(), small.members.size());
+  EXPECT_EQ(store.vicinity_size(0), small.members.size());
+  EXPECT_EQ(store.total_boundary_entries(), small.boundary_size);
+  EXPECT_EQ(store.radius(0), 1u);
+
+  // Entries of the old (larger) vicinity are gone.
+  std::size_t found = 0;
+  for (const auto& m : big.members) {
+    if (store.find(0, m.node) != nullptr) ++found;
+  }
+  EXPECT_EQ(found, small.members.size());
+
+  // Replace back with the big one: totals recover exactly.
+  store.set(0, big);
+  EXPECT_EQ(store.total_entries(), big_total);
+  EXPECT_EQ(store.total_boundary_entries(), big_boundary);
+}
+
+TEST_P(StoreTest, RefreshBoundaryFlagInsertsAndRemovesSortedEntries) {
+  const auto g = testing::karate_club();
+  VicinityStore store(g.num_nodes(), GetParam());
+  const std::vector<NodeId> nodes = {0};
+  store.prepare(nodes);
+  store.set(0, make_vicinity(g, 0, 2));
+
+  const auto before = store.boundary(0);
+  ASSERT_FALSE(before.nodes.empty());
+  const NodeId member = before.nodes[0];
+  const Distance dist = before.dists[0];
+  const auto boundary_size = before.nodes.size();
+
+  // Re-deriving the flag from the graph is a no-op when nothing changed.
+  store.refresh_boundary_flag(0, member, g, Direction::kOut);
+  EXPECT_EQ(store.boundary(0).nodes.size(), boundary_size);
+  for (std::size_t i = 1; i < store.boundary(0).nodes.size(); ++i) {
+    EXPECT_LT(store.boundary(0).nodes[i - 1], store.boundary(0).nodes[i]);
+  }
+  // The (node, dist) pairing survives.
+  const auto after = store.boundary(0);
+  ASSERT_EQ(after.nodes[0], member);
+  EXPECT_EQ(after.dists[0], dist);
+}
+
 TEST(StoreBackendTest, BackendsAgreeProbeForProbe) {
   const auto g = testing::random_connected(300, 1200, 142);
   VicinityStore flat(g.num_nodes(), StoreBackend::kFlatHash);

@@ -151,5 +151,132 @@ TEST(GraphTest, InvalidNodeIdRejectedByBuilder) {
   EXPECT_THROW(b.add_edge(kInvalidNode, 0), std::invalid_argument);
 }
 
+TEST(GraphMutationTest, AddEdgeAppearsBothWaysAndCounts) {
+  Graph g = path_graph(5);  // 0-1-2-3-4
+  EXPECT_FALSE(g.mutated());
+  g.add_edge(0, 4);
+  EXPECT_TRUE(g.mutated());
+  EXPECT_TRUE(g.has_edge(0, 4));
+  EXPECT_TRUE(g.has_edge(4, 0));
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.num_arcs(), 10u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(4), 2u);
+  EXPECT_EQ(g.degree(2), 2u);  // untouched node reads the base CSR
+}
+
+TEST(GraphMutationTest, RemoveEdgeDropsBothArcs) {
+  Graph g = path_graph(5);
+  g.remove_edge(1, 2);
+  EXPECT_FALSE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(2, 1));
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(2), 1u);
+}
+
+TEST(GraphMutationTest, RejectsBadMutations) {
+  Graph g = path_graph(4);
+  EXPECT_THROW(g.add_edge(0, 0), std::invalid_argument);   // self-loop
+  EXPECT_THROW(g.add_edge(0, 1), std::invalid_argument);   // duplicate
+  EXPECT_THROW(g.add_edge(0, 9), std::invalid_argument);   // out of range
+  EXPECT_THROW(g.add_edge(0, 2, 5), std::invalid_argument);  // w!=1 unweighted
+  EXPECT_THROW(g.remove_edge(0, 2), std::invalid_argument);  // absent
+  EXPECT_FALSE(g.mutated());  // failed mutations leave the graph canonical
+}
+
+TEST(GraphMutationTest, ManyInsertsGrowBlocksAndCompactRestoresRaw) {
+  Graph g = path_graph(50);
+  // Grow node 0 well past any initial block capacity.
+  for (NodeId v = 2; v < 40; ++v) g.add_edge(0, v);
+  EXPECT_EQ(g.degree(0), 39u);
+  const auto nbrs = g.neighbors(0);
+  EXPECT_EQ(nbrs.size(), 39u);
+  // Raw CSR accessors are stale while the overlay is live.
+  EXPECT_THROW(g.raw_offsets(), std::logic_error);
+  EXPECT_THROW(g.raw_targets(), std::logic_error);
+
+  g.compact();
+  EXPECT_FALSE(g.mutated());
+  EXPECT_EQ(g.raw_offsets().size(), 51u);
+  EXPECT_EQ(g.raw_targets().size(), g.num_arcs());
+  EXPECT_EQ(g.degree(0), 39u);
+  EXPECT_TRUE(g.has_edge(0, 39));
+}
+
+TEST(GraphMutationTest, WeightedMutationKeepsWeightSpansAligned) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 3);
+  b.add_edge(1, 2, 4);
+  b.add_edge(2, 3, 5);
+  Graph g = b.build(/*weighted=*/true);
+  g.add_edge(0, 3, 9);
+  EXPECT_EQ(g.edge_weight(0, 3), 9u);
+  EXPECT_EQ(g.edge_weight(3, 0), 9u);
+  EXPECT_EQ(g.max_weight(), 9u);
+  g.remove_edge(1, 2);
+  EXPECT_EQ(g.edge_weight(1, 2), kInfDistance);
+  // Weight spans stay aligned with neighbor spans on touched nodes.
+  const auto n0 = g.neighbors(0);
+  const auto w0 = g.weights(0);
+  ASSERT_EQ(n0.size(), w0.size());
+  for (std::size_t i = 0; i < n0.size(); ++i) {
+    EXPECT_EQ(g.edge_weight(0, n0[i]), w0[i]);
+  }
+}
+
+TEST(GraphMutationTest, DirectedMutationMaintainsReverseAdjacency) {
+  GraphBuilder b(4, /*directed=*/true);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  Graph g = b.build();
+  g.add_edge(2, 3);
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(3, 2));  // directed: one arc only
+  EXPECT_EQ(g.in_degree(3), 1u);
+  ASSERT_EQ(g.in_neighbors(3).size(), 1u);
+  EXPECT_EQ(g.in_neighbors(3)[0], 2u);
+  g.remove_edge(1, 2);
+  EXPECT_EQ(g.in_degree(2), 0u);
+  EXPECT_EQ(g.num_arcs(), 2u);
+  g.compact();
+  EXPECT_EQ(g.in_degree(3), 1u);
+  EXPECT_EQ(g.in_neighbors(3)[0], 2u);
+}
+
+TEST(GraphMutationTest, MutateCompactRoundTripMatchesRebuiltGraph) {
+  // Sequence of random mutations, then compact(): adjacency must equal a
+  // graph rebuilt from the surviving edge list (as sets per node).
+  Graph g = testing::random_connected(60, 150, 77);
+  util::Rng rng(78);
+  for (int i = 0; i < 80; ++i) {
+    const auto u = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto v = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    if (u == v) continue;
+    if (g.has_edge(u, v)) {
+      g.remove_edge(u, v);
+    } else {
+      g.add_edge(u, v);
+    }
+  }
+  GraphBuilder rb(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const NodeId v : g.neighbors(u)) {
+      if (u < v) rb.add_edge(u, v);
+    }
+  }
+  const Graph rebuilt = rb.build();
+  g.compact();
+  ASSERT_EQ(g.num_arcs(), rebuilt.num_arcs());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto x = std::vector<NodeId>(g.neighbors(u).begin(), g.neighbors(u).end());
+    auto y = std::vector<NodeId>(rebuilt.neighbors(u).begin(),
+                                 rebuilt.neighbors(u).end());
+    std::sort(x.begin(), x.end());
+    std::sort(y.begin(), y.end());
+    ASSERT_EQ(x, y) << "node " << u;
+  }
+}
+
 }  // namespace
 }  // namespace vicinity::graph

@@ -82,5 +82,68 @@ TEST(ThreadPoolExceptionTest, NonStdExceptionPropagates) {
   EXPECT_THROW(pool.wait_idle(), int);
 }
 
+TEST(ThreadPoolRangesTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (const std::uint64_t count : {0ull, 1ull, 7ull, 8ull, 9ull, 1000ull}) {
+    std::vector<std::atomic<int>> hits(count);
+    pool.parallel_for_ranges(count, 0,
+                             [&](std::uint64_t lo, std::uint64_t hi, unsigned) {
+                               for (std::uint64_t i = lo; i < hi; ++i) {
+                                 hits[i].fetch_add(1);
+                               }
+                             });
+    for (std::uint64_t i = 0; i < count; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "count=" << count << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPoolRangesTest, ChunksAreBalancedWithinOneElement) {
+  // Regression for the ceil-division chunking this helper replaced: with
+  // count=9 over 8 workers the old split made 2,2,2,2,1,0,0,0 (last workers
+  // idle); the balanced split must hand every chunk either base or base+1
+  // elements and use dense chunk ids.
+  ThreadPool pool(8);
+  std::mutex mu;
+  std::vector<std::pair<unsigned, std::uint64_t>> sizes;
+  pool.parallel_for_ranges(9, 8,
+                           [&](std::uint64_t lo, std::uint64_t hi, unsigned c) {
+                             std::lock_guard<std::mutex> lock(mu);
+                             sizes.emplace_back(c, hi - lo);
+                           });
+  ASSERT_EQ(sizes.size(), 8u);
+  std::sort(sizes.begin(), sizes.end());
+  for (unsigned c = 0; c < 8; ++c) {
+    EXPECT_EQ(sizes[c].first, c);  // dense chunk indices
+    EXPECT_GE(sizes[c].second, 1u);
+    EXPECT_LE(sizes[c].second, 2u);
+  }
+}
+
+TEST(ThreadPoolRangesTest, MaxChunksCapsFanoutAndClampsToCount) {
+  ThreadPool pool(4);
+  std::atomic<unsigned> max_chunk{0};
+  std::atomic<int> calls{0};
+  pool.parallel_for_ranges(100, 3,
+                           [&](std::uint64_t, std::uint64_t, unsigned c) {
+                             unsigned cur = max_chunk.load();
+                             while (c > cur &&
+                                    !max_chunk.compare_exchange_weak(cur, c)) {
+                             }
+                             calls.fetch_add(1);
+                           });
+  EXPECT_EQ(calls.load(), 3);
+  EXPECT_EQ(max_chunk.load(), 2u);
+
+  // More chunks than items: one chunk per item, never an empty chunk.
+  calls = 0;
+  pool.parallel_for_ranges(2, 16,
+                           [&](std::uint64_t lo, std::uint64_t hi, unsigned) {
+                             EXPECT_EQ(hi - lo, 1u);
+                             calls.fetch_add(1);
+                           });
+  EXPECT_EQ(calls.load(), 2);
+}
+
 }  // namespace
 }  // namespace vicinity::util
