@@ -1,4 +1,5 @@
-// bench_throughput — concurrent batch-query serving (QueryEngine).
+// bench_throughput — concurrent batch-query serving (QueryEngine over the
+// backend-agnostic AnyOracle interface).
 //
 // Measures queries/sec as a function of thread count on an RMAT graph
 // (default: scale 18 -> ~148k-node largest component), plus per-query
@@ -7,9 +8,15 @@
 // per ~microsecond from one thread (§3.2); this bench shows the same index
 // scaling across cores with zero shared mutable state.
 //
+// --directed serves a DirectedVicinityOracle over a directed RMAT (the §5
+// challenge); --backend tz|sketch|landmarks serves a related-work baseline
+// through the identical engine — the apples-to-apples serving comparison
+// (same workload, same batching, same stats).
+//
 // Usage:
 //   bench_throughput [--scale N] [--edges-per-node K] [--queries Q]
 //                    [--threads 1,2,4,8] [--alpha A] [--seed S] [--reps R]
+//                    [--directed] [--backend vicinity|tz|sketch|landmarks]
 //                    [--json PATH|-] [--quick]
 #include <algorithm>
 #include <cstdint>
@@ -18,10 +25,14 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "baselines/baseline_adapters.h"
+#include "core/directed_oracle.h"
 #include "core/query_engine.h"
 #include "gen/rmat.h"
 #include "graph/components.h"
@@ -43,13 +54,16 @@ struct Options {
   double alpha = 4.0;
   std::uint64_t seed = 42;
   unsigned reps = 3;
-  std::string json;  ///< empty = no JSON; "-" = stdout
+  bool directed = false;
+  std::string backend = "vicinity";  ///< vicinity|tz|sketch|landmarks
+  std::string json;                  ///< empty = no JSON; "-" = stdout
 };
 
 [[noreturn]] void usage_and_exit(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--scale N] [--edges-per-node K] [--queries Q]\n"
                "       [--threads 1,2,4,8] [--alpha A] [--seed S] [--reps R]\n"
+               "       [--directed] [--backend vicinity|tz|sketch|landmarks]\n"
                "       [--json PATH|-] [--quick]\n";
   std::exit(2);
 }
@@ -82,6 +96,15 @@ Options parse_args(int argc, char** argv) {
       o.seed = std::stoull(next_value(i));
     } else if (arg == "--reps") {
       o.reps = std::max(1u, static_cast<unsigned>(std::stoul(next_value(i))));
+    } else if (arg == "--directed") {
+      o.directed = true;
+    } else if (arg == "--backend") {
+      o.backend = next_value(i);
+      if (o.backend != "vicinity" && o.backend != "tz" &&
+          o.backend != "sketch" && o.backend != "landmarks") {
+        std::cerr << "unknown backend: " << o.backend << "\n";
+        usage_and_exit(argv[0]);
+      }
     } else if (arg == "--json") {
       o.json = next_value(i);
     } else if (arg == "--quick") {
@@ -92,6 +115,10 @@ Options parse_args(int argc, char** argv) {
       std::cerr << "unknown flag: " << arg << "\n";
       usage_and_exit(argv[0]);
     }
+  }
+  if (o.directed && o.backend != "vicinity") {
+    std::cerr << "--directed supports only the vicinity backend\n";
+    usage_and_exit(argv[0]);
   }
   return o;
 }
@@ -108,6 +135,45 @@ bool results_identical(const std::vector<core::QueryResult>& a,
   return true;
 }
 
+struct BuiltBackend {
+  std::shared_ptr<core::AnyOracle> oracle;
+  std::size_t landmarks = 0;  ///< 0 for backends without landmark sets
+};
+
+BuiltBackend build_backend(const Options& opt, const graph::Graph& g) {
+  BuiltBackend b;
+  if (opt.directed) {
+    core::OracleOptions oracle_opt;
+    oracle_opt.alpha = opt.alpha;
+    oracle_opt.seed = opt.seed + 1;
+    oracle_opt.fallback = core::Fallback::kBidirectionalBfs;
+    auto o = core::DirectedVicinityOracle::build(g, oracle_opt);
+    b.landmarks = o.build_stats().num_landmarks;
+    b.oracle = core::make_any_oracle(std::move(o));
+  } else if (opt.backend == "vicinity") {
+    core::OracleOptions oracle_opt;
+    oracle_opt.alpha = opt.alpha;
+    oracle_opt.seed = opt.seed + 1;
+    oracle_opt.fallback = core::Fallback::kBidirectionalBfs;
+    oracle_opt.build_threads = 0;  // hardware concurrency
+    auto o = core::VicinityOracle::build(g, oracle_opt);
+    b.landmarks = o.build_stats().num_landmarks;
+    b.oracle = core::make_any_oracle(std::move(o));
+  } else if (opt.backend == "tz") {
+    util::Rng rng(opt.seed + 1);
+    b.oracle = baselines::make_any_oracle(baselines::TzOracle(g, rng), g);
+  } else if (opt.backend == "sketch") {
+    util::Rng rng(opt.seed + 1);
+    b.oracle = baselines::make_any_oracle(baselines::SketchOracle(g, rng), g);
+  } else {
+    b.landmarks = 16;
+    b.oracle = baselines::make_any_oracle(
+        baselines::LandmarkEstimator(g, static_cast<unsigned>(b.landmarks)),
+        g);
+  }
+  return b;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -116,29 +182,27 @@ int main(int argc, char** argv) {
   std::printf("== bench_throughput: concurrent batch queries ==\n");
   util::Rng grng(opt.seed);
   gen::RmatParams params;
+  params.directed = opt.directed;
   util::Timer gen_timer;
   auto raw = gen::rmat(opt.scale, opt.edges_per_node * (std::uint64_t{1} << opt.scale),
                        params, grng);
   const auto g = graph::largest_component(raw).graph;
-  std::printf("graph: rmat scale=%u -> LCC n=%u, arcs=%llu (%.1fs)\n",
-              opt.scale, g.num_nodes(),
+  std::printf("graph: rmat scale=%u%s -> LCC n=%u, arcs=%llu (%.1fs)\n",
+              opt.scale, opt.directed ? " (directed)" : "", g.num_nodes(),
               static_cast<unsigned long long>(g.num_arcs()),
               gen_timer.elapsed_seconds());
 
-  core::OracleOptions oracle_opt;
-  oracle_opt.alpha = opt.alpha;
-  oracle_opt.seed = opt.seed + 1;
-  oracle_opt.fallback = core::Fallback::kBidirectionalBfs;
-  oracle_opt.build_threads = 0;  // hardware concurrency
   util::Timer build_timer;
-  auto oracle = core::VicinityOracle::build(g, oracle_opt);
+  const BuiltBackend built = build_backend(opt, g);
   const double build_seconds = build_timer.elapsed_seconds();
-  std::printf("oracle: alpha=%.1f, %zu landmarks, built in %.1fs\n", opt.alpha,
-              oracle.build_stats().num_landmarks, build_seconds);
+  std::printf("backend '%s' [%s]: alpha=%.1f, %zu landmarks, built in %.1fs\n",
+              built.oracle->backend_name(),
+              built.oracle->capabilities().to_string().c_str(), opt.alpha,
+              built.landmarks, build_seconds);
 
   const unsigned max_threads =
       *std::max_element(opt.threads.begin(), opt.threads.end());
-  core::QueryEngine engine(std::move(oracle), max_threads);
+  core::QueryEngine engine(built.oracle, max_threads);
 
   util::Rng qrng(opt.seed + 2);
   std::vector<core::Query> queries(opt.queries);
@@ -204,9 +268,10 @@ int main(int argc, char** argv) {
     js << "{\n"
        << "  \"graph\": {\"generator\": \"rmat\", \"scale\": " << opt.scale
        << ", \"nodes\": " << g.num_nodes() << ", \"arcs\": " << g.num_arcs()
-       << "},\n"
+       << ", \"directed\": " << (opt.directed ? "true" : "false") << "},\n"
+       << "  \"backend\": \"" << built.oracle->backend_name() << "\",\n"
        << "  \"oracle\": {\"alpha\": " << opt.alpha
-       << ", \"landmarks\": " << engine.oracle().build_stats().num_landmarks
+       << ", \"landmarks\": " << built.landmarks
        << ", \"build_seconds\": " << build_seconds << "},\n"
        << "  \"queries\": " << queries.size() << ",\n"
        << "  \"latency_us\": {\"p50\": " << latency_us.percentile(50)

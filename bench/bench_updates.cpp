@@ -132,10 +132,15 @@ int main(int argc, char** argv) {
   oracle_opt.fallback = core::Fallback::kBidirectionalBfs;
   oracle_opt.build_threads = 0;
   util::Timer build_timer;
-  core::QueryEngine engine(core::VicinityOracle::build(g, oracle_opt), 0);
+  // Build the concrete oracle, then serve it through the backend-agnostic
+  // AnyOracle adapter — apply_update flows through the same interface.
+  auto built = std::make_shared<core::VicinityOracle>(
+      core::VicinityOracle::build(g, oracle_opt));
+  const std::size_t num_landmarks = built->build_stats().num_landmarks;
+  core::QueryEngine engine(core::make_any_oracle(std::move(built)), 0);
   const double build_seconds = build_timer.elapsed_seconds();
   std::printf("oracle: alpha=%.1f, %zu landmarks, built in %.1fs\n", opt.alpha,
-              engine.oracle().build_stats().num_landmarks, build_seconds);
+              num_landmarks, build_seconds);
 
   // Update stream: alternate degree-biased deletes and uniform inserts.
   util::Rng rng(opt.seed + 2);
@@ -227,7 +232,7 @@ int main(int argc, char** argv) {
        << ", \"nodes\": " << g.num_nodes() << ", \"arcs\": " << g.num_arcs()
        << "},\n"
        << "  \"oracle\": {\"alpha\": " << opt.alpha
-       << ", \"landmarks\": " << engine.oracle().build_stats().num_landmarks
+       << ", \"landmarks\": " << num_landmarks
        << ", \"build_seconds\": " << build_seconds << "},\n"
        << "  \"updates\": " << opt.updates << ",\n"
        << "  \"updates_per_sec\": " << updates_per_sec << ",\n"

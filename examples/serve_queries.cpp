@@ -1,6 +1,8 @@
 // serve_queries: the serving-path demo — build an index once, persist it,
 // reload it (the paper's offline/online split, §2.1), then answer a mixed
-// query workload concurrently through the QueryEngine.
+// query workload concurrently through the QueryEngine. Everything goes
+// through the vicinity::Index facade, so the same program shape works for
+// undirected, directed and baseline backends.
 //
 //   ./examples/serve_queries [nodes] [threads]
 #include <algorithm>
@@ -21,7 +23,9 @@ int main(int argc, char** argv) {
   const unsigned threads = std::max(
       argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 4, 1u);
 
-  // 1. Offline phase: build the index and persist it.
+  // 1. Offline phase: build the index and persist it. Index::build picks
+  //    the right oracle for the graph (directed graphs get the directed
+  //    oracle automatically).
   util::Rng rng(11);
   graph::Graph g = gen::powerlaw_cluster(n, 6, 0.4, rng);
   std::cout << "graph: " << g.summary() << "\n";
@@ -31,10 +35,10 @@ int main(int argc, char** argv) {
   options.fallback = core::Fallback::kBidirectionalBfs;
   options.build_threads = 0;
   util::Timer build_timer;
-  const auto built = core::VicinityOracle::build(g, options);
+  const auto built = Index::build(g, options);
   const auto index_path =
       std::filesystem::temp_directory_path() / "vicinity_serve_demo.idx";
-  core::save_oracle_file(built, index_path.string());
+  built.save(index_path.string());
   std::cout << "index built in "
             << util::fmt_fixed(build_timer.elapsed_seconds(), 2) << "s, saved "
             << util::fmt_bytes(std::filesystem::file_size(index_path))
@@ -43,18 +47,24 @@ int main(int argc, char** argv) {
   // 2. Online phase: a fresh process would start here — load the index and
   //    stand up the engine (shared-immutable oracle + one context per lane).
   util::Timer load_timer;
-  core::QueryEngine engine(core::load_oracle_file(index_path.string(), g),
-                           threads);
+  const auto index = Index::open(index_path.string(), g);
+  core::QueryEngine engine = index.engine(threads);
   std::cout << "index loaded in "
-            << util::fmt_fixed(load_timer.elapsed_ms(), 1) << "ms, serving on "
-            << engine.thread_count() << " threads\n\n";
+            << util::fmt_fixed(load_timer.elapsed_ms(), 1) << "ms, backend '"
+            << index.backend_name() << "' [" << index.capabilities().to_string()
+            << "], serving on " << engine.thread_count() << " threads\n\n";
 
   // 3. A mixed workload: random pairs, landmark endpoints, self-queries and
   //    neighbor pairs — every Algorithm 1 resolution step gets traffic.
+  //    The landmark list comes through the typed introspection hatch,
+  //    which is null for non-vicinity backends — probe before use.
   util::Rng wrng(17);
   std::vector<core::Query> workload;
   workload.reserve(60000);
-  const auto& landmarks = engine.oracle().landmarks().nodes;
+  const std::vector<NodeId> no_landmarks;
+  const auto* vicinity_backend = index.undirected();
+  const auto& landmarks =
+      vicinity_backend ? vicinity_backend->landmarks().nodes : no_landmarks;
   auto random_node = [&] {
     return static_cast<NodeId>(wrng.next_below(g.num_nodes()));
   };
@@ -107,11 +117,11 @@ int main(int argc, char** argv) {
                                    static_cast<double>(stats.queries), 2)
             << "\n\n";
 
-  // 5. Callers with their own threads use one context each; paths work the
-  //    same way against the shared-immutable oracle.
+  // 5. Callers with their own threads use one context each; paths go
+  //    through the same capability-checked engine surface.
   core::QueryContext ctx;
   const NodeId s = 1 % g.num_nodes(), t = g.num_nodes() - 1;
-  const auto p = engine.oracle().path(s, t, ctx);
+  const auto p = engine.path(s, t, ctx);
   std::cout << "path(" << s << ", " << t << ") [" << core::to_string(p.method)
             << "]:";
   for (const NodeId v : p.path) std::cout << " " << v;

@@ -66,11 +66,13 @@ int cmd_build(int argc, char** argv) {
   options.store_landmark_parents = true;
   const std::string out = flag_value(argc, argv, "out", "index.idx");
   util::Timer t;
-  auto oracle = core::VicinityOracle::build(g, options);
-  core::save_oracle_file(oracle, out);
-  const auto mem = oracle.memory_stats();
-  std::cout << "built index in " << util::fmt_fixed(t.elapsed_seconds(), 1)
-            << "s: " << oracle.landmarks().size() << " landmarks, "
+  // Index::build picks the undirected or directed oracle from the graph;
+  // save() writes the backend-tagged container either way.
+  const auto index = Index::build(g, options);
+  index.save(out);
+  const auto mem = index.memory_stats();
+  std::cout << "built '" << index.backend_name() << "' index in "
+            << util::fmt_fixed(t.elapsed_seconds(), 1) << "s: "
             << util::fmt_si(static_cast<double>(mem.vicinity_entries))
             << " vicinity entries, " << util::fmt_bytes(mem.bytes)
             << " -> " << out << "\n";
@@ -79,14 +81,16 @@ int cmd_build(int argc, char** argv) {
 
 int cmd_query(int argc, char** argv) {
   const auto g = load_graph(argc, argv);
-  const std::string index = flag_value(argc, argv, "index");
+  const std::string index_path = flag_value(argc, argv, "index");
   core::OracleOptions options;
   options.alpha = std::stod(flag_value(argc, argv, "alpha", "16"));
   options.store_landmark_parents = true;
   options.fallback = core::Fallback::kBidirectionalBfs;
-  auto oracle = index.empty() ? core::VicinityOracle::build(g, options)
-                              : core::load_oracle_file(index, g);
-  std::cout << "ready (" << g.summary() << "); enter \"s t\" or "
+  const auto index = index_path.empty() ? Index::build(g, options)
+                                        : Index::open(index_path, g);
+  std::cout << "ready (" << g.summary() << ", backend '"
+            << index.backend_name() << "' ["
+            << index.capabilities().to_string() << "]); enter \"s t\" or "
             << "\"path s t\"; EOF quits\n";
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -98,7 +102,7 @@ int cmd_query(int argc, char** argv) {
         NodeId s, t;
         if (!(is >> s >> t)) throw std::runtime_error("usage: path s t");
         util::Timer q;
-        const auto p = oracle.path(s, t);
+        const auto p = index.path(s, t);
         std::cout << "dist=" << p.dist << " [" << core::to_string(p.method)
                   << ", " << util::fmt_fixed(q.elapsed_us(), 1) << "us]";
         for (const NodeId v : p.path) std::cout << " " << v;
@@ -108,7 +112,7 @@ int cmd_query(int argc, char** argv) {
         NodeId t;
         if (!(is >> t)) throw std::runtime_error("usage: s t");
         util::Timer q;
-        const auto d = oracle.distance(s, t);
+        const auto d = index.distance(s, t);
         std::cout << "dist=" << d.dist << " [" << core::to_string(d.method)
                   << ", " << d.hash_lookups << " look-ups, "
                   << util::fmt_fixed(q.elapsed_us(), 1) << "us]\n";

@@ -1,11 +1,17 @@
 #!/usr/bin/env python3
 """bench-smoke gate: merge bench JSON outputs and fail on perf regressions.
 
-Reads the JSON emitted by `bench_throughput --json` and `bench_updates
---json`, extracts the headline metrics, writes the combined BENCH report
-(the repo's perf-trajectory record, uploaded as a CI artifact), and exits
-non-zero when any metric regresses more than the tolerance against the
-checked-in baseline.
+Reads the JSON emitted by `bench_throughput --json` (undirected and,
+optionally, `--directed`) and `bench_updates --json`, extracts the headline
+metrics, writes the combined BENCH report (the repo's perf-trajectory
+record, uploaded as a CI artifact), and exits non-zero when any metric
+regresses more than the tolerance against the checked-in baseline.
+
+Metrics measured but absent from the baseline file are treated as "record
+new baseline": they are printed, stamped into the report with ok=true, and
+do not fail the gate — so adding a bench (e.g. the directed serving path)
+never turns into a KeyError or an instant red build. Promote them into the
+baseline file once a sane floor is known.
 
 The baseline values are deliberately conservative floors/ceilings (roughly
 half of what a single modern core achieves) so the gate catches real
@@ -14,8 +20,9 @@ hot path — rather than runner-to-runner noise.
 
 Usage:
   check_bench_regression.py --throughput tp.json --updates up.json \
+      [--directed-throughput tpd.json] \
       --baseline bench/baselines/bench_smoke_baseline.json \
-      --out BENCH_pr3.json [--tolerance 0.20]
+      --out BENCH_pr4.json [--tolerance 0.20]
 
 Stdlib only; no third-party dependencies.
 """
@@ -25,44 +32,72 @@ import json
 import sys
 
 
-def extract_metrics(throughput, updates):
+def throughput_metrics(throughput, prefix=""):
     qps_rows = throughput.get("throughput", [])
-    return {
-        "query_qps_best": max((r["qps"] for r in qps_rows), default=0.0),
-        "query_p50_us": throughput["latency_us"]["p50"],
-        "query_p99_us": throughput["latency_us"]["p99"],
-        "updates_per_sec": updates["updates_per_sec"],
-        "insert_per_sec": updates["insert"]["per_sec"],
-        "delete_per_sec": updates["delete"]["per_sec"],
-        "post_update_query_p50_us": updates["post_update_query"]["p50_us"],
-        "post_update_query_p99_us": updates["post_update_query"]["p99_us"],
+    latency = throughput.get("latency_us", {})
+    metrics = {
+        f"{prefix}query_qps_best": max((r["qps"] for r in qps_rows),
+                                       default=0.0),
     }
+    for pct in ("p50", "p99"):
+        if pct in latency:
+            metrics[f"{prefix}query_{pct}_us"] = latency[pct]
+    return metrics
+
+
+def update_metrics(updates):
+    metrics = {}
+    if "updates_per_sec" in updates:
+        metrics["updates_per_sec"] = updates["updates_per_sec"]
+    for kind in ("insert", "delete"):
+        if kind in updates and "per_sec" in updates[kind]:
+            metrics[f"{kind}_per_sec"] = updates[kind]["per_sec"]
+    post = updates.get("post_update_query", {})
+    for pct in ("p50", "p99"):
+        if f"{pct}_us" in post:
+            metrics[f"post_update_query_{pct}_us"] = post[f"{pct}_us"]
+    return metrics
+
+
+def load_json(path):
+    with open(path) as f:
+        return json.load(f)
 
 
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--throughput", required=True)
     ap.add_argument("--updates", required=True)
+    ap.add_argument("--directed-throughput", default=None,
+                    help="bench_throughput --directed output; metrics gain "
+                         "a directed_ prefix")
     ap.add_argument("--baseline", required=True)
     ap.add_argument("--out", required=True)
     ap.add_argument("--tolerance", type=float, default=None,
                     help="override the baseline file's tolerance")
     args = ap.parse_args()
 
-    with open(args.throughput) as f:
-        throughput = json.load(f)
-    with open(args.updates) as f:
-        updates = json.load(f)
-    with open(args.baseline) as f:
-        baseline = json.load(f)
+    throughput = load_json(args.throughput)
+    updates = load_json(args.updates)
+    baseline = load_json(args.baseline)
 
     tolerance = (args.tolerance if args.tolerance is not None
                  else baseline.get("tolerance", 0.20))
-    metrics = extract_metrics(throughput, updates)
+    metrics = {}
+    metrics.update(throughput_metrics(throughput))
+    metrics.update(update_metrics(updates))
+    directed = None
+    if args.directed_throughput:
+        directed = load_json(args.directed_throughput)
+        metrics.update(throughput_metrics(directed, prefix="directed_"))
 
+    baseline_metrics = baseline["metrics"]
     failures = []
     report_rows = {}
-    for name, spec in baseline["metrics"].items():
+    # Gate every baselined metric; a baselined metric the benches no longer
+    # emit is a hard failure (the gate silently losing coverage is itself a
+    # regression).
+    for name, spec in baseline_metrics.items():
         if name not in metrics:
             failures.append(f"{name}: missing from bench output")
             continue
@@ -91,13 +126,30 @@ def main():
                 f"{name}: {measured:.2f} vs limit {limit:.2f} "
                 f"(baseline {ref:.2f}, tolerance {tolerance:.0%})")
 
+    # Measured metrics without a baseline entry: record, don't gate.
+    new_metrics = sorted(set(metrics) - set(baseline_metrics))
+    for name in new_metrics:
+        report_rows[name] = {
+            "measured": metrics[name],
+            "baseline": None,
+            "limit": None,
+            "higher_is_better": None,
+            "ok": True,
+            "new": True,
+        }
+        print(f"  [new ] {name}: measured={metrics[name]:.2f} "
+              f"(no baseline; recording — promote into "
+              f"{args.baseline} to start gating)")
+
     report = {
         "metrics": metrics,
         "gate": {"tolerance": tolerance, "rows": report_rows,
-                 "passed": not failures},
+                 "new_metrics": new_metrics, "passed": not failures},
         "throughput": throughput,
         "updates": updates,
     }
+    if directed is not None:
+        report["directed_throughput"] = directed
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2)
         f.write("\n")

@@ -1,0 +1,175 @@
+#include "baselines/baseline_adapters.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/query_engine.h"
+
+namespace vicinity::baselines {
+
+namespace {
+
+using core::AnyOracle;
+using core::Capabilities;
+using core::Capability;
+using core::OracleMemoryStats;
+using core::PathResult;
+using core::QueryContext;
+using core::QueryMethod;
+using core::QueryResult;
+
+/// Common shape of the three adapters: bounds-check, short-circuit s == t,
+/// ask the backend for an estimate, classify, record into ctx.stats().
+/// `Derived` provides estimate(s, t) -> {dist, exact}.
+template <typename Derived>
+class BaselineAdapterBase : public AnyOracle {
+ public:
+  explicit BaselineAdapterBase(const graph::Graph& g) : g_(&g) {}
+
+  const graph::Graph& graph() const final { return *g_; }
+
+  /// None of the probe-able capabilities: distance-only estimates, frozen,
+  /// in-memory, undirected (all three baselines reject directed graphs at
+  /// construction). A directed-capable baseline must opt in explicitly.
+  Capabilities capabilities() const final { return Capabilities{}; }
+
+  QueryResult distance(NodeId s, NodeId t, QueryContext& ctx) const final {
+    if (s >= g_->num_nodes() || t >= g_->num_nodes()) {
+      throw std::out_of_range(std::string(backend_name()) +
+                              ": node out of range");
+    }
+    QueryResult r;
+    if (s == t) {
+      r.dist = 0;
+      r.method = QueryMethod::kIdenticalNodes;
+      r.exact = true;
+    } else {
+      const auto [dist, exact] =
+          static_cast<const Derived*>(this)->estimate(s, t);
+      r.dist = dist;
+      if (dist == kInfDistance) {
+        // Per the QueryResult contract, kInfDistance with exact == true
+        // means provably unreachable (e.g. a TZ sample-row miss); keep the
+        // backend's proof instead of downgrading it.
+        r.method = QueryMethod::kNotFound;
+        r.exact = exact;
+      } else {
+        r.method = exact ? QueryMethod::kBaselineExact
+                         : QueryMethod::kBaselineEstimate;
+        r.exact = exact;
+      }
+    }
+    ctx.stats().record(r);
+    return r;
+  }
+
+ protected:
+  const graph::Graph* g_;
+};
+
+struct Estimate {
+  Distance dist;
+  bool exact;
+};
+
+std::uint64_t apsp_pairs(const graph::Graph& g) {
+  const auto n = static_cast<std::uint64_t>(g.num_nodes());
+  return g.directed() ? n * (n - 1) : n * (n - 1) / 2;
+}
+
+class TzAdapter final : public BaselineAdapterBase<TzAdapter> {
+ public:
+  TzAdapter(TzOracle oracle, const graph::Graph& g)
+      : BaselineAdapterBase(g), oracle_(std::move(oracle)) {}
+
+  const char* backend_name() const override { return "tz"; }
+
+  Estimate estimate(NodeId s, NodeId t) const {
+    bool exact;
+    const Distance d = oracle_.distance(s, t, exact);
+    return {d, exact};
+  }
+
+  OracleMemoryStats memory_stats() const override {
+    OracleMemoryStats m;
+    m.vicinity_entries = oracle_.total_bunch_entries();
+    m.landmark_entries =
+        static_cast<std::uint64_t>(oracle_.num_samples()) * g_->num_nodes();
+    m.bytes = oracle_.memory_bytes();
+    m.apsp_entries = apsp_pairs(*g_);
+    return m;
+  }
+
+ private:
+  TzOracle oracle_;
+};
+
+class SketchAdapter final : public BaselineAdapterBase<SketchAdapter> {
+ public:
+  SketchAdapter(SketchOracle oracle, const graph::Graph& g)
+      : BaselineAdapterBase(g), oracle_(std::move(oracle)) {}
+
+  const char* backend_name() const override { return "sketch"; }
+
+  Estimate estimate(NodeId s, NodeId t) const {
+    // Upper bound with no per-query exactness witness.
+    return {oracle_.distance(s, t), false};
+  }
+
+  OracleMemoryStats memory_stats() const override {
+    OracleMemoryStats m;
+    m.vicinity_entries =
+        static_cast<std::uint64_t>(oracle_.sketch_entries_per_node() *
+                                   static_cast<double>(g_->num_nodes()));
+    m.bytes = oracle_.memory_bytes();
+    m.apsp_entries = apsp_pairs(*g_);
+    return m;
+  }
+
+ private:
+  SketchOracle oracle_;
+};
+
+class LandmarkAdapter final : public BaselineAdapterBase<LandmarkAdapter> {
+ public:
+  LandmarkAdapter(LandmarkEstimator oracle, const graph::Graph& g)
+      : BaselineAdapterBase(g), oracle_(std::move(oracle)) {}
+
+  const char* backend_name() const override { return "landmarks"; }
+
+  Estimate estimate(NodeId s, NodeId t) const {
+    return {oracle_.upper_bound(s, t), false};
+  }
+
+  OracleMemoryStats memory_stats() const override {
+    OracleMemoryStats m;
+    m.landmark_entries =
+        static_cast<std::uint64_t>(oracle_.landmarks().size()) *
+        g_->num_nodes();
+    m.bytes = oracle_.memory_bytes();
+    m.apsp_entries = apsp_pairs(*g_);
+    return m;
+  }
+
+ private:
+  LandmarkEstimator oracle_;
+};
+
+}  // namespace
+
+std::shared_ptr<core::AnyOracle> make_any_oracle(TzOracle oracle,
+                                                 const graph::Graph& g) {
+  return std::make_shared<TzAdapter>(std::move(oracle), g);
+}
+
+std::shared_ptr<core::AnyOracle> make_any_oracle(SketchOracle oracle,
+                                                 const graph::Graph& g) {
+  return std::make_shared<SketchAdapter>(std::move(oracle), g);
+}
+
+std::shared_ptr<core::AnyOracle> make_any_oracle(LandmarkEstimator oracle,
+                                                 const graph::Graph& g) {
+  return std::make_shared<LandmarkAdapter>(std::move(oracle), g);
+}
+
+}  // namespace vicinity::baselines

@@ -1,0 +1,29 @@
+// AnyOracle adapters for the related-work baselines (core/any_oracle.h), so
+// the TZ, sketch and landmark estimators serve through the same
+// QueryEngine/Index surface as the vicinity oracles — the apples-to-apples
+// serving comparison of §4 (bench_throughput --backend). All three are
+// distance-only (no kPaths — the limitation §4 calls out for [11, 19]),
+// frozen (no kUpdatable) and in-memory only (no kPersistable); estimates are
+// reported with QueryMethod::kBaselineEstimate and exact == false, provably
+// exact answers (a TZ bunch hit) with kBaselineExact and exact == true.
+#pragma once
+
+#include <memory>
+
+#include "baselines/landmark_est.h"
+#include "baselines/sketch_oracle.h"
+#include "baselines/tz_oracle.h"
+#include "core/any_oracle.h"
+
+namespace vicinity::baselines {
+
+/// Wraps a built baseline (adopted by value; the graph must be the one it
+/// was built on and must outlive the returned oracle).
+std::shared_ptr<core::AnyOracle> make_any_oracle(TzOracle oracle,
+                                                 const graph::Graph& g);
+std::shared_ptr<core::AnyOracle> make_any_oracle(SketchOracle oracle,
+                                                 const graph::Graph& g);
+std::shared_ptr<core::AnyOracle> make_any_oracle(LandmarkEstimator oracle,
+                                                 const graph::Graph& g);
+
+}  // namespace vicinity::baselines

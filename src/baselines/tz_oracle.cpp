@@ -69,12 +69,19 @@ TzOracle::TzOracle(const graph::Graph& g, util::Rng& rng, double sample_prob)
 }
 
 Distance TzOracle::distance(NodeId u, NodeId v) const {
+  bool exact;
+  return distance(u, v, exact);
+}
+
+Distance TzOracle::distance(NodeId u, NodeId v, bool& exact) const {
+  exact = true;
   if (u == v) return 0;
   if (a_index_[u] != kInvalidNode) return a_rows_[a_index_[u]][v];
   if (a_index_[v] != kInvalidNode) return a_rows_[a_index_[v]][u];
   if (const Distance* d = bunches_[u].find(v)) return *d;
   if (const Distance* d = bunches_[v].find(u)) return *d;
   // Stretch-3 estimate through the witness.
+  exact = false;
   if (p_[u] == kInvalidNode) return kInfDistance;
   return dist_add(dist_to_p_[u], a_rows_[a_index_[p_[u]]][v]);
 }

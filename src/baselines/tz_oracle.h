@@ -30,6 +30,11 @@ class TzOracle {
   /// Distance estimate with stretch <= 3 (exact when the bunch hits).
   Distance distance(NodeId u, NodeId v) const;
 
+  /// Single-pass variant for the serving hot path: also reports whether
+  /// the answer is provably exact (v in u's bunch or either endpoint in A)
+  /// without re-probing the hash tables like distance() + is_exact() would.
+  Distance distance(NodeId u, NodeId v, bool& exact) const;
+
   /// True when the last term returned would be exact (v in u's bunch or
   /// either endpoint in A). Exposed for accuracy accounting in benches.
   bool is_exact(NodeId u, NodeId v) const;

@@ -273,6 +273,9 @@ UpdateStats DirectedVicinityOracle::apply_update(graph::Graph& g,
 }
 
 QueryResult DirectedVicinityOracle::distance(NodeId s, NodeId t) {
+  // The default context is shared state; the lock makes the convenience
+  // overload safe (but serialized) under concurrent callers.
+  const std::lock_guard<std::mutex> lock(*default_ctx_mu_);
   return distance(s, t, default_context());
 }
 
@@ -438,6 +441,7 @@ bool DirectedVicinityOracle::chase_in(NodeId origin, NodeId from,
 }
 
 PathResult DirectedVicinityOracle::path(NodeId s, NodeId t) {
+  const std::lock_guard<std::mutex> lock(*default_ctx_mu_);
   return path(s, t, default_context());
 }
 

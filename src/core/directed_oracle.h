@@ -12,6 +12,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -34,12 +35,16 @@ class DirectedVicinityOracle {
                                           const OracleOptions& options,
                                           std::span<const NodeId> query_nodes);
 
-  /// Exact d(s -> t) through an internal default context.
+  /// Exact d(s -> t) through an internal default context. Matches
+  /// VicinityOracle's contract: the context is mutex-guarded, so concurrent
+  /// calls are safe but fully serialized — concurrent callers should use
+  /// the lock-free context overload below (one context per thread).
   QueryResult distance(NodeId s, NodeId t);
   /// Thread-safe d(s -> t): all mutable state lives in `ctx` (one context
   /// per querying thread; the oracle itself is only read).
   QueryResult distance(NodeId s, NodeId t, QueryContext& ctx) const;
-  /// Directed shortest path s -> t.
+  /// Directed shortest path s -> t (mutex-guarded default context, same
+  /// contract as distance(s, t)).
   PathResult path(NodeId s, NodeId t);
   /// Thread-safe path query (same contract as distance(s, t, ctx)).
   PathResult path(NodeId s, NodeId t, QueryContext& ctx) const;
@@ -57,6 +62,7 @@ class DirectedVicinityOracle {
 
   const graph::Graph& graph() const { return *g_; }
   const LandmarkSet& landmarks() const { return landmarks_; }
+  const std::vector<NodeId>& indexed_nodes() const { return indexed_; }
   const VicinityStore& out_store() const { return out_store_; }
   const VicinityStore& in_store() const { return in_store_; }
   const OracleBuildStats& build_stats() const { return build_stats_; }
@@ -67,6 +73,8 @@ class DirectedVicinityOracle {
   ~DirectedVicinityOracle();
 
  private:
+  friend class OracleSerializer;
+
   // Out-of-line special members: default_ctx_ holds an incomplete
   // QueryContext here (completed in core/query_engine.h).
   DirectedVicinityOracle();
@@ -94,6 +102,10 @@ class DirectedVicinityOracle {
   OracleBuildStats build_stats_;
   std::vector<NodeId> indexed_;
   std::unique_ptr<QueryContext> default_ctx_;
+  /// Serializes the convenience overloads' use of default_ctx_ (behind
+  /// unique_ptr so the oracle stays movable; moved-from oracles must not be
+  /// queried). Matches VicinityOracle.
+  std::unique_ptr<std::mutex> default_ctx_mu_ = std::make_unique<std::mutex>();
 };
 
 }  // namespace vicinity::core

@@ -28,6 +28,8 @@ const char* to_string(QueryMethod m) {
     case QueryMethod::kVicinityIntersection: return "vicinity-intersection";
     case QueryMethod::kFallbackExact: return "fallback-exact";
     case QueryMethod::kFallbackEstimate: return "fallback-estimate";
+    case QueryMethod::kBaselineExact: return "baseline-exact";
+    case QueryMethod::kBaselineEstimate: return "baseline-estimate";
     case QueryMethod::kNotFound: return "not-found";
   }
   return "?";
@@ -380,6 +382,9 @@ QueryContext& VicinityOracle::default_context() {
 }
 
 QueryResult VicinityOracle::distance(NodeId s, NodeId t) {
+  // The default context is shared state; the lock makes the convenience
+  // overload safe (but serialized) under concurrent callers.
+  const std::lock_guard<std::mutex> lock(*default_ctx_mu_);
   return distance(s, t, default_context());
 }
 
@@ -539,6 +544,7 @@ PathResult VicinityOracle::fallback_path(NodeId s, NodeId t,
 }
 
 PathResult VicinityOracle::path(NodeId s, NodeId t) {
+  const std::lock_guard<std::mutex> lock(*default_ctx_mu_);
   return path(s, t, default_context());
 }
 

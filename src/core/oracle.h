@@ -17,6 +17,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <utility>
@@ -44,6 +45,11 @@ enum class QueryMethod {
   kVicinityIntersection,
   kFallbackExact,
   kFallbackEstimate,
+  /// A baseline backend (baselines/baseline_adapters.h) answered with a
+  /// provably exact distance (e.g. a TZ bunch hit).
+  kBaselineExact,
+  /// A baseline backend returned an estimate / upper bound.
+  kBaselineEstimate,
   kNotFound,
 };
 
@@ -112,8 +118,10 @@ class VicinityOracle {
                                   std::span<const NodeId> query_nodes);
 
   /// Exact distance query (Algorithm 1 + configured fallback) through an
-  /// internal default context. Convenience for single-threaded callers;
-  /// concurrent callers must use the context overload below.
+  /// internal default context. The context is guarded by a mutex, so
+  /// concurrent calls are safe but fully serialized — concurrent callers
+  /// should use the context overload below (one context per thread), which
+  /// is lock-free.
   QueryResult distance(NodeId s, NodeId t);
 
   /// Thread-safe distance query: the oracle is only read, all mutable state
@@ -122,7 +130,8 @@ class VicinityOracle {
   QueryResult distance(NodeId s, NodeId t, QueryContext& ctx) const;
 
   /// Shortest-path retrieval (§3.1 path extension): parent chains inside
-  /// the stored vicinities / landmark trees. Default-context convenience.
+  /// the stored vicinities / landmark trees. Default-context convenience
+  /// (mutex-guarded like distance(s, t)).
   PathResult path(NodeId s, NodeId t);
 
   /// Thread-safe path query (same contract as distance(s, t, ctx)).
@@ -208,6 +217,7 @@ class VicinityOracle {
   PathResult fallback_path(NodeId s, NodeId t, QueryContext& ctx) const;
 
   /// Lazily-created context backing the convenience (non-const) overloads.
+  /// Callers must hold *default_ctx_mu_.
   QueryContext& default_context();
 
   /// Re-runs the truncated-search builder for `nodes` against the current
@@ -223,6 +233,10 @@ class VicinityOracle {
   OracleBuildStats build_stats_;
   std::vector<NodeId> indexed_;
   std::unique_ptr<QueryContext> default_ctx_;
+  /// Serializes the convenience overloads' use of default_ctx_ (held behind
+  /// unique_ptr so the oracle stays movable; moved-from oracles must not be
+  /// queried).
+  std::unique_ptr<std::mutex> default_ctx_mu_ = std::make_unique<std::mutex>();
   /// Lazily-created worker pool reused across apply_update() calls so
   /// hub-sized repairs do not pay thread spawn/teardown per update.
   std::unique_ptr<util::ThreadPool> update_pool_;

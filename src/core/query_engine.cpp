@@ -4,9 +4,11 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/directed_oracle.h"
+
 namespace vicinity::core {
 
-QueryEngine::QueryEngine(std::shared_ptr<const VicinityOracle> oracle,
+QueryEngine::QueryEngine(std::shared_ptr<const AnyOracle> oracle,
                          unsigned threads)
     : oracle_(std::move(oracle)), pool_(threads) {
   if (!oracle_) {
@@ -18,15 +20,49 @@ QueryEngine::QueryEngine(std::shared_ptr<const VicinityOracle> oracle,
   }
 }
 
-QueryEngine::QueryEngine(std::shared_ptr<VicinityOracle> oracle,
-                         unsigned threads)
-    : QueryEngine(std::shared_ptr<const VicinityOracle>(oracle), threads) {
+QueryEngine::QueryEngine(std::shared_ptr<AnyOracle> oracle, unsigned threads)
+    : QueryEngine(std::shared_ptr<const AnyOracle>(oracle), threads) {
   mutable_oracle_ = std::move(oracle);
 }
 
-QueryEngine::QueryEngine(VicinityOracle&& oracle, unsigned threads)
-    : QueryEngine(std::make_shared<VicinityOracle>(std::move(oracle)),
+namespace {
+
+/// Shared null check for the concrete-class conveniences: make_any_oracle
+/// rejects null itself, but with the QueryEngine-specific message callers
+/// of the old API expect.
+template <typename Oracle>
+std::shared_ptr<Oracle> require_oracle(std::shared_ptr<Oracle> oracle) {
+  if (!oracle) throw std::invalid_argument("QueryEngine: null oracle");
+  return oracle;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(std::shared_ptr<const VicinityOracle> oracle,
+                         unsigned threads)
+    : QueryEngine(make_any_oracle(require_oracle(std::move(oracle))),
                   threads) {}
+
+QueryEngine::QueryEngine(std::shared_ptr<VicinityOracle> oracle,
+                         unsigned threads)
+    : QueryEngine(make_any_oracle(require_oracle(std::move(oracle))),
+                  threads) {}
+
+QueryEngine::QueryEngine(VicinityOracle&& oracle, unsigned threads)
+    : QueryEngine(make_any_oracle(std::move(oracle)), threads) {}
+
+QueryEngine::QueryEngine(std::shared_ptr<const DirectedVicinityOracle> oracle,
+                         unsigned threads)
+    : QueryEngine(make_any_oracle(require_oracle(std::move(oracle))),
+                  threads) {}
+
+QueryEngine::QueryEngine(std::shared_ptr<DirectedVicinityOracle> oracle,
+                         unsigned threads)
+    : QueryEngine(make_any_oracle(require_oracle(std::move(oracle))),
+                  threads) {}
+
+QueryEngine::QueryEngine(DirectedVicinityOracle&& oracle, unsigned threads)
+    : QueryEngine(make_any_oracle(std::move(oracle)), threads) {}
 
 UpdateStats QueryEngine::apply_update(graph::Graph& g,
                                       const GraphUpdate& update) {
@@ -65,7 +101,7 @@ void QueryEngine::run_batch(std::span<const Query> queries,
   while (contexts_.size() < lanes) {
     contexts_.push_back(std::make_unique<QueryContext>());
   }
-  const VicinityOracle& oracle = *oracle_;
+  const AnyOracle& oracle = *oracle_;
   if (lanes == 1) {
     QueryContext& ctx = *contexts_[0];
     for (std::size_t i = 0; i < queries.size(); ++i) {

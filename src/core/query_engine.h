@@ -1,12 +1,19 @@
-// QueryEngine — concurrent batch-query serving on top of a built
-// VicinityOracle (the paper's §5 parallelization question, answered the way
+// QueryEngine — concurrent batch-query serving on top of any built oracle
+// backend (the paper's §5 parallelization question, answered the way
 // production route/path servers do it: one immutable shared index, one
 // mutable context per worker).
 //
+// The engine serves through the type-erased core::AnyOracle interface
+// (core/any_oracle.h), so batch serving, epoch-fenced updates and
+// QueryStats work identically for VicinityOracle, DirectedVicinityOracle
+// and the baseline estimators; operations a backend cannot perform fail
+// with CapabilityError at the call, not with a template error at compile
+// time against only one concrete type.
+//
 // Thread-safety contract:
 //   * Shared-immutable: the graph, the vicinity store, the landmark tables
-//     and every other byte of a built VicinityOracle. Queries through the
-//     const context-taking overloads never mutate the oracle.
+//     and every other byte of a built oracle. Queries through the const
+//     context-taking overloads never mutate the oracle.
 //   * Per-context mutable: fallback bidirectional-BFS scratch (visit
 //     stamps, frontiers) and QueryStats accumulation live in QueryContext.
 //     A context must not be used by two threads at once; contexts are
@@ -28,6 +35,7 @@
 #include <vector>
 
 #include "algo/bidirectional_bfs.h"
+#include "core/any_oracle.h"
 #include "core/dynamic.h"
 #include "core/oracle.h"
 #include "util/thread_pool.h"
@@ -109,23 +117,37 @@ class QueryContext {
 /// frozen snapshots and refuse updates.
 class QueryEngine {
  public:
-  /// Serves queries against a shared immutable oracle. threads == 0 selects
-  /// hardware concurrency. apply_update() is unavailable through this
-  /// constructor.
+  /// Serves queries against any backend through the type-erased interface.
+  /// The const overload serves a frozen snapshot (apply_update() refuses);
+  /// the mutable overload allows apply_update() when the backend supports
+  /// it. threads == 0 selects hardware concurrency.
+  explicit QueryEngine(std::shared_ptr<const AnyOracle> oracle,
+                       unsigned threads = 0);
+  explicit QueryEngine(std::shared_ptr<AnyOracle> oracle,
+                       unsigned threads = 0);
+
+  // Concrete-class conveniences: wrap the oracle into its AnyOracle adapter
+  // (core/any_oracle.h). Shared-const pointers serve frozen snapshots;
+  // shared-mutable pointers and by-value adoption (the common "build then
+  // serve" flow) keep apply_update() available.
   explicit QueryEngine(std::shared_ptr<const VicinityOracle> oracle,
                        unsigned threads = 0);
-
-  /// Serves queries against a shared oracle the engine may also mutate
-  /// through apply_update().
   explicit QueryEngine(std::shared_ptr<VicinityOracle> oracle,
                        unsigned threads = 0);
-
-  /// Adopts an oracle by value (the common "build then serve" flow); the
-  /// adopted oracle is mutable, so apply_update() works.
   explicit QueryEngine(VicinityOracle&& oracle, unsigned threads = 0);
+  explicit QueryEngine(std::shared_ptr<const DirectedVicinityOracle> oracle,
+                       unsigned threads = 0);
+  explicit QueryEngine(std::shared_ptr<DirectedVicinityOracle> oracle,
+                       unsigned threads = 0);
+  explicit QueryEngine(DirectedVicinityOracle&& oracle, unsigned threads = 0);
 
   unsigned thread_count() const { return pool_.thread_count(); }
-  const VicinityOracle& oracle() const { return *oracle_; }
+
+  /// The backend being served. Probe oracle().capabilities() for what it
+  /// supports; as_undirected()/as_directed() expose the concrete oracles
+  /// for introspection.
+  const AnyOracle& oracle() const { return *oracle_; }
+  Capabilities capabilities() const { return oracle_->capabilities(); }
 
   /// Answers queries[i] into the returned vector's slot i. threads == 0
   /// uses every pool worker; smaller values restrict the batch to that many
@@ -145,18 +167,26 @@ class QueryEngine {
     return oracle_->distance(s, t, ctx);
   }
 
+  /// Path retrieval on a caller-owned context. Backends without
+  /// Capability::kPaths refuse with CapabilityError — probe capabilities()
+  /// first when the backend is not statically known.
+  PathResult path(NodeId s, NodeId t, QueryContext& ctx) const {
+    return oracle_->path(s, t, ctx);
+  }
+
   /// Fresh context for callers managing their own threads.
   QueryContext make_context() const { return QueryContext{}; }
 
   /// Applies one edge mutation to `g` (the graph the oracle was built on)
-  /// and repairs the oracle in place (VicinityOracle::apply_update),
-  /// fenced from batches by the engine lock and advancing epoch() by one.
-  /// Safe to call from any thread, including concurrently with run_batch()
-  /// — the update waits for the in-flight batch and the next batch sees the
-  /// new epoch. Throws std::logic_error when the engine was constructed
-  /// over a const oracle. Caller-owned QueryContext queries issued outside
-  /// run_batch()/apply_update() are NOT fenced and must be quiesced by the
-  /// caller while an update is in flight.
+  /// and repairs the oracle in place (AnyOracle::apply_update), fenced from
+  /// batches by the engine lock and advancing epoch() by one. Safe to call
+  /// from any thread, including concurrently with run_batch() — the update
+  /// waits for the in-flight batch and the next batch sees the new epoch.
+  /// Throws std::logic_error when the engine was constructed over a const
+  /// oracle, and CapabilityError (a logic_error) when the backend lacks
+  /// Capability::kUpdatable. Caller-owned QueryContext queries issued
+  /// outside run_batch()/apply_update() are NOT fenced and must be quiesced
+  /// by the caller while an update is in flight.
   UpdateStats apply_update(graph::Graph& g, const GraphUpdate& update);
 
   /// Number of updates applied so far; every batch is served entirely at
@@ -170,10 +200,10 @@ class QueryEngine {
   void reset_stats();
 
  private:
-  std::shared_ptr<const VicinityOracle> oracle_;
+  std::shared_ptr<const AnyOracle> oracle_;
   /// Same object as oracle_ when constructed mutable; null for engines over
   /// const snapshots (apply_update then throws).
-  std::shared_ptr<VicinityOracle> mutable_oracle_;
+  std::shared_ptr<AnyOracle> mutable_oracle_;
   util::ThreadPool pool_;
   mutable std::mutex mu_;  ///< serializes batches/updates, guards contexts_
   std::vector<std::unique_ptr<QueryContext>> contexts_;

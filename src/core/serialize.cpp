@@ -3,23 +3,42 @@
 #include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <initializer_list>
 #include <istream>
 #include <limits>
 #include <ostream>
 #include <stdexcept>
 
+#include "core/vicinity_builder.h"
 #include "util/bit_vector.h"
 
 namespace vicinity::core {
 
 namespace {
 
-// Container header: 6-byte magic + 2 ASCII-digit format version. Version 2
-// added OracleOptions::update_rebuild_fraction (dynamic updates); version-1
-// files predate it and are rejected up front with a versioned error rather
-// than misparsed.
+// Container header: 6-byte magic + 2 ASCII-digit format version + (since
+// version 3) one backend-tag byte. Version 2 added
+// OracleOptions::update_rebuild_fraction (dynamic updates); version 3 added
+// the backend tag and the directed-oracle body. Version-2 files carry no
+// tag and are implicitly undirected; version-1 files predate the options
+// field and are rejected up front with a versioned error rather than
+// misparsed.
 constexpr char kMagic[6] = {'V', 'C', 'N', 'I', 'D', 'X'};
-constexpr int kFormatVersion = 2;
+constexpr int kFormatVersion = 3;
+constexpr int kMinFormatVersion = 2;
+
+enum class BackendTag : std::uint8_t {
+  kUndirected = 0,
+  kDirected = 1,
+};
+
+const char* to_string(BackendTag t) {
+  switch (t) {
+    case BackendTag::kUndirected: return "vicinity";
+    case BackendTag::kDirected: return "vicinity-directed";
+  }
+  return "?";
+}
 
 template <typename T>
 void write_pod(std::ostream& out, const T& v) {
@@ -66,9 +85,118 @@ std::vector<T> read_vec(std::istream& in) {
   return v;
 }
 
-/// Untrusted-input guard used throughout load().
+/// Untrusted-input guard used throughout the loaders.
 void require(bool ok, const char* what) {
   if (!ok) throw std::runtime_error(std::string("oracle index: ") + what);
+}
+
+void write_header(std::ostream& out, BackendTag tag) {
+  out.write(kMagic, sizeof(kMagic));
+  const char version[2] = {static_cast<char>('0' + kFormatVersion / 10),
+                           static_cast<char>('0' + kFormatVersion % 10)};
+  out.write(version, sizeof(version));
+  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(tag));
+}
+
+struct Header {
+  int version;
+  BackendTag tag;
+};
+
+Header read_header(std::istream& in) {
+  char header[8];
+  in.read(header, sizeof(header));
+  if (!in || std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("oracle index: bad magic");
+  }
+  if (header[6] < '0' || header[6] > '9' || header[7] < '0' ||
+      header[7] > '9') {
+    throw std::runtime_error("oracle index: corrupt format version");
+  }
+  const int version = (header[6] - '0') * 10 + (header[7] - '0');
+  if (version < kMinFormatVersion || version > kFormatVersion) {
+    throw std::runtime_error(
+        "oracle index: unsupported format version " + std::to_string(version) +
+        " (this build reads versions " + std::to_string(kMinFormatVersion) +
+        "-" + std::to_string(kFormatVersion) + "; rebuild the index)");
+  }
+  // Version 2 predates the backend tag; only undirected indexes existed.
+  if (version < 3) return Header{version, BackendTag::kUndirected};
+  const auto tag_raw = read_pod<std::uint8_t>(in);
+  if (tag_raw > static_cast<std::uint8_t>(BackendTag::kDirected)) {
+    throw std::runtime_error("oracle index: unknown backend tag " +
+                             std::to_string(tag_raw) + " (format version " +
+                             std::to_string(version) + ")");
+  }
+  return Header{version, static_cast<BackendTag>(tag_raw)};
+}
+
+[[noreturn]] void backend_mismatch(const Header& h, const char* wanted,
+                                   const char* hint) {
+  throw std::runtime_error(
+      std::string("oracle index: backend mismatch: format version ") +
+      std::to_string(h.version) + " file is tagged '" + to_string(h.tag) +
+      "', not '" + wanted + "'; " + hint);
+}
+
+void write_graph_shape(std::ostream& out, const graph::Graph& g) {
+  write_pod<std::uint64_t>(out, g.num_nodes());
+  write_pod<std::uint64_t>(out, g.num_arcs());
+  write_pod<std::uint8_t>(out, g.directed() ? 1 : 0);
+  write_pod<std::uint8_t>(out, g.weighted() ? 1 : 0);
+}
+
+void check_graph_shape(std::istream& in, const graph::Graph& g) {
+  const auto n = read_pod<std::uint64_t>(in);
+  const auto arcs = read_pod<std::uint64_t>(in);
+  const bool directed = read_pod<std::uint8_t>(in) != 0;
+  const bool weighted = read_pod<std::uint8_t>(in) != 0;
+  if (n != g.num_nodes() || arcs != g.num_arcs() ||
+      directed != g.directed() || weighted != g.weighted()) {
+    throw std::runtime_error("oracle index: graph shape mismatch");
+  }
+}
+
+void write_options(std::ostream& out, const OracleOptions& opt) {
+  write_pod(out, opt.alpha);
+  write_pod(out, opt.sampling_constant);
+  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(opt.strategy));
+  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(opt.backend));
+  write_pod<std::uint8_t>(out, opt.use_boundary_optimization ? 1 : 0);
+  write_pod<std::uint8_t>(out, opt.iterate_smaller_side ? 1 : 0);
+  write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(opt.fallback));
+  write_pod(out, opt.update_rebuild_fraction);
+  write_pod(out, opt.seed);
+}
+
+OracleOptions read_options(std::istream& in) {
+  OracleOptions opt;
+  opt.alpha = read_pod<double>(in);
+  opt.sampling_constant = read_pod<double>(in);
+  const auto strategy_raw = read_pod<std::uint8_t>(in);
+  require(
+      strategy_raw <= static_cast<std::uint8_t>(SamplingStrategy::kTopDegree),
+      "corrupt sampling strategy");
+  opt.strategy = static_cast<SamplingStrategy>(strategy_raw);
+  const auto backend_raw = read_pod<std::uint8_t>(in);
+  require(backend_raw <=
+              static_cast<std::uint8_t>(StoreBackend::kStdUnorderedMap),
+          "corrupt store backend");
+  opt.backend = static_cast<StoreBackend>(backend_raw);
+  opt.use_boundary_optimization = read_pod<std::uint8_t>(in) != 0;
+  opt.iterate_smaller_side = read_pod<std::uint8_t>(in) != 0;
+  const auto fallback_raw = read_pod<std::uint8_t>(in);
+  require(fallback_raw <=
+              static_cast<std::uint8_t>(Fallback::kLandmarkEstimate),
+          "corrupt fallback mode");
+  opt.fallback = static_cast<Fallback>(fallback_raw);
+  // Values above 1 are legitimate ("never fall back to a full rebuild");
+  // only negatives and NaN (which fails >= 0) are corrupt.
+  opt.update_rebuild_fraction = read_pod<double>(in);
+  require(opt.update_rebuild_fraction >= 0.0,
+          "corrupt update-rebuild fraction");
+  opt.seed = read_pod<std::uint64_t>(in);
+  return opt;
 }
 
 struct MemberRecord {
@@ -80,243 +208,295 @@ struct MemberRecord {
 };
 static_assert(sizeof(MemberRecord) == 16);
 
+/// One vicinity slot: radius, nearest landmark, member records.
+void write_store_slot(std::ostream& out, const VicinityStore& store,
+                      NodeId u) {
+  write_pod<Distance>(out, store.radius(u));
+  write_pod<NodeId>(out, store.nearest_landmark(u));
+  std::vector<MemberRecord> members;
+  members.reserve(store.vicinity_size(u));
+  const Distance radius = store.radius(u);
+  store.for_each_member(u, [&](NodeId v, const StoredEntry& e) {
+    MemberRecord rec{v, e.dist, e.parent, 0, {0, 0, 0}};
+    if (e.dist < radius) rec.flags |= 1;
+    members.push_back(rec);
+  });
+  const auto bview = store.boundary(u);
+  util::FlatHashSet<NodeId> on_boundary(bview.nodes.size());
+  for (const NodeId b : bview.nodes) on_boundary.insert(b);
+  for (auto& rec : members) {
+    if (on_boundary.contains(rec.node)) rec.flags |= 2;
+  }
+  write_vec(out, members);
+}
+
+void read_store_slot(std::istream& in, std::uint64_t n, NodeId u,
+                     VicinityStore& store) {
+  Vicinity v;
+  v.origin = u;
+  v.radius = read_pod<Distance>(in);
+  v.nearest_landmark = read_pod<NodeId>(in);
+  require(v.nearest_landmark < n || v.nearest_landmark == kInvalidNode,
+          "vicinity nearest landmark out of range");
+  const auto members = read_vec<MemberRecord>(in);
+  v.members.reserve(members.size());
+  for (const MemberRecord& rec : members) {
+    require(rec.node < n, "vicinity member out of range");
+    require(rec.parent < n || rec.parent == kInvalidNode,
+            "vicinity parent out of range");
+    VicinityMember m{rec.node, rec.dist, rec.parent, (rec.flags & 1) != 0,
+                     (rec.flags & 2) != 0};
+    if (m.in_ball) ++v.ball_size;
+    if (m.on_boundary) ++v.boundary_size;
+    v.members.push_back(m);
+  }
+  store.set(u, v);
+}
+
+void write_landmark_rows(std::ostream& out,
+                         const std::vector<std::vector<Distance>>& rows) {
+  write_pod<std::uint64_t>(out, rows.size());
+  for (const auto& row : rows) write_vec(out, row);
+}
+
+LandmarkSet read_landmark_set(std::istream& in, const OracleOptions& opt,
+                              const graph::Graph& g) {
+  LandmarkSet landmarks;
+  landmarks.nodes = read_vec<NodeId>(in);
+  landmarks.alpha = opt.alpha;
+  landmarks.strategy = opt.strategy;
+  landmarks.member.resize(g.num_nodes());
+  for (const NodeId l : landmarks.nodes) {
+    require(l < g.num_nodes(), "landmark id out of range");
+    landmarks.member.set(l);
+  }
+  return landmarks;
+}
+
+NearestLandmarkInfo read_nearest(std::istream& in, std::uint64_t n) {
+  NearestLandmarkInfo info;
+  info.dist = read_vec<Distance>(in);
+  info.landmark = read_vec<NodeId>(in);
+  require(info.dist.size() == n && info.landmark.size() == n,
+          "nearest-landmark arrays have wrong length");
+  for (const NodeId l : info.landmark) {
+    require(l < n || l == kInvalidNode, "nearest landmark out of range");
+  }
+  return info;
+}
+
+std::vector<NodeId> read_indexed(std::istream& in, const graph::Graph& g) {
+  auto indexed = read_vec<NodeId>(in);
+  util::BitVector seen(g.num_nodes());
+  for (const NodeId u : indexed) {
+    require(u < g.num_nodes(), "indexed node out of range");
+    require(!seen.get(u), "duplicate indexed node");
+    seen.set(u);
+  }
+  return indexed;
+}
+
 }  // namespace
 
-/// Friend of VicinityOracle / LandmarkTables with full member access.
+/// Friend of VicinityOracle / DirectedVicinityOracle / LandmarkTables with
+/// full member access.
 class OracleSerializer {
  public:
-  static void save(const VicinityOracle& o, std::ostream& out) {
-    out.write(kMagic, sizeof(kMagic));
-    const char version[2] = {
-        static_cast<char>('0' + kFormatVersion / 10),
-        static_cast<char>('0' + kFormatVersion % 10)};
-    out.write(version, sizeof(version));
-    const graph::Graph& g = o.graph();
-    write_pod<std::uint64_t>(out, g.num_nodes());
-    write_pod<std::uint64_t>(out, g.num_arcs());
-    write_pod<std::uint8_t>(out, g.directed() ? 1 : 0);
-    write_pod<std::uint8_t>(out, g.weighted() ? 1 : 0);
+  // ---- Landmark tables (shared layout; the directed variant appends the
+  // reverse rows and the from-landmark subset matrix) --------------------
+  static void save_tables(const LandmarkTables& t, bool directed,
+                          std::ostream& out) {
+    write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(t.mode()));
+    if (t.mode() == LandmarkTables::Mode::kNone) return;
+    write_vec(out, t.landmark_nodes_);
+    write_landmark_rows(out, t.dist_rows_);
+    if (directed) write_landmark_rows(out, t.rev_rows_);
+    write_pod<std::uint64_t>(out, t.parent_rows_.size());
+    for (const auto& row : t.parent_rows_) write_vec(out, row);
+    write_vec(out, t.subset_nodes_);
+    write_vec(out, t.to_lm_);
+    if (directed) write_vec(out, t.from_lm_);
+  }
 
-    // Options (what affects query behavior).
-    write_pod(out, o.opt_.alpha);
-    write_pod(out, o.opt_.sampling_constant);
-    write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(o.opt_.strategy));
-    write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(o.opt_.backend));
-    write_pod<std::uint8_t>(out, o.opt_.use_boundary_optimization ? 1 : 0);
-    write_pod<std::uint8_t>(out, o.opt_.iterate_smaller_side ? 1 : 0);
-    write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(o.opt_.fallback));
-    write_pod(out, o.opt_.update_rebuild_fraction);
-    write_pod(out, o.opt_.seed);
+  static void load_tables(std::istream& in, const graph::Graph& g,
+                          bool directed, LandmarkTables& t) {
+    const auto n = g.num_nodes();
+    const auto mode_raw = read_pod<std::uint8_t>(in);
+    require(
+        mode_raw <= static_cast<std::uint8_t>(LandmarkTables::Mode::kSubset),
+        "corrupt landmark-table mode");
+    const auto mode = static_cast<LandmarkTables::Mode>(mode_raw);
+    t.mode_ = mode;
+    t.directed_ = directed;
+    if (mode == LandmarkTables::Mode::kNone) return;
+    t.landmark_nodes_ = read_vec<NodeId>(in);
+    t.landmark_index_.assign(n, kInvalidNode);
+    for (std::size_t i = 0; i < t.landmark_nodes_.size(); ++i) {
+      require(t.landmark_nodes_[i] < n, "table landmark out of range");
+      t.landmark_index_[t.landmark_nodes_[i]] = static_cast<NodeId>(i);
+    }
+    const auto rows = read_pod<std::uint64_t>(in);
+    require(rows <= n, "corrupt landmark row count");
+    t.dist_rows_.resize(rows);
+    for (auto& row : t.dist_rows_) {
+      row = read_vec<Distance>(in);
+      require(row.size() == n, "landmark row has wrong length");
+    }
+    if (directed) {
+      const auto rrows = read_pod<std::uint64_t>(in);
+      require(rrows == rows, "corrupt reverse landmark row count");
+      t.rev_rows_.resize(rrows);
+      for (auto& row : t.rev_rows_) {
+        row = read_vec<Distance>(in);
+        require(row.size() == n, "reverse landmark row has wrong length");
+      }
+    }
+    const auto prows = read_pod<std::uint64_t>(in);
+    require(prows == 0 || prows == rows, "corrupt parent row count");
+    t.parent_rows_.resize(prows);
+    for (auto& row : t.parent_rows_) {
+      row = read_vec<NodeId>(in);
+      require(row.size() == n, "parent row has wrong length");
+    }
+    t.subset_nodes_ = read_vec<NodeId>(in);
+    t.subset_index_.assign(n, kInvalidNode);
+    for (std::size_t i = 0; i < t.subset_nodes_.size(); ++i) {
+      require(t.subset_nodes_[i] < n, "subset node out of range");
+      t.subset_index_[t.subset_nodes_[i]] = static_cast<NodeId>(i);
+    }
+    t.to_lm_ = read_vec<Distance>(in);
+    if (directed) t.from_lm_ = read_vec<Distance>(in);
+    if (mode == LandmarkTables::Mode::kFull) {
+      require(t.dist_rows_.size() == t.landmark_nodes_.size(),
+              "landmark row count mismatch");
+    } else {
+      require(t.to_lm_.size() ==
+                  t.subset_nodes_.size() * t.landmark_nodes_.size(),
+              "subset table has wrong length");
+      if (directed) {
+        require(t.from_lm_.size() == t.to_lm_.size(),
+                "subset from-landmark table has wrong length");
+      }
+    }
+  }
+
+  // ---- Undirected oracle (body layout unchanged since version 2) -------
+  static void save(const VicinityOracle& o, std::ostream& out) {
+    write_header(out, BackendTag::kUndirected);
+    write_graph_shape(out, o.graph());
+    write_options(out, o.opt_);
 
     write_vec(out, o.landmarks_.nodes);
     write_vec(out, o.nearest_.dist);
     write_vec(out, o.nearest_.landmark);
 
-    // Vicinities.
     write_vec(out, o.indexed_);
-    for (const NodeId u : o.indexed_) {
-      write_pod<Distance>(out, o.store_.radius(u));
-      write_pod<NodeId>(out, o.store_.nearest_landmark(u));
-      std::vector<MemberRecord> members;
-      members.reserve(o.store_.vicinity_size(u));
-      const Distance radius = o.store_.radius(u);
-      o.store_.for_each_member(u, [&](NodeId v, const StoredEntry& e) {
-        MemberRecord rec{v, e.dist, e.parent, 0, {0, 0, 0}};
-        if (e.dist < radius) rec.flags |= 1;
-        members.push_back(rec);
-      });
-      const auto bview = o.store_.boundary(u);
-      util::FlatHashSet<NodeId> on_boundary(bview.nodes.size());
-      for (const NodeId b : bview.nodes) on_boundary.insert(b);
-      for (auto& rec : members) {
-        if (on_boundary.contains(rec.node)) rec.flags |= 2;
-      }
-      write_vec(out, members);
-    }
+    for (const NodeId u : o.indexed_) write_store_slot(out, o.store_, u);
 
-    // Landmark tables.
-    write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(o.tables_.mode()));
-    if (o.tables_.mode() != LandmarkTables::Mode::kNone) {
-      const LandmarkTables& t = o.tables_;
-      write_vec(out, t.landmark_nodes_);
-      write_pod<std::uint64_t>(out, t.dist_rows_.size());
-      for (const auto& row : t.dist_rows_) write_vec(out, row);
-      write_pod<std::uint64_t>(out, t.parent_rows_.size());
-      for (const auto& row : t.parent_rows_) write_vec(out, row);
-      write_vec(out, t.subset_nodes_);
-      write_vec(out, t.to_lm_);
-    }
+    save_tables(o.tables_, /*directed=*/false, out);
     if (!out) throw std::runtime_error("oracle index: write failed");
   }
 
-  static VicinityOracle load(std::istream& in, const graph::Graph& g) {
-    char header[8];
-    in.read(header, sizeof(header));
-    if (!in || std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
-      throw std::runtime_error("oracle index: bad magic");
-    }
-    if (header[6] < '0' || header[6] > '9' || header[7] < '0' ||
-        header[7] > '9') {
-      throw std::runtime_error("oracle index: corrupt format version");
-    }
-    const int version = (header[6] - '0') * 10 + (header[7] - '0');
-    if (version != kFormatVersion) {
-      throw std::runtime_error(
-          "oracle index: unsupported format version " +
-          std::to_string(version) + " (this build reads version " +
-          std::to_string(kFormatVersion) + "; rebuild the index)");
-    }
-    const auto n = read_pod<std::uint64_t>(in);
-    const auto arcs = read_pod<std::uint64_t>(in);
-    const bool directed = read_pod<std::uint8_t>(in) != 0;
-    const bool weighted = read_pod<std::uint8_t>(in) != 0;
-    if (n != g.num_nodes() || arcs != g.num_arcs() ||
-        directed != g.directed() || weighted != g.weighted()) {
-      throw std::runtime_error("oracle index: graph shape mismatch");
-    }
-
+  static VicinityOracle load_body(std::istream& in, const graph::Graph& g) {
+    check_graph_shape(in, g);
     VicinityOracle o;
     o.g_ = &g;
-    o.opt_.alpha = read_pod<double>(in);
-    o.opt_.sampling_constant = read_pod<double>(in);
-    const auto strategy_raw = read_pod<std::uint8_t>(in);
-    require(strategy_raw <= static_cast<std::uint8_t>(
-                                SamplingStrategy::kTopDegree),
-            "corrupt sampling strategy");
-    o.opt_.strategy = static_cast<SamplingStrategy>(strategy_raw);
-    const auto backend_raw = read_pod<std::uint8_t>(in);
-    require(backend_raw <=
-                static_cast<std::uint8_t>(StoreBackend::kStdUnorderedMap),
-            "corrupt store backend");
-    o.opt_.backend = static_cast<StoreBackend>(backend_raw);
-    o.opt_.use_boundary_optimization = read_pod<std::uint8_t>(in) != 0;
-    o.opt_.iterate_smaller_side = read_pod<std::uint8_t>(in) != 0;
-    const auto fallback_raw = read_pod<std::uint8_t>(in);
-    require(fallback_raw <=
-                static_cast<std::uint8_t>(Fallback::kLandmarkEstimate),
-            "corrupt fallback mode");
-    o.opt_.fallback = static_cast<Fallback>(fallback_raw);
-    // Values above 1 are legitimate ("never fall back to a full rebuild");
-    // only negatives and NaN (which fails >= 0) are corrupt.
-    o.opt_.update_rebuild_fraction = read_pod<double>(in);
-    require(o.opt_.update_rebuild_fraction >= 0.0,
-            "corrupt update-rebuild fraction");
-    o.opt_.seed = read_pod<std::uint64_t>(in);
+    o.opt_ = read_options(in);
+    o.landmarks_ = read_landmark_set(in, o.opt_, g);
+    o.nearest_ = read_nearest(in, g.num_nodes());
 
-    o.landmarks_.nodes = read_vec<NodeId>(in);
-    o.landmarks_.alpha = o.opt_.alpha;
-    o.landmarks_.strategy = o.opt_.strategy;
-    o.landmarks_.member.resize(g.num_nodes());
-    for (const NodeId l : o.landmarks_.nodes) {
-      require(l < n, "landmark id out of range");
-      o.landmarks_.member.set(l);
-    }
-    o.nearest_.dist = read_vec<Distance>(in);
-    o.nearest_.landmark = read_vec<NodeId>(in);
-    require(o.nearest_.dist.size() == n && o.nearest_.landmark.size() == n,
-            "nearest-landmark arrays have wrong length");
-    for (const NodeId l : o.nearest_.landmark) {
-      require(l < n || l == kInvalidNode, "nearest landmark out of range");
-    }
-
-    o.indexed_ = read_vec<NodeId>(in);
-    {
-      util::BitVector seen(g.num_nodes());
-      for (const NodeId u : o.indexed_) {
-        require(u < n, "indexed node out of range");
-        require(!seen.get(u), "duplicate indexed node");
-        seen.set(u);
-      }
-    }
+    o.indexed_ = read_indexed(in, g);
     o.store_ = VicinityStore(g.num_nodes(), o.opt_.backend);
     o.store_.prepare(o.indexed_);
     for (const NodeId u : o.indexed_) {
-      Vicinity v;
-      v.origin = u;
-      v.radius = read_pod<Distance>(in);
-      v.nearest_landmark = read_pod<NodeId>(in);
-      require(v.nearest_landmark < n || v.nearest_landmark == kInvalidNode,
-              "vicinity nearest landmark out of range");
-      const auto members = read_vec<MemberRecord>(in);
-      v.members.reserve(members.size());
-      for (const MemberRecord& rec : members) {
-        require(rec.node < n, "vicinity member out of range");
-        require(rec.parent < n || rec.parent == kInvalidNode,
-                "vicinity parent out of range");
-        VicinityMember m{rec.node, rec.dist, rec.parent,
-                         (rec.flags & 1) != 0, (rec.flags & 2) != 0};
-        if (m.in_ball) ++v.ball_size;
-        if (m.on_boundary) ++v.boundary_size;
-        v.members.push_back(m);
-      }
-      o.store_.set(u, v);
+      read_store_slot(in, g.num_nodes(), u, o.store_);
     }
 
-    const auto mode_raw = read_pod<std::uint8_t>(in);
-    require(mode_raw <= static_cast<std::uint8_t>(LandmarkTables::Mode::kSubset),
-            "corrupt landmark-table mode");
-    const auto mode = static_cast<LandmarkTables::Mode>(mode_raw);
-    if (mode != LandmarkTables::Mode::kNone) {
-      LandmarkTables& t = o.tables_;
-      t.mode_ = mode;
-      t.directed_ = g.directed();
-      t.landmark_nodes_ = read_vec<NodeId>(in);
-      t.landmark_index_.assign(g.num_nodes(), kInvalidNode);
-      for (std::size_t i = 0; i < t.landmark_nodes_.size(); ++i) {
-        require(t.landmark_nodes_[i] < n, "table landmark out of range");
-        t.landmark_index_[t.landmark_nodes_[i]] = static_cast<NodeId>(i);
-      }
-      const auto rows = read_pod<std::uint64_t>(in);
-      require(rows <= n, "corrupt landmark row count");
-      t.dist_rows_.resize(rows);
-      for (auto& row : t.dist_rows_) {
-        row = read_vec<Distance>(in);
-        require(row.size() == n, "landmark row has wrong length");
-      }
-      const auto prows = read_pod<std::uint64_t>(in);
-      require(prows == 0 || prows == rows, "corrupt parent row count");
-      t.parent_rows_.resize(prows);
-      for (auto& row : t.parent_rows_) {
-        row = read_vec<NodeId>(in);
-        require(row.size() == n, "parent row has wrong length");
-      }
-      t.subset_nodes_ = read_vec<NodeId>(in);
-      t.subset_index_.assign(g.num_nodes(), kInvalidNode);
-      for (std::size_t i = 0; i < t.subset_nodes_.size(); ++i) {
-        require(t.subset_nodes_[i] < n, "subset node out of range");
-        t.subset_index_[t.subset_nodes_[i]] = static_cast<NodeId>(i);
-      }
-      t.to_lm_ = read_vec<Distance>(in);
-      if (mode == LandmarkTables::Mode::kFull) {
-        require(t.dist_rows_.size() == t.landmark_nodes_.size(),
-                "landmark row count mismatch");
-      } else {
-        require(t.to_lm_.size() ==
-                    t.subset_nodes_.size() * t.landmark_nodes_.size(),
-                "subset table has wrong length");
-      }
-    }
+    load_tables(in, g, /*directed=*/false, o.tables_);
 
     // Rebuild derived statistics so callers see sane numbers after load.
-    OracleBuildStats stats;
-    stats.indexed_nodes = o.indexed_.size();
-    stats.num_landmarks = o.landmarks_.size();
+    o.build_stats_ = loaded_stats(o.indexed_, o.landmarks_.size(),
+                                  {&o.store_});
+    return o;
+  }
+
+  // ---- Directed oracle (version 3, tag 1) ------------------------------
+  static void save(const DirectedVicinityOracle& o, std::ostream& out) {
+    write_header(out, BackendTag::kDirected);
+    write_graph_shape(out, o.graph());
+    write_options(out, o.opt_);
+
+    write_vec(out, o.landmarks_.nodes);
+    write_vec(out, o.nearest_out_.dist);
+    write_vec(out, o.nearest_out_.landmark);
+    write_vec(out, o.nearest_in_.dist);
+    write_vec(out, o.nearest_in_.landmark);
+
+    write_vec(out, o.indexed_);
     for (const NodeId u : o.indexed_) {
-      stats.mean_vicinity_size +=
-          static_cast<double>(o.store_.vicinity_size(u));
-      stats.mean_boundary_size +=
-          static_cast<double>(o.store_.boundary_size(u));
-      if (o.store_.radius(u) != kInfDistance) {
-        stats.mean_radius += static_cast<double>(o.store_.radius(u));
+      write_store_slot(out, o.out_store_, u);
+      write_store_slot(out, o.in_store_, u);
+    }
+
+    save_tables(o.tables_, /*directed=*/true, out);
+    if (!out) throw std::runtime_error("oracle index: write failed");
+  }
+
+  static DirectedVicinityOracle load_directed_body(std::istream& in,
+                                                   const graph::Graph& g) {
+    check_graph_shape(in, g);
+    DirectedVicinityOracle o;
+    o.g_ = &g;
+    o.opt_ = read_options(in);
+    o.landmarks_ = read_landmark_set(in, o.opt_, g);
+    o.nearest_out_ = read_nearest(in, g.num_nodes());
+    o.nearest_in_ = read_nearest(in, g.num_nodes());
+
+    o.indexed_ = read_indexed(in, g);
+    o.out_store_ = VicinityStore(g.num_nodes(), o.opt_.backend);
+    o.in_store_ = VicinityStore(g.num_nodes(), o.opt_.backend);
+    o.out_store_.prepare(o.indexed_);
+    o.in_store_.prepare(o.indexed_);
+    for (const NodeId u : o.indexed_) {
+      read_store_slot(in, g.num_nodes(), u, o.out_store_);
+      read_store_slot(in, g.num_nodes(), u, o.in_store_);
+    }
+
+    load_tables(in, g, /*directed=*/true, o.tables_);
+
+    o.build_stats_ = loaded_stats(o.indexed_, o.landmarks_.size(),
+                                  {&o.out_store_, &o.in_store_});
+    return o;
+  }
+
+ private:
+  /// Mean vicinity/boundary/radius statistics over `stores` (averaged per
+  /// indexed node, matching build_impl's accounting).
+  static OracleBuildStats loaded_stats(
+      const std::vector<NodeId>& indexed, std::size_t num_landmarks,
+      std::initializer_list<const VicinityStore*> stores) {
+    OracleBuildStats stats;
+    stats.indexed_nodes = indexed.size();
+    stats.num_landmarks = num_landmarks;
+    const auto share = 1.0 / static_cast<double>(stores.size());
+    for (const NodeId u : indexed) {
+      for (const VicinityStore* store : stores) {
+        stats.mean_vicinity_size +=
+            share * static_cast<double>(store->vicinity_size(u));
+        stats.mean_boundary_size +=
+            share * static_cast<double>(store->boundary_size(u));
+      }
+      const VicinityStore* primary = *stores.begin();
+      if (primary->radius(u) != kInfDistance) {
+        stats.mean_radius += static_cast<double>(primary->radius(u));
       }
     }
     const auto cnt =
-        static_cast<double>(std::max<std::size_t>(1, o.indexed_.size()));
+        static_cast<double>(std::max<std::size_t>(1, indexed.size()));
     stats.mean_vicinity_size /= cnt;
     stats.mean_boundary_size /= cnt;
     stats.mean_radius /= cnt;
-    o.build_stats_ = stats;
-    return o;
+    return stats;
   }
 };
 
@@ -330,8 +510,24 @@ void save_oracle_file(const VicinityOracle& oracle, const std::string& path) {
   save_oracle(oracle, f);
 }
 
+void save_oracle(const DirectedVicinityOracle& oracle, std::ostream& out) {
+  OracleSerializer::save(oracle, out);
+}
+
+void save_oracle_file(const DirectedVicinityOracle& oracle,
+                      const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  save_oracle(oracle, f);
+}
+
 VicinityOracle load_oracle(std::istream& in, const graph::Graph& g) {
-  return OracleSerializer::load(in, g);
+  const Header h = read_header(in);
+  if (h.tag != BackendTag::kUndirected) {
+    backend_mismatch(h, "vicinity",
+                     "use load_directed_oracle() or load_any_oracle()");
+  }
+  return OracleSerializer::load_body(in, g);
 }
 
 VicinityOracle load_oracle_file(const std::string& path,
@@ -339,6 +535,44 @@ VicinityOracle load_oracle_file(const std::string& path,
   std::ifstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("cannot open " + path);
   return load_oracle(f, g);
+}
+
+DirectedVicinityOracle load_directed_oracle(std::istream& in,
+                                            const graph::Graph& g) {
+  const Header h = read_header(in);
+  if (h.tag != BackendTag::kDirected) {
+    backend_mismatch(h, "vicinity-directed",
+                     "use load_oracle() or load_any_oracle()");
+  }
+  return OracleSerializer::load_directed_body(in, g);
+}
+
+DirectedVicinityOracle load_directed_oracle_file(const std::string& path,
+                                                 const graph::Graph& g) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return load_directed_oracle(f, g);
+}
+
+std::shared_ptr<AnyOracle> load_any_oracle(std::istream& in,
+                                           const graph::Graph& g) {
+  const Header h = read_header(in);
+  switch (h.tag) {
+    case BackendTag::kUndirected:
+      return make_any_oracle(std::make_shared<VicinityOracle>(
+          OracleSerializer::load_body(in, g)));
+    case BackendTag::kDirected:
+      return make_any_oracle(std::make_shared<DirectedVicinityOracle>(
+          OracleSerializer::load_directed_body(in, g)));
+  }
+  throw std::runtime_error("oracle index: unknown backend tag");
+}
+
+std::shared_ptr<AnyOracle> load_any_oracle_file(const std::string& path,
+                                                const graph::Graph& g) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  return load_any_oracle(f, g);
 }
 
 }  // namespace vicinity::core

@@ -2,25 +2,57 @@
 // graph, skipping preprocessing on restart (practically relevant: the paper
 // targets "offline phase" / "online phase" deployments, §2.1).
 //
-// The container embeds the graph's shape (n, arc count, directedness,
-// weightedness) and a checksum; load_oracle() refuses an index that was
-// built for a different graph.
+// Container format (VCNIDX, version 3): 6-byte magic + 2 ASCII-digit format
+// version + 1 backend-tag byte (0 = undirected vicinity oracle, 1 = directed
+// vicinity oracle), then the backend-specific body. The body embeds the
+// graph's shape (n, arc count, directedness, weightedness); loaders refuse
+// an index that was built for a different graph, a different backend than
+// the requested one, or an unknown tag — each with a versioned
+// std::runtime_error. Version-2 files (undirected only, no tag byte) still
+// load.
+//
+// load_any_oracle() dispatches on the tag and returns the index behind the
+// type-erased core::AnyOracle interface — the symmetric half of
+// AnyOracle::save().
 #pragma once
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 
+#include "core/any_oracle.h"
+#include "core/directed_oracle.h"
 #include "core/oracle.h"
 
 namespace vicinity::core {
 
 void save_oracle(const VicinityOracle& oracle, std::ostream& out);
 void save_oracle_file(const VicinityOracle& oracle, const std::string& path);
+void save_oracle(const DirectedVicinityOracle& oracle, std::ostream& out);
+void save_oracle_file(const DirectedVicinityOracle& oracle,
+                      const std::string& path);
 
 /// The graph must be the one the oracle was built on (shape-checked) and
-/// must outlive the returned oracle.
+/// must outlive the returned oracle. Accepts version-2 files and version-3
+/// files tagged undirected; a directed-tagged file fails with a
+/// runtime_error naming the mismatch.
 VicinityOracle load_oracle(std::istream& in, const graph::Graph& g);
 VicinityOracle load_oracle_file(const std::string& path,
                                 const graph::Graph& g);
+
+/// Directed counterpart: requires a version-3 file tagged directed.
+DirectedVicinityOracle load_directed_oracle(std::istream& in,
+                                            const graph::Graph& g);
+DirectedVicinityOracle load_directed_oracle_file(const std::string& path,
+                                                 const graph::Graph& g);
+
+/// Backend-agnostic load: dispatches on the container's backend tag and
+/// wraps the loaded index in its AnyOracle adapter (mutable, so
+/// apply_update works through QueryEngine). The returned oracle keeps `g`
+/// by reference; `g` must outlive it.
+std::shared_ptr<AnyOracle> load_any_oracle(std::istream& in,
+                                           const graph::Graph& g);
+std::shared_ptr<AnyOracle> load_any_oracle_file(const std::string& path,
+                                                const graph::Graph& g);
 
 }  // namespace vicinity::core

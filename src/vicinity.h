@@ -1,17 +1,29 @@
 // Umbrella header for libvicinity — a reproduction of "Shortest Paths in
 // Less Than a Millisecond" (Agarwal, Caesar, Godfrey, Zhao; WOSN'12).
 //
-// Quick start:
+// Quick start — one facade for every backend (vicinity_index.h):
 //
 //   #include "vicinity.h"
 //   using namespace vicinity;
 //
 //   util::Rng rng(7);
 //   graph::Graph g = gen::powerlaw_cluster(100'000, 9, 0.4, rng);
-//   core::OracleOptions opt;             // alpha = 4 (paper default)
-//   auto oracle = core::VicinityOracle::build(g, opt);
-//   auto r = oracle.distance(12, 3456);  // sub-millisecond, exact
-//   auto p = oracle.path(12, 3456);      // the actual shortest path
+//   auto index = Index::build(g);        // picks the undirected or the
+//                                        // directed oracle from g
+//   auto r = index.distance(12, 3456);   // sub-millisecond, exact
+//   auto p = index.path(12, 3456);       // the actual shortest path
+//
+//   index.save("social.idx");            // offline phase done (§2.1)
+//   auto online = Index::open("social.idx", g);   // online phase: restart
+//   auto engine = online.engine(8);               // concurrent serving
+//   auto results = engine.run_batch(queries);     // + epoch-fenced updates
+//
+// Every backend — undirected/directed vicinity oracles and the TZ, sketch
+// and landmark baselines — serves through the same type-erased
+// core::AnyOracle contract (core/any_oracle.h); probe capabilities()
+// (exact / paths / updatable / directed / persistable) instead of
+// downcasting. The concrete classes (core::VicinityOracle,
+// core::DirectedVicinityOracle, ...) stay available for direct use.
 //
 // See README.md for the architecture overview and bench/ for the
 // experiment harness that regenerates the paper's tables and figures.
@@ -24,10 +36,13 @@
 #include "algo/dijkstra.h"
 #include "algo/naive_bidirectional_bfs.h"
 #include "algo/path.h"
+#include "baselines/baseline_adapters.h"
 #include "baselines/landmark_est.h"
 #include "baselines/sketch_oracle.h"
 #include "baselines/tz_oracle.h"
+#include "core/any_oracle.h"
 #include "core/directed_oracle.h"
+#include "core/dynamic.h"
 #include "core/landmark_table.h"
 #include "core/landmarks.h"
 #include "core/options.h"
@@ -49,9 +64,16 @@
 #include "graph/gstats.h"
 #include "graph/io.h"
 #include "graph/transform.h"
+#include "util/bit_vector.h"
+#include "util/bucket_queue.h"
 #include "util/csv.h"
+#include "util/flat_hash.h"
+#include "util/log.h"
 #include "util/memory.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 #include "util/types.h"
+#include "util/visit_stamp.h"
+#include "vicinity_index.h"

@@ -152,6 +152,25 @@ TEST(OracleTest, PathsAreValidShortestPaths) {
   }
 }
 
+TEST(OracleTest, QueryMethodToStringCoversEveryEnumerator) {
+  // Locked to kNumQueryMethods: appending a QueryMethod without teaching
+  // to_string() about it (or without keeping kNotFound last, which sizes
+  // the QueryStats histogram) fails here instead of desyncing the stats.
+  static_assert(kNumQueryMethods ==
+                static_cast<std::size_t>(QueryMethod::kNotFound) + 1);
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kNumQueryMethods; ++i) {
+    const char* name = to_string(static_cast<QueryMethod>(i));
+    ASSERT_NE(name, nullptr) << "enumerator " << i;
+    EXPECT_STRNE(name, "") << "enumerator " << i;
+    EXPECT_STRNE(name, "?") << "enumerator " << i << " hit the fallthrough";
+    names.insert(name);
+  }
+  // Pairwise distinct: the serving-time histogram labels stay unambiguous.
+  EXPECT_EQ(names.size(), kNumQueryMethods);
+  EXPECT_STREQ(to_string(QueryMethod::kNotFound), "not-found");
+}
+
 TEST(OracleTest, PathCoversEveryMethod) {
   const auto g = testing::random_connected(600, 2400, 161);
   auto opt = defaults();

@@ -1,7 +1,7 @@
 // Fuzz-ish robustness tests for the oracle index loader: mangled headers,
-// corrupt array lengths and truncated files must fail with the intended
-// "oracle index: ..." runtime_error — never a multi-GB allocation,
-// bad_alloc, or out-of-bounds write.
+// corrupt array lengths, wrong backend tags and truncated files must fail
+// with the intended "oracle index: ..." runtime_error — never a multi-GB
+// allocation, bad_alloc, or out-of-bounds write.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -36,10 +36,37 @@ Fixture make_fixture() {
   return f;
 }
 
+Fixture make_directed_fixture() {
+  Fixture f;
+  f.g = testing::random_connected_directed(250, 1800, 1301);
+  OracleOptions opt;
+  opt.alpha = 3.0;
+  opt.seed = 1302;
+  opt.fallback = Fallback::kBidirectionalBfs;
+  const auto oracle = DirectedVicinityOracle::build(f.g, opt);
+  std::ostringstream out(std::ios::binary);
+  save_oracle(oracle, out);
+  f.bytes = out.str();
+  return f;
+}
+
+// Header layout: magic(6) + version(2) + backend tag(1).
+constexpr std::size_t kBackendTagOffset = 8;
+
 // Byte offset of the first vector length field (the landmark node list):
-// magic+version(8) + graph shape(8+8+1+1) +
+// header(9) + graph shape(8+8+1+1) +
 // options(8+8+1+1+1+1+1+8+8: ... fallback, update_rebuild_fraction, seed).
-constexpr std::size_t kFirstVecLenOffset = 63;
+constexpr std::size_t kFirstVecLenOffset = 64;
+
+/// Rewrites valid version-3 undirected bytes into the version-2 layout
+/// (same body, no backend-tag byte) — the pre-PR on-disk format.
+std::string as_version2(const std::string& v3) {
+  std::string v2 = v3.substr(0, kBackendTagOffset) +
+                   v3.substr(kBackendTagOffset + 1);
+  v2[6] = '0';
+  v2[7] = '2';
+  return v2;
+}
 
 TEST(SerializeFuzzTest, ValidBufferLoadsAndAnswers) {
   const Fixture f = make_fixture();
@@ -138,7 +165,7 @@ TEST(SerializeFuzzTest, OldFormatVersionIsRejectedNotMisparsed) {
   const Fixture f = make_fixture();
   std::string mangled = f.bytes;
   ASSERT_EQ(mangled[6], '0');
-  ASSERT_EQ(mangled[7], '2');
+  ASSERT_EQ(mangled[7], '3');
   mangled[7] = '1';
   std::istringstream in(mangled, std::ios::binary);
   try {
@@ -153,7 +180,7 @@ TEST(SerializeFuzzTest, OldFormatVersionIsRejectedNotMisparsed) {
 
 TEST(SerializeFuzzTest, FutureAndGarbageVersionsAreRejected) {
   const Fixture f = make_fixture();
-  for (const char* version : {"03", "99", "12", "00"}) {
+  for (const char* version : {"04", "99", "12", "00"}) {
     std::string mangled = f.bytes;
     mangled[6] = version[0];
     mangled[7] = version[1];
@@ -167,6 +194,102 @@ TEST(SerializeFuzzTest, FutureAndGarbageVersionsAreRejected) {
   mangled[7] = '!';
   std::istringstream in(mangled, std::ios::binary);
   EXPECT_THROW(load_oracle(in, f.g), std::runtime_error);
+}
+
+TEST(SerializeFuzzTest, Version2FilesStillLoad) {
+  // Backward compatibility: a VCNIDX02 file (no backend tag, undirected
+  // body) must load through load_oracle AND load_any_oracle and answer
+  // exactly like the version-3 round trip.
+  const Fixture f = make_fixture();
+  const std::string v2 = as_version2(f.bytes);
+  std::istringstream in3(f.bytes, std::ios::binary);
+  std::istringstream in2(v2, std::ios::binary);
+  auto from_v3 = load_oracle(in3, f.g);
+  auto from_v2 = load_oracle(in2, f.g);
+  QueryContext ctx;
+  util::Rng rng(1204);
+  for (int i = 0; i < 100; ++i) {
+    const auto s = static_cast<NodeId>(rng.next_below(f.g.num_nodes()));
+    const auto t = static_cast<NodeId>(rng.next_below(f.g.num_nodes()));
+    const auto a = from_v3.distance(s, t, ctx);
+    const auto b = from_v2.distance(s, t, ctx);
+    ASSERT_EQ(a.dist, b.dist);
+    ASSERT_EQ(a.method, b.method);
+    ASSERT_EQ(a.hash_lookups, b.hash_lookups);
+  }
+  std::istringstream in_any(v2, std::ios::binary);
+  auto any = load_any_oracle(in_any, f.g);
+  ASSERT_NE(any, nullptr);
+  EXPECT_STREQ(any->backend_name(), "vicinity");
+}
+
+TEST(SerializeFuzzTest, WrongBackendTagFailsWithVersionedError) {
+  // An undirected file retagged as directed must be refused by
+  // load_oracle with an error naming the format version and both backends
+  // — not misparsed as a directed body.
+  const Fixture f = make_fixture();
+  std::string mangled = f.bytes;
+  ASSERT_EQ(mangled[kBackendTagOffset], '\0');
+  mangled[kBackendTagOffset] = 1;
+  std::istringstream in(mangled, std::ios::binary);
+  try {
+    (void)load_oracle(in, f.g);
+    FAIL() << "wrong-backend file loaded";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("backend mismatch"), std::string::npos) << what;
+    EXPECT_NE(what.find("format version 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("vicinity-directed"), std::string::npos) << what;
+  }
+  // The symmetric direction: load_directed_oracle refuses an undirected
+  // tag (and a version-2 file, which is implicitly undirected).
+  std::istringstream clean(f.bytes, std::ios::binary);
+  EXPECT_THROW(load_directed_oracle(clean, f.g), std::runtime_error);
+  std::istringstream v2(as_version2(f.bytes), std::ios::binary);
+  EXPECT_THROW(load_directed_oracle(v2, f.g), std::runtime_error);
+}
+
+TEST(SerializeFuzzTest, UnknownBackendTagIsRejected) {
+  const Fixture f = make_fixture();
+  for (const std::uint8_t tag : {2, 7, 255}) {
+    std::string mangled = f.bytes;
+    mangled[kBackendTagOffset] = static_cast<char>(tag);
+    std::istringstream in(mangled, std::ios::binary);
+    try {
+      (void)load_oracle(in, f.g);
+      FAIL() << "unknown tag " << int(tag) << " loaded";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("unknown backend tag"),
+                std::string::npos)
+          << e.what();
+    }
+    std::istringstream in_any(mangled, std::ios::binary);
+    EXPECT_THROW((void)load_any_oracle(in_any, f.g), std::runtime_error);
+  }
+}
+
+TEST(SerializeFuzzTest, DirectedTruncationAndCorruptionAreGraceful) {
+  const Fixture f = make_directed_fixture();
+  ASSERT_GT(f.bytes.size(), 200u);
+  for (std::size_t cut = 0; cut < f.bytes.size();
+       cut += (cut < 256 ? 1 : 997)) {
+    std::istringstream in(f.bytes.substr(0, cut), std::ios::binary);
+    EXPECT_THROW(load_directed_oracle(in, f.g), std::runtime_error)
+        << "cut=" << cut;
+  }
+  const std::size_t limit = std::min<std::size_t>(f.bytes.size(), 384);
+  for (std::size_t pos = 0; pos < limit; ++pos) {
+    std::string mangled = f.bytes;
+    mangled[pos] = static_cast<char>(mangled[pos] ^ 0x5a);
+    std::istringstream in(mangled, std::ios::binary);
+    try {
+      (void)load_directed_oracle(in, f.g);
+    } catch (const std::bad_alloc&) {
+      FAIL() << "bad_alloc at pos=" << pos;
+    } catch (const std::runtime_error&) {
+      // expected for most positions
+    }
+  }
 }
 
 TEST(SerializeFuzzTest, RoundTripPreservesUpdateRebuildFraction) {

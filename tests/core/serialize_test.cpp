@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <vector>
 
+#include "core/query_engine.h"
 #include "test_support.h"
 
 namespace vicinity::core {
@@ -102,6 +104,106 @@ TEST(SerializeTest, FileHelpers) {
   EXPECT_EQ(loaded.landmarks().size(), oracle.landmarks().size());
   EXPECT_THROW(load_oracle_file("/nonexistent/oracle.idx", g),
                std::runtime_error);
+}
+
+// ---- Directed oracle (VCNIDX03, backend tag 1) --------------------------
+
+TEST(SerializeTest, DirectedRoundTripAnswersBitIdentical) {
+  const auto g = testing::random_connected_directed(500, 4000, 409);
+  OracleOptions o = opts();
+  o.fallback = Fallback::kBidirectionalBfs;
+  auto oracle = DirectedVicinityOracle::build(g, o);
+  std::stringstream buf;
+  save_oracle(oracle, buf);
+  auto loaded = load_directed_oracle(buf, g);
+
+  EXPECT_EQ(loaded.landmarks().nodes, oracle.landmarks().nodes);
+  EXPECT_EQ(loaded.memory_stats().vicinity_entries,
+            oracle.memory_stats().vicinity_entries);
+  EXPECT_EQ(loaded.memory_stats().landmark_entries,
+            oracle.memory_stats().landmark_entries);
+
+  QueryContext a, b;
+  util::Rng rng(410);
+  for (int i = 0; i < 400; ++i) {
+    const auto s = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto t = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto x = oracle.distance(s, t, a);
+    const auto y = loaded.distance(s, t, b);
+    ASSERT_EQ(x.dist, y.dist) << s << "->" << t;
+    ASSERT_EQ(x.method, y.method);
+    ASSERT_EQ(x.hash_lookups, y.hash_lookups);
+    ASSERT_EQ(x.exact, y.exact);
+  }
+}
+
+TEST(SerializeTest, DirectedRoundTripPreservesPaths) {
+  const auto g = testing::random_connected_directed(350, 2800, 411);
+  OracleOptions o = opts();
+  o.fallback = Fallback::kBidirectionalBfs;
+  auto oracle = DirectedVicinityOracle::build(g, o);
+  std::stringstream buf;
+  save_oracle(oracle, buf);
+  auto loaded = load_directed_oracle(buf, g);
+  QueryContext a, b;
+  util::Rng rng(412);
+  for (int i = 0; i < 80; ++i) {
+    const auto s = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto t = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    EXPECT_EQ(oracle.path(s, t, a).path, loaded.path(s, t, b).path);
+  }
+}
+
+TEST(SerializeTest, DirectedRejectsWrongGraph) {
+  const auto g = testing::random_connected_directed(300, 2400, 413);
+  auto oracle = DirectedVicinityOracle::build(g, opts());
+  std::stringstream buf;
+  save_oracle(oracle, buf);
+  const auto other = testing::random_connected_directed(320, 2600, 414);
+  EXPECT_THROW(load_directed_oracle(buf, other), std::runtime_error);
+}
+
+TEST(SerializeTest, DirectedFileHelpers) {
+  const auto g = testing::random_connected_directed(150, 1000, 415);
+  auto oracle = DirectedVicinityOracle::build(g, opts());
+  const std::string path = ::testing::TempDir() + "/directed_oracle.idx";
+  save_oracle_file(oracle, path);
+  auto loaded = load_directed_oracle_file(path, g);
+  EXPECT_EQ(loaded.landmarks().size(), oracle.landmarks().size());
+  // The backend-agnostic loader dispatches to the directed backend.
+  auto any = load_any_oracle_file(path, g);
+  ASSERT_NE(any, nullptr);
+  EXPECT_STREQ(any->backend_name(), "vicinity-directed");
+  ASSERT_NE(any->as_directed(), nullptr);
+  QueryContext ctx;
+  util::Rng rng(416);
+  for (int i = 0; i < 60; ++i) {
+    const auto s = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto t = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    EXPECT_EQ(any->distance(s, t, ctx).dist, oracle.distance(s, t, ctx).dist);
+  }
+}
+
+TEST(SerializeTest, DirectedSubsetOracleRoundTrips) {
+  const auto g = testing::random_connected_directed(900, 7200, 417);
+  util::Rng rng(418);
+  std::vector<NodeId> sample;
+  for (int i = 0; i < 120; ++i) {
+    sample.push_back(static_cast<NodeId>(rng.next_below(g.num_nodes())));
+  }
+  auto oracle = DirectedVicinityOracle::build_for(g, opts(), sample);
+  std::stringstream buf;
+  save_oracle(oracle, buf);
+  auto loaded = load_directed_oracle(buf, g);
+  QueryContext a, b;
+  for (std::size_t i = 0; i + 1 < sample.size(); ++i) {
+    const NodeId s = sample[i];
+    const NodeId t = sample[i + 1];
+    const auto x = oracle.distance(s, t, a);
+    const auto y = loaded.distance(s, t, b);
+    ASSERT_EQ(x.dist, y.dist) << s << "->" << t;
+    ASSERT_EQ(x.method, y.method);
+  }
 }
 
 }  // namespace

@@ -75,6 +75,15 @@ inline graph::Graph random_connected(NodeId n, std::uint64_t m,
              : g;
 }
 
+/// Random directed graph restricted to its largest weakly-connected
+/// component (individual node pairs may still be mutually unreachable).
+inline graph::Graph random_connected_directed(NodeId n, std::uint64_t m,
+                                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto g = gen::erdos_renyi_directed(n, m, rng);
+  return graph::largest_component(g).graph;
+}
+
 /// Exact reference distance (BFS or Dijkstra depending on weights).
 inline Distance ref_distance(const graph::Graph& g, NodeId s, NodeId t) {
   if (g.weighted()) return algo::dijkstra(g, s).dist[t];
