@@ -1,15 +1,19 @@
 // M1 — micro-benchmarks of the primitives on the oracle's hot paths
 // (google-benchmark): hash probes, stamped-set resets, truncated vicinity
-// builds, point-to-point searches.
+// builds, point-to-point searches, and the vicinity-intersection kernels
+// (hash-probe loop vs sorted-array merge vs galloping) across size skew.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <unordered_map>
+#include <vector>
 
 #include "algo/bfs.h"
 #include "algo/bidirectional_bfs.h"
 #include "algo/dijkstra.h"
 #include "core/landmarks.h"
 #include "core/vicinity_builder.h"
+#include "core/vicinity_store.h"
 #include "gen/powerlaw_cluster.h"
 #include "graph/transform.h"
 #include "util/flat_hash.h"
@@ -129,6 +133,89 @@ void BM_BucketVsHeapDijkstra(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BucketVsHeapDijkstra)->Arg(0)->Arg(1);
+
+// ---- Intersection kernels (the packed backend's hot path) ---------------
+//
+// Two vicinity-like sorted id arrays with parallel distances and a
+// controlled overlap; args = {|iterated side|, |probed side|}, covering the
+// balanced case and both skew directions. The hash-probe variant is the
+// paper's per-member lookup loop; merge and gallop are the packed kernels.
+
+struct IntersectFixture {
+  std::vector<NodeId> a_nodes, b_nodes;
+  std::vector<Distance> a_dists, b_dists;
+  util::FlatHashMap<NodeId, Distance> b_table;
+
+  IntersectFixture(std::size_t na, std::size_t nb) : b_table(nb) {
+    util::Rng rng(99);
+    auto gen_arr = [&](std::size_t n, std::vector<NodeId>& ids,
+                       std::vector<Distance>& dists) {
+      NodeId cur = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        cur += 1 + static_cast<NodeId>(rng.next_below(7));  // ~29% overlap
+        ids.push_back(cur);
+        dists.push_back(1 + static_cast<Distance>(rng.next_below(5)));
+      }
+    };
+    gen_arr(na, a_nodes, a_dists);
+    gen_arr(nb, b_nodes, b_dists);
+    for (std::size_t i = 0; i < nb; ++i) {
+      b_table.insert_or_assign(b_nodes[i], b_dists[i]);
+    }
+  }
+};
+
+void BM_IntersectHashProbe(benchmark::State& state) {
+  const IntersectFixture f(static_cast<std::size_t>(state.range(0)),
+                           static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    Distance best = kInfDistance;
+    for (std::size_t i = 0; i < f.a_nodes.size(); ++i) {
+      if (const Distance* d = f.b_table.find(f.a_nodes[i])) {
+        best = std::min(best, dist_add(f.a_dists[i], *d));
+      }
+    }
+    benchmark::DoNotOptimize(best);
+  }
+}
+
+void BM_IntersectMerge(benchmark::State& state) {
+  const IntersectFixture f(static_cast<std::size_t>(state.range(0)),
+                           static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::detail::merge_intersect_min(
+        f.a_nodes, f.a_dists, f.b_nodes, f.b_dists));
+  }
+}
+
+void BM_IntersectGallop(benchmark::State& state) {
+  const IntersectFixture f(static_cast<std::size_t>(state.range(0)),
+                           static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::detail::gallop_intersect_min(
+        f.a_nodes, f.a_dists, f.b_nodes, f.b_dists));
+  }
+}
+
+void BM_IntersectAdaptive(benchmark::State& state) {
+  const IntersectFixture f(static_cast<std::size_t>(state.range(0)),
+                           static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::detail::intersect_sorted_min(
+        f.a_nodes, f.a_dists, f.b_nodes, f.b_dists));
+  }
+}
+
+// {iterated, probed}: balanced (paper's typical ∂Γ × Γ), mildly skewed, and
+// hub-vs-leaf skew where galloping pays off.
+#define INTERSECT_ARGS \
+  ->Args({64, 64})->Args({64, 512})->Args({64, 4096})->Args({512, 512}) \
+      ->Args({512, 8192})->Args({32, 32768})
+BENCHMARK(BM_IntersectHashProbe) INTERSECT_ARGS;
+BENCHMARK(BM_IntersectMerge) INTERSECT_ARGS;
+BENCHMARK(BM_IntersectGallop) INTERSECT_ARGS;
+BENCHMARK(BM_IntersectAdaptive) INTERSECT_ARGS;
+#undef INTERSECT_ARGS
 
 }  // namespace
 

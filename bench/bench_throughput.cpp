@@ -17,7 +17,13 @@
 //   bench_throughput [--scale N] [--edges-per-node K] [--queries Q]
 //                    [--threads 1,2,4,8] [--alpha A] [--seed S] [--reps R]
 //                    [--directed] [--backend vicinity|tz|sketch|landmarks]
+//                    [--store-backend packed|flat|std]
 //                    [--json PATH|-] [--quick]
+//
+// --store-backend selects the vicinity-storage layout for the vicinity
+// backends (core::StoreBackend): the packed sorted-slice arena (default),
+// the flat open-addressing tables, or the paper's std::unordered_map — the
+// three-way serving ablation behind BENCH_pr5.json.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -55,8 +61,9 @@ struct Options {
   std::uint64_t seed = 42;
   unsigned reps = 3;
   bool directed = false;
-  std::string backend = "vicinity";  ///< vicinity|tz|sketch|landmarks
-  std::string json;                  ///< empty = no JSON; "-" = stdout
+  std::string backend = "vicinity";       ///< vicinity|tz|sketch|landmarks
+  std::string store_backend = "packed";   ///< packed|flat|std
+  std::string json;                       ///< empty = no JSON; "-" = stdout
 };
 
 [[noreturn]] void usage_and_exit(const char* argv0) {
@@ -64,7 +71,8 @@ struct Options {
             << " [--scale N] [--edges-per-node K] [--queries Q]\n"
                "       [--threads 1,2,4,8] [--alpha A] [--seed S] [--reps R]\n"
                "       [--directed] [--backend vicinity|tz|sketch|landmarks]\n"
-               "       [--json PATH|-] [--quick]\n";
+               "       [--store-backend packed|flat|std] [--json PATH|-]\n"
+               "       [--quick]\n";
   std::exit(2);
 }
 
@@ -105,6 +113,13 @@ Options parse_args(int argc, char** argv) {
         std::cerr << "unknown backend: " << o.backend << "\n";
         usage_and_exit(argv[0]);
       }
+    } else if (arg == "--store-backend") {
+      o.store_backend = next_value(i);
+      if (o.store_backend != "packed" && o.store_backend != "flat" &&
+          o.store_backend != "std") {
+        std::cerr << "unknown store backend: " << o.store_backend << "\n";
+        usage_and_exit(argv[0]);
+      }
     } else if (arg == "--json") {
       o.json = next_value(i);
     } else if (arg == "--quick") {
@@ -118,6 +133,10 @@ Options parse_args(int argc, char** argv) {
   }
   if (o.directed && o.backend != "vicinity") {
     std::cerr << "--directed supports only the vicinity backend\n";
+    usage_and_exit(argv[0]);
+  }
+  if (o.backend != "vicinity" && o.store_backend != "packed") {
+    std::cerr << "--store-backend applies only to the vicinity backends\n";
     usage_and_exit(argv[0]);
   }
   return o;
@@ -140,6 +159,12 @@ struct BuiltBackend {
   std::size_t landmarks = 0;  ///< 0 for backends without landmark sets
 };
 
+core::StoreBackend parse_store_backend(const std::string& name) {
+  if (name == "flat") return core::StoreBackend::kFlatHash;
+  if (name == "std") return core::StoreBackend::kStdUnorderedMap;
+  return core::StoreBackend::kPacked;
+}
+
 BuiltBackend build_backend(const Options& opt, const graph::Graph& g) {
   BuiltBackend b;
   if (opt.directed) {
@@ -147,6 +172,7 @@ BuiltBackend build_backend(const Options& opt, const graph::Graph& g) {
     oracle_opt.alpha = opt.alpha;
     oracle_opt.seed = opt.seed + 1;
     oracle_opt.fallback = core::Fallback::kBidirectionalBfs;
+    oracle_opt.backend = parse_store_backend(opt.store_backend);
     auto o = core::DirectedVicinityOracle::build(g, oracle_opt);
     b.landmarks = o.build_stats().num_landmarks;
     b.oracle = core::make_any_oracle(std::move(o));
@@ -155,6 +181,7 @@ BuiltBackend build_backend(const Options& opt, const graph::Graph& g) {
     oracle_opt.alpha = opt.alpha;
     oracle_opt.seed = opt.seed + 1;
     oracle_opt.fallback = core::Fallback::kBidirectionalBfs;
+    oracle_opt.backend = parse_store_backend(opt.store_backend);
     oracle_opt.build_threads = 0;  // hardware concurrency
     auto o = core::VicinityOracle::build(g, oracle_opt);
     b.landmarks = o.build_stats().num_landmarks;
@@ -195,10 +222,11 @@ int main(int argc, char** argv) {
   util::Timer build_timer;
   const BuiltBackend built = build_backend(opt, g);
   const double build_seconds = build_timer.elapsed_seconds();
-  std::printf("backend '%s' [%s]: alpha=%.1f, %zu landmarks, built in %.1fs\n",
-              built.oracle->backend_name(),
-              built.oracle->capabilities().to_string().c_str(), opt.alpha,
-              built.landmarks, build_seconds);
+  std::printf(
+      "backend '%s' [%s] store=%s: alpha=%.1f, %zu landmarks, built in %.1fs\n",
+      built.oracle->backend_name(),
+      built.oracle->capabilities().to_string().c_str(),
+      opt.store_backend.c_str(), opt.alpha, built.landmarks, build_seconds);
 
   const unsigned max_threads =
       *std::max_element(opt.threads.begin(), opt.threads.end());
@@ -270,6 +298,7 @@ int main(int argc, char** argv) {
        << ", \"nodes\": " << g.num_nodes() << ", \"arcs\": " << g.num_arcs()
        << ", \"directed\": " << (opt.directed ? "true" : "false") << "},\n"
        << "  \"backend\": \"" << built.oracle->backend_name() << "\",\n"
+       << "  \"store_backend\": \"" << opt.store_backend << "\",\n"
        << "  \"oracle\": {\"alpha\": " << opt.alpha
        << ", \"landmarks\": " << built.landmarks
        << ", \"build_seconds\": " << build_seconds << "},\n"

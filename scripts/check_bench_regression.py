@@ -2,10 +2,11 @@
 """bench-smoke gate: merge bench JSON outputs and fail on perf regressions.
 
 Reads the JSON emitted by `bench_throughput --json` (undirected and,
-optionally, `--directed`) and `bench_updates --json`, extracts the headline
-metrics, writes the combined BENCH report (the repo's perf-trajectory
-record, uploaded as a CI artifact), and exits non-zero when any metric
-regresses more than the tolerance against the checked-in baseline.
+optionally, `--directed` and `--store-backend packed`) and
+`bench_updates --json`, extracts the headline metrics, writes the combined
+BENCH report (the repo's perf-trajectory record, uploaded as a CI
+artifact), and exits non-zero when any metric regresses more than the
+tolerance against the checked-in baseline.
 
 Metrics measured but absent from the baseline file are treated as "record
 new baseline": they are printed, stamped into the report with ok=true, and
@@ -20,9 +21,9 @@ hot path — rather than runner-to-runner noise.
 
 Usage:
   check_bench_regression.py --throughput tp.json --updates up.json \
-      [--directed-throughput tpd.json] \
+      [--directed-throughput tpd.json] [--packed-throughput tpp.json] \
       --baseline bench/baselines/bench_smoke_baseline.json \
-      --out BENCH_pr4.json [--tolerance 0.20]
+      --out BENCH_pr5.json [--tolerance 0.20]
 
 Stdlib only; no third-party dependencies.
 """
@@ -71,6 +72,9 @@ def main():
     ap.add_argument("--directed-throughput", default=None,
                     help="bench_throughput --directed output; metrics gain "
                          "a directed_ prefix")
+    ap.add_argument("--packed-throughput", default=None,
+                    help="bench_throughput --store-backend packed output; "
+                         "metrics gain a packed_ prefix")
     ap.add_argument("--baseline", required=True)
     ap.add_argument("--out", required=True)
     ap.add_argument("--tolerance", type=float, default=None,
@@ -90,6 +94,10 @@ def main():
     if args.directed_throughput:
         directed = load_json(args.directed_throughput)
         metrics.update(throughput_metrics(directed, prefix="directed_"))
+    packed = None
+    if args.packed_throughput:
+        packed = load_json(args.packed_throughput)
+        metrics.update(throughput_metrics(packed, prefix="packed_"))
 
     baseline_metrics = baseline["metrics"]
     failures = []
@@ -150,6 +158,8 @@ def main():
     }
     if directed is not None:
         report["directed_throughput"] = directed
+    if packed is not None:
+        report["packed_throughput"] = packed
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2)
         f.write("\n")

@@ -102,6 +102,9 @@ DirectedVicinityOracle DirectedVicinityOracle::build_impl(
     }
     stats.construction_arcs_scanned += vo.arcs_scanned + vi.arcs_scanned;
   }
+  // Packed backend: stitch the per-slot staged slices into the arenas.
+  o.out_store_.pack();
+  o.in_store_.pack();
 
   if (options.store_landmark_tables) {
     const bool full_rows = o.indexed_.size() == g.num_nodes() ||
@@ -142,6 +145,9 @@ void DirectedVicinityOracle::rebuild_vicinities(
           u, builder.build(u, nearest_in_.dist[u], nearest_in_.landmark[u]));
     }
   }
+  // Occasional compaction of repair-staged slices (packed backend).
+  out_store_.pack_if_needed();
+  in_store_.pack_if_needed();
 }
 
 UpdateStats DirectedVicinityOracle::apply_update(graph::Graph& g,
@@ -320,49 +326,54 @@ QueryResult DirectedVicinityOracle::distance_impl(NodeId s, NodeId t,
   const bool have_s = out_store_.has(s);
   const bool have_t = in_store_.has(t);
   if (have_s) {
-    const StoredEntry* e = out_store_.find(s, t);
+    const ProbeResult e = out_store_.find(s, t);
     ++lookups;
-    if (e) {
-      return QueryResult{e->dist, QueryMethod::kTargetInSourceVicinity,
+    if (e.found) {
+      return QueryResult{e.dist, QueryMethod::kTargetInSourceVicinity,
                          lookups, true};
     }
   }
   if (have_t) {
-    const StoredEntry* e = in_store_.find(t, s);
+    const ProbeResult e = in_store_.find(t, s);
     ++lookups;
-    if (e) {
-      return QueryResult{e->dist, QueryMethod::kSourceInTargetVicinity,
+    if (e.found) {
+      return QueryResult{e.dist, QueryMethod::kSourceInTargetVicinity,
                          lookups, true};
     }
   }
   if (have_s && have_t) {
-    // Intersection of Γ_out(s) with Γ_in(t); iterate the smaller boundary.
+    // Intersection of Γ_out(s) with Γ_in(t); the iteration side minimizes
+    // the estimated kernel cost (boundary size × probe cost — see
+    // VicinityOracle::intersect), not the boundary size alone.
     // Weighted soundness guard as in VicinityOracle::intersect().
     const Distance accept_limit =
         dist_add(out_store_.radius(s), in_store_.radius(t));
     const bool iterate_out =
         !opt_.iterate_smaller_side ||
-        out_store_.boundary_size(s) <= in_store_.boundary_size(t);
+        in_store_.intersect_cost(out_store_.boundary_size(s), t) <=
+            out_store_.intersect_cost(in_store_.boundary_size(t), s);
     Distance best = kInfDistance;
     if (opt_.use_boundary_optimization) {
       const auto view =
           iterate_out ? out_store_.boundary(s) : in_store_.boundary(t);
       const VicinityStore& other = iterate_out ? in_store_ : out_store_;
       const NodeId other_node = iterate_out ? t : s;
-      for (std::size_t i = 0; i < view.nodes.size(); ++i) {
-        const StoredEntry* e = other.find(other_node, view.nodes[i]);
-        ++lookups;
-        if (e) best = std::min(best, dist_add(view.dists[i], e->dist));
-      }
+      best = other.intersect_min(view, other_node, lookups);
     } else {
-      const VicinityStore& mine = iterate_out ? out_store_ : in_store_;
-      const VicinityStore& other = iterate_out ? in_store_ : out_store_;
-      const NodeId my_node = iterate_out ? s : t;
-      const NodeId other_node = iterate_out ? t : s;
+      // Full-iteration ablation: per-member probes, so the side choice
+      // uses the probe-scan model over the full vicinity sizes.
+      const bool scan_out =
+          !opt_.iterate_smaller_side ||
+          in_store_.scan_probe_cost(out_store_.vicinity_size(s), t) <=
+              out_store_.scan_probe_cost(in_store_.vicinity_size(t), s);
+      const VicinityStore& mine = scan_out ? out_store_ : in_store_;
+      const VicinityStore& other = scan_out ? in_store_ : out_store_;
+      const NodeId my_node = scan_out ? s : t;
+      const NodeId other_node = scan_out ? t : s;
       mine.for_each_member(my_node, [&](NodeId w, const StoredEntry& we) {
-        const StoredEntry* e = other.find(other_node, w);
+        const ProbeResult e = other.find(other_node, w);
         ++lookups;
-        if (e) best = std::min(best, dist_add(we.dist, e->dist));
+        if (e.found) best = std::min(best, dist_add(we.dist, e.dist));
       });
     }
     if (best != kInfDistance && best <= accept_limit) {
@@ -413,11 +424,11 @@ bool DirectedVicinityOracle::chase_out(NodeId origin, NodeId from,
   NodeId cur = from;
   out.push_back(cur);
   while (cur != origin) {
-    const StoredEntry* e = out_store_.find(origin, cur);
-    if (e == nullptr || e->parent == kInvalidNode || e->parent == cur) {
+    const ProbeResult e = out_store_.find(origin, cur);
+    if (!e.found || e.parent == kInvalidNode || e.parent == cur) {
       return false;
     }
-    cur = e->parent;
+    cur = e.parent;
     out.push_back(cur);
   }
   return true;
@@ -430,11 +441,11 @@ bool DirectedVicinityOracle::chase_in(NodeId origin, NodeId from,
   NodeId cur = from;
   out.push_back(cur);
   while (cur != origin) {
-    const StoredEntry* e = in_store_.find(origin, cur);
-    if (e == nullptr || e->parent == kInvalidNode || e->parent == cur) {
+    const ProbeResult e = in_store_.find(origin, cur);
+    if (!e.found || e.parent == kInvalidNode || e.parent == cur) {
       return false;
     }
-    cur = e->parent;
+    cur = e.parent;
     out.push_back(cur);
   }
   return true;
@@ -480,20 +491,20 @@ PathResult DirectedVicinityOracle::path(NodeId s, NodeId t,
   }
 
   if (out_store_.has(s)) {
-    if (const StoredEntry* e = out_store_.find(s, t)) {
+    if (const ProbeResult e = out_store_.find(s, t)) {
       std::vector<NodeId> rev;
       if (chase_out(s, t, rev)) {
         std::reverse(rev.begin(), rev.end());
-        return PathResult{e->dist, std::move(rev),
+        return PathResult{e.dist, std::move(rev),
                           QueryMethod::kTargetInSourceVicinity, true};
       }
     }
   }
   if (in_store_.has(t)) {
-    if (const StoredEntry* e = in_store_.find(t, s)) {
+    if (const ProbeResult e = in_store_.find(t, s)) {
       std::vector<NodeId> walk;
       if (chase_in(t, s, walk)) {
-        return PathResult{e->dist, std::move(walk),
+        return PathResult{e.dist, std::move(walk),
                           QueryMethod::kSourceInTargetVicinity, true};
       }
     }
@@ -505,9 +516,9 @@ PathResult DirectedVicinityOracle::path(NodeId s, NodeId t,
     Distance best = kInfDistance;
     NodeId witness = kInvalidNode;
     for (std::size_t i = 0; i < view.nodes.size(); ++i) {
-      const StoredEntry* e = in_store_.find(t, view.nodes[i]);
-      if (e) {
-        const Distance total = dist_add(view.dists[i], e->dist);
+      const ProbeResult e = in_store_.find(t, view.nodes[i]);
+      if (e.found) {
+        const Distance total = dist_add(view.dists[i], e.dist);
         if (total < best) {
           best = total;
           witness = view.nodes[i];

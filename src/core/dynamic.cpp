@@ -189,7 +189,7 @@ AffectedSets decide_affected(const graph::Graph& g, const VicinityStore& store,
     // No structural change: only a boundary flag can flip, for an endpoint
     // that is a member whose (gained or lost) neighbor lies outside.
     auto consider_patch = [&](NodeId e, NodeId o) {
-      if (store.find(x, e) != nullptr && store.find(x, o) == nullptr) {
+      if (store.find(x, e).found && !store.find(x, o).found) {
         out.flag_patches.emplace_back(x, e);
       }
     };

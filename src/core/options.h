@@ -15,12 +15,19 @@ enum class SamplingStrategy {
   kTopDegree,           ///< deterministic: the |L| highest-degree nodes
 };
 
-/// Hash-table backend for vicinity storage. kStdUnorderedMap matches the
-/// paper's GNU C++ STL implementation (§3.2); kFlatHash is the customized
-/// structure the paper calls for in §5.
+/// Vicinity-storage backend. kStdUnorderedMap matches the paper's GNU C++
+/// STL implementation (§3.2); kFlatHash is one open-addressing table per
+/// node; kPacked answers the §5 "more customized data structures" challenge
+/// outright — every vicinity lives as a sorted slice of one shared arena
+/// (boundary members grouped first), membership is a binary search, and the
+/// intersection is a cache-local merge/galloping kernel instead of N
+/// dependent hash probes. All three answer queries identically; the hash
+/// backends remain as the paper-faithful ablation baselines
+/// (bench_ablation_hash).
 enum class StoreBackend {
   kFlatHash,
   kStdUnorderedMap,
+  kPacked,
 };
 
 /// What to do when vicinities do not intersect (the <0.1% of queries the
@@ -44,7 +51,7 @@ struct OracleOptions {
   double sampling_constant = 0.25;
 
   SamplingStrategy strategy = SamplingStrategy::kDegreeProportional;
-  StoreBackend backend = StoreBackend::kFlatHash;
+  StoreBackend backend = StoreBackend::kPacked;
 
   /// Store per-landmark distance tables so conditions (1)-(2) of
   /// Algorithm 1 answer in O(1). Disable for vicinity-property studies

@@ -135,6 +135,9 @@ VicinityOracle VicinityOracle::build_impl(const graph::Graph& g,
   } else {
     build_range(0, o.indexed_.size());
   }
+  // Packed backend: the parallel loop parked every slice in its slot-local
+  // sub-arena; stitch them into the one contiguous arena now.
+  o.store_.pack();
 
   // Landmark tables. Full-index oracles need full rows; subset oracles pick
   // the cheaper side: |L| searches (full rows) vs |subset| searches
@@ -198,6 +201,9 @@ void VicinityOracle::rebuild_vicinities(std::span<const NodeId> nodes) {
   } else {
     rebuild_range(0, nodes.size());
   }
+  // Occasional compaction: repairs that outgrew their arena region were
+  // staged; fold them back once they amount to a quarter of the index.
+  store_.pack_if_needed();
 }
 
 UpdateStats VicinityOracle::apply_update(graph::Graph& g,
@@ -341,33 +347,36 @@ QueryResult VicinityOracle::intersect(NodeId s, NodeId t) const {
   // inside Γ(s) is a boundary member that also lies in Γ(t) and attains
   // d(s,t); any accepted value can therefore not overshoot.
   const Distance accept_limit = dist_add(store_.radius(s), store_.radius(t));
-  // Pick the iteration side (Lemma 1 holds symmetrically).
+  // Pick the iteration side (Lemma 1 holds symmetrically, so the answer is
+  // side-invariant) by estimated kernel cost: the iterated boundary size
+  // times the per-element probe cost — constant for the hash backends
+  // (reducing to the smaller-boundary rule), logarithmic/merge for the
+  // packed kernel. Comparing boundary sizes alone while the probe pays
+  // log2(len(probe)) picked the wrong side on skewed pairs.
   NodeId iter = s, probe = t;
   if (opt_.use_boundary_optimization) {
     if (opt_.iterate_smaller_side &&
-        store_.boundary_size(t) < store_.boundary_size(s)) {
+        store_.intersect_cost(store_.boundary_size(t), s) <
+            store_.intersect_cost(store_.boundary_size(s), t)) {
       std::swap(iter, probe);
     }
-    const auto view = store_.boundary(iter);
-    Distance best = kInfDistance;
-    for (std::size_t i = 0; i < view.nodes.size(); ++i) {
-      const StoredEntry* e = store_.find(probe, view.nodes[i]);
-      ++r.hash_lookups;
-      if (e) best = std::min(best, dist_add(view.dists[i], e->dist));
-    }
+    const Distance best =
+        store_.intersect_min(store_.boundary(iter), probe, r.hash_lookups);
     r.dist = best > accept_limit ? kInfDistance : best;
   } else {
-    // Ablation path: iterate the full vicinity of the chosen side.
+    // Ablation path: iterate the full vicinity of the chosen side — one
+    // membership probe per member, so the cost model has no merge term.
     if (opt_.iterate_smaller_side &&
-        store_.vicinity_size(t) < store_.vicinity_size(s)) {
+        store_.scan_probe_cost(store_.vicinity_size(t), s) <
+            store_.scan_probe_cost(store_.vicinity_size(s), t)) {
       std::swap(iter, probe);
     }
     Distance best = kInfDistance;
     std::uint32_t lookups = 0;
     store_.for_each_member(iter, [&](NodeId w, const StoredEntry& we) {
-      const StoredEntry* e = store_.find(probe, w);
+      const ProbeResult e = store_.find(probe, w);
       ++lookups;
-      if (e) best = std::min(best, dist_add(we.dist, e->dist));
+      if (e.found) best = std::min(best, dist_add(we.dist, e.dist));
     });
     r.hash_lookups = lookups;
     r.dist = best > accept_limit ? kInfDistance : best;
@@ -413,18 +422,18 @@ QueryResult VicinityOracle::distance_impl(NodeId s, NodeId t,
   const bool have_s = store_.has(s);
   const bool have_t = store_.has(t);
   if (have_s) {
-    const StoredEntry* e = store_.find(s, t);
+    const ProbeResult e = store_.find(s, t);
     ++lookups;
-    if (e) {
-      return QueryResult{e->dist, QueryMethod::kTargetInSourceVicinity,
+    if (e.found) {
+      return QueryResult{e.dist, QueryMethod::kTargetInSourceVicinity,
                          lookups, true};
     }
   }
   if (have_t) {
-    const StoredEntry* e = store_.find(t, s);
+    const ProbeResult e = store_.find(t, s);
     ++lookups;
-    if (e) {
-      return QueryResult{e->dist, QueryMethod::kSourceInTargetVicinity,
+    if (e.found) {
+      return QueryResult{e.dist, QueryMethod::kSourceInTargetVicinity,
                          lookups, true};
     }
   }
@@ -515,11 +524,11 @@ bool VicinityOracle::chase_parents(NodeId origin, NodeId from,
   NodeId cur = from;
   out.push_back(cur);
   while (cur != origin) {
-    const StoredEntry* e = store_.find(origin, cur);
-    if (e == nullptr || e->parent == kInvalidNode || e->parent == cur) {
+    const ProbeResult e = store_.find(origin, cur);
+    if (!e.found || e.parent == kInvalidNode || e.parent == cur) {
       return false;  // chain left the stored vicinity (weighted corner case)
     }
-    cur = e->parent;
+    cur = e.parent;
     out.push_back(cur);
   }
   return true;
@@ -604,21 +613,21 @@ PathResult VicinityOracle::path(NodeId s, NodeId t, QueryContext& ctx) const {
   const bool have_s = store_.has(s);
   const bool have_t = store_.has(t);
   if (have_s) {
-    if (const StoredEntry* e = store_.find(s, t)) {
+    if (const ProbeResult e = store_.find(s, t)) {
       std::vector<NodeId> rev;
       if (chase_parents(s, t, rev)) {
         std::reverse(rev.begin(), rev.end());
-        return PathResult{e->dist, std::move(rev),
+        return PathResult{e.dist, std::move(rev),
                           QueryMethod::kTargetInSourceVicinity, true};
       }
     }
   }
   if (have_t) {
-    if (const StoredEntry* e = store_.find(t, s)) {
+    if (const ProbeResult e = store_.find(t, s)) {
       std::vector<NodeId> walk;
       if (chase_parents(t, s, walk)) {
         // chase produced s..t already (parents point toward t).
-        return PathResult{e->dist, std::move(walk),
+        return PathResult{e.dist, std::move(walk),
                           QueryMethod::kSourceInTargetVicinity, true};
       }
     }
@@ -631,9 +640,9 @@ PathResult VicinityOracle::path(NodeId s, NodeId t, QueryContext& ctx) const {
     Distance best = kInfDistance;
     NodeId witness = kInvalidNode;
     for (std::size_t i = 0; i < view.nodes.size(); ++i) {
-      const StoredEntry* e = store_.find(t, view.nodes[i]);
-      if (e) {
-        const Distance total = dist_add(view.dists[i], e->dist);
+      const ProbeResult e = store_.find(t, view.nodes[i]);
+      if (e.found) {
+        const Distance total = dist_add(view.dists[i], e.dist);
         if (total < best) {
           best = total;
           witness = view.nodes[i];

@@ -19,13 +19,18 @@ namespace {
 // Container header: 6-byte magic + 2 ASCII-digit format version + (since
 // version 3) one backend-tag byte. Version 2 added
 // OracleOptions::update_rebuild_fraction (dynamic updates); version 3 added
-// the backend tag and the directed-oracle body. Version-2 files carry no
-// tag and are implicitly undirected; version-1 files predate the options
-// field and are rejected up front with a versioned error rather than
-// misparsed.
+// the backend tag and the directed-oracle body; version 4 added the
+// StoreBackend::kPacked store body — the packed arena is written/read as
+// bulk blobs (slot table + members/dists/parents), so loading a packed
+// index is O(memcpy) + validation instead of per-node hash rebuilds.
+// Version-2 files carry no tag and are implicitly undirected; version-1
+// files predate the options field and are rejected up front with a
+// versioned error rather than misparsed. Hash-backend store bodies are
+// byte-identical across versions 2-4, so old files keep loading.
 constexpr char kMagic[6] = {'V', 'C', 'N', 'I', 'D', 'X'};
-constexpr int kFormatVersion = 3;
+constexpr int kFormatVersion = 4;
 constexpr int kMinFormatVersion = 2;
+constexpr int kMinPackedVersion = 4;
 
 enum class BackendTag : std::uint8_t {
   kUndirected = 0,
@@ -169,7 +174,7 @@ void write_options(std::ostream& out, const OracleOptions& opt) {
   write_pod(out, opt.seed);
 }
 
-OracleOptions read_options(std::istream& in) {
+OracleOptions read_options(std::istream& in, int version) {
   OracleOptions opt;
   opt.alpha = read_pod<double>(in);
   opt.sampling_constant = read_pod<double>(in);
@@ -179,9 +184,18 @@ OracleOptions read_options(std::istream& in) {
       "corrupt sampling strategy");
   opt.strategy = static_cast<SamplingStrategy>(strategy_raw);
   const auto backend_raw = read_pod<std::uint8_t>(in);
-  require(backend_raw <=
-              static_cast<std::uint8_t>(StoreBackend::kStdUnorderedMap),
+  require(backend_raw <= static_cast<std::uint8_t>(StoreBackend::kPacked),
           "corrupt store backend");
+  if (backend_raw == static_cast<std::uint8_t>(StoreBackend::kPacked) &&
+      version < kMinPackedVersion) {
+    // A packed store body only exists from version 4 on; an older file
+    // claiming it is corrupt, and misreading its body as per-slot records
+    // would shift every later field.
+    throw std::runtime_error(
+        "oracle index: packed store backend requires format version >= " +
+        std::to_string(kMinPackedVersion) + " (file is version " +
+        std::to_string(version) + "; rebuild the index)");
+  }
   opt.backend = static_cast<StoreBackend>(backend_raw);
   opt.use_boundary_optimization = read_pod<std::uint8_t>(in) != 0;
   opt.iterate_smaller_side = read_pod<std::uint8_t>(in) != 0;
@@ -251,6 +265,32 @@ void read_store_slot(std::istream& in, std::uint64_t n, NodeId u,
     v.members.push_back(m);
   }
   store.set(u, v);
+}
+
+/// Packed-arena store body (version >= 4, StoreBackend::kPacked): the slot
+/// table and the three parallel arena blobs, all in prepare() order, so a
+/// load is seven bulk reads + validation instead of per-node hash rebuilds.
+void write_packed_store(std::ostream& out, const VicinityStore& store) {
+  VicinityStore::PackedBlob blob = store.export_packed();
+  write_vec(out, blob.radius);
+  write_vec(out, blob.nearest);
+  write_vec(out, blob.len);
+  write_vec(out, blob.boundary_len);
+  write_vec(out, blob.members);
+  write_vec(out, blob.dists);
+  write_vec(out, blob.parents);
+}
+
+void read_packed_store(std::istream& in, VicinityStore& store) {
+  VicinityStore::PackedBlob blob;
+  blob.radius = read_vec<Distance>(in);
+  blob.nearest = read_vec<NodeId>(in);
+  blob.len = read_vec<std::uint32_t>(in);
+  blob.boundary_len = read_vec<std::uint32_t>(in);
+  blob.members = read_vec<NodeId>(in);
+  blob.dists = read_vec<Distance>(in);
+  blob.parents = read_vec<NodeId>(in);
+  store.adopt_packed(std::move(blob));  // validates the untrusted blobs
 }
 
 void write_landmark_rows(std::ostream& out,
@@ -391,25 +431,34 @@ class OracleSerializer {
     write_vec(out, o.nearest_.landmark);
 
     write_vec(out, o.indexed_);
-    for (const NodeId u : o.indexed_) write_store_slot(out, o.store_, u);
+    if (o.opt_.backend == StoreBackend::kPacked) {
+      write_packed_store(out, o.store_);
+    } else {
+      for (const NodeId u : o.indexed_) write_store_slot(out, o.store_, u);
+    }
 
     save_tables(o.tables_, /*directed=*/false, out);
     if (!out) throw std::runtime_error("oracle index: write failed");
   }
 
-  static VicinityOracle load_body(std::istream& in, const graph::Graph& g) {
+  static VicinityOracle load_body(std::istream& in, const graph::Graph& g,
+                                  int version) {
     check_graph_shape(in, g);
     VicinityOracle o;
     o.g_ = &g;
-    o.opt_ = read_options(in);
+    o.opt_ = read_options(in, version);
     o.landmarks_ = read_landmark_set(in, o.opt_, g);
     o.nearest_ = read_nearest(in, g.num_nodes());
 
     o.indexed_ = read_indexed(in, g);
     o.store_ = VicinityStore(g.num_nodes(), o.opt_.backend);
     o.store_.prepare(o.indexed_);
-    for (const NodeId u : o.indexed_) {
-      read_store_slot(in, g.num_nodes(), u, o.store_);
+    if (o.opt_.backend == StoreBackend::kPacked) {
+      read_packed_store(in, o.store_);
+    } else {
+      for (const NodeId u : o.indexed_) {
+        read_store_slot(in, g.num_nodes(), u, o.store_);
+      }
     }
 
     load_tables(in, g, /*directed=*/false, o.tables_);
@@ -433,9 +482,14 @@ class OracleSerializer {
     write_vec(out, o.nearest_in_.landmark);
 
     write_vec(out, o.indexed_);
-    for (const NodeId u : o.indexed_) {
-      write_store_slot(out, o.out_store_, u);
-      write_store_slot(out, o.in_store_, u);
+    if (o.opt_.backend == StoreBackend::kPacked) {
+      write_packed_store(out, o.out_store_);
+      write_packed_store(out, o.in_store_);
+    } else {
+      for (const NodeId u : o.indexed_) {
+        write_store_slot(out, o.out_store_, u);
+        write_store_slot(out, o.in_store_, u);
+      }
     }
 
     save_tables(o.tables_, /*directed=*/true, out);
@@ -443,11 +497,12 @@ class OracleSerializer {
   }
 
   static DirectedVicinityOracle load_directed_body(std::istream& in,
-                                                   const graph::Graph& g) {
+                                                   const graph::Graph& g,
+                                                   int version) {
     check_graph_shape(in, g);
     DirectedVicinityOracle o;
     o.g_ = &g;
-    o.opt_ = read_options(in);
+    o.opt_ = read_options(in, version);
     o.landmarks_ = read_landmark_set(in, o.opt_, g);
     o.nearest_out_ = read_nearest(in, g.num_nodes());
     o.nearest_in_ = read_nearest(in, g.num_nodes());
@@ -457,9 +512,14 @@ class OracleSerializer {
     o.in_store_ = VicinityStore(g.num_nodes(), o.opt_.backend);
     o.out_store_.prepare(o.indexed_);
     o.in_store_.prepare(o.indexed_);
-    for (const NodeId u : o.indexed_) {
-      read_store_slot(in, g.num_nodes(), u, o.out_store_);
-      read_store_slot(in, g.num_nodes(), u, o.in_store_);
+    if (o.opt_.backend == StoreBackend::kPacked) {
+      read_packed_store(in, o.out_store_);
+      read_packed_store(in, o.in_store_);
+    } else {
+      for (const NodeId u : o.indexed_) {
+        read_store_slot(in, g.num_nodes(), u, o.out_store_);
+        read_store_slot(in, g.num_nodes(), u, o.in_store_);
+      }
     }
 
     load_tables(in, g, /*directed=*/true, o.tables_);
@@ -527,7 +587,7 @@ VicinityOracle load_oracle(std::istream& in, const graph::Graph& g) {
     backend_mismatch(h, "vicinity",
                      "use load_directed_oracle() or load_any_oracle()");
   }
-  return OracleSerializer::load_body(in, g);
+  return OracleSerializer::load_body(in, g, h.version);
 }
 
 VicinityOracle load_oracle_file(const std::string& path,
@@ -544,7 +604,7 @@ DirectedVicinityOracle load_directed_oracle(std::istream& in,
     backend_mismatch(h, "vicinity-directed",
                      "use load_oracle() or load_any_oracle()");
   }
-  return OracleSerializer::load_directed_body(in, g);
+  return OracleSerializer::load_directed_body(in, g, h.version);
 }
 
 DirectedVicinityOracle load_directed_oracle_file(const std::string& path,
@@ -560,10 +620,10 @@ std::shared_ptr<AnyOracle> load_any_oracle(std::istream& in,
   switch (h.tag) {
     case BackendTag::kUndirected:
       return make_any_oracle(std::make_shared<VicinityOracle>(
-          OracleSerializer::load_body(in, g)));
+          OracleSerializer::load_body(in, g, h.version)));
     case BackendTag::kDirected:
       return make_any_oracle(std::make_shared<DirectedVicinityOracle>(
-          OracleSerializer::load_directed_body(in, g)));
+          OracleSerializer::load_directed_body(in, g, h.version)));
   }
   throw std::runtime_error("oracle index: unknown backend tag");
 }

@@ -2,14 +2,18 @@
 // graph, skipping preprocessing on restart (practically relevant: the paper
 // targets "offline phase" / "online phase" deployments, §2.1).
 //
-// Container format (VCNIDX, version 3): 6-byte magic + 2 ASCII-digit format
+// Container format (VCNIDX, version 4): 6-byte magic + 2 ASCII-digit format
 // version + 1 backend-tag byte (0 = undirected vicinity oracle, 1 = directed
 // vicinity oracle), then the backend-specific body. The body embeds the
 // graph's shape (n, arc count, directedness, weightedness); loaders refuse
 // an index that was built for a different graph, a different backend than
 // the requested one, or an unknown tag — each with a versioned
-// std::runtime_error. Version-2 files (undirected only, no tag byte) still
-// load.
+// std::runtime_error. Hash-backend store bodies are per-slot records
+// (unchanged since version 2, so version-2/3 files still load); the packed
+// store (StoreBackend::kPacked, version 4+) is written as bulk arena blobs
+// — slot table + members/dists/parents — making load a few large reads
+// plus validation instead of per-node hash rebuilds. An older file whose
+// options claim the packed backend fails with a versioned error.
 //
 // load_any_oracle() dispatches on the tag and returns the index behind the
 // type-erased core::AnyOracle interface — the symmetric half of
@@ -33,14 +37,14 @@ void save_oracle_file(const DirectedVicinityOracle& oracle,
                       const std::string& path);
 
 /// The graph must be the one the oracle was built on (shape-checked) and
-/// must outlive the returned oracle. Accepts version-2 files and version-3
+/// must outlive the returned oracle. Accepts version-2 through version-4
 /// files tagged undirected; a directed-tagged file fails with a
 /// runtime_error naming the mismatch.
 VicinityOracle load_oracle(std::istream& in, const graph::Graph& g);
 VicinityOracle load_oracle_file(const std::string& path,
                                 const graph::Graph& g);
 
-/// Directed counterpart: requires a version-3 file tagged directed.
+/// Directed counterpart: requires a version-3/4 file tagged directed.
 DirectedVicinityOracle load_directed_oracle(std::istream& in,
                                             const graph::Graph& g);
 DirectedVicinityOracle load_directed_oracle_file(const std::string& path,

@@ -2,9 +2,110 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <numeric>
 #include <stdexcept>
 
 namespace vicinity::core {
+
+namespace detail {
+
+namespace {
+
+/// Clamped prefetch of arr[i + lookahead] (hardware prefetchers handle the
+/// streams; this keeps the probe side warm across slice boundaries).
+inline void prefetch_ahead(const NodeId* arr, std::size_t i, std::size_t n) {
+  if (n != 0) __builtin_prefetch(arr + std::min(i + 16, n - 1));
+}
+
+}  // namespace
+
+Distance merge_intersect_min(std::span<const NodeId> a_nodes,
+                             std::span<const Distance> a_dists,
+                             std::span<const NodeId> b_nodes,
+                             std::span<const Distance> b_dists) {
+  Distance best = kInfDistance;
+  const std::size_t na = a_nodes.size();
+  const std::size_t nb = b_nodes.size();
+  std::size_t i = 0, j = 0;
+  while (i < na && j < nb) {
+    prefetch_ahead(a_nodes.data(), i, na);
+    prefetch_ahead(b_nodes.data(), j, nb);
+    const NodeId x = a_nodes[i];
+    const NodeId y = b_nodes[j];
+    if (x < y) {
+      ++i;
+    } else if (y < x) {
+      ++j;
+    } else {
+      best = std::min(best, dist_add(a_dists[i], b_dists[j]));
+      ++i;
+      ++j;
+    }
+  }
+  return best;
+}
+
+Distance gallop_intersect_min(std::span<const NodeId> a_nodes,
+                              std::span<const Distance> a_dists,
+                              std::span<const NodeId> b_nodes,
+                              std::span<const Distance> b_dists) {
+  Distance best = kInfDistance;
+  const std::size_t na = a_nodes.size();
+  const std::size_t nb = b_nodes.size();
+  const NodeId* b = b_nodes.data();
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < na && j < nb; ++i) {
+    const NodeId x = a_nodes[i];
+    if (b[j] < x) {
+      // Exponential search for the first b[k] >= x in b[j..nb), then a
+      // binary search inside the bracketed run.
+      std::size_t bound = 1;
+      while (j + bound < nb && b[j + bound] < x) {
+        __builtin_prefetch(b + std::min(j + (bound << 2), nb - 1));
+        bound <<= 1;
+      }
+      const std::size_t lo = j + (bound >> 1) + 1;
+      const std::size_t hi = std::min(nb, j + bound + 1);
+      j = static_cast<std::size_t>(std::lower_bound(b + lo, b + hi, x) - b);
+      if (j >= nb) break;
+    }
+    if (b[j] == x) {
+      best = std::min(best, dist_add(a_dists[i], b_dists[j]));
+      ++j;
+    }
+  }
+  return best;
+}
+
+Distance intersect_sorted_min(std::span<const NodeId> a_nodes,
+                              std::span<const Distance> a_dists,
+                              std::span<const NodeId> b_nodes,
+                              std::span<const Distance> b_dists) {
+  if (a_nodes.empty() || b_nodes.empty()) return kInfDistance;
+  if (a_nodes.size() > b_nodes.size()) {
+    return intersect_sorted_min(b_nodes, b_dists, a_nodes, a_dists);
+  }
+  if (b_nodes.size() / a_nodes.size() >= kGallopSkew) {
+    return gallop_intersect_min(a_nodes, a_dists, b_nodes, b_dists);
+  }
+  return merge_intersect_min(a_nodes, a_dists, b_nodes, b_dists);
+}
+
+}  // namespace detail
+
+namespace {
+
+inline void atomic_add(std::uint64_t& counter, std::uint64_t delta) {
+  // Concurrent writers touch distinct slots, so plain accumulation would
+  // race on the shared totals. Relaxed atomics; replacement applies the
+  // delta against what the slot previously held.
+  static_assert(sizeof(std::uint64_t) == 8);
+  std::atomic_ref<std::uint64_t>(counter).fetch_add(delta,
+                                                    std::memory_order_relaxed);
+}
+
+}  // namespace
 
 VicinityStore::VicinityStore(NodeId num_nodes, StoreBackend backend)
     : backend_(backend) {
@@ -25,7 +126,19 @@ void VicinityStore::prepare(std::span<const NodeId> nodes) {
 void VicinityStore::set(NodeId u, const Vicinity& v) {
   if (!has(u)) throw std::logic_error("VicinityStore::set: node not prepared");
   if (v.origin != u) throw std::logic_error("VicinityStore::set: origin mismatch");
+  for (const VicinityMember& m : v.members) {
+    // kInvalidNode is the flat backend's empty-key sentinel; storing it
+    // would corrupt that table, so every backend rejects it uniformly.
+    if (m.node == kInvalidNode) {
+      throw std::invalid_argument(
+          "VicinityStore::set: member is the invalid-node sentinel");
+    }
+  }
   PerNode& p = slots_[slot_of_[u]];
+  if (backend_ == StoreBackend::kPacked) {
+    set_packed(p, v);
+    return;
+  }
   // Replacing a slot (dynamic-update repair): retire the old contents first
   // so totals stay exact. clear() keeps hash capacity, so repeated repairs
   // of the same node do not re-allocate.
@@ -47,12 +160,6 @@ void VicinityStore::set(NodeId u, const Vicinity& v) {
   p.boundary_nodes.reserve(v.boundary_size);
   p.boundary_dists.reserve(v.boundary_size);
   for (const VicinityMember& m : v.members) {
-    // kInvalidNode is the flat backend's empty-key sentinel; storing it
-    // would corrupt that table, so both backends reject it uniformly.
-    if (m.node == kInvalidNode) {
-      throw std::invalid_argument(
-          "VicinityStore::set: member is the invalid-node sentinel");
-    }
     const StoredEntry e{m.dist, m.parent};
     if (backend_ == StoreBackend::kFlatHash) {
       p.flat.insert_or_assign(m.node, e);
@@ -68,7 +175,7 @@ void VicinityStore::set(NodeId u, const Vicinity& v) {
   // intersection loop deterministic and stable across serialization.
   {
     std::vector<std::size_t> order(p.boundary_nodes.size());
-    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::iota(order.begin(), order.end(), std::size_t{0});
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
       return p.boundary_nodes[a] < p.boundary_nodes[b];
     });
@@ -81,36 +188,171 @@ void VicinityStore::set(NodeId u, const Vicinity& v) {
     p.boundary_nodes = std::move(nodes);
     p.boundary_dists = std::move(dists);
   }
-  // Concurrent writers touch distinct slots, so plain (non-atomic)
-  // accumulation would race. Use relaxed atomics; replacement applies the
-  // delta against what the slot previously held.
-  static_assert(sizeof(std::uint64_t) == 8);
-  std::atomic_ref<std::uint64_t>(total_entries_)
-      .fetch_add(v.members.size() - old_entries, std::memory_order_relaxed);
-  std::atomic_ref<std::uint64_t>(total_boundary_)
-      .fetch_add(p.boundary_nodes.size() - old_boundary,
-                 std::memory_order_relaxed);
+  atomic_add(total_entries_, v.members.size() - old_entries);
+  atomic_add(total_boundary_, p.boundary_nodes.size() - old_boundary);
+}
+
+void VicinityStore::set_packed(PerNode& p, const Vicinity& v) {
+  const std::uint64_t old_entries = p.gamma_size;
+  const std::uint64_t old_boundary = p.boundary_len;
+  const std::size_t n = v.members.size();
+
+  // Slice order: boundary group first, then interior, each ascending by
+  // node — sorted once here, at build/repair time, so the query side only
+  // ever merges.
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (v.members[i].on_boundary) order.push_back(i);
+  }
+  const auto bcount = static_cast<std::uint32_t>(order.size());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!v.members[i].on_boundary) order.push_back(i);
+  }
+  const auto by_node = [&](std::uint32_t a, std::uint32_t b) {
+    return v.members[a].node < v.members[b].node;
+  };
+  std::sort(order.begin(), order.begin() + bcount, by_node);
+  std::sort(order.begin() + bcount, order.end(), by_node);
+
+  NodeId* members;
+  Distance* dists;
+  NodeId* parents;
+  if (!p.staged && n <= p.cap) {
+    // In-place replacement inside the existing arena region (the common
+    // dynamic-repair case): no allocation. The cap - len slack left by a
+    // shrink is dead arena space, so it counts toward the compaction
+    // trigger (invariant: wasted_entries_ = fully dead regions + live
+    // slots' slack); a later regrowth within cap takes the delta back.
+    atomic_add(wasted_entries_, p.len - n);
+    members = arena_members_.data() + p.offset;
+    dists = arena_dists_.data() + p.offset;
+    parents = arena_parents_.data() + p.offset;
+  } else {
+    // Stage the slice in its slot-local sub-arena; pack() stitches the
+    // staged slots back into one contiguous arena later. The abandoned
+    // arena region becomes reclaimable waste — its slack portion is
+    // already counted, so only the live len is added here.
+    if (!p.staged) {
+      if (p.cap > 0) atomic_add(wasted_entries_, p.len);
+      p.cap = 0;
+      atomic_add(staged_slots_, 1);
+    } else {
+      atomic_add(staged_entries_, std::uint64_t{0} - p.staged_members.size());
+    }
+    p.staged = true;
+    p.staged_members.resize(n);
+    p.staged_dists.resize(n);
+    p.staged_parents.resize(n);
+    atomic_add(staged_entries_, n);
+    members = p.staged_members.data();
+    dists = p.staged_dists.data();
+    parents = p.staged_parents.data();
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const VicinityMember& m = v.members[order[i]];
+    members[i] = m.node;
+    dists[i] = m.dist;
+    parents[i] = m.parent;
+  }
+  p.len = static_cast<std::uint32_t>(n);
+  p.boundary_len = bcount;
+  p.gamma_size = static_cast<std::uint32_t>(n);
+  p.radius = v.radius;
+  p.nearest_landmark = v.nearest_landmark;
+  atomic_add(total_entries_, n - old_entries);
+  atomic_add(total_boundary_, bcount - old_boundary);
+}
+
+Distance VicinityStore::intersect_min(const BoundaryView& iter, NodeId probe_u,
+                                      std::uint32_t& lookups) const {
+  lookups += static_cast<std::uint32_t>(iter.nodes.size());
+  if (backend_ != StoreBackend::kPacked) {
+    Distance best = kInfDistance;
+    for (std::size_t i = 0; i < iter.nodes.size(); ++i) {
+      const ProbeResult e = find(probe_u, iter.nodes[i]);
+      if (e.found) best = std::min(best, dist_add(iter.dists[i], e.dist));
+    }
+    return best;
+  }
+  const PerNode& p = slots_[slot_of_[probe_u]];
+  const ConstSlice s = slice(p);
+  const std::size_t blen = p.boundary_len;
+  const std::size_t ilen = p.len - p.boundary_len;
+  const Distance via_boundary = detail::intersect_sorted_min(
+      iter.nodes, iter.dists, {s.members, blen}, {s.dists, blen});
+  const Distance via_interior = detail::intersect_sorted_min(
+      iter.nodes, iter.dists, {s.members + blen, ilen}, {s.dists + blen, ilen});
+  return std::min(via_boundary, via_interior);
+}
+
+double VicinityStore::intersect_cost(std::size_t iter_elems,
+                                     NodeId probe_u) const {
+  const auto a = static_cast<double>(iter_elems);
+  if (backend_ != StoreBackend::kPacked || a == 0.0) return a;
+  // The packed kernel pays min(merge, gallop) against the probe slice.
+  const auto b = static_cast<double>(vicinity_size(probe_u));
+  return std::min(a + b, a * std::log2(std::max(2.0, b)));
+}
+
+double VicinityStore::scan_probe_cost(std::size_t iter_elems,
+                                      NodeId probe_u) const {
+  const auto a = static_cast<double>(iter_elems);
+  if (backend_ != StoreBackend::kPacked || a == 0.0) return a;
+  const auto b = static_cast<double>(vicinity_size(probe_u));
+  return a * std::log2(std::max(2.0, b));
 }
 
 void VicinityStore::refresh_boundary_flag(NodeId u, NodeId member,
                                           const graph::Graph& g,
                                           Direction direction) {
   PerNode& p = slots_[slot_of_[u]];
-  const StoredEntry* e = find(u, member);
-  if (e == nullptr) {
+  const ProbeResult e = find(u, member);
+  if (!e.found) {
     throw std::logic_error("VicinityStore::refresh_boundary_flag: not a member");
   }
   bool on = false;
-  if (e->dist >= p.radius) {  // ball members are interior by construction
+  if (e.dist >= p.radius) {  // ball members are interior by construction
     const auto nbrs = direction == Direction::kOut ? g.neighbors(member)
                                                    : g.in_neighbors(member);
     for (const NodeId y : nbrs) {
-      if (find(u, y) == nullptr) {
+      if (!find(u, y).found) {
         on = true;
         break;
       }
     }
   }
+
+  if (backend_ == StoreBackend::kPacked) {
+    // Rotate the member between the boundary and interior groups of its
+    // slice; both groups stay sorted and no allocation happens.
+    const MutableSlice s = mutable_slice(p);
+    const std::size_t bpos = lower_bound_idx(s.members, 0, p.boundary_len,
+                                             member);
+    const bool present = bpos < p.boundary_len && s.members[bpos] == member;
+    if (on == present) return;
+    const auto rotate3 = [&](std::size_t first, std::size_t middle,
+                             std::size_t last) {
+      std::rotate(s.members + first, s.members + middle, s.members + last);
+      std::rotate(s.dists + first, s.dists + middle, s.dists + last);
+      std::rotate(s.parents + first, s.parents + middle, s.parents + last);
+    };
+    if (on) {
+      const std::size_t ipos =
+          lower_bound_idx(s.members, p.boundary_len, p.len, member);
+      rotate3(bpos, ipos, ipos + 1);  // member moves down to bpos
+      ++p.boundary_len;
+      ++total_boundary_;
+    } else {
+      const std::size_t dst =
+          lower_bound_idx(s.members, p.boundary_len, p.len, member);
+      rotate3(bpos, bpos + 1, dst);  // member moves up to dst - 1
+      --p.boundary_len;
+      --total_boundary_;
+    }
+    return;
+  }
+
   const auto it = std::lower_bound(p.boundary_nodes.begin(),
                                    p.boundary_nodes.end(), member);
   const bool present = it != p.boundary_nodes.end() && *it == member;
@@ -119,7 +361,7 @@ void VicinityStore::refresh_boundary_flag(NodeId u, NodeId member,
   if (on) {
     p.boundary_nodes.insert(it, member);
     p.boundary_dists.insert(
-        p.boundary_dists.begin() + static_cast<std::ptrdiff_t>(idx), e->dist);
+        p.boundary_dists.begin() + static_cast<std::ptrdiff_t>(idx), e.dist);
     ++total_boundary_;
   } else {
     p.boundary_nodes.erase(it);
@@ -129,8 +371,150 @@ void VicinityStore::refresh_boundary_flag(NodeId u, NodeId member,
   }
 }
 
+void VicinityStore::pack() {
+  if (backend_ != StoreBackend::kPacked) return;
+  if (staged_slots_ == 0 && arena_members_.size() == total_entries_) {
+    return;  // already contiguous, hole-free and slack-free
+  }
+  std::vector<NodeId> members;
+  std::vector<Distance> dists;
+  std::vector<NodeId> parents;
+  members.reserve(total_entries_);
+  dists.reserve(total_entries_);
+  parents.reserve(total_entries_);
+  for (PerNode& p : slots_) {
+    const ConstSlice s = slice(p);
+    const std::uint64_t off = members.size();
+    members.insert(members.end(), s.members, s.members + p.len);
+    dists.insert(dists.end(), s.dists, s.dists + p.len);
+    parents.insert(parents.end(), s.parents, s.parents + p.len);
+    p.offset = off;
+    p.cap = p.len;
+    p.staged = false;
+    std::vector<NodeId>().swap(p.staged_members);
+    std::vector<Distance>().swap(p.staged_dists);
+    std::vector<NodeId>().swap(p.staged_parents);
+  }
+  arena_members_ = std::move(members);
+  arena_dists_ = std::move(dists);
+  arena_parents_ = std::move(parents);
+  wasted_entries_ = 0;
+  staged_entries_ = 0;
+  staged_slots_ = 0;
+}
+
+void VicinityStore::pack_if_needed() {
+  if (backend_ != StoreBackend::kPacked) return;
+  const std::uint64_t loose = wasted_entries_ + staged_entries_;
+  if (loose > std::max<std::uint64_t>(1024, total_entries_ / 4)) pack();
+}
+
+VicinityStore::PackedBlob VicinityStore::export_packed() const {
+  if (backend_ != StoreBackend::kPacked) {
+    throw std::logic_error("VicinityStore::export_packed: not a packed store");
+  }
+  PackedBlob blob;
+  blob.radius.reserve(slots_.size());
+  blob.nearest.reserve(slots_.size());
+  blob.len.reserve(slots_.size());
+  blob.boundary_len.reserve(slots_.size());
+  blob.members.reserve(total_entries_);
+  blob.dists.reserve(total_entries_);
+  blob.parents.reserve(total_entries_);
+  for (const PerNode& p : slots_) {
+    const ConstSlice s = slice(p);
+    blob.radius.push_back(p.radius);
+    blob.nearest.push_back(p.nearest_landmark);
+    blob.len.push_back(p.len);
+    blob.boundary_len.push_back(p.boundary_len);
+    blob.members.insert(blob.members.end(), s.members, s.members + p.len);
+    blob.dists.insert(blob.dists.end(), s.dists, s.dists + p.len);
+    blob.parents.insert(blob.parents.end(), s.parents, s.parents + p.len);
+  }
+  return blob;
+}
+
+void VicinityStore::adopt_packed(PackedBlob&& blob) {
+  if (backend_ != StoreBackend::kPacked) {
+    throw std::logic_error("VicinityStore::adopt_packed: not a packed store");
+  }
+  const auto fail = [](const char* what) {
+    throw std::runtime_error(std::string("oracle index: packed store: ") +
+                             what);
+  };
+  const std::size_t nslots = slots_.size();
+  if (blob.radius.size() != nslots || blob.nearest.size() != nslots ||
+      blob.len.size() != nslots || blob.boundary_len.size() != nslots) {
+    fail("slot table length mismatch");
+  }
+  std::uint64_t total = 0;
+  for (const std::uint32_t len : blob.len) total += len;
+  if (blob.members.size() != total || blob.dists.size() != total ||
+      blob.parents.size() != total) {
+    fail("arena blob length mismatch");
+  }
+  const auto n = static_cast<NodeId>(slot_of_.size());
+  std::uint64_t off = 0;
+  std::uint64_t boundary_total = 0;
+  for (std::size_t slot = 0; slot < nslots; ++slot) {
+    PerNode& p = slots_[slot];
+    const std::uint32_t len = blob.len[slot];
+    const std::uint32_t blen = blob.boundary_len[slot];
+    if (blen > len) fail("boundary longer than slice");
+    if (blob.nearest[slot] >= n && blob.nearest[slot] != kInvalidNode) {
+      fail("nearest landmark out of range");
+    }
+    // Both groups must be strictly ascending (binary search + merge rely
+    // on it), with ids/parents in range.
+    for (std::uint32_t i = 0; i < len; ++i) {
+      const NodeId m = blob.members[off + i];
+      const NodeId par = blob.parents[off + i];
+      if (m >= n) fail("member out of range");
+      if (par >= n && par != kInvalidNode) fail("parent out of range");
+      if (i != 0 && i != blen && blob.members[off + i - 1] >= m) {
+        fail("slice group not strictly sorted");
+      }
+    }
+    // ... and disjoint: a member in both groups would make find() and
+    // intersect_min() see two entries for one node (the hash loaders dedup
+    // the same corruption via insert_or_assign).
+    for (std::uint32_t bi = 0, ii = blen; bi < blen && ii < len;) {
+      const NodeId bv = blob.members[off + bi];
+      const NodeId iv = blob.members[off + ii];
+      if (bv < iv) {
+        ++bi;
+      } else if (iv < bv) {
+        ++ii;
+      } else {
+        fail("member in both boundary and interior groups");
+      }
+    }
+    p.offset = off;
+    p.len = len;
+    p.cap = len;
+    p.boundary_len = blen;
+    p.staged = false;
+    p.gamma_size = len;
+    p.radius = blob.radius[slot];
+    p.nearest_landmark = blob.nearest[slot];
+    off += len;
+    boundary_total += blen;
+  }
+  arena_members_ = std::move(blob.members);
+  arena_dists_ = std::move(blob.dists);
+  arena_parents_ = std::move(blob.parents);
+  wasted_entries_ = 0;
+  staged_entries_ = 0;
+  staged_slots_ = 0;
+  total_entries_ = total;
+  total_boundary_ = boundary_total;
+}
+
 std::uint64_t VicinityStore::memory_bytes() const {
   std::uint64_t bytes = slot_of_.size() * sizeof(NodeId);
+  bytes += arena_members_.capacity() * sizeof(NodeId) +
+           arena_dists_.capacity() * sizeof(Distance) +
+           arena_parents_.capacity() * sizeof(NodeId);
   for (const PerNode& p : slots_) {
     bytes += sizeof(PerNode);
     bytes += p.flat.memory_bytes();
@@ -140,6 +524,9 @@ std::uint64_t VicinityStore::memory_bytes() const {
              p.std.size() * (sizeof(std::pair<NodeId, StoredEntry>) + 16);
     bytes += p.boundary_nodes.capacity() * sizeof(NodeId) +
              p.boundary_dists.capacity() * sizeof(Distance);
+    bytes += p.staged_members.capacity() * sizeof(NodeId) +
+             p.staged_dists.capacity() * sizeof(Distance) +
+             p.staged_parents.capacity() * sizeof(NodeId);
   }
   return bytes;
 }

@@ -1,14 +1,23 @@
 // Per-node vicinity storage (paper §3.1 data structure).
 //
 // For each indexed node u the store keeps:
-//   * a hash table  v -> (d(u,v), parent)  for O(1) membership probes —
-//     the paper's central data structure;
+//   * a membership structure  v -> (d(u,v), parent)  — the paper's central
+//     data structure;
 //   * the boundary ∂Γ(u) as parallel (node, distance) arrays so
 //     Algorithm 1's loop is a linear scan;
 //   * metadata (radius, nearest landmark, sizes).
 //
-// Two interchangeable hash backends (§5 challenge): the GNU-STL
-// unordered_map the paper used, and our open-addressing flat table.
+// Three interchangeable backends (§5 challenge):
+//   * kStdUnorderedMap — the GNU-STL hash table the paper used (§3.2);
+//   * kFlatHash        — one open-addressing flat table per node;
+//   * kPacked          — a single shared arena holding every vicinity as a
+//     CSR-style slice: one contiguous members[] array with parallel
+//     dists[]/parents[] arrays and a per-node (offset, len, boundary_len)
+//     slot. Boundary members are grouped at the front of each slice (both
+//     groups sorted ascending by NodeId), so boundary() stays a zero-copy
+//     span, find() is a binary search, and intersect_min() merge/gallops
+//     two sorted slices instead of issuing N dependent hash probes — the
+//     cache-local hot path the hash backends ablate against.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +38,47 @@ struct StoredEntry {
   NodeId parent = kInvalidNode;
 };
 
+/// Value-semantics probe result (the packed backend stores entries as
+/// parallel arrays, so there is no StoredEntry object to point at).
+/// found == false leaves dist/parent at their sentinels.
+struct ProbeResult {
+  Distance dist = kInfDistance;
+  NodeId parent = kInvalidNode;
+  bool found = false;
+  explicit operator bool() const { return found; }
+};
+
+namespace detail {
+
+/// Sorted-array intersection kernels (packed backend hot path; exposed for
+/// bench_micro and direct unit tests). All inputs are strictly-ascending
+/// NodeId arrays with parallel distances; the result is the minimum of
+/// dist_add(a_dist, b_dist) over common nodes, or kInfDistance when the
+/// arrays are disjoint.
+Distance merge_intersect_min(std::span<const NodeId> a_nodes,
+                             std::span<const Distance> a_dists,
+                             std::span<const NodeId> b_nodes,
+                             std::span<const Distance> b_dists);
+
+/// Galloping (exponential-search) variant for |a| << |b|.
+Distance gallop_intersect_min(std::span<const NodeId> a_nodes,
+                              std::span<const Distance> a_dists,
+                              std::span<const NodeId> b_nodes,
+                              std::span<const Distance> b_dists);
+
+/// Size-ratio threshold above which intersect_sorted_min gallops the
+/// smaller side through the larger instead of merging.
+inline constexpr std::size_t kGallopSkew = 8;
+
+/// Adaptive dispatch: iterates the smaller array, galloping when the skew
+/// exceeds kGallopSkew, merging otherwise.
+Distance intersect_sorted_min(std::span<const NodeId> a_nodes,
+                              std::span<const Distance> a_dists,
+                              std::span<const NodeId> b_nodes,
+                              std::span<const Distance> b_dists);
+
+}  // namespace detail
+
 class VicinityStore {
  public:
   VicinityStore() = default;
@@ -44,6 +94,12 @@ class VicinityStore {
   /// Fills u's slot from a built vicinity (v.origin must equal u). Calling
   /// set() again for the same node replaces the previous vicinity — the
   /// dynamic-update repair path; totals are adjusted by the delta.
+  ///
+  /// Thread-safety: concurrent set() calls for DISTINCT nodes are safe on
+  /// every backend. The packed backend writes in place when the slice fits
+  /// its arena region and otherwise parks the slice in a slot-local staging
+  /// buffer (a per-slot sub-arena); pack() — not thread-safe — stitches the
+  /// staged slices back into one contiguous arena.
   void set(NodeId u, const Vicinity& v);
 
   /// True when u was prepared (vicinity available; possibly empty if u∈L).
@@ -51,40 +107,89 @@ class VicinityStore {
     return u < slot_of_.size() && slot_of_[u] != kInvalidNode;
   }
 
-  /// Γ(u) probe: entry for v, or nullptr. Requires has(u). Probing the
-  /// invalid-node sentinel is a checked error on both backends (the flat
-  /// backend reserves it as its empty key; the std backend mirrors the
+  /// Γ(u) probe: the entry for v, or found == false. Requires has(u).
+  /// Probing the invalid-node sentinel is a checked error on every backend
+  /// (the flat backend reserves it as its empty key; the others mirror the
   /// contract so behavior doesn't depend on the StoreBackend switch).
-  const StoredEntry* find(NodeId u, NodeId v) const {
+  ProbeResult find(NodeId u, NodeId v) const {
     const PerNode& p = slots_[slot_of_[u]];
-    if (backend_ == StoreBackend::kFlatHash) return p.flat.find(v);
-    if (v == kInvalidNode) {
-      throw std::invalid_argument("VicinityStore: probing the invalid node");
+    switch (backend_) {
+      case StoreBackend::kFlatHash: {
+        const StoredEntry* e = p.flat.find(v);
+        return e ? ProbeResult{e->dist, e->parent, true} : ProbeResult{};
+      }
+      case StoreBackend::kStdUnorderedMap: {
+        if (v == kInvalidNode) {
+          throw std::invalid_argument(
+              "VicinityStore: probing the invalid node");
+        }
+        const auto it = p.std.find(v);
+        return it == p.std.end()
+                   ? ProbeResult{}
+                   : ProbeResult{it->second.dist, it->second.parent, true};
+      }
+      case StoreBackend::kPacked:
+        return find_packed(p, v);
     }
-    const auto it = p.std.find(v);
-    return it == p.std.end() ? nullptr : &it->second;
+    return ProbeResult{};
   }
 
   struct BoundaryView {
     std::span<const NodeId> nodes;
     std::span<const Distance> dists;
   };
-  /// ∂Γ(u) as parallel arrays. Requires has(u).
+  /// ∂Γ(u) as parallel arrays sorted ascending by node. Requires has(u).
+  /// Zero-copy on every backend; on kPacked the spans alias the front of
+  /// u's arena slice.
   BoundaryView boundary(NodeId u) const {
     const PerNode& p = slots_[slot_of_[u]];
-    return BoundaryView{p.boundary_nodes, p.boundary_dists};
+    if (backend_ != StoreBackend::kPacked) {
+      return BoundaryView{p.boundary_nodes, p.boundary_dists};
+    }
+    const ConstSlice s = slice(p);
+    return BoundaryView{{s.members, p.boundary_len}, {s.dists, p.boundary_len}};
   }
 
   /// All members of Γ(u) with entries, via callback: fn(node, entry).
   template <typename Fn>
   void for_each_member(NodeId u, Fn&& fn) const {
     const PerNode& p = slots_[slot_of_[u]];
-    if (backend_ == StoreBackend::kFlatHash) {
-      p.flat.for_each([&](NodeId v, const StoredEntry& e) { fn(v, e); });
-    } else {
-      for (const auto& [v, e] : p.std) fn(v, e);
+    switch (backend_) {
+      case StoreBackend::kFlatHash:
+        p.flat.for_each([&](NodeId v, const StoredEntry& e) { fn(v, e); });
+        break;
+      case StoreBackend::kStdUnorderedMap:
+        for (const auto& [v, e] : p.std) fn(v, e);
+        break;
+      case StoreBackend::kPacked: {
+        const ConstSlice s = slice(p);
+        for (std::uint32_t i = 0; i < p.len; ++i) {
+          fn(s.members[i], StoredEntry{s.dists[i], s.parents[i]});
+        }
+        break;
+      }
     }
   }
+
+  /// Algorithm 1's intersection step as a backend-resident kernel: the
+  /// minimum of iter.dists[i] + d(probe_u, iter.nodes[i]) over the members
+  /// of `iter` present in Γ(probe_u), or kInfDistance. `iter` must be
+  /// sorted ascending by node (boundary() views are). `lookups` counts one
+  /// probe per iterated element on every backend, keeping the Table-3
+  /// statistic comparable across the ablation.
+  Distance intersect_min(const BoundaryView& iter, NodeId probe_u,
+                         std::uint32_t& lookups) const;
+
+  /// Estimated cost of intersect_min with `iter_elems` iterated elements
+  /// against Γ(probe_u) in this store — the side-selection model. Hash
+  /// backends probe in O(1), so the cost is just iter_elems; the packed
+  /// kernel pays min(merge, gallop) against the probe slice length.
+  double intersect_cost(std::size_t iter_elems, NodeId probe_u) const;
+
+  /// Side-selection model for the full-iteration ablation path, which
+  /// performs one membership probe per iterated member (binary search on
+  /// packed — no merge variant exists there, so no a+b term).
+  double scan_probe_cost(std::size_t iter_elems, NodeId probe_u) const;
 
   Distance radius(NodeId u) const { return slots_[slot_of_[u]].radius; }
   NodeId nearest_landmark(NodeId u) const {
@@ -100,38 +205,160 @@ class VicinityStore {
     return slots_[slot_of_[u]].gamma_size;
   }
   std::size_t boundary_size(NodeId u) const {
-    return slots_[slot_of_[u]].boundary_nodes.size();
+    const PerNode& p = slots_[slot_of_[u]];
+    return backend_ == StoreBackend::kPacked ? p.boundary_len
+                                             : p.boundary_nodes.size();
   }
 
   /// Dynamic repair: recomputes whether `member` (∈ Γ(u)) has a
-  /// `direction` neighbor outside Γ(u) and updates its flag in the
-  /// boundary arrays in place (early-exits on the first outside neighbor).
-  /// Ball members stay interior by construction. Requires has(u) and
+  /// `direction` neighbor outside Γ(u) and updates its flag in place
+  /// (early-exits on the first outside neighbor). On the packed backend
+  /// the member is rotated between the boundary and interior groups of its
+  /// slice, preserving both sort orders without any allocation. Ball
+  /// members stay interior by construction. Requires has(u) and
   /// member ∈ Γ(u).
   void refresh_boundary_flag(NodeId u, NodeId member, const graph::Graph& g,
                              Direction direction);
+
+  // ---- Packed-arena lifecycle (no-ops on the hash backends) -------------
+
+  /// Stitches every staged slice into one contiguous arena (slot order) and
+  /// reclaims holes left by replacements. Called by the oracle build after
+  /// the parallel construction loop and by compaction. NOT thread-safe —
+  /// no concurrent set()/find() may run.
+  void pack();
+
+  /// pack() when the wasted + staged entries exceed a quarter of the live
+  /// entries (the "occasional compaction" of the update path); cheap no-op
+  /// otherwise.
+  void pack_if_needed();
+
+  /// True when every slice lives in the arena (no staged slots).
+  bool fully_packed() const { return staged_slots_ == 0; }
+
+  /// Bulk import/export of the packed arena — the VCNIDX04 serialization
+  /// fast path (load is three blob reads + validation instead of per-node
+  /// hash rebuilds). Slices appear in slot (prepare) order; each slice is
+  /// its boundary group then its interior group, both strictly ascending.
+  struct PackedBlob {
+    std::vector<Distance> radius;             ///< per slot
+    std::vector<NodeId> nearest;              ///< per slot
+    std::vector<std::uint32_t> len;           ///< per slot
+    std::vector<std::uint32_t> boundary_len;  ///< per slot
+    std::vector<NodeId> members;              ///< concatenated slices
+    std::vector<Distance> dists;
+    std::vector<NodeId> parents;
+  };
+  /// Compact copy of the store contents (works from any packing state).
+  /// Requires backend() == kPacked.
+  PackedBlob export_packed() const;
+  /// Adopts `blob` wholesale after prepare(). Validates shape, ranges and
+  /// per-group sort order against untrusted input, throwing
+  /// std::runtime_error on any violation. Requires backend() == kPacked.
+  void adopt_packed(PackedBlob&& blob);
 
   std::size_t indexed_nodes() const { return slots_.size(); }
   /// Total Γ entries across indexed nodes (the paper's per-node ~α√n cost).
   std::uint64_t total_entries() const { return total_entries_; }
   std::uint64_t total_boundary_entries() const { return total_boundary_; }
-  /// Approximate heap bytes of hash tables + boundary arrays + slot index.
+  /// Approximate heap bytes of the backend structures + slot index.
   std::uint64_t memory_bytes() const;
 
  private:
   struct PerNode {
+    // Hash backends: one table per node + boundary arrays.
     util::FlatHashMap<NodeId, StoredEntry> flat{0};
     std::unordered_map<NodeId, StoredEntry> std;
     std::vector<NodeId> boundary_nodes;
     std::vector<Distance> boundary_dists;
+    // Packed backend: an arena region [offset, offset+cap) holding `len`
+    // live entries, or (staged == true) slot-local staging vectors awaiting
+    // the next pack().
+    std::uint64_t offset = 0;
+    std::uint32_t len = 0;
+    std::uint32_t cap = 0;
+    std::uint32_t boundary_len = 0;
+    bool staged = false;
+    std::vector<NodeId> staged_members;
+    std::vector<Distance> staged_dists;
+    std::vector<NodeId> staged_parents;
+    // Shared metadata.
     Distance radius = kInfDistance;
     NodeId nearest_landmark = kInvalidNode;
     std::uint32_t gamma_size = 0;
   };
 
+  struct ConstSlice {
+    const NodeId* members;
+    const Distance* dists;
+    const NodeId* parents;
+  };
+  struct MutableSlice {
+    NodeId* members;
+    Distance* dists;
+    NodeId* parents;
+  };
+
+  ConstSlice slice(const PerNode& p) const {
+    if (p.staged) {
+      return ConstSlice{p.staged_members.data(), p.staged_dists.data(),
+                        p.staged_parents.data()};
+    }
+    return ConstSlice{arena_members_.data() + p.offset,
+                      arena_dists_.data() + p.offset,
+                      arena_parents_.data() + p.offset};
+  }
+  MutableSlice mutable_slice(PerNode& p) {
+    if (p.staged) {
+      return MutableSlice{p.staged_members.data(), p.staged_dists.data(),
+                          p.staged_parents.data()};
+    }
+    return MutableSlice{arena_members_.data() + p.offset,
+                        arena_dists_.data() + p.offset,
+                        arena_parents_.data() + p.offset};
+  }
+
+  /// Branch-light binary search over the two sorted groups of p's slice.
+  ProbeResult find_packed(const PerNode& p, NodeId v) const {
+    if (v == kInvalidNode) {
+      throw std::invalid_argument("VicinityStore: probing the invalid node");
+    }
+    const ConstSlice s = slice(p);
+    std::size_t i = lower_bound_idx(s.members, 0, p.boundary_len, v);
+    if (i >= p.boundary_len || s.members[i] != v) {
+      i = lower_bound_idx(s.members, p.boundary_len, p.len, v);
+      if (i >= p.len || s.members[i] != v) return ProbeResult{};
+    }
+    return ProbeResult{s.dists[i], s.parents[i], true};
+  }
+
+  /// Branch-free lower bound on arr[lo, hi): first index with arr[i] >= v.
+  static std::size_t lower_bound_idx(const NodeId* arr, std::size_t lo,
+                                     std::size_t hi, NodeId v) {
+    std::size_t n = hi - lo;
+    const NodeId* base = arr + lo;
+    while (n > 1) {
+      const std::size_t half = n / 2;
+      base += (base[half - 1] < v) ? half : 0;
+      n -= half;
+    }
+    return static_cast<std::size_t>(base - arr) +
+           ((n == 1 && base[0] < v) ? 1 : 0);
+  }
+
+  void set_packed(PerNode& p, const Vicinity& v);
+
   StoreBackend backend_ = StoreBackend::kFlatHash;
   std::vector<NodeId> slot_of_;  ///< node -> slot or kInvalidNode
   std::vector<PerNode> slots_;
+  // Packed arena (parallel arrays; SoA keeps parents off the intersection
+  // cache path).
+  std::vector<NodeId> arena_members_;
+  std::vector<Distance> arena_dists_;
+  std::vector<NodeId> arena_parents_;
+  std::uint64_t wasted_entries_ = 0;  ///< dead arena entries (replaced slots)
+  std::uint64_t staged_entries_ = 0;  ///< entries parked in staging buffers
+  std::uint64_t staged_slots_ = 0;
   std::uint64_t total_entries_ = 0;
   std::uint64_t total_boundary_ = 0;
 };

@@ -43,7 +43,7 @@ class Index {
   static Index build(const graph::Graph& g,
                      const core::OracleOptions& options = {});
 
-  /// Loads a persisted index (any backend tag, VCNIDX02 or VCNIDX03)
+  /// Loads a persisted index (any backend tag, VCNIDX02 through VCNIDX04)
   /// against the graph it was built on.
   static Index open(const std::string& path, const graph::Graph& g);
   static Index open(std::istream& in, const graph::Graph& g);

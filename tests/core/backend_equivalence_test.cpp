@@ -1,0 +1,199 @@
+// Cross-backend equivalence: the three StoreBackends are one oracle with
+// three physical layouts. For identical build inputs they must produce
+// bit-identical (dist, method, exact) query streams — on undirected,
+// grid-structured, and directed graphs, through dynamic-update streams,
+// and regardless of which side the intersection iterates — while the
+// packed layout undercuts the per-node hash tables on memory.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "core/directed_oracle.h"
+#include "core/oracle.h"
+#include "core/query_engine.h"
+#include "gen/rmat.h"
+#include "graph/components.h"
+#include "test_support.h"
+
+namespace vicinity::core {
+namespace {
+
+constexpr std::array<StoreBackend, 3> kAllBackends = {
+    StoreBackend::kFlatHash, StoreBackend::kStdUnorderedMap,
+    StoreBackend::kPacked};
+
+// Sanitizer builds run the randomized streams at reduced size.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define VICINITY_EQ_SANITIZED 1
+#else
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define VICINITY_EQ_SANITIZED 1
+#endif
+#endif
+#endif
+#ifdef VICINITY_EQ_SANITIZED
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+
+graph::Graph rmat_lcc(unsigned scale, std::uint64_t seed) {
+  util::Rng rng(seed);
+  gen::RmatParams params;
+  auto raw = gen::rmat(scale, std::uint64_t{8} << scale, params, rng);
+  return graph::largest_component(raw).graph;
+}
+
+OracleOptions base_options() {
+  OracleOptions o;
+  o.alpha = 3.0;
+  o.seed = 77;
+  o.fallback = Fallback::kBidirectionalBfs;
+  return o;
+}
+
+template <typename Oracle>
+void expect_identical_streams(std::vector<Oracle>& oracles,
+                              const graph::Graph& g, int queries,
+                              std::uint64_t seed, const char* label) {
+  std::vector<QueryContext> ctx(oracles.size());
+  util::Rng rng(seed);
+  for (int i = 0; i < queries; ++i) {
+    const auto s = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const auto t = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    const QueryResult ref = oracles.front().distance(s, t, ctx.front());
+    for (std::size_t k = 1; k < oracles.size(); ++k) {
+      const QueryResult r = oracles[k].distance(s, t, ctx[k]);
+      ASSERT_EQ(r.dist, ref.dist) << label << " backend " << k << " " << s
+                                  << "->" << t;
+      ASSERT_EQ(r.method, ref.method) << label << " backend " << k;
+      ASSERT_EQ(r.exact, ref.exact) << label << " backend " << k;
+    }
+  }
+}
+
+TEST(BackendEquivalence, RmatGraphBitIdenticalQueryStreams) {
+  const auto g = rmat_lcc(kSanitized ? 10 : 12, 501);
+  std::vector<VicinityOracle> oracles;
+  for (const auto backend : kAllBackends) {
+    OracleOptions o = base_options();
+    o.backend = backend;
+    oracles.push_back(VicinityOracle::build(g, o));
+  }
+  expect_identical_streams(oracles, g, kSanitized ? 400 : 2000, 502, "rmat");
+  // Packed stays within the flat-hash footprint (satellite memory sanity).
+  EXPECT_LE(oracles[2].store().memory_bytes(),
+            oracles[0].store().memory_bytes());
+  EXPECT_EQ(oracles[2].store().total_entries(),
+            oracles[0].store().total_entries());
+}
+
+TEST(BackendEquivalence, GridGraphBitIdenticalQueryStreams) {
+  // Grids maximize boundary size relative to vicinity size — the packed
+  // kernel's merge-heavy regime.
+  const auto g = testing::grid_graph(40, 40);
+  std::vector<VicinityOracle> oracles;
+  for (const auto backend : kAllBackends) {
+    OracleOptions o = base_options();
+    o.backend = backend;
+    oracles.push_back(VicinityOracle::build(g, o));
+  }
+  expect_identical_streams(oracles, g, 1500, 503, "grid");
+}
+
+TEST(BackendEquivalence, DirectedGraphBitIdenticalQueryStreams) {
+  const auto g = testing::random_connected_directed(800, 6400, 504);
+  std::vector<DirectedVicinityOracle> oracles;
+  for (const auto backend : kAllBackends) {
+    OracleOptions o = base_options();
+    o.backend = backend;
+    oracles.push_back(DirectedVicinityOracle::build(g, o));
+  }
+  expect_identical_streams(oracles, g, 1500, 505, "directed");
+  EXPECT_LE(oracles[2].out_store().memory_bytes(),
+            oracles[0].out_store().memory_bytes());
+}
+
+TEST(BackendEquivalence, EquivalentAfterUpdateStream) {
+  // A stream of insert/delete repairs must keep all three backends
+  // bit-identical — this drives the packed slot-replacement path (in-place
+  // rewrites, staging, occasional compaction) against the hash baselines.
+  auto g0 = rmat_lcc(kSanitized ? 9 : 10, 506);
+  std::vector<graph::Graph> graphs(kAllBackends.size(), g0);
+  std::vector<VicinityOracle> oracles;
+  for (std::size_t k = 0; k < kAllBackends.size(); ++k) {
+    OracleOptions o = base_options();
+    o.backend = kAllBackends[k];
+    oracles.push_back(VicinityOracle::build(graphs[k], o));
+  }
+
+  util::Rng rng(507);
+  std::vector<std::pair<NodeId, NodeId>> inserted;
+  const int updates = kSanitized ? 20 : 60;
+  for (int step = 0; step < updates; ++step) {
+    const bool do_delete = !inserted.empty() && rng.next_below(3) == 0;
+    GraphUpdate upd{};
+    if (do_delete) {
+      const auto pick = rng.next_below(inserted.size());
+      upd = GraphUpdate::remove(inserted[pick].first, inserted[pick].second);
+      inserted.erase(inserted.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      NodeId a = 0, b = 0;
+      do {
+        a = static_cast<NodeId>(rng.next_below(graphs[0].num_nodes()));
+        b = static_cast<NodeId>(rng.next_below(graphs[0].num_nodes()));
+      } while (a == b || graphs[0].has_edge(a, b));
+      upd = GraphUpdate::insert(a, b);
+      inserted.emplace_back(a, b);
+    }
+    for (std::size_t k = 0; k < oracles.size(); ++k) {
+      oracles[k].apply_update(graphs[k], upd);
+    }
+    if (step % 10 == 0 || step + 1 == updates) {
+      expect_identical_streams(oracles, graphs[0], kSanitized ? 60 : 200,
+                               508 + static_cast<std::uint64_t>(step),
+                               "update-stream");
+    }
+  }
+  // Totals still agree entry for entry after the whole stream.
+  EXPECT_EQ(oracles[2].store().total_entries(),
+            oracles[0].store().total_entries());
+  EXPECT_EQ(oracles[2].store().total_boundary_entries(),
+            oracles[0].store().total_boundary_entries());
+}
+
+TEST(BackendEquivalence, IntersectionSideChoiceIsResultInvariant) {
+  // Satellite regression for the side-selection fix: whichever side the
+  // intersection iterates (cost-model choice, forced s-side, or forced
+  // t-side via swapped queries on an undirected graph), the (dist, method,
+  // exact) answer must be identical on every backend. Lemma 1 holds
+  // symmetrically; only the probe count may differ.
+  const auto g = rmat_lcc(kSanitized ? 9 : 11, 509);
+  for (const auto backend : kAllBackends) {
+    OracleOptions chosen = base_options();
+    chosen.backend = backend;
+    OracleOptions forced = chosen;
+    forced.iterate_smaller_side = false;  // always iterate ∂Γ(s)
+    auto a = VicinityOracle::build(g, chosen);
+    auto b = VicinityOracle::build(g, forced);
+    QueryContext ca, cb, cc;
+    util::Rng rng(510);
+    for (int i = 0; i < (kSanitized ? 300 : 1200); ++i) {
+      const auto s = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+      const auto t = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+      const auto rc = a.distance(s, t, ca);
+      const auto rf = b.distance(s, t, cb);   // forced ∂Γ(s)
+      const auto rr = b.distance(t, s, cc);   // forced ∂Γ(t) (undirected)
+      ASSERT_EQ(rc.dist, rf.dist) << s << "->" << t;
+      ASSERT_EQ(rc.method, rf.method);
+      ASSERT_EQ(rc.exact, rf.exact);
+      ASSERT_EQ(rc.dist, rr.dist) << s << "->" << t;
+      ASSERT_EQ(rc.exact, rr.exact);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vicinity::core

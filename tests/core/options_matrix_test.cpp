@@ -60,7 +60,11 @@ std::string matrix_name(
     const ::testing::TestParamInfo<MatrixParam>& info) {
   const auto [backend, boundary, smaller, fallback] = info.param;
   std::string s;
-  s += backend == StoreBackend::kFlatHash ? "flat" : "stdmap";
+  switch (backend) {
+    case StoreBackend::kFlatHash: s += "flat"; break;
+    case StoreBackend::kStdUnorderedMap: s += "stdmap"; break;
+    case StoreBackend::kPacked: s += "packed"; break;
+  }
   s += boundary ? "_boundary" : "_full";
   s += smaller ? "_smaller" : "_fixed";
   switch (fallback) {
@@ -74,7 +78,8 @@ std::string matrix_name(
 INSTANTIATE_TEST_SUITE_P(
     AllCombos, OptionsMatrix,
     ::testing::Combine(::testing::Values(StoreBackend::kFlatHash,
-                                         StoreBackend::kStdUnorderedMap),
+                                         StoreBackend::kStdUnorderedMap,
+                                         StoreBackend::kPacked),
                        ::testing::Bool(), ::testing::Bool(),
                        ::testing::Values(Fallback::kNone,
                                          Fallback::kBidirectionalBfs,
@@ -85,7 +90,8 @@ TEST(OptionsMatrixTest, AllConfigurationsAgreeOnDistances) {
   const auto g = testing::random_connected(500, 2000, 1004);
   std::vector<VicinityOracle> oracles;
   for (const auto backend :
-       {StoreBackend::kFlatHash, StoreBackend::kStdUnorderedMap}) {
+       {StoreBackend::kFlatHash, StoreBackend::kStdUnorderedMap,
+        StoreBackend::kPacked}) {
     for (const bool boundary : {true, false}) {
       for (const bool smaller : {true, false}) {
         OracleOptions opt;

@@ -70,6 +70,13 @@ TEST_P(OracleProperty, BoundaryIterationLossless) {
   OracleOptions with_boundary;
   with_boundary.alpha = GetParam().alpha;
   with_boundary.seed = GetParam().seed + 1;
+  // The probe-count inequality below is the paper's hash-probe statistic:
+  // it holds when side selection minimizes the iterated boundary. The
+  // packed backend's side selection minimizes total kernel work (iterated
+  // elements × probe cost), which can legitimately iterate the larger
+  // boundary against a tiny probe slice — its answer equivalence is covered
+  // by the cross-backend equivalence suite.
+  with_boundary.backend = StoreBackend::kFlatHash;
   OracleOptions without_boundary = with_boundary;
   without_boundary.use_boundary_optimization = false;
   auto a = VicinityOracle::build(g, with_boundary);
@@ -170,7 +177,7 @@ TEST(OracleLemmaTest, EmptyIntersectionAgreesWithBruteForce) {
     std::size_t common = 0;
     oracle.store().for_each_member(
         s, [&](NodeId w, const StoredEntry&) {
-          if (oracle.store().find(t, w) != nullptr) ++common;
+          if (oracle.store().find(t, w).found) ++common;
         });
     ASSERT_EQ(common, 0u) << s << "->" << t;
   }

@@ -29,6 +29,25 @@ Fixture make_fixture() {
   opt.alpha = 3.0;
   opt.seed = 1202;
   opt.fallback = Fallback::kBidirectionalBfs;
+  // The version-2 rewrite below only exists for hash-backend bodies (their
+  // store layout is byte-identical across versions 2-4); the packed body is
+  // fuzzed separately.
+  opt.backend = StoreBackend::kFlatHash;
+  const auto oracle = VicinityOracle::build(f.g, opt);
+  std::ostringstream out(std::ios::binary);
+  save_oracle(oracle, out);
+  f.bytes = out.str();
+  return f;
+}
+
+Fixture make_packed_fixture() {
+  Fixture f;
+  f.g = testing::random_connected(200, 700, 1211);
+  OracleOptions opt;
+  opt.alpha = 3.0;
+  opt.seed = 1212;
+  opt.fallback = Fallback::kBidirectionalBfs;
+  opt.backend = StoreBackend::kPacked;
   const auto oracle = VicinityOracle::build(f.g, opt);
   std::ostringstream out(std::ios::binary);
   save_oracle(oracle, out);
@@ -43,6 +62,7 @@ Fixture make_directed_fixture() {
   opt.alpha = 3.0;
   opt.seed = 1302;
   opt.fallback = Fallback::kBidirectionalBfs;
+  opt.backend = StoreBackend::kFlatHash;
   const auto oracle = DirectedVicinityOracle::build(f.g, opt);
   std::ostringstream out(std::ios::binary);
   save_oracle(oracle, out);
@@ -58,15 +78,21 @@ constexpr std::size_t kBackendTagOffset = 8;
 // options(8+8+1+1+1+1+1+8+8: ... fallback, update_rebuild_fraction, seed).
 constexpr std::size_t kFirstVecLenOffset = 64;
 
-/// Rewrites valid version-3 undirected bytes into the version-2 layout
-/// (same body, no backend-tag byte) — the pre-PR on-disk format.
-std::string as_version2(const std::string& v3) {
-  std::string v2 = v3.substr(0, kBackendTagOffset) +
-                   v3.substr(kBackendTagOffset + 1);
+/// Rewrites valid version-4 hash-backend undirected bytes into the
+/// version-2 layout (same body, no backend-tag byte) — the oldest loadable
+/// on-disk format.
+std::string as_version2(const std::string& v4) {
+  std::string v2 = v4.substr(0, kBackendTagOffset) +
+                   v4.substr(kBackendTagOffset + 1);
   v2[6] = '0';
   v2[7] = '2';
   return v2;
 }
+
+// Byte offset of OracleOptions::backend within the body:
+// header(9) + graph shape(18) + alpha(8) + sampling_constant(8) +
+// strategy(1).
+constexpr std::size_t kBackendByteOffset = 44;
 
 TEST(SerializeFuzzTest, ValidBufferLoadsAndAnswers) {
   const Fixture f = make_fixture();
@@ -165,7 +191,7 @@ TEST(SerializeFuzzTest, OldFormatVersionIsRejectedNotMisparsed) {
   const Fixture f = make_fixture();
   std::string mangled = f.bytes;
   ASSERT_EQ(mangled[6], '0');
-  ASSERT_EQ(mangled[7], '3');
+  ASSERT_EQ(mangled[7], '4');
   mangled[7] = '1';
   std::istringstream in(mangled, std::ios::binary);
   try {
@@ -180,7 +206,7 @@ TEST(SerializeFuzzTest, OldFormatVersionIsRejectedNotMisparsed) {
 
 TEST(SerializeFuzzTest, FutureAndGarbageVersionsAreRejected) {
   const Fixture f = make_fixture();
-  for (const char* version : {"04", "99", "12", "00"}) {
+  for (const char* version : {"05", "99", "12", "00"}) {
     std::string mangled = f.bytes;
     mangled[6] = version[0];
     mangled[7] = version[1];
@@ -198,20 +224,20 @@ TEST(SerializeFuzzTest, FutureAndGarbageVersionsAreRejected) {
 
 TEST(SerializeFuzzTest, Version2FilesStillLoad) {
   // Backward compatibility: a VCNIDX02 file (no backend tag, undirected
-  // body) must load through load_oracle AND load_any_oracle and answer
-  // exactly like the version-3 round trip.
+  // hash-backend body) must load through load_oracle AND load_any_oracle
+  // and answer exactly like the version-4 round trip.
   const Fixture f = make_fixture();
   const std::string v2 = as_version2(f.bytes);
-  std::istringstream in3(f.bytes, std::ios::binary);
+  std::istringstream in4(f.bytes, std::ios::binary);
   std::istringstream in2(v2, std::ios::binary);
-  auto from_v3 = load_oracle(in3, f.g);
+  auto from_v4 = load_oracle(in4, f.g);
   auto from_v2 = load_oracle(in2, f.g);
   QueryContext ctx;
   util::Rng rng(1204);
   for (int i = 0; i < 100; ++i) {
     const auto s = static_cast<NodeId>(rng.next_below(f.g.num_nodes()));
     const auto t = static_cast<NodeId>(rng.next_below(f.g.num_nodes()));
-    const auto a = from_v3.distance(s, t, ctx);
+    const auto a = from_v4.distance(s, t, ctx);
     const auto b = from_v2.distance(s, t, ctx);
     ASSERT_EQ(a.dist, b.dist);
     ASSERT_EQ(a.method, b.method);
@@ -221,6 +247,109 @@ TEST(SerializeFuzzTest, Version2FilesStillLoad) {
   auto any = load_any_oracle(in_any, f.g);
   ASSERT_NE(any, nullptr);
   EXPECT_STREQ(any->backend_name(), "vicinity");
+}
+
+TEST(SerializeFuzzTest, Version3FilesStillLoad) {
+  // A hash-backend version-3 file is byte-identical to version 4 apart
+  // from the version digits.
+  const Fixture f = make_fixture();
+  std::string v3 = f.bytes;
+  v3[7] = '3';
+  std::istringstream in(v3, std::ios::binary);
+  auto oracle = load_oracle(in, f.g);
+  QueryContext ctx;
+  util::Rng rng(1205);
+  for (int i = 0; i < 50; ++i) {
+    const auto s = static_cast<NodeId>(rng.next_below(f.g.num_nodes()));
+    const auto t = static_cast<NodeId>(rng.next_below(f.g.num_nodes()));
+    EXPECT_EQ(oracle.distance(s, t, ctx).dist,
+              testing::ref_distance(f.g, s, t));
+  }
+}
+
+TEST(SerializeFuzzTest, PackedBackendPredatingVersion4IsRejected) {
+  // A version-2/3 file whose options byte claims the packed backend is
+  // corrupt (the packed body only exists from VCNIDX04 on); it must fail
+  // with the versioned error, not be misparsed as per-slot records.
+  const Fixture f = make_packed_fixture();
+  ASSERT_EQ(static_cast<unsigned char>(f.bytes[kBackendByteOffset]), 2u);
+  std::string v3 = f.bytes;
+  v3[7] = '3';
+  std::istringstream in(v3, std::ios::binary);
+  try {
+    (void)load_oracle(in, f.g);
+    FAIL() << "pre-version-4 packed file loaded";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("packed store backend requires format version >= 4"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("version 3"), std::string::npos) << what;
+  }
+}
+
+TEST(SerializeFuzzTest, PackedRoundTripLoadsAndAnswers) {
+  const Fixture f = make_packed_fixture();
+  std::istringstream in(f.bytes, std::ios::binary);
+  auto oracle = load_oracle(in, f.g);
+  EXPECT_EQ(oracle.options().backend, StoreBackend::kPacked);
+  EXPECT_TRUE(oracle.store().fully_packed());
+  QueryContext ctx;
+  util::Rng rng(1206);
+  for (int i = 0; i < 50; ++i) {
+    const auto s = static_cast<NodeId>(rng.next_below(f.g.num_nodes()));
+    const auto t = static_cast<NodeId>(rng.next_below(f.g.num_nodes()));
+    EXPECT_EQ(oracle.distance(s, t, ctx).dist,
+              testing::ref_distance(f.g, s, t));
+  }
+}
+
+TEST(SerializeFuzzTest, PackedTruncationAndCorruptionAreGraceful) {
+  // The VCNIDX04 packed body is seven length-prefixed blobs; every cut
+  // point and every corrupted byte in the header-heavy region must fail
+  // with the loader's runtime_error — never bad_alloc, never a crash, and
+  // in particular never an out-of-bounds binary search over an unsorted
+  // slice.
+  const Fixture f = make_packed_fixture();
+  ASSERT_GT(f.bytes.size(), 200u);
+  for (std::size_t cut = 0; cut < f.bytes.size();
+       cut += (cut < 256 ? 1 : 997)) {
+    std::istringstream in(f.bytes.substr(0, cut), std::ios::binary);
+    EXPECT_THROW(load_oracle(in, f.g), std::runtime_error) << "cut=" << cut;
+  }
+  const std::size_t limit = std::min<std::size_t>(f.bytes.size(), 512);
+  for (std::size_t pos = 0; pos < limit; ++pos) {
+    std::string mangled = f.bytes;
+    mangled[pos] = static_cast<char>(mangled[pos] ^ 0x5a);
+    std::istringstream in(mangled, std::ios::binary);
+    try {
+      (void)load_oracle(in, f.g);
+    } catch (const std::bad_alloc&) {
+      FAIL() << "bad_alloc at pos=" << pos;
+    } catch (const std::runtime_error&) {
+      // expected for most positions
+    }
+  }
+}
+
+TEST(SerializeFuzzTest, PackedBlobLengthCorruptionIsGraceful) {
+  // Stamp a huge 64-bit length over every aligned window of the packed
+  // body: whichever are real blob lengths must fail as truncation or a
+  // packed-store validation error, and none may over-allocate.
+  const Fixture f = make_packed_fixture();
+  const std::uint64_t huge = 0x0123456789abcdefull;
+  const std::size_t limit = std::min<std::size_t>(f.bytes.size() - 8, 512);
+  for (std::size_t pos = 8; pos < limit; ++pos) {
+    std::string mangled = f.bytes;
+    std::memcpy(mangled.data() + pos, &huge, sizeof(huge));
+    std::istringstream in(mangled, std::ios::binary);
+    try {
+      (void)load_oracle(in, f.g);
+    } catch (const std::bad_alloc&) {
+      FAIL() << "bad_alloc at pos=" << pos;
+    } catch (const std::runtime_error&) {
+    }
+  }
 }
 
 TEST(SerializeFuzzTest, WrongBackendTagFailsWithVersionedError) {
@@ -238,7 +367,7 @@ TEST(SerializeFuzzTest, WrongBackendTagFailsWithVersionedError) {
   } catch (const std::runtime_error& e) {
     const std::string what = e.what();
     EXPECT_NE(what.find("backend mismatch"), std::string::npos) << what;
-    EXPECT_NE(what.find("format version 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("format version 4"), std::string::npos) << what;
     EXPECT_NE(what.find("vicinity-directed"), std::string::npos) << what;
   }
   // The symmetric direction: load_directed_oracle refuses an undirected

@@ -1,13 +1,25 @@
-// VicinityStore: both hash backends must behave identically.
+// VicinityStore: all three backends must behave identically.
 #include "core/vicinity_store.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
 
 #include "core/landmarks.h"
 #include "test_support.h"
 
 namespace vicinity::core {
 namespace {
+
+const char* backend_name(StoreBackend b) {
+  switch (b) {
+    case StoreBackend::kFlatHash: return "FlatHash";
+    case StoreBackend::kStdUnorderedMap: return "StdUnorderedMap";
+    case StoreBackend::kPacked: return "Packed";
+  }
+  return "Unknown";
+}
 
 class StoreTest : public ::testing::TestWithParam<StoreBackend> {
  protected:
@@ -28,17 +40,17 @@ TEST_P(StoreTest, FindReturnsStoredEntries) {
   EXPECT_TRUE(store.has(5));   // prepared but empty
   EXPECT_FALSE(store.has(1));  // never prepared
   for (const auto& m : v.members) {
-    const StoredEntry* e = store.find(0, m.node);
-    ASSERT_NE(e, nullptr);
-    EXPECT_EQ(e->dist, m.dist);
-    EXPECT_EQ(e->parent, m.parent);
+    const ProbeResult e = store.find(0, m.node);
+    ASSERT_TRUE(e.found);
+    EXPECT_EQ(e.dist, m.dist);
+    EXPECT_EQ(e.parent, m.parent);
   }
   // Non-members probe as absent.
   std::size_t missing = 0;
   for (NodeId x = 0; x < g.num_nodes(); ++x) {
     bool member = false;
     for (const auto& m : v.members) member |= (m.node == x);
-    if (!member && store.find(0, x) == nullptr) ++missing;
+    if (!member && !store.find(0, x).found) ++missing;
   }
   EXPECT_EQ(missing, g.num_nodes() - v.members.size());
 }
@@ -54,9 +66,9 @@ TEST_P(StoreTest, BoundaryViewMatchesFlags) {
   EXPECT_EQ(view.nodes.size(), v.boundary_size);
   EXPECT_EQ(store.boundary_size(3), v.boundary_size);
   for (std::size_t i = 0; i < view.nodes.size(); ++i) {
-    const StoredEntry* e = store.find(3, view.nodes[i]);
-    ASSERT_NE(e, nullptr);
-    EXPECT_EQ(e->dist, view.dists[i]);
+    const ProbeResult e = store.find(3, view.nodes[i]);
+    ASSERT_TRUE(e.found);
+    EXPECT_EQ(e.dist, view.dists[i]);
   }
 }
 
@@ -103,17 +115,16 @@ TEST_P(StoreTest, DuplicatePrepareIsIdempotent) {
 
 INSTANTIATE_TEST_SUITE_P(Backends, StoreTest,
                          ::testing::Values(StoreBackend::kFlatHash,
-                                           StoreBackend::kStdUnorderedMap),
+                                           StoreBackend::kStdUnorderedMap,
+                                           StoreBackend::kPacked),
                          [](const auto& info) {
-                           return info.param == StoreBackend::kFlatHash
-                                      ? "FlatHash"
-                                      : "StdUnorderedMap";
+                           return std::string(backend_name(info.param));
                          });
 
 TEST_P(StoreTest, ProbingInvalidNodeIsCheckedError) {
   // Regression: the flat backend reserves kInvalidNode as its empty-key
   // sentinel; in Release builds a sentinel probe used to "find" the first
-  // free slot. Both backends must reject it identically, in every build
+  // free slot. Every backend must reject it identically, in every build
   // type, so behavior does not depend on the StoreBackend switch.
   const auto g = testing::karate_club();
   VicinityStore store(g.num_nodes(), GetParam());
@@ -158,7 +169,7 @@ TEST_P(StoreTest, ReplacingASlotAdjustsTotalsAndContents) {
   // Entries of the old (larger) vicinity are gone.
   std::size_t found = 0;
   for (const auto& m : big.members) {
-    if (store.find(0, m.node) != nullptr) ++found;
+    if (store.find(0, m.node).found) ++found;
   }
   EXPECT_EQ(found, small.members.size());
 
@@ -197,27 +208,291 @@ TEST(StoreBackendTest, BackendsAgreeProbeForProbe) {
   const auto g = testing::random_connected(300, 1200, 142);
   VicinityStore flat(g.num_nodes(), StoreBackend::kFlatHash);
   VicinityStore stdm(g.num_nodes(), StoreBackend::kStdUnorderedMap);
+  VicinityStore packed(g.num_nodes(), StoreBackend::kPacked);
   const std::vector<NodeId> nodes = {1, 2, 3, 4, 5};
   flat.prepare(nodes);
   stdm.prepare(nodes);
+  packed.prepare(nodes);
   VicinityBuilder builder(g);
   for (const NodeId u : nodes) {
     const Vicinity v = builder.build(u, 2, kInvalidNode);
     flat.set(u, v);
     stdm.set(u, v);
+    packed.set(u, v);
   }
+  packed.pack();
   for (const NodeId u : nodes) {
     for (NodeId x = 0; x < g.num_nodes(); ++x) {
-      const StoredEntry* a = flat.find(u, x);
-      const StoredEntry* b = stdm.find(u, x);
-      ASSERT_EQ(a == nullptr, b == nullptr);
-      if (a) {
-        EXPECT_EQ(a->dist, b->dist);
-        EXPECT_EQ(a->parent, b->parent);
+      const ProbeResult a = flat.find(u, x);
+      const ProbeResult b = stdm.find(u, x);
+      const ProbeResult c = packed.find(u, x);
+      ASSERT_EQ(a.found, b.found);
+      ASSERT_EQ(a.found, c.found);
+      if (a.found) {
+        EXPECT_EQ(a.dist, b.dist);
+        EXPECT_EQ(a.parent, b.parent);
+        EXPECT_EQ(a.dist, c.dist);
+        EXPECT_EQ(a.parent, c.parent);
       }
+    }
+    // Boundary views agree element for element (both sorted by node).
+    const auto bf = flat.boundary(u);
+    const auto bp = packed.boundary(u);
+    ASSERT_EQ(bf.nodes.size(), bp.nodes.size());
+    for (std::size_t i = 0; i < bf.nodes.size(); ++i) {
+      EXPECT_EQ(bf.nodes[i], bp.nodes[i]);
+      EXPECT_EQ(bf.dists[i], bp.dists[i]);
     }
   }
   EXPECT_EQ(flat.total_entries(), stdm.total_entries());
+  EXPECT_EQ(flat.total_entries(), packed.total_entries());
+  EXPECT_EQ(flat.total_boundary_entries(), packed.total_boundary_entries());
+  // The packed layout strictly undercuts the per-node hash tables.
+  EXPECT_LE(packed.memory_bytes(), flat.memory_bytes());
+}
+
+// ---- Packed-backend specifics ------------------------------------------
+
+TEST(PackedStoreTest, SlicesAreGroupSortedAndBoundaryIsAPrefix) {
+  const auto g = testing::random_connected(300, 1100, 143);
+  VicinityStore store(g.num_nodes(), StoreBackend::kPacked);
+  const std::vector<NodeId> nodes = {0, 1, 2, 3};
+  store.prepare(nodes);
+  VicinityBuilder builder(g);
+  for (const NodeId u : nodes) store.set(u, builder.build(u, 2, kInvalidNode));
+  EXPECT_FALSE(store.fully_packed());  // everything staged pre-pack
+  store.pack();
+  EXPECT_TRUE(store.fully_packed());
+  for (const NodeId u : nodes) {
+    // boundary() is the slice prefix: every boundary node probes back to
+    // the same entry, and the view is strictly ascending.
+    const auto view = store.boundary(u);
+    for (std::size_t i = 1; i < view.nodes.size(); ++i) {
+      EXPECT_LT(view.nodes[i - 1], view.nodes[i]);
+    }
+    // for_each order = slice order: boundary group then interior group.
+    std::vector<NodeId> order;
+    store.for_each_member(u, [&](NodeId v, const StoredEntry&) {
+      order.push_back(v);
+    });
+    ASSERT_EQ(order.size(), store.vicinity_size(u));
+    const std::size_t blen = view.nodes.size();
+    for (std::size_t i = 0; i < blen; ++i) EXPECT_EQ(order[i], view.nodes[i]);
+    for (std::size_t i = blen + 1; i < order.size(); ++i) {
+      EXPECT_LT(order[i - 1], order[i]);
+    }
+  }
+}
+
+TEST(PackedStoreTest, InPlaceReplacementDoesNotFragment) {
+  const auto g = testing::random_connected(400, 1600, 144);
+  VicinityStore store(g.num_nodes(), StoreBackend::kPacked);
+  const std::vector<NodeId> nodes = {0, 1, 2};
+  store.prepare(nodes);
+  VicinityBuilder builder(g);
+  for (const NodeId u : nodes) store.set(u, builder.build(u, 3, kInvalidNode));
+  store.pack();
+  // A same-or-smaller replacement reuses the arena region: still packed.
+  store.set(1, builder.build(1, 2, kInvalidNode));
+  EXPECT_TRUE(store.fully_packed());
+  // Growing past the region stages the slot; pack() folds it back.
+  const std::size_t shrunk = store.vicinity_size(1);
+  store.set(1, builder.build(1, 4, kInvalidNode));
+  if (store.vicinity_size(1) > shrunk) {
+    EXPECT_FALSE(store.fully_packed());
+  }
+  store.pack();
+  EXPECT_TRUE(store.fully_packed());
+  VicinityBuilder check(g);
+  const Vicinity v = check.build(1, 4, kInvalidNode);
+  for (const auto& m : v.members) {
+    const ProbeResult e = store.find(1, m.node);
+    ASSERT_TRUE(e.found);
+    EXPECT_EQ(e.dist, m.dist);
+  }
+  EXPECT_EQ(store.vicinity_size(1), v.members.size());
+}
+
+TEST(PackedStoreTest, AdoptExportRoundTripAndValidation) {
+  const auto g = testing::random_connected(250, 900, 145);
+  VicinityStore store(g.num_nodes(), StoreBackend::kPacked);
+  const std::vector<NodeId> nodes = {0, 5, 9};
+  store.prepare(nodes);
+  VicinityBuilder builder(g);
+  for (const NodeId u : nodes) store.set(u, builder.build(u, 2, kInvalidNode));
+  store.pack();
+
+  auto blob = store.export_packed();
+  VicinityStore copy(g.num_nodes(), StoreBackend::kPacked);
+  copy.prepare(nodes);
+  copy.adopt_packed(std::move(blob));
+  ASSERT_EQ(copy.total_entries(), store.total_entries());
+  for (const NodeId u : nodes) {
+    for (NodeId x = 0; x < g.num_nodes(); ++x) {
+      const ProbeResult a = store.find(u, x);
+      const ProbeResult b = copy.find(u, x);
+      ASSERT_EQ(a.found, b.found);
+      if (a.found) {
+        EXPECT_EQ(a.dist, b.dist);
+        EXPECT_EQ(a.parent, b.parent);
+      }
+    }
+  }
+
+  // Corrupt blobs are rejected, not installed.
+  auto bad = store.export_packed();
+  bad.members.pop_back();
+  VicinityStore reject(g.num_nodes(), StoreBackend::kPacked);
+  reject.prepare(nodes);
+  EXPECT_THROW(reject.adopt_packed(std::move(bad)), std::runtime_error);
+
+  auto unsorted = store.export_packed();
+  if (unsorted.members.size() >= 2 && unsorted.boundary_len[0] >= 2) {
+    std::swap(unsorted.members[0], unsorted.members[1]);
+    VicinityStore reject2(g.num_nodes(), StoreBackend::kPacked);
+    reject2.prepare(nodes);
+    EXPECT_THROW(reject2.adopt_packed(std::move(unsorted)),
+                 std::runtime_error);
+  }
+}
+
+TEST(PackedStoreTest, AdoptRejectsMemberInBothGroups) {
+  // Each group can be individually sorted and in range while sharing a
+  // node — a corrupt VCNIDX04 body that must not load as a slice with two
+  // entries for one member.
+  const auto g = testing::karate_club();
+  VicinityStore store(g.num_nodes(), StoreBackend::kPacked);
+  store.prepare(std::vector<NodeId>{0});
+  VicinityStore::PackedBlob blob;
+  blob.radius = {2};
+  blob.nearest = {kInvalidNode};
+  blob.len = {2};
+  blob.boundary_len = {1};
+  blob.members = {5, 5};  // boundary group {5}, interior group {5}
+  blob.dists = {1, 2};
+  blob.parents = {0, 0};
+  try {
+    store.adopt_packed(std::move(blob));
+    FAIL() << "duplicate member across groups loaded";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("both boundary and interior"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PackedStoreTest, ShrinkingRepairsTriggerCompaction) {
+  // Delete-heavy repair streams shrink slices in place; the dead tails
+  // must count as waste so pack_if_needed() eventually reclaims them.
+  const auto g = testing::random_connected(3000, 12000, 148);
+  VicinityStore store(g.num_nodes(), StoreBackend::kPacked);
+  std::vector<NodeId> nodes;
+  for (NodeId u = 0; u < 30; ++u) nodes.push_back(u);
+  store.prepare(nodes);
+  VicinityBuilder builder(g);
+  for (const NodeId u : nodes) store.set(u, builder.build(u, 3, kInvalidNode));
+  store.pack();
+  const auto big_bytes = store.memory_bytes();
+  const auto big_total = store.total_entries();
+  for (const NodeId u : nodes) store.set(u, builder.build(u, 1, kInvalidNode));
+  ASSERT_LT(store.total_entries(), big_total / 4);  // mostly dead arena now
+  EXPECT_TRUE(store.fully_packed());                // in-place, not staged
+  store.pack_if_needed();
+  EXPECT_LT(store.memory_bytes(), big_bytes);
+  // After compaction every probe still resolves.
+  for (const NodeId u : nodes) {
+    const Vicinity v = builder.build(u, 1, kInvalidNode);
+    for (const auto& m : v.members) {
+      ASSERT_TRUE(store.find(u, m.node).found);
+    }
+    EXPECT_EQ(store.vicinity_size(u), v.members.size());
+  }
+}
+
+TEST(PackedStoreTest, IntersectionKernelsAgreeWithHashProbes) {
+  const auto g = testing::random_connected(500, 2200, 146);
+  VicinityStore flat(g.num_nodes(), StoreBackend::kFlatHash);
+  VicinityStore packed(g.num_nodes(), StoreBackend::kPacked);
+  std::vector<NodeId> nodes;
+  for (NodeId u = 0; u < 40; ++u) nodes.push_back(u);
+  flat.prepare(nodes);
+  packed.prepare(nodes);
+  VicinityBuilder builder(g);
+  for (const NodeId u : nodes) {
+    const Vicinity v = builder.build(u, 3, kInvalidNode);
+    flat.set(u, v);
+    packed.set(u, v);
+  }
+  packed.pack();
+  for (const NodeId s : nodes) {
+    for (const NodeId t : nodes) {
+      if (s == t) continue;
+      std::uint32_t lf = 0, lp = 0;
+      const Distance a = flat.intersect_min(flat.boundary(s), t, lf);
+      const Distance b = packed.intersect_min(packed.boundary(s), t, lp);
+      ASSERT_EQ(a, b) << s << "->" << t;
+      ASSERT_EQ(lf, lp);  // one probe per iterated boundary member
+    }
+  }
+}
+
+TEST(PackedStoreTest, SortedIntersectionKernelVariantsAgree) {
+  // merge vs gallop vs adaptive over skewed synthetic arrays.
+  util::Rng rng(147);
+  for (int rep = 0; rep < 30; ++rep) {
+    const std::size_t na = 1 + rng.next_below(40);
+    const std::size_t nb = 1 + rng.next_below(2000);
+    auto gen_arr = [&](std::size_t n) {
+      std::vector<NodeId> ids;
+      NodeId cur = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        cur += 1 + static_cast<NodeId>(rng.next_below(9));
+        ids.push_back(cur);
+      }
+      return ids;
+    };
+    const auto an = gen_arr(na);
+    const auto bn = gen_arr(nb);
+    std::vector<Distance> ad(na), bd(nb);
+    for (auto& d : ad) d = 1 + static_cast<Distance>(rng.next_below(6));
+    for (auto& d : bd) d = 1 + static_cast<Distance>(rng.next_below(6));
+
+    Distance ref = kInfDistance;
+    for (std::size_t i = 0; i < na; ++i) {
+      const auto it = std::lower_bound(bn.begin(), bn.end(), an[i]);
+      if (it != bn.end() && *it == an[i]) {
+        const auto j = static_cast<std::size_t>(it - bn.begin());
+        ref = std::min(ref, dist_add(ad[i], bd[j]));
+      }
+    }
+    EXPECT_EQ(detail::merge_intersect_min(an, ad, bn, bd), ref);
+    EXPECT_EQ(detail::gallop_intersect_min(an, ad, bn, bd), ref);
+    EXPECT_EQ(detail::intersect_sorted_min(an, ad, bn, bd), ref);
+    EXPECT_EQ(detail::intersect_sorted_min(bn, bd, an, ad), ref);
+  }
+}
+
+TEST(PackedStoreTest, RefreshBoundaryFlagRotatesWithinTheSlice) {
+  // Force both directions of the flag flip on a path graph, where boundary
+  // membership is easy to reason about: 0-1-2-3-4-..., Γ(2) with radius 2.
+  const auto g = testing::path_graph(9);
+  VicinityStore store(g.num_nodes(), StoreBackend::kPacked);
+  store.prepare(std::vector<NodeId>{2});
+  VicinityBuilder builder(g);
+  store.set(2, builder.build(2, 2, kInvalidNode));
+  store.pack();
+  const auto initial = store.boundary(2).nodes.size();
+  ASSERT_GT(initial, 0u);
+  const NodeId member = store.boundary(2).nodes[0];
+  // No-op refresh keeps the slice intact.
+  store.refresh_boundary_flag(2, member, g, Direction::kOut);
+  EXPECT_EQ(store.boundary(2).nodes.size(), initial);
+  // Membership probes still resolve after the (no-op) rotation path.
+  store.for_each_member(2, [&](NodeId v, const StoredEntry& e) {
+    const ProbeResult p = store.find(2, v);
+    ASSERT_TRUE(p.found);
+    EXPECT_EQ(p.dist, e.dist);
+  });
 }
 
 }  // namespace

@@ -123,7 +123,7 @@ TEST(WeightedGuardTest, GuardIsNoOpOnUnweightedGraphs) {
     // intersection (guard no-op): verify by brute force.
     std::size_t common = 0;
     oracle.store().for_each_member(s, [&](NodeId w, const StoredEntry&) {
-      if (oracle.store().find(t, w) != nullptr) ++common;
+      if (oracle.store().find(t, w).found) ++common;
     });
     if (common != 0) ++rejected_at_guard;
   }
