@@ -8,6 +8,12 @@ function(vicinity_set_warnings target)
   cmake_parse_arguments(ARG "WERROR" "" "" ${ARGN})
   if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
     target_compile_options(${target} PRIVATE -Wall -Wextra)
+    if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+      # Compile-time race detection: src/util/thread_annotations.h expands
+      # the capability attributes only under clang, where this flag checks
+      # them. GCC builds compile the same code with the macros empty.
+      target_compile_options(${target} PRIVATE -Wthread-safety)
+    endif()
     if(ARG_WERROR AND VICINITY_WERROR)
       target_compile_options(${target} PRIVATE -Werror)
     endif()

@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""clang-tidy ratchet driver for libvicinity.
+
+Runs clang-tidy (configuration from the repo-root .clang-tidy) over every
+first-party translation unit in compile_commands.json and compares the
+findings against a committed baseline (scripts/clang_tidy_baseline.json,
+per-file per-check counts):
+
+  * a (file, check) count above its baselined value is a REGRESSION — the
+    script exits nonzero and CI fails;
+  * a count below the baseline is an improvement — reported, and the
+    baseline can be re-tightened with --regenerate so the gains are locked
+    in (the ratchet only ever moves down).
+
+Usage:
+  scripts/run_clang_tidy.py --check                 # gate (CI mode)
+  scripts/run_clang_tidy.py --check --regenerate    # rewrite the baseline
+
+The clang-tidy binary is injectable (--clang-tidy or CLANG_TIDY env var) so
+the ratchet logic itself is testable without a clang toolchain — see
+tests/lint/test_run_clang_tidy.py.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "scripts" / "clang_tidy_baseline.json"
+
+# First-party code only: dependencies fetched into the build tree and the
+# deliberately-broken lint fixtures are not ours to ratchet.
+SOURCE_DIRS = ("src", "tests", "bench", "examples")
+EXCLUDED_PARTS = ("_deps", os.path.join("tests", "lint", "fixtures"))
+
+# clang-tidy diagnostic line: path:line:col: warning: message [check,names]
+DIAG_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?:warning|error): (?P<msg>.*?) \[(?P<checks>[^\]]+)\]$"
+)
+
+
+def first_party_sources(build_dir: Path) -> list[str]:
+    ccj = build_dir / "compile_commands.json"
+    if not ccj.is_file():
+        sys.exit(
+            f"error: {ccj} not found — configure first "
+            "(cmake -B build -S . exports it automatically)"
+        )
+    entries = json.loads(ccj.read_text())
+    files: list[str] = []
+    seen: set[str] = set()
+    for entry in entries:
+        path = Path(entry["file"])
+        if not path.is_absolute():
+            path = Path(entry["directory"]) / path
+        try:
+            rel = path.resolve().relative_to(REPO_ROOT)
+        except ValueError:
+            continue  # generated into the build tree
+        rel_str = str(rel)
+        if not rel_str.startswith(SOURCE_DIRS):
+            continue
+        if any(part in rel_str for part in EXCLUDED_PARTS):
+            continue
+        if rel_str not in seen:
+            seen.add(rel_str)
+            files.append(rel_str)
+    return sorted(files)
+
+
+def run_one(clang_tidy: str, build_dir: Path, source: str) -> str:
+    proc = subprocess.run(
+        [clang_tidy, "-p", str(build_dir), "--quiet", source],
+        cwd=REPO_ROOT,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    return proc.stdout
+
+
+def parse_findings(output: str) -> set[tuple[str, int, int, str]]:
+    """Deduplicated (relpath, line, col, check) tuples from tidy output."""
+    findings = set()
+    for line in output.splitlines():
+        m = DIAG_RE.match(line.strip())
+        if not m:
+            continue
+        path = Path(m.group("path"))
+        if path.is_absolute():
+            try:
+                path = path.resolve().relative_to(REPO_ROOT)
+            except ValueError:
+                continue  # diagnostics from system/third-party headers
+        rel = str(path)
+        if any(part in rel for part in EXCLUDED_PARTS):
+            continue
+        for check in m.group("checks").split(","):
+            findings.add((rel, int(m.group("line")), int(m.group("col")),
+                          check.strip()))
+    return findings
+
+
+def count_by_file_check(
+    findings: set[tuple[str, int, int, str]],
+) -> dict[str, dict[str, int]]:
+    counts: dict[str, dict[str, int]] = {}
+    for rel, _line, _col, check in findings:
+        counts.setdefault(rel, {})[check] = (
+            counts.get(rel, {}).get(check, 0) + 1
+        )
+    return counts
+
+
+def load_baseline(path: Path) -> dict[str, dict[str, int]]:
+    if not path.is_file():
+        return {}
+    data = json.loads(path.read_text())
+    return data.get("findings", {})
+
+
+def write_baseline(path: Path, counts: dict[str, dict[str, int]]) -> None:
+    payload = {
+        "comment": (
+            "clang-tidy ratchet baseline: per-file per-check finding counts "
+            "frozen by scripts/run_clang_tidy.py --regenerate. New findings "
+            "fail CI; fixes shrink this file."
+        ),
+        "findings": {
+            f: dict(sorted(checks.items()))
+            for f, checks in sorted(counts.items())
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def diff_against_baseline(
+    counts: dict[str, dict[str, int]],
+    baseline: dict[str, dict[str, int]],
+) -> tuple[list[str], list[str]]:
+    regressions: list[str] = []
+    improvements: list[str] = []
+    keys = {(f, c) for f, checks in counts.items() for c in checks}
+    keys |= {(f, c) for f, checks in baseline.items() for c in checks}
+    for f, c in sorted(keys):
+        now = counts.get(f, {}).get(c, 0)
+        then = baseline.get(f, {}).get(c, 0)
+        if now > then:
+            regressions.append(f"{f}: {c}: {then} -> {now}")
+        elif now < then:
+            improvements.append(f"{f}: {c}: {then} -> {now}")
+    return regressions, improvements
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", type=Path,
+                        default=REPO_ROOT / "build",
+                        help="CMake build dir holding compile_commands.json")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--clang-tidy",
+                        default=os.environ.get("CLANG_TIDY", "clang-tidy"),
+                        help="clang-tidy binary (env CLANG_TIDY)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare findings against the baseline")
+    parser.add_argument("--regenerate", action="store_true",
+                        help="rewrite the baseline from current findings")
+    parser.add_argument("--jobs", type=int,
+                        default=max(1, os.cpu_count() or 1))
+    args = parser.parse_args(argv)
+
+    sources = first_party_sources(args.build_dir)
+    if not sources:
+        sys.exit("error: no first-party sources in compile_commands.json")
+
+    findings: set[tuple[str, int, int, str]] = set()
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        outputs = pool.map(
+            lambda s: run_one(args.clang_tidy, args.build_dir, s), sources
+        )
+        for output in outputs:
+            findings |= parse_findings(output)
+
+    counts = count_by_file_check(findings)
+    total = sum(n for checks in counts.values() for n in checks.values())
+    print(f"clang-tidy: {len(sources)} TUs, {total} findings")
+
+    if args.regenerate:
+        write_baseline(args.baseline, counts)
+        print(f"baseline regenerated: {args.baseline}")
+        return 0
+
+    if not args.check:
+        for rel, line, col, check in sorted(findings):
+            print(f"  {rel}:{line}:{col} [{check}]")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    regressions, improvements = diff_against_baseline(counts, baseline)
+    for msg in improvements:
+        print(f"improved (re-ratchet with --regenerate): {msg}")
+    if regressions:
+        print("NEW clang-tidy findings versus the committed baseline:")
+        for msg in regressions:
+            print(f"  REGRESSION {msg}")
+        print(f"fix them, or knowingly refresh {args.baseline.name} "
+              "with --regenerate")
+        return 1
+    print("clang-tidy ratchet: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,11 +20,6 @@ DirectedVicinityOracle& DirectedVicinityOracle::operator=(
     DirectedVicinityOracle&&) noexcept = default;
 DirectedVicinityOracle::~DirectedVicinityOracle() = default;
 
-QueryContext& DirectedVicinityOracle::default_context() {
-  if (!default_ctx_) default_ctx_ = std::make_unique<QueryContext>();
-  return *default_ctx_;
-}
-
 DirectedVicinityOracle DirectedVicinityOracle::build(
     const graph::Graph& g, const OracleOptions& options) {
   std::vector<NodeId> all(g.num_nodes());
@@ -70,6 +65,11 @@ DirectedVicinityOracle DirectedVicinityOracle::build_impl(
       }
     }
   }
+  // The directed build is sequential; hold both stores' mutation roles
+  // (exclusive satisfies the shared set() requirement) for the whole of
+  // prepare + construction + pack.
+  const util::RoleGuard out_role(o.out_store_.mutation_role());
+  const util::RoleGuard in_role(o.in_store_.mutation_role());
   o.out_store_.prepare(o.indexed_);
   o.in_store_.prepare(o.indexed_);
 
@@ -131,6 +131,8 @@ DirectedVicinityOracle DirectedVicinityOracle::build_impl(
 
 void DirectedVicinityOracle::rebuild_vicinities(
     std::span<const NodeId> out_nodes, std::span<const NodeId> in_nodes) {
+  const util::RoleGuard out_role(out_store_.mutation_role());
+  const util::RoleGuard in_role(in_store_.mutation_role());
   if (!out_nodes.empty()) {
     VicinityBuilder builder(*g_, Direction::kOut);
     for (const NodeId u : out_nodes) {
@@ -244,6 +246,8 @@ UpdateStats DirectedVicinityOracle::apply_update(graph::Graph& g,
     stats.affected_vicinities =
         sets_out.rebuild.size() + sets_in.rebuild.size();
     rebuild_vicinities(sets_out.rebuild, sets_in.rebuild);
+    const util::SharedRoleGuard out_role(out_store_.mutation_role());
+    const util::SharedRoleGuard in_role(in_store_.mutation_role());
     for (const auto& [x, member] : sets_out.flag_patches) {
       if (rebuild_out.contains(x)) continue;
       out_store_.refresh_boundary_flag(x, member, g, Direction::kOut);
@@ -281,8 +285,10 @@ UpdateStats DirectedVicinityOracle::apply_update(graph::Graph& g,
 QueryResult DirectedVicinityOracle::distance(NodeId s, NodeId t) {
   // The default context is shared state; the lock makes the convenience
   // overload safe (but serialized) under concurrent callers.
-  const std::lock_guard<std::mutex> lock(*default_ctx_mu_);
-  return distance(s, t, default_context());
+  DefaultContextSlot& slot = *default_slot_;
+  const util::MutexLock lock(slot.mu);
+  if (!slot.ctx) slot.ctx = std::make_unique<QueryContext>();
+  return distance(s, t, *slot.ctx);
 }
 
 QueryResult DirectedVicinityOracle::distance(NodeId s, NodeId t,
@@ -452,8 +458,10 @@ bool DirectedVicinityOracle::chase_in(NodeId origin, NodeId from,
 }
 
 PathResult DirectedVicinityOracle::path(NodeId s, NodeId t) {
-  const std::lock_guard<std::mutex> lock(*default_ctx_mu_);
-  return path(s, t, default_context());
+  DefaultContextSlot& slot = *default_slot_;
+  const util::MutexLock lock(slot.mu);
+  if (!slot.ctx) slot.ctx = std::make_unique<QueryContext>();
+  return path(s, t, *slot.ctx);
 }
 
 PathResult DirectedVicinityOracle::path(NodeId s, NodeId t,

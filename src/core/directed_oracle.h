@@ -12,7 +12,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -75,7 +74,7 @@ class DirectedVicinityOracle {
  private:
   friend class OracleSerializer;
 
-  // Out-of-line special members: default_ctx_ holds an incomplete
+  // Out-of-line special members: default_slot_ holds an incomplete
   // QueryContext here (completed in core/query_engine.h).
   DirectedVicinityOracle();
   static DirectedVicinityOracle build_impl(const graph::Graph& g,
@@ -87,7 +86,6 @@ class DirectedVicinityOracle {
                           std::span<const NodeId> in_nodes);
   QueryResult fallback_distance(NodeId s, NodeId t, std::uint32_t lookups,
                                 QueryContext* ctx) const;
-  QueryContext& default_context();
   bool chase_out(NodeId origin, NodeId from, std::vector<NodeId>& out) const;
   bool chase_in(NodeId origin, NodeId from, std::vector<NodeId>& out) const;
 
@@ -101,11 +99,10 @@ class DirectedVicinityOracle {
   LandmarkTables tables_;
   OracleBuildStats build_stats_;
   std::vector<NodeId> indexed_;
-  std::unique_ptr<QueryContext> default_ctx_;
-  /// Serializes the convenience overloads' use of default_ctx_ (behind
-  /// unique_ptr so the oracle stays movable; moved-from oracles must not be
-  /// queried). Matches VicinityOracle.
-  std::unique_ptr<std::mutex> default_ctx_mu_ = std::make_unique<std::mutex>();
+  /// Context + mutex backing the convenience overloads (moved-from oracles
+  /// must not be queried). Matches VicinityOracle.
+  std::unique_ptr<DefaultContextSlot> default_slot_ =
+      std::make_unique<DefaultContextSlot>();
 };
 
 }  // namespace vicinity::core

@@ -13,6 +13,9 @@
 namespace vicinity::core {
 
 // Defined where QueryContext is complete (core/query_engine.h).
+DefaultContextSlot::DefaultContextSlot() = default;
+DefaultContextSlot::~DefaultContextSlot() = default;
+
 VicinityOracle::VicinityOracle() = default;
 VicinityOracle::VicinityOracle(VicinityOracle&&) noexcept = default;
 VicinityOracle& VicinityOracle::operator=(VicinityOracle&&) noexcept = default;
@@ -84,7 +87,10 @@ VicinityOracle VicinityOracle::build_impl(const graph::Graph& g,
       }
     }
   }
-  o.store_.prepare(o.indexed_);
+  {
+    const util::RoleGuard role(o.store_.mutation_role());
+    o.store_.prepare(o.indexed_);
+  }
 
   // Vicinity construction: embarrassingly parallel over indexed nodes.
   const unsigned threads =
@@ -94,6 +100,9 @@ VicinityOracle VicinityOracle::build_impl(const graph::Graph& g,
   std::mutex stats_mu;
   OracleBuildStats stats;
   auto build_range = [&](std::size_t lo, std::size_t hi) {
+    // Each worker writes disjoint pre-sized slots: a shared hold on the
+    // store's mutation role (set() is REQUIRES_SHARED).
+    const util::SharedRoleGuard role(o.store_.mutation_role());
     VicinityBuilder builder(g);
     OracleBuildStats local;
     for (std::size_t i = lo; i < hi; ++i) {
@@ -137,7 +146,10 @@ VicinityOracle VicinityOracle::build_impl(const graph::Graph& g,
   }
   // Packed backend: the parallel loop parked every slice in its slot-local
   // sub-arena; stitch them into the one contiguous arena now.
-  o.store_.pack();
+  {
+    const util::RoleGuard role(o.store_.mutation_role());
+    o.store_.pack();
+  }
 
   // Landmark tables. Full-index oracles need full rows; subset oracles pick
   // the cheaper side: |L| searches (full rows) vs |subset| searches
@@ -175,6 +187,7 @@ VicinityOracle VicinityOracle::build_impl(const graph::Graph& g,
 void VicinityOracle::rebuild_vicinities(std::span<const NodeId> nodes) {
   if (nodes.empty()) return;
   auto rebuild_range = [&](std::uint64_t lo, std::uint64_t hi) {
+    const util::SharedRoleGuard role(store_.mutation_role());
     VicinityBuilder builder(*g_);
     for (std::uint64_t i = lo; i < hi; ++i) {
       const NodeId u = nodes[i];
@@ -203,6 +216,7 @@ void VicinityOracle::rebuild_vicinities(std::span<const NodeId> nodes) {
   }
   // Occasional compaction: repairs that outgrew their arena region were
   // staged; fold them back once they amount to a quarter of the index.
+  const util::RoleGuard role(store_.mutation_role());
   store_.pack_if_needed();
 }
 
@@ -282,6 +296,7 @@ UpdateStats VicinityOracle::apply_update(graph::Graph& g,
   } else {
     stats.affected_vicinities = sets.rebuild.size();
     rebuild_vicinities(sets.rebuild);
+    const util::SharedRoleGuard role(store_.mutation_role());
     for (const auto& [x, member] : sets.flag_patches) {
       if (rebuild_set.contains(x)) continue;
       store_.refresh_boundary_flag(x, member, g, Direction::kOut);
@@ -385,16 +400,13 @@ QueryResult VicinityOracle::intersect(NodeId s, NodeId t) const {
   return r;
 }
 
-QueryContext& VicinityOracle::default_context() {
-  if (!default_ctx_) default_ctx_ = std::make_unique<QueryContext>();
-  return *default_ctx_;
-}
-
 QueryResult VicinityOracle::distance(NodeId s, NodeId t) {
   // The default context is shared state; the lock makes the convenience
   // overload safe (but serialized) under concurrent callers.
-  const std::lock_guard<std::mutex> lock(*default_ctx_mu_);
-  return distance(s, t, default_context());
+  DefaultContextSlot& slot = *default_slot_;
+  const util::MutexLock lock(slot.mu);
+  if (!slot.ctx) slot.ctx = std::make_unique<QueryContext>();
+  return distance(s, t, *slot.ctx);
 }
 
 QueryResult VicinityOracle::distance(NodeId s, NodeId t,
@@ -553,8 +565,10 @@ PathResult VicinityOracle::fallback_path(NodeId s, NodeId t,
 }
 
 PathResult VicinityOracle::path(NodeId s, NodeId t) {
-  const std::lock_guard<std::mutex> lock(*default_ctx_mu_);
-  return path(s, t, default_context());
+  DefaultContextSlot& slot = *default_slot_;
+  const util::MutexLock lock(slot.mu);
+  if (!slot.ctx) slot.ctx = std::make_unique<QueryContext>();
+  return path(s, t, *slot.ctx);
 }
 
 PathResult VicinityOracle::path(NodeId s, NodeId t, QueryContext& ctx) const {

@@ -17,7 +17,6 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <utility>
@@ -29,6 +28,8 @@
 #include "core/options.h"
 #include "core/vicinity_store.h"
 #include "graph/graph.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace vicinity::util {
 class ThreadPool;  // util/thread_pool.h; the repair pool is lazily created
@@ -64,6 +65,25 @@ const char* to_string(QueryMethod m);
 /// Per-thread mutable query state (fallback search scratch + statistics);
 /// defined in core/query_engine.h.
 class QueryContext;
+
+/// Mutex + lazily created QueryContext bundle backing the oracles'
+/// convenience (non-const) query overloads. Lives behind a unique_ptr so
+/// the owning oracle stays movable; bundling the mutex with the pointer it
+/// guards makes the GUARDED_BY relation expressible to the thread-safety
+/// analysis (a capability expression cannot dereference through the owning
+/// oracle's unique_ptr member).
+struct DefaultContextSlot {
+  // Out-of-line special members (oracle.cpp): QueryContext is incomplete
+  // here, so the unique_ptr deleter must not be instantiated inline.
+  DefaultContextSlot();
+  ~DefaultContextSlot();
+  DefaultContextSlot(const DefaultContextSlot&) = delete;
+  DefaultContextSlot& operator=(const DefaultContextSlot&) = delete;
+
+  util::Mutex mu;
+  /// Created on first use, under mu.
+  std::unique_ptr<QueryContext> ctx VICINITY_GUARDED_BY(mu);
+};
 
 struct QueryResult {
   Distance dist = kInfDistance;
@@ -184,7 +204,7 @@ class VicinityOracle {
  private:
   friend class OracleSerializer;
 
-  // Out-of-line destructor/moves: default_ctx_ holds an incomplete
+  // Out-of-line destructor/moves: default_slot_ holds an incomplete
   // QueryContext here (completed in core/query_engine.h).
   VicinityOracle();
 
@@ -216,10 +236,6 @@ class VicinityOracle {
 
   PathResult fallback_path(NodeId s, NodeId t, QueryContext& ctx) const;
 
-  /// Lazily-created context backing the convenience (non-const) overloads.
-  /// Callers must hold *default_ctx_mu_.
-  QueryContext& default_context();
-
   /// Re-runs the truncated-search builder for `nodes` against the current
   /// graph and nearest-landmark field, replacing their store slots.
   void rebuild_vicinities(std::span<const NodeId> nodes);
@@ -232,11 +248,10 @@ class VicinityOracle {
   LandmarkTables tables_;
   OracleBuildStats build_stats_;
   std::vector<NodeId> indexed_;
-  std::unique_ptr<QueryContext> default_ctx_;
-  /// Serializes the convenience overloads' use of default_ctx_ (held behind
-  /// unique_ptr so the oracle stays movable; moved-from oracles must not be
-  /// queried).
-  std::unique_ptr<std::mutex> default_ctx_mu_ = std::make_unique<std::mutex>();
+  /// Context + mutex backing the convenience overloads (moved-from oracles
+  /// must not be queried).
+  std::unique_ptr<DefaultContextSlot> default_slot_ =
+      std::make_unique<DefaultContextSlot>();
   /// Lazily-created worker pool reused across apply_update() calls so
   /// hub-sized repairs do not pay thread spawn/teardown per update.
   std::unique_ptr<util::ThreadPool> update_pool_;

@@ -72,7 +72,7 @@ UpdateStats QueryEngine::apply_update(graph::Graph& g,
   }
   // The batch lock is the epoch fence: no queries are in flight while the
   // index and graph mutate, and the next batch observes the new epoch.
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   UpdateStats stats = mutable_oracle_->apply_update(g, update);
   epoch_.fetch_add(1, std::memory_order_release);
   return stats;
@@ -91,7 +91,7 @@ void QueryEngine::run_batch(std::span<const Query> queries,
     throw std::invalid_argument("QueryEngine::run_batch: size mismatch");
   }
   if (queries.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   // More lanes than queries would allocate contexts that can never receive
   // work (contexts_ persists for the engine's lifetime), so cap at the
   // batch size; chunking never changes the answers, only who computes them.
@@ -101,9 +101,17 @@ void QueryEngine::run_batch(std::span<const Query> queries,
   while (contexts_.size() < lanes) {
     contexts_.push_back(std::make_unique<QueryContext>());
   }
+  // Per-lane context pointers, snapshotted while mu_ is held. The worker
+  // lambdas execute on pool threads, where the analysis cannot see that
+  // this frame keeps mu_ locked for the whole dispatch — and the old
+  // `contexts_[lane]` access from the lambda was exactly the unverifiable
+  // shape the annotations exist to flush out. Each lane gets its pointer up
+  // front; the guarded vector never crosses into the workers.
+  std::vector<QueryContext*> lane_ctx(lanes);
+  for (unsigned i = 0; i < lanes; ++i) lane_ctx[i] = contexts_[i].get();
   const AnyOracle& oracle = *oracle_;
   if (lanes == 1) {
-    QueryContext& ctx = *contexts_[0];
+    QueryContext& ctx = *lane_ctx[0];
     for (std::size_t i = 0; i < queries.size(); ++i) {
       results[i] = oracle.distance(queries[i].s, queries[i].t, ctx);
     }
@@ -115,9 +123,9 @@ void QueryEngine::run_batch(std::span<const Query> queries,
   // parallel_for_ranges rethrows the first worker exception.
   pool_.parallel_for_ranges(
       queries.size(), lanes,
-      [this, &oracle, queries, results](std::uint64_t lo, std::uint64_t hi,
-                                        unsigned lane) {
-        QueryContext& ctx = *contexts_[lane];
+      [&lane_ctx, &oracle, queries, results](std::uint64_t lo,
+                                             std::uint64_t hi, unsigned lane) {
+        QueryContext& ctx = *lane_ctx[lane];
         for (std::uint64_t i = lo; i < hi; ++i) {
           results[i] = oracle.distance(queries[i].s, queries[i].t, ctx);
         }
@@ -125,14 +133,14 @@ void QueryEngine::run_batch(std::span<const Query> queries,
 }
 
 QueryStats QueryEngine::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   QueryStats total;
   for (const auto& ctx : contexts_) total.merge(ctx->stats());
   return total;
 }
 
 void QueryEngine::reset_stats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   for (auto& ctx : contexts_) ctx->reset_stats();
 }
 

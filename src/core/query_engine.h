@@ -30,7 +30,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -38,6 +37,8 @@
 #include "core/any_oracle.h"
 #include "core/dynamic.h"
 #include "core/oracle.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace vicinity::core {
@@ -155,11 +156,13 @@ class QueryEngine {
   /// Results are identical for every `threads` value. Rethrows the first
   /// exception a worker raised (e.g. out-of-range node ids).
   std::vector<QueryResult> run_batch(std::span<const Query> queries,
-                                     unsigned threads = 0);
+                                     unsigned threads = 0)
+      VICINITY_EXCLUDES(mu_);
 
   /// In-place variant: results.size() must equal queries.size().
   void run_batch(std::span<const Query> queries,
-                 std::span<QueryResult> results, unsigned threads = 0);
+                 std::span<QueryResult> results, unsigned threads = 0)
+      VICINITY_EXCLUDES(mu_);
 
   /// Single query on a caller-owned context (lock-free; one context per
   /// caller thread).
@@ -187,7 +190,8 @@ class QueryEngine {
   /// Capability::kUpdatable. Caller-owned QueryContext queries issued
   /// outside run_batch()/apply_update() are NOT fenced and must be quiesced
   /// by the caller while an update is in flight.
-  UpdateStats apply_update(graph::Graph& g, const GraphUpdate& update);
+  UpdateStats apply_update(graph::Graph& g, const GraphUpdate& update)
+      VICINITY_EXCLUDES(mu_);
 
   /// Number of updates applied so far; every batch is served entirely at
   /// one epoch.
@@ -196,8 +200,8 @@ class QueryEngine {
   }
 
   /// Aggregated statistics over everything this engine has served.
-  QueryStats stats() const;
-  void reset_stats();
+  QueryStats stats() const VICINITY_EXCLUDES(mu_);
+  void reset_stats() VICINITY_EXCLUDES(mu_);
 
  private:
   std::shared_ptr<const AnyOracle> oracle_;
@@ -205,8 +209,13 @@ class QueryEngine {
   /// const snapshots (apply_update then throws).
   std::shared_ptr<AnyOracle> mutable_oracle_;
   util::ThreadPool pool_;
-  mutable std::mutex mu_;  ///< serializes batches/updates, guards contexts_
-  std::vector<std::unique_ptr<QueryContext>> contexts_;
+  /// Serializes batches/updates and guards contexts_. The worker lambdas of
+  /// a batch run on pool threads while this thread keeps mu_ held for the
+  /// whole dispatch — run_batch hands each lane its raw context pointer
+  /// instead of sharing the guarded vector (see the snapshot there).
+  mutable util::Mutex mu_;
+  std::vector<std::unique_ptr<QueryContext>> contexts_
+      VICINITY_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> epoch_{0};
 };
 

@@ -11,6 +11,7 @@
 
 #include "core/vicinity_builder.h"
 #include "util/bit_vector.h"
+#include "util/mutex.h"
 
 namespace vicinity::core {
 
@@ -264,6 +265,9 @@ void read_store_slot(std::istream& in, std::uint64_t n, NodeId u,
     if (m.on_boundary) ++v.boundary_size;
     v.members.push_back(m);
   }
+  // Loading is single-threaded; the guard asserts the store's mutation
+  // contract to the thread-safety analysis.
+  const util::SharedRoleGuard role(store.mutation_role());
   store.set(u, v);
 }
 
@@ -290,6 +294,7 @@ void read_packed_store(std::istream& in, VicinityStore& store) {
   blob.members = read_vec<NodeId>(in);
   blob.dists = read_vec<Distance>(in);
   blob.parents = read_vec<NodeId>(in);
+  const util::RoleGuard role(store.mutation_role());
   store.adopt_packed(std::move(blob));  // validates the untrusted blobs
 }
 
@@ -452,7 +457,10 @@ class OracleSerializer {
 
     o.indexed_ = read_indexed(in, g);
     o.store_ = VicinityStore(g.num_nodes(), o.opt_.backend);
-    o.store_.prepare(o.indexed_);
+    {
+      const util::RoleGuard role(o.store_.mutation_role());
+      o.store_.prepare(o.indexed_);
+    }
     if (o.opt_.backend == StoreBackend::kPacked) {
       read_packed_store(in, o.store_);
     } else {
@@ -510,8 +518,12 @@ class OracleSerializer {
     o.indexed_ = read_indexed(in, g);
     o.out_store_ = VicinityStore(g.num_nodes(), o.opt_.backend);
     o.in_store_ = VicinityStore(g.num_nodes(), o.opt_.backend);
-    o.out_store_.prepare(o.indexed_);
-    o.in_store_.prepare(o.indexed_);
+    {
+      const util::RoleGuard out_role(o.out_store_.mutation_role());
+      const util::RoleGuard in_role(o.in_store_.mutation_role());
+      o.out_store_.prepare(o.indexed_);
+      o.in_store_.prepare(o.indexed_);
+    }
     if (o.opt_.backend == StoreBackend::kPacked) {
       read_packed_store(in, o.out_store_);
       read_packed_store(in, o.in_store_);

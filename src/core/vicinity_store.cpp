@@ -342,13 +342,13 @@ void VicinityStore::refresh_boundary_flag(NodeId u, NodeId member,
           lower_bound_idx(s.members, p.boundary_len, p.len, member);
       rotate3(bpos, ipos, ipos + 1);  // member moves down to bpos
       ++p.boundary_len;
-      ++total_boundary_;
+      atomic_add(total_boundary_, 1);
     } else {
       const std::size_t dst =
           lower_bound_idx(s.members, p.boundary_len, p.len, member);
       rotate3(bpos, bpos + 1, dst);  // member moves up to dst - 1
       --p.boundary_len;
-      --total_boundary_;
+      atomic_add(total_boundary_, std::uint64_t{0} - 1);
     }
     return;
   }
@@ -362,12 +362,12 @@ void VicinityStore::refresh_boundary_flag(NodeId u, NodeId member,
     p.boundary_nodes.insert(it, member);
     p.boundary_dists.insert(
         p.boundary_dists.begin() + static_cast<std::ptrdiff_t>(idx), e.dist);
-    ++total_boundary_;
+    atomic_add(total_boundary_, 1);
   } else {
     p.boundary_nodes.erase(it);
     p.boundary_dists.erase(p.boundary_dists.begin() +
                            static_cast<std::ptrdiff_t>(idx));
-    --total_boundary_;
+    atomic_add(total_boundary_, std::uint64_t{0} - 1);
   }
 }
 

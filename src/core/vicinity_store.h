@@ -23,12 +23,14 @@
 #include <cstdint>
 #include <span>
 #include <stdexcept>
-#include <unordered_map>
+#include <unordered_map>  // vicinity-lint: allow(core-no-std-unordered-map) — §3.2 ablation backend
 #include <vector>
 
 #include "core/options.h"
 #include "core/vicinity_builder.h"
 #include "util/flat_hash.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/types.h"
 
 namespace vicinity::core {
@@ -86,10 +88,28 @@ class VicinityStore {
 
   StoreBackend backend() const { return backend_; }
 
+  /// The store's mutation capability (a phantom role, util/mutex.h): no
+  /// runtime lock exists — mutation phases are synchronized by program
+  /// structure (build/repair loops run, then one thread packs) — but every
+  /// mutating caller must state its mode so Clang's thread-safety analysis
+  /// can check the discipline. Hold SHARED (util::SharedRoleGuard) for the
+  /// per-slot writes that are safe concurrently on distinct nodes — set(),
+  /// refresh_boundary_flag(), set_nearest_landmark() — and EXCLUSIVE
+  /// (util::RoleGuard) for the structural operations that tolerate no
+  /// concurrent mutator: prepare(), pack(), pack_if_needed(),
+  /// adopt_packed(). The read-only query path (find/boundary/intersect_min)
+  /// is unconstrained; fencing reads against mutation phases is the
+  /// caller's contract (QueryEngine's epoch lock).
+  util::ExclusiveRole& mutation_role() const
+      VICINITY_RETURN_CAPABILITY(mutation_role_) {
+    return mutation_role_;
+  }
+
   /// Registers `nodes` for indexing, allocating one slot each. Must be
   /// called before set(); slots for distinct nodes may then be filled
   /// concurrently.
-  void prepare(std::span<const NodeId> nodes);
+  void prepare(std::span<const NodeId> nodes)
+      VICINITY_REQUIRES(mutation_role_);
 
   /// Fills u's slot from a built vicinity (v.origin must equal u). Calling
   /// set() again for the same node replaces the previous vicinity — the
@@ -100,7 +120,8 @@ class VicinityStore {
   /// its arena region and otherwise parks the slice in a slot-local staging
   /// buffer (a per-slot sub-arena); pack() — not thread-safe — stitches the
   /// staged slices back into one contiguous arena.
-  void set(NodeId u, const Vicinity& v);
+  void set(NodeId u, const Vicinity& v)
+      VICINITY_REQUIRES_SHARED(mutation_role_);
 
   /// True when u was prepared (vicinity available; possibly empty if u∈L).
   bool has(NodeId u) const {
@@ -198,7 +219,8 @@ class VicinityStore {
   /// Dynamic repair: refreshes the stored nearest-landmark metadata when a
   /// delete re-breaks a tie at unchanged distance (same radius, so the
   /// vicinity itself needs no rebuild). Requires has(u).
-  void set_nearest_landmark(NodeId u, NodeId l) {
+  void set_nearest_landmark(NodeId u, NodeId l)
+      VICINITY_REQUIRES_SHARED(mutation_role_) {
     slots_[slot_of_[u]].nearest_landmark = l;
   }
   std::size_t vicinity_size(NodeId u) const {
@@ -218,7 +240,8 @@ class VicinityStore {
   /// members stay interior by construction. Requires has(u) and
   /// member ∈ Γ(u).
   void refresh_boundary_flag(NodeId u, NodeId member, const graph::Graph& g,
-                             Direction direction);
+                             Direction direction)
+      VICINITY_REQUIRES_SHARED(mutation_role_);
 
   // ---- Packed-arena lifecycle (no-ops on the hash backends) -------------
 
@@ -226,12 +249,12 @@ class VicinityStore {
   /// reclaims holes left by replacements. Called by the oracle build after
   /// the parallel construction loop and by compaction. NOT thread-safe —
   /// no concurrent set()/find() may run.
-  void pack();
+  void pack() VICINITY_REQUIRES(mutation_role_);
 
   /// pack() when the wasted + staged entries exceed a quarter of the live
   /// entries (the "occasional compaction" of the update path); cheap no-op
   /// otherwise.
-  void pack_if_needed();
+  void pack_if_needed() VICINITY_REQUIRES(mutation_role_);
 
   /// True when every slice lives in the arena (no staged slots).
   bool fully_packed() const { return staged_slots_ == 0; }
@@ -255,7 +278,7 @@ class VicinityStore {
   /// Adopts `blob` wholesale after prepare(). Validates shape, ranges and
   /// per-group sort order against untrusted input, throwing
   /// std::runtime_error on any violation. Requires backend() == kPacked.
-  void adopt_packed(PackedBlob&& blob);
+  void adopt_packed(PackedBlob&& blob) VICINITY_REQUIRES(mutation_role_);
 
   std::size_t indexed_nodes() const { return slots_.size(); }
   /// Total Γ entries across indexed nodes (the paper's per-node ~α√n cost).
@@ -266,9 +289,12 @@ class VicinityStore {
 
  private:
   struct PerNode {
-    // Hash backends: one table per node + boundary arrays.
+    // Hash backends: one table per node + boundary arrays. The
+    // std::unordered_map member IS the paper's §3.2 GNU-STL backend — the
+    // thing the other two ablate against — so the core-wide hot-path ban is
+    // waived here.
     util::FlatHashMap<NodeId, StoredEntry> flat{0};
-    std::unordered_map<NodeId, StoredEntry> std;
+    std::unordered_map<NodeId, StoredEntry> std;  // vicinity-lint: allow(core-no-std-unordered-map)
     std::vector<NodeId> boundary_nodes;
     std::vector<Distance> boundary_dists;
     // Packed backend: an arena region [offset, offset+cap) holding `len`
@@ -346,7 +372,12 @@ class VicinityStore {
            ((n == 1 && base[0] < v) ? 1 : 0);
   }
 
-  void set_packed(PerNode& p, const Vicinity& v);
+  void set_packed(PerNode& p, const Vicinity& v)
+      VICINITY_REQUIRES_SHARED(mutation_role_);
+
+  /// Phantom mutation capability (see mutation_role()). mutable + copyable:
+  /// the role carries no state, only a static identity per store object.
+  mutable util::ExclusiveRole mutation_role_;
 
   StoreBackend backend_ = StoreBackend::kFlatHash;
   std::vector<NodeId> slot_of_;  ///< node -> slot or kInvalidNode

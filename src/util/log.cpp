@@ -4,7 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace vicinity::util {
 
@@ -27,8 +28,8 @@ std::atomic<int>& level_storage() {
   return level;
 }
 
-std::mutex& log_mutex() {
-  static std::mutex mu;
+Mutex& log_mutex() {
+  static Mutex mu;
   return mu;
 }
 
@@ -38,7 +39,7 @@ LogLevel log_level() { return static_cast<LogLevel>(level_storage().load()); }
 void set_log_level(LogLevel level) { level_storage().store(static_cast<int>(level)); }
 
 void log_line(LogLevel level, const std::string& msg) {
-  std::lock_guard<std::mutex> lock(log_mutex());
+  const MutexLock lock(log_mutex());
   std::cerr << (level == LogLevel::kDebug ? "[debug] " : "[info] ") << msg
             << "\n";
 }

@@ -1,0 +1,79 @@
+// Portable Clang thread-safety-analysis macros (-Wthread-safety).
+//
+// Clang's analysis proves lock discipline at compile time: every access to a
+// VICINITY_GUARDED_BY member is checked against the locks actually held at
+// that point, and annotated functions advertise what they acquire, release
+// or require. GCC and MSVC define every macro away, so the annotations cost
+// nothing off clang — CI's clang builds promote -Wthread-safety to -Werror
+// and are the enforcement point.
+//
+// The annotated wrapper types (util::Mutex, util::MutexLock, util::CondVar,
+// util::ExclusiveRole) live in util/mutex.h; this header is only the macro
+// layer, safe to include from any public header.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define VICINITY_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef VICINITY_THREAD_ANNOTATION_
+#define VICINITY_THREAD_ANNOTATION_(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex", "role", ...).
+#define VICINITY_CAPABILITY(x) VICINITY_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define VICINITY_SCOPED_CAPABILITY VICINITY_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding the named capability.
+#define VICINITY_GUARDED_BY(x) VICINITY_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose pointee is guarded by the named capability.
+#define VICINITY_PT_GUARDED_BY(x) VICINITY_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function acquires the capability (exclusively / shared) before returning.
+#define VICINITY_ACQUIRE(...) \
+  VICINITY_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define VICINITY_ACQUIRE_SHARED(...) \
+  VICINITY_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (exclusive / shared / either mode).
+#define VICINITY_RELEASE(...) \
+  VICINITY_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define VICINITY_RELEASE_SHARED(...) \
+  VICINITY_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define VICINITY_RELEASE_GENERIC(...) \
+  VICINITY_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; first argument is the success value.
+#define VICINITY_TRY_ACQUIRE(...) \
+  VICINITY_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must already hold the capability (exclusively / at least shared).
+#define VICINITY_REQUIRES(...) \
+  VICINITY_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define VICINITY_REQUIRES_SHARED(...) \
+  VICINITY_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (documents non-reentrant entry
+/// points; prevents self-deadlock).
+#define VICINITY_EXCLUDES(...) \
+  VICINITY_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Runtime-checked assertion that the capability is held (fatal otherwise).
+#define VICINITY_ASSERT_CAPABILITY(x) \
+  VICINITY_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returns a reference to the named capability (lets callers lock
+/// through an accessor and have the analysis equate the two expressions).
+#define VICINITY_RETURN_CAPABILITY(x) \
+  VICINITY_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function body is not analyzed. Use only where the
+/// discipline is correct but inexpressible, with a comment saying why.
+#define VICINITY_NO_THREAD_SAFETY_ANALYSIS \
+  VICINITY_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -26,7 +26,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     tasks_.push(std::move(task));
     ++in_flight_;
   }
@@ -36,8 +36,8 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+    const MutexLock lock(mu_);
+    while (in_flight_ != 0) cv_idle_.wait(mu_);
     error = std::exchange(first_error_, nullptr);
   }
   if (error) std::rethrow_exception(error);
@@ -76,8 +76,11 @@ void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      const MutexLock lock(mu_);
+      // Explicit condition loop (not a predicate lambda): the thread-safety
+      // analysis treats lambdas as separate functions, so a predicate
+      // touching stop_/tasks_ could not be proven to hold mu_.
+      while (!stop_ && tasks_.empty()) cv_task_.wait(mu_);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -89,11 +92,11 @@ void ThreadPool::worker_loop() {
     try {
       task();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
+      const MutexLock lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      const MutexLock lock(mu_);
       if (--in_flight_ == 0) cv_idle_.notify_all();
     }
   }

@@ -8,14 +8,15 @@
 // dispatching onto the same workers instead of respawning threads.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace vicinity::util {
 
@@ -33,19 +34,20 @@ class ThreadPool {
   /// Enqueues a task. If a task throws, the first exception is captured and
   /// the queue keeps draining; the exception is rethrown from the next
   /// wait_idle() (and therefore parallel_for()).
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) VICINITY_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished, then rethrows the
   /// first exception any of them raised (clearing it, so the pool stays
   /// usable afterwards).
-  void wait_idle();
+  void wait_idle() VICINITY_EXCLUDES(mu_);
 
   /// Runs fn(i) for i in [0, count) across the pool and waits. Static
   /// balanced chunking: good enough for uniform per-node work. Reuses the
   /// existing workers — no pool construction per call. Rethrows the first
   /// exception fn raised.
   void parallel_for(std::uint64_t count,
-                    const std::function<void(std::uint64_t)>& fn);
+                    const std::function<void(std::uint64_t)>& fn)
+      VICINITY_EXCLUDES(mu_);
 
   /// Splits [0, count) into at most max_chunks contiguous ranges whose
   /// sizes differ by at most one (ceil-division chunking can hand the last
@@ -55,21 +57,22 @@ class ThreadPool {
   /// Rethrows the first exception fn raised.
   void parallel_for_ranges(
       std::uint64_t count, unsigned max_chunks,
-      const std::function<void(std::uint64_t, std::uint64_t, unsigned)>& fn);
+      const std::function<void(std::uint64_t, std::uint64_t, unsigned)>& fn)
+      VICINITY_EXCLUDES(mu_);
 
  private:
-  void worker_loop();
+  void worker_loop() VICINITY_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::uint64_t in_flight_ = 0;
-  bool stop_ = false;
-  /// First exception thrown by a task since the last wait_idle(); guarded
-  /// by mu_. Dropped if the pool is destroyed without a wait_idle().
-  std::exception_ptr first_error_;
+  Mutex mu_;
+  std::queue<std::function<void()>> tasks_ VICINITY_GUARDED_BY(mu_);
+  CondVar cv_task_;
+  CondVar cv_idle_;
+  std::uint64_t in_flight_ VICINITY_GUARDED_BY(mu_) = 0;
+  bool stop_ VICINITY_GUARDED_BY(mu_) = false;
+  /// First exception thrown by a task since the last wait_idle(). Dropped
+  /// if the pool is destroyed without a wait_idle().
+  std::exception_ptr first_error_ VICINITY_GUARDED_BY(mu_);
 };
 
 }  // namespace vicinity::util

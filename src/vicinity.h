@@ -70,8 +70,10 @@
 #include "util/flat_hash.h"
 #include "util/log.h"
 #include "util/memory.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 #include "util/types.h"

@@ -11,9 +11,7 @@
 namespace vicinity {
 
 Index::Index(std::shared_ptr<core::AnyOracle> oracle)
-    : oracle_(std::move(oracle)),
-      ctx_mu_(std::make_unique<std::mutex>()),
-      ctx_(std::make_unique<core::QueryContext>()) {
+    : oracle_(std::move(oracle)), slot_(std::make_unique<ContextSlot>()) {
   if (!oracle_) throw std::invalid_argument("Index: null oracle");
 }
 
@@ -50,13 +48,15 @@ core::QueryEngine Index::engine(unsigned threads) const {
 }
 
 core::QueryResult Index::distance(NodeId s, NodeId t) const {
-  const std::lock_guard<std::mutex> lock(*ctx_mu_);
-  return oracle_->distance(s, t, *ctx_);
+  ContextSlot& slot = *slot_;
+  const util::MutexLock lock(slot.mu);
+  return oracle_->distance(s, t, slot.ctx);
 }
 
 core::PathResult Index::path(NodeId s, NodeId t) const {
-  const std::lock_guard<std::mutex> lock(*ctx_mu_);
-  return oracle_->path(s, t, *ctx_);
+  ContextSlot& slot = *slot_;
+  const util::MutexLock lock(slot.mu);
+  return oracle_->path(s, t, slot.ctx);
 }
 
 core::UpdateStats Index::apply_update(graph::Graph& g,

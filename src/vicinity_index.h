@@ -26,12 +26,13 @@
 
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "core/any_oracle.h"
 #include "core/options.h"
 #include "core/query_engine.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace vicinity {
 
@@ -105,9 +106,17 @@ class Index {
  private:
   explicit Index(std::shared_ptr<core::AnyOracle> oracle);
 
+  /// Mutex + context bundle backing the convenience queries. Bundling the
+  /// mutex next to the state it guards keeps the GUARDED_BY relation
+  /// expressible to the thread-safety analysis; the unique_ptr keeps Index
+  /// movable.
+  struct ContextSlot {
+    util::Mutex mu;
+    core::QueryContext ctx VICINITY_GUARDED_BY(mu);
+  };
+
   std::shared_ptr<core::AnyOracle> oracle_;
-  std::unique_ptr<std::mutex> ctx_mu_;
-  std::unique_ptr<core::QueryContext> ctx_;
+  std::unique_ptr<ContextSlot> slot_;
 };
 
 }  // namespace vicinity

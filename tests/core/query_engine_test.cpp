@@ -135,6 +135,24 @@ TEST(QueryEngineTest, MoreLanesThanPoolWorkers) {
   expect_identical(engine.run_batch(queries, 1), engine.run_batch(queries, 6));
 }
 
+TEST(QueryEngineTest, LaneContextGrowthAcrossBatchesStaysIdentical) {
+  // Regression for the thread-safety refactor of run_batch: workers now
+  // receive a pointer snapshot of the per-lane contexts taken under the
+  // batch lock (the lambda no longer reaches through `this` into the
+  // guarded contexts_ vector). Growing the context vector between batches
+  // must hand every lane a valid context and keep results bit-identical.
+  const auto g = ws_graph();
+  OracleOptions opt;
+  opt.seed = 916;
+  opt.fallback = Fallback::kBidirectionalBfs;
+  QueryEngine engine(VicinityOracle::build(g, opt), /*threads=*/4);
+  const auto queries = random_queries(g, 400, 917);
+  const auto one = engine.run_batch(queries, 1);
+  expect_identical(one, engine.run_batch(queries, 2));
+  expect_identical(one, engine.run_batch(queries, 7));  // grows contexts_
+  expect_identical(one, engine.run_batch(queries, 3));  // reuses the pool
+}
+
 TEST(QueryEngineTest, WorkerExceptionPropagatesAndEngineSurvives) {
   const auto g = ws_graph();
   OracleOptions opt;

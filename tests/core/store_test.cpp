@@ -8,6 +8,8 @@
 
 #include "core/landmarks.h"
 #include "test_support.h"
+#include "util/mutex.h"
+#include "util/thread_pool.h"
 
 namespace vicinity::core {
 namespace {
@@ -32,6 +34,7 @@ class StoreTest : public ::testing::TestWithParam<StoreBackend> {
 TEST_P(StoreTest, FindReturnsStoredEntries) {
   const auto g = testing::karate_club();
   VicinityStore store(g.num_nodes(), GetParam());
+  const util::RoleGuard role(store.mutation_role());
   const std::vector<NodeId> nodes = {0, 5};
   store.prepare(nodes);
   const Vicinity v = make_vicinity(g, 0, 2);
@@ -58,6 +61,7 @@ TEST_P(StoreTest, FindReturnsStoredEntries) {
 TEST_P(StoreTest, BoundaryViewMatchesFlags) {
   const auto g = testing::random_connected(200, 700, 141);
   VicinityStore store(g.num_nodes(), GetParam());
+  const util::RoleGuard role(store.mutation_role());
   const std::vector<NodeId> nodes = {3};
   store.prepare(nodes);
   const Vicinity v = make_vicinity(g, 3, 2);
@@ -75,6 +79,7 @@ TEST_P(StoreTest, BoundaryViewMatchesFlags) {
 TEST_P(StoreTest, MetadataAccessors) {
   const auto g = testing::karate_club();
   VicinityStore store(g.num_nodes(), GetParam());
+  const util::RoleGuard role(store.mutation_role());
   store.prepare(std::vector<NodeId>{7});
   const Vicinity v = make_vicinity(g, 7, 3);
   store.set(7, v);
@@ -88,6 +93,7 @@ TEST_P(StoreTest, MetadataAccessors) {
 TEST_P(StoreTest, ForEachMemberVisitsAll) {
   const auto g = testing::karate_club();
   VicinityStore store(g.num_nodes(), GetParam());
+  const util::RoleGuard role(store.mutation_role());
   store.prepare(std::vector<NodeId>{0});
   const Vicinity v = make_vicinity(g, 0, 2);
   store.set(0, v);
@@ -99,6 +105,7 @@ TEST_P(StoreTest, ForEachMemberVisitsAll) {
 TEST_P(StoreTest, SetValidatesUsage) {
   const auto g = testing::karate_club();
   VicinityStore store(g.num_nodes(), GetParam());
+  const util::RoleGuard role(store.mutation_role());
   store.prepare(std::vector<NodeId>{0});
   Vicinity v = make_vicinity(g, 1, 2);
   EXPECT_THROW(store.set(1, v), std::logic_error);   // not prepared
@@ -109,6 +116,7 @@ TEST_P(StoreTest, SetValidatesUsage) {
 TEST_P(StoreTest, DuplicatePrepareIsIdempotent) {
   const auto g = testing::karate_club();
   VicinityStore store(g.num_nodes(), GetParam());
+  const util::RoleGuard role(store.mutation_role());
   store.prepare(std::vector<NodeId>{0, 0, 1, 0});
   EXPECT_EQ(store.indexed_nodes(), 2u);
 }
@@ -128,6 +136,7 @@ TEST_P(StoreTest, ProbingInvalidNodeIsCheckedError) {
   // type, so behavior does not depend on the StoreBackend switch.
   const auto g = testing::karate_club();
   VicinityStore store(g.num_nodes(), GetParam());
+  const util::RoleGuard role(store.mutation_role());
   const std::vector<NodeId> nodes = {0};
   store.prepare(nodes);
   store.set(0, make_vicinity(g, 0, 2));
@@ -137,6 +146,7 @@ TEST_P(StoreTest, ProbingInvalidNodeIsCheckedError) {
 TEST_P(StoreTest, StoringInvalidNodeMemberIsCheckedError) {
   const auto g = testing::karate_club();
   VicinityStore store(g.num_nodes(), GetParam());
+  const util::RoleGuard role(store.mutation_role());
   const std::vector<NodeId> nodes = {0};
   store.prepare(nodes);
   Vicinity v = make_vicinity(g, 0, 2);
@@ -149,6 +159,7 @@ TEST_P(StoreTest, ReplacingASlotAdjustsTotalsAndContents) {
   // and the global totals must track the delta, not accumulate.
   const auto g = testing::karate_club();
   VicinityStore store(g.num_nodes(), GetParam());
+  const util::RoleGuard role(store.mutation_role());
   const std::vector<NodeId> nodes = {0};
   store.prepare(nodes);
 
@@ -182,6 +193,7 @@ TEST_P(StoreTest, ReplacingASlotAdjustsTotalsAndContents) {
 TEST_P(StoreTest, RefreshBoundaryFlagInsertsAndRemovesSortedEntries) {
   const auto g = testing::karate_club();
   VicinityStore store(g.num_nodes(), GetParam());
+  const util::RoleGuard role(store.mutation_role());
   const std::vector<NodeId> nodes = {0};
   store.prepare(nodes);
   store.set(0, make_vicinity(g, 0, 2));
@@ -209,6 +221,9 @@ TEST(StoreBackendTest, BackendsAgreeProbeForProbe) {
   VicinityStore flat(g.num_nodes(), StoreBackend::kFlatHash);
   VicinityStore stdm(g.num_nodes(), StoreBackend::kStdUnorderedMap);
   VicinityStore packed(g.num_nodes(), StoreBackend::kPacked);
+  const util::RoleGuard flat_role(flat.mutation_role());
+  const util::RoleGuard stdm_role(stdm.mutation_role());
+  const util::RoleGuard packed_role(packed.mutation_role());
   const std::vector<NodeId> nodes = {1, 2, 3, 4, 5};
   flat.prepare(nodes);
   stdm.prepare(nodes);
@@ -256,6 +271,7 @@ TEST(StoreBackendTest, BackendsAgreeProbeForProbe) {
 TEST(PackedStoreTest, SlicesAreGroupSortedAndBoundaryIsAPrefix) {
   const auto g = testing::random_connected(300, 1100, 143);
   VicinityStore store(g.num_nodes(), StoreBackend::kPacked);
+  const util::RoleGuard role(store.mutation_role());
   const std::vector<NodeId> nodes = {0, 1, 2, 3};
   store.prepare(nodes);
   VicinityBuilder builder(g);
@@ -287,6 +303,7 @@ TEST(PackedStoreTest, SlicesAreGroupSortedAndBoundaryIsAPrefix) {
 TEST(PackedStoreTest, InPlaceReplacementDoesNotFragment) {
   const auto g = testing::random_connected(400, 1600, 144);
   VicinityStore store(g.num_nodes(), StoreBackend::kPacked);
+  const util::RoleGuard role(store.mutation_role());
   const std::vector<NodeId> nodes = {0, 1, 2};
   store.prepare(nodes);
   VicinityBuilder builder(g);
@@ -316,6 +333,7 @@ TEST(PackedStoreTest, InPlaceReplacementDoesNotFragment) {
 TEST(PackedStoreTest, AdoptExportRoundTripAndValidation) {
   const auto g = testing::random_connected(250, 900, 145);
   VicinityStore store(g.num_nodes(), StoreBackend::kPacked);
+  const util::RoleGuard role(store.mutation_role());
   const std::vector<NodeId> nodes = {0, 5, 9};
   store.prepare(nodes);
   VicinityBuilder builder(g);
@@ -324,6 +342,7 @@ TEST(PackedStoreTest, AdoptExportRoundTripAndValidation) {
 
   auto blob = store.export_packed();
   VicinityStore copy(g.num_nodes(), StoreBackend::kPacked);
+  const util::RoleGuard copy_role(copy.mutation_role());
   copy.prepare(nodes);
   copy.adopt_packed(std::move(blob));
   ASSERT_EQ(copy.total_entries(), store.total_entries());
@@ -343,6 +362,7 @@ TEST(PackedStoreTest, AdoptExportRoundTripAndValidation) {
   auto bad = store.export_packed();
   bad.members.pop_back();
   VicinityStore reject(g.num_nodes(), StoreBackend::kPacked);
+  const util::RoleGuard reject_role(reject.mutation_role());
   reject.prepare(nodes);
   EXPECT_THROW(reject.adopt_packed(std::move(bad)), std::runtime_error);
 
@@ -350,6 +370,7 @@ TEST(PackedStoreTest, AdoptExportRoundTripAndValidation) {
   if (unsorted.members.size() >= 2 && unsorted.boundary_len[0] >= 2) {
     std::swap(unsorted.members[0], unsorted.members[1]);
     VicinityStore reject2(g.num_nodes(), StoreBackend::kPacked);
+    const util::RoleGuard reject2_role(reject2.mutation_role());
     reject2.prepare(nodes);
     EXPECT_THROW(reject2.adopt_packed(std::move(unsorted)),
                  std::runtime_error);
@@ -362,6 +383,7 @@ TEST(PackedStoreTest, AdoptRejectsMemberInBothGroups) {
   // entries for one member.
   const auto g = testing::karate_club();
   VicinityStore store(g.num_nodes(), StoreBackend::kPacked);
+  const util::RoleGuard role(store.mutation_role());
   store.prepare(std::vector<NodeId>{0});
   VicinityStore::PackedBlob blob;
   blob.radius = {2};
@@ -386,6 +408,7 @@ TEST(PackedStoreTest, ShrinkingRepairsTriggerCompaction) {
   // must count as waste so pack_if_needed() eventually reclaims them.
   const auto g = testing::random_connected(3000, 12000, 148);
   VicinityStore store(g.num_nodes(), StoreBackend::kPacked);
+  const util::RoleGuard role(store.mutation_role());
   std::vector<NodeId> nodes;
   for (NodeId u = 0; u < 30; ++u) nodes.push_back(u);
   store.prepare(nodes);
@@ -413,6 +436,8 @@ TEST(PackedStoreTest, IntersectionKernelsAgreeWithHashProbes) {
   const auto g = testing::random_connected(500, 2200, 146);
   VicinityStore flat(g.num_nodes(), StoreBackend::kFlatHash);
   VicinityStore packed(g.num_nodes(), StoreBackend::kPacked);
+  const util::RoleGuard flat_role(flat.mutation_role());
+  const util::RoleGuard packed_role(packed.mutation_role());
   std::vector<NodeId> nodes;
   for (NodeId u = 0; u < 40; ++u) nodes.push_back(u);
   flat.prepare(nodes);
@@ -477,6 +502,7 @@ TEST(PackedStoreTest, RefreshBoundaryFlagRotatesWithinTheSlice) {
   // membership is easy to reason about: 0-1-2-3-4-..., Γ(2) with radius 2.
   const auto g = testing::path_graph(9);
   VicinityStore store(g.num_nodes(), StoreBackend::kPacked);
+  const util::RoleGuard role(store.mutation_role());
   store.prepare(std::vector<NodeId>{2});
   VicinityBuilder builder(g);
   store.set(2, builder.build(2, 2, kInvalidNode));
@@ -494,6 +520,73 @@ TEST(PackedStoreTest, RefreshBoundaryFlagRotatesWithinTheSlice) {
     EXPECT_EQ(p.dist, e.dist);
   });
 }
+
+// ---- Shared-mutation contract ------------------------------------------
+
+class VicinityStoreConcurrencyTest
+    : public ::testing::TestWithParam<StoreBackend> {};
+
+TEST_P(VicinityStoreConcurrencyTest, ParallelFlagRefreshKeepsGlobalTotals) {
+  // Regression: refresh_boundary_flag bumped total_boundary_ with plain
+  // ++/-- while set() used relaxed atomics — racing the shared counter when
+  // dynamic repair patches flags for distinct nodes from pool workers (the
+  // documented REQUIRES_SHARED(mutation_role_) contract). Store every
+  // vicinity with its boundary flags inverted, then re-derive all flags
+  // from the graph in parallel; the global counter must land exactly on
+  // the true total, not on a lost-update approximation.
+  const auto g = testing::random_connected(400, 1600, 149);
+  VicinityStore store(g.num_nodes(), GetParam());
+  std::vector<NodeId> nodes;
+  for (NodeId u = 0; u < 48; ++u) nodes.push_back(u);
+  {
+    const util::RoleGuard role(store.mutation_role());
+    store.prepare(nodes);
+  }
+
+  VicinityBuilder builder(g);
+  std::uint64_t true_boundary = 0;
+  std::vector<std::vector<NodeId>> members_of(nodes.size());
+  {
+    const util::RoleGuard role(store.mutation_role());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      Vicinity v = builder.build(nodes[i], 2, kInvalidNode);
+      true_boundary += v.boundary_size;
+      v.boundary_size = v.members.size() - v.boundary_size;
+      for (auto& m : v.members) {
+        m.on_boundary = !m.on_boundary;
+        members_of[i].push_back(m.node);
+      }
+      store.set(nodes[i], v);
+    }
+    store.pack();  // no-op on hash backends
+  }
+  ASSERT_NE(store.total_boundary_entries(), true_boundary);
+
+  util::ThreadPool pool(4);
+  pool.parallel_for_ranges(
+      nodes.size(), 4, [&](std::uint64_t lo, std::uint64_t hi, unsigned) {
+        // Workers patch disjoint slots: shared hold on the mutation role.
+        const util::SharedRoleGuard role(store.mutation_role());
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          for (const NodeId m : members_of[i]) {
+            store.refresh_boundary_flag(nodes[i], m, g, Direction::kOut);
+          }
+        }
+      });
+
+  EXPECT_EQ(store.total_boundary_entries(), true_boundary);
+  std::uint64_t recount = 0;
+  for (const NodeId u : nodes) recount += store.boundary(u).nodes.size();
+  EXPECT_EQ(recount, true_boundary);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, VicinityStoreConcurrencyTest,
+                         ::testing::Values(StoreBackend::kFlatHash,
+                                           StoreBackend::kStdUnorderedMap,
+                                           StoreBackend::kPacked),
+                         [](const auto& info) {
+                           return std::string(backend_name(info.param));
+                         });
 
 }  // namespace
 }  // namespace vicinity::core

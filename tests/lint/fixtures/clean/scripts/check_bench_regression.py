@@ -1,0 +1,29 @@
+#!/usr/bin/env python3
+"""Fixture stub of the bench gate (clean tree) — same extractor surface as
+the real scripts/check_bench_regression.py."""
+
+
+def throughput_metrics(throughput, prefix=""):
+    metrics = {
+        f"{prefix}query_qps_best": max(
+            (r["qps"] for r in throughput.get("throughput", [])), default=0.0
+        ),
+    }
+    for pct in ("p50", "p99"):
+        if pct in throughput.get("latency_us", {}):
+            metrics[f"{prefix}query_{pct}_us"] = throughput["latency_us"][pct]
+    return metrics
+
+
+def update_metrics(updates):
+    metrics = {}
+    if "updates_per_sec" in updates:
+        metrics["updates_per_sec"] = updates["updates_per_sec"]
+    for kind in ("insert", "delete"):
+        if kind in updates and "per_sec" in updates[kind]:
+            metrics[f"{kind}_per_sec"] = updates[kind]["per_sec"]
+    post = updates.get("post_update_query", {})
+    for pct in ("p50", "p99"):
+        if f"{pct}_us" in post:
+            metrics[f"post_update_query_{pct}_us"] = post[f"{pct}_us"]
+    return metrics

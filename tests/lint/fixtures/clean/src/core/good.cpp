@@ -1,0 +1,25 @@
+// Fixture: a core TU that exercises every rule's allow/negative path.
+// vicinity-lint: allow(core-no-std-unordered-map)
+#include <unordered_map>
+
+#include "core/good.h"
+
+namespace vicinity::core {
+
+// Mentioning std::unordered_map or `new Widget` in a comment is fine: the
+// linter strips comments before matching.
+int sanctioned() {
+  std::unordered_map<int, int> m;  // vicinity-lint: allow(core-no-std-unordered-map)
+  auto p = std::make_unique<int>(7);
+  m[1] = *p;
+  return static_cast<int>(m.size());
+}
+
+int safe(int x) noexcept { return x + 1; }
+
+int throwing(int x) {  // not noexcept: throw is allowed here
+  if (x < 0) throw x;
+  return x;
+}
+
+}  // namespace vicinity::core

@@ -1,0 +1,8 @@
+// Fixture: public header, included by the fixture umbrella.
+#pragma once
+
+#include <memory>
+
+namespace vicinity::core {
+int sanctioned();
+}  // namespace vicinity::core

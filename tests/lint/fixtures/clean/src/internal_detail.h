@@ -1,0 +1,8 @@
+// Fixture: header deliberately outside the umbrella, suppressed with the
+// marker the rule documents.
+// vicinity-lint: allow(umbrella-header)
+#pragma once
+
+namespace vicinity {
+inline int detail_only() { return 2; }
+}  // namespace vicinity

@@ -1,0 +1,4 @@
+// Fixture umbrella header for the clean tree.
+#pragma once
+
+#include "core/good.h"

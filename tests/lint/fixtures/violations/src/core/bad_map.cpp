@@ -1,0 +1,12 @@
+// Fixture: seeded core-no-std-unordered-map violations (include + use).
+#include <unordered_map>
+
+namespace vicinity::core {
+
+int count_things() {
+  std::unordered_map<int, int> m;
+  m[1] = 2;
+  return static_cast<int>(m.size());
+}
+
+}  // namespace vicinity::core

@@ -1,0 +1,8 @@
+// Fixture: seeded core-no-raw-new violation.
+namespace vicinity::core {
+
+int* make_buffer() {
+  return new int[16];
+}
+
+}  // namespace vicinity::core

@@ -1,0 +1,16 @@
+// Fixture: seeded noexcept-no-throw violation. Included by vicinity.h so
+// it does not also trip the umbrella rule.
+#pragma once
+
+#include <stdexcept>
+
+namespace vicinity::core {
+
+inline int checked_probe(int x) noexcept {
+  if (x < 0) {
+    throw std::invalid_argument("negative");
+  }
+  return x;
+}
+
+}  // namespace vicinity::core

@@ -1,0 +1,7 @@
+// Fixture: seeded umbrella-header violation — this public header is not
+// included by src/vicinity.h and carries no allow marker.
+#pragma once
+
+namespace vicinity {
+inline int orphan() { return 1; }
+}  // namespace vicinity

@@ -1,0 +1,4 @@
+// Fixture umbrella header: includes bad_throw.h but NOT orphan.h.
+#pragma once
+
+#include "core/bad_throw.h"

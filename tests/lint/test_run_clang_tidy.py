@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/run_clang_tidy.py's ratchet logic.
+
+A fake clang-tidy binary (a tiny script that prints whatever diagnostics
+the test stages) is injected via --clang-tidy, so the baseline-match,
+ratchet-fail, improvement, and --regenerate paths are all covered without
+a clang toolchain. Stdlib unittest only."""
+
+import contextlib
+import io
+import json
+import stat
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+TESTS_LINT = Path(__file__).resolve().parent
+REPO_ROOT = TESTS_LINT.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+import run_clang_tidy  # noqa: E402
+
+# An existing first-party file: the driver filters compile_commands.json
+# entries to src/tests/bench/examples paths inside the repo.
+SOURCE = "src/util/log.cpp"
+
+
+class RatchetTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.dir = Path(self.tmp.name)
+        self.build = self.dir / "build"
+        self.build.mkdir()
+        (self.build / "compile_commands.json").write_text(json.dumps([
+            {
+                "directory": str(REPO_ROOT),
+                "file": SOURCE,
+                "command": f"c++ -c {SOURCE}",
+            }
+        ]))
+        self.diag_file = self.dir / "diags.txt"
+        self.diag_file.write_text("")
+        self.fake_tidy = self.dir / "fake-clang-tidy"
+        self.fake_tidy.write_text(
+            "#!/bin/sh\n"
+            f'cat "{self.diag_file}"\n'
+        )
+        self.fake_tidy.chmod(self.fake_tidy.stat().st_mode | stat.S_IEXEC)
+        self.baseline = self.dir / "baseline.json"
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def stage_diags(self, lines):
+        self.diag_file.write_text("".join(line + "\n" for line in lines))
+
+    def write_baseline(self, findings):
+        self.baseline.write_text(json.dumps({"findings": findings}))
+
+    def run_driver(self, *extra):
+        argv = [
+            "--build-dir", str(self.build),
+            "--baseline", str(self.baseline),
+            "--clang-tidy", str(self.fake_tidy),
+            "--jobs", "1",
+            *extra,
+        ]
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            code = run_clang_tidy.main(argv)
+        return code, buf.getvalue()
+
+    def diag(self, line, col, check, msg="something smells"):
+        return f"{SOURCE}:{line}:{col}: warning: {msg} [{check}]"
+
+    def test_clean_tree_and_empty_baseline_passes(self):
+        self.write_baseline({})
+        code, out = self.run_driver("--check")
+        self.assertEqual(code, 0, out)
+        self.assertIn("clean", out)
+
+    def test_baselined_findings_pass(self):
+        self.stage_diags([self.diag(10, 5, "bugprone-foo"),
+                          self.diag(20, 3, "bugprone-foo")])
+        self.write_baseline({SOURCE: {"bugprone-foo": 2}})
+        code, out = self.run_driver("--check")
+        self.assertEqual(code, 0, out)
+
+    def test_new_finding_fails_the_ratchet(self):
+        self.stage_diags([self.diag(10, 5, "bugprone-foo"),
+                          self.diag(30, 7, "bugprone-foo")])
+        self.write_baseline({SOURCE: {"bugprone-foo": 1}})
+        code, out = self.run_driver("--check")
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+        self.assertIn("bugprone-foo: 1 -> 2", out)
+
+    def test_new_check_kind_fails_even_with_other_slack(self):
+        # 2 baselined bugprone findings no longer present must not offset
+        # a brand-new concurrency finding: counts ratchet per (file, check).
+        self.stage_diags([self.diag(5, 1, "concurrency-mt-unsafe")])
+        self.write_baseline({SOURCE: {"bugprone-foo": 2}})
+        code, out = self.run_driver("--check")
+        self.assertEqual(code, 1)
+        self.assertIn("concurrency-mt-unsafe: 0 -> 1", out)
+
+    def test_duplicate_diagnostics_across_tus_are_deduplicated(self):
+        # Headers surface once per including TU; identical (file, line,
+        # col, check) tuples must count once.
+        self.stage_diags([self.diag(10, 5, "bugprone-foo")] * 3)
+        self.write_baseline({SOURCE: {"bugprone-foo": 1}})
+        code, out = self.run_driver("--check")
+        self.assertEqual(code, 0, out)
+
+    def test_improvement_reported_not_failed(self):
+        self.stage_diags([self.diag(10, 5, "bugprone-foo")])
+        self.write_baseline({SOURCE: {"bugprone-foo": 3}})
+        code, out = self.run_driver("--check")
+        self.assertEqual(code, 0, out)
+        self.assertIn("improved", out)
+
+    def test_regenerate_then_check_round_trips(self):
+        self.stage_diags([self.diag(10, 5, "bugprone-foo"),
+                          self.diag(11, 5, "performance-bar")])
+        code, out = self.run_driver("--regenerate")
+        self.assertEqual(code, 0, out)
+        data = json.loads(self.baseline.read_text())
+        self.assertEqual(data["findings"][SOURCE],
+                         {"bugprone-foo": 1, "performance-bar": 1})
+        code, out = self.run_driver("--check")
+        self.assertEqual(code, 0, out)
+
+    def test_fixture_paths_are_excluded(self):
+        self.stage_diags([
+            "tests/lint/fixtures/violations/src/core/bad_map.cpp:7:3: "
+            "warning: seeded [bugprone-foo]",
+        ])
+        self.write_baseline({})
+        code, out = self.run_driver("--check")
+        self.assertEqual(code, 0, out)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/vicinity_lint.py: every rule must fire on its
+seeded fixture in fixtures/violations/ and stay silent on fixtures/clean/.
+Stdlib unittest only (wired into ctest by tests/CMakeLists.txt)."""
+
+import contextlib
+import io
+import sys
+import unittest
+from pathlib import Path
+
+TESTS_LINT = Path(__file__).resolve().parent
+REPO_ROOT = TESTS_LINT.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+import vicinity_lint  # noqa: E402
+
+
+def run_lint(root: Path) -> tuple[int, str]:
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        code = vicinity_lint.main(["--root", str(root)])
+    return code, buf.getvalue()
+
+
+class ViolationFixtureTest(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.code, cls.output = run_lint(TESTS_LINT / "fixtures" / "violations")
+
+    def test_exit_nonzero(self):
+        self.assertEqual(self.code, 1)
+
+    def test_unordered_map_rule_fires(self):
+        self.assertIn("[core-no-std-unordered-map]", self.output)
+        self.assertIn("bad_map.cpp", self.output)
+
+    def test_raw_new_rule_fires(self):
+        self.assertIn("[core-no-raw-new]", self.output)
+        self.assertIn("bad_new.cpp", self.output)
+
+    def test_noexcept_throw_rule_fires(self):
+        self.assertIn("[noexcept-no-throw]", self.output)
+        self.assertIn("bad_throw.h", self.output)
+
+    def test_umbrella_rule_fires(self):
+        self.assertIn("[umbrella-header]", self.output)
+        self.assertIn("orphan.h", self.output)
+        # The header that IS in the fixture umbrella is not flagged.
+        self.assertNotIn("bad_throw.h:1: [umbrella-header]", self.output)
+
+    def test_bench_keys_rule_fires(self):
+        self.assertIn("[bench-baseline-keys]", self.output)
+        self.assertIn("query_qps_bets", self.output)
+
+
+class CleanFixtureTest(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.code, cls.output = run_lint(TESTS_LINT / "fixtures" / "clean")
+
+    def test_exit_zero(self):
+        self.assertEqual(self.code, 0, self.output)
+
+    def test_allow_markers_suppress(self):
+        # The clean tree seeds a marked std::unordered_map use and a marked
+        # out-of-umbrella header; neither may be reported.
+        self.assertNotIn("core-no-std-unordered-map", self.output)
+        self.assertNotIn("umbrella-header", self.output)
+
+
+class RealTreeTest(unittest.TestCase):
+    def test_repo_is_clean(self):
+        code, output = run_lint(REPO_ROOT)
+        self.assertEqual(code, 0, f"repo lint not clean:\n{output}")
+
+
+if __name__ == "__main__":
+    unittest.main()
