@@ -29,6 +29,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -40,8 +41,10 @@
 #include "baselines/baseline_adapters.h"
 #include "core/directed_oracle.h"
 #include "core/query_engine.h"
+#include "core/serialize.h"
 #include "gen/rmat.h"
 #include "graph/components.h"
+#include "util/memory.h"
 #include "util/stats.h"
 #include "util/timer.h"
 
@@ -142,6 +145,57 @@ Options parse_args(int argc, char** argv) {
   return o;
 }
 
+/// Index open-path comparison for VCNIDX05 region containers: best-of-reps
+/// wall time and resident-set growth of a zero-copy mmap open vs a full
+/// heap deserialize (which also deep-validates) of the same file.
+struct OpenBench {
+  bool ran = false;
+  std::uint64_t file_bytes = 0;
+  double mapped_ms = 0.0;
+  double heap_ms = 0.0;
+  std::uint64_t mapped_rss_delta = 0;  ///< RSS growth while the oracle lives
+  std::uint64_t heap_rss_delta = 0;
+};
+
+OpenBench bench_index_open(const std::shared_ptr<core::AnyOracle>& oracle,
+                           const graph::Graph& g, unsigned reps) {
+  OpenBench b;
+  const auto path =
+      std::filesystem::temp_directory_path() / "vicinity_bench_open.idx";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    oracle->save(out);
+  }
+  b.file_bytes = std::filesystem::file_size(path);
+  auto rss_delta = [](std::uint64_t before) {
+    const std::uint64_t after = util::current_rss_bytes();
+    return after > before ? after - before : std::uint64_t{0};
+  };
+  for (unsigned rep = 0; rep < reps; ++rep) {
+    {
+      const std::uint64_t before = util::current_rss_bytes();
+      util::Timer t;
+      const auto mapped = core::load_any_oracle_file(path.string(), g);
+      const double ms = t.elapsed_ms();
+      if (rep == 0 || ms < b.mapped_ms) b.mapped_ms = ms;
+      b.mapped_rss_delta = std::max(b.mapped_rss_delta, rss_delta(before));
+    }
+    {
+      core::OpenOptions heap_opts;
+      heap_opts.mode = core::OpenMode::kHeap;
+      const std::uint64_t before = util::current_rss_bytes();
+      util::Timer t;
+      const auto heap = core::load_any_oracle_file(path.string(), g, heap_opts);
+      const double ms = t.elapsed_ms();
+      if (rep == 0 || ms < b.heap_ms) b.heap_ms = ms;
+      b.heap_rss_delta = std::max(b.heap_rss_delta, rss_delta(before));
+    }
+  }
+  std::filesystem::remove(path);
+  b.ran = true;
+  return b;
+}
+
 bool results_identical(const std::vector<core::QueryResult>& a,
                        const std::vector<core::QueryResult>& b) {
   if (a.size() != b.size()) return false;
@@ -228,6 +282,21 @@ int main(int argc, char** argv) {
       built.oracle->capabilities().to_string().c_str(),
       opt.store_backend.c_str(), opt.alpha, built.landmarks, build_seconds);
 
+  // Open-path bench: only the vicinity backends persist, and only the
+  // packed store writes the mappable VCNIDX05 region container.
+  OpenBench open_bench;
+  if (opt.backend == "vicinity" && opt.store_backend == "packed") {
+    open_bench = bench_index_open(built.oracle, g, opt.reps);
+    std::printf(
+        "index open (%s file): mmap %.2fms (+%s RSS) vs heap %.1fms "
+        "(+%s RSS) -> %.0fx faster\n",
+        util::fmt_bytes(open_bench.file_bytes).c_str(), open_bench.mapped_ms,
+        util::fmt_bytes(open_bench.mapped_rss_delta).c_str(),
+        open_bench.heap_ms, util::fmt_bytes(open_bench.heap_rss_delta).c_str(),
+        open_bench.mapped_ms > 0 ? open_bench.heap_ms / open_bench.mapped_ms
+                                 : 0.0);
+  }
+
   const unsigned max_threads =
       *std::max_element(opt.threads.begin(), opt.threads.end());
   core::QueryEngine engine(built.oracle, max_threads);
@@ -306,8 +375,19 @@ int main(int argc, char** argv) {
        << "  \"latency_us\": {\"p50\": " << latency_us.percentile(50)
        << ", \"p90\": " << latency_us.percentile(90)
        << ", \"p99\": " << latency_us.percentile(99)
-       << ", \"max\": " << latency_us.max() << "},\n"
-       << "  \"throughput\": [";
+       << ", \"max\": " << latency_us.max() << "},\n";
+    if (open_bench.ran) {
+      js << "  \"index_open\": {\"file_bytes\": " << open_bench.file_bytes
+         << ", \"mapped_ms\": " << open_bench.mapped_ms
+         << ", \"heap_ms\": " << open_bench.heap_ms << ", \"speedup\": "
+         << (open_bench.mapped_ms > 0
+                 ? open_bench.heap_ms / open_bench.mapped_ms
+                 : 0.0)
+         << ", \"mapped_rss_delta_bytes\": " << open_bench.mapped_rss_delta
+         << ", \"heap_rss_delta_bytes\": " << open_bench.heap_rss_delta
+         << "},\n";
+    }
+    js << "  \"throughput\": [";
     for (std::size_t i = 0; i < rows.size(); ++i) {
       js << (i ? ", " : "") << "{\"threads\": " << rows[i].threads
          << ", \"qps\": " << rows[i].qps

@@ -7,11 +7,17 @@
 //     vicinity_cli build --graph=graph.bin --alpha=16 --out=index.idx
 //   query (REPL):       vicinity_cli query --graph=graph.bin --index=index.idx
 //                       then type "s t" pairs on stdin ("path s t" for paths)
+//                       (--no-mmap forces a heap load of a VCNIDX05 index;
+//                        --verify deep-validates a mapped one up front)
+//   inspect an index:   vicinity_cli index info index.idx
+//                       (header + section table only — never loads the
+//                        payload, so it is O(1) on a multi-GB index)
 //   one-shot stats:     vicinity_cli stats --graph=graph.bin
 //
 // Graphs load from the binary container or from SNAP-style edge lists
 // (--edges=FILE), so real downloaded datasets work unchanged.
 #include <cstring>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -31,6 +37,14 @@ std::string flag_value(int argc, char** argv, const std::string& name,
     }
   }
   return fallback;
+}
+
+bool has_flag(int argc, char** argv, const std::string& name) {
+  const std::string flag = "--" + name;
+  for (int i = 2; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
 }
 
 graph::Graph load_graph(int argc, char** argv) {
@@ -86,8 +100,12 @@ int cmd_query(int argc, char** argv) {
   options.alpha = std::stod(flag_value(argc, argv, "alpha", "16"));
   options.store_landmark_parents = true;
   options.fallback = core::Fallback::kBidirectionalBfs;
-  const auto index = index_path.empty() ? Index::build(g, options)
-                                        : Index::open(index_path, g);
+  core::OpenOptions open_opts;
+  if (has_flag(argc, argv, "no-mmap")) open_opts.mode = core::OpenMode::kHeap;
+  open_opts.verify = has_flag(argc, argv, "verify");
+  const auto index = index_path.empty()
+                         ? Index::build(g, options)
+                         : Index::open(index_path, g, open_opts);
   std::cout << "ready (" << g.summary() << ", backend '"
             << index.backend_name() << "' ["
             << index.capabilities().to_string() << "]); enter \"s t\" or "
@@ -124,6 +142,43 @@ int cmd_query(int argc, char** argv) {
   return 0;
 }
 
+// `index info FILE`: header-only inspection — format version, backend,
+// graph shape, and (for VCNIDX05 region containers) the section table.
+// Reads O(header + section table) bytes regardless of index size.
+int cmd_index_info(const std::string& path) {
+  const core::IndexFileInfo info = core::inspect_index_file(path);
+  std::cout << path << ": VCNIDX" << (info.version < 10 ? "0" : "")
+            << info.version << " "
+            << (info.mappable ? "region container (mappable)"
+                              : "stream container")
+            << "\n";
+  std::cout << "  backend:    " << info.backend << " (store: "
+            << info.store_backend;
+  if (!info.table_mode.empty()) {
+    std::cout << ", tables: " << info.table_mode;
+  }
+  std::cout << ")\n";
+  std::cout << "  graph:      " << info.num_nodes << " nodes, "
+            << info.num_arcs << " arcs, "
+            << (info.directed ? "directed" : "undirected") << ", "
+            << (info.weighted ? "weighted" : "unweighted")
+            << ", alpha=" << info.alpha << "\n";
+  std::cout << "  file size:  "
+            << util::fmt_bytes(static_cast<double>(info.file_bytes)) << " ("
+            << info.file_bytes << " bytes)\n";
+  if (!info.sections.empty()) {
+    std::cout << "  sections (" << info.sections.size() << "):\n";
+    for (const auto& s : info.sections) {
+      std::cout << "    " << std::left << std::setw(22) << s.name
+                << std::right << " id=" << std::setw(3) << s.id
+                << " elem=" << s.elem_size << " count=" << std::setw(12)
+                << s.count << " bytes=" << std::setw(12) << s.bytes
+                << " offset=" << std::setw(12) << s.offset << "\n";
+    }
+  }
+  return 0;
+}
+
 int cmd_stats(int argc, char** argv) {
   const auto g = load_graph(argc, argv);
   util::Rng rng(1);
@@ -136,7 +191,8 @@ int cmd_stats(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: vicinity_cli {gen|build|query|stats} [flags]\n";
+    std::cerr << "usage: vicinity_cli {gen|build|query|stats|index info} "
+                 "[flags]\n";
     return 2;
   }
   const std::string cmd = argv[1];
@@ -145,6 +201,13 @@ int main(int argc, char** argv) {
     if (cmd == "build") return cmd_build(argc, argv);
     if (cmd == "query") return cmd_query(argc, argv);
     if (cmd == "stats") return cmd_stats(argc, argv);
+    if (cmd == "index") {
+      if (argc >= 4 && std::string(argv[2]) == "info") {
+        return cmd_index_info(argv[3]);
+      }
+      std::cerr << "usage: vicinity_cli index info FILE.idx\n";
+      return 2;
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

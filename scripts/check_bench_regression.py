@@ -23,7 +23,7 @@ Usage:
   check_bench_regression.py --throughput tp.json --updates up.json \
       [--directed-throughput tpd.json] [--packed-throughput tpp.json] \
       --baseline bench/baselines/bench_smoke_baseline.json \
-      --out BENCH_pr5.json [--tolerance 0.20]
+      --out BENCH_pr7.json [--tolerance 0.20]
 
 Stdlib only; no third-party dependencies.
 """
@@ -43,6 +43,19 @@ def throughput_metrics(throughput, prefix=""):
     for pct in ("p50", "p99"):
         if pct in latency:
             metrics[f"{prefix}query_{pct}_us"] = latency[pct]
+    # Index open-path metrics (packed store only: the VCNIDX05 region
+    # container is the only mappable format, so flat-store runs simply
+    # don't emit the object).
+    index_open = throughput.get("index_open", {})
+    if "speedup" in index_open:
+        metrics[f"{prefix}index_open_speedup"] = index_open["speedup"]
+    if "mapped_ms" in index_open:
+        metrics[f"{prefix}index_open_mapped_ms"] = index_open["mapped_ms"]
+    for side in ("mapped", "heap"):
+        key = f"{side}_rss_delta_bytes"
+        if key in index_open:
+            metrics[f"{prefix}index_open_{side}_rss_mib"] = (
+                index_open[key] / 2**20)
     return metrics
 
 

@@ -12,6 +12,12 @@ Checks invariants no generic tool knows about:
                              (ownership goes through containers and
                              make_unique; raw new broke exception safety in
                              repair paths before).
+  core-no-reinterpret-cast   src/core must not reinterpret_cast outside
+                             the serialize region-view helpers
+                             (index_format.h, serialize.cpp) — those are
+                             the one audited place where on-disk bytes
+                             become typed spans, with the bounds and
+                             alignment checks to make it defined behavior.
   noexcept-no-throw          no `throw` inside a noexcept function body in
                              src/ (query kernels are noexcept: a throw
                              there is std::terminate at runtime).
@@ -137,6 +143,26 @@ def check_core_raw_new(root: Path) -> list[Finding]:
     return findings
 
 
+# The serialize region-view helpers are the one audited place where raw
+# index bytes become typed spans (RegionView does the bounds + alignment
+# checking that makes the cast defined behavior).
+REINTERPRET_ALLOWED_FILES = {"index_format.h", "serialize.cpp"}
+
+
+def check_core_reinterpret_cast(root: Path) -> list[Finding]:
+    pattern = re.compile(r"\breinterpret_cast\b")
+    findings = []
+    for path in sorted((root / "src" / "core").glob("*.[hc]*")):
+        if path.name in REINTERPRET_ALLOWED_FILES:
+            continue
+        findings += scan_pattern(
+            path, "core-no-reinterpret-cast", pattern,
+            "reinterpret_cast in src/core outside the serialize "
+            "region-view helpers (index_format.h / serialize.cpp); go "
+            "through RegionView::array_at/pod_at or a typed span")
+    return findings
+
+
 def check_noexcept_throw(root: Path) -> list[Finding]:
     """Flags `throw` inside the body of a function marked noexcept."""
     findings = []
@@ -209,7 +235,10 @@ def extractable_bench_keys(root: Path) -> set[str]:
     mod = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(mod)
     throughput = {"throughput": [{"qps": 1.0}],
-                  "latency_us": {"p50": 1.0, "p99": 1.0}}
+                  "latency_us": {"p50": 1.0, "p99": 1.0},
+                  "index_open": {"speedup": 1.0, "mapped_ms": 1.0,
+                                 "mapped_rss_delta_bytes": 1,
+                                 "heap_rss_delta_bytes": 1}}
     updates = {"updates_per_sec": 1.0,
                "insert": {"per_sec": 1.0},
                "delete": {"per_sec": 1.0},
@@ -245,6 +274,7 @@ def check_bench_keys(root: Path) -> list[Finding]:
 CHECKS = [
     check_core_containers,
     check_core_raw_new,
+    check_core_reinterpret_cast,
     check_noexcept_throw,
     check_umbrella,
     check_bench_keys,

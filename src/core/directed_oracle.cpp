@@ -429,9 +429,13 @@ bool DirectedVicinityOracle::chase_out(NodeId origin, NodeId from,
                                        std::vector<NodeId>& out) const {
   NodeId cur = from;
   out.push_back(cur);
+  // Bounded against untrusted arena data from a structural-only mmap open.
+  const std::uint64_t limit = g_->num_nodes();
+  std::uint64_t steps = 0;
   while (cur != origin) {
     const ProbeResult e = out_store_.find(origin, cur);
-    if (!e.found || e.parent == kInvalidNode || e.parent == cur) {
+    if (!e.found || e.parent == kInvalidNode || e.parent == cur ||
+        e.parent >= limit || ++steps > limit) {
       return false;
     }
     cur = e.parent;
@@ -446,9 +450,12 @@ bool DirectedVicinityOracle::chase_in(NodeId origin, NodeId from,
   // forward path from..origin in order.
   NodeId cur = from;
   out.push_back(cur);
+  const std::uint64_t limit = g_->num_nodes();
+  std::uint64_t steps = 0;
   while (cur != origin) {
     const ProbeResult e = in_store_.find(origin, cur);
-    if (!e.found || e.parent == kInvalidNode || e.parent == cur) {
+    if (!e.found || e.parent == kInvalidNode || e.parent == cur ||
+        e.parent >= limit || ++steps > limit) {
       return false;
     }
     cur = e.parent;
@@ -488,7 +495,14 @@ PathResult DirectedVicinityOracle::path(NodeId s, NodeId t,
     }
     std::vector<NodeId> walk;
     NodeId cur = t;
+    // Parent rows from a default mmap open are untrusted; bound the walk.
+    const std::uint64_t limit = g_->num_nodes();
+    std::uint64_t steps = 0;
     while (cur != s) {
+      if (cur >= limit || ++steps > limit) {
+        throw std::runtime_error(
+            "oracle index: corrupt landmark parent chain");
+      }
       walk.push_back(cur);
       cur = tables_.parent_from_landmark(s, cur);
     }

@@ -105,11 +105,46 @@ LandmarkTables LandmarkTables::build_subset(const graph::Graph& g,
   return t;
 }
 
+void LandmarkTables::materialize() {
+  if (backing_ == nullptr) return;
+  const std::size_t k = mm_row_count_;
+  const std::size_t n = row_len_;
+  dist_rows_.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto row = mm_dist_rows_.subspan(i * n, n);
+    dist_rows_[i].assign(row.begin(), row.end());
+  }
+  if (!mm_rev_rows_.empty()) {
+    rev_rows_.resize(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto row = mm_rev_rows_.subspan(i * n, n);
+      rev_rows_[i].assign(row.begin(), row.end());
+    }
+  }
+  if (!mm_parent_rows_.empty()) {
+    parent_rows_.resize(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto row = mm_parent_rows_.subspan(i * n, n);
+      parent_rows_[i].assign(row.begin(), row.end());
+    }
+  }
+  to_lm_.assign(mm_to_lm_.begin(), mm_to_lm_.end());
+  from_lm_.assign(mm_from_lm_.begin(), mm_from_lm_.end());
+  mm_dist_rows_ = {};
+  mm_rev_rows_ = {};
+  mm_parent_rows_ = {};
+  mm_to_lm_ = {};
+  mm_from_lm_ = {};
+  mm_row_count_ = 0;
+  backing_.reset();
+}
+
 std::size_t LandmarkTables::refresh_rows_insert(const graph::Graph& g,
                                                 NodeId a, NodeId b, Weight w) {
   if (mode_ != Mode::kFull) {
     throw std::logic_error("landmark table refresh: requires full mode");
   }
+  materialize();  // copy-on-write: refresh mutates rows in place
   std::size_t touched = 0;
   for (std::size_t i = 0; i < dist_rows_.size(); ++i) {
     bool row_changed = false;
@@ -158,6 +193,7 @@ std::size_t LandmarkTables::refresh_rows_delete(const graph::Graph& g,
   if (mode_ != Mode::kFull) {
     throw std::logic_error("landmark table refresh: requires full mode");
   }
+  materialize();  // copy-on-write: refresh mutates rows in place
   std::size_t touched = 0;
   for (std::size_t i = 0; i < dist_rows_.size(); ++i) {
     NodeId* parents = parent_rows_.empty() ? nullptr : parent_rows_[i].data();
@@ -181,23 +217,23 @@ Distance LandmarkTables::dist_from_landmark(NodeId l, NodeId v) const {
   if (mode_ != Mode::kFull) throw std::logic_error("landmark table: not full mode");
   const NodeId i = landmark_index_.at(l);
   if (i == kInvalidNode) throw std::invalid_argument("not a landmark");
-  return dist_rows_[i][v];
+  return dist_row(i)[v];
 }
 
 Distance LandmarkTables::dist_to_landmark(NodeId v, NodeId l) const {
   if (mode_ != Mode::kFull) throw std::logic_error("landmark table: not full mode");
   const NodeId i = landmark_index_.at(l);
   if (i == kInvalidNode) throw std::invalid_argument("not a landmark");
-  return directed_ ? rev_rows_[i][v] : dist_rows_[i][v];
+  return directed_ ? rev_row(i)[v] : dist_row(i)[v];
 }
 
 NodeId LandmarkTables::parent_from_landmark(NodeId l, NodeId v) const {
-  if (mode_ != Mode::kFull || parent_rows_.empty()) {
+  if (mode_ != Mode::kFull || !has_parents()) {
     throw std::logic_error("landmark table: parents unavailable");
   }
   const NodeId i = landmark_index_.at(l);
   if (i == kInvalidNode) throw std::invalid_argument("not a landmark");
-  return parent_rows_[i][v];
+  return parent_row(i)[v];
 }
 
 Distance LandmarkTables::subset_dist_to_landmark(NodeId v, NodeId l) const {
@@ -207,7 +243,8 @@ Distance LandmarkTables::subset_dist_to_landmark(NodeId v, NodeId l) const {
   if (si == kInvalidNode || li == kInvalidNode) {
     throw std::invalid_argument("subset_dist_to_landmark: bad pair");
   }
-  return to_lm_[static_cast<std::size_t>(si) * landmark_nodes_.size() + li];
+  return to_lm_view()[static_cast<std::size_t>(si) * landmark_nodes_.size() +
+                      li];
 }
 
 Distance LandmarkTables::subset_dist_from_landmark(NodeId l, NodeId v) const {
@@ -218,7 +255,8 @@ Distance LandmarkTables::subset_dist_from_landmark(NodeId l, NodeId v) const {
   if (si == kInvalidNode || li == kInvalidNode) {
     throw std::invalid_argument("subset_dist_from_landmark: bad pair");
   }
-  return from_lm_[static_cast<std::size_t>(si) * landmark_nodes_.size() + li];
+  return from_lm_view()[static_cast<std::size_t>(si) * landmark_nodes_.size() +
+                        li];
 }
 
 Distance LandmarkTables::landmark_query(NodeId s, NodeId t,
@@ -242,6 +280,8 @@ std::uint64_t LandmarkTables::entries() const {
   for (const auto& r : rev_rows_) e += r.size();
   for (const auto& r : parent_rows_) e += r.size();
   e += to_lm_.size() + from_lm_.size();
+  e += mm_dist_rows_.size() + mm_rev_rows_.size() + mm_parent_rows_.size() +
+       mm_to_lm_.size() + mm_from_lm_.size();
   return e;
 }
 

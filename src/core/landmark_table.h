@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -45,7 +46,9 @@ class LandmarkTables {
                                      util::ThreadPool* pool = nullptr);
 
   Mode mode() const { return mode_; }
-  bool has_parents() const { return !parent_rows_.empty(); }
+  bool has_parents() const {
+    return !parent_rows_.empty() || !mm_parent_rows_.empty();
+  }
 
   /// d(l -> v) for landmark l. kFull mode only.
   Distance dist_from_landmark(NodeId l, NodeId v) const;
@@ -95,13 +98,50 @@ class LandmarkTables {
   std::uint64_t entries() const;
   std::uint64_t memory_bytes() const;
 
-  // Raw access for serialization.
-  const std::vector<std::vector<Distance>>& rows() const { return dist_rows_; }
+  /// True when the row matrices alias external read-only storage (a mapped
+  /// VCNIDX05 file). The dynamic-refresh entry points materialize (copy
+  /// into owned rows, dropping the backing) before mutating.
+  bool mapped() const { return backing_ != nullptr; }
 
  private:
   friend class OracleSerializer;
 
   void index_landmarks(const LandmarkSet& landmarks, NodeId n);
+
+  // Row accessors spanning either the owned matrices or the mapped
+  // row-major storage — every query path reads through these.
+  std::span<const Distance> dist_row(std::size_t i) const {
+    if (backing_ != nullptr) {
+      return mm_dist_rows_.subspan(i * row_len_, row_len_);
+    }
+    return dist_rows_[i];
+  }
+  std::span<const Distance> rev_row(std::size_t i) const {
+    if (backing_ != nullptr) {
+      return mm_rev_rows_.subspan(i * row_len_, row_len_);
+    }
+    return rev_rows_[i];
+  }
+  std::span<const NodeId> parent_row(std::size_t i) const {
+    if (backing_ != nullptr) {
+      return mm_parent_rows_.subspan(i * row_len_, row_len_);
+    }
+    return parent_rows_[i];
+  }
+  std::span<const Distance> to_lm_view() const {
+    return backing_ != nullptr ? mm_to_lm_ : std::span<const Distance>(to_lm_);
+  }
+  std::span<const Distance> from_lm_view() const {
+    return backing_ != nullptr ? mm_from_lm_
+                               : std::span<const Distance>(from_lm_);
+  }
+  std::size_t row_count() const {
+    return backing_ != nullptr ? mm_row_count_ : dist_rows_.size();
+  }
+
+  /// Copies mapped storage into the owned matrices and drops the backing
+  /// (copy-on-write for the dynamic-refresh path). No-op when not mapped.
+  void materialize();
 
   Mode mode_ = Mode::kNone;
   bool directed_ = false;
@@ -117,6 +157,17 @@ class LandmarkTables {
   std::vector<NodeId> subset_index_;  ///< node -> subset ordinal
   std::vector<Distance> to_lm_;    ///< [subset][lm] d(v -> l)
   std::vector<Distance> from_lm_;  ///< [subset][lm] d(l -> v); alias of to_ on undirected
+  // Zero-copy storage (VCNIDX05 mmap open): when backing_ is non-null the
+  // matrices above are empty and these spans alias the mapping (row-major,
+  // row_len_ entries per row, mm_row_count_ rows per matrix).
+  std::span<const Distance> mm_dist_rows_;
+  std::span<const Distance> mm_rev_rows_;
+  std::span<const NodeId> mm_parent_rows_;
+  std::span<const Distance> mm_to_lm_;
+  std::span<const Distance> mm_from_lm_;
+  std::size_t mm_row_count_ = 0;
+  std::size_t row_len_ = 0;
+  std::shared_ptr<const void> backing_;
 };
 
 }  // namespace vicinity::core

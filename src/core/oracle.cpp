@@ -535,9 +535,15 @@ bool VicinityOracle::chase_parents(NodeId origin, NodeId from,
                                    std::vector<NodeId>& out) const {
   NodeId cur = from;
   out.push_back(cur);
+  // Arena data from a default (structural-only) mmap open is untrusted, so
+  // the walk is bounded: an out-of-range parent or a cycle longer than n
+  // aborts instead of walking wild (the caller degrades to a search).
+  const std::uint64_t limit = g_->num_nodes();
+  std::uint64_t steps = 0;
   while (cur != origin) {
     const ProbeResult e = store_.find(origin, cur);
-    if (!e.found || e.parent == kInvalidNode || e.parent == cur) {
+    if (!e.found || e.parent == kInvalidNode || e.parent == cur ||
+        e.parent >= limit || ++steps > limit) {
       return false;  // chain left the stored vicinity (weighted corner case)
     }
     cur = e.parent;
@@ -596,7 +602,14 @@ PathResult VicinityOracle::path(NodeId s, NodeId t, QueryContext& ctx) const {
       }
       std::vector<NodeId> parent_walk;
       NodeId cur = t;
+      // Parent rows from a default mmap open are untrusted; bound the walk.
+      const std::uint64_t limit = g_->num_nodes();
+      std::uint64_t steps = 0;
       while (cur != s) {
+        if (cur >= limit || ++steps > limit) {
+          throw std::runtime_error(
+              "oracle index: corrupt landmark parent chain");
+        }
         parent_walk.push_back(cur);
         cur = tables_.parent_from_landmark(s, cur);
       }
@@ -614,7 +627,13 @@ PathResult VicinityOracle::path(NodeId s, NodeId t, QueryContext& ctx) const {
       }
       std::vector<NodeId> walk;
       NodeId cur = s;
+      const std::uint64_t limit = g_->num_nodes();
+      std::uint64_t steps = 0;
       while (cur != t) {
+        if (cur >= limit || ++steps > limit) {
+          throw std::runtime_error(
+              "oracle index: corrupt landmark parent chain");
+        }
         walk.push_back(cur);
         cur = tables_.parent_from_landmark(t, cur);
       }

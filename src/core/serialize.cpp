@@ -3,14 +3,17 @@
 #include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <initializer_list>
 #include <istream>
 #include <limits>
 #include <ostream>
 #include <stdexcept>
 
+#include "core/index_format.h"
 #include "core/vicinity_builder.h"
 #include "util/bit_vector.h"
+#include "util/mapped_file.h"
 #include "util/mutex.h"
 
 namespace vicinity::core {
@@ -21,15 +24,18 @@ namespace {
 // version 3) one backend-tag byte. Version 2 added
 // OracleOptions::update_rebuild_fraction (dynamic updates); version 3 added
 // the backend tag and the directed-oracle body; version 4 added the
-// StoreBackend::kPacked store body — the packed arena is written/read as
-// bulk blobs (slot table + members/dists/parents), so loading a packed
-// index is O(memcpy) + validation instead of per-node hash rebuilds.
-// Version-2 files carry no tag and are implicitly undirected; version-1
-// files predate the options field and are rejected up front with a
-// versioned error rather than misparsed. Hash-backend store bodies are
-// byte-identical across versions 2-4, so old files keep loading.
+// StoreBackend::kPacked stream body. Version 5 switches packed-backend
+// indexes to the region container of core/index_format.h (fixed header +
+// section table + 64-byte-aligned sections), which loads zero-copy via
+// mmap. Hash-backend indexes keep the version-4 stream layout — their
+// per-node hash tables have no flat representation to map — and versions
+// 2-4 keep loading via the stream path unchanged. Version-1 files predate
+// the options field and are rejected up front with a versioned error
+// rather than misparsed.
 constexpr char kMagic[6] = {'V', 'C', 'N', 'I', 'D', 'X'};
-constexpr int kFormatVersion = 4;
+constexpr int kFormatVersion = 5;        // newest readable version
+constexpr int kRegionFormatVersion = 5;  // first region-container version
+constexpr int kStreamFormatVersion = 4;  // what the stream writer emits
 constexpr int kMinFormatVersion = 2;
 constexpr int kMinPackedVersion = 4;
 
@@ -96,11 +102,11 @@ void require(bool ok, const char* what) {
   if (!ok) throw std::runtime_error(std::string("oracle index: ") + what);
 }
 
-void write_header(std::ostream& out, BackendTag tag) {
+void write_header(std::ostream& out, BackendTag tag, int version) {
   out.write(kMagic, sizeof(kMagic));
-  const char version[2] = {static_cast<char>('0' + kFormatVersion / 10),
-                           static_cast<char>('0' + kFormatVersion % 10)};
-  out.write(version, sizeof(version));
+  const char digits[2] = {static_cast<char>('0' + version / 10),
+                          static_cast<char>('0' + version % 10)};
+  out.write(digits, sizeof(digits));
   write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(tag));
 }
 
@@ -143,6 +149,14 @@ Header read_header(std::istream& in) {
       std::string("oracle index: backend mismatch: format version ") +
       std::to_string(h.version) + " file is tagged '" + to_string(h.tag) +
       "', not '" + wanted + "'; " + hint);
+}
+
+[[noreturn]] void mapped_stream_mismatch(int version) {
+  throw std::runtime_error(
+      "oracle index: format version " + std::to_string(version) +
+      " is a stream container and cannot be memory-mapped; open with "
+      "OpenMode::kHeap, or re-save the index to get a version " +
+      std::to_string(kRegionFormatVersion) + " region container");
 }
 
 void write_graph_shape(std::ostream& out, const graph::Graph& g) {
@@ -214,6 +228,24 @@ OracleOptions read_options(std::istream& in, int version) {
   return opt;
 }
 
+const char* store_backend_name(std::uint8_t b) {
+  switch (static_cast<StoreBackend>(b)) {
+    case StoreBackend::kFlatHash: return "flat-hash";
+    case StoreBackend::kStdUnorderedMap: return "std-unordered-map";
+    case StoreBackend::kPacked: return "packed";
+  }
+  return "?";
+}
+
+const char* table_mode_name(std::uint8_t m) {
+  switch (static_cast<LandmarkTables::Mode>(m)) {
+    case LandmarkTables::Mode::kNone: return "none";
+    case LandmarkTables::Mode::kFull: return "full";
+    case LandmarkTables::Mode::kSubset: return "subset";
+  }
+  return "?";
+}
+
 struct MemberRecord {
   NodeId node;
   Distance dist;
@@ -271,20 +303,10 @@ void read_store_slot(std::istream& in, std::uint64_t n, NodeId u,
   store.set(u, v);
 }
 
-/// Packed-arena store body (version >= 4, StoreBackend::kPacked): the slot
-/// table and the three parallel arena blobs, all in prepare() order, so a
-/// load is seven bulk reads + validation instead of per-node hash rebuilds.
-void write_packed_store(std::ostream& out, const VicinityStore& store) {
-  VicinityStore::PackedBlob blob = store.export_packed();
-  write_vec(out, blob.radius);
-  write_vec(out, blob.nearest);
-  write_vec(out, blob.len);
-  write_vec(out, blob.boundary_len);
-  write_vec(out, blob.members);
-  write_vec(out, blob.dists);
-  write_vec(out, blob.parents);
-}
-
+/// Packed-arena store body (version-4 stream files, StoreBackend::kPacked):
+/// the slot table and the three parallel arena blobs in prepare() order.
+/// Only the reader survives — packed indexes are written as version-5
+/// region containers now — but version-4 files keep loading.
 void read_packed_store(std::istream& in, VicinityStore& store) {
   VicinityStore::PackedBlob blob;
   blob.radius = read_vec<Distance>(in);
@@ -341,14 +363,289 @@ std::vector<NodeId> read_indexed(std::istream& in, const graph::Graph& g) {
   return indexed;
 }
 
+// ---- VCNIDX05 region container (core/index_format.h) ---------------------
+
+[[noreturn]] void section_fail(const v5::SectionEntry& e, const char* why) {
+  throw std::runtime_error(std::string("oracle index (version 5): section ") +
+                           v5::section_name(e.id) + " " + why);
+}
+
+/// A validated region container: header + section table over a RegionView
+/// (a mapped file or a slurped stream). span_of() hands out typed,
+/// bounds-checked views of individual sections; a missing section reads as
+/// an empty array (shape validation downstream rejects it where one is
+/// required).
+struct V5Reader {
+  v5::RegionView view;
+  const v5::FileHeader* header = nullptr;
+  std::vector<v5::SectionEntry> sections;
+
+  const v5::SectionEntry* find(v5::SectionId id) const {
+    for (const auto& e : sections) {
+      if (e.id == static_cast<std::uint32_t>(id)) return &e;
+    }
+    return nullptr;
+  }
+
+  template <typename T>
+  std::span<const T> span_of(v5::SectionId id) const {
+    const v5::SectionEntry* e = find(id);
+    if (e == nullptr) return {};
+    if (e->elem_size != sizeof(T)) {
+      section_fail(*e, "has unexpected element size");
+    }
+    return view.array_at<T>(e->offset, e->count,
+                            v5::section_name(e->id));
+  }
+};
+
+/// Structural validation of an untrusted region: header sanity, then every
+/// section entry (element size, byte length, alignment, bounds, overlap,
+/// duplicates). O(section count) — independent of the payload size, which
+/// is what makes a mapped open near-instant.
+V5Reader open_v5(v5::RegionView view) {
+  V5Reader r;
+  r.view = view;
+  const auto& h = view.pod_at<v5::FileHeader>(0, "file header");
+  r.header = &h;
+  require(std::memcmp(h.magic, kMagic, sizeof(kMagic)) == 0, "bad magic");
+  require(h.version_digits[0] == '0' &&
+              h.version_digits[1] == '0' + kRegionFormatVersion,
+          "corrupt format version");
+  if (h.endian != v5::kEndianMarker) {
+    throw std::runtime_error(
+        "oracle index (version 5): endianness mismatch (index written on "
+        "an incompatible byte order; rebuild the index on this machine)");
+  }
+  require(h.header_bytes == sizeof(v5::FileHeader), "corrupt header size");
+  require(h.backend_tag <= static_cast<std::uint8_t>(BackendTag::kDirected),
+          "unknown backend tag");
+  require(h.table_mode <=
+              static_cast<std::uint8_t>(LandmarkTables::Mode::kSubset),
+          "corrupt landmark-table mode");
+  require(h.file_bytes == view.size(),
+          "file size mismatch (truncated file or trailing bytes)");
+  const auto table = view.array_at<v5::SectionEntry>(
+      v5::kSectionTableOffset, h.section_count, "section table");
+  r.sections.assign(table.begin(), table.end());
+  const std::uint64_t data_start = v5::align_up(
+      v5::kSectionTableOffset +
+      static_cast<std::uint64_t>(h.section_count) * sizeof(v5::SectionEntry));
+  for (const auto& e : r.sections) {
+    if (e.elem_size == 0) section_fail(e, "has zero element size");
+    if (e.count > std::numeric_limits<std::uint64_t>::max() / e.elem_size) {
+      section_fail(e, "length overflows");
+    }
+    if (e.bytes != e.count * e.elem_size) {
+      section_fail(e, "byte length mismatch");
+    }
+    if (e.offset % v5::kSectionAlign != 0) section_fail(e, "is misaligned");
+    if (e.offset < data_start) section_fail(e, "overlaps the header");
+    if (e.offset > h.file_bytes || e.bytes > h.file_bytes - e.offset) {
+      section_fail(e, "is out of range");
+    }
+  }
+  auto by_offset = r.sections;
+  std::sort(by_offset.begin(), by_offset.end(),
+            [](const v5::SectionEntry& a, const v5::SectionEntry& b) {
+              return a.offset < b.offset;
+            });
+  for (std::size_t i = 1; i < by_offset.size(); ++i) {
+    if (by_offset[i - 1].offset + by_offset[i - 1].bytes >
+        by_offset[i].offset) {
+      section_fail(by_offset[i], "overlaps another section");
+    }
+  }
+  auto by_id = r.sections;
+  std::sort(by_id.begin(), by_id.end(),
+            [](const v5::SectionEntry& a, const v5::SectionEntry& b) {
+              return a.id < b.id;
+            });
+  for (std::size_t i = 1; i < by_id.size(); ++i) {
+    if (by_id[i - 1].id == by_id[i].id) section_fail(by_id[i], "is duplicated");
+  }
+  return r;
+}
+
+void check_v5_graph_shape(const v5::FileHeader& h, const graph::Graph& g) {
+  if (h.num_nodes != g.num_nodes() || h.num_arcs != g.num_arcs() ||
+      (h.directed_graph != 0) != g.directed() ||
+      (h.weighted_graph != 0) != g.weighted()) {
+    throw std::runtime_error("oracle index: graph shape mismatch");
+  }
+}
+
+OracleOptions read_v5_options(const v5::FileHeader& h) {
+  OracleOptions opt;
+  opt.alpha = h.alpha;
+  opt.sampling_constant = h.sampling_constant;
+  require(h.strategy <= static_cast<std::uint8_t>(SamplingStrategy::kTopDegree),
+          "corrupt sampling strategy");
+  opt.strategy = static_cast<SamplingStrategy>(h.strategy);
+  // Only the packed backend has a mappable flat representation; the hash
+  // backends stay on the version-4 stream container.
+  require(h.store_backend == static_cast<std::uint8_t>(StoreBackend::kPacked),
+          "version 5 container requires the packed store backend");
+  opt.backend = StoreBackend::kPacked;
+  opt.use_boundary_optimization = h.use_boundary_optimization != 0;
+  opt.iterate_smaller_side = h.iterate_smaller_side != 0;
+  require(h.fallback <= static_cast<std::uint8_t>(Fallback::kLandmarkEstimate),
+          "corrupt fallback mode");
+  opt.fallback = static_cast<Fallback>(h.fallback);
+  require(h.update_rebuild_fraction >= 0.0,
+          "corrupt update-rebuild fraction");
+  opt.update_rebuild_fraction = h.update_rebuild_fraction;
+  opt.seed = h.seed;
+  return opt;
+}
+
+LandmarkSet read_v5_landmark_set(const V5Reader& r, const OracleOptions& opt,
+                                 const graph::Graph& g) {
+  const auto nodes = r.span_of<NodeId>(v5::SectionId::kLandmarkNodes);
+  LandmarkSet landmarks;
+  landmarks.nodes.assign(nodes.begin(), nodes.end());
+  landmarks.alpha = opt.alpha;
+  landmarks.strategy = opt.strategy;
+  landmarks.member.resize(g.num_nodes());
+  for (const NodeId l : landmarks.nodes) {
+    require(l < g.num_nodes(), "landmark id out of range");
+    landmarks.member.set(l);
+  }
+  return landmarks;
+}
+
+NearestLandmarkInfo read_v5_nearest(const V5Reader& r, v5::SectionId dist_id,
+                                    v5::SectionId lm_id, std::uint64_t n) {
+  const auto dist = r.span_of<Distance>(dist_id);
+  const auto lm = r.span_of<NodeId>(lm_id);
+  require(dist.size() == n && lm.size() == n,
+          "nearest-landmark arrays have wrong length");
+  NearestLandmarkInfo info;
+  info.dist.assign(dist.begin(), dist.end());
+  info.landmark.assign(lm.begin(), lm.end());
+  for (const NodeId l : info.landmark) {
+    require(l < n || l == kInvalidNode, "nearest landmark out of range");
+  }
+  return info;
+}
+
+std::vector<NodeId> read_v5_indexed(const V5Reader& r,
+                                    const graph::Graph& g) {
+  const auto span = r.span_of<NodeId>(v5::SectionId::kIndexedNodes);
+  std::vector<NodeId> indexed(span.begin(), span.end());
+  util::BitVector seen(g.num_nodes());
+  for (const NodeId u : indexed) {
+    require(u < g.num_nodes(), "indexed node out of range");
+    require(!seen.get(u), "duplicate indexed node");
+    seen.set(u);
+  }
+  return indexed;
+}
+
+/// Hands the store sections to the store: zero-copy (adopt_packed_view)
+/// when `backing` keeps the region alive, compact heap copy otherwise.
+void adopt_v5_store(const V5Reader& r, bool in_store,
+                    const std::shared_ptr<const void>& backing, bool verify,
+                    VicinityStore& store) {
+  const auto base =
+      static_cast<std::uint32_t>(in_store ? v5::SectionId::kInStoreRadius
+                                          : v5::SectionId::kOutStoreRadius);
+  const auto sid = [base](std::uint32_t off) {
+    return static_cast<v5::SectionId>(base + off);
+  };
+  VicinityStore::PackedView v;
+  v.radius = r.span_of<Distance>(sid(0));
+  v.nearest = r.span_of<NodeId>(sid(1));
+  v.len = r.span_of<std::uint32_t>(sid(2));
+  v.boundary_len = r.span_of<std::uint32_t>(sid(3));
+  v.members = r.span_of<NodeId>(sid(4));
+  v.dists = r.span_of<Distance>(sid(5));
+  v.parents = r.span_of<NodeId>(sid(6));
+  const util::RoleGuard role(store.mutation_role());
+  if (backing != nullptr) {
+    store.adopt_packed_view(v, backing, verify);
+    return;
+  }
+  VicinityStore::PackedBlob blob;
+  blob.radius.assign(v.radius.begin(), v.radius.end());
+  blob.nearest.assign(v.nearest.begin(), v.nearest.end());
+  blob.len.assign(v.len.begin(), v.len.end());
+  blob.boundary_len.assign(v.boundary_len.begin(), v.boundary_len.end());
+  blob.members.assign(v.members.begin(), v.members.end());
+  blob.dists.assign(v.dists.begin(), v.dists.end());
+  blob.parents.assign(v.parents.begin(), v.parents.end());
+  store.adopt_packed(std::move(blob));  // always deep-validates
+}
+
+/// One planned section of a region container being written: identity,
+/// shape, and a callback that streams the payload bytes.
+struct SectionPlan {
+  v5::SectionId id;
+  std::uint32_t elem_size;
+  std::uint64_t count;
+  std::function<void(std::ostream&)> emit;
+};
+
+template <typename T>
+void write_span_bytes(std::ostream& out, std::span<const T> v) {
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+SectionPlan plan_span(v5::SectionId id, std::span<const T> v) {
+  return {id, sizeof(T), v.size(),
+          [v](std::ostream& out) { write_span_bytes(out, v); }};
+}
+
+/// Row matrices (one vector per landmark) are emitted back to back as one
+/// row-major section.
+template <typename T>
+SectionPlan plan_rows(v5::SectionId id,
+                      const std::vector<std::vector<T>>& rows) {
+  std::uint64_t count = 0;
+  for (const auto& row : rows) count += row.size();
+  return {id, sizeof(T), count, [&rows](std::ostream& out) {
+            for (const auto& row : rows) {
+              write_span_bytes(out, std::span<const T>(row));
+            }
+          }};
+}
+
+void plan_store(std::vector<SectionPlan>& plans,
+                const VicinityStore::PackedView& v, bool in_store) {
+  const auto base =
+      static_cast<std::uint32_t>(in_store ? v5::SectionId::kInStoreRadius
+                                          : v5::SectionId::kOutStoreRadius);
+  const auto sid = [base](std::uint32_t off) {
+    return static_cast<v5::SectionId>(base + off);
+  };
+  plans.push_back(plan_span(sid(0), v.radius));
+  plans.push_back(plan_span(sid(1), v.nearest));
+  plans.push_back(plan_span(sid(2), v.len));
+  plans.push_back(plan_span(sid(3), v.boundary_len));
+  plans.push_back(plan_span(sid(4), v.members));
+  plans.push_back(plan_span(sid(5), v.dists));
+  plans.push_back(plan_span(sid(6), v.parents));
+}
+
+void write_zeros(std::ostream& out, std::uint64_t count) {
+  static constexpr char kZeros[64] = {};
+  while (count > 0) {
+    const auto step = std::min<std::uint64_t>(count, sizeof(kZeros));
+    out.write(kZeros, static_cast<std::streamsize>(step));
+    count -= step;
+  }
+}
+
 }  // namespace
 
 /// Friend of VicinityOracle / DirectedVicinityOracle / LandmarkTables with
 /// full member access.
 class OracleSerializer {
  public:
-  // ---- Landmark tables (shared layout; the directed variant appends the
-  // reverse rows and the from-landmark subset matrix) --------------------
+  // ---- Landmark tables, version-4 stream layout (the directed variant
+  // appends the reverse rows and the from-landmark subset matrix) ---------
   static void save_tables(const LandmarkTables& t, bool directed,
                           std::ostream& out) {
     write_pod<std::uint8_t>(out, static_cast<std::uint8_t>(t.mode()));
@@ -425,9 +722,287 @@ class OracleSerializer {
     }
   }
 
-  // ---- Undirected oracle (body layout unchanged since version 2) -------
+  // ---- Landmark tables, version-5 region sections -----------------------
+  static void plan_tables(std::vector<SectionPlan>& plans,
+                          const LandmarkTables& t, bool directed) {
+    using S = v5::SectionId;
+    if (t.mode() == LandmarkTables::Mode::kNone) return;
+    plans.push_back(plan_span(S::kTableLandmarks,
+                              std::span<const NodeId>(t.landmark_nodes_)));
+    plans.push_back(plan_span(S::kTableSubsetNodes,
+                              std::span<const NodeId>(t.subset_nodes_)));
+    if (t.backing_ != nullptr) {
+      plans.push_back(plan_span(S::kTableDistRows, t.mm_dist_rows_));
+      if (directed) {
+        plans.push_back(plan_span(S::kTableRevRows, t.mm_rev_rows_));
+      }
+      plans.push_back(plan_span(S::kTableParentRows, t.mm_parent_rows_));
+      plans.push_back(plan_span(S::kTableToLm, t.mm_to_lm_));
+      if (directed) plans.push_back(plan_span(S::kTableFromLm, t.mm_from_lm_));
+      return;
+    }
+    plans.push_back(plan_rows(S::kTableDistRows, t.dist_rows_));
+    if (directed) plans.push_back(plan_rows(S::kTableRevRows, t.rev_rows_));
+    plans.push_back(plan_rows(S::kTableParentRows, t.parent_rows_));
+    plans.push_back(
+        plan_span(S::kTableToLm, std::span<const Distance>(t.to_lm_)));
+    if (directed) {
+      plans.push_back(
+          plan_span(S::kTableFromLm, std::span<const Distance>(t.from_lm_)));
+    }
+  }
+
+  static void load_v5_tables(const V5Reader& r, const graph::Graph& g,
+                             bool directed,
+                             const std::shared_ptr<const void>& backing,
+                             LandmarkTables& t) {
+    using S = v5::SectionId;
+    const auto n = g.num_nodes();
+    // table_mode was range-checked in open_v5.
+    t.mode_ = static_cast<LandmarkTables::Mode>(r.header->table_mode);
+    t.directed_ = directed;
+    if (t.mode_ == LandmarkTables::Mode::kNone) return;
+    const auto lm = r.span_of<NodeId>(S::kTableLandmarks);
+    t.landmark_nodes_.assign(lm.begin(), lm.end());
+    t.landmark_index_.assign(n, kInvalidNode);
+    for (std::size_t i = 0; i < t.landmark_nodes_.size(); ++i) {
+      require(t.landmark_nodes_[i] < n, "table landmark out of range");
+      t.landmark_index_[t.landmark_nodes_[i]] = static_cast<NodeId>(i);
+    }
+    const std::uint64_t k = t.landmark_nodes_.size();
+    t.subset_index_.assign(n, kInvalidNode);
+    if (t.mode_ == LandmarkTables::Mode::kFull) {
+      require(k <= n, "corrupt landmark row count");
+      const auto dist = r.span_of<Distance>(S::kTableDistRows);
+      require(dist.size() == k * n, "landmark row matrix has wrong length");
+      const auto rev = r.span_of<Distance>(S::kTableRevRows);
+      require(directed ? rev.size() == k * n : rev.empty(),
+              "reverse landmark row matrix has wrong length");
+      const auto par = r.span_of<NodeId>(S::kTableParentRows);
+      require(par.empty() || par.size() == k * n,
+              "parent row matrix has wrong length");
+      t.row_len_ = static_cast<std::size_t>(n);
+      if (backing != nullptr) {
+        t.mm_dist_rows_ = dist;
+        t.mm_rev_rows_ = rev;
+        t.mm_parent_rows_ = par;
+        t.mm_row_count_ = static_cast<std::size_t>(k);
+        t.backing_ = backing;
+        return;
+      }
+      t.dist_rows_.resize(k);
+      for (std::uint64_t i = 0; i < k; ++i) {
+        const auto row = dist.subspan(i * n, n);
+        t.dist_rows_[i].assign(row.begin(), row.end());
+      }
+      if (directed) {
+        t.rev_rows_.resize(k);
+        for (std::uint64_t i = 0; i < k; ++i) {
+          const auto row = rev.subspan(i * n, n);
+          t.rev_rows_[i].assign(row.begin(), row.end());
+        }
+      }
+      if (!par.empty()) {
+        t.parent_rows_.resize(k);
+        for (std::uint64_t i = 0; i < k; ++i) {
+          const auto row = par.subspan(i * n, n);
+          t.parent_rows_[i].assign(row.begin(), row.end());
+        }
+      }
+      return;
+    }
+    // kSubset.
+    const auto subset = r.span_of<NodeId>(S::kTableSubsetNodes);
+    t.subset_nodes_.assign(subset.begin(), subset.end());
+    for (std::size_t i = 0; i < t.subset_nodes_.size(); ++i) {
+      require(t.subset_nodes_[i] < n, "subset node out of range");
+      t.subset_index_[t.subset_nodes_[i]] = static_cast<NodeId>(i);
+    }
+    const std::uint64_t s = t.subset_nodes_.size();
+    const auto to_lm = r.span_of<Distance>(S::kTableToLm);
+    require(to_lm.size() == s * k, "subset table has wrong length");
+    const auto from_lm = r.span_of<Distance>(S::kTableFromLm);
+    require(directed ? from_lm.size() == to_lm.size() : from_lm.empty(),
+            "subset from-landmark table has wrong length");
+    if (backing != nullptr) {
+      t.mm_to_lm_ = to_lm;
+      t.mm_from_lm_ = from_lm;
+      t.backing_ = backing;
+      return;
+    }
+    t.to_lm_.assign(to_lm.begin(), to_lm.end());
+    t.from_lm_.assign(from_lm.begin(), from_lm.end());
+  }
+
+  // ---- Version-5 region writer (packed backend, both tags) --------------
+  static void save_v5(BackendTag tag, const graph::Graph& g,
+                      const OracleOptions& opt,
+                      const std::vector<NodeId>& landmark_nodes,
+                      const NearestLandmarkInfo& nearest_out,
+                      const NearestLandmarkInfo* nearest_in,
+                      const std::vector<NodeId>& indexed,
+                      const VicinityStore& out_store,
+                      const VicinityStore* in_store,
+                      const LandmarkTables& tables, std::ostream& out) {
+    using S = v5::SectionId;
+    std::vector<SectionPlan> plans;
+    plans.push_back(plan_span(S::kLandmarkNodes,
+                              std::span<const NodeId>(landmark_nodes)));
+    plans.push_back(plan_span(S::kNearestOutDist,
+                              std::span<const Distance>(nearest_out.dist)));
+    plans.push_back(plan_span(S::kNearestOutLandmark,
+                              std::span<const NodeId>(nearest_out.landmark)));
+    if (nearest_in != nullptr) {
+      plans.push_back(plan_span(S::kNearestInDist,
+                                std::span<const Distance>(nearest_in->dist)));
+      plans.push_back(
+          plan_span(S::kNearestInLandmark,
+                    std::span<const NodeId>(nearest_in->landmark)));
+    }
+    plans.push_back(
+        plan_span(S::kIndexedNodes, std::span<const NodeId>(indexed)));
+    // The scratch blobs hold compacted copies only when a store is not
+    // contiguous in slot order; they must outlive the emit loop below.
+    VicinityStore::PackedBlob out_scratch;
+    plan_store(plans, out_store.export_view(out_scratch), /*in_store=*/false);
+    VicinityStore::PackedBlob in_scratch;
+    if (in_store != nullptr) {
+      plan_store(plans, in_store->export_view(in_scratch), /*in_store=*/true);
+    }
+    plan_tables(plans, tables, tag == BackendTag::kDirected);
+    // Empty sections carry no information; a missing section reads back as
+    // an empty array.
+    std::erase_if(plans, [](const SectionPlan& p) { return p.count == 0; });
+
+    std::vector<v5::SectionEntry> entries;
+    entries.reserve(plans.size());
+    std::uint64_t cursor = v5::align_up(
+        v5::kSectionTableOffset + plans.size() * sizeof(v5::SectionEntry));
+    for (const SectionPlan& p : plans) {
+      v5::SectionEntry e;
+      e.id = static_cast<std::uint32_t>(p.id);
+      e.elem_size = p.elem_size;
+      e.offset = cursor;
+      e.count = p.count;
+      e.bytes = p.count * p.elem_size;
+      entries.push_back(e);
+      cursor = v5::align_up(cursor + e.bytes);
+    }
+
+    v5::FileHeader h{};
+    std::memcpy(h.magic, kMagic, sizeof(kMagic));
+    h.version_digits[0] = '0';
+    h.version_digits[1] = '0' + kRegionFormatVersion;
+    h.backend_tag = static_cast<std::uint8_t>(tag);
+    h.table_mode = static_cast<std::uint8_t>(tables.mode());
+    h.directed_graph = g.directed() ? 1 : 0;
+    h.weighted_graph = g.weighted() ? 1 : 0;
+    h.endian = v5::kEndianMarker;
+    h.header_bytes = sizeof(v5::FileHeader);
+    h.section_count = static_cast<std::uint32_t>(entries.size());
+    h.file_bytes = cursor;
+    h.num_nodes = g.num_nodes();
+    h.num_arcs = g.num_arcs();
+    h.alpha = opt.alpha;
+    h.sampling_constant = opt.sampling_constant;
+    h.update_rebuild_fraction = opt.update_rebuild_fraction;
+    h.seed = opt.seed;
+    h.strategy = static_cast<std::uint8_t>(opt.strategy);
+    h.store_backend = static_cast<std::uint8_t>(opt.backend);
+    h.use_boundary_optimization = opt.use_boundary_optimization ? 1 : 0;
+    h.iterate_smaller_side = opt.iterate_smaller_side ? 1 : 0;
+    h.fallback = static_cast<std::uint8_t>(opt.fallback);
+
+    write_pod(out, h);
+    for (const auto& e : entries) write_pod(out, e);
+    std::uint64_t pos = v5::kSectionTableOffset +
+                        entries.size() * sizeof(v5::SectionEntry);
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      write_zeros(out, entries[i].offset - pos);
+      plans[i].emit(out);
+      pos = entries[i].offset + entries[i].bytes;
+    }
+    write_zeros(out, h.file_bytes - pos);
+    if (!out) throw std::runtime_error("oracle index: write failed");
+  }
+
+  // ---- Version-5 region loaders -----------------------------------------
+  static VicinityOracle load_v5_body(const V5Reader& r, const graph::Graph& g,
+                                     std::shared_ptr<const void> backing,
+                                     bool verify) {
+    const v5::FileHeader& h = *r.header;
+    const auto tag = static_cast<BackendTag>(h.backend_tag);
+    if (tag != BackendTag::kUndirected) {
+      backend_mismatch(Header{kRegionFormatVersion, tag}, "vicinity",
+                       "use load_directed_oracle() or load_any_oracle()");
+    }
+    check_v5_graph_shape(h, g);
+    VicinityOracle o;
+    o.g_ = &g;
+    o.opt_ = read_v5_options(h);
+    o.landmarks_ = read_v5_landmark_set(r, o.opt_, g);
+    o.nearest_ = read_v5_nearest(r, v5::SectionId::kNearestOutDist,
+                                 v5::SectionId::kNearestOutLandmark,
+                                 g.num_nodes());
+    o.indexed_ = read_v5_indexed(r, g);
+    o.store_ = VicinityStore(g.num_nodes(), o.opt_.backend);
+    {
+      const util::RoleGuard role(o.store_.mutation_role());
+      o.store_.prepare(o.indexed_);
+    }
+    adopt_v5_store(r, /*in_store=*/false, backing, verify, o.store_);
+    load_v5_tables(r, g, /*directed=*/false, backing, o.tables_);
+    o.build_stats_ =
+        loaded_stats(o.indexed_, o.landmarks_.size(), {&o.store_});
+    return o;
+  }
+
+  static DirectedVicinityOracle load_v5_directed_body(
+      const V5Reader& r, const graph::Graph& g,
+      std::shared_ptr<const void> backing, bool verify) {
+    const v5::FileHeader& h = *r.header;
+    const auto tag = static_cast<BackendTag>(h.backend_tag);
+    if (tag != BackendTag::kDirected) {
+      backend_mismatch(Header{kRegionFormatVersion, tag}, "vicinity-directed",
+                       "use load_oracle() or load_any_oracle()");
+    }
+    check_v5_graph_shape(h, g);
+    DirectedVicinityOracle o;
+    o.g_ = &g;
+    o.opt_ = read_v5_options(h);
+    o.landmarks_ = read_v5_landmark_set(r, o.opt_, g);
+    o.nearest_out_ = read_v5_nearest(r, v5::SectionId::kNearestOutDist,
+                                     v5::SectionId::kNearestOutLandmark,
+                                     g.num_nodes());
+    o.nearest_in_ = read_v5_nearest(r, v5::SectionId::kNearestInDist,
+                                    v5::SectionId::kNearestInLandmark,
+                                    g.num_nodes());
+    o.indexed_ = read_v5_indexed(r, g);
+    o.out_store_ = VicinityStore(g.num_nodes(), o.opt_.backend);
+    o.in_store_ = VicinityStore(g.num_nodes(), o.opt_.backend);
+    {
+      const util::RoleGuard out_role(o.out_store_.mutation_role());
+      const util::RoleGuard in_role(o.in_store_.mutation_role());
+      o.out_store_.prepare(o.indexed_);
+      o.in_store_.prepare(o.indexed_);
+    }
+    adopt_v5_store(r, /*in_store=*/false, backing, verify, o.out_store_);
+    adopt_v5_store(r, /*in_store=*/true, backing, verify, o.in_store_);
+    load_v5_tables(r, g, /*directed=*/true, backing, o.tables_);
+    o.build_stats_ = loaded_stats(o.indexed_, o.landmarks_.size(),
+                                  {&o.out_store_, &o.in_store_});
+    return o;
+  }
+
+  // ---- Undirected oracle -------------------------------------------------
   static void save(const VicinityOracle& o, std::ostream& out) {
-    write_header(out, BackendTag::kUndirected);
+    if (o.opt_.backend == StoreBackend::kPacked) {
+      save_v5(BackendTag::kUndirected, o.graph(), o.opt_, o.landmarks_.nodes,
+              o.nearest_, nullptr, o.indexed_, o.store_, nullptr, o.tables_,
+              out);
+      return;
+    }
+    write_header(out, BackendTag::kUndirected, kStreamFormatVersion);
     write_graph_shape(out, o.graph());
     write_options(out, o.opt_);
 
@@ -436,11 +1011,7 @@ class OracleSerializer {
     write_vec(out, o.nearest_.landmark);
 
     write_vec(out, o.indexed_);
-    if (o.opt_.backend == StoreBackend::kPacked) {
-      write_packed_store(out, o.store_);
-    } else {
-      for (const NodeId u : o.indexed_) write_store_slot(out, o.store_, u);
-    }
+    for (const NodeId u : o.indexed_) write_store_slot(out, o.store_, u);
 
     save_tables(o.tables_, /*directed=*/false, out);
     if (!out) throw std::runtime_error("oracle index: write failed");
@@ -477,9 +1048,15 @@ class OracleSerializer {
     return o;
   }
 
-  // ---- Directed oracle (version 3, tag 1) ------------------------------
+  // ---- Directed oracle ---------------------------------------------------
   static void save(const DirectedVicinityOracle& o, std::ostream& out) {
-    write_header(out, BackendTag::kDirected);
+    if (o.opt_.backend == StoreBackend::kPacked) {
+      save_v5(BackendTag::kDirected, o.graph(), o.opt_, o.landmarks_.nodes,
+              o.nearest_out_, &o.nearest_in_, o.indexed_, o.out_store_,
+              &o.in_store_, o.tables_, out);
+      return;
+    }
+    write_header(out, BackendTag::kDirected, kStreamFormatVersion);
     write_graph_shape(out, o.graph());
     write_options(out, o.opt_);
 
@@ -490,14 +1067,9 @@ class OracleSerializer {
     write_vec(out, o.nearest_in_.landmark);
 
     write_vec(out, o.indexed_);
-    if (o.opt_.backend == StoreBackend::kPacked) {
-      write_packed_store(out, o.out_store_);
-      write_packed_store(out, o.in_store_);
-    } else {
-      for (const NodeId u : o.indexed_) {
-        write_store_slot(out, o.out_store_, u);
-        write_store_slot(out, o.in_store_, u);
-      }
+    for (const NodeId u : o.indexed_) {
+      write_store_slot(out, o.out_store_, u);
+      write_store_slot(out, o.in_store_, u);
     }
 
     save_tables(o.tables_, /*directed=*/true, out);
@@ -572,6 +1144,34 @@ class OracleSerializer {
   }
 };
 
+namespace {
+
+/// Reconstructs a version-5 region from a stream whose 9-byte prefix was
+/// already consumed by read_header: re-prepends the prefix so the absolute
+/// section offsets stay valid, then slurps the remainder into one heap
+/// buffer (operator new's alignment covers every element type).
+std::vector<std::byte> slurp_region(std::istream& in, BackendTag tag) {
+  std::vector<std::byte> buf(9);
+  std::memcpy(buf.data(), kMagic, sizeof(kMagic));
+  buf[6] = static_cast<std::byte>('0');
+  buf[7] = static_cast<std::byte>('0' + kRegionFormatVersion);
+  buf[8] = static_cast<std::byte>(tag);
+  constexpr std::size_t kChunk = std::size_t{1} << 22;
+  std::size_t pos = buf.size();
+  for (;;) {
+    buf.resize(pos + kChunk);
+    in.read(reinterpret_cast<char*>(buf.data() + pos),
+            static_cast<std::streamsize>(kChunk));
+    const auto got = static_cast<std::size_t>(in.gcount());
+    pos += got;
+    if (got < kChunk) break;
+  }
+  buf.resize(pos);
+  return buf;
+}
+
+}  // namespace
+
 void save_oracle(const VicinityOracle& oracle, std::ostream& out) {
   OracleSerializer::save(oracle, out);
 }
@@ -599,14 +1199,34 @@ VicinityOracle load_oracle(std::istream& in, const graph::Graph& g) {
     backend_mismatch(h, "vicinity",
                      "use load_directed_oracle() or load_any_oracle()");
   }
+  if (h.version >= kRegionFormatVersion) {
+    const auto buf = slurp_region(in, h.tag);
+    const V5Reader r = open_v5(v5::RegionView(buf));
+    return OracleSerializer::load_v5_body(r, g, nullptr, /*verify=*/true);
+  }
   return OracleSerializer::load_body(in, g, h.version);
 }
 
-VicinityOracle load_oracle_file(const std::string& path,
-                                const graph::Graph& g) {
+VicinityOracle load_oracle_file(const std::string& path, const graph::Graph& g,
+                                const OpenOptions& opts) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("cannot open " + path);
-  return load_oracle(f, g);
+  const Header h = read_header(f);
+  if (h.tag != BackendTag::kUndirected) {
+    backend_mismatch(h, "vicinity",
+                     "use load_directed_oracle() or load_any_oracle()");
+  }
+  if (h.version >= kRegionFormatVersion) {
+    f.close();
+    auto mf = std::make_shared<util::MappedFile>(path);
+    const V5Reader r = open_v5(v5::RegionView(mf->bytes()));
+    if (opts.mode == OpenMode::kHeap) {
+      return OracleSerializer::load_v5_body(r, g, nullptr, /*verify=*/true);
+    }
+    return OracleSerializer::load_v5_body(r, g, std::move(mf), opts.verify);
+  }
+  if (opts.mode == OpenMode::kMapped) mapped_stream_mismatch(h.version);
+  return OracleSerializer::load_body(f, g, h.version);
 }
 
 DirectedVicinityOracle load_directed_oracle(std::istream& in,
@@ -616,19 +1236,57 @@ DirectedVicinityOracle load_directed_oracle(std::istream& in,
     backend_mismatch(h, "vicinity-directed",
                      "use load_oracle() or load_any_oracle()");
   }
+  if (h.version >= kRegionFormatVersion) {
+    const auto buf = slurp_region(in, h.tag);
+    const V5Reader r = open_v5(v5::RegionView(buf));
+    return OracleSerializer::load_v5_directed_body(r, g, nullptr,
+                                                   /*verify=*/true);
+  }
   return OracleSerializer::load_directed_body(in, g, h.version);
 }
 
 DirectedVicinityOracle load_directed_oracle_file(const std::string& path,
-                                                 const graph::Graph& g) {
+                                                 const graph::Graph& g,
+                                                 const OpenOptions& opts) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("cannot open " + path);
-  return load_directed_oracle(f, g);
+  const Header h = read_header(f);
+  if (h.tag != BackendTag::kDirected) {
+    backend_mismatch(h, "vicinity-directed",
+                     "use load_oracle() or load_any_oracle()");
+  }
+  if (h.version >= kRegionFormatVersion) {
+    f.close();
+    auto mf = std::make_shared<util::MappedFile>(path);
+    const V5Reader r = open_v5(v5::RegionView(mf->bytes()));
+    if (opts.mode == OpenMode::kHeap) {
+      return OracleSerializer::load_v5_directed_body(r, g, nullptr,
+                                                     /*verify=*/true);
+    }
+    return OracleSerializer::load_v5_directed_body(r, g, std::move(mf),
+                                                   opts.verify);
+  }
+  if (opts.mode == OpenMode::kMapped) mapped_stream_mismatch(h.version);
+  return OracleSerializer::load_directed_body(f, g, h.version);
 }
 
 std::shared_ptr<AnyOracle> load_any_oracle(std::istream& in,
                                            const graph::Graph& g) {
   const Header h = read_header(in);
+  if (h.version >= kRegionFormatVersion) {
+    const auto buf = slurp_region(in, h.tag);
+    const V5Reader r = open_v5(v5::RegionView(buf));
+    switch (h.tag) {
+      case BackendTag::kUndirected:
+        return make_any_oracle(std::make_shared<VicinityOracle>(
+            OracleSerializer::load_v5_body(r, g, nullptr, /*verify=*/true)));
+      case BackendTag::kDirected:
+        return make_any_oracle(std::make_shared<DirectedVicinityOracle>(
+            OracleSerializer::load_v5_directed_body(r, g, nullptr,
+                                                    /*verify=*/true)));
+    }
+    throw std::runtime_error("oracle index: unknown backend tag");
+  }
   switch (h.tag) {
     case BackendTag::kUndirected:
       return make_any_oracle(std::make_shared<VicinityOracle>(
@@ -641,10 +1299,88 @@ std::shared_ptr<AnyOracle> load_any_oracle(std::istream& in,
 }
 
 std::shared_ptr<AnyOracle> load_any_oracle_file(const std::string& path,
-                                                const graph::Graph& g) {
+                                                const graph::Graph& g,
+                                                const OpenOptions& opts) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("cannot open " + path);
-  return load_any_oracle(f, g);
+  const Header h = read_header(f);
+  if (h.version >= kRegionFormatVersion) {
+    f.close();
+    auto mf = std::make_shared<util::MappedFile>(path);
+    const V5Reader r = open_v5(v5::RegionView(mf->bytes()));
+    const bool heap = opts.mode == OpenMode::kHeap;
+    const std::shared_ptr<const void> backing =
+        heap ? std::shared_ptr<const void>() : mf;
+    const bool verify = heap || opts.verify;
+    switch (static_cast<BackendTag>(r.header->backend_tag)) {
+      case BackendTag::kUndirected:
+        return make_any_oracle(std::make_shared<VicinityOracle>(
+            OracleSerializer::load_v5_body(r, g, backing, verify)));
+      case BackendTag::kDirected:
+        return make_any_oracle(std::make_shared<DirectedVicinityOracle>(
+            OracleSerializer::load_v5_directed_body(r, g, backing, verify)));
+    }
+    throw std::runtime_error("oracle index: unknown backend tag");
+  }
+  if (opts.mode == OpenMode::kMapped) mapped_stream_mismatch(h.version);
+  switch (h.tag) {
+    case BackendTag::kUndirected:
+      return make_any_oracle(std::make_shared<VicinityOracle>(
+          OracleSerializer::load_body(f, g, h.version)));
+    case BackendTag::kDirected:
+      return make_any_oracle(std::make_shared<DirectedVicinityOracle>(
+          OracleSerializer::load_directed_body(f, g, h.version)));
+  }
+  throw std::runtime_error("oracle index: unknown backend tag");
+}
+
+IndexFileInfo inspect_index_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  f.seekg(0, std::ios::end);
+  const auto file_bytes = static_cast<std::uint64_t>(f.tellg());
+  f.seekg(0);
+  const Header h = read_header(f);
+  IndexFileInfo info;
+  info.version = h.version;
+  info.backend = to_string(h.tag);
+  info.file_bytes = file_bytes;
+  if (h.version >= kRegionFormatVersion) {
+    info.mappable = true;
+    f.seekg(0);
+    const auto fh = read_pod<v5::FileHeader>(f);
+    if (fh.endian != v5::kEndianMarker) {
+      throw std::runtime_error(
+          "oracle index (version 5): endianness mismatch (index written on "
+          "an incompatible byte order)");
+    }
+    require(fh.header_bytes == sizeof(v5::FileHeader), "corrupt header size");
+    info.num_nodes = fh.num_nodes;
+    info.num_arcs = fh.num_arcs;
+    info.directed = fh.directed_graph != 0;
+    info.weighted = fh.weighted_graph != 0;
+    info.alpha = fh.alpha;
+    info.store_backend = store_backend_name(fh.store_backend);
+    info.table_mode = table_mode_name(fh.table_mode);
+    info.sections.reserve(fh.section_count);
+    for (std::uint32_t i = 0; i < fh.section_count; ++i) {
+      const auto e = read_pod<v5::SectionEntry>(f);
+      info.sections.push_back({e.id, v5::section_name(e.id), e.elem_size,
+                               e.offset, e.count, e.bytes});
+    }
+    return info;
+  }
+  // Stream container: the graph shape and leading options fields follow the
+  // header directly, so the cheap metadata is still available.
+  info.num_nodes = read_pod<std::uint64_t>(f);
+  info.num_arcs = read_pod<std::uint64_t>(f);
+  info.directed = read_pod<std::uint8_t>(f) != 0;
+  info.weighted = read_pod<std::uint8_t>(f) != 0;
+  info.alpha = read_pod<double>(f);
+  read_pod<double>(f);        // sampling_constant
+  read_pod<std::uint8_t>(f);  // strategy
+  info.store_backend = store_backend_name(read_pod<std::uint8_t>(f));
+  return info;
 }
 
 }  // namespace vicinity::core

@@ -113,6 +113,10 @@ VicinityStore::VicinityStore(NodeId num_nodes, StoreBackend backend)
 }
 
 void VicinityStore::prepare(std::span<const NodeId> nodes) {
+  // PerNode is heavyweight (two hash tables + five vectors), so growth
+  // reallocations move real state; one reservation keeps bulk prepare —
+  // the mapped-open hot path — to a single allocation.
+  slots_.reserve(slots_.size() + nodes.size());
   for (const NodeId u : nodes) {
     if (u >= slot_of_.size()) {
       throw std::out_of_range("VicinityStore::prepare: node out of range");
@@ -218,7 +222,7 @@ void VicinityStore::set_packed(PerNode& p, const Vicinity& v) {
   NodeId* members;
   Distance* dists;
   NodeId* parents;
-  if (!p.staged && n <= p.cap) {
+  if (!p.staged && n <= p.cap && backing_ == nullptr) {
     // In-place replacement inside the existing arena region (the common
     // dynamic-repair case): no allocation. The cap - len slack left by a
     // shrink is dead arena space, so it counts toward the compaction
@@ -325,7 +329,10 @@ void VicinityStore::refresh_boundary_flag(NodeId u, NodeId member,
 
   if (backend_ == StoreBackend::kPacked) {
     // Rotate the member between the boundary and interior groups of its
-    // slice; both groups stay sorted and no allocation happens.
+    // slice; both groups stay sorted. A slice still aliasing a read-only
+    // mapping is copied into its slot-local staging buffers first
+    // (copy-on-write); otherwise no allocation happens.
+    if (backing_ != nullptr && !p.staged) stage_packed_copy(p);
     const MutableSlice s = mutable_slice(p);
     const std::size_t bpos = lower_bound_idx(s.members, 0, p.boundary_len,
                                              member);
@@ -371,10 +378,26 @@ void VicinityStore::refresh_boundary_flag(NodeId u, NodeId member,
   }
 }
 
+void VicinityStore::stage_packed_copy(PerNode& p) {
+  const ConstSlice s = slice(p);  // reads the mapped region
+  p.staged_members.assign(s.members, s.members + p.len);
+  p.staged_dists.assign(s.dists, s.dists + p.len);
+  p.staged_parents.assign(s.parents, s.parents + p.len);
+  // The abandoned mapped region is dead weight like any replaced arena
+  // slice; the usual staging accounting makes pack_if_needed eventually
+  // materialize a heavily-mutated mapped store outright.
+  if (p.cap > 0) atomic_add(wasted_entries_, p.len);
+  p.cap = 0;
+  p.staged = true;
+  atomic_add(staged_slots_, 1);
+  atomic_add(staged_entries_, p.len);
+}
+
 void VicinityStore::pack() {
   if (backend_ != StoreBackend::kPacked) return;
-  if (staged_slots_ == 0 && arena_members_.size() == total_entries_) {
-    return;  // already contiguous, hole-free and slack-free
+  if (staged_slots_ == 0 && arena_members_.size() == total_entries_ &&
+      backing_ == nullptr) {
+    return;  // already contiguous, hole-free, slack-free and owned
   }
   std::vector<NodeId> members;
   std::vector<Distance> dists;
@@ -398,6 +421,12 @@ void VicinityStore::pack() {
   arena_members_ = std::move(members);
   arena_dists_ = std::move(dists);
   arena_parents_ = std::move(parents);
+  // pack() IS materialization for a mapped store: every slice was just
+  // copied into the owned arenas, so drop the external backing.
+  mm_members_ = {};
+  mm_dists_ = {};
+  mm_parents_ = {};
+  backing_.reset();
   wasted_entries_ = 0;
   staged_entries_ = 0;
   staged_slots_ = 0;
@@ -434,7 +463,8 @@ VicinityStore::PackedBlob VicinityStore::export_packed() const {
   return blob;
 }
 
-void VicinityStore::adopt_packed(PackedBlob&& blob) {
+void VicinityStore::validate_and_index_packed(const PackedView& v,
+                                              bool deep) {
   if (backend_ != StoreBackend::kPacked) {
     throw std::logic_error("VicinityStore::adopt_packed: not a packed store");
   }
@@ -443,14 +473,14 @@ void VicinityStore::adopt_packed(PackedBlob&& blob) {
                              what);
   };
   const std::size_t nslots = slots_.size();
-  if (blob.radius.size() != nslots || blob.nearest.size() != nslots ||
-      blob.len.size() != nslots || blob.boundary_len.size() != nslots) {
+  if (v.radius.size() != nslots || v.nearest.size() != nslots ||
+      v.len.size() != nslots || v.boundary_len.size() != nslots) {
     fail("slot table length mismatch");
   }
   std::uint64_t total = 0;
-  for (const std::uint32_t len : blob.len) total += len;
-  if (blob.members.size() != total || blob.dists.size() != total ||
-      blob.parents.size() != total) {
+  for (const std::uint32_t len : v.len) total += len;
+  if (v.members.size() != total || v.dists.size() != total ||
+      v.parents.size() != total) {
     fail("arena blob length mismatch");
   }
   const auto n = static_cast<NodeId>(slot_of_.size());
@@ -458,35 +488,37 @@ void VicinityStore::adopt_packed(PackedBlob&& blob) {
   std::uint64_t boundary_total = 0;
   for (std::size_t slot = 0; slot < nslots; ++slot) {
     PerNode& p = slots_[slot];
-    const std::uint32_t len = blob.len[slot];
-    const std::uint32_t blen = blob.boundary_len[slot];
+    const std::uint32_t len = v.len[slot];
+    const std::uint32_t blen = v.boundary_len[slot];
     if (blen > len) fail("boundary longer than slice");
-    if (blob.nearest[slot] >= n && blob.nearest[slot] != kInvalidNode) {
+    if (v.nearest[slot] >= n && v.nearest[slot] != kInvalidNode) {
       fail("nearest landmark out of range");
     }
-    // Both groups must be strictly ascending (binary search + merge rely
-    // on it), with ids/parents in range.
-    for (std::uint32_t i = 0; i < len; ++i) {
-      const NodeId m = blob.members[off + i];
-      const NodeId par = blob.parents[off + i];
-      if (m >= n) fail("member out of range");
-      if (par >= n && par != kInvalidNode) fail("parent out of range");
-      if (i != 0 && i != blen && blob.members[off + i - 1] >= m) {
-        fail("slice group not strictly sorted");
+    if (deep) {
+      // Both groups must be strictly ascending (binary search + merge rely
+      // on it), with ids/parents in range.
+      for (std::uint32_t i = 0; i < len; ++i) {
+        const NodeId m = v.members[off + i];
+        const NodeId par = v.parents[off + i];
+        if (m >= n) fail("member out of range");
+        if (par >= n && par != kInvalidNode) fail("parent out of range");
+        if (i != 0 && i != blen && v.members[off + i - 1] >= m) {
+          fail("slice group not strictly sorted");
+        }
       }
-    }
-    // ... and disjoint: a member in both groups would make find() and
-    // intersect_min() see two entries for one node (the hash loaders dedup
-    // the same corruption via insert_or_assign).
-    for (std::uint32_t bi = 0, ii = blen; bi < blen && ii < len;) {
-      const NodeId bv = blob.members[off + bi];
-      const NodeId iv = blob.members[off + ii];
-      if (bv < iv) {
-        ++bi;
-      } else if (iv < bv) {
-        ++ii;
-      } else {
-        fail("member in both boundary and interior groups");
+      // ... and disjoint: a member in both groups would make find() and
+      // intersect_min() see two entries for one node (the hash loaders
+      // dedup the same corruption via insert_or_assign).
+      for (std::uint32_t bi = 0, ii = blen; bi < blen && ii < len;) {
+        const NodeId bv = v.members[off + bi];
+        const NodeId iv = v.members[off + ii];
+        if (bv < iv) {
+          ++bi;
+        } else if (iv < bv) {
+          ++ii;
+        } else {
+          fail("member in both boundary and interior groups");
+        }
       }
     }
     p.offset = off;
@@ -495,19 +527,104 @@ void VicinityStore::adopt_packed(PackedBlob&& blob) {
     p.boundary_len = blen;
     p.staged = false;
     p.gamma_size = len;
-    p.radius = blob.radius[slot];
-    p.nearest_landmark = blob.nearest[slot];
+    p.radius = v.radius[slot];
+    p.nearest_landmark = v.nearest[slot];
     off += len;
     boundary_total += blen;
   }
-  arena_members_ = std::move(blob.members);
-  arena_dists_ = std::move(blob.dists);
-  arena_parents_ = std::move(blob.parents);
   wasted_entries_ = 0;
   staged_entries_ = 0;
   staged_slots_ = 0;
   total_entries_ = total;
   total_boundary_ = boundary_total;
+}
+
+void VicinityStore::adopt_packed(PackedBlob&& blob) {
+  const PackedView view{blob.radius, blob.nearest, blob.len,
+                        blob.boundary_len, blob.members, blob.dists,
+                        blob.parents};
+  validate_and_index_packed(view, /*deep=*/true);
+  arena_members_ = std::move(blob.members);
+  arena_dists_ = std::move(blob.dists);
+  arena_parents_ = std::move(blob.parents);
+  mm_members_ = {};
+  mm_dists_ = {};
+  mm_parents_ = {};
+  backing_.reset();
+}
+
+void VicinityStore::adopt_packed_view(const PackedView& view,
+                                      std::shared_ptr<const void> backing,
+                                      bool deep_validate) {
+  validate_and_index_packed(view, deep_validate);
+  std::vector<NodeId>().swap(arena_members_);
+  std::vector<Distance>().swap(arena_dists_);
+  std::vector<NodeId>().swap(arena_parents_);
+  mm_members_ = view.members;
+  mm_dists_ = view.dists;
+  mm_parents_ = view.parents;
+  backing_ = std::move(backing);
+}
+
+VicinityStore::PackedView VicinityStore::export_view(
+    PackedBlob& scratch) const {
+  if (backend_ != StoreBackend::kPacked) {
+    throw std::logic_error("VicinityStore::export_view: not a packed store");
+  }
+  scratch.radius.clear();
+  scratch.nearest.clear();
+  scratch.len.clear();
+  scratch.boundary_len.clear();
+  scratch.radius.reserve(slots_.size());
+  scratch.nearest.reserve(slots_.size());
+  scratch.len.reserve(slots_.size());
+  scratch.boundary_len.reserve(slots_.size());
+  // The arenas can be referenced wholesale only when the slices tile them
+  // contiguously in slot order with no staging, holes or slack.
+  bool contiguous = staged_slots_ == 0 && wasted_entries_ == 0;
+  std::uint64_t expect = 0;
+  for (const PerNode& p : slots_) {
+    scratch.radius.push_back(p.radius);
+    scratch.nearest.push_back(p.nearest_landmark);
+    scratch.len.push_back(p.len);
+    scratch.boundary_len.push_back(p.boundary_len);
+    if (contiguous && (p.staged || p.offset != expect)) contiguous = false;
+    expect += p.len;
+  }
+  const std::size_t arena_size =
+      backing_ != nullptr ? mm_members_.size() : arena_members_.size();
+  PackedView v{scratch.radius, scratch.nearest, scratch.len,
+               scratch.boundary_len, {}, {}, {}};
+  if (contiguous && expect == arena_size) {
+    if (backing_ != nullptr) {
+      v.members = mm_members_;
+      v.dists = mm_dists_;
+      v.parents = mm_parents_;
+    } else {
+      v.members = arena_members_;
+      v.dists = arena_dists_;
+      v.parents = arena_parents_;
+    }
+    return v;
+  }
+  scratch.members.clear();
+  scratch.dists.clear();
+  scratch.parents.clear();
+  scratch.members.reserve(total_entries_);
+  scratch.dists.reserve(total_entries_);
+  scratch.parents.reserve(total_entries_);
+  for (const PerNode& p : slots_) {
+    const ConstSlice s = slice(p);
+    scratch.members.insert(scratch.members.end(), s.members,
+                           s.members + p.len);
+    scratch.dists.insert(scratch.dists.end(), s.dists, s.dists + p.len);
+    scratch.parents.insert(scratch.parents.end(), s.parents,
+                           s.parents + p.len);
+  }
+  v.members = scratch.members;
+  v.dists = scratch.dists;
+  v.parents = scratch.parents;
+  return v;
 }
 
 std::uint64_t VicinityStore::memory_bytes() const {

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <unordered_map>  // vicinity-lint: allow(core-no-std-unordered-map) — §3.2 ablation backend
@@ -280,12 +281,61 @@ class VicinityStore {
   /// std::runtime_error on any violation. Requires backend() == kPacked.
   void adopt_packed(PackedBlob&& blob) VICINITY_REQUIRES(mutation_role_);
 
+  /// Borrowed view of a packed store region — the spans alias external
+  /// storage (a mapped VCNIDX05 file or any caller-owned buffer) instead of
+  /// owned vectors.
+  struct PackedView {
+    std::span<const Distance> radius;             ///< per slot
+    std::span<const NodeId> nearest;              ///< per slot
+    std::span<const std::uint32_t> len;           ///< per slot
+    std::span<const std::uint32_t> boundary_len;  ///< per slot
+    std::span<const NodeId> members;              ///< concatenated slices
+    std::span<const Distance> dists;
+    std::span<const NodeId> parents;
+  };
+
+  /// Adopts `view` zero-copy after prepare(): slices keep reading from the
+  /// external storage (kept alive by `backing`) until the first mutation.
+  /// Mutation transparently copies on write — set() stages the replacement
+  /// slice slot-locally, refresh_boundary_flag() copies the touched slice
+  /// before rotating, and pack() materializes everything into owned arenas
+  /// and drops `backing` — so apply_update works unchanged on a mapped
+  /// store. Structural validation (slot-table shape, slice lengths, nearest
+  /// ids) always runs; `deep_validate` adds the O(total entries)
+  /// member/parent range + per-group sort + disjointness scan that
+  /// adopt_packed always performs — skipping it is what makes an mmap open
+  /// O(slots), and the query kernels only compare arena values, so corrupt
+  /// members yield wrong answers, not UB. Requires backend() == kPacked.
+  void adopt_packed_view(const PackedView& view,
+                         std::shared_ptr<const void> backing,
+                         bool deep_validate) VICINITY_REQUIRES(mutation_role_);
+
+  /// Slot-table copy + arena view for serialization: fills `scratch`'s
+  /// per-slot vectors (always copied; they are small) and returns arena
+  /// spans that alias the live arenas when the store is contiguous in slot
+  /// order, falling back to a compact copy into `scratch` otherwise.
+  /// The view is valid while the store and `scratch` are alive and
+  /// unmutated. Requires backend() == kPacked.
+  PackedView export_view(PackedBlob& scratch) const;
+
+  /// True when the arenas alias external read-only storage (a mapped file
+  /// adopted via adopt_packed_view and not yet copied on write).
+  bool mapped() const { return backing_ != nullptr; }
+
   std::size_t indexed_nodes() const { return slots_.size(); }
   /// Total Γ entries across indexed nodes (the paper's per-node ~α√n cost).
   std::uint64_t total_entries() const { return total_entries_; }
   std::uint64_t total_boundary_entries() const { return total_boundary_; }
   /// Approximate heap bytes of the backend structures + slot index.
   std::uint64_t memory_bytes() const;
+  /// Bytes aliased from external storage (0 unless mapped()). File-backed
+  /// (shared through the page cache), so kept out of memory_bytes()'s heap
+  /// accounting.
+  std::uint64_t mapped_bytes() const {
+    return mm_members_.size() * sizeof(NodeId) +
+           mm_dists_.size() * sizeof(Distance) +
+           mm_parents_.size() * sizeof(NodeId);
+  }
 
  private:
   struct PerNode {
@@ -330,6 +380,11 @@ class VicinityStore {
       return ConstSlice{p.staged_members.data(), p.staged_dists.data(),
                         p.staged_parents.data()};
     }
+    if (backing_ != nullptr) {
+      return ConstSlice{mm_members_.data() + p.offset,
+                        mm_dists_.data() + p.offset,
+                        mm_parents_.data() + p.offset};
+    }
     return ConstSlice{arena_members_.data() + p.offset,
                       arena_dists_.data() + p.offset,
                       arena_parents_.data() + p.offset};
@@ -339,10 +394,23 @@ class VicinityStore {
       return MutableSlice{p.staged_members.data(), p.staged_dists.data(),
                           p.staged_parents.data()};
     }
+    if (backing_ != nullptr) {
+      // Writing through the mapping is a contract violation; mutators must
+      // copy-on-write via stage_packed_copy() first.
+      throw std::logic_error(
+          "VicinityStore: mutable slice over a read-only mapping");
+    }
     return MutableSlice{arena_members_.data() + p.offset,
                         arena_dists_.data() + p.offset,
                         arena_parents_.data() + p.offset};
   }
+
+  /// Copy-on-write step for a mapped slot: copies p's slice out of the
+  /// read-only backing into its slot-local staging buffers so in-place
+  /// mutation (boundary-group rotation) can proceed. Slot-local, so safe
+  /// under the SHARED role like any staged set().
+  void stage_packed_copy(PerNode& p)
+      VICINITY_REQUIRES_SHARED(mutation_role_);
 
   /// Branch-light binary search over the two sorted groups of p's slice.
   ProbeResult find_packed(const PerNode& p, NodeId v) const {
@@ -375,6 +443,13 @@ class VicinityStore {
   void set_packed(PerNode& p, const Vicinity& v)
       VICINITY_REQUIRES_SHARED(mutation_role_);
 
+  /// Shared validation + slot indexing behind adopt_packed and
+  /// adopt_packed_view: checks the slot table against the arena lengths
+  /// (always) and, when `deep`, every member/parent id plus the per-group
+  /// sort and group disjointness; then rewrites slots_ and the totals.
+  /// Leaves the arena storage untouched — the callers install it.
+  void validate_and_index_packed(const PackedView& v, bool deep);
+
   /// Phantom mutation capability (see mutation_role()). mutable + copyable:
   /// the role carries no state, only a static identity per store object.
   mutable util::ExclusiveRole mutation_role_;
@@ -387,6 +462,13 @@ class VicinityStore {
   std::vector<NodeId> arena_members_;
   std::vector<Distance> arena_dists_;
   std::vector<NodeId> arena_parents_;
+  // Zero-copy mode (adopt_packed_view): when backing_ is non-null the
+  // arenas live in external read-only storage and the owned vectors above
+  // are empty; pack() materializes and clears these.
+  std::span<const NodeId> mm_members_;
+  std::span<const Distance> mm_dists_;
+  std::span<const NodeId> mm_parents_;
+  std::shared_ptr<const void> backing_;
   std::uint64_t wasted_entries_ = 0;  ///< dead arena entries (replaced slots)
   std::uint64_t staged_entries_ = 0;  ///< entries parked in staging buffers
   std::uint64_t staged_slots_ = 0;

@@ -33,4 +33,16 @@ std::uint64_t current_rss_bytes() {
          static_cast<std::uint64_t>(page > 0 ? page : 4096);
 }
 
+std::uint64_t peak_rss_bytes() {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return 0;
+  char line[256];
+  unsigned long kib = 0;
+  while (std::fgets(line, sizeof(line), f)) {
+    if (std::sscanf(line, "VmHWM: %lu kB", &kib) == 1) break;
+  }
+  std::fclose(f);
+  return static_cast<std::uint64_t>(kib) * 1024;
+}
+
 }  // namespace vicinity::util

@@ -14,4 +14,9 @@ std::string fmt_bytes(std::uint64_t bytes);
 /// returns 0 when unavailable.
 std::uint64_t current_rss_bytes();
 
+/// High-water-mark RSS in bytes (Linux /proc/self/status VmHWM); returns 0
+/// when unavailable. Used by the bench harness to compare peak memory of
+/// the mmap vs stream index-open paths.
+std::uint64_t peak_rss_bytes();
+
 }  // namespace vicinity::util

@@ -43,6 +43,7 @@
 #include "core/any_oracle.h"
 #include "core/directed_oracle.h"
 #include "core/dynamic.h"
+#include "core/index_format.h"
 #include "core/landmark_table.h"
 #include "core/landmarks.h"
 #include "core/options.h"
@@ -69,6 +70,7 @@
 #include "util/csv.h"
 #include "util/flat_hash.h"
 #include "util/log.h"
+#include "util/mapped_file.h"
 #include "util/memory.h"
 #include "util/mutex.h"
 #include "util/rng.h"

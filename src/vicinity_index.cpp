@@ -23,8 +23,9 @@ Index Index::build(const graph::Graph& g, const core::OracleOptions& options) {
   return Index(core::make_any_oracle(core::VicinityOracle::build(g, options)));
 }
 
-Index Index::open(const std::string& path, const graph::Graph& g) {
-  return Index(core::load_any_oracle_file(path, g));
+Index Index::open(const std::string& path, const graph::Graph& g,
+                  const core::OpenOptions& opts) {
+  return Index(core::load_any_oracle_file(path, g, opts));
 }
 
 Index Index::open(std::istream& in, const graph::Graph& g) {

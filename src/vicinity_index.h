@@ -31,6 +31,7 @@
 #include "core/any_oracle.h"
 #include "core/options.h"
 #include "core/query_engine.h"
+#include "core/serialize.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -44,9 +45,13 @@ class Index {
   static Index build(const graph::Graph& g,
                      const core::OracleOptions& options = {});
 
-  /// Loads a persisted index (any backend tag, VCNIDX02 through VCNIDX04)
-  /// against the graph it was built on.
-  static Index open(const std::string& path, const graph::Graph& g);
+  /// Loads a persisted index (any backend tag, VCNIDX02 through VCNIDX05)
+  /// against the graph it was built on. VCNIDX05 region containers are
+  /// memory-mapped by default (core::OpenMode::kAuto) — pass
+  /// {.mode = core::OpenMode::kHeap} to force an owned heap copy, or set
+  /// opts.verify to deep-validate the mapped arenas up front.
+  static Index open(const std::string& path, const graph::Graph& g,
+                    const core::OpenOptions& opts = {});
   static Index open(std::istream& in, const graph::Graph& g);
 
   /// Wraps an already-built backend (e.g. a baseline adapter from

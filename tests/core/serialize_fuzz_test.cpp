@@ -1,15 +1,22 @@
 // Fuzz-ish robustness tests for the oracle index loader: mangled headers,
 // corrupt array lengths, wrong backend tags and truncated files must fail
 // with the intended "oracle index: ..." runtime_error — never a multi-GB
-// allocation, bad_alloc, or out-of-bounds write.
+// allocation, bad_alloc, or out-of-bounds write. Covers both generations of
+// the container: VCNIDX02-04 length-prefixed streams (hash backends) and the
+// VCNIDX05 region container (packed backends), the latter through both the
+// stream-slurp path and the memory-mapped file path.
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <new>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
+#include "core/index_format.h"
 #include "core/query_engine.h"
 #include "core/serialize.h"
 #include "test_support.h"
@@ -40,6 +47,8 @@ Fixture make_fixture() {
   return f;
 }
 
+// Packed backends persist as VCNIDX05 region containers, so this fixture's
+// bytes are a FileHeader + section table + 64-byte-aligned sections.
 Fixture make_packed_fixture() {
   Fixture f;
   f.g = testing::random_connected(200, 700, 1211);
@@ -93,6 +102,41 @@ std::string as_version2(const std::string& v4) {
 // header(9) + graph shape(18) + alpha(8) + sampling_constant(8) +
 // strategy(1).
 constexpr std::size_t kBackendByteOffset = 44;
+
+// ---- VCNIDX05 region-container surgery helpers --------------------------
+
+template <typename T>
+void stamp(std::string& bytes, std::size_t off, T value) {
+  ASSERT_LE(off + sizeof(T), bytes.size());
+  std::memcpy(bytes.data() + off, &value, sizeof(value));
+}
+
+constexpr std::size_t entry_off(std::size_t i) {
+  return v5::kSectionTableOffset + i * sizeof(v5::SectionEntry);
+}
+
+std::filesystem::path write_temp(const std::string& bytes) {
+  const auto p =
+      std::filesystem::temp_directory_path() / "vicinity_fuzz_v5.idx";
+  std::ofstream f(p, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  f.close();
+  return p;
+}
+
+/// The corrupt container must be refused through BOTH load paths: the
+/// stream slurp (load_oracle) and the bounds-checked mapped RegionView
+/// (load_oracle_file over mmap).
+void expect_v5_rejected(const std::string& bytes, const graph::Graph& g,
+                        const char* label) {
+  std::istringstream in(bytes, std::ios::binary);
+  EXPECT_THROW((void)load_oracle(in, g), std::runtime_error)
+      << label << " (stream)";
+  const auto p = write_temp(bytes);
+  EXPECT_THROW((void)load_oracle_file(p.string(), g), std::runtime_error)
+      << label << " (mapped)";
+  std::filesystem::remove(p);
+}
 
 TEST(SerializeFuzzTest, ValidBufferLoadsAndAnswers) {
   const Fixture f = make_fixture();
@@ -206,7 +250,7 @@ TEST(SerializeFuzzTest, OldFormatVersionIsRejectedNotMisparsed) {
 
 TEST(SerializeFuzzTest, FutureAndGarbageVersionsAreRejected) {
   const Fixture f = make_fixture();
-  for (const char* version : {"05", "99", "12", "00"}) {
+  for (const char* version : {"06", "99", "12", "00"}) {
     std::string mangled = f.bytes;
     mangled[6] = version[0];
     mangled[7] = version[1];
@@ -268,13 +312,16 @@ TEST(SerializeFuzzTest, Version3FilesStillLoad) {
 }
 
 TEST(SerializeFuzzTest, PackedBackendPredatingVersion4IsRejected) {
-  // A version-2/3 file whose options byte claims the packed backend is
+  // A version-2/3 stream whose options byte claims the packed backend is
   // corrupt (the packed body only exists from VCNIDX04 on); it must fail
-  // with the versioned error, not be misparsed as per-slot records.
-  const Fixture f = make_packed_fixture();
-  ASSERT_EQ(static_cast<unsigned char>(f.bytes[kBackendByteOffset]), 2u);
+  // with the versioned error, not be misparsed as per-slot records. Built
+  // by retagging the flat-hash stream fixture, since the writer itself no
+  // longer emits pre-v5 packed bodies.
+  const Fixture f = make_fixture();
+  ASSERT_EQ(static_cast<unsigned char>(f.bytes[kBackendByteOffset]), 0u);
   std::string v3 = f.bytes;
   v3[7] = '3';
+  v3[kBackendByteOffset] = 2;  // StoreBackend::kPacked
   std::istringstream in(v3, std::ios::binary);
   try {
     (void)load_oracle(in, f.g);
@@ -305,11 +352,11 @@ TEST(SerializeFuzzTest, PackedRoundTripLoadsAndAnswers) {
 }
 
 TEST(SerializeFuzzTest, PackedTruncationAndCorruptionAreGraceful) {
-  // The VCNIDX04 packed body is seven length-prefixed blobs; every cut
-  // point and every corrupted byte in the header-heavy region must fail
-  // with the loader's runtime_error — never bad_alloc, never a crash, and
-  // in particular never an out-of-bounds binary search over an unsorted
-  // slice.
+  // The VCNIDX05 region container is a 128-byte header, a section table
+  // and 64-byte-aligned payload sections; every cut point and every
+  // corrupted byte in the header+table region must fail with the loader's
+  // runtime_error — never bad_alloc, never a crash, and in particular
+  // never an out-of-bounds binary search over an unsorted slice.
   const Fixture f = make_packed_fixture();
   ASSERT_GT(f.bytes.size(), 200u);
   for (std::size_t cut = 0; cut < f.bytes.size();
@@ -333,9 +380,9 @@ TEST(SerializeFuzzTest, PackedTruncationAndCorruptionAreGraceful) {
 }
 
 TEST(SerializeFuzzTest, PackedBlobLengthCorruptionIsGraceful) {
-  // Stamp a huge 64-bit length over every aligned window of the packed
-  // body: whichever are real blob lengths must fail as truncation or a
-  // packed-store validation error, and none may over-allocate.
+  // Stamp a huge 64-bit value over every window of the header + section
+  // table: whichever land on real offset/count/bytes fields must fail the
+  // section-table validation, and none may over-allocate.
   const Fixture f = make_packed_fixture();
   const std::uint64_t huge = 0x0123456789abcdefull;
   const std::size_t limit = std::min<std::size_t>(f.bytes.size() - 8, 512);
@@ -350,6 +397,176 @@ TEST(SerializeFuzzTest, PackedBlobLengthCorruptionIsGraceful) {
     } catch (const std::runtime_error&) {
     }
   }
+}
+
+TEST(SerializeFuzzTest, V5BadEndianMarkerIsRejected) {
+  // The endian marker is written in native byte order; a byte-swapped (or
+  // garbage) marker means the file came from an incompatible producer and
+  // every multi-byte field after it would be misread.
+  const Fixture f = make_packed_fixture();
+  std::string mangled = f.bytes;
+  stamp<std::uint32_t>(mangled, offsetof(v5::FileHeader, endian), 0xdeadbeefu);
+  expect_v5_rejected(mangled, f.g, "bad endian marker");
+}
+
+TEST(SerializeFuzzTest, V5WrongFileBytesFieldIsRejected) {
+  // header.file_bytes must equal the actual region size exactly — both a
+  // short claim and a long claim are refused, as is trailing garbage
+  // appended to an otherwise valid container.
+  const Fixture f = make_packed_fixture();
+  for (const std::int64_t delta : {-64, -1, +1, +4096}) {
+    std::string mangled = f.bytes;
+    stamp<std::uint64_t>(mangled, offsetof(v5::FileHeader, file_bytes),
+                         f.bytes.size() + static_cast<std::uint64_t>(delta));
+    expect_v5_rejected(mangled, f.g, "wrong file_bytes");
+  }
+  std::string padded = f.bytes + std::string(64, '\xff');
+  expect_v5_rejected(padded, f.g, "trailing garbage");
+}
+
+TEST(SerializeFuzzTest, V5ZeroElemSizeSectionIsRejected) {
+  const Fixture f = make_packed_fixture();
+  std::string mangled = f.bytes;
+  stamp<std::uint32_t>(
+      mangled, entry_off(0) + offsetof(v5::SectionEntry, elem_size), 0u);
+  expect_v5_rejected(mangled, f.g, "zero elem_size");
+}
+
+TEST(SerializeFuzzTest, V5MisalignedSectionOffsetIsRejected) {
+  // Section payloads are 64-byte aligned by construction; a misaligned
+  // offset would hand the oracle spans whose element pointers violate
+  // alignof(T) — UB under UBSan. The loader must refuse it up front with
+  // the versioned error.
+  const Fixture f = make_packed_fixture();
+  std::string mangled = f.bytes;
+  std::uint64_t off = 0;
+  std::memcpy(&off,
+              mangled.data() + entry_off(0) + offsetof(v5::SectionEntry,
+                                                       offset),
+              sizeof(off));
+  stamp<std::uint64_t>(mangled,
+                       entry_off(0) + offsetof(v5::SectionEntry, offset),
+                       off + 4);
+  std::istringstream in(mangled, std::ios::binary);
+  try {
+    (void)load_oracle(in, f.g);
+    FAIL() << "misaligned section loaded";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version 5"), std::string::npos)
+        << e.what();
+  }
+  expect_v5_rejected(mangled, f.g, "misaligned section offset");
+}
+
+TEST(SerializeFuzzTest, V5OutOfRangeSectionOffsetIsRejected) {
+  const Fixture f = make_packed_fixture();
+  std::string mangled = f.bytes;
+  // Far past EOF but still 64-byte aligned, so only the range check can
+  // catch it.
+  stamp<std::uint64_t>(mangled,
+                       entry_off(0) + offsetof(v5::SectionEntry, offset),
+                       std::uint64_t{1} << 40);
+  expect_v5_rejected(mangled, f.g, "out-of-range section offset");
+}
+
+TEST(SerializeFuzzTest, V5SectionCountOverflowIsRejected) {
+  // count * elem_size must not wrap; a count in the 2^62 range overflows
+  // 64-bit multiplication with elem_size 4.
+  const Fixture f = make_packed_fixture();
+  std::string mangled = f.bytes;
+  stamp<std::uint64_t>(mangled,
+                       entry_off(0) + offsetof(v5::SectionEntry, count),
+                       std::uint64_t{1} << 62);
+  expect_v5_rejected(mangled, f.g, "section count overflow");
+}
+
+TEST(SerializeFuzzTest, V5OverlappingSectionsAreRejected) {
+  // Point the second section at the first section's payload: the two
+  // ranges overlap, which a valid writer can never produce.
+  const Fixture f = make_packed_fixture();
+  std::string mangled = f.bytes;
+  std::uint64_t first_off = 0;
+  std::memcpy(&first_off,
+              mangled.data() + entry_off(0) + offsetof(v5::SectionEntry,
+                                                       offset),
+              sizeof(first_off));
+  stamp<std::uint64_t>(mangled,
+                       entry_off(1) + offsetof(v5::SectionEntry, offset),
+                       first_off);
+  expect_v5_rejected(mangled, f.g, "overlapping sections");
+}
+
+TEST(SerializeFuzzTest, V5DuplicateSectionIdIsRejected) {
+  const Fixture f = make_packed_fixture();
+  std::string mangled = f.bytes;
+  std::uint32_t first_id = 0;
+  std::memcpy(&first_id,
+              mangled.data() + entry_off(0) + offsetof(v5::SectionEntry, id),
+              sizeof(first_id));
+  stamp<std::uint32_t>(mangled, entry_off(1) + offsetof(v5::SectionEntry, id),
+                       first_id);
+  expect_v5_rejected(mangled, f.g, "duplicate section id");
+}
+
+TEST(SerializeFuzzTest, V5MappedTruncationThrowsAtEveryCutPoint) {
+  // Same contract as the stream truncation test, but through the mmap
+  // path: a RegionView over a short file must fail validation, never fault
+  // on a read past the mapping.
+  const Fixture f = make_packed_fixture();
+  ASSERT_GT(f.bytes.size(), 1024u);
+  const std::size_t table_end =
+      v5::kSectionTableOffset + 20 * sizeof(v5::SectionEntry);
+  for (std::size_t cut = 0; cut < f.bytes.size();
+       cut += (cut < table_end ? 7 : 4099)) {
+    const auto p = write_temp(f.bytes.substr(0, cut));
+    EXPECT_THROW((void)load_oracle_file(p.string(), f.g), std::runtime_error)
+        << "cut=" << cut;
+    std::filesystem::remove(p);
+  }
+}
+
+TEST(SerializeFuzzTest, V5MappedCorruptionNeverEscalates) {
+  // Single-byte flips through the header + section table via the mapped
+  // loader: each either still loads (cosmetic fields) or throws the
+  // loader's runtime_error — never bad_alloc, never UB (this binary runs
+  // under ASan/UBSan in CI).
+  const Fixture f = make_packed_fixture();
+  const std::size_t limit = std::min<std::size_t>(f.bytes.size(), 576);
+  for (std::size_t pos = 0; pos < limit; ++pos) {
+    std::string mangled = f.bytes;
+    mangled[pos] = static_cast<char>(mangled[pos] ^ 0x5a);
+    const auto p = write_temp(mangled);
+    try {
+      (void)load_oracle_file(p.string(), f.g);
+    } catch (const std::bad_alloc&) {
+      FAIL() << "bad_alloc at pos=" << pos;
+    } catch (const std::runtime_error&) {
+      // expected for most positions
+    }
+    std::filesystem::remove(p);
+  }
+}
+
+TEST(SerializeFuzzTest, MappedOpenOfStreamContainerIsRejected) {
+  // OpenMode::kMapped demands a region container; pointing it at a
+  // VCNIDX04 stream must fail with an actionable error, not a misparse.
+  const Fixture f = make_fixture();
+  const auto p = write_temp(f.bytes);
+  OpenOptions opts;
+  opts.mode = OpenMode::kMapped;
+  try {
+    (void)load_oracle_file(p.string(), f.g, opts);
+    FAIL() << "stream container opened as mapped";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot be memory-mapped"),
+              std::string::npos)
+        << e.what();
+  }
+  // kAuto and kHeap both still load it through the legacy stream path.
+  EXPECT_NO_THROW((void)load_oracle_file(p.string(), f.g));
+  opts.mode = OpenMode::kHeap;
+  EXPECT_NO_THROW((void)load_oracle_file(p.string(), f.g, opts));
+  std::filesystem::remove(p);
 }
 
 TEST(SerializeFuzzTest, WrongBackendTagFailsWithVersionedError) {

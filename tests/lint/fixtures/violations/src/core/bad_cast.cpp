@@ -1,0 +1,7 @@
+// Seeded violation: reinterpret_cast in src/core outside the serialize
+// region-view helpers must trip core-no-reinterpret-cast.
+#include <cstdint>
+
+const std::uint32_t* sneak_typed_view(const char* bytes) {
+  return reinterpret_cast<const std::uint32_t*>(bytes);
+}

@@ -39,6 +39,10 @@ class ViolationFixtureTest(unittest.TestCase):
         self.assertIn("[core-no-raw-new]", self.output)
         self.assertIn("bad_new.cpp", self.output)
 
+    def test_reinterpret_cast_rule_fires(self):
+        self.assertIn("[core-no-reinterpret-cast]", self.output)
+        self.assertIn("bad_cast.cpp", self.output)
+
     def test_noexcept_throw_rule_fires(self):
         self.assertIn("[noexcept-no-throw]", self.output)
         self.assertIn("bad_throw.h", self.output)
