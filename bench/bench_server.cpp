@@ -1,0 +1,496 @@
+// bench_server — loopback load generator for the vicinityd serving stack
+// (net/server.h): an in-process net::Server over an RMAT packed index,
+// driven by real TCP clients through net/client.h, so the measured path is
+// the full production one — framing, epoll, admission, batching,
+// run_batch, response serialization — minus only physical network latency.
+//
+// Two load models:
+//   * closed-loop (default): C connections each keep a window of W
+//     pipelined requests in flight; throughput is the sustainable rate
+//     when clients wait for answers. This is the gated server_qps number.
+//   * open-loop: requests are launched on a fixed schedule at --rate R
+//     regardless of responses (the paper's "users do not wait" model);
+//     latency under a given arrival rate, including queueing.
+//
+// Sources/targets are Zipf(theta)-skewed over node ids (RMAT assigns low
+// ids the high degrees, so skew concentrates load on the hub vicinities —
+// the realistic cache-friendly case; --zipf 0 gives uniform).
+//
+// Usage:
+//   bench_server [--mode closed|open] [--connections C] [--window W]
+//                [--queries Q] [--rate R] [--zipf THETA]
+//                [--scale N] [--edges-per-node K] [--alpha A] [--seed S]
+//                [--max-batch B] [--max-delay-us D] [--queue-depth QD]
+//                [--engine-threads T] [--json PATH|-] [--quick]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/any_oracle.h"
+#include "core/oracle.h"
+#include "core/query_engine.h"
+#include "gen/rmat.h"
+#include "graph/components.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace vicinity;
+
+struct Options {
+  std::string mode = "closed";  ///< closed|open
+  unsigned connections = 1;
+  std::size_t window = 72;       ///< closed-loop in-flight per connection
+  std::size_t queries = 400'000;
+  double rate = 100'000;         ///< open-loop total target qps
+  double zipf = 0.8;             ///< 0 = uniform
+  unsigned scale = 18;
+  std::uint64_t edges_per_node = 8;
+  double alpha = 4.0;
+  std::uint64_t seed = 42;
+  net::ServerOptions server;
+  std::string json;
+};
+
+[[noreturn]] void usage_and_exit(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--mode closed|open] [--connections C] [--window W]\n"
+               "       [--queries Q] [--rate R] [--zipf THETA] [--scale N]\n"
+               "       [--edges-per-node K] [--alpha A] [--seed S]\n"
+               "       [--max-batch B] [--max-delay-us D] [--queue-depth QD]\n"
+               "       [--engine-threads T] [--json PATH|-] [--quick]\n";
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  auto next_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage_and_exit(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--mode") {
+      o.mode = next_value(i);
+      if (o.mode != "closed" && o.mode != "open") usage_and_exit(argv[0]);
+    } else if (arg == "--connections") {
+      o.connections =
+          std::max(1u, static_cast<unsigned>(std::stoul(next_value(i))));
+    } else if (arg == "--window") {
+      o.window = std::max<std::size_t>(1, std::stoul(next_value(i)));
+    } else if (arg == "--queries") {
+      o.queries = std::stoull(next_value(i));
+    } else if (arg == "--rate") {
+      o.rate = std::stod(next_value(i));
+    } else if (arg == "--zipf") {
+      o.zipf = std::stod(next_value(i));
+    } else if (arg == "--scale") {
+      o.scale = static_cast<unsigned>(std::stoul(next_value(i)));
+    } else if (arg == "--edges-per-node") {
+      o.edges_per_node = std::stoull(next_value(i));
+    } else if (arg == "--alpha") {
+      o.alpha = std::stod(next_value(i));
+    } else if (arg == "--seed") {
+      o.seed = std::stoull(next_value(i));
+    } else if (arg == "--max-batch") {
+      o.server.max_batch = std::stoul(next_value(i));
+    } else if (arg == "--max-delay-us") {
+      o.server.max_delay_us =
+          static_cast<std::uint32_t>(std::stoul(next_value(i)));
+    } else if (arg == "--queue-depth") {
+      o.server.queue_depth = std::stoul(next_value(i));
+    } else if (arg == "--engine-threads") {
+      o.server.engine_threads =
+          static_cast<unsigned>(std::stoul(next_value(i)));
+    } else if (arg == "--json") {
+      o.json = next_value(i);
+    } else if (arg == "--quick") {
+      o.scale = 13;
+      o.queries = 40'000;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      usage_and_exit(argv[0]);
+    }
+  }
+  return o;
+}
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Zipf(theta) sampler over [0, n): precomputed CDF + binary search.
+/// theta == 0 degenerates to uniform without the table.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint32_t n, double theta) : n_(n), theta_(theta) {
+    if (theta_ <= 0.0) return;
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), theta_);
+      cdf_[i] = acc;
+    }
+    for (double& c : cdf_) c /= acc;
+  }
+
+  std::uint32_t sample(util::Rng& rng) const {
+    if (theta_ <= 0.0) {
+      return static_cast<std::uint32_t>(rng.next_below(n_));
+    }
+    const double u =
+        static_cast<double>(rng.next_below(std::uint64_t{1} << 53)) /
+        static_cast<double>(std::uint64_t{1} << 53);
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::uint32_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::uint32_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+struct Pair {
+  NodeId s, t;
+};
+
+struct LoadResult {
+  std::uint64_t ok = 0;
+  std::uint64_t busy = 0;
+  std::uint64_t errors = 0;
+  std::vector<double> latency_us;
+  std::uint64_t behind = 0;  ///< open-loop sends that missed their slot
+};
+
+/// Closed loop: keep `window` requests pipelined; every response tops the
+/// window back up. request_id k (1-based per connection) maps to
+/// pairs[k-1], so latencies need no shared map. Requests are pre-encoded
+/// into one contiguous stream (DISTANCE frames are fixed-size) and sent a
+/// burst at a time — one send() per window refill, not per request — so
+/// the generator's own syscall cost doesn't throttle the server under test
+/// when both share cores.
+LoadResult run_closed(std::uint16_t port, std::span<const Pair> pairs,
+                      std::size_t window) {
+  constexpr std::size_t kDistanceFrameBytes = net::kFrameHeaderBytes + 8;
+  std::vector<std::uint8_t> stream;
+  stream.reserve(pairs.size() * kDistanceFrameBytes);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    net::FrameHeader h;
+    h.payload_len = 8;
+    h.op = net::Op::kDistance;
+    h.request_id = i + 1;
+    std::vector<std::uint8_t> payload;
+    net::FrameWriter w(payload);
+    w.u32(pairs[i].s);
+    w.u32(pairs[i].t);
+    net::encode_frame(h, payload, stream);
+  }
+
+  LoadResult out;
+  out.latency_us.reserve(pairs.size());
+  net::Client c;
+  c.connect("127.0.0.1", port);
+  std::vector<std::uint64_t> t0(pairs.size() + 1);
+  // Reply frames are parsed out of bulk recv_some() reads — one syscall
+  // drains a whole window of responses instead of two per reply.
+  std::vector<std::uint8_t> rbuf(1u << 16);
+  std::size_t have = 0;
+  std::size_t next = 0, done = 0, inflight = 0;
+  while (done < pairs.size()) {
+    if (inflight < window && next < pairs.size()) {
+      const std::size_t burst =
+          std::min(window - inflight, pairs.size() - next);
+      const std::uint64_t now = now_us();
+      for (std::size_t i = 0; i < burst; ++i) t0[next + 1 + i] = now;
+      c.send_bytes(stream.data() + next * kDistanceFrameBytes,
+                   burst * kDistanceFrameBytes);
+      next += burst;
+      inflight += burst;
+    }
+    const std::size_t got = c.recv_some(rbuf.data() + have,
+                                        rbuf.size() - have);
+    if (got == 0) {
+      throw std::runtime_error("server closed during closed-loop run");
+    }
+    have += got;
+    const std::uint64_t now = now_us();
+    std::size_t off = 0;
+    while (have - off >= net::kFrameHeaderBytes) {
+      const net::FrameHeader h = net::decode_header(
+          std::span<const std::uint8_t>(rbuf.data() + off,
+                                        net::kFrameHeaderBytes));
+      const std::size_t frame_len = net::kFrameHeaderBytes + h.payload_len;
+      if (frame_len > rbuf.size()) {
+        throw std::runtime_error("reply frame larger than parse buffer");
+      }
+      if (have - off < frame_len) break;
+      off += frame_len;
+      --inflight;
+      ++done;
+      if (h.status == net::Status::kOk) {
+        ++out.ok;
+        out.latency_us.push_back(static_cast<double>(now - t0[h.request_id]));
+      } else if (h.status == net::Status::kBusy) {
+        ++out.busy;
+      } else {
+        ++out.errors;
+      }
+    }
+    if (off > 0 && off < have) {
+      std::memmove(rbuf.data(), rbuf.data() + off, have - off);
+    }
+    have -= off;
+  }
+  return out;
+}
+
+/// Open loop: a sender thread launches requests on a fixed schedule while
+/// a receiver thread drains responses. The t0 slots are atomics purely for
+/// the cross-thread handoff (each slot is written once before its request
+/// is sent, read once after its response arrives).
+LoadResult run_open(std::uint16_t port, std::span<const Pair> pairs,
+                    double interval_us) {
+  LoadResult out;
+  out.latency_us.reserve(pairs.size());
+  net::Client c;
+  c.connect("127.0.0.1", port);
+  std::vector<std::atomic<std::uint64_t>> t0(pairs.size() + 1);
+
+  std::thread sender([&] {
+    const std::uint64_t start = now_us();
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const std::uint64_t due =
+          start + static_cast<std::uint64_t>(interval_us * i);
+      std::uint64_t now = now_us();
+      if (now + 50 < due) {
+        std::this_thread::sleep_for(std::chrono::microseconds(due - now));
+        now = now_us();
+      } else if (now > due + static_cast<std::uint64_t>(interval_us)) {
+        ++out.behind;  // sender-side only; receiver never touches this
+      }
+      t0[i + 1].store(now, std::memory_order_release);
+      c.send_distance(pairs[i].s, pairs[i].t);
+    }
+  });
+
+  for (std::size_t done = 0; done < pairs.size(); ++done) {
+    auto r = c.recv_reply();
+    if (!r) throw std::runtime_error("server closed during open-loop run");
+    if (r->header.status == net::Status::kOk) {
+      ++out.ok;
+      out.latency_us.push_back(static_cast<double>(
+          now_us() -
+          t0[r->header.request_id].load(std::memory_order_acquire)));
+    } else if (r->header.status == net::Status::kBusy) {
+      ++out.busy;
+    } else {
+      ++out.errors;
+    }
+  }
+  sender.join();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+
+  std::printf("== bench_server: loopback serving throughput ==\n");
+  util::Rng grng(opt.seed);
+  gen::RmatParams params;
+  util::Timer gen_timer;
+  auto raw = gen::rmat(opt.scale,
+                       opt.edges_per_node * (std::uint64_t{1} << opt.scale),
+                       params, grng);
+  auto g = graph::largest_component(raw).graph;
+  std::printf("graph: rmat scale=%u -> LCC n=%u, arcs=%llu (%.1fs)\n",
+              opt.scale, g.num_nodes(),
+              static_cast<unsigned long long>(g.num_arcs()),
+              gen_timer.elapsed_seconds());
+
+  core::OracleOptions oracle_opt;
+  oracle_opt.alpha = opt.alpha;
+  oracle_opt.seed = opt.seed + 1;
+  util::Timer build_timer;
+  auto oracle =
+      core::make_any_oracle(core::VicinityOracle::build(g, oracle_opt));
+  std::printf("oracle built in %.1fs\n", build_timer.elapsed_seconds());
+
+  net::Server server(oracle, &g, opt.server);
+  server.start();
+  std::printf(
+      "server on 127.0.0.1:%u: max_batch=%zu max_delay_us=%u "
+      "queue_depth=%zu engine_threads=%u\n",
+      server.port(), opt.server.max_batch, opt.server.max_delay_us,
+      opt.server.queue_depth, server.engine().thread_count());
+
+  // Pre-generate every connection's Zipf-skewed workload outside the
+  // timed region.
+  const ZipfSampler zipf(g.num_nodes(), opt.zipf);
+  const std::size_t per_conn =
+      std::max<std::size_t>(1, opt.queries / opt.connections);
+  std::vector<std::vector<Pair>> workload(opt.connections);
+  for (unsigned ci = 0; ci < opt.connections; ++ci) {
+    util::Rng rng(opt.seed + 100 + ci);
+    workload[ci].reserve(per_conn);
+    for (std::size_t i = 0; i < per_conn; ++i) {
+      workload[ci].push_back({zipf.sample(rng), zipf.sample(rng)});
+    }
+  }
+
+  // Warmup: prime every engine lane and the batcher before timing.
+  {
+    net::Client c;
+    c.connect("127.0.0.1", server.port());
+    const auto& pairs = workload[0];
+    const std::size_t n = std::min<std::size_t>(pairs.size(), 2000);
+    (void)run_closed(server.port(), std::span(pairs.data(), n), 32);
+    c.close();
+  }
+
+  // Answers over the wire must be bit-identical to in-process answers.
+  bool verified = true;
+  {
+    net::Client c;
+    c.connect("127.0.0.1", server.port());
+    core::QueryContext ctx;
+    for (std::size_t i = 0; i < std::min<std::size_t>(per_conn, 200); ++i) {
+      const auto [s, t] = workload[0][i];
+      const net::DistanceReply got = c.distance(s, t);
+      const core::QueryResult want = oracle->distance(s, t, ctx);
+      if (got.record.dist != want.dist || got.record.exact != want.exact) {
+        verified = false;
+      }
+    }
+    c.close();
+  }
+  std::printf("wire answers vs in-process: %s\n",
+              verified ? "identical" : "MISMATCH");
+
+  const double per_conn_interval_us =
+      opt.rate > 0 ? 1e6 * opt.connections / opt.rate : 0.0;
+  std::vector<LoadResult> results(opt.connections);
+  std::vector<std::thread> threads;
+  util::Timer run_timer;
+  for (unsigned ci = 0; ci < opt.connections; ++ci) {
+    threads.emplace_back([&, ci] {
+      results[ci] = opt.mode == "closed"
+                        ? run_closed(server.port(), workload[ci], opt.window)
+                        : run_open(server.port(), workload[ci],
+                                   per_conn_interval_us);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed = run_timer.elapsed_seconds();
+
+  std::uint64_t ok = 0, busy = 0, errors = 0, behind = 0;
+  util::SampleSet latency;
+  for (const LoadResult& r : results) {
+    ok += r.ok;
+    busy += r.busy;
+    errors += r.errors;
+    behind += r.behind;
+    for (const double l : r.latency_us) latency.add(l);
+  }
+  const double qps = static_cast<double>(ok) / elapsed;
+
+  const net::StatsReply sstats = server.stats_snapshot();
+  std::printf("mode=%s connections=%u%s: %llu ok, %llu busy, %llu errors "
+              "in %.2fs\n",
+              opt.mode.c_str(), opt.connections,
+              opt.mode == "closed"
+                  ? (" window=" + std::to_string(opt.window)).c_str()
+                  : (" rate=" + std::to_string(opt.rate)).c_str(),
+              static_cast<unsigned long long>(ok),
+              static_cast<unsigned long long>(busy),
+              static_cast<unsigned long long>(errors), elapsed);
+  std::printf("server qps: %.0f\n", qps);
+  std::printf("client latency: p50=%.1fus p90=%.1fus p99=%.1fus max=%.1fus\n",
+              latency.percentile(50), latency.percentile(90),
+              latency.percentile(99), latency.max());
+  std::printf("server view: batches=%llu max_batch=%llu shed=%llu\n",
+              static_cast<unsigned long long>(sstats.batches_total),
+              static_cast<unsigned long long>(sstats.max_batch),
+              static_cast<unsigned long long>(sstats.shed_total));
+  if (behind > 0) {
+    std::printf("open-loop sender fell behind schedule %llu times\n",
+                static_cast<unsigned long long>(behind));
+  }
+
+  if (!opt.json.empty()) {
+    std::ostringstream js;
+    js << "{\n"
+       << "  \"graph\": {\"generator\": \"rmat\", \"scale\": " << opt.scale
+       << ", \"nodes\": " << g.num_nodes() << ", \"arcs\": " << g.num_arcs()
+       << "},\n"
+       << "  \"mode\": \"" << opt.mode << "\",\n"
+       << "  \"connections\": " << opt.connections << ",\n"
+       << "  \"window\": " << opt.window << ",\n"
+       << "  \"rate_target\": " << opt.rate << ",\n"
+       << "  \"zipf_theta\": " << opt.zipf << ",\n"
+       << "  \"queries\": " << (per_conn * opt.connections) << ",\n"
+       << "  \"batching\": {\"max_batch\": " << opt.server.max_batch
+       << ", \"max_delay_us\": " << opt.server.max_delay_us
+       << ", \"queue_depth\": " << opt.server.queue_depth << "},\n"
+       << "  \"server_qps\": " << qps << ",\n"
+       << "  \"latency_us\": {\"p50\": " << latency.percentile(50)
+       << ", \"p90\": " << latency.percentile(90)
+       << ", \"p99\": " << latency.percentile(99)
+       << ", \"max\": " << latency.max() << "},\n"
+       << "  \"busy\": " << busy << ",\n"
+       << "  \"errors\": " << errors << ",\n"
+       << "  \"open_loop_behind\": " << behind << ",\n"
+       << "  \"server_view\": {\"batches\": " << sstats.batches_total
+       << ", \"max_batch\": " << sstats.max_batch
+       << ", \"shed\": " << sstats.shed_total
+       << ", \"p50_us\": " << sstats.p50_us
+       << ", \"p99_us\": " << sstats.p99_us << "},\n"
+       << "  \"verified\": " << (verified ? "true" : "false") << "\n"
+       << "}\n";
+    if (opt.json == "-") {
+      std::cout << js.str();
+    } else {
+      std::ofstream out(opt.json);
+      if (!out) {
+        std::cerr << "cannot write " << opt.json << "\n";
+        return 1;
+      }
+      out << js.str();
+      std::printf("json written to %s\n", opt.json.c_str());
+    }
+  }
+
+  server.stop();
+  if (!verified) {
+    std::cerr << "FAIL: wire answers diverged from in-process answers\n";
+    return 1;
+  }
+  if (errors > 0) {
+    std::cerr << "FAIL: " << errors << " error responses under load\n";
+    return 1;
+  }
+  return 0;
+}

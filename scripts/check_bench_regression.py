@@ -22,8 +22,9 @@ hot path — rather than runner-to-runner noise.
 Usage:
   check_bench_regression.py --throughput tp.json --updates up.json \
       [--directed-throughput tpd.json] [--packed-throughput tpp.json] \
+      [--server srv.json] \
       --baseline bench/baselines/bench_smoke_baseline.json \
-      --out BENCH_pr7.json [--tolerance 0.20]
+      --out BENCH_pr8.json [--tolerance 0.20]
 
 Stdlib only; no third-party dependencies.
 """
@@ -59,6 +60,19 @@ def throughput_metrics(throughput, prefix=""):
     return metrics
 
 
+def server_metrics(server):
+    """Headline rows from `bench_server --json`: sustained qps through the
+    full serving stack and the client-observed tail latency."""
+    metrics = {}
+    if "server_qps" in server:
+        metrics["server_qps"] = server["server_qps"]
+    latency = server.get("latency_us", {})
+    for pct in ("p50", "p99"):
+        if pct in latency:
+            metrics[f"server_{pct}_us"] = latency[pct]
+    return metrics
+
+
 def update_metrics(updates):
     metrics = {}
     if "updates_per_sec" in updates:
@@ -88,6 +102,9 @@ def main():
     ap.add_argument("--packed-throughput", default=None,
                     help="bench_throughput --store-backend packed output; "
                          "metrics gain a packed_ prefix")
+    ap.add_argument("--server", default=None,
+                    help="bench_server --json output; contributes "
+                         "server_qps / server_p50_us / server_p99_us")
     ap.add_argument("--baseline", required=True)
     ap.add_argument("--out", required=True)
     ap.add_argument("--tolerance", type=float, default=None,
@@ -111,6 +128,10 @@ def main():
     if args.packed_throughput:
         packed = load_json(args.packed_throughput)
         metrics.update(throughput_metrics(packed, prefix="packed_"))
+    server = None
+    if args.server:
+        server = load_json(args.server)
+        metrics.update(server_metrics(server))
 
     baseline_metrics = baseline["metrics"]
     failures = []
@@ -173,6 +194,8 @@ def main():
         report["directed_throughput"] = directed
     if packed is not None:
         report["packed_throughput"] = packed
+    if server is not None:
+        report["server"] = server
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2)
         f.write("\n")

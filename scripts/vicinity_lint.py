@@ -28,6 +28,19 @@ Checks invariants no generic tool knows about:
                              one check_bench_regression.py can actually
                              extract — a typo'd key would silently never
                              gate.
+  net-syscall-eintr          every raw I/O syscall in src/net
+                             (read/write/recv/send/sendmsg/readv/writev/
+                             accept4/epoll_wait) must handle EINTR within a
+                             few lines of the call — a signal-interrupted
+                             syscall treated as a hard error drops
+                             connections under load (SIGTERM during
+                             drain, profilers, timers).
+  net-no-blocking-outside-client
+                             blocking socket calls (connect/poll/select/
+                             getaddrinfo) are confined to src/net/client.cpp
+                             — the server side is non-blocking epoll
+                             throughout, and one blocking call on the event
+                             loop stalls every connection.
 
 Suppress a finding by putting `vicinity-lint: allow(<rule>)` in a comment
 on the offending line or the line above it.
@@ -225,6 +238,54 @@ def check_umbrella(root: Path) -> list[Finding]:
     return findings
 
 
+NET_SYSCALL_RE = re.compile(
+    r"::\s*(read|write|recv|send|sendmsg|readv|writev|accept4|epoll_wait)"
+    r"\s*\(")
+# How far below a syscall the EINTR handling may sit (the idiomatic
+# `do { ... } while (r < 0 && errno == EINTR)` puts it 1-3 lines down).
+EINTR_WINDOW_LINES = 10
+
+
+def check_net_syscall_eintr(root: Path) -> list[Finding]:
+    findings = []
+    for path in sorted((root / "src" / "net").glob("*.[hc]*")):
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        raw_lines = raw.splitlines()
+        code_lines = strip_comments_and_strings(raw).splitlines()
+        for lineno, line in enumerate(code_lines, start=1):
+            m = NET_SYSCALL_RE.search(line)
+            if not m:
+                continue
+            window = code_lines[lineno - 1:lineno - 1 + EINTR_WINDOW_LINES]
+            if any("EINTR" in w for w in window):
+                continue
+            if allowed(raw_lines, lineno, "net-syscall-eintr"):
+                continue
+            findings.append(Finding(
+                path, lineno, "net-syscall-eintr",
+                f"::{m.group(1)}() without EINTR handling within "
+                f"{EINTR_WINDOW_LINES} lines — a signal-interrupted syscall "
+                f"must be retried, not treated as a connection error"))
+    return findings
+
+
+BLOCKING_CALL_RE = re.compile(
+    r"(::\s*(connect|poll|select)\s*\(|\bgetaddrinfo\s*\()")
+
+
+def check_net_no_blocking_outside_client(root: Path) -> list[Finding]:
+    findings = []
+    for path in sorted((root / "src" / "net").glob("*.[hc]*")):
+        if path.name == "client.cpp":
+            continue
+        findings += scan_pattern(
+            path, "net-no-blocking-outside-client", BLOCKING_CALL_RE,
+            "blocking socket call outside client.cpp — the server side is "
+            "non-blocking epoll; one blocking call on the event loop stalls "
+            "every connection")
+    return findings
+
+
 def extractable_bench_keys(root: Path) -> set[str]:
     """The key universe check_bench_regression.py can produce, derived by
     importing it and feeding fully-populated synthetic payloads — so this
@@ -247,6 +308,12 @@ def extractable_bench_keys(root: Path) -> set[str]:
     for prefix in ("", "directed_", "packed_"):
         keys |= set(mod.throughput_metrics(throughput, prefix=prefix))
     keys |= set(mod.update_metrics(updates))
+    # hasattr-guarded: fixture copies of the gate script may predate the
+    # serving-layer metrics.
+    if hasattr(mod, "server_metrics"):
+        server = {"server_qps": 1.0,
+                  "latency_us": {"p50": 1.0, "p99": 1.0}}
+        keys |= set(mod.server_metrics(server))
     return keys
 
 
@@ -278,6 +345,8 @@ CHECKS = [
     check_noexcept_throw,
     check_umbrella,
     check_bench_keys,
+    check_net_syscall_eintr,
+    check_net_no_blocking_outside_client,
 ]
 
 

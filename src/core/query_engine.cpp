@@ -87,11 +87,20 @@ std::vector<QueryResult> QueryEngine::run_batch(std::span<const Query> queries,
 
 void QueryEngine::run_batch(std::span<const Query> queries,
                             std::span<QueryResult> results, unsigned threads) {
+  (void)run_batch_epoch(queries, results, threads);
+}
+
+std::uint64_t QueryEngine::run_batch_epoch(std::span<const Query> queries,
+                                           std::span<QueryResult> results,
+                                           unsigned threads) {
   if (results.size() != queries.size()) {
     throw std::invalid_argument("QueryEngine::run_batch: size mismatch");
   }
-  if (queries.empty()) return;
+  if (queries.empty()) return epoch_.load(std::memory_order_acquire);
   const util::MutexLock lock(mu_);
+  // Updates hold mu_ for their whole mutation, so under the lock the epoch
+  // is pinned: every query below is answered at exactly this value.
+  const std::uint64_t at_epoch = epoch_.load(std::memory_order_acquire);
   // More lanes than queries would allocate contexts that can never receive
   // work (contexts_ persists for the engine's lifetime), so cap at the
   // batch size; chunking never changes the answers, only who computes them.
@@ -115,7 +124,7 @@ void QueryEngine::run_batch(std::span<const Query> queries,
     for (std::size_t i = 0; i < queries.size(); ++i) {
       results[i] = oracle.distance(queries[i].s, queries[i].t, ctx);
     }
-    return;
+    return at_epoch;
   }
   // Static contiguous balanced chunking, one context per lane. Each query
   // is independent and deterministic against the immutable index, so the
@@ -130,6 +139,7 @@ void QueryEngine::run_batch(std::span<const Query> queries,
           results[i] = oracle.distance(queries[i].s, queries[i].t, ctx);
         }
       });
+  return at_epoch;
 }
 
 QueryStats QueryEngine::stats() const {

@@ -164,6 +164,14 @@ class QueryEngine {
                  std::span<QueryResult> results, unsigned threads = 0)
       VICINITY_EXCLUDES(mu_);
 
+  /// In-place batch that also reports the epoch it ran at, read under the
+  /// batch lock — so a serving layer coalescing network requests can stamp
+  /// every answer of the batch with the exact index version that produced
+  /// it (a post-hoc epoch() read could race a concurrent apply_update()).
+  std::uint64_t run_batch_epoch(std::span<const Query> queries,
+                                std::span<QueryResult> results,
+                                unsigned threads = 0) VICINITY_EXCLUDES(mu_);
+
   /// Single query on a caller-owned context (lock-free; one context per
   /// caller thread).
   QueryResult query(NodeId s, NodeId t, QueryContext& ctx) const {

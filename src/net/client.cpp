@@ -1,0 +1,337 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace vicinity::net {
+
+namespace {
+
+/// Responses may legitimately exceed the request cap (a max-size DISTANCES
+/// request answers with 8 bytes per target), so the client accepts larger
+/// frames — but still bounds them, so a corrupt length prefix cannot ask
+/// for gigabytes.
+constexpr std::uint32_t kMaxReplyPayloadBytes = 8u << 20;
+
+std::string reply_message(const RawReply& r) {
+  return std::string(reinterpret_cast<const char*>(r.payload.data()),
+                     r.payload.size());
+}
+
+/// Shared status gate for the typed parsers.
+FrameReader ok_reader(const RawReply& r, Op expect_op) {
+  if (r.header.status != Status::kOk) {
+    throw ServerError(r.header.status, reply_message(r));
+  }
+  if (r.header.op != expect_op) {
+    throw ProtocolError(std::string("response op mismatch: expected ") +
+                        to_string(expect_op) + ", got " +
+                        to_string(r.header.op));
+  }
+  return FrameReader(r.payload);
+}
+
+}  // namespace
+
+DistanceReply parse_distance_reply(const RawReply& r) {
+  FrameReader rd = ok_reader(r, Op::kDistance);
+  DistanceReply out;
+  out.epoch = rd.u64();
+  out.record = read_distance_record(rd);
+  rd.expect_end();
+  return out;
+}
+
+DistancesReply parse_distances_reply(const RawReply& r) {
+  FrameReader rd = ok_reader(r, Op::kDistances);
+  DistancesReply out;
+  out.epoch = rd.u64();
+  const std::uint32_t n = rd.u32();
+  if (rd.remaining() != static_cast<std::size_t>(n) * kDistanceRecordBytes) {
+    throw ProtocolError("record count does not match payload length");
+  }
+  out.records.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.records.push_back(read_distance_record(rd));
+  }
+  return out;
+}
+
+PathReply parse_path_reply(const RawReply& r) {
+  FrameReader rd = ok_reader(r, Op::kPath);
+  PathReply out;
+  out.epoch = rd.u64();
+  out.record = read_distance_record(rd);
+  const std::uint32_t n = rd.u32();
+  if (rd.remaining() != static_cast<std::size_t>(n) * 4) {
+    throw ProtocolError("path length does not match payload length");
+  }
+  out.nodes.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.nodes.push_back(rd.u32());
+  return out;
+}
+
+UpdateReply parse_update_reply(const RawReply& r) {
+  FrameReader rd = ok_reader(r, Op::kApplyUpdate);
+  const UpdateReply out = read_update_reply(rd);
+  rd.expect_end();
+  return out;
+}
+
+StatsReply parse_stats_reply(const RawReply& r) {
+  FrameReader rd = ok_reader(r, Op::kStats);
+  const StatsReply out = read_stats_reply(rd);
+  rd.expect_end();
+  return out;
+}
+
+Client::~Client() { close(); }
+
+void Client::connect(const std::string& host, std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error("vicinity-client: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw std::runtime_error("vicinity-client: bad address " + host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const std::string err = std::strerror(errno);
+    close();
+    throw std::runtime_error("vicinity-client: connect(" + host + ":" +
+                             std::to_string(port) + ") failed: " + err);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  if (opts_.recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = opts_.recv_timeout_ms / 1000;
+    tv.tv_usec = static_cast<long>(opts_.recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::send_bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < n) {
+    ssize_t w;
+    do {
+      w = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    } while (w < 0 && errno == EINTR);
+    if (w < 0) {
+      throw std::runtime_error("vicinity-client: send failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+}
+
+std::size_t Client::recv_some(void* dst, std::size_t cap) {
+  ssize_t r;
+  do {
+    r = ::recv(fd_, dst, cap, 0);
+  } while (r < 0 && errno == EINTR);
+  if (r < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw ClientTimeout("vicinity-client: recv timed out");
+    }
+    throw std::runtime_error("vicinity-client: recv failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  return static_cast<std::size_t>(r);
+}
+
+bool Client::recv_exact(void* dst, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(dst);
+  std::size_t got = 0;
+  while (got < n) {
+    ssize_t r;
+    do {
+      r = ::recv(fd_, p + got, n - got, 0);
+    } while (r < 0 && errno == EINTR);
+    if (r < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw ClientTimeout("vicinity-client: recv timed out");
+      }
+      throw std::runtime_error("vicinity-client: recv failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    if (r == 0) {
+      if (got == 0) return false;  // clean EOF between frames
+      throw std::runtime_error(
+          "vicinity-client: connection closed mid-frame");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+std::optional<RawReply> Client::recv_reply() {
+  std::uint8_t hdr[kFrameHeaderBytes];
+  if (!recv_exact(hdr, sizeof hdr)) return std::nullopt;
+  RawReply out;
+  out.header =
+      decode_header(std::span<const std::uint8_t>(hdr, sizeof hdr));
+  if (out.header.payload_len > kMaxReplyPayloadBytes) {
+    throw ProtocolError("reply payload exceeds client limit");
+  }
+  out.payload.resize(out.header.payload_len);
+  if (out.header.payload_len > 0 &&
+      !recv_exact(out.payload.data(), out.payload.size())) {
+    throw std::runtime_error("vicinity-client: connection closed mid-frame");
+  }
+  return out;
+}
+
+std::uint64_t Client::send_request(Op op,
+                                   std::span<const std::uint8_t> payload) {
+  if (fd_ < 0) {
+    throw std::runtime_error("vicinity-client: not connected");
+  }
+  FrameHeader h;
+  h.payload_len = static_cast<std::uint32_t>(payload.size());
+  h.op = op;
+  h.request_id = next_id_++;
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  encode_frame(h, payload, frame);
+  send_bytes(frame.data(), frame.size());
+  return h.request_id;
+}
+
+RawReply Client::expect_reply(std::uint64_t request_id, Op op) {
+  std::optional<RawReply> r = recv_reply();
+  if (!r) {
+    throw std::runtime_error(
+        "vicinity-client: server closed the connection");
+  }
+  if (r->header.request_id != request_id) {
+    throw ProtocolError("response id mismatch (interleaved pipelined use "
+                        "with synchronous calls?)");
+  }
+  (void)op;  // op consistency is enforced by the typed parser
+  return std::move(*r);
+}
+
+std::uint64_t Client::send_ping() { return send_request(Op::kPing, {}); }
+
+std::uint64_t Client::send_distance(NodeId s, NodeId t) {
+  std::vector<std::uint8_t> payload;
+  FrameWriter w(payload);
+  w.u32(s);
+  w.u32(t);
+  return send_request(Op::kDistance, payload);
+}
+
+std::uint64_t Client::send_distances(NodeId s,
+                                     std::span<const NodeId> targets) {
+  std::vector<std::uint8_t> payload;
+  FrameWriter w(payload);
+  w.u32(s);
+  w.u32(static_cast<std::uint32_t>(targets.size()));
+  for (const NodeId t : targets) w.u32(t);
+  return send_request(Op::kDistances, payload);
+}
+
+std::uint64_t Client::send_path(NodeId s, NodeId t) {
+  std::vector<std::uint8_t> payload;
+  FrameWriter w(payload);
+  w.u32(s);
+  w.u32(t);
+  return send_request(Op::kPath, payload);
+}
+
+std::uint64_t Client::send_insert_edge(NodeId u, NodeId v, Weight weight) {
+  std::vector<std::uint8_t> payload;
+  FrameWriter w(payload);
+  w.u8(0);  // kind: insert
+  w.u8(0);
+  w.u8(0);
+  w.u8(0);
+  w.u32(u);
+  w.u32(v);
+  w.u32(weight);
+  return send_request(Op::kApplyUpdate, payload);
+}
+
+std::uint64_t Client::send_remove_edge(NodeId u, NodeId v) {
+  std::vector<std::uint8_t> payload;
+  FrameWriter w(payload);
+  w.u8(1);  // kind: remove
+  w.u8(0);
+  w.u8(0);
+  w.u8(0);
+  w.u32(u);
+  w.u32(v);
+  w.u32(0);  // weight ignored for removals
+  return send_request(Op::kApplyUpdate, payload);
+}
+
+std::uint64_t Client::send_stats() { return send_request(Op::kStats, {}); }
+
+void Client::ping() {
+  const std::uint64_t id = send_ping();
+  const RawReply r = expect_reply(id, Op::kPing);
+  if (r.header.status != Status::kOk) {
+    throw ServerError(r.header.status, reply_message(r));
+  }
+}
+
+DistanceReply Client::distance(NodeId s, NodeId t) {
+  const std::uint64_t id = send_distance(s, t);
+  return parse_distance_reply(expect_reply(id, Op::kDistance));
+}
+
+DistancesReply Client::distances(NodeId s, std::span<const NodeId> targets) {
+  const std::uint64_t id = send_distances(s, targets);
+  return parse_distances_reply(expect_reply(id, Op::kDistances));
+}
+
+PathReply Client::path(NodeId s, NodeId t) {
+  const std::uint64_t id = send_path(s, t);
+  return parse_path_reply(expect_reply(id, Op::kPath));
+}
+
+UpdateReply Client::insert_edge(NodeId u, NodeId v, Weight w) {
+  const std::uint64_t id = send_insert_edge(u, v, w);
+  return parse_update_reply(expect_reply(id, Op::kApplyUpdate));
+}
+
+UpdateReply Client::remove_edge(NodeId u, NodeId v) {
+  const std::uint64_t id = send_remove_edge(u, v);
+  return parse_update_reply(expect_reply(id, Op::kApplyUpdate));
+}
+
+StatsReply Client::stats() {
+  const std::uint64_t id = send_stats();
+  return parse_stats_reply(expect_reply(id, Op::kStats));
+}
+
+}  // namespace vicinity::net

@@ -1,0 +1,160 @@
+// Blocking client for the vicinityd wire protocol (net/protocol.h).
+//
+// This is deliberately the only place in src/net that performs blocking
+// socket I/O: the server side is non-blocking epoll throughout, while a
+// client library wants the simple call-and-wait shape. Two usage modes:
+//
+//   * Synchronous conveniences — distance(), distances(), path(),
+//     insert_edge(), remove_edge(), stats(), ping(): one request, wait for
+//     its response, parse it, throw ServerError on a non-OK status.
+//   * Pipelined — send_*() enqueue a frame and return its request id
+//     without waiting; recv_reply() pulls the next response off the wire.
+//     The server answers PING/STATS inline but batches query ops, so
+//     pipelined responses can arrive out of submission order: match them
+//     by request id, never by position.
+//
+// send_bytes() exposes the raw socket for protocol-robustness tests that
+// must transmit deliberately malformed or partial frames.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "util/types.h"
+
+namespace vicinity::net {
+
+/// A non-OK response from the server (status kError or kBusy), carrying
+/// the server's message payload.
+class ServerError : public std::runtime_error {
+ public:
+  ServerError(Status status, const std::string& message)
+      : std::runtime_error(message), status_(status) {}
+
+  Status status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// recv timed out (the socket-level SO_RCVTIMEO fired). Distinct from
+/// ServerError: the connection state is unknown afterwards.
+class ClientTimeout : public std::runtime_error {
+ public:
+  explicit ClientTimeout(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct ClientOptions {
+  /// SO_RCVTIMEO for every recv; 0 waits forever. A finite default keeps
+  /// test drivers from hanging when the server misbehaves.
+  std::uint32_t recv_timeout_ms = 30000;
+};
+
+struct RawReply {
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+};
+
+struct DistanceReply {
+  std::uint64_t epoch = 0;
+  DistanceRecord record;
+};
+
+struct DistancesReply {
+  std::uint64_t epoch = 0;
+  std::vector<DistanceRecord> records;
+};
+
+struct PathReply {
+  std::uint64_t epoch = 0;
+  DistanceRecord record;
+  std::vector<NodeId> nodes;  ///< s..t inclusive; empty when unavailable
+};
+
+// Payload parsers for the pipelined mode (throw ServerError on non-OK
+// status, ProtocolError on a malformed payload).
+DistanceReply parse_distance_reply(const RawReply& r);
+DistancesReply parse_distances_reply(const RawReply& r);
+PathReply parse_path_reply(const RawReply& r);
+UpdateReply parse_update_reply(const RawReply& r);
+StatsReply parse_stats_reply(const RawReply& r);
+
+class Client {
+ public:
+  Client() = default;
+  explicit Client(ClientOptions options) : opts_(options) {}
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept
+      : opts_(other.opts_), fd_(other.fd_), next_id_(other.next_id_) {
+    other.fd_ = -1;
+  }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      close();
+      opts_ = other.opts_;
+      fd_ = other.fd_;
+      next_id_ = other.next_id_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  /// Connects (blocking) and enables TCP_NODELAY. Throws std::runtime_error
+  /// on failure.
+  void connect(const std::string& host, std::uint16_t port);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  // -- synchronous conveniences ---------------------------------------------
+  void ping();
+  DistanceReply distance(NodeId s, NodeId t);
+  DistancesReply distances(NodeId s, std::span<const NodeId> targets);
+  PathReply path(NodeId s, NodeId t);
+  UpdateReply insert_edge(NodeId u, NodeId v, Weight w);
+  UpdateReply remove_edge(NodeId u, NodeId v);
+  StatsReply stats();
+
+  // -- pipelined mode -------------------------------------------------------
+  std::uint64_t send_ping();
+  std::uint64_t send_distance(NodeId s, NodeId t);
+  std::uint64_t send_distances(NodeId s, std::span<const NodeId> targets);
+  std::uint64_t send_path(NodeId s, NodeId t);
+  std::uint64_t send_insert_edge(NodeId u, NodeId v, Weight w);
+  std::uint64_t send_remove_edge(NodeId u, NodeId v);
+  std::uint64_t send_stats();
+
+  /// Next response frame off the wire, in server completion order.
+  /// nullopt on clean EOF (server closed); ClientTimeout on recv timeout;
+  /// std::runtime_error on socket error.
+  std::optional<RawReply> recv_reply();
+
+  /// Raw transmit, for tests sending malformed or partial frames.
+  void send_bytes(const void* data, std::size_t n);
+
+  /// Blocking read of whatever bytes are available (one recv), up to cap.
+  /// Returns 0 on clean EOF. For bulk consumers (load generators) that
+  /// parse frames themselves instead of paying two recv() calls per reply
+  /// through recv_reply(). Must not be mixed with recv_reply() on the same
+  /// connection: bytes buffered by the caller are invisible to it.
+  std::size_t recv_some(void* dst, std::size_t cap);
+
+ private:
+  std::uint64_t send_request(Op op, std::span<const std::uint8_t> payload);
+  RawReply expect_reply(std::uint64_t request_id, Op op);
+  /// false on clean EOF before any byte; throws if EOF splits a frame.
+  bool recv_exact(void* dst, std::size_t n);
+
+  ClientOptions opts_;
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace vicinity::net

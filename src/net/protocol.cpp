@@ -1,0 +1,170 @@
+#include "net/protocol.h"
+
+namespace vicinity::net {
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kPing:
+      return "PING";
+    case Op::kDistance:
+      return "DISTANCE";
+    case Op::kDistances:
+      return "DISTANCES";
+    case Op::kPath:
+      return "PATH";
+    case Op::kApplyUpdate:
+      return "APPLY_UPDATE";
+    case Op::kStats:
+      return "STATS";
+  }
+  return "?";
+}
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "OK";
+    case Status::kError:
+      return "ERROR";
+    case Status::kBusy:
+      return "BUSY";
+  }
+  return "?";
+}
+
+void encode_header(const FrameHeader& h, std::vector<std::uint8_t>& out) {
+  FrameWriter w(out);
+  w.u32(h.payload_len);
+  w.u8(h.version);
+  w.u8(static_cast<std::uint8_t>(h.op));
+  w.u8(static_cast<std::uint8_t>(h.status));
+  w.u8(0);  // reserved
+  w.u64(h.request_id);
+}
+
+FrameHeader decode_header(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kFrameHeaderBytes) {
+    throw ProtocolError("short header");
+  }
+  FrameReader r(bytes.first(kFrameHeaderBytes));
+  FrameHeader h;
+  h.payload_len = r.u32();
+  h.version = r.u8();
+  h.op = static_cast<Op>(r.u8());
+  h.status = static_cast<Status>(r.u8());
+  (void)r.u8();  // reserved; tolerated nonzero for forward compatibility
+  h.request_id = r.u64();
+  return h;
+}
+
+std::string validate_request_header(const FrameHeader& h,
+                                    std::uint32_t max_payload) {
+  if (h.version != kProtocolVersion) {
+    return "unsupported protocol version " + std::to_string(h.version) +
+           " (this server speaks " + std::to_string(kProtocolVersion) + ")";
+  }
+  if (static_cast<std::uint8_t>(h.op) > kMaxOp) {
+    return "unknown op " +
+           std::to_string(static_cast<std::uint8_t>(h.op));
+  }
+  if (h.payload_len > max_payload) {
+    return "payload length " + std::to_string(h.payload_len) +
+           " exceeds the " + std::to_string(max_payload) + "-byte limit";
+  }
+  return "";
+}
+
+void encode_frame(const FrameHeader& h, std::span<const std::uint8_t> payload,
+                  std::vector<std::uint8_t>& out) {
+  FrameHeader fixed = h;
+  fixed.payload_len = static_cast<std::uint32_t>(payload.size());
+  encode_header(fixed, out);
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void write_distance_record(FrameWriter& w, const DistanceRecord& r) {
+  w.u32(r.dist);
+  w.u8(r.method);
+  w.u8(r.exact ? 1 : 0);
+  w.u16(0);
+}
+
+DistanceRecord read_distance_record(FrameReader& r) {
+  DistanceRecord rec;
+  rec.dist = r.u32();
+  rec.method = r.u8();
+  rec.exact = r.u8() != 0;
+  (void)r.u16();
+  return rec;
+}
+
+void write_update_reply(FrameWriter& w, const UpdateReply& r) {
+  w.u64(r.epoch);
+  w.u32(r.affected_vicinities);
+  w.u32(r.boundary_patches);
+  w.u32(r.landmark_rows_refreshed);
+  w.u8(r.full_rebuild ? 1 : 0);
+  w.u8(0);
+  w.u16(0);
+}
+
+UpdateReply read_update_reply(FrameReader& r) {
+  UpdateReply u;
+  u.epoch = r.u64();
+  u.affected_vicinities = r.u32();
+  u.boundary_patches = r.u32();
+  u.landmark_rows_refreshed = r.u32();
+  u.full_rebuild = r.u8() != 0;
+  (void)r.u8();
+  (void)r.u16();
+  return u;
+}
+
+void write_stats_reply(FrameWriter& w, const StatsReply& r) {
+  w.u64(r.epoch);
+  w.u64(r.uptime_us);
+  w.u64(r.queries_total);
+  w.u64(r.requests_total);
+  w.u64(r.batches_total);
+  w.u64(r.shed_total);
+  w.u64(r.errors_total);
+  w.u64(r.updates_total);
+  w.u64(r.connections_open);
+  w.u64(r.connections_total);
+  w.u64(r.max_batch);
+  w.u64(r.pending);
+  w.f64(r.qps);
+  w.f64(r.p50_us);
+  w.f64(r.p90_us);
+  w.f64(r.p99_us);
+  w.f64(r.max_us);
+}
+
+StatsReply read_stats_reply(FrameReader& r) {
+  StatsReply s;
+  s.epoch = r.u64();
+  s.uptime_us = r.u64();
+  s.queries_total = r.u64();
+  s.requests_total = r.u64();
+  s.batches_total = r.u64();
+  s.shed_total = r.u64();
+  s.errors_total = r.u64();
+  s.updates_total = r.u64();
+  s.connections_open = r.u64();
+  s.connections_total = r.u64();
+  s.max_batch = r.u64();
+  s.pending = r.u64();
+  s.qps = r.f64();
+  s.p50_us = r.f64();
+  s.p90_us = r.f64();
+  s.p99_us = r.f64();
+  s.max_us = r.f64();
+  return s;
+}
+
+void FrameWriter::append(const void* p, std::size_t n) {
+  const auto* b = static_cast<const std::uint8_t*>(p);
+  out_.insert(out_.end(), b, b + n);
+}
+
+}  // namespace vicinity::net

@@ -1,0 +1,119 @@
+#include "net/ring_buffer.h"
+
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace vicinity::net {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t c = 16;
+  while (c < n) c <<= 1;
+  return c;
+}
+
+}  // namespace
+
+RingBuffer::RingBuffer(std::size_t initial_capacity)
+    : data_(round_up_pow2(initial_capacity == 0 ? 16 : initial_capacity)) {}
+
+void RingBuffer::grow_to(std::size_t need) {
+  if (need <= data_.size()) return;
+  std::vector<std::uint8_t> bigger(round_up_pow2(need));
+  peek(bigger.data(), size_);  // linearize into the new storage
+  data_ = std::move(bigger);
+  head_ = 0;
+}
+
+void RingBuffer::append(const void* src, std::size_t n) {
+  if (n == 0) return;
+  grow_to(size_ + n);
+  const auto* bytes = static_cast<const std::uint8_t*>(src);
+  const std::size_t tail = (head_ + size_) & (data_.size() - 1);
+  const std::size_t first = std::min(n, data_.size() - tail);
+  std::memcpy(data_.data() + tail, bytes, first);
+  std::memcpy(data_.data(), bytes + first, n - first);
+  size_ += n;
+}
+
+void RingBuffer::peek(void* dst, std::size_t n) const {
+  if (n == 0) return;
+  auto* out = static_cast<std::uint8_t*>(dst);
+  const std::size_t first = std::min(n, data_.size() - head_);
+  std::memcpy(out, data_.data() + head_, first);
+  std::memcpy(out + first, data_.data(), n - first);
+}
+
+void RingBuffer::consume(std::size_t n) {
+  head_ = (head_ + n) & (data_.size() - 1);
+  size_ -= n;
+  if (size_ == 0) head_ = 0;  // reset to maximize the contiguous run
+}
+
+IoResult RingBuffer::fill_from_fd(int fd, std::size_t min_room) {
+  if (data_.size() - size_ < min_room) grow_to(size_ + min_room);
+  const std::size_t room = data_.size() - size_;
+  const std::size_t tail = (head_ + size_) & (data_.size() - 1);
+  const std::size_t first = std::min(room, data_.size() - tail);
+  iovec iov[2];
+  iov[0].iov_base = data_.data() + tail;
+  iov[0].iov_len = first;
+  int iovcnt = 1;
+  if (room > first) {
+    iov[1].iov_base = data_.data();
+    iov[1].iov_len = room - first;
+    iovcnt = 2;
+  }
+  ssize_t n;
+  do {
+    n = ::readv(fd, iov, iovcnt);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kError, 0};
+  }
+  if (n == 0) return {IoStatus::kEof, 0};
+  size_ += static_cast<std::size_t>(n);
+  return {IoStatus::kOk, static_cast<std::size_t>(n)};
+}
+
+IoResult RingBuffer::drain_to_fd(int fd) {
+  if (size_ == 0) return {IoStatus::kOk, 0};
+  const std::size_t first = std::min(size_, data_.size() - head_);
+  iovec iov[2];
+  iov[0].iov_base = data_.data() + head_;
+  iov[0].iov_len = first;
+  int iovcnt = 1;
+  if (size_ > first) {
+    iov[1].iov_base = data_.data();
+    iov[1].iov_len = size_ - first;
+    iovcnt = 2;
+  }
+  // sendmsg + MSG_NOSIGNAL instead of writev: a peer that closed mid-write
+  // must surface as kError, not kill the process with SIGPIPE. (This makes
+  // drain_to_fd socket-only; fill_from_fd still reads any fd.)
+  msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+  ssize_t n;
+  do {
+    n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kError, 0};
+  }
+  consume(static_cast<std::size_t>(n));  // short write: remainder stays
+  return {IoStatus::kOk, static_cast<std::size_t>(n)};
+}
+
+}  // namespace vicinity::net

@@ -1,0 +1,80 @@
+// Growable byte ring buffer with vectored fd I/O — the per-connection
+// read/write staging the server and client build frames in.
+//
+// Why a ring and not a std::vector with a consumed-offset: a long-lived
+// pipelined connection appends and consumes continuously; a flat vector
+// either memmoves the unconsumed tail on every compaction or grows
+// without bound. The ring wraps instead: append/consume are O(1) with no
+// copying, and fill_from_fd()/drain_to_fd() hand the kernel both wrapped
+// segments in one vectored readv/sendmsg call.
+//
+// Capacity doubles (power of two) when an append outgrows it; it never
+// shrinks. Single-threaded by design: each buffer belongs to exactly one
+// connection on one event-loop (or client) thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vicinity::net {
+
+/// Outcome of one fd transfer attempt.
+enum class IoStatus : std::uint8_t {
+  kOk,          ///< transferred >= 1 byte
+  kWouldBlock,  ///< EAGAIN/EWOULDBLOCK — nothing to do right now
+  kEof,         ///< orderly peer close (reads only)
+  kError,       ///< hard error (errno preserved for the caller)
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::kOk;
+  std::size_t bytes = 0;
+};
+
+class RingBuffer {
+ public:
+  RingBuffer() : RingBuffer(4096) {}
+  explicit RingBuffer(std::size_t initial_capacity);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return data_.size(); }
+
+  /// Appends n bytes, growing (power-of-two doubling) as needed.
+  void append(const void* src, std::size_t n);
+  void append(std::span<const std::uint8_t> bytes) {
+    append(bytes.data(), bytes.size());
+  }
+
+  /// Copies the first n buffered bytes into dst without consuming them
+  /// (handles wrap). Requires n <= size().
+  void peek(void* dst, std::size_t n) const;
+
+  /// Discards the first n buffered bytes. Requires n <= size().
+  void consume(std::size_t n);
+
+  /// Reads from fd into free space (growing to guarantee >= min_room
+  /// writable bytes, default one page) with one readv over the wrapped
+  /// segments. Retries EINTR internally; EAGAIN surfaces as kWouldBlock.
+  /// One call per readiness event is enough under level-triggered epoll —
+  /// leftover bytes re-arm the next epoll_wait.
+  IoResult fill_from_fd(int fd, std::size_t min_room = 4096);
+
+  /// Writes buffered bytes to a SOCKET fd with one vectored sendmsg
+  /// (MSG_NOSIGNAL: a vanished peer is kError, never SIGPIPE) over the
+  /// wrapped segments, consuming exactly what the kernel accepted (short
+  /// writes leave the remainder buffered). Retries EINTR; EAGAIN is
+  /// kWouldBlock.
+  IoResult drain_to_fd(int fd);
+
+ private:
+  void grow_to(std::size_t need);
+
+  std::vector<std::uint8_t> data_;
+  std::size_t head_ = 0;  ///< index of the first buffered byte
+  std::size_t size_ = 0;
+};
+
+}  // namespace vicinity::net

@@ -1,0 +1,802 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "core/any_oracle.h"
+#include "util/log.h"
+#include "util/stats.h"
+
+namespace vicinity::net {
+
+namespace {
+
+/// RAII close for the error paths of start(); -1 is "not open".
+void close_if_open(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+std::vector<std::uint8_t> make_frame(Op op, Status status,
+                                     std::uint64_t request_id,
+                                     std::span<const std::uint8_t> payload) {
+  FrameHeader h;
+  h.payload_len = static_cast<std::uint32_t>(payload.size());
+  h.op = op;
+  h.status = status;
+  h.request_id = request_id;
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  encode_frame(h, payload, frame);
+  return frame;
+}
+
+std::vector<std::uint8_t> make_error_frame(Op op, Status status,
+                                           std::uint64_t request_id,
+                                           const std::string& message) {
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(message.data());
+  return make_frame(op, status, request_id,
+                    std::span<const std::uint8_t>(bytes, message.size()));
+}
+
+}  // namespace
+
+Server::Server(std::shared_ptr<core::AnyOracle> oracle, graph::Graph* graph,
+               ServerOptions options)
+    : oracle_(std::move(oracle)),
+      graph_(graph),
+      opts_(std::move(options)),
+      engine_(oracle_, opts_.engine_threads) {
+  if (opts_.max_batch == 0) opts_.max_batch = 1;
+  if (opts_.latency_window == 0) opts_.latency_window = 1;
+  latency_ring_.resize(opts_.latency_window, 0.0);
+}
+
+Server::~Server() { stop(); }
+
+std::uint64_t Server::now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Server::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  stop_requested_.store(false, std::memory_order_release);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("vicinityd: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    close_if_open(listen_fd_);
+    throw std::runtime_error("vicinityd: bad listen address " + opts_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    const std::string err = std::strerror(errno);
+    close_if_open(listen_fd_);
+    throw std::runtime_error("vicinityd: bind(" + opts_.host + ":" +
+                             std::to_string(opts_.port) + ") failed: " + err);
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const std::string err = std::strerror(errno);
+    close_if_open(listen_fd_);
+    throw std::runtime_error("vicinityd: listen() failed: " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t blen = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen) ==
+      0) {
+    bound_port_ = ntohs(bound.sin_port);
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    close_if_open(listen_fd_);
+    close_if_open(epoll_fd_);
+    close_if_open(wake_fd_);
+    throw std::runtime_error("vicinityd: epoll/eventfd setup failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  start_us_ = now_us();
+  {
+    const util::MutexLock lock(smu_);
+    last_stats_us_ = start_us_;
+    last_stats_queries_ = 0;
+  }
+  {
+    const util::MutexLock lock(bmu_);
+    batch_stop_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+  io_thread_ = std::thread([this] { io_loop(); });
+  batch_thread_ = std::thread([this] { batch_loop(); });
+  util::log_info("vicinityd listening on ", opts_.host, ":", bound_port_);
+}
+
+void Server::stop() {
+  bool was_running = true;
+  if (!running_.compare_exchange_strong(was_running, false)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  wake_io();
+  {
+    const util::MutexLock lock(bmu_);
+    batch_stop_ = true;
+    bcv_.notify_all();
+  }
+  if (io_thread_.joinable()) io_thread_.join();
+  if (batch_thread_.joinable()) batch_thread_.join();
+  for (std::size_t fd = 0; fd < conns_.size(); ++fd) {
+    if (conns_[fd].active) {
+      ::close(static_cast<int>(fd));
+      conns_[fd] = Conn{};
+    }
+  }
+  connections_open_.store(0, std::memory_order_relaxed);
+  close_if_open(listen_fd_);
+  close_if_open(wake_fd_);
+  close_if_open(epoll_fd_);
+}
+
+void Server::wake_io() {
+  const std::uint64_t one = 1;
+  ssize_t n;
+  do {
+    n = ::write(wake_fd_, &one, sizeof one);
+  } while (n < 0 && errno == EINTR);
+  // EAGAIN means the counter is already saturated: a wakeup is pending,
+  // which is all this write was for.
+}
+
+// ---- event-loop side -------------------------------------------------------
+
+void Server::io_loop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    int n;
+    do {
+      n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) break;  // epoll fd itself failed; shut down
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const std::uint32_t mask = events[i].events;
+      if (fd == wake_fd_) {
+        std::uint64_t drained = 0;
+        ssize_t r;
+        do {
+          r = ::read(wake_fd_, &drained, sizeof drained);
+        } while (r < 0 && errno == EINTR);
+        // EAGAIN: another wakeup raced the drain; the loop re-polls anyway.
+        deliver_responses();
+        continue;
+      }
+      if (fd == listen_fd_) {
+        accept_ready();
+        continue;
+      }
+      if (static_cast<std::size_t>(fd) >= conns_.size() ||
+          !conns_[fd].active) {
+        continue;  // closed earlier in this same event batch
+      }
+      if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
+        close_conn(fd);
+        continue;
+      }
+      if ((mask & EPOLLIN) != 0) conn_readable(fd);
+      if (static_cast<std::size_t>(fd) < conns_.size() &&
+          conns_[fd].active && (mask & EPOLLOUT) != 0) {
+        conn_writable(fd);
+      }
+    }
+  }
+  // Drain any responses the batcher posted between the last poll and the
+  // stop flag, so their WorkItems are not leaked into closed connections.
+  deliver_responses();
+}
+
+void Server::accept_ready() {
+  for (;;) {
+    int fd;
+    do {
+      fd = ::accept4(listen_fd_, nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+      // EAGAIN/EWOULDBLOCK: accepted everything pending. Other errnos
+      // (EMFILE, ECONNABORTED, ...) are transient here; retry on the next
+      // readiness notification rather than spinning.
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    if (static_cast<std::size_t>(fd) >= conns_.size()) {
+      conns_.resize(static_cast<std::size_t>(fd) + 1);
+    }
+    Conn& c = conns_[fd];
+    c = Conn{};
+    c.gen = next_gen_++;
+    c.active = true;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      c = Conn{};
+      ::close(fd);
+      continue;
+    }
+    connections_open_.fetch_add(1, std::memory_order_relaxed);
+    connections_total_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::conn_readable(int fd) {
+  for (;;) {
+    Conn& c = conns_[fd];
+    if (!c.active) return;
+    const IoResult r = c.in.fill_from_fd(fd);
+    switch (r.status) {
+      case IoStatus::kOk:
+        parse_frames(fd);
+        if (static_cast<std::size_t>(fd) >= conns_.size() ||
+            !conns_[fd].active || conns_[fd].close_after_flush) {
+          return;  // desynced or closed: stop consuming this stream
+        }
+        continue;
+      case IoStatus::kWouldBlock:
+        return;
+      case IoStatus::kEof: {
+        Conn& cc = conns_[fd];
+        cc.read_closed = true;
+        // Answer what was fully received before the FIN, then close.
+        parse_frames(fd);
+        if (static_cast<std::size_t>(fd) < conns_.size() &&
+            conns_[fd].active) {
+          flush_conn(fd);
+        }
+        return;
+      }
+      case IoStatus::kError:
+        close_conn(fd);
+        return;
+    }
+  }
+}
+
+void Server::conn_writable(int fd) { flush_conn(fd); }
+
+void Server::parse_frames(int fd) {
+  for (;;) {
+    Conn& c = conns_[fd];
+    if (!c.active || c.close_after_flush) return;
+    if (c.in.size() < kFrameHeaderBytes) return;
+    std::uint8_t hdr[kFrameHeaderBytes];
+    c.in.peek(hdr, kFrameHeaderBytes);
+    const FrameHeader h =
+        decode_header(std::span<const std::uint8_t>(hdr, kFrameHeaderBytes));
+    const std::string err =
+        validate_request_header(h, opts_.max_payload_bytes);
+    if (!err.empty()) {
+      // The stream is desynchronized (the next frame boundary is
+      // unknowable), so: report, then drain-and-close.
+      errors_total_.fetch_add(1, std::memory_order_relaxed);
+      send_error(fd, h.request_id, h.op, Status::kError, err);
+      Conn& c2 = conns_[fd];
+      if (c2.active) {
+        c2.in.consume(c2.in.size());
+        c2.close_after_flush = true;
+        flush_conn(fd);
+      }
+      return;
+    }
+    if (c.in.size() < kFrameHeaderBytes + h.payload_len) return;  // partial
+    c.in.consume(kFrameHeaderBytes);
+    std::vector<std::uint8_t> payload(h.payload_len);
+    c.in.peek(payload.data(), payload.size());
+    c.in.consume(payload.size());
+    dispatch(fd, h, payload);
+  }
+}
+
+void Server::dispatch(int fd, const FrameHeader& header,
+                      std::span<const std::uint8_t> payload) {
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  const NodeId num_nodes = oracle_->graph().num_nodes();
+  try {
+    FrameReader r(payload);
+    WorkItem item;
+    item.op = header.op;
+    item.fd = fd;
+    item.gen = conns_[fd].gen;
+    item.request_id = header.request_id;
+    item.enqueue_us = now_us();
+    std::size_t units = 1;
+    switch (header.op) {
+      case Op::kPing: {
+        r.expect_end();
+        send_frame(fd, {0, kProtocolVersion, Op::kPing, Status::kOk,
+                        header.request_id},
+                   {});
+        return;
+      }
+      case Op::kStats: {
+        r.expect_end();
+        answer_stats(fd, header.request_id);
+        return;
+      }
+      case Op::kDistance:
+      case Op::kPath: {
+        item.s = r.u32();
+        item.t = r.u32();
+        r.expect_end();
+        if (item.s >= num_nodes || item.t >= num_nodes) {
+          throw ProtocolError("node id out of range");
+        }
+        break;
+      }
+      case Op::kDistances: {
+        item.s = r.u32();
+        const std::uint32_t n = r.u32();
+        if (r.remaining() != static_cast<std::size_t>(n) * 4) {
+          throw ProtocolError("target count does not match payload length");
+        }
+        if (item.s >= num_nodes) throw ProtocolError("node id out of range");
+        item.targets.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          const NodeId t = r.u32();
+          if (t >= num_nodes) throw ProtocolError("node id out of range");
+          item.targets.push_back(t);
+        }
+        units = std::max<std::size_t>(n, 1);
+        break;
+      }
+      case Op::kApplyUpdate: {
+        const std::uint8_t kind = r.u8();
+        r.u8();
+        r.u8();
+        r.u8();  // pad
+        const NodeId u = r.u32();
+        const NodeId v = r.u32();
+        const Weight w = r.u32();
+        r.expect_end();
+        if (kind > 1) throw ProtocolError("unknown update kind");
+        if (u >= num_nodes || v >= num_nodes) {
+          throw ProtocolError("node id out of range");
+        }
+        if (graph_ == nullptr) {
+          throw ProtocolError(
+              "server is a frozen snapshot (started without --graph); "
+              "APPLY_UPDATE refused");
+        }
+        item.update = kind == 0 ? core::GraphUpdate::insert(u, v, w)
+                                : core::GraphUpdate::remove(u, v);
+        break;
+      }
+    }
+    if (!enqueue_work(std::move(item), units)) {
+      shed_total_.fetch_add(1, std::memory_order_relaxed);
+      send_error(fd, header.request_id, header.op, Status::kBusy,
+                 "admission queue full; retry");
+      return;
+    }
+    conns_[fd].inflight++;
+  } catch (const ProtocolError& e) {
+    // A well-framed but malformed payload: the stream is still in sync, so
+    // answer ERROR and keep the connection.
+    errors_total_.fetch_add(1, std::memory_order_relaxed);
+    send_error(fd, header.request_id, header.op, Status::kError, e.what());
+  }
+}
+
+void Server::answer_stats(int fd, std::uint64_t request_id) {
+  const StatsReply reply = stats_snapshot();
+  std::vector<std::uint8_t> payload;
+  FrameWriter w(payload);
+  write_stats_reply(w, reply);
+  send_frame(fd, {static_cast<std::uint32_t>(payload.size()),
+                  kProtocolVersion, Op::kStats, Status::kOk, request_id},
+             payload);
+}
+
+StatsReply Server::stats_snapshot() {
+  StatsReply r;
+  r.epoch = engine_.epoch();
+  r.uptime_us = now_us() - start_us_;
+  r.queries_total = queries_total_.load(std::memory_order_relaxed);
+  r.requests_total = requests_total_.load(std::memory_order_relaxed);
+  r.batches_total = batches_total_.load(std::memory_order_relaxed);
+  r.shed_total = shed_total_.load(std::memory_order_relaxed);
+  r.errors_total = errors_total_.load(std::memory_order_relaxed);
+  r.updates_total = updates_total_.load(std::memory_order_relaxed);
+  r.connections_open = connections_open_.load(std::memory_order_relaxed);
+  r.connections_total = connections_total_.load(std::memory_order_relaxed);
+  r.max_batch = max_batch_seen_.load(std::memory_order_relaxed);
+  {
+    const util::MutexLock lock(bmu_);
+    r.pending = queued_units_;
+  }
+  {
+    const util::MutexLock lock(smu_);
+    const std::uint64_t now = now_us();
+    const double window_s =
+        static_cast<double>(now - last_stats_us_) / 1e6;
+    if (window_s > 0) {
+      r.qps = static_cast<double>(r.queries_total - last_stats_queries_) /
+              window_s;
+    }
+    last_stats_us_ = now;
+    last_stats_queries_ = r.queries_total;
+    if (latency_count_ > 0) {
+      util::SampleSet samples;
+      for (std::size_t i = 0; i < latency_count_; ++i) {
+        samples.add(latency_ring_[i]);
+      }
+      r.p50_us = samples.percentile(50);
+      r.p90_us = samples.percentile(90);
+      r.p99_us = samples.percentile(99);
+      r.max_us = samples.max();
+    }
+  }
+  return r;
+}
+
+void Server::send_frame(int fd, const FrameHeader& header,
+                        std::span<const std::uint8_t> payload) {
+  Conn& c = conns_[fd];
+  if (!c.active) return;
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  encode_frame(header, payload, frame);
+  c.out.append(frame.data(), frame.size());
+  flush_conn(fd);
+}
+
+void Server::send_error(int fd, std::uint64_t request_id, Op op,
+                        Status status, const std::string& message) {
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(message.data());
+  send_frame(fd, {static_cast<std::uint32_t>(message.size()),
+                  kProtocolVersion, op, status, request_id},
+             std::span<const std::uint8_t>(bytes, message.size()));
+}
+
+void Server::flush_conn(int fd) {
+  Conn& c = conns_[fd];
+  if (!c.active) return;
+  const IoResult r = c.out.drain_to_fd(fd);
+  if (r.status == IoStatus::kError) {
+    close_conn(fd);
+    return;
+  }
+  if (c.out.empty()) {
+    if (c.want_write) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = fd;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+      c.want_write = false;
+    }
+    if ((c.close_after_flush || c.read_closed) && c.inflight == 0) {
+      close_conn(fd);
+    }
+    return;
+  }
+  if (!c.want_write) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+    c.want_write = true;
+  }
+}
+
+void Server::close_conn(int fd) {
+  Conn& c = conns_[fd];
+  if (!c.active) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  c = Conn{};  // gen mismatch now voids any in-flight batcher responses
+  connections_open_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Server::deliver_responses() {
+  std::vector<Response> batch;
+  {
+    const util::MutexLock lock(rmu_);
+    batch.swap(responses_);
+  }
+  // Two passes: append every frame, then flush each connection once — a
+  // whole batch of responses to one connection costs one sendmsg, not one
+  // per response.
+  std::vector<std::pair<int, std::uint64_t>> dirty;
+  for (Response& r : batch) {
+    if (static_cast<std::size_t>(r.fd) >= conns_.size()) continue;
+    Conn& c = conns_[r.fd];
+    if (!c.active || c.gen != r.gen) continue;  // connection was replaced
+    if (c.inflight > 0) c.inflight--;
+    c.out.append(r.frame.data(), r.frame.size());
+    if (dirty.empty() || dirty.back().first != r.fd) {
+      dirty.emplace_back(r.fd, r.gen);
+    }
+  }
+  for (const auto& [fd, gen] : dirty) {
+    const Conn& c = conns_[fd];
+    // An earlier flush in this loop may have errored out and recycled the
+    // slot; the generation check keeps us off a stranger's connection.
+    if (!c.active || c.gen != gen) continue;
+    flush_conn(fd);
+  }
+}
+
+// ---- batcher side ----------------------------------------------------------
+
+bool Server::enqueue_work(WorkItem&& item, std::size_t units) {
+  const util::MutexLock lock(bmu_);
+  if (queued_units_ + units > opts_.queue_depth) return false;
+  queued_units_ += units;
+  queue_.push_back(std::move(item));
+  bcv_.notify_one();
+  return true;
+}
+
+void Server::batch_loop() {
+  std::vector<WorkItem> flush;
+  while (collect_flush(flush)) {
+    process_flush(flush);
+    flush.clear();
+  }
+}
+
+bool Server::collect_flush(std::vector<WorkItem>& flush) {
+  const util::MutexLock lock(bmu_);
+  for (;;) {
+    if (batch_stop_) return false;
+    if (!queue_.empty()) {
+      // Flush now if (a) an update is at the head (it runs alone, as a
+      // fence), (b) enough units are queued, or (c) the oldest request has
+      // waited out the delay budget.
+      if (queue_.front().op == Op::kApplyUpdate) {
+        flush.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+        queued_units_ -= 1;
+        return true;
+      }
+      std::size_t units = 0;
+      for (const WorkItem& it : queue_) {
+        if (it.op == Op::kApplyUpdate) break;
+        units += it.op == Op::kDistances
+                     ? std::max<std::size_t>(it.targets.size(), 1)
+                     : 1;
+        if (units >= opts_.max_batch) break;
+      }
+      const std::uint64_t oldest = queue_.front().enqueue_us;
+      const std::uint64_t age = now_us() - oldest;
+      if (units >= opts_.max_batch || age >= opts_.max_delay_us) {
+        std::size_t taken = 0;
+        while (!queue_.empty() && taken < opts_.max_batch &&
+               queue_.front().op != Op::kApplyUpdate) {
+          WorkItem it = std::move(queue_.front());
+          queue_.pop_front();
+          const std::size_t u =
+              it.op == Op::kDistances
+                  ? std::max<std::size_t>(it.targets.size(), 1)
+                  : 1;
+          taken += u;
+          queued_units_ -= u;
+          flush.push_back(std::move(it));
+        }
+        return true;
+      }
+      // Not full yet: sleep out the remainder of the delay budget.
+      bcv_.wait_for(bmu_,
+                    std::chrono::microseconds(opts_.max_delay_us - age));
+      continue;
+    }
+    bcv_.wait(bmu_);
+  }
+}
+
+void Server::process_flush(std::vector<WorkItem>& flush) {
+  if (flush.empty()) return;
+
+  // An update flush is always a single item (collect_flush's fence).
+  if (flush.front().op == Op::kApplyUpdate) {
+    WorkItem& it = flush.front();
+    Response resp;
+    resp.fd = it.fd;
+    resp.gen = it.gen;
+    try {
+      const core::UpdateStats us = engine_.apply_update(*graph_, it.update);
+      updates_total_.fetch_add(1, std::memory_order_relaxed);
+      UpdateReply reply;
+      reply.epoch = engine_.epoch();
+      reply.affected_vicinities =
+          static_cast<std::uint32_t>(us.affected_vicinities);
+      reply.boundary_patches = static_cast<std::uint32_t>(us.boundary_patches);
+      reply.landmark_rows_refreshed =
+          static_cast<std::uint32_t>(us.landmark_rows_refreshed);
+      reply.full_rebuild = us.full_rebuild;
+      std::vector<std::uint8_t> payload;
+      FrameWriter w(payload);
+      write_update_reply(w, reply);
+      resp.frame =
+          make_frame(Op::kApplyUpdate, Status::kOk, it.request_id, payload);
+    } catch (const std::exception& e) {
+      errors_total_.fetch_add(1, std::memory_order_relaxed);
+      resp.frame = make_error_frame(Op::kApplyUpdate, Status::kError,
+                                    it.request_id, e.what());
+    }
+    record_latencies(
+        {static_cast<double>(now_us() - flush.front().enqueue_us)});
+    post_response(std::move(resp));
+    wake_io();
+    return;
+  }
+
+  // Coalesce every distance-type unit of the flush into one engine batch.
+  std::vector<core::Query> queries;
+  std::vector<std::size_t> offsets(flush.size(), 0);
+  for (std::size_t i = 0; i < flush.size(); ++i) {
+    const WorkItem& it = flush[i];
+    offsets[i] = queries.size();
+    switch (it.op) {
+      case Op::kDistance:
+        queries.push_back({it.s, it.t});
+        break;
+      case Op::kDistances:
+        for (const NodeId t : it.targets) queries.push_back({it.s, t});
+        break;
+      default:
+        break;  // kPath answered via engine_.path below
+    }
+  }
+
+  std::vector<core::QueryResult> results(queries.size());
+  std::uint64_t epoch = 0;
+  std::string batch_error;
+  try {
+    epoch = engine_.run_batch_epoch(queries, results);
+  } catch (const std::exception& e) {
+    batch_error = e.what();  // defensive: ids were validated at parse time
+  }
+  if (!queries.empty() && batch_error.empty()) {
+    batches_total_.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t seen = max_batch_seen_.load(std::memory_order_relaxed);
+    while (seen < queries.size() &&
+           !max_batch_seen_.compare_exchange_weak(
+               seen, queries.size(), std::memory_order_relaxed)) {
+    }
+  }
+
+  const auto to_record = [](const core::QueryResult& qr) {
+    DistanceRecord rec;
+    rec.dist = qr.dist;
+    rec.method = static_cast<std::uint8_t>(qr.method);
+    rec.exact = qr.exact;
+    return rec;
+  };
+
+  std::vector<double> latencies;
+  latencies.reserve(flush.size());
+  std::vector<Response> out;
+  out.reserve(flush.size());
+  std::uint64_t answered_queries = 0;
+
+  for (std::size_t i = 0; i < flush.size(); ++i) {
+    WorkItem& it = flush[i];
+    Response resp;
+    resp.fd = it.fd;
+    resp.gen = it.gen;
+    if (!batch_error.empty() && it.op != Op::kPath) {
+      resp.frame =
+          make_error_frame(it.op, Status::kError, it.request_id, batch_error);
+      errors_total_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      std::vector<std::uint8_t> payload;
+      FrameWriter w(payload);
+      switch (it.op) {
+        case Op::kDistance: {
+          w.u64(epoch);
+          write_distance_record(w, to_record(results[offsets[i]]));
+          resp.frame =
+              make_frame(Op::kDistance, Status::kOk, it.request_id, payload);
+          answered_queries += 1;
+          break;
+        }
+        case Op::kDistances: {
+          w.u64(epoch);
+          w.u32(static_cast<std::uint32_t>(it.targets.size()));
+          for (std::size_t k = 0; k < it.targets.size(); ++k) {
+            write_distance_record(w, to_record(results[offsets[i] + k]));
+          }
+          resp.frame =
+              make_frame(Op::kDistances, Status::kOk, it.request_id, payload);
+          answered_queries += it.targets.size();
+          break;
+        }
+        case Op::kPath: {
+          try {
+            const core::PathResult pr = engine_.path(it.s, it.t, batch_ctx_);
+            DistanceRecord rec;
+            rec.dist = pr.dist;
+            rec.method = static_cast<std::uint8_t>(pr.method);
+            rec.exact = pr.exact;
+            w.u64(engine_.epoch());
+            write_distance_record(w, rec);
+            w.u32(static_cast<std::uint32_t>(pr.path.size()));
+            for (const NodeId node : pr.path) w.u32(node);
+            resp.frame =
+                make_frame(Op::kPath, Status::kOk, it.request_id, payload);
+            answered_queries += 1;
+          } catch (const std::exception& e) {
+            errors_total_.fetch_add(1, std::memory_order_relaxed);
+            resp.frame = make_error_frame(Op::kPath, Status::kError,
+                                          it.request_id, e.what());
+          }
+          break;
+        }
+        default:
+          resp.frame = make_error_frame(it.op, Status::kError, it.request_id,
+                                        "unexpected op in batch");
+          break;
+      }
+    }
+    latencies.push_back(static_cast<double>(now_us() - it.enqueue_us));
+    out.push_back(std::move(resp));
+  }
+
+  queries_total_.fetch_add(answered_queries, std::memory_order_relaxed);
+  record_latencies(latencies);
+  {
+    const util::MutexLock lock(rmu_);
+    for (Response& r : out) responses_.push_back(std::move(r));
+  }
+  wake_io();
+}
+
+void Server::post_response(Response&& r) {
+  const util::MutexLock lock(rmu_);
+  responses_.push_back(std::move(r));
+}
+
+void Server::record_latencies(const std::vector<double>& samples_us) {
+  const util::MutexLock lock(smu_);
+  for (const double s : samples_us) {
+    latency_ring_[latency_next_] = s;
+    latency_next_ = (latency_next_ + 1) % latency_ring_.size();
+    if (latency_count_ < latency_ring_.size()) latency_count_++;
+  }
+}
+
+}  // namespace vicinity::net

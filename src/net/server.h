@@ -1,0 +1,220 @@
+// vicinityd's serving core: a non-blocking epoll event loop speaking the
+// net/protocol.h framing, feeding an admission/batching layer over
+// core::QueryEngine.
+//
+// Architecture (two threads + the engine's worker pool):
+//
+//   event-loop thread          batcher thread            QueryEngine pool
+//   ----------------------     ----------------------    ----------------
+//   accept4 / read frames  ->  coalesce queries up to    run_batch_epoch
+//   parse + validate           max_batch or max_delay    (N worker lanes)
+//   admission (queue depth) <- serialize responses   <-  results + epoch
+//   write ring buffers         record latencies
+//
+// The event loop owns every socket: level-triggered EPOLLIN|EPOLLOUT per
+// connection with read/write ring buffers (net/ring_buffer.h), so partial
+// reads and short writes are plain buffered state, never blocking. Query
+// work crosses to the batcher through a guarded queue; finished responses
+// cross back through a response queue plus an eventfd wakeup. PING and
+// STATS are answered inline on the event loop — they are observability
+// ops and must not queue behind the traffic they are observing.
+//
+// Batching contract: the batcher drains requests FIFO and flushes a batch
+// when it holds max_batch query units or the oldest waiting request is
+// max_delay_us old. Each flush is one QueryEngine::run_batch_epoch call,
+// so every answer in it is computed at a single engine epoch (stamped
+// into the response). APPLY_UPDATE acts as a batch fence: requests queued
+// before it are flushed first, then the update runs (advancing the
+// epoch), then later requests see the new index — epoch-consistent
+// serving under a live update stream. Past queue_depth pending query
+// units, admission sheds new requests with a BUSY response instead of
+// letting the queue (and tail latency) grow without bound.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/query_engine.h"
+#include "graph/graph.h"
+#include "net/protocol.h"
+#include "net/ring_buffer.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace vicinity::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds a kernel-assigned ephemeral port; read it back via port().
+  std::uint16_t port = 0;
+  /// QueryEngine worker-pool width; 0 selects hardware concurrency.
+  unsigned engine_threads = 0;
+  /// Flush a batch at this many coalesced query units (a DISTANCES
+  /// request with n targets counts n units).
+  std::size_t max_batch = 512;
+  /// ... or when the oldest queued request has waited this long.
+  std::uint32_t max_delay_us = 200;
+  /// Admission limit: pending query units beyond this are shed with BUSY.
+  std::size_t queue_depth = 8192;
+  /// Per-frame payload cap (hostile length prefixes allocate nothing
+  /// beyond it).
+  std::uint32_t max_payload_bytes = kMaxPayloadBytes;
+  /// Request latencies kept for the STATS percentiles (ring of the most
+  /// recent samples).
+  std::size_t latency_window = 1 << 16;
+};
+
+/// The serving loop. Construct over a built oracle (any backend), start(),
+/// and it answers protocol ops on a loopback/TCP socket until stop().
+/// stop() (and the destructor) joins both threads and closes every fd —
+/// no leaks under ASan even when connections are mid-flight.
+class Server {
+ public:
+  /// `graph` must be the graph the oracle was built on and outlive the
+  /// server; pass nullptr to refuse APPLY_UPDATE with an ERROR response
+  /// (a frozen snapshot server). The oracle is shared: the caller may keep
+  /// querying it through its own contexts while the server runs.
+  Server(std::shared_ptr<core::AnyOracle> oracle, graph::Graph* graph,
+         ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the event-loop + batcher threads. Throws
+  /// std::runtime_error when the socket cannot be set up.
+  void start();
+
+  /// Graceful shutdown: wakes the event loop, joins both threads, closes
+  /// every connection. Idempotent; safe to call from a signal-driven path
+  /// (it only sets a flag and writes an eventfd before joining).
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (useful with options.port == 0). Valid after start().
+  std::uint16_t port() const { return bound_port_; }
+
+  /// The same numbers the STATS op reports, for in-process callers.
+  StatsReply stats_snapshot();
+
+  core::QueryEngine& engine() { return engine_; }
+
+ private:
+  struct Conn {
+    std::uint64_t gen = 0;
+    RingBuffer in;
+    RingBuffer out;
+    bool active = false;
+    bool want_write = false;       ///< EPOLLOUT currently armed
+    bool close_after_flush = false;
+    bool read_closed = false;      ///< peer EOF seen; drain then close
+    std::uint32_t inflight = 0;    ///< requests owned by the batcher
+  };
+
+  /// One request unit crossing to the batcher.
+  struct WorkItem {
+    Op op = Op::kDistance;
+    int fd = -1;
+    std::uint64_t gen = 0;
+    std::uint64_t request_id = 0;
+    std::uint64_t enqueue_us = 0;
+    NodeId s = 0;
+    NodeId t = 0;
+    std::vector<NodeId> targets;  ///< kDistances only
+    core::GraphUpdate update;     ///< kApplyUpdate only
+  };
+
+  struct Response {
+    int fd = -1;
+    std::uint64_t gen = 0;
+    std::vector<std::uint8_t> frame;
+  };
+
+  // -- event-loop side -----------------------------------------------------
+  void io_loop();
+  void accept_ready();
+  void conn_readable(int fd);
+  void conn_writable(int fd);
+  void parse_frames(int fd);
+  void dispatch(int fd, const FrameHeader& header,
+                std::span<const std::uint8_t> payload);
+  void answer_stats(int fd, std::uint64_t request_id);
+  void send_frame(int fd, const FrameHeader& header,
+                  std::span<const std::uint8_t> payload);
+  void send_error(int fd, std::uint64_t request_id, Op op, Status status,
+                  const std::string& message);
+  void flush_conn(int fd);
+  void close_conn(int fd);
+  void deliver_responses() VICINITY_EXCLUDES(rmu_);
+
+  // -- batcher side --------------------------------------------------------
+  void batch_loop();
+  bool collect_flush(std::vector<WorkItem>& flush) VICINITY_EXCLUDES(bmu_);
+  void process_flush(std::vector<WorkItem>& flush);
+  bool enqueue_work(WorkItem&& item, std::size_t units)
+      VICINITY_EXCLUDES(bmu_);
+  void post_response(Response&& r) VICINITY_EXCLUDES(rmu_);
+  void record_latencies(const std::vector<double>& samples_us)
+      VICINITY_EXCLUDES(smu_);
+  void wake_io();
+
+  static std::uint64_t now_us();
+
+  std::shared_ptr<core::AnyOracle> oracle_;
+  graph::Graph* graph_;  ///< null = updates refused
+  ServerOptions opts_;
+  core::QueryEngine engine_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd: batcher -> event loop
+  std::uint16_t bound_port_ = 0;
+  std::vector<Conn> conns_;  ///< indexed by fd
+  std::uint64_t next_gen_ = 1;
+  std::uint64_t start_us_ = 0;
+
+  std::thread io_thread_;
+  std::thread batch_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+
+  /// Batcher-thread-only query scratch for PATH requests (engine.path runs
+  /// on a caller context; the batcher is the sole query/update issuer, so
+  /// no fencing beyond the engine's own batch lock is needed).
+  core::QueryContext batch_ctx_;
+
+  util::Mutex bmu_;  ///< admission queue
+  std::deque<WorkItem> queue_ VICINITY_GUARDED_BY(bmu_);
+  std::size_t queued_units_ VICINITY_GUARDED_BY(bmu_) = 0;
+  bool batch_stop_ VICINITY_GUARDED_BY(bmu_) = false;
+  util::CondVar bcv_;
+
+  util::Mutex rmu_;  ///< finished responses, batcher -> event loop
+  std::vector<Response> responses_ VICINITY_GUARDED_BY(rmu_);
+
+  util::Mutex smu_;  ///< latency window + qps snapshot state
+  std::vector<double> latency_ring_ VICINITY_GUARDED_BY(smu_);
+  std::size_t latency_next_ VICINITY_GUARDED_BY(smu_) = 0;
+  std::size_t latency_count_ VICINITY_GUARDED_BY(smu_) = 0;
+  std::uint64_t last_stats_us_ VICINITY_GUARDED_BY(smu_) = 0;
+  std::uint64_t last_stats_queries_ VICINITY_GUARDED_BY(smu_) = 0;
+
+  // Monotonic counters, written by whichever thread observes the event.
+  std::atomic<std::uint64_t> queries_total_{0};
+  std::atomic<std::uint64_t> requests_total_{0};
+  std::atomic<std::uint64_t> batches_total_{0};
+  std::atomic<std::uint64_t> shed_total_{0};
+  std::atomic<std::uint64_t> errors_total_{0};
+  std::atomic<std::uint64_t> updates_total_{0};
+  std::atomic<std::uint64_t> connections_open_{0};
+  std::atomic<std::uint64_t> connections_total_{0};
+  std::atomic<std::uint64_t> max_batch_seen_{0};
+};
+
+}  // namespace vicinity::net

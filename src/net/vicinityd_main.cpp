@@ -1,0 +1,143 @@
+// vicinityd — the network daemon: serve a vicinity index over TCP with the
+// net/protocol.h framing (see net/server.h for the serving architecture).
+//
+//   vicinityd --graph=graph.bin [--index=index.vci] [--port=0]
+//             [--host=127.0.0.1] [--threads=0] [--max-batch=512]
+//             [--max-delay-us=200] [--queue-depth=8192] [--frozen]
+//             [--no-mmap] [--alpha=N] [--verbose]
+//
+// --graph is required (the binary container from `vicinity_cli gen` /
+// graph::save_binary_file). With --index the persisted index is opened —
+// a VCNIDX05 container memory-maps in milliseconds, so a daemon restart
+// costs roughly an mmap, not a rebuild — otherwise the oracle is built
+// in-process first (minutes on large graphs; prefer `vicinity_cli build`
+// once and --index thereafter).
+//
+// Prints exactly one line `listening on HOST:PORT` to stdout once the
+// socket is accepting (drivers parse it to learn an ephemeral --port=0
+// pick), then serves until SIGTERM/SIGINT, shutting down cleanly: stop
+// accepting, join the event-loop and batcher threads, close every fd.
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/options.h"
+#include "core/serialize.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "net/server.h"
+#include "util/log.h"
+#include "vicinity_index.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_stop(int) { g_stop = 1; }
+
+std::string flag_value(int argc, char** argv, const std::string& name,
+                       const std::string& fallback = "") {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind(prefix, 0) == 0) {
+      return std::string(argv[i]).substr(prefix.size());
+    }
+  }
+  return fallback;
+}
+
+bool has_flag(int argc, char** argv, const std::string& name) {
+  const std::string flag = "--" + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+int usage() {
+  std::cerr
+      << "usage: vicinityd --graph=FILE.bin [--index=FILE.vci] [--port=N]\n"
+         "                 [--host=ADDR] [--threads=N] [--max-batch=N]\n"
+         "                 [--max-delay-us=N] [--queue-depth=N] [--frozen]\n"
+         "                 [--no-mmap] [--alpha=N] [--verbose]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vicinity;
+
+  const std::string graph_path = flag_value(argc, argv, "graph");
+  if (graph_path.empty() || has_flag(argc, argv, "help")) return usage();
+  if (has_flag(argc, argv, "verbose")) {
+    util::set_log_level(util::LogLevel::kDebug);
+  }
+
+  net::ServerOptions opts;
+  opts.host = flag_value(argc, argv, "host", "127.0.0.1");
+  opts.port = static_cast<std::uint16_t>(
+      std::stoul(flag_value(argc, argv, "port", "0")));
+  opts.engine_threads = static_cast<unsigned>(
+      std::stoul(flag_value(argc, argv, "threads", "0")));
+  opts.max_batch = std::stoul(flag_value(argc, argv, "max-batch", "512"));
+  opts.max_delay_us = static_cast<std::uint32_t>(
+      std::stoul(flag_value(argc, argv, "max-delay-us", "200")));
+  opts.queue_depth =
+      std::stoul(flag_value(argc, argv, "queue-depth", "8192"));
+
+  try {
+    graph::Graph g = graph::load_binary_file(graph_path);
+    std::cerr << "vicinityd: graph " << g.summary() << "\n";
+
+    const std::string index_path = flag_value(argc, argv, "index");
+    Index index = [&] {
+      if (!index_path.empty()) {
+        core::OpenOptions open;
+        if (has_flag(argc, argv, "no-mmap")) {
+          open.mode = core::OpenMode::kHeap;
+        }
+        return Index::open(index_path, g, open);
+      }
+      core::OracleOptions build;
+      const std::string alpha = flag_value(argc, argv, "alpha");
+      if (!alpha.empty()) build.alpha = std::stod(alpha);
+      std::cerr << "vicinityd: no --index, building the oracle in-process "
+                   "(persist one with vicinity_cli build to skip this)\n";
+      return Index::build(g, build);
+    }();
+
+    // --frozen drops the graph pointer: APPLY_UPDATE answers ERROR and the
+    // served snapshot can never mutate.
+    graph::Graph* mutable_graph =
+        has_flag(argc, argv, "frozen") ? nullptr : &g;
+    net::Server server(index.shared_oracle(), mutable_graph, opts);
+    server.start();
+
+    std::cout << "listening on " << opts.host << ":" << server.port()
+              << std::endl;  // flush: drivers block on this line
+
+    struct sigaction sa{};
+    sa.sa_handler = handle_stop;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+    while (g_stop == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::cerr << "vicinityd: signal received, shutting down\n";
+    server.stop();
+    const net::StatsReply s = server.stats_snapshot();
+    std::cerr << "vicinityd: served " << s.requests_total << " requests ("
+              << s.queries_total << " queries, " << s.updates_total
+              << " updates, " << s.shed_total << " shed, " << s.errors_total
+              << " errors)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "vicinityd: fatal: " << e.what() << "\n";
+    return 1;
+  }
+}

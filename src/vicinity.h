@@ -65,6 +65,10 @@
 #include "graph/gstats.h"
 #include "graph/io.h"
 #include "graph/transform.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/ring_buffer.h"
+#include "net/server.h"
 #include "util/bit_vector.h"
 #include "util/bucket_queue.h"
 #include "util/csv.h"

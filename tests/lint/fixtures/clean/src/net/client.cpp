@@ -1,0 +1,24 @@
+// Clean fixture: client.cpp is the one sanctioned home for blocking socket
+// calls, and its syscalls retry on EINTR.
+#include <cerrno>
+#include <sys/socket.h>
+
+namespace fixture {
+
+int blocking_connect(int fd, const sockaddr* addr, unsigned len) {
+  int r;
+  do {
+    r = ::connect(fd, addr, len);
+  } while (r < 0 && errno == EINTR);
+  return r;
+}
+
+long careful_recv(int fd, void* buf, unsigned long n) {
+  long r;
+  do {
+    r = ::recv(fd, buf, n, 0);
+  } while (r < 0 && errno == EINTR);
+  return r;
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Clean fixture: server-side syscalls with idiomatic EINTR retry, plus an
+// allow-marked blocking call (a deliberate, documented exception).
+#include <cerrno>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+namespace fixture {
+
+int wait_ready(int epfd, epoll_event* events, int cap) {
+  int n;
+  do {
+    n = ::epoll_wait(epfd, events, cap, -1);
+  } while (n < 0 && errno == EINTR);
+  return n;
+}
+
+int sanctioned_blocking_probe(int fd, const sockaddr* addr, unsigned len) {
+  // vicinity-lint: allow(net-no-blocking-outside-client)
+  return ::connect(fd, addr, len);
+}
+
+}  // namespace fixture

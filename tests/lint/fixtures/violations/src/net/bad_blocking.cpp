@@ -1,0 +1,12 @@
+// Seeded violation: a blocking connect outside client.cpp (this file
+// stands in for server-side code, where one blocking call on the event
+// loop stalls every connection).
+#include <sys/socket.h>
+
+namespace fixture {
+
+int stall_the_event_loop(int fd, const sockaddr* addr, unsigned len) {
+  return ::connect(fd, addr, len);
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Seeded violation: raw syscalls with no EINTR handling anywhere nearby.
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace fixture {
+
+long drop_on_signal(int fd, void* buf, unsigned long n) {
+  // A signal during this recv returns -1/EINTR and this code reports it as
+  // a connection error.
+  long r = ::recv(fd, buf, n, 0);
+  if (r < 0) return -1;
+  return r;
+}
+
+}  // namespace fixture

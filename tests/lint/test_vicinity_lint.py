@@ -57,6 +57,14 @@ class ViolationFixtureTest(unittest.TestCase):
         self.assertIn("[bench-baseline-keys]", self.output)
         self.assertIn("query_qps_bets", self.output)
 
+    def test_net_eintr_rule_fires(self):
+        self.assertIn("[net-syscall-eintr]", self.output)
+        self.assertIn("bad_syscall.cpp", self.output)
+
+    def test_net_blocking_rule_fires(self):
+        self.assertIn("[net-no-blocking-outside-client]", self.output)
+        self.assertIn("bad_blocking.cpp", self.output)
+
 
 class CleanFixtureTest(unittest.TestCase):
     @classmethod
@@ -71,6 +79,12 @@ class CleanFixtureTest(unittest.TestCase):
         # out-of-umbrella header; neither may be reported.
         self.assertNotIn("core-no-std-unordered-map", self.output)
         self.assertNotIn("umbrella-header", self.output)
+
+    def test_net_rules_stay_silent_on_clean_tree(self):
+        # client.cpp's blocking connect is sanctioned; the EINTR retry
+        # loops and the allow-marked blocking probe must not be reported.
+        self.assertNotIn("net-syscall-eintr", self.output)
+        self.assertNotIn("net-no-blocking-outside-client", self.output)
 
 
 class RealTreeTest(unittest.TestCase):

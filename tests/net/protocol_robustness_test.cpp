@@ -1,0 +1,251 @@
+// Protocol robustness: hostile and broken byte streams against a live
+// server. The contract under attack traffic is narrow — answer ERROR (or
+// BUSY) and/or disconnect cleanly; never crash, never hang, never let one
+// poisoned connection affect another.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/any_oracle.h"
+#include "core/oracle.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace vicinity::net {
+namespace {
+
+class Robustness : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = vicinity::testing::random_connected(300, 1200, /*seed=*/21);
+    core::OracleOptions opts;
+    opts.seed = 7;
+    oracle_ =
+        core::make_any_oracle(core::VicinityOracle::build(graph_, opts));
+    server_ = std::make_unique<Server>(oracle_, &graph_, ServerOptions{});
+    server_->start();
+  }
+
+  void TearDown() override { server_->stop(); }
+
+  Client connect() {
+    Client c(ClientOptions{/*recv_timeout_ms=*/10000});
+    c.connect("127.0.0.1", server_->port());
+    return c;
+  }
+
+  /// The server must still serve fresh connections correctly — the proof
+  /// that a hostile stream poisoned nothing shared.
+  void expect_server_alive() {
+    Client c = connect();
+    c.ping();
+    EXPECT_LE(c.distance(0, 1).record.dist, kInfDistance);
+    c.close();
+  }
+
+  std::vector<std::uint8_t> frame(Op op,
+                                  std::span<const std::uint8_t> payload,
+                                  std::uint8_t version = kProtocolVersion) {
+    FrameHeader h;
+    h.payload_len = static_cast<std::uint32_t>(payload.size());
+    h.version = version;
+    h.op = op;
+    h.request_id = 99;
+    std::vector<std::uint8_t> out;
+    encode_frame(h, payload, out);
+    return out;
+  }
+
+  graph::Graph graph_;
+  std::shared_ptr<core::AnyOracle> oracle_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(Robustness, WrongVersionGetsErrorThenDisconnect) {
+  Client c = connect();
+  std::vector<std::uint8_t> payload;
+  FrameWriter w(payload);
+  w.u32(0);
+  w.u32(1);
+  const auto f = frame(Op::kDistance, payload, /*version=*/42);
+  c.send_bytes(f.data(), f.size());
+  auto r = c.recv_reply();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->header.status, Status::kError);
+  EXPECT_FALSE(c.recv_reply().has_value());  // clean close follows
+  expect_server_alive();
+}
+
+TEST_F(Robustness, UnknownOpGetsErrorThenDisconnect) {
+  Client c = connect();
+  const auto f = frame(static_cast<Op>(kMaxOp + 7), {});
+  c.send_bytes(f.data(), f.size());
+  auto r = c.recv_reply();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->header.status, Status::kError);
+  EXPECT_FALSE(c.recv_reply().has_value());
+  expect_server_alive();
+}
+
+TEST_F(Robustness, OversizedLengthPrefixGetsErrorThenDisconnect) {
+  Client c = connect();
+  // A header whose length prefix claims 256 MiB. The server must reject it
+  // from the header alone — allocating 256 MiB for a hostile frame is the
+  // bug this test pins down.
+  FrameHeader h;
+  h.payload_len = 256u << 20;
+  h.op = Op::kDistance;
+  h.request_id = 1;
+  std::vector<std::uint8_t> hdr;
+  encode_header(h, hdr);
+  c.send_bytes(hdr.data(), hdr.size());
+  auto r = c.recv_reply();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->header.status, Status::kError);
+  EXPECT_FALSE(c.recv_reply().has_value());
+  expect_server_alive();
+}
+
+TEST_F(Robustness, TruncatedPayloadKeepsConnectionUsable) {
+  // A well-framed frame whose payload is shorter than the op demands: the
+  // stream stays in sync, so the server answers ERROR and keeps serving
+  // the same connection.
+  Client c = connect();
+  std::vector<std::uint8_t> payload;
+  FrameWriter w(payload);
+  w.u32(0);  // kDistance wants 8 bytes; send 4
+  const auto f = frame(Op::kDistance, payload);
+  c.send_bytes(f.data(), f.size());
+  auto r = c.recv_reply();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->header.status, Status::kError);
+  // Same connection still answers real queries.
+  EXPECT_LE(c.distance(0, 1).record.dist, kInfDistance);
+  c.close();
+}
+
+TEST_F(Robustness, TrailingGarbageInPayloadIsError) {
+  Client c = connect();
+  std::vector<std::uint8_t> payload;
+  FrameWriter w(payload);
+  w.u32(0);
+  w.u32(1);
+  w.u32(0xDEADBEEF);  // extra bytes after a valid kDistance payload
+  const auto f = frame(Op::kDistance, payload);
+  c.send_bytes(f.data(), f.size());
+  auto r = c.recv_reply();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->header.status, Status::kError);
+  c.ping();  // still usable
+  c.close();
+}
+
+TEST_F(Robustness, DistancesCountMismatchIsError) {
+  Client c = connect();
+  std::vector<std::uint8_t> payload;
+  FrameWriter w(payload);
+  w.u32(0);
+  w.u32(1000);  // claims 1000 targets, provides none
+  const auto f = frame(Op::kDistances, payload);
+  c.send_bytes(f.data(), f.size());
+  auto r = c.recv_reply();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->header.status, Status::kError);
+  c.ping();
+  c.close();
+}
+
+TEST_F(Robustness, PartialFrameThenCloseNeverHangsTheServer) {
+  {
+    Client c = connect();
+    // Half a header...
+    const std::uint8_t half[7] = {8, 0, 0, 0, kProtocolVersion, 1, 0};
+    c.send_bytes(half, sizeof half);
+    c.close();  // ...then vanish
+  }
+  {
+    Client c = connect();
+    // A full header promising 8 payload bytes, then only 3, then vanish.
+    std::vector<std::uint8_t> payload;
+    FrameWriter w(payload);
+    w.u32(0);
+    w.u32(1);
+    auto f = frame(Op::kDistance, payload);
+    f.resize(kFrameHeaderBytes + 3);
+    c.send_bytes(f.data(), f.size());
+    c.close();
+  }
+  expect_server_alive();
+}
+
+TEST_F(Robustness, FrameDeliveredOneByteAtATime) {
+  // Maximal fragmentation: every byte is a separate TCP segment. The
+  // server's partial-read state machine must reassemble it.
+  Client c = connect();
+  std::vector<std::uint8_t> payload;
+  FrameWriter w(payload);
+  w.u32(2);
+  w.u32(3);
+  const auto f = frame(Op::kDistance, payload);
+  for (const std::uint8_t byte : f) c.send_bytes(&byte, 1);
+  auto r = c.recv_reply();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->header.status, Status::kOk);
+  EXPECT_EQ(r->header.request_id, 99u);
+  c.close();
+}
+
+TEST_F(Robustness, RandomGarbageStreamsNeverCrashTheServer) {
+  util::Rng rng(0xFEED);
+  for (int round = 0; round < 10; ++round) {
+    // Short recv timeout: garbage that decodes as a truncated-but-valid
+    // header leaves the server (correctly) waiting for more bytes, and
+    // this test must not serialize ten 10-second waits.
+    Client c(ClientOptions{/*recv_timeout_ms=*/500});
+    c.connect("127.0.0.1", server_->port());
+    std::vector<std::uint8_t> junk(1 + rng.next_below(512));
+    for (auto& b : junk) {
+      b = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    c.send_bytes(junk.data(), junk.size());
+    // Whatever happens — ERROR frames, disconnect, silence while the
+    // server waits for more bytes — must not be a crash. Drain until the
+    // server closes or stops answering.
+    try {
+      while (c.recv_reply().has_value()) {
+      }
+    } catch (const ClientTimeout&) {
+      // Garbage that parses as an incomplete frame leaves the server
+      // legitimately waiting for the rest; that is not a failure.
+    }
+    c.close();
+  }
+  expect_server_alive();
+}
+
+TEST_F(Robustness, UpdateKindGarbageIsError) {
+  Client c = connect();
+  std::vector<std::uint8_t> payload;
+  FrameWriter w(payload);
+  w.u8(200);  // not a valid UpdateKind
+  w.u8(0);
+  w.u8(0);
+  w.u8(0);
+  w.u32(0);
+  w.u32(1);
+  w.u32(1);
+  const auto f = frame(Op::kApplyUpdate, payload);
+  c.send_bytes(f.data(), f.size());
+  auto r = c.recv_reply();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->header.status, Status::kError);
+  c.ping();
+  c.close();
+}
+
+}  // namespace
+}  // namespace vicinity::net

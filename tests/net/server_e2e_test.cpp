@@ -1,0 +1,313 @@
+// In-process end-to-end server tests: a real net::Server on a loopback
+// socket, driven through net::Client. The load-bearing assertion is
+// bit-identity — every answer served over the wire must equal the answer
+// the same QueryEngine gives in-process — plus the serving semantics:
+// pipelining, the APPLY_UPDATE epoch fence, BUSY admission shedding,
+// STATS accounting and clean shutdown with connections open.
+//
+// The CI job additionally runs scripts/server_e2e.py against the real
+// vicinityd binary (process boundary, SIGTERM path); these tests cover
+// the same protocol surface where ASan/TSan can see both sides.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/any_oracle.h"
+#include "core/oracle.h"
+#include "core/query_engine.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "test_support.h"
+
+namespace vicinity::net {
+namespace {
+
+core::OracleOptions small_options() {
+  core::OracleOptions opts;
+  opts.seed = 7;
+  return opts;
+}
+
+/// A running server over a fresh random graph + its in-process twin engine.
+class ServerE2E : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = vicinity::testing::random_connected(600, 2400, /*seed=*/11);
+    oracle_ = core::make_any_oracle(
+        core::VicinityOracle::build(graph_, small_options()));
+    ServerOptions opts;
+    opts.max_delay_us = 100;
+    server_ = std::make_unique<Server>(oracle_, &graph_, opts);
+    server_->start();
+    client_.connect("127.0.0.1", server_->port());
+  }
+
+  void TearDown() override {
+    client_.close();
+    if (server_) server_->stop();
+  }
+
+  graph::Graph graph_;
+  std::shared_ptr<core::AnyOracle> oracle_;
+  std::unique_ptr<Server> server_;
+  Client client_;
+};
+
+TEST_F(ServerE2E, PingPongs) { client_.ping(); }
+
+TEST_F(ServerE2E, DistanceMatchesEngineBitForBit) {
+  core::QueryContext ctx;
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.next_below(graph_.num_nodes()));
+    const NodeId t = static_cast<NodeId>(rng.next_below(graph_.num_nodes()));
+    const DistanceReply got = client_.distance(s, t);
+    const core::QueryResult want = oracle_->distance(s, t, ctx);
+    EXPECT_EQ(got.record.dist, want.dist) << s << "->" << t;
+    EXPECT_EQ(got.record.method, static_cast<std::uint8_t>(want.method));
+    EXPECT_EQ(got.record.exact, want.exact);
+    EXPECT_EQ(got.epoch, server_->engine().epoch());
+  }
+}
+
+TEST_F(ServerE2E, DistancesFanMatchesEngine) {
+  std::vector<NodeId> targets;
+  for (NodeId t = 0; t < 100; ++t) targets.push_back(t * 5);
+  const DistancesReply got = client_.distances(42, targets);
+  ASSERT_EQ(got.records.size(), targets.size());
+  core::QueryContext ctx;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const core::QueryResult want = oracle_->distance(42, targets[i], ctx);
+    EXPECT_EQ(got.records[i].dist, want.dist);
+    EXPECT_EQ(got.records[i].exact, want.exact);
+  }
+}
+
+TEST_F(ServerE2E, EmptyDistancesFanIsAnswered) {
+  const DistancesReply got = client_.distances(1, {});
+  EXPECT_TRUE(got.records.empty());
+}
+
+TEST_F(ServerE2E, PathIsValidAndMatchesDistance) {
+  util::Rng rng(5);
+  core::QueryContext ctx;
+  for (int i = 0; i < 50; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.next_below(graph_.num_nodes()));
+    const NodeId t = static_cast<NodeId>(rng.next_below(graph_.num_nodes()));
+    const PathReply got = client_.path(s, t);
+    const core::PathResult want = oracle_->path(s, t, ctx);
+    EXPECT_EQ(got.record.dist, want.dist);
+    ASSERT_EQ(got.nodes.size(), want.path.size());
+    if (!got.nodes.empty()) {
+      EXPECT_EQ(got.nodes.front(), s);
+      EXPECT_EQ(got.nodes.back(), t);
+      EXPECT_EQ(got.nodes.size(), static_cast<std::size_t>(want.dist) + 1);
+    }
+  }
+}
+
+TEST_F(ServerE2E, PipelinedResponsesMatchByRequestId) {
+  // Fire a burst without reading, then collect and match by id — the
+  // server batches, so completion order is not submission order.
+  struct Sent {
+    std::uint64_t id;
+    NodeId s, t;
+  };
+  std::vector<Sent> sent;
+  util::Rng rng(9);
+  for (int i = 0; i < 64; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.next_below(graph_.num_nodes()));
+    const NodeId t = static_cast<NodeId>(rng.next_below(graph_.num_nodes()));
+    sent.push_back({client_.send_distance(s, t), s, t});
+  }
+  std::vector<DistanceReply> got(sent.size());
+  std::vector<bool> seen(sent.size(), false);
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    auto r = client_.recv_reply();
+    ASSERT_TRUE(r.has_value());
+    const std::uint64_t id = r->header.request_id;
+    std::size_t slot = sent.size();
+    for (std::size_t k = 0; k < sent.size(); ++k) {
+      if (sent[k].id == id) slot = k;
+    }
+    ASSERT_LT(slot, sent.size()) << "unknown request id " << id;
+    EXPECT_FALSE(seen[slot]) << "duplicate response for id " << id;
+    seen[slot] = true;
+    got[slot] = parse_distance_reply(*r);
+  }
+  core::QueryContext ctx;
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    const core::QueryResult want =
+        oracle_->distance(sent[i].s, sent[i].t, ctx);
+    EXPECT_EQ(got[i].record.dist, want.dist);
+  }
+}
+
+TEST_F(ServerE2E, ApplyUpdateAdvancesEpochAndChangesAnswers) {
+  // Find a non-adjacent pair at distance > 1, then insert the edge.
+  const NodeId s = 0;
+  NodeId t = 0;
+  core::QueryContext ctx;
+  for (NodeId cand = 1; cand < graph_.num_nodes(); ++cand) {
+    if (oracle_->distance(s, cand, ctx).dist > 2) {
+      t = cand;
+      break;
+    }
+  }
+  ASSERT_NE(t, 0u) << "graph too dense for the test premise";
+
+  const std::uint64_t epoch_before = server_->engine().epoch();
+  const DistanceReply before = client_.distance(s, t);
+  EXPECT_GT(before.record.dist, 2u);
+  EXPECT_EQ(before.epoch, epoch_before);
+
+  const UpdateReply up = client_.insert_edge(s, t, 1);
+  EXPECT_EQ(up.epoch, epoch_before + 1);
+
+  const DistanceReply after = client_.distance(s, t);
+  EXPECT_EQ(after.record.dist, 1u);
+  EXPECT_EQ(after.epoch, epoch_before + 1);
+
+  const UpdateReply down = client_.remove_edge(s, t);
+  EXPECT_EQ(down.epoch, epoch_before + 2);
+  const DistanceReply restored = client_.distance(s, t);
+  EXPECT_EQ(restored.record.dist, before.record.dist);
+}
+
+TEST_F(ServerE2E, ConcurrentUpdateStreamKeepsAnswersEpochConsistent) {
+  // One thread toggles an edge while others hammer distance queries. Every
+  // response must be internally consistent: the served distance must match
+  // an engine answer possible at SOME epoch, and epochs must only grow.
+  const NodeId s = 0;
+  NodeId t = 0;
+  core::QueryContext ctx;
+  for (NodeId cand = 1; cand < graph_.num_nodes(); ++cand) {
+    if (oracle_->distance(s, cand, ctx).dist > 2) {
+      t = cand;
+      break;
+    }
+  }
+  ASSERT_NE(t, 0u);
+  const Distance far_dist = oracle_->distance(s, t, ctx).dist;
+
+  std::atomic<bool> stop{false};
+  std::thread updater([&] {
+    Client uc;
+    uc.connect("127.0.0.1", server_->port());
+    for (int i = 0; i < 20; ++i) {
+      uc.insert_edge(s, t, 1);
+      uc.remove_edge(s, t);
+    }
+    stop.store(true);
+  });
+
+  Client qc;
+  qc.connect("127.0.0.1", server_->port());
+  std::uint64_t last_epoch = 0;
+  int checked = 0;
+  while (!stop.load()) {
+    const DistanceReply r = qc.distance(s, t);
+    EXPECT_GE(r.epoch, last_epoch) << "epoch went backwards";
+    last_epoch = r.epoch;
+    // With the edge present the distance is 1; absent it is far_dist.
+    // Any other value means a query observed a half-applied update.
+    EXPECT_TRUE(r.record.dist == 1 || r.record.dist == far_dist)
+        << "inconsistent distance " << r.record.dist;
+    ++checked;
+  }
+  updater.join();
+  EXPECT_GT(checked, 0);
+  EXPECT_EQ(server_->engine().epoch(), 40u);
+}
+
+TEST(ServerAdmission, ShedsWithBusyPastQueueDepth) {
+  graph::Graph g = vicinity::testing::random_connected(300, 1000, 13);
+  auto oracle =
+      core::make_any_oracle(core::VicinityOracle::build(g, small_options()));
+  ServerOptions opts;
+  opts.queue_depth = 4;       // tiny: a pipelined burst must overflow it
+  opts.max_delay_us = 50000;  // hold batches so the queue actually fills
+  opts.max_batch = 1u << 20;
+  Server server(oracle, &g, opts);
+  server.start();
+
+  Client c;
+  c.connect("127.0.0.1", server.port());
+  constexpr int kBurst = 64;
+  for (int i = 0; i < kBurst; ++i) c.send_distance(0, 1);
+  int ok = 0, busy = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    auto r = c.recv_reply();
+    ASSERT_TRUE(r.has_value());
+    if (r->header.status == Status::kBusy) {
+      ++busy;
+    } else {
+      ASSERT_EQ(r->header.status, Status::kOk);
+      ++ok;
+    }
+  }
+  EXPECT_GT(busy, 0) << "queue_depth=4 never shed a 64-request burst";
+  EXPECT_GT(ok, 0) << "admission shed everything";
+  const StatsReply stats = server.stats_snapshot();
+  EXPECT_EQ(stats.shed_total, static_cast<std::uint64_t>(busy));
+  c.close();
+  server.stop();
+}
+
+TEST_F(ServerE2E, StatsCountTraffic) {
+  const StatsReply before = client_.stats();
+  for (int i = 0; i < 10; ++i) client_.distance(1, 2);
+  std::vector<NodeId> targets{1, 2, 3};
+  client_.distances(0, targets);
+  const StatsReply after = client_.stats();
+  EXPECT_EQ(after.queries_total, before.queries_total + 13);
+  EXPECT_GE(after.requests_total, before.requests_total + 12);
+  EXPECT_GT(after.batches_total, before.batches_total);
+  EXPECT_EQ(after.connections_open, 1u);
+  EXPECT_GT(after.p99_us, 0.0);
+  EXPECT_GE(after.p99_us, after.p50_us);
+  EXPECT_GT(after.qps, 0.0);
+}
+
+TEST_F(ServerE2E, FrozenServerRefusesUpdates) {
+  ServerOptions opts;
+  Server frozen(oracle_, /*graph=*/nullptr, opts);
+  frozen.start();
+  Client c;
+  c.connect("127.0.0.1", frozen.port());
+  try {
+    c.insert_edge(0, 5, 1);
+    FAIL() << "expected ServerError";
+  } catch (const ServerError& e) {
+    EXPECT_EQ(e.status(), Status::kError);
+  }
+  c.distance(0, 5);  // connection must survive the refusal
+  c.close();
+  frozen.stop();
+}
+
+TEST_F(ServerE2E, StopWithConnectedClientsIsClean) {
+  Client extra;
+  extra.connect("127.0.0.1", server_->port());
+  extra.ping();
+  server_->stop();  // must join cleanly with two live connections
+  EXPECT_FALSE(server_->running());
+  // The peer observes EOF, not a hang.
+  auto r = extra.recv_reply();
+  EXPECT_FALSE(r.has_value());
+}
+
+TEST_F(ServerE2E, RestartOnSamePortObject) {
+  server_->stop();
+  server_->start();  // a stopped server can start again
+  Client c;
+  c.connect("127.0.0.1", server_->port());
+  c.ping();
+  c.close();
+}
+
+}  // namespace
+}  // namespace vicinity::net
