@@ -12,16 +12,27 @@
 //     regardless of responses (the paper's "users do not wait" model);
 //     latency under a given arrival rate, including queueing.
 //
-// Sources/targets are Zipf(theta)-skewed over node ids (RMAT assigns low
-// ids the high degrees, so skew concentrates load on the hub vicinities —
-// the realistic cache-friendly case; --zipf 0 gives uniform).
+// Sources/targets are Zipf(theta)-skewed over node ids (bench/zipf.h:
+// RMAT assigns low ids the high degrees, so skew concentrates load on the
+// hub vicinities — the realistic cache-friendly case; --zipf 0 gives
+// uniform).
+//
+// --cache-mb puts the server's hot-pair result cache in front of the
+// oracle (net::ServerOptions::cache_mb); the JSON then carries the
+// measured-window cache hit/miss deltas and steady-state hit rate —
+// the gated cache_hit_rate number. --update-every N interleaves one
+// APPLY_UPDATE (toggling a reserved non-edge) after every N queries on
+// connection 0, exercising epoch invalidation under live load; the wire
+// verify phase plus the server's own epoch fencing keep answers
+// bit-identical to an uncached engine throughout.
 //
 // Usage:
 //   bench_server [--mode closed|open] [--connections C] [--window W]
 //                [--queries Q] [--rate R] [--zipf THETA]
 //                [--scale N] [--edges-per-node K] [--alpha A] [--seed S]
 //                [--max-batch B] [--max-delay-us D] [--queue-depth QD]
-//                [--engine-threads T] [--json PATH|-] [--quick]
+//                [--engine-threads T] [--cache-mb MB] [--cache-ways W]
+//                [--update-every N] [--json PATH|-] [--quick]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -48,6 +59,7 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "util/rng.h"
+#include "zipf.h"
 #include "util/stats.h"
 #include "util/timer.h"
 
@@ -66,6 +78,9 @@ struct Options {
   std::uint64_t edges_per_node = 8;
   double alpha = 4.0;
   std::uint64_t seed = 42;
+  /// Closed-loop only: interleave one APPLY_UPDATE after every N queries
+  /// on connection 0 (0 = pure query stream).
+  std::size_t update_every = 0;
   net::ServerOptions server;
   std::string json;
 };
@@ -76,7 +91,8 @@ struct Options {
                "       [--queries Q] [--rate R] [--zipf THETA] [--scale N]\n"
                "       [--edges-per-node K] [--alpha A] [--seed S]\n"
                "       [--max-batch B] [--max-delay-us D] [--queue-depth QD]\n"
-               "       [--engine-threads T] [--json PATH|-] [--quick]\n";
+               "       [--engine-threads T] [--cache-mb MB] [--cache-ways W]\n"
+               "       [--update-every N] [--json PATH|-] [--quick]\n";
   std::exit(2);
 }
 
@@ -120,6 +136,13 @@ Options parse_args(int argc, char** argv) {
     } else if (arg == "--engine-threads") {
       o.server.engine_threads =
           static_cast<unsigned>(std::stoul(next_value(i)));
+    } else if (arg == "--cache-mb") {
+      o.server.cache_mb = std::stoul(next_value(i));
+    } else if (arg == "--cache-ways") {
+      o.server.cache_ways =
+          static_cast<unsigned>(std::stoul(next_value(i)));
+    } else if (arg == "--update-every") {
+      o.update_every = std::stoull(next_value(i));
     } else if (arg == "--json") {
       o.json = next_value(i);
     } else if (arg == "--quick") {
@@ -129,6 +152,10 @@ Options parse_args(int argc, char** argv) {
       std::cerr << "unknown flag: " << arg << "\n";
       usage_and_exit(argv[0]);
     }
+  }
+  if (o.update_every > 0 && o.mode != "closed") {
+    std::cerr << "--update-every requires --mode closed\n";
+    usage_and_exit(argv[0]);
   }
   return o;
 }
@@ -140,40 +167,18 @@ std::uint64_t now_us() {
           .count());
 }
 
-/// Zipf(theta) sampler over [0, n): precomputed CDF + binary search.
-/// theta == 0 degenerates to uniform without the table.
-class ZipfSampler {
- public:
-  ZipfSampler(std::uint32_t n, double theta) : n_(n), theta_(theta) {
-    if (theta_ <= 0.0) return;
-    cdf_.resize(n);
-    double acc = 0.0;
-    for (std::uint32_t i = 0; i < n; ++i) {
-      acc += 1.0 / std::pow(static_cast<double>(i + 1), theta_);
-      cdf_[i] = acc;
-    }
-    for (double& c : cdf_) c /= acc;
-  }
-
-  std::uint32_t sample(util::Rng& rng) const {
-    if (theta_ <= 0.0) {
-      return static_cast<std::uint32_t>(rng.next_below(n_));
-    }
-    const double u =
-        static_cast<double>(rng.next_below(std::uint64_t{1} << 53)) /
-        static_cast<double>(std::uint64_t{1} << 53);
-    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
-    return static_cast<std::uint32_t>(it - cdf_.begin());
-  }
-
- private:
-  std::uint32_t n_;
-  double theta_;
-  std::vector<double> cdf_;
-};
-
 struct Pair {
   NodeId s, t;
+};
+
+/// Mixed-stream knob for run_closed: after every `every` query frames,
+/// inject one APPLY_UPDATE toggling the reserved non-edge (u, v) —
+/// insert, then remove, then insert again — so the graph is always in one
+/// of two valid states and every toggle advances the engine epoch.
+struct UpdateSpec {
+  std::size_t every = 0;  ///< 0 = no updates
+  NodeId u = 0;
+  NodeId v = 0;
 };
 
 struct LoadResult {
@@ -181,22 +186,27 @@ struct LoadResult {
   std::uint64_t busy = 0;
   std::uint64_t errors = 0;
   std::vector<double> latency_us;
-  std::uint64_t behind = 0;  ///< open-loop sends that missed their slot
+  std::uint64_t behind = 0;   ///< open-loop sends that missed their slot
+  std::uint64_t updates = 0;  ///< APPLY_UPDATEs acknowledged OK
 };
 
 /// Closed loop: keep `window` requests pipelined; every response tops the
-/// window back up. request_id k (1-based per connection) maps to
-/// pairs[k-1], so latencies need no shared map. Requests are pre-encoded
-/// into one contiguous stream (DISTANCE frames are fixed-size) and sent a
-/// burst at a time — one send() per window refill, not per request — so
-/// the generator's own syscall cost doesn't throttle the server under test
-/// when both share cores.
+/// window back up. Query request_id k (1-based per connection) maps to
+/// pairs[k-1], so latencies need no shared map; APPLY_UPDATE frames carry
+/// request_id 0 and are told apart by the echoed op. Requests are
+/// pre-encoded into one contiguous stream and sent a burst at a time —
+/// one send() per window refill, not per request — so the generator's own
+/// syscall cost doesn't throttle the server under test when both share
+/// cores. Frames are variable-size once updates are interleaved, so
+/// `offsets` records each frame's start (plus one end sentinel).
 LoadResult run_closed(std::uint16_t port, std::span<const Pair> pairs,
-                      std::size_t window) {
-  constexpr std::size_t kDistanceFrameBytes = net::kFrameHeaderBytes + 8;
+                      std::size_t window, const UpdateSpec& updates = {}) {
   std::vector<std::uint8_t> stream;
-  stream.reserve(pairs.size() * kDistanceFrameBytes);
+  std::vector<std::size_t> offsets;
+  stream.reserve(pairs.size() * (net::kFrameHeaderBytes + 8));
+  bool edge_present = false;
   for (std::size_t i = 0; i < pairs.size(); ++i) {
+    offsets.push_back(stream.size());
     net::FrameHeader h;
     h.payload_len = 8;
     h.op = net::Op::kDistance;
@@ -206,7 +216,28 @@ LoadResult run_closed(std::uint16_t port, std::span<const Pair> pairs,
     w.u32(pairs[i].s);
     w.u32(pairs[i].t);
     net::encode_frame(h, payload, stream);
+    if (updates.every > 0 && (i + 1) % updates.every == 0 &&
+        i + 1 < pairs.size()) {
+      offsets.push_back(stream.size());
+      net::FrameHeader uh;
+      uh.payload_len = 16;
+      uh.op = net::Op::kApplyUpdate;
+      uh.request_id = 0;
+      std::vector<std::uint8_t> upayload;
+      net::FrameWriter uw(upayload);
+      uw.u8(edge_present ? 1 : 0);  // kind: 0 insert, 1 remove
+      uw.u8(0);
+      uw.u8(0);
+      uw.u8(0);
+      uw.u32(updates.u);
+      uw.u32(updates.v);
+      uw.u32(1);
+      net::encode_frame(uh, upayload, stream);
+      edge_present = !edge_present;
+    }
   }
+  offsets.push_back(stream.size());
+  const std::size_t frames = offsets.size() - 1;
 
   LoadResult out;
   out.latency_us.reserve(pairs.size());
@@ -218,14 +249,21 @@ LoadResult run_closed(std::uint16_t port, std::span<const Pair> pairs,
   std::vector<std::uint8_t> rbuf(1u << 16);
   std::size_t have = 0;
   std::size_t next = 0, done = 0, inflight = 0;
-  while (done < pairs.size()) {
-    if (inflight < window && next < pairs.size()) {
-      const std::size_t burst =
-          std::min(window - inflight, pairs.size() - next);
+  std::size_t next_query_id = 1;  ///< query frames stamped after `next`
+  while (done < frames) {
+    if (inflight < window && next < frames) {
+      const std::size_t burst = std::min(window - inflight, frames - next);
       const std::uint64_t now = now_us();
-      for (std::size_t i = 0; i < burst; ++i) t0[next + 1 + i] = now;
-      c.send_bytes(stream.data() + next * kDistanceFrameBytes,
-                   burst * kDistanceFrameBytes);
+      // Every query frame in the burst departs now; update frames have no
+      // latency slot.
+      for (std::size_t f = next; f < next + burst; ++f) {
+        const std::size_t frame_bytes = offsets[f + 1] - offsets[f];
+        if (frame_bytes == net::kFrameHeaderBytes + 8) {
+          t0[next_query_id++] = now;
+        }
+      }
+      c.send_bytes(stream.data() + offsets[next],
+                   offsets[next + burst] - offsets[next]);
       next += burst;
       inflight += burst;
     }
@@ -249,7 +287,16 @@ LoadResult run_closed(std::uint16_t port, std::span<const Pair> pairs,
       off += frame_len;
       --inflight;
       ++done;
-      if (h.status == net::Status::kOk) {
+      if (h.op == net::Op::kApplyUpdate) {
+        // Updates are pipelined FIFO on this connection, so the
+        // insert/remove alternation always applies to a valid state; any
+        // failure is a real serving bug and fails the run.
+        if (h.status == net::Status::kOk) {
+          ++out.updates;
+        } else {
+          ++out.errors;
+        }
+      } else if (h.status == net::Status::kOk) {
         ++out.ok;
         out.latency_us.push_back(static_cast<double>(now - t0[h.request_id]));
       } else if (h.status == net::Status::kBusy) {
@@ -326,14 +373,19 @@ int main(int argc, char** argv) {
                        opt.edges_per_node * (std::uint64_t{1} << opt.scale),
                        params, grng);
   auto g = graph::largest_component(raw).graph;
+  // Snapshot before the run: --update-every may leave the toggled edge
+  // inserted, and the JSON should describe the graph the oracle was built
+  // on.
+  const std::uint64_t initial_arcs = g.num_arcs();
   std::printf("graph: rmat scale=%u -> LCC n=%u, arcs=%llu (%.1fs)\n",
               opt.scale, g.num_nodes(),
-              static_cast<unsigned long long>(g.num_arcs()),
+              static_cast<unsigned long long>(initial_arcs),
               gen_timer.elapsed_seconds());
 
   core::OracleOptions oracle_opt;
   oracle_opt.alpha = opt.alpha;
   oracle_opt.seed = opt.seed + 1;
+  oracle_opt.build_threads = 0;  // hardware concurrency
   util::Timer build_timer;
   auto oracle =
       core::make_any_oracle(core::VicinityOracle::build(g, oracle_opt));
@@ -343,13 +395,34 @@ int main(int argc, char** argv) {
   server.start();
   std::printf(
       "server on 127.0.0.1:%u: max_batch=%zu max_delay_us=%u "
-      "queue_depth=%zu engine_threads=%u\n",
+      "queue_depth=%zu engine_threads=%u cache_mb=%zu\n",
       server.port(), opt.server.max_batch, opt.server.max_delay_us,
-      opt.server.queue_depth, server.engine().thread_count());
+      opt.server.queue_depth, server.engine().thread_count(),
+      opt.server.cache_mb);
+
+  // Reserved non-edge for --update-every's insert/remove toggling: node 0
+  // is the biggest hub, so invalidation-by-epoch hits the hottest cached
+  // pairs hardest (the honest worst case).
+  UpdateSpec update_spec;
+  if (opt.update_every > 0) {
+    update_spec.every = opt.update_every;
+    update_spec.u = 0;
+    NodeId v = 1;
+    while (v < g.num_nodes() && g.has_edge(0, v)) ++v;
+    if (v >= g.num_nodes()) {
+      std::cerr << "node 0 is adjacent to every node; cannot pick a "
+                   "toggle edge for --update-every\n";
+      return 1;
+    }
+    update_spec.v = v;
+    std::printf("update stream: toggle edge (%u, %u) every %zu queries "
+                "on connection 0\n",
+                update_spec.u, update_spec.v, opt.update_every);
+  }
 
   // Pre-generate every connection's Zipf-skewed workload outside the
   // timed region.
-  const ZipfSampler zipf(g.num_nodes(), opt.zipf);
+  const bench::ZipfSampler zipf(g.num_nodes(), opt.zipf);
   const std::size_t per_conn =
       std::max<std::size_t>(1, opt.queries / opt.connections);
   std::vector<std::vector<Pair>> workload(opt.connections);
@@ -369,6 +442,20 @@ int main(int argc, char** argv) {
     const std::size_t n = std::min<std::size_t>(pairs.size(), 2000);
     (void)run_closed(server.port(), std::span(pairs.data(), n), 32);
     c.close();
+  }
+  // With a cache, also replay every connection's full workload untimed:
+  // the measured window then reports steady-state serving (a long-lived
+  // daemon's regime) instead of the one-time cold fill. --update-every
+  // still invalidates the warmed entries the moment its first toggle
+  // lands, so churn numbers stay honest.
+  if (opt.server.cache_mb > 0) {
+    std::vector<std::thread> warmers;
+    for (unsigned ci = 0; ci < opt.connections; ++ci) {
+      warmers.emplace_back([&, ci] {
+        (void)run_closed(server.port(), workload[ci], opt.window);
+      });
+    }
+    for (auto& t : warmers) t.join();
   }
 
   // Answers over the wire must be bit-identical to in-process answers.
@@ -392,13 +479,20 @@ int main(int argc, char** argv) {
 
   const double per_conn_interval_us =
       opt.rate > 0 ? 1e6 * opt.connections / opt.rate : 0.0;
+  // Snapshot before the timed run: the measured-window cache numbers are
+  // deltas against this, excluding the warmup and verify traffic.
+  const net::StatsReply pre_stats = server.stats_snapshot();
   std::vector<LoadResult> results(opt.connections);
   std::vector<std::thread> threads;
   util::Timer run_timer;
   for (unsigned ci = 0; ci < opt.connections; ++ci) {
     threads.emplace_back([&, ci] {
+      // Only connection 0 injects updates: a single toggler keeps the
+      // insert/remove alternation globally valid.
+      const UpdateSpec spec = ci == 0 ? update_spec : UpdateSpec{};
       results[ci] = opt.mode == "closed"
-                        ? run_closed(server.port(), workload[ci], opt.window)
+                        ? run_closed(server.port(), workload[ci], opt.window,
+                                     spec)
                         : run_open(server.port(), workload[ci],
                                    per_conn_interval_us);
     });
@@ -406,18 +500,32 @@ int main(int argc, char** argv) {
   for (auto& t : threads) t.join();
   const double elapsed = run_timer.elapsed_seconds();
 
-  std::uint64_t ok = 0, busy = 0, errors = 0, behind = 0;
+  std::uint64_t ok = 0, busy = 0, errors = 0, behind = 0, updates = 0;
   util::SampleSet latency;
   for (const LoadResult& r : results) {
     ok += r.ok;
     busy += r.busy;
     errors += r.errors;
     behind += r.behind;
+    updates += r.updates;
     for (const double l : r.latency_us) latency.add(l);
   }
   const double qps = static_cast<double>(ok) / elapsed;
 
   const net::StatsReply sstats = server.stats_snapshot();
+  // Measured-window cache behaviour (deltas over the timed run only).
+  const std::uint64_t cache_hits = sstats.cache_hits - pre_stats.cache_hits;
+  const std::uint64_t cache_misses =
+      sstats.cache_misses - pre_stats.cache_misses;
+  const std::uint64_t cache_inserts =
+      sstats.cache_inserts - pre_stats.cache_inserts;
+  const std::uint64_t cache_evictions =
+      sstats.cache_evictions - pre_stats.cache_evictions;
+  const double cache_hit_rate =
+      cache_hits + cache_misses > 0
+          ? static_cast<double>(cache_hits) /
+                static_cast<double>(cache_hits + cache_misses)
+          : 0.0;
   std::printf("mode=%s connections=%u%s: %llu ok, %llu busy, %llu errors "
               "in %.2fs\n",
               opt.mode.c_str(), opt.connections,
@@ -435,6 +543,19 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(sstats.batches_total),
               static_cast<unsigned long long>(sstats.max_batch),
               static_cast<unsigned long long>(sstats.shed_total));
+  if (opt.server.cache_mb > 0) {
+    std::printf("cache (measured window): %llu hits, %llu misses "
+                "(hit rate %.3f), %llu evictions\n",
+                static_cast<unsigned long long>(cache_hits),
+                static_cast<unsigned long long>(cache_misses),
+                cache_hit_rate,
+                static_cast<unsigned long long>(cache_evictions));
+  }
+  if (updates > 0) {
+    std::printf("updates applied during the run: %llu (final epoch %llu)\n",
+                static_cast<unsigned long long>(updates),
+                static_cast<unsigned long long>(sstats.epoch));
+  }
   if (behind > 0) {
     std::printf("open-loop sender fell behind schedule %llu times\n",
                 static_cast<unsigned long long>(behind));
@@ -444,7 +565,7 @@ int main(int argc, char** argv) {
     std::ostringstream js;
     js << "{\n"
        << "  \"graph\": {\"generator\": \"rmat\", \"scale\": " << opt.scale
-       << ", \"nodes\": " << g.num_nodes() << ", \"arcs\": " << g.num_arcs()
+       << ", \"nodes\": " << g.num_nodes() << ", \"arcs\": " << initial_arcs
        << "},\n"
        << "  \"mode\": \"" << opt.mode << "\",\n"
        << "  \"connections\": " << opt.connections << ",\n"
@@ -463,6 +584,15 @@ int main(int argc, char** argv) {
        << "  \"busy\": " << busy << ",\n"
        << "  \"errors\": " << errors << ",\n"
        << "  \"open_loop_behind\": " << behind << ",\n"
+       << "  \"cache\": {\"mb\": " << opt.server.cache_mb
+       << ", \"ways\": " << opt.server.cache_ways
+       << ", \"hits\": " << cache_hits << ", \"misses\": " << cache_misses
+       << ", \"inserts\": " << cache_inserts
+       << ", \"evictions\": " << cache_evictions
+       << ", \"hit_rate\": " << cache_hit_rate
+       << ", \"lifetime_hit_rate\": " << sstats.cache_hit_rate << "},\n"
+       << "  \"updates\": {\"every\": " << opt.update_every
+       << ", \"applied\": " << updates << "},\n"
        << "  \"server_view\": {\"batches\": " << sstats.batches_total
        << ", \"max_batch\": " << sstats.max_batch
        << ", \"shed\": " << sstats.shed_total

@@ -13,11 +13,20 @@
 // through the identical engine — the apples-to-apples serving comparison
 // (same workload, same batching, same stats).
 //
+// --zipf skews sources/targets Zipf(theta) over node ids (bench/zipf.h);
+// --cache-mb adds a hot-pair result cache section: cached vs uncached
+// batch qps and single-query latency at the max thread count (bit-identity
+// enforced against the uncached baseline), the steady-state hit rate, and
+// an update-churn sweep — toggling a reserved non-edge between query
+// chunks to show epoch invalidation collapsing and recovering the hit
+// rate under a live update stream.
+//
 // Usage:
 //   bench_throughput [--scale N] [--edges-per-node K] [--queries Q]
 //                    [--threads 1,2,4,8] [--alpha A] [--seed S] [--reps R]
 //                    [--directed] [--backend vicinity|tz|sketch|landmarks]
-//                    [--store-backend packed|flat|std]
+//                    [--store-backend packed|flat|std] [--zipf THETA]
+//                    [--cache-mb MB] [--cache-ways W]
 //                    [--json PATH|-] [--quick]
 //
 // --store-backend selects the vicinity-storage layout for the vicinity
@@ -33,6 +42,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <span>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -47,6 +57,7 @@
 #include "util/memory.h"
 #include "util/stats.h"
 #include "util/timer.h"
+#include "zipf.h"
 
 namespace {
 
@@ -66,6 +77,9 @@ struct Options {
   bool directed = false;
   std::string backend = "vicinity";       ///< vicinity|tz|sketch|landmarks
   std::string store_backend = "packed";   ///< packed|flat|std
+  double zipf = 0.0;                      ///< workload skew; 0 = uniform
+  std::size_t cache_mb = 0;               ///< 0 = no cache section
+  unsigned cache_ways = 8;
   std::string json;                       ///< empty = no JSON; "-" = stdout
 };
 
@@ -74,7 +88,8 @@ struct Options {
             << " [--scale N] [--edges-per-node K] [--queries Q]\n"
                "       [--threads 1,2,4,8] [--alpha A] [--seed S] [--reps R]\n"
                "       [--directed] [--backend vicinity|tz|sketch|landmarks]\n"
-               "       [--store-backend packed|flat|std] [--json PATH|-]\n"
+               "       [--store-backend packed|flat|std] [--zipf THETA]\n"
+               "       [--cache-mb MB] [--cache-ways W] [--json PATH|-]\n"
                "       [--quick]\n";
   std::exit(2);
 }
@@ -123,6 +138,12 @@ Options parse_args(int argc, char** argv) {
         std::cerr << "unknown store backend: " << o.store_backend << "\n";
         usage_and_exit(argv[0]);
       }
+    } else if (arg == "--zipf") {
+      o.zipf = std::stod(next_value(i));
+    } else if (arg == "--cache-mb") {
+      o.cache_mb = std::stoul(next_value(i));
+    } else if (arg == "--cache-ways") {
+      o.cache_ways = static_cast<unsigned>(std::stoul(next_value(i)));
     } else if (arg == "--json") {
       o.json = next_value(i);
     } else if (arg == "--quick") {
@@ -267,7 +288,9 @@ int main(int argc, char** argv) {
   util::Timer gen_timer;
   auto raw = gen::rmat(opt.scale, opt.edges_per_node * (std::uint64_t{1} << opt.scale),
                        params, grng);
-  const auto g = graph::largest_component(raw).graph;
+  // Non-const: the cache section's churn sweep applies (and undoes) edge
+  // toggles through QueryEngine::apply_update.
+  auto g = graph::largest_component(raw).graph;
   std::printf("graph: rmat scale=%u%s -> LCC n=%u, arcs=%llu (%.1fs)\n",
               opt.scale, opt.directed ? " (directed)" : "", g.num_nodes(),
               static_cast<unsigned long long>(g.num_arcs()),
@@ -302,10 +325,11 @@ int main(int argc, char** argv) {
   core::QueryEngine engine(built.oracle, max_threads);
 
   util::Rng qrng(opt.seed + 2);
+  const bench::ZipfSampler zipf(g.num_nodes(), opt.zipf);
   std::vector<core::Query> queries(opt.queries);
   for (auto& q : queries) {
-    q.s = static_cast<NodeId>(qrng.next_below(g.num_nodes()));
-    q.t = static_cast<NodeId>(qrng.next_below(g.num_nodes()));
+    q.s = static_cast<NodeId>(zipf.sample(qrng));
+    q.t = static_cast<NodeId>(zipf.sample(qrng));
   }
 
   // Warmup: touch the index, size every lane's scratch.
@@ -360,6 +384,132 @@ int main(int argc, char** argv) {
   bool all_identical = true;
   for (const Row& r : rows) all_identical = all_identical && r.identical;
 
+  // Result-cache section: the same workload through a cache-fronted engine
+  // over the same oracle. Bit-identity against the uncached baseline is
+  // enforced; the churn sweep shows epoch invalidation under updates.
+  struct ChurnRow {
+    unsigned updates_per_round;
+    double qps;
+    double hit_rate;
+  };
+  struct CacheBench {
+    bool ran = false;
+    double uncached_qps = 0.0;
+    double cached_qps = 0.0;
+    double hit_rate = 0.0;
+    double uncached_p50 = 0.0, uncached_p99 = 0.0;
+    double cached_p50 = 0.0, cached_p99 = 0.0;
+    bool identical = true;
+    std::vector<ChurnRow> churn;
+  };
+  CacheBench cb;
+  if (opt.cache_mb > 0) {
+    core::QueryEngineOptions eo;
+    eo.threads = max_threads;
+    eo.enable_cache = true;
+    eo.cache.capacity_bytes = opt.cache_mb << 20;
+    eo.cache.ways = opt.cache_ways;
+    core::QueryEngine cached(built.oracle, eo);
+    cache::ResultCache& rc = *cached.result_cache();
+    std::printf("== result cache: %zu MiB, %u ways, %zu entries, "
+                "%zu shards ==\n",
+                opt.cache_mb, static_cast<unsigned>(rc.ways()),
+                rc.capacity_entries(), rc.shard_count());
+
+    for (const Row& r : rows) {
+      if (r.threads == max_threads) cb.uncached_qps = r.qps;
+    }
+
+    // Warm fill at the current epoch, then timed repeat passes.
+    cached.run_batch(queries, max_threads);
+    rc.reset_counters();
+    double best = -1.0;
+    for (unsigned rep = 0; rep < opt.reps; ++rep) {
+      util::Timer timer;
+      const auto results = cached.run_batch(queries, max_threads);
+      const double secs = timer.elapsed_seconds();
+      if (best < 0 || secs < best) best = secs;
+      cb.identical = cb.identical && results_identical(results, baseline);
+    }
+    cb.cached_qps = static_cast<double>(queries.size()) / best;
+    const cache::ResultCacheCounters warm = rc.counters();
+    cb.hit_rate = warm.hit_rate();
+    std::printf("warm batches (%u threads): %.0f qps cached vs %.0f qps "
+                "uncached (%.2fx), hit rate %.3f, %s\n",
+                max_threads, cb.cached_qps, cb.uncached_qps,
+                cb.uncached_qps > 0 ? cb.cached_qps / cb.uncached_qps : 0.0,
+                cb.hit_rate, cb.identical ? "identical" : "MISMATCH");
+
+    // Single-query latency through run_batch-of-1 on both engines — the
+    // identical code path, so the delta is purely the cache probe.
+    {
+      const std::size_t n = std::min<std::size_t>(queries.size(), 20'000);
+      util::SampleSet cached_lat, uncached_lat;
+      core::QueryResult one[1];
+      for (std::size_t i = 0; i < n; ++i) {
+        util::Timer t;
+        cached.run_batch(std::span(&queries[i], 1), std::span(one, 1), 1);
+        cached_lat.add(t.elapsed_us());
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        util::Timer t;
+        engine.run_batch(std::span(&queries[i], 1), std::span(one, 1), 1);
+        uncached_lat.add(t.elapsed_us());
+      }
+      cb.cached_p50 = cached_lat.percentile(50);
+      cb.cached_p99 = cached_lat.percentile(99);
+      cb.uncached_p50 = uncached_lat.percentile(50);
+      cb.uncached_p99 = uncached_lat.percentile(99);
+      std::printf("single-query (batch-of-1): cached p50=%.2fus p99=%.2fus "
+                  "vs uncached p50=%.2fus p99=%.2fus\n",
+                  cb.cached_p50, cb.cached_p99, cb.uncached_p50,
+                  cb.uncached_p99);
+    }
+
+    // Churn sweep: run the workload in 8 chunks, toggling a reserved
+    // non-edge U times between chunks. Any U > 0 advances the epoch, so
+    // the whole cache goes stale after every chunk — the worst case for
+    // epoch invalidation — and the hit rate degrades to the within-chunk
+    // repeat rate. Toggle counts are even so the graph (and therefore
+    // every later answer) ends exactly where it started.
+    if (built.oracle->capabilities().has(core::Capability::kUpdatable)) {
+      NodeId v = 1;
+      while (v < g.num_nodes() && g.has_edge(0, v)) ++v;
+      if (v < g.num_nodes()) {
+        constexpr std::size_t kChunks = 8;
+        const std::size_t chunk =
+            std::max<std::size_t>(1, queries.size() / kChunks);
+        for (const unsigned upd : {0u, 2u, 16u, 64u}) {
+          rc.clear();
+          cached.run_batch(queries, max_threads);  // warm at current epoch
+          rc.reset_counters();
+          util::Timer timer;
+          for (std::size_t lo = 0; lo < queries.size(); lo += chunk) {
+            const std::size_t hi = std::min(lo + chunk, queries.size());
+            (void)cached.run_batch(
+                std::span(queries.data() + lo, hi - lo), max_threads);
+            for (unsigned u = 0; u < upd; ++u) {
+              (void)cached.apply_update(
+                  g, u % 2 == 0 ? core::GraphUpdate::insert(0, v)
+                                : core::GraphUpdate::remove(0, v));
+            }
+          }
+          const double secs = timer.elapsed_seconds();
+          const cache::ResultCacheCounters c = rc.counters();
+          ChurnRow row{upd,
+                       static_cast<double>(queries.size()) / secs,
+                       c.hit_rate()};
+          cb.churn.push_back(row);
+          std::printf("churn: %3u updates/chunk -> %.0f qps, hit rate "
+                      "%.3f\n",
+                      row.updates_per_round, row.qps, row.hit_rate);
+        }
+      }
+    }
+    cb.ran = true;
+    all_identical = all_identical && cb.identical;
+  }
+
   if (!opt.json.empty()) {
     std::ostringstream js;
     js << "{\n"
@@ -395,8 +545,29 @@ int main(int argc, char** argv) {
          << ", \"identical\": " << (rows[i].identical ? "true" : "false")
          << "}";
     }
-    js << "],\n"
-       << "  \"all_identical\": " << (all_identical ? "true" : "false")
+    js << "],\n";
+    if (cb.ran) {
+      js << "  \"cache\": {\"mb\": " << opt.cache_mb
+         << ", \"ways\": " << opt.cache_ways
+         << ", \"zipf_theta\": " << opt.zipf
+         << ", \"uncached_qps\": " << cb.uncached_qps
+         << ", \"cached_qps\": " << cb.cached_qps << ", \"speedup\": "
+         << (cb.uncached_qps > 0 ? cb.cached_qps / cb.uncached_qps : 0.0)
+         << ", \"hit_rate\": " << cb.hit_rate
+         << ",\n    \"latency_us\": {\"uncached_p50\": " << cb.uncached_p50
+         << ", \"uncached_p99\": " << cb.uncached_p99
+         << ", \"cached_p50\": " << cb.cached_p50
+         << ", \"cached_p99\": " << cb.cached_p99 << "},\n    \"churn\": [";
+      for (std::size_t i = 0; i < cb.churn.size(); ++i) {
+        js << (i ? ", " : "")
+           << "{\"updates_per_round\": " << cb.churn[i].updates_per_round
+           << ", \"qps\": " << cb.churn[i].qps
+           << ", \"hit_rate\": " << cb.churn[i].hit_rate << "}";
+      }
+      js << "],\n    \"identical\": " << (cb.identical ? "true" : "false")
+         << "},\n";
+    }
+    js << "  \"all_identical\": " << (all_identical ? "true" : "false")
        << "\n}\n";
     if (opt.json == "-") {
       std::cout << js.str();

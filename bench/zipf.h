@@ -1,0 +1,48 @@
+// Zipf(theta) workload skew shared by the serving benches (bench_server,
+// bench_throughput). RMAT assigns low node ids the high degrees, so Zipf
+// over ids concentrates load on the hub vicinities — the realistic
+// cache-friendly case; theta == 0 degenerates to uniform.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace vicinity::bench {
+
+/// Zipf(theta) sampler over [0, n): precomputed CDF + binary search.
+/// theta == 0 degenerates to uniform without the table.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint32_t n, double theta) : n_(n), theta_(theta) {
+    if (theta_ <= 0.0) return;
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), theta_);
+      cdf_[i] = acc;
+    }
+    for (double& c : cdf_) c /= acc;
+  }
+
+  std::uint32_t sample(util::Rng& rng) const {
+    if (theta_ <= 0.0) {
+      return static_cast<std::uint32_t>(rng.next_below(n_));
+    }
+    const double u =
+        static_cast<double>(rng.next_below(std::uint64_t{1} << 53)) /
+        static_cast<double>(std::uint64_t{1} << 53);
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::uint32_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::uint32_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace vicinity::bench

@@ -22,9 +22,9 @@ hot path — rather than runner-to-runner noise.
 Usage:
   check_bench_regression.py --throughput tp.json --updates up.json \
       [--directed-throughput tpd.json] [--packed-throughput tpp.json] \
-      [--server srv.json] \
+      [--server srv.json] [--cached-server srv_cached.json] \
       --baseline bench/baselines/bench_smoke_baseline.json \
-      --out BENCH_pr8.json [--tolerance 0.20]
+      --out BENCH_pr9.json [--tolerance 0.20]
 
 Stdlib only; no third-party dependencies.
 """
@@ -73,6 +73,25 @@ def server_metrics(server):
     return metrics
 
 
+def cached_server_metrics(server):
+    """Rows from a cache-enabled `bench_server --json` run (--cache-mb > 0
+    with a Zipf-skewed workload): steady-state hit rate over the measured
+    window, the cached serving qps, and the cached tail latency. Paired
+    with the uncached server_qps/server_p99_us rows, these gate the
+    cached-vs-uncached sweep."""
+    metrics = {}
+    cache = server.get("cache", {})
+    if cache.get("mb", 0) > 0 and "hit_rate" in cache:
+        metrics["cache_hit_rate"] = cache["hit_rate"]
+    if "server_qps" in server:
+        metrics["cached_qps"] = server["server_qps"]
+    latency = server.get("latency_us", {})
+    for pct in ("p50", "p99"):
+        if pct in latency:
+            metrics[f"cached_{pct}_us"] = latency[pct]
+    return metrics
+
+
 def update_metrics(updates):
     metrics = {}
     if "updates_per_sec" in updates:
@@ -105,6 +124,10 @@ def main():
     ap.add_argument("--server", default=None,
                     help="bench_server --json output; contributes "
                          "server_qps / server_p50_us / server_p99_us")
+    ap.add_argument("--cached-server", default=None,
+                    help="cache-enabled bench_server --json output "
+                         "(--cache-mb > 0); contributes cache_hit_rate / "
+                         "cached_qps / cached_p50_us / cached_p99_us")
     ap.add_argument("--baseline", required=True)
     ap.add_argument("--out", required=True)
     ap.add_argument("--tolerance", type=float, default=None,
@@ -132,6 +155,10 @@ def main():
     if args.server:
         server = load_json(args.server)
         metrics.update(server_metrics(server))
+    cached_server = None
+    if args.cached_server:
+        cached_server = load_json(args.cached_server)
+        metrics.update(cached_server_metrics(cached_server))
 
     baseline_metrics = baseline["metrics"]
     failures = []
@@ -196,6 +223,8 @@ def main():
         report["packed_throughput"] = packed
     if server is not None:
         report["server"] = server
+    if cached_server is not None:
+        report["cached_server"] = cached_server
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2)
         f.write("\n")

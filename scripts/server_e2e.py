@@ -18,6 +18,9 @@ Phases:
   6. admission: a second vicinityd with a tiny queue sheds BUSY under a
      pipelined flood while still answering some requests
   7. SIGTERM -> clean exit 0
+  8. result cache: a third vicinityd with --cache-mb; STATS cache counters
+     grow on repeated pairs, every entry goes stale after APPLY_UPDATE
+     (misses, answers unchanged), then the cache re-warms
 
 Stdlib only. Exit 0 on success; any assertion prints context and exits 1.
 vicinityd's stderr is captured to --stderr-log so CI can dump it on
@@ -45,8 +48,13 @@ VERSION = 1
 OP_PING, OP_DISTANCE, OP_DISTANCES, OP_PATH, OP_UPDATE, OP_STATS = range(6)
 ST_OK, ST_ERROR, ST_BUSY = range(3)
 INF_DIST = 0xFFFFFFFF
-# STATS payload: 12 u64 counters then 5 doubles (net/protocol.h).
-STATS_FMT = struct.Struct("<12Q5d")
+# STATS payload: 16 u64 counters then 6 doubles (net/protocol.h). Cache
+# counters sit at u64 indices 12..15 (hits, misses, inserts, evictions);
+# the lifetime cache_hit_rate is the last double.
+STATS_FMT = struct.Struct("<16Q6d")
+STATS_CACHE_HITS, STATS_CACHE_MISSES = 12, 13
+STATS_CACHE_INSERTS, STATS_CACHE_EVICTIONS = 14, 15
+STATS_CACHE_HIT_RATE = 21
 
 FAILURES = []
 
@@ -113,6 +121,13 @@ def query_distance(sock, s, t, rid=7):
             f"DISTANCE({s},{t}) did not return OK: {r}")
     require(r["rid"] == rid, f"request id mismatch: {r['rid']} != {rid}")
     return parse_distance_reply(r)
+
+
+def read_stats(sock, rid=900):
+    sock.sendall(frame(OP_STATS, rid=rid))
+    r = recv_frame(sock)
+    require(r is not None and r["status"] == ST_OK, f"STATS failed: {r}")
+    return STATS_FMT.unpack(r["payload"][:STATS_FMT.size])
 
 
 def cli_distances(cli, graph, index, pairs):
@@ -392,6 +407,81 @@ def main():
         if proc2.poll() is None:
             proc2.kill()
             proc2.wait()
+
+    # --- result cache: STATS counters against a live cached daemon --------
+    print("== result cache ==")
+    proc3, port3 = start_vicinityd(
+        str(vicinityd), graph, index, stderr_file, extra=["--cache-mb=16"])
+    try:
+        s3 = connect(port3)
+        want = dict(zip(pairs, expected))
+        hot = [p for p in dict.fromkeys(pairs) if p[0] != p[1]][:8]
+        require(len(hot) >= 4, "not enough distinct pairs for cache phase")
+
+        for s, t in hot:  # cold fill
+            check(query_distance(s3, s, t)[1] == want[(s, t)],
+                  f"cached DISTANCE({s},{t}) wrong on cold fill")
+        v0 = read_stats(s3)
+        check(v0[STATS_CACHE_INSERTS] >= len(hot),
+              f"cold pass inserted {v0[STATS_CACHE_INSERTS]} entries, "
+              f"expected >= {len(hot)}")
+
+        for _ in range(3):  # repeats of a warm pair must be hits
+            for s, t in hot:
+                check(query_distance(s3, s, t)[1] == want[(s, t)],
+                      f"cached DISTANCE({s},{t}) wrong on repeat")
+        v1 = read_stats(s3)
+        hits = v1[STATS_CACHE_HITS] - v0[STATS_CACHE_HITS]
+        check(hits >= 3 * len(hot),
+              f"repeats hit the cache {hits} times, "
+              f"expected >= {3 * len(hot)}")
+        check(v1[STATS_CACHE_HIT_RATE] > 0.0,
+              "lifetime cache_hit_rate still 0 after warm repeats")
+
+        # One insert + one remove restores the graph bit-for-bit, but the
+        # epoch moved twice: every cached entry is now stale.
+        far_hot = next(((s, t) for (s, t) in hot if want[(s, t)] > 1), None)
+        if far_hot is None:
+            print("   (no non-adjacent hot pair; skipping staleness checks)")
+        else:
+            fu, ft = far_hot
+            for kind, w in ((0, 1), (1, 0)):
+                s3.sendall(frame(
+                    OP_UPDATE,
+                    struct.pack("<BBBBIII", kind, 0, 0, 0, fu, ft, w),
+                    rid=850 + kind))
+                r = recv_frame(s3)
+                check(r and r["status"] == ST_OK,
+                      f"cache-phase APPLY_UPDATE failed: {r}")
+            v2 = read_stats(s3)
+            for s, t in hot:  # all stale -> misses, answers unchanged
+                check(query_distance(s3, s, t)[1] == want[(s, t)],
+                      f"cached DISTANCE({s},{t}) wrong after update")
+            v3 = read_stats(s3)
+            check(v3[STATS_CACHE_HITS] == v2[STATS_CACHE_HITS],
+                  "stale entries served as hits after APPLY_UPDATE")
+            stale = v3[STATS_CACHE_MISSES] - v2[STATS_CACHE_MISSES]
+            check(stale >= len(hot),
+                  f"post-update pass registered {stale} misses, "
+                  f"expected >= {len(hot)} (stale entries)")
+            for s, t in hot:  # refilled at the new epoch -> hits again
+                query_distance(s3, s, t)
+            v4 = read_stats(s3)
+            rewarm = v4[STATS_CACHE_HITS] - v3[STATS_CACHE_HITS]
+            check(rewarm >= len(hot),
+                  f"cache re-warmed only {rewarm} of {len(hot)} pairs "
+                  f"after APPLY_UPDATE")
+            print(f"   hits {v4[STATS_CACHE_HITS]} "
+                  f"misses {v4[STATS_CACHE_MISSES]} "
+                  f"inserts {v4[STATS_CACHE_INSERTS]} "
+                  f"hit_rate {v4[STATS_CACHE_HIT_RATE]:.3f}")
+        s3.close()
+        proc3.send_signal(signal.SIGTERM)
+        check(proc3.wait(timeout=30) == 0, "cached server unclean exit")
+    finally:
+        if proc3.poll() is None:
+            proc3.kill()
+            proc3.wait()
         stderr_file.close()
 
     if FAILURES:

@@ -41,6 +41,13 @@ Checks invariants no generic tool knows about:
                              — the server side is non-blocking epoll
                              throughout, and one blocking call on the event
                              loop stalls every connection.
+  no-raw-std-mutex           src/core and src/cache must take locks through
+                             the util::Mutex / util::MutexLock / util::CondVar
+                             wrappers (util/mutex.h), never raw std::mutex /
+                             std::shared_mutex / std::lock_guard & friends —
+                             the wrappers carry the Clang thread-safety
+                             capability annotations, so a raw primitive is
+                             a lock the -Wthread-safety gate cannot see.
 
 Suppress a finding by putting `vicinity-lint: allow(<rule>)` in a comment
 on the offending line or the line above it.
@@ -286,6 +293,32 @@ def check_net_no_blocking_outside_client(root: Path) -> list[Finding]:
     return findings
 
 
+RAW_MUTEX_RE = re.compile(
+    r"std\s*::\s*(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|lock_guard|unique_lock|scoped_lock|shared_lock|"
+    r"condition_variable(_any)?)\b"
+    r"|#\s*include\s*<(mutex|shared_mutex|condition_variable)>")
+# Directories whose locking must go through the annotated wrappers. src/util
+# is exempt: mutex.h is where the wrapping itself happens.
+RAW_MUTEX_DIRS = ("core", "cache")
+
+
+def check_no_raw_std_mutex(root: Path) -> list[Finding]:
+    findings = []
+    for sub in RAW_MUTEX_DIRS:
+        d = root / "src" / sub
+        if not d.is_dir():
+            continue
+        for path in sorted(d.glob("*.[hc]*")):
+            findings += scan_pattern(
+                path, "no-raw-std-mutex", RAW_MUTEX_RE,
+                f"raw std mutex/lock primitive in src/{sub} — use "
+                "util::Mutex / util::MutexLock / util::CondVar "
+                "(util/mutex.h) so the Clang thread-safety analysis sees "
+                "the lock")
+    return findings
+
+
 def extractable_bench_keys(root: Path) -> set[str]:
     """The key universe check_bench_regression.py can produce, derived by
     importing it and feeding fully-populated synthetic payloads — so this
@@ -314,6 +347,11 @@ def extractable_bench_keys(root: Path) -> set[str]:
         server = {"server_qps": 1.0,
                   "latency_us": {"p50": 1.0, "p99": 1.0}}
         keys |= set(mod.server_metrics(server))
+    if hasattr(mod, "cached_server_metrics"):
+        cached = {"server_qps": 1.0,
+                  "latency_us": {"p50": 1.0, "p99": 1.0},
+                  "cache": {"mb": 1, "hit_rate": 1.0}}
+        keys |= set(mod.cached_server_metrics(cached))
     return keys
 
 
@@ -347,6 +385,7 @@ CHECKS = [
     check_bench_keys,
     check_net_syscall_eintr,
     check_net_no_blocking_outside_client,
+    check_no_raw_std_mutex,
 ]
 
 

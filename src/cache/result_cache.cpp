@@ -1,0 +1,176 @@
+#include "cache/result_cache.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace vicinity::cache {
+
+namespace {
+
+/// Largest power of two <= x (x >= 1).
+std::size_t floor_pow2(std::size_t x) {
+  std::size_t p = 1;
+  while (p * 2 <= x) p *= 2;
+  return p;
+}
+
+/// Smallest power of two >= x (x >= 1).
+std::size_t ceil_pow2(std::size_t x) {
+  std::size_t p = 1;
+  while (p < x) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+std::uint64_t ResultCache::hash_pair(NodeId s, NodeId t) {
+  // splitmix64 finalizer over the packed pair: cheap, and good enough that
+  // the low bits (shard) and the next bits (set) are independently mixed.
+  std::uint64_t x =
+      (static_cast<std::uint64_t>(s) << 32) | static_cast<std::uint64_t>(t);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+ResultCache::ResultCache(const ResultCacheOptions& options) {
+  ways_ = std::clamp(options.ways, 1u, 64u);
+  std::size_t shard_count = options.shards;
+  if (shard_count == 0) {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    shard_count = ceil_pow2(hw);
+  }
+  shard_count = std::clamp<std::size_t>(ceil_pow2(shard_count), 1, 1u << 12);
+  shard_mask_ = shard_count - 1;
+  shard_bits_ = 0;
+  for (std::size_t c = shard_count; c > 1; c /= 2) ++shard_bits_;
+
+  const std::size_t budget_entries =
+      std::max<std::size_t>(options.capacity_bytes / sizeof(Entry), 1);
+  const std::size_t per_shard =
+      std::max<std::size_t>(budget_entries / shard_count, ways_);
+  sets_per_shard_ = floor_pow2(std::max<std::size_t>(per_shard / ways_, 1));
+  set_mask_ = sets_per_shard_ - 1;
+
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    {
+      const util::MutexLock lock(shard->mu);
+      shard->entries.resize(sets_per_shard_ * ways_);
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+bool ResultCache::lookup(NodeId s, NodeId t, std::uint64_t epoch,
+                         core::QueryResult& out) {
+  const std::uint64_t h = hash_pair(s, t);
+  Shard& shard = *shards_[h & shard_mask_];
+  const std::size_t set = (h >> shard_bits_) & set_mask_;
+  const util::MutexLock lock(shard.mu);
+  Entry* ways = shard.entries.data() + set * ways_;
+  for (unsigned w = 0; w < ways_; ++w) {
+    Entry& e = ways[w];
+    if (!e.occupied() || e.s != s || e.t != t) continue;
+    if (e.epoch != epoch) {
+      // The pair survived an apply_update(): lazily invalid. It stays put
+      // (an insert will overwrite it) so invalidation costs nothing here.
+      ++shard.counters.misses;
+      ++shard.counters.stale_misses;
+      return false;
+    }
+    out.dist = e.dist;
+    out.method = static_cast<core::QueryMethod>(e.method);
+    out.hash_lookups = e.hash_lookups;
+    out.exact = e.exact;
+    ++shard.counters.hits;
+    // Move-to-front keeps the set ordered by recency; way 0 is the MRU.
+    std::rotate(ways, ways + w, ways + w + 1);
+    return true;
+  }
+  ++shard.counters.misses;
+  return false;
+}
+
+void ResultCache::insert(NodeId s, NodeId t, std::uint64_t epoch,
+                         const core::QueryResult& result) {
+  const std::uint64_t h = hash_pair(s, t);
+  Shard& shard = *shards_[h & shard_mask_];
+  const std::size_t set = (h >> shard_bits_) & set_mask_;
+  const util::MutexLock lock(shard.mu);
+  Entry* ways = shard.entries.data() + set * ways_;
+  // Victim preference: the pair itself (refresh), an empty way, a
+  // stale-epoch way, then the LRU way. Only displacing a live current-epoch
+  // pair counts as an eviction.
+  unsigned victim = ways_ - 1;
+  bool victim_live = ways[victim].occupied() && ways[victim].epoch == epoch;
+  for (unsigned w = 0; w < ways_; ++w) {
+    Entry& e = ways[w];
+    if (e.occupied() && e.s == s && e.t == t) {
+      victim = w;
+      victim_live = false;  // refreshing a pair is not an eviction
+      break;
+    }
+    if (!e.occupied()) {
+      victim = w;
+      victim_live = false;
+      break;
+    }
+    if (victim_live && e.epoch != epoch) {
+      victim = w;
+      victim_live = false;
+    }
+  }
+  Entry& e = ways[victim];
+  e.s = s;
+  e.t = t;
+  e.epoch = epoch;
+  e.dist = result.dist;
+  e.hash_lookups = result.hash_lookups;
+  e.method = static_cast<std::uint8_t>(result.method);
+  e.exact = result.exact;
+  ++shard.counters.inserts;
+  if (victim_live) ++shard.counters.evictions;
+  std::rotate(ways, ways + victim, ways + victim + 1);
+}
+
+void ResultCache::clear() {
+  for (auto& shard : shards_) {
+    const util::MutexLock lock(shard->mu);
+    std::fill(shard->entries.begin(), shard->entries.end(), Entry{});
+  }
+}
+
+ResultCacheCounters ResultCache::counters() const {
+  ResultCacheCounters total;
+  for (const auto& shard : shards_) {
+    const util::MutexLock lock(shard->mu);
+    total.hits += shard->counters.hits;
+    total.misses += shard->counters.misses;
+    total.stale_misses += shard->counters.stale_misses;
+    total.inserts += shard->counters.inserts;
+    total.evictions += shard->counters.evictions;
+  }
+  return total;
+}
+
+void ResultCache::reset_counters() {
+  for (auto& shard : shards_) {
+    const util::MutexLock lock(shard->mu);
+    shard->counters = ResultCacheCounters{};
+  }
+}
+
+std::size_t ResultCache::capacity_entries() const {
+  return shards_.size() * sets_per_shard_ * ways_;
+}
+
+std::size_t ResultCache::memory_bytes() const {
+  return capacity_entries() * sizeof(Entry);
+}
+
+}  // namespace vicinity::cache

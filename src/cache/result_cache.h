@@ -1,0 +1,140 @@
+// ResultCache — sharded, fixed-capacity, set-associative hot-pair cache in
+// front of the oracle (ROADMAP item 3; "Shortest Paths in Microseconds",
+// arXiv 1309.0874, is the reference for serving skewed social traffic
+// without re-running the oracle).
+//
+// Keying and invalidation: entries are keyed by the ordered pair (s, t) and
+// tagged with the QueryEngine epoch that produced them. A lookup at epoch e
+// only hits an entry whose tag equals e — after apply_update() advances the
+// epoch, every surviving entry is simply a miss (counted as `stale`) and is
+// overwritten by the next insert of its pair. No flush, no invalidation
+// scan, no coordination with the update path at all.
+//
+// Bit-identity: an entry stores the full core::QueryResult (distance,
+// resolution method, hash-probe count, exactness), so a hit reproduces the
+// oracle's answer byte for byte, including the Table-3 method accounting the
+// serving stats are built from. (s, t) and (t, s) are distinct keys on
+// purpose: the oracle reports direction-dependent methods
+// (kTargetInSourceVicinity vs kSourceInTargetVicinity).
+//
+// Concurrency: the table is split into power-of-two shards addressed by the
+// low bits of the pair hash; each shard is an independent set-associative
+// array guarded by its own util::Mutex (annotated — the clang
+// -Wthread-safety CI job checks every access). A lookup or insert touches
+// exactly one shard lock for a handful of cache lines; distinct pairs spread
+// across shards, so the hot path scales with the worker count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/oracle.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+#include "util/types.h"
+
+namespace vicinity::cache {
+
+/// Sizing knobs. Every field is clamped to something serviceable rather
+/// than rejected: a 0 budget still yields one set, ways are clamped to
+/// [1, 64], shard counts are rounded up to a power of two.
+struct ResultCacheOptions {
+  /// Total memory budget for entries; the entry count is budget / 32 bytes
+  /// rounded down to a power of two per shard. Default 64 MiB ≈ 2M pairs.
+  std::size_t capacity_bytes = 64ull << 20;
+  /// Associativity: entries per set, victim is the least recently used way.
+  unsigned ways = 8;
+  /// Lock shards; 0 picks a power of two near the hardware concurrency.
+  unsigned shards = 0;
+};
+
+/// Aggregated counters across all shards (monotonic since construction or
+/// the last reset_counters()).
+struct ResultCacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;        ///< includes stale-epoch misses
+  std::uint64_t stale_misses = 0;  ///< subset of misses: pair present, old epoch
+  std::uint64_t inserts = 0;
+  std::uint64_t evictions = 0;  ///< inserts that displaced a live current-epoch pair
+
+  /// Hits over lookups; 0.0 before any traffic.
+  double hit_rate() const {
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) /
+                                    static_cast<double>(lookups);
+  }
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(const ResultCacheOptions& options = {});
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// True (and fills `out`) iff (s, t) is cached at exactly `epoch`. A pair
+  /// cached at an older epoch is a miss (counted as stale) and stays in
+  /// place until an insert overwrites it.
+  bool lookup(NodeId s, NodeId t, std::uint64_t epoch, core::QueryResult& out);
+
+  /// Records (s, t) -> result at `epoch`. Re-inserting a cached pair
+  /// refreshes it in place (newest epoch wins); otherwise the victim is an
+  /// empty way, any stale-epoch way, or the LRU way of the set.
+  void insert(NodeId s, NodeId t, std::uint64_t epoch,
+              const core::QueryResult& result);
+
+  /// Drops every entry (counters survive). Not needed for correctness —
+  /// epoch tagging already quarantines stale entries — but useful for
+  /// benchmarking cold starts.
+  void clear();
+
+  ResultCacheCounters counters() const;
+  void reset_counters();
+
+  std::size_t shard_count() const { return shards_.size(); }
+  unsigned ways() const { return ways_; }
+  /// Total entry slots across all shards.
+  std::size_t capacity_entries() const;
+  /// Actual table footprint (entry storage only).
+  std::size_t memory_bytes() const;
+
+ private:
+  /// One cached pair (32 bytes after padding). The full QueryResult is
+  /// kept — not just the distance — so hits are bit-identical to oracle
+  /// answers. The set's ways are contiguous, so a probe reads at most
+  /// `ways` * 32 bytes of sequential memory.
+  struct Entry {
+    NodeId s = kInvalidNode;
+    NodeId t = kInvalidNode;
+    std::uint64_t epoch = 0;
+    Distance dist = kInfDistance;
+    std::uint32_t hash_lookups = 0;
+    std::uint8_t method = 0;
+    bool exact = false;
+
+    bool occupied() const { return s != kInvalidNode; }
+  };
+
+  struct Shard {
+    mutable util::Mutex mu;
+    /// sets_per_shard * ways entries; set i occupies [i*ways, (i+1)*ways)
+    /// ordered most- to least-recently used.
+    std::vector<Entry> entries VICINITY_GUARDED_BY(mu);
+    ResultCacheCounters counters VICINITY_GUARDED_BY(mu);
+  };
+
+  static std::uint64_t hash_pair(NodeId s, NodeId t);
+
+  /// Shards hold a util::Mutex (not movable), so the vector stores stable
+  /// unique_ptrs.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  unsigned ways_ = 8;
+  std::size_t sets_per_shard_ = 1;
+  std::uint64_t shard_mask_ = 0;
+  std::uint64_t set_mask_ = 0;
+  unsigned shard_bits_ = 0;
+};
+
+}  // namespace vicinity::cache

@@ -1,7 +1,6 @@
 #include "core/oracle.h"
 
 #include <algorithm>
-#include <mutex>
 #include <stdexcept>
 
 #include "algo/path.h"
@@ -97,7 +96,7 @@ VicinityOracle VicinityOracle::build_impl(const graph::Graph& g,
       options.build_threads == 0
           ? std::max(1u, std::thread::hardware_concurrency())
           : options.build_threads;
-  std::mutex stats_mu;
+  util::Mutex stats_mu;
   OracleBuildStats stats;
   auto build_range = [&](std::size_t lo, std::size_t hi) {
     // Each worker writes disjoint pre-sized slots: a shared hold on the
@@ -123,7 +122,7 @@ VicinityOracle VicinityOracle::build_impl(const graph::Graph& g,
       }
       local.construction_arcs_scanned += v.arcs_scanned;
     }
-    std::lock_guard<std::mutex> lock(stats_mu);
+    const util::MutexLock lock(stats_mu);
     stats.mean_vicinity_size += local.mean_vicinity_size;
     stats.max_vicinity_size =
         std::max(stats.max_vicinity_size, local.max_vicinity_size);

@@ -25,6 +25,20 @@ QueryEngine::QueryEngine(std::shared_ptr<AnyOracle> oracle, unsigned threads)
   mutable_oracle_ = std::move(oracle);
 }
 
+QueryEngine::QueryEngine(std::shared_ptr<const AnyOracle> oracle,
+                         const QueryEngineOptions& options)
+    : QueryEngine(std::move(oracle), options.threads) {
+  if (options.enable_cache) {
+    cache_ = std::make_unique<cache::ResultCache>(options.cache);
+  }
+}
+
+QueryEngine::QueryEngine(std::shared_ptr<AnyOracle> oracle,
+                         const QueryEngineOptions& options)
+    : QueryEngine(std::shared_ptr<const AnyOracle>(oracle), options) {
+  mutable_oracle_ = std::move(oracle);
+}
+
 namespace {
 
 /// Shared null check for the concrete-class conveniences: make_any_oracle
@@ -119,25 +133,46 @@ std::uint64_t QueryEngine::run_batch_epoch(std::span<const Query> queries,
   std::vector<QueryContext*> lane_ctx(lanes);
   for (unsigned i = 0; i < lanes; ++i) lane_ctx[i] = contexts_[i].get();
   const AnyOracle& oracle = *oracle_;
+  // One query, cache-aware. The epoch is pinned for the whole batch (mu_ is
+  // held), so a cache hit tagged at_epoch is exactly the answer the oracle
+  // would produce right now — including method/exactness/probe accounting,
+  // which the hit replays into the lane's stats. Misses go to the oracle
+  // (which records its own stats) and fill the cache on the way out.
+  cache::ResultCache* const cache = cache_.get();
+  const auto serve = [&oracle, cache, at_epoch, queries, results](
+                         std::size_t i, QueryContext& ctx) {
+    const Query q = queries[i];
+    if (cache != nullptr) {
+      QueryResult r;
+      if (cache->lookup(q.s, q.t, at_epoch, r)) {
+        ctx.stats().record(r);
+        results[i] = r;
+        return;
+      }
+      results[i] = oracle.distance(q.s, q.t, ctx);
+      cache->insert(q.s, q.t, at_epoch, results[i]);
+      return;
+    }
+    results[i] = oracle.distance(q.s, q.t, ctx);
+  };
   if (lanes == 1) {
     QueryContext& ctx = *lane_ctx[0];
-    for (std::size_t i = 0; i < queries.size(); ++i) {
-      results[i] = oracle.distance(queries[i].s, queries[i].t, ctx);
-    }
+    for (std::size_t i = 0; i < queries.size(); ++i) serve(i, ctx);
     return at_epoch;
   }
   // Static contiguous balanced chunking, one context per lane. Each query
   // is independent and deterministic against the immutable index, so the
-  // partition never changes the answers — only who computes them.
+  // partition never changes the answers — only who computes them. (With the
+  // cache on, a duplicated pair inside one batch may be answered by the
+  // oracle in two lanes instead of one hitting the other's fill; both
+  // produce the identical QueryResult, so the answer vector is still
+  // bit-identical across thread counts.)
   // parallel_for_ranges rethrows the first worker exception.
   pool_.parallel_for_ranges(
       queries.size(), lanes,
-      [&lane_ctx, &oracle, queries, results](std::uint64_t lo,
-                                             std::uint64_t hi, unsigned lane) {
+      [&lane_ctx, &serve](std::uint64_t lo, std::uint64_t hi, unsigned lane) {
         QueryContext& ctx = *lane_ctx[lane];
-        for (std::uint64_t i = lo; i < hi; ++i) {
-          results[i] = oracle.distance(queries[i].s, queries[i].t, ctx);
-        }
+        for (std::uint64_t i = lo; i < hi; ++i) serve(i, ctx);
       });
   return at_epoch;
 }

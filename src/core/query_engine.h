@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "algo/bidirectional_bfs.h"
+#include "cache/result_cache.h"
 #include "core/any_oracle.h"
 #include "core/dynamic.h"
 #include "core/oracle.h"
@@ -47,6 +48,19 @@ namespace vicinity::core {
 struct Query {
   NodeId s = 0;
   NodeId t = 0;
+};
+
+/// Engine construction knobs beyond the oracle itself.
+struct QueryEngineOptions {
+  /// Worker pool size; 0 selects hardware concurrency.
+  unsigned threads = 0;
+  /// Hot-pair result cache in front of the oracle (cache/result_cache.h).
+  /// Off by default: with it on, run_batch answers repeated (s, t) pairs
+  /// from a single hash probe instead of re-running the oracle. Results
+  /// stay bit-identical — entries carry the full QueryResult and are keyed
+  /// by the batch epoch, so apply_update() invalidates them lazily.
+  bool enable_cache = false;
+  cache::ResultCacheOptions cache;
 };
 
 /// Per-context (and mergeable) query accounting: how a slice of traffic was
@@ -126,6 +140,13 @@ class QueryEngine {
                        unsigned threads = 0);
   explicit QueryEngine(std::shared_ptr<AnyOracle> oracle,
                        unsigned threads = 0);
+
+  /// Options-taking overloads: same const/mutable split, plus the result
+  /// cache when options.enable_cache is set.
+  QueryEngine(std::shared_ptr<const AnyOracle> oracle,
+              const QueryEngineOptions& options);
+  QueryEngine(std::shared_ptr<AnyOracle> oracle,
+              const QueryEngineOptions& options);
 
   // Concrete-class conveniences: wrap the oracle into its AnyOracle adapter
   // (core/any_oracle.h). Shared-const pointers serve frozen snapshots;
@@ -211,6 +232,14 @@ class QueryEngine {
   QueryStats stats() const VICINITY_EXCLUDES(mu_);
   void reset_stats() VICINITY_EXCLUDES(mu_);
 
+  /// The hot-pair result cache, or null when the engine was constructed
+  /// without one (the default). Batch queries probe it before the oracle;
+  /// the single-query query()/path() path never touches it (those are
+  /// unfenced, so no batch-lock-pinned epoch exists to key by). Mutable
+  /// access is for benchmarks (clear(), reset_counters()); the cache's own
+  /// sharded locks make that safe concurrently with batches.
+  cache::ResultCache* result_cache() const { return cache_.get(); }
+
  private:
   std::shared_ptr<const AnyOracle> oracle_;
   /// Same object as oracle_ when constructed mutable; null for engines over
@@ -225,6 +254,10 @@ class QueryEngine {
   std::vector<std::unique_ptr<QueryContext>> contexts_
       VICINITY_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> epoch_{0};
+  /// Hot-pair cache (null unless QueryEngineOptions::enable_cache). Guarded
+  /// internally by its own sharded locks, not by mu_: batch workers probe
+  /// and fill it concurrently while this thread holds mu_ for the dispatch.
+  std::unique_ptr<cache::ResultCache> cache_;
 };
 
 }  // namespace vicinity::core

@@ -133,11 +133,16 @@ void write_stats_reply(FrameWriter& w, const StatsReply& r) {
   w.u64(r.connections_total);
   w.u64(r.max_batch);
   w.u64(r.pending);
+  w.u64(r.cache_hits);
+  w.u64(r.cache_misses);
+  w.u64(r.cache_inserts);
+  w.u64(r.cache_evictions);
   w.f64(r.qps);
   w.f64(r.p50_us);
   w.f64(r.p90_us);
   w.f64(r.p99_us);
   w.f64(r.max_us);
+  w.f64(r.cache_hit_rate);
 }
 
 StatsReply read_stats_reply(FrameReader& r) {
@@ -154,11 +159,16 @@ StatsReply read_stats_reply(FrameReader& r) {
   s.connections_total = r.u64();
   s.max_batch = r.u64();
   s.pending = r.u64();
+  s.cache_hits = r.u64();
+  s.cache_misses = r.u64();
+  s.cache_inserts = r.u64();
+  s.cache_evictions = r.u64();
   s.qps = r.f64();
   s.p50_us = r.f64();
   s.p90_us = r.f64();
   s.p99_us = r.f64();
   s.max_us = r.f64();
+  s.cache_hit_rate = r.f64();
   return s;
 }
 

@@ -216,11 +216,19 @@ struct StatsReply {
   std::uint64_t connections_total = 0;
   std::uint64_t max_batch = 0;         ///< largest coalesced batch so far
   std::uint64_t pending = 0;           ///< admission queue depth right now
+  /// Result-cache counters (all zero when the daemon runs uncached; see
+  /// cache/result_cache.h and vicinityd --cache-mb). Monotonic since start —
+  /// hit-rate over a window is delta(hits) / delta(hits + misses).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;      ///< includes stale-epoch misses
+  std::uint64_t cache_inserts = 0;
+  std::uint64_t cache_evictions = 0;
   double qps = 0.0;                    ///< since the previous kStats
   double p50_us = 0.0;
   double p90_us = 0.0;
   double p99_us = 0.0;
   double max_us = 0.0;
+  double cache_hit_rate = 0.0;         ///< lifetime hits / lookups
 };
 
 void write_stats_reply(FrameWriter& w, const StatsReply& r);

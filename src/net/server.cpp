@@ -60,13 +60,22 @@ Server::Server(std::shared_ptr<core::AnyOracle> oracle, graph::Graph* graph,
     : oracle_(std::move(oracle)),
       graph_(graph),
       opts_(std::move(options)),
-      engine_(oracle_, opts_.engine_threads) {
+      engine_(oracle_, engine_options(opts_)) {
   if (opts_.max_batch == 0) opts_.max_batch = 1;
   if (opts_.latency_window == 0) opts_.latency_window = 1;
   latency_ring_.resize(opts_.latency_window, 0.0);
 }
 
 Server::~Server() { stop(); }
+
+core::QueryEngineOptions Server::engine_options(const ServerOptions& opts) {
+  core::QueryEngineOptions eo;
+  eo.threads = opts.engine_threads;
+  eo.enable_cache = opts.cache_mb > 0;
+  eo.cache.capacity_bytes = opts.cache_mb << 20;
+  eo.cache.ways = opts.cache_ways;
+  return eo;
+}
 
 std::uint64_t Server::now_us() {
   return static_cast<std::uint64_t>(
@@ -443,6 +452,14 @@ StatsReply Server::stats_snapshot() {
   r.connections_open = connections_open_.load(std::memory_order_relaxed);
   r.connections_total = connections_total_.load(std::memory_order_relaxed);
   r.max_batch = max_batch_seen_.load(std::memory_order_relaxed);
+  if (const cache::ResultCache* rc = engine_.result_cache()) {
+    const cache::ResultCacheCounters c = rc->counters();
+    r.cache_hits = c.hits;
+    r.cache_misses = c.misses;
+    r.cache_inserts = c.inserts;
+    r.cache_evictions = c.evictions;
+    r.cache_hit_rate = c.hit_rate();
+  }
   {
     const util::MutexLock lock(bmu_);
     r.pending = queued_units_;

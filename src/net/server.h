@@ -67,6 +67,12 @@ struct ServerOptions {
   /// Request latencies kept for the STATS percentiles (ring of the most
   /// recent samples).
   std::size_t latency_window = 1 << 16;
+  /// Hot-pair result cache budget in MiB (cache/result_cache.h); 0 serves
+  /// every query through the oracle. Entries are epoch-keyed, so
+  /// APPLY_UPDATE invalidates lazily and answers stay bit-identical.
+  std::size_t cache_mb = 0;
+  /// Cache associativity (entries per set) when cache_mb > 0.
+  unsigned cache_ways = 8;
 };
 
 /// The serving loop. Construct over a built oracle (any backend), start(),
@@ -165,6 +171,7 @@ class Server {
   void wake_io();
 
   static std::uint64_t now_us();
+  static core::QueryEngineOptions engine_options(const ServerOptions& opts);
 
   std::shared_ptr<core::AnyOracle> oracle_;
   graph::Graph* graph_;  ///< null = updates refused

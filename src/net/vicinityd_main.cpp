@@ -4,7 +4,13 @@
 //   vicinityd --graph=graph.bin [--index=index.vci] [--port=0]
 //             [--host=127.0.0.1] [--threads=0] [--max-batch=512]
 //             [--max-delay-us=200] [--queue-depth=8192] [--frozen]
+//             [--cache-mb=0] [--cache-ways=8]
 //             [--no-mmap] [--alpha=N] [--verbose]
+//
+// --cache-mb=N puts an N-MiB hot-pair result cache in front of the oracle
+// (cache/result_cache.h): repeated (s, t) queries become one hash probe,
+// epoch-keyed so APPLY_UPDATE invalidates lazily and answers stay
+// bit-identical. STATS reports hits/misses/inserts/evictions/hit-rate.
 //
 // --graph is required (the binary container from `vicinity_cli gen` /
 // graph::save_binary_file). With --index the persisted index is opened —
@@ -63,6 +69,7 @@ int usage() {
       << "usage: vicinityd --graph=FILE.bin [--index=FILE.vci] [--port=N]\n"
          "                 [--host=ADDR] [--threads=N] [--max-batch=N]\n"
          "                 [--max-delay-us=N] [--queue-depth=N] [--frozen]\n"
+         "                 [--cache-mb=N] [--cache-ways=N]\n"
          "                 [--no-mmap] [--alpha=N] [--verbose]\n";
   return 2;
 }
@@ -89,6 +96,9 @@ int main(int argc, char** argv) {
       std::stoul(flag_value(argc, argv, "max-delay-us", "200")));
   opts.queue_depth =
       std::stoul(flag_value(argc, argv, "queue-depth", "8192"));
+  opts.cache_mb = std::stoul(flag_value(argc, argv, "cache-mb", "0"));
+  opts.cache_ways = static_cast<unsigned>(
+      std::stoul(flag_value(argc, argv, "cache-ways", "8")));
 
   try {
     graph::Graph g = graph::load_binary_file(graph_path);
@@ -135,6 +145,11 @@ int main(int argc, char** argv) {
               << s.queries_total << " queries, " << s.updates_total
               << " updates, " << s.shed_total << " shed, " << s.errors_total
               << " errors)\n";
+    if (s.cache_hits + s.cache_misses > 0) {
+      std::cerr << "vicinityd: cache " << s.cache_hits << " hits, "
+                << s.cache_misses << " misses (hit rate " << s.cache_hit_rate
+                << "), " << s.cache_evictions << " evictions\n";
+    }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "vicinityd: fatal: " << e.what() << "\n";

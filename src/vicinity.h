@@ -40,6 +40,7 @@
 #include "baselines/landmark_est.h"
 #include "baselines/sketch_oracle.h"
 #include "baselines/tz_oracle.h"
+#include "cache/result_cache.h"
 #include "core/any_oracle.h"
 #include "core/directed_oracle.h"
 #include "core/dynamic.h"

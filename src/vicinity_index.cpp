@@ -48,6 +48,10 @@ core::QueryEngine Index::engine(unsigned threads) const {
   return core::QueryEngine(oracle_, threads);
 }
 
+core::QueryEngine Index::engine(const core::QueryEngineOptions& options) const {
+  return core::QueryEngine(oracle_, options);
+}
+
 core::QueryResult Index::distance(NodeId s, NodeId t) const {
   ContextSlot& slot = *slot_;
   const util::MutexLock lock(slot.mu);

@@ -92,6 +92,10 @@ class Index {
   /// threads == 0 selects hardware concurrency.
   core::QueryEngine engine(unsigned threads = 0) const;
 
+  /// engine() with full options — notably the hot-pair result cache
+  /// (QueryEngineOptions::enable_cache + cache sizing).
+  core::QueryEngine engine(const core::QueryEngineOptions& options) const;
+
   /// Convenience queries through an internal mutex-guarded context — safe
   /// from any thread but serialized; concurrent callers should use engine()
   /// or AnyOracle with one QueryContext per thread.

@@ -1,0 +1,230 @@
+// ResultCache unit tests: hit/miss/stale semantics, LRU eviction within a
+// set, fixed capacity under pressure, counter accounting, option clamping,
+// and a multithreaded hammer asserting hits always return exactly what was
+// inserted (the bit-identity contract the engine relies on).
+#include "cache/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/oracle.h"
+#include "util/rng.h"
+
+namespace vicinity::cache {
+namespace {
+
+core::QueryResult make_result(Distance d, core::QueryMethod m,
+                              std::uint32_t probes, bool exact) {
+  core::QueryResult r;
+  r.dist = d;
+  r.method = m;
+  r.hash_lookups = probes;
+  r.exact = exact;
+  return r;
+}
+
+/// Deterministic per-key payload for consistency checks.
+core::QueryResult value_for(NodeId s, NodeId t, std::uint64_t epoch) {
+  return make_result(s * 31 + t * 7 + static_cast<Distance>(epoch),
+                     core::QueryMethod::kVicinityIntersection, s ^ t,
+                     (s + t) % 2 == 0);
+}
+
+/// Single-shard single-set cache: every pair collides, so LRU order is
+/// directly observable.
+ResultCacheOptions one_set(unsigned ways) {
+  ResultCacheOptions opt;
+  opt.capacity_bytes = 1;  // clamps to one set of `ways` entries
+  opt.ways = ways;
+  opt.shards = 1;
+  return opt;
+}
+
+TEST(ResultCacheTest, MissThenInsertThenHit) {
+  ResultCache cache{ResultCacheOptions{}};
+  core::QueryResult out;
+  EXPECT_FALSE(cache.lookup(1, 2, 0, out));
+  cache.insert(1, 2, 0, value_for(1, 2, 0));
+  ASSERT_TRUE(cache.lookup(1, 2, 0, out));
+  const core::QueryResult want = value_for(1, 2, 0);
+  EXPECT_EQ(out.dist, want.dist);
+  EXPECT_EQ(out.method, want.method);
+  EXPECT_EQ(out.hash_lookups, want.hash_lookups);
+  EXPECT_EQ(out.exact, want.exact);
+
+  const ResultCacheCounters c = cache.counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.inserts, 1u);
+  EXPECT_EQ(c.evictions, 0u);
+  EXPECT_DOUBLE_EQ(c.hit_rate(), 0.5);
+}
+
+TEST(ResultCacheTest, PairsAreDirectional) {
+  // (s, t) and (t, s) are distinct keys: the oracle's method tag differs by
+  // direction, so collapsing them would break bit-identity.
+  ResultCache cache{ResultCacheOptions{}};
+  cache.insert(3, 9, 0,
+               make_result(4, core::QueryMethod::kTargetInSourceVicinity, 1,
+                           true));
+  core::QueryResult out;
+  EXPECT_FALSE(cache.lookup(9, 3, 0, out));
+  ASSERT_TRUE(cache.lookup(3, 9, 0, out));
+  EXPECT_EQ(out.method, core::QueryMethod::kTargetInSourceVicinity);
+}
+
+TEST(ResultCacheTest, StaleEpochIsAMissUntilReinserted) {
+  ResultCache cache{ResultCacheOptions{}};
+  cache.insert(5, 6, /*epoch=*/0, value_for(5, 6, 0));
+  core::QueryResult out;
+  // Epoch advanced (apply_update): the entry is present but answers nothing.
+  EXPECT_FALSE(cache.lookup(5, 6, /*epoch=*/1, out));
+  const ResultCacheCounters after_stale = cache.counters();
+  EXPECT_EQ(after_stale.stale_misses, 1u);
+  EXPECT_EQ(after_stale.misses, 1u);
+  EXPECT_EQ(after_stale.hits, 0u);
+
+  // Re-insert at the new epoch refreshes in place — no eviction.
+  cache.insert(5, 6, 1, value_for(5, 6, 1));
+  ASSERT_TRUE(cache.lookup(5, 6, 1, out));
+  EXPECT_EQ(out.dist, value_for(5, 6, 1).dist);
+  EXPECT_EQ(cache.counters().evictions, 0u);
+  // And the old epoch no longer answers either (newest wins).
+  EXPECT_FALSE(cache.lookup(5, 6, 0, out));
+}
+
+TEST(ResultCacheTest, CapacityIsFixedUnderPressure) {
+  ResultCacheOptions opt;
+  opt.capacity_bytes = 4096;
+  opt.ways = 4;
+  opt.shards = 2;
+  ResultCache cache{opt};
+  const std::size_t cap = cache.capacity_entries();
+  const std::size_t bytes = cache.memory_bytes();
+  ASSERT_GT(cap, 0u);
+  ASSERT_LE(bytes, 8192u);  // power-of-two rounding stays near the budget
+
+  for (NodeId i = 0; i < 100'000; ++i) {
+    cache.insert(i, i + 1, 0, value_for(i, i + 1, 0));
+  }
+  EXPECT_EQ(cache.capacity_entries(), cap);
+  EXPECT_EQ(cache.memory_bytes(), bytes);
+  const ResultCacheCounters c = cache.counters();
+  EXPECT_EQ(c.inserts, 100'000u);
+  // Far more inserts than slots: almost all displaced a live entry.
+  EXPECT_GE(c.evictions, 100'000u - cap);
+}
+
+TEST(ResultCacheTest, SetEvictsLeastRecentlyUsedWay) {
+  ResultCache cache{one_set(4)};
+  ASSERT_EQ(cache.capacity_entries(), 4u);
+  for (NodeId i = 1; i <= 4; ++i) cache.insert(i, i, 0, value_for(i, i, 0));
+  core::QueryResult out;
+  // Touch pair 1 so pair 2 becomes the LRU, then overflow the set.
+  ASSERT_TRUE(cache.lookup(1, 1, 0, out));
+  cache.insert(5, 5, 0, value_for(5, 5, 0));
+  EXPECT_TRUE(cache.lookup(1, 1, 0, out));
+  EXPECT_FALSE(cache.lookup(2, 2, 0, out));
+  EXPECT_TRUE(cache.lookup(3, 3, 0, out));
+  EXPECT_TRUE(cache.lookup(4, 4, 0, out));
+  EXPECT_TRUE(cache.lookup(5, 5, 0, out));
+  EXPECT_EQ(cache.counters().evictions, 1u);
+}
+
+TEST(ResultCacheTest, StaleWaysAreEvictedBeforeLiveOnes) {
+  ResultCache cache{one_set(4)};
+  cache.insert(1, 1, /*epoch=*/0, value_for(1, 1, 0));
+  for (NodeId i = 2; i <= 4; ++i) cache.insert(i, i, 1, value_for(i, i, 1));
+  // The set is full: one stale way (epoch 0) + three live ones. The next
+  // insert must sacrifice the stale way, not a live pair.
+  cache.insert(5, 5, 1, value_for(5, 5, 1));
+  core::QueryResult out;
+  for (NodeId i = 2; i <= 5; ++i) {
+    EXPECT_TRUE(cache.lookup(i, i, 1, out)) << "pair " << i;
+  }
+  EXPECT_EQ(cache.counters().evictions, 0u);
+}
+
+TEST(ResultCacheTest, ClearDropsEntriesButKeepsCounters) {
+  ResultCache cache{ResultCacheOptions{}};
+  cache.insert(1, 2, 0, value_for(1, 2, 0));
+  core::QueryResult out;
+  ASSERT_TRUE(cache.lookup(1, 2, 0, out));
+  cache.clear();
+  EXPECT_FALSE(cache.lookup(1, 2, 0, out));
+  EXPECT_EQ(cache.counters().hits, 1u);
+  cache.reset_counters();
+  const ResultCacheCounters c = cache.counters();
+  EXPECT_EQ(c.hits + c.misses + c.inserts + c.evictions + c.stale_misses, 0u);
+  EXPECT_DOUBLE_EQ(c.hit_rate(), 0.0);
+}
+
+TEST(ResultCacheTest, DegenerateOptionsAreClamped) {
+  ResultCacheOptions opt;
+  opt.capacity_bytes = 0;
+  opt.ways = 0;
+  opt.shards = 5;  // not a power of two
+  ResultCache cache{opt};
+  EXPECT_EQ(cache.ways(), 1u);
+  EXPECT_EQ(cache.shard_count(), 8u);
+  EXPECT_GE(cache.capacity_entries(), cache.shard_count());
+  // Still functional.
+  cache.insert(7, 8, 3, value_for(7, 8, 3));
+  core::QueryResult out;
+  EXPECT_TRUE(cache.lookup(7, 8, 3, out));
+}
+
+TEST(ResultCacheTest, ShardCountDefaultsToPowerOfTwo) {
+  ResultCache cache{ResultCacheOptions{}};
+  const std::size_t n = cache.shard_count();
+  EXPECT_GE(n, 1u);
+  EXPECT_EQ(n & (n - 1), 0u);
+}
+
+TEST(ResultCacheHammerTest, ConcurrentHitsAlwaysReturnInsertedValues) {
+  // 8 threads over a deliberately small cache (constant eviction pressure),
+  // two epochs. Invariant under every interleaving: a hit at epoch e for
+  // (s, t) returns exactly value_for(s, t, e) — never a torn, stale-epoch,
+  // or wrong-key payload.
+  ResultCacheOptions opt;
+  opt.capacity_bytes = 64 << 10;
+  opt.ways = 4;
+  ResultCache cache{opt};
+
+  constexpr unsigned kThreads = 8;
+  constexpr int kOpsPerThread = 40'000;
+  constexpr NodeId kKeySpace = 512;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (unsigned w = 0; w < kThreads; ++w) {
+    workers.emplace_back([w, &cache] {
+      util::Rng rng(9000 + w);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const auto s = static_cast<NodeId>(rng.next_below(kKeySpace));
+        const auto t = static_cast<NodeId>(rng.next_below(kKeySpace));
+        const std::uint64_t epoch = (i * kThreads + w) % 2;
+        core::QueryResult out;
+        if (cache.lookup(s, t, epoch, out)) {
+          const core::QueryResult want = value_for(s, t, epoch);
+          ASSERT_EQ(out.dist, want.dist) << s << "," << t << "@" << epoch;
+          ASSERT_EQ(out.method, want.method);
+          ASSERT_EQ(out.hash_lookups, want.hash_lookups);
+          ASSERT_EQ(out.exact, want.exact);
+        } else {
+          cache.insert(s, t, epoch, value_for(s, t, epoch));
+        }
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+  const ResultCacheCounters c = cache.counters();
+  EXPECT_EQ(c.hits + c.misses, kThreads * std::uint64_t{kOpsPerThread});
+  EXPECT_GT(c.hits, 0u);
+  EXPECT_GT(c.inserts, 0u);
+}
+
+}  // namespace
+}  // namespace vicinity::cache

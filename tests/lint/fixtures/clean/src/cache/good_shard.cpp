@@ -1,0 +1,20 @@
+// Clean: src/cache locking through the annotated wrappers, plus one
+// allow-marked raw primitive proving the suppression path works.
+#include "util/mutex.h"
+
+namespace vicinity::cache {
+
+struct GoodShard {
+  util::Mutex mu;
+  int value = 0;
+};
+
+int good_read(GoodShard& s) {
+  const util::MutexLock lock(s.mu);
+  return s.value;
+}
+
+// vicinity-lint: allow(no-raw-std-mutex)
+using SanctionedEscapeHatch = std::mutex;
+
+}  // namespace vicinity::cache

@@ -1,0 +1,18 @@
+// Seeded violation: raw std mutex primitives in src/cache must be flagged
+// by no-raw-std-mutex (the util::Mutex wrappers carry the thread-safety
+// annotations).
+#include <mutex>
+
+namespace vicinity::cache {
+
+struct BadShard {
+  std::mutex mu;
+  int value = 0;
+};
+
+int bad_read(BadShard& s) {
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.value;
+}
+
+}  // namespace vicinity::cache

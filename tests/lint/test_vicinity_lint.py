@@ -65,6 +65,12 @@ class ViolationFixtureTest(unittest.TestCase):
         self.assertIn("[net-no-blocking-outside-client]", self.output)
         self.assertIn("bad_blocking.cpp", self.output)
 
+    def test_raw_mutex_rule_fires(self):
+        self.assertIn("[no-raw-std-mutex]", self.output)
+        self.assertIn("bad_mutex.cpp", self.output)
+        # All three seeded sites: the include, the member, the lock_guard.
+        self.assertGreaterEqual(self.output.count("[no-raw-std-mutex]"), 3)
+
 
 class CleanFixtureTest(unittest.TestCase):
     @classmethod
@@ -85,6 +91,11 @@ class CleanFixtureTest(unittest.TestCase):
         # loops and the allow-marked blocking probe must not be reported.
         self.assertNotIn("net-syscall-eintr", self.output)
         self.assertNotIn("net-no-blocking-outside-client", self.output)
+
+    def test_raw_mutex_rule_stays_silent_on_clean_tree(self):
+        # good_shard.cpp locks through util::Mutex and allow-marks its one
+        # raw std::mutex mention; neither may be reported.
+        self.assertNotIn("no-raw-std-mutex", self.output)
 
 
 class RealTreeTest(unittest.TestCase):

@@ -138,11 +138,16 @@ TEST(Protocol, StatsReplyRoundTrip) {
   reply.connections_total = 12;
   reply.max_batch = 512;
   reply.pending = 6;
+  reply.cache_hits = 800;
+  reply.cache_misses = 200;
+  reply.cache_inserts = 195;
+  reply.cache_evictions = 17;
   reply.qps = 123456.5;
   reply.p50_us = 80.25;
   reply.p90_us = 200.0;
   reply.p99_us = 900.75;
   reply.max_us = 5000.0;
+  reply.cache_hit_rate = 0.8;
 
   std::vector<std::uint8_t> payload;
   FrameWriter w(payload);
@@ -162,11 +167,16 @@ TEST(Protocol, StatsReplyRoundTrip) {
   EXPECT_EQ(d.connections_total, reply.connections_total);
   EXPECT_EQ(d.max_batch, reply.max_batch);
   EXPECT_EQ(d.pending, reply.pending);
+  EXPECT_EQ(d.cache_hits, reply.cache_hits);
+  EXPECT_EQ(d.cache_misses, reply.cache_misses);
+  EXPECT_EQ(d.cache_inserts, reply.cache_inserts);
+  EXPECT_EQ(d.cache_evictions, reply.cache_evictions);
   EXPECT_DOUBLE_EQ(d.qps, reply.qps);
   EXPECT_DOUBLE_EQ(d.p50_us, reply.p50_us);
   EXPECT_DOUBLE_EQ(d.p90_us, reply.p90_us);
   EXPECT_DOUBLE_EQ(d.p99_us, reply.p99_us);
   EXPECT_DOUBLE_EQ(d.max_us, reply.max_us);
+  EXPECT_DOUBLE_EQ(d.cache_hit_rate, reply.cache_hit_rate);
 }
 
 TEST(Protocol, EncodeFrameIsHeaderPlusPayload) {

@@ -272,6 +272,67 @@ TEST_F(ServerE2E, StatsCountTraffic) {
   EXPECT_GT(after.qps, 0.0);
 }
 
+TEST(ServerCacheE2E, CachedServerCountsHitsAndInvalidatesOnUpdate) {
+  // A --cache-mb server: repeated pairs must be answered bit-identically to
+  // the oracle while the STATS cache counters climb, and an APPLY_UPDATE
+  // must make every cached entry stale (the next pass misses, re-fills, and
+  // still matches the post-update oracle).
+  graph::Graph g = vicinity::testing::random_connected(600, 2400, 17);
+  auto oracle =
+      core::make_any_oracle(core::VicinityOracle::build(g, small_options()));
+  ServerOptions opts;
+  opts.max_delay_us = 100;
+  opts.cache_mb = 8;
+  Server server(oracle, &g, opts);
+  server.start();
+  Client c;
+  c.connect("127.0.0.1", server.port());
+
+  util::Rng rng(19);
+  std::vector<std::pair<NodeId, NodeId>> pairs(32);
+  for (auto& p : pairs) {
+    p = {static_cast<NodeId>(rng.next_below(g.num_nodes())),
+         static_cast<NodeId>(rng.next_below(g.num_nodes()))};
+  }
+  core::QueryContext ctx;
+  const auto verify_pass = [&] {
+    for (const auto& [s, t] : pairs) {
+      const DistanceReply got = c.distance(s, t);
+      const core::QueryResult want = oracle->distance(s, t, ctx);
+      ASSERT_EQ(got.record.dist, want.dist) << s << "->" << t;
+      ASSERT_EQ(got.record.method, static_cast<std::uint8_t>(want.method));
+      ASSERT_EQ(got.record.exact, want.exact);
+    }
+  };
+
+  verify_pass();  // cold: fills
+  verify_pass();  // warm: every pair repeats
+  const StatsReply warm = c.stats();
+  EXPECT_GE(warm.cache_hits, pairs.size());
+  EXPECT_GT(warm.cache_inserts, 0u);
+  EXPECT_GT(warm.cache_hit_rate, 0.0);
+
+  // Mutate the graph; epoch-keyed entries must all go stale.
+  NodeId u = 0, v = 0;
+  while (true) {
+    u = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    v = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    if (u != v && !g.has_edge(u, v)) break;
+  }
+  c.insert_edge(u, v, 1);
+  verify_pass();  // post-update pass: no stale answer may leak through
+  const StatsReply cold = c.stats();
+  // The first post-update pass cannot hit (all entries carry the old
+  // epoch), so misses grew by at least the pair count.
+  EXPECT_GE(cold.cache_misses, warm.cache_misses + pairs.size());
+  verify_pass();  // and the re-filled cache serves the new epoch
+  const StatsReply rewarm = c.stats();
+  EXPECT_GE(rewarm.cache_hits, cold.cache_hits + pairs.size());
+
+  c.close();
+  server.stop();
+}
+
 TEST_F(ServerE2E, FrozenServerRefusesUpdates) {
   ServerOptions opts;
   Server frozen(oracle_, /*graph=*/nullptr, opts);
