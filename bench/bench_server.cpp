@@ -26,13 +26,25 @@
 // verify phase plus the server's own epoch fencing keep answers
 // bit-identical to an uncached engine throughout.
 //
+// --slow-readers N attaches N deliberately hostile peers for the
+// robustness sweep: each floods pipelined DISTANCE requests and never
+// reads a reply, so the server's per-connection write buffer grows until
+// the --max-conn-buffer-kb cap evicts it (reconnecting and flooding again
+// until the timed run ends). The JSON then carries a "robustness" block —
+// RSS before/after, and the shed/timeout/idle-close/slow-client-close
+// counter deltas — and the run fails unless every abuser was evicted and
+// process RSS stayed bounded while the well-behaved connections' latency
+// set was measured as usual.
+//
 // Usage:
 //   bench_server [--mode closed|open] [--connections C] [--window W]
 //                [--queries Q] [--rate R] [--zipf THETA]
 //                [--scale N] [--edges-per-node K] [--alpha A] [--seed S]
 //                [--max-batch B] [--max-delay-us D] [--queue-depth QD]
 //                [--engine-threads T] [--cache-mb MB] [--cache-ways W]
-//                [--update-every N] [--json PATH|-] [--quick]
+//                [--update-every N] [--slow-readers N]
+//                [--request-timeout-ms MS] [--idle-timeout-ms MS]
+//                [--max-conn-buffer-kb KB] [--json PATH|-] [--quick]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -58,6 +70,7 @@
 #include "graph/components.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "util/memory.h"
 #include "util/rng.h"
 #include "zipf.h"
 #include "util/stats.h"
@@ -81,6 +94,8 @@ struct Options {
   /// Closed-loop only: interleave one APPLY_UPDATE after every N queries
   /// on connection 0 (0 = pure query stream).
   std::size_t update_every = 0;
+  /// Robustness sweep: hostile peers that flood requests and never read.
+  std::size_t slow_readers = 0;
   net::ServerOptions server;
   std::string json;
 };
@@ -92,7 +107,9 @@ struct Options {
                "       [--edges-per-node K] [--alpha A] [--seed S]\n"
                "       [--max-batch B] [--max-delay-us D] [--queue-depth QD]\n"
                "       [--engine-threads T] [--cache-mb MB] [--cache-ways W]\n"
-               "       [--update-every N] [--json PATH|-] [--quick]\n";
+               "       [--update-every N] [--slow-readers N]\n"
+               "       [--request-timeout-ms MS] [--idle-timeout-ms MS]\n"
+               "       [--max-conn-buffer-kb KB] [--json PATH|-] [--quick]\n";
   std::exit(2);
 }
 
@@ -143,6 +160,16 @@ Options parse_args(int argc, char** argv) {
           static_cast<unsigned>(std::stoul(next_value(i)));
     } else if (arg == "--update-every") {
       o.update_every = std::stoull(next_value(i));
+    } else if (arg == "--slow-readers") {
+      o.slow_readers = std::stoull(next_value(i));
+    } else if (arg == "--request-timeout-ms") {
+      o.server.request_timeout_ms =
+          static_cast<std::uint32_t>(std::stoul(next_value(i)));
+    } else if (arg == "--idle-timeout-ms") {
+      o.server.idle_timeout_ms =
+          static_cast<std::uint32_t>(std::stoul(next_value(i)));
+    } else if (arg == "--max-conn-buffer-kb") {
+      o.server.max_conn_buffer_bytes = std::stoull(next_value(i)) << 10;
     } else if (arg == "--json") {
       o.json = next_value(i);
     } else if (arg == "--quick") {
@@ -184,6 +211,7 @@ struct UpdateSpec {
 struct LoadResult {
   std::uint64_t ok = 0;
   std::uint64_t busy = 0;
+  std::uint64_t timed_out = 0;  ///< kTimeout replies (deadline refusals)
   std::uint64_t errors = 0;
   std::vector<double> latency_us;
   std::uint64_t behind = 0;   ///< open-loop sends that missed their slot
@@ -301,6 +329,8 @@ LoadResult run_closed(std::uint16_t port, std::span<const Pair> pairs,
         out.latency_us.push_back(static_cast<double>(now - t0[h.request_id]));
       } else if (h.status == net::Status::kBusy) {
         ++out.busy;
+      } else if (h.status == net::Status::kTimeout) {
+        ++out.timed_out;
       } else {
         ++out.errors;
       }
@@ -352,11 +382,61 @@ LoadResult run_open(std::uint16_t port, std::span<const Pair> pairs,
           t0[r->header.request_id].load(std::memory_order_acquire)));
     } else if (r->header.status == net::Status::kBusy) {
       ++out.busy;
+    } else if (r->header.status == net::Status::kTimeout) {
+      ++out.timed_out;
     } else {
       ++out.errors;
     }
   }
   sender.join();
+  return out;
+}
+
+struct SlowReaderResult {
+  std::uint64_t requests_sent = 0;  ///< flooded frames (no reply ever read)
+  std::uint64_t evictions = 0;      ///< times the server closed us mid-flood
+};
+
+/// Deliberately hostile peer for the robustness sweep: pipelines DISTANCE
+/// requests as fast as the socket accepts them and never reads a single
+/// reply byte, so the server's per-connection write buffer grows until the
+/// --max-conn-buffer-kb cap evicts the connection. On eviction (typed
+/// ClientError from the dead socket) it reconnects and floods again, so
+/// exactly one abuser stays attached until `stop` is set.
+SlowReaderResult run_slow_reader(std::uint16_t port,
+                                 std::span<const Pair> pairs,
+                                 const std::atomic<bool>& stop) {
+  std::vector<std::uint8_t> chunk;
+  chunk.reserve(pairs.size() * (net::kFrameHeaderBytes + 8));
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    net::FrameHeader h;
+    h.payload_len = 8;
+    h.op = net::Op::kDistance;
+    h.request_id = i + 1;
+    std::vector<std::uint8_t> payload;
+    net::FrameWriter w(payload);
+    w.u32(pairs[i].s);
+    w.u32(pairs[i].t);
+    net::encode_frame(h, payload, chunk);
+  }
+
+  SlowReaderResult out;
+  while (!stop.load(std::memory_order_relaxed)) {
+    try {
+      net::Client c;
+      c.connect("127.0.0.1", port);
+      while (!stop.load(std::memory_order_relaxed)) {
+        c.send_bytes(chunk.data(), chunk.size());
+        out.requests_sent += pairs.size();
+      }
+    } catch (const net::ClientError&) {
+      // The server tore the connection down under us — the eviction this
+      // sweep exists to provoke. Back off briefly so the reconnect loop
+      // doesn't degenerate into a connect/evict spin.
+      ++out.evictions;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
   return out;
 }
 
@@ -479,9 +559,22 @@ int main(int argc, char** argv) {
 
   const double per_conn_interval_us =
       opt.rate > 0 ? 1e6 * opt.connections / opt.rate : 0.0;
-  // Snapshot before the timed run: the measured-window cache numbers are
-  // deltas against this, excluding the warmup and verify traffic.
+  // Snapshot before the timed run: the measured-window cache and
+  // robustness numbers are deltas against this, excluding the warmup and
+  // verify traffic.
   const net::StatsReply pre_stats = server.stats_snapshot();
+  const std::uint64_t rss_before = util::current_rss_bytes();
+  // Hostile peers launch first so the abuse brackets the whole measured
+  // window; `stop` releases any abuser the server has not evicted yet.
+  std::atomic<bool> slow_stop{false};
+  std::vector<SlowReaderResult> slow_results(opt.slow_readers);
+  std::vector<std::thread> slow_threads;
+  for (std::size_t si = 0; si < opt.slow_readers; ++si) {
+    slow_threads.emplace_back([&, si] {
+      slow_results[si] =
+          run_slow_reader(server.port(), workload[0], slow_stop);
+    });
+  }
   std::vector<LoadResult> results(opt.connections);
   std::vector<std::thread> threads;
   util::Timer run_timer;
@@ -499,18 +592,28 @@ int main(int argc, char** argv) {
   }
   for (auto& t : threads) t.join();
   const double elapsed = run_timer.elapsed_seconds();
+  slow_stop.store(true, std::memory_order_relaxed);
+  for (auto& t : slow_threads) t.join();
+  const std::uint64_t rss_after = util::current_rss_bytes();
 
-  std::uint64_t ok = 0, busy = 0, errors = 0, behind = 0, updates = 0;
+  std::uint64_t ok = 0, busy = 0, timed_out = 0, errors = 0, behind = 0,
+                updates = 0;
   util::SampleSet latency;
   for (const LoadResult& r : results) {
     ok += r.ok;
     busy += r.busy;
+    timed_out += r.timed_out;
     errors += r.errors;
     behind += r.behind;
     updates += r.updates;
     for (const double l : r.latency_us) latency.add(l);
   }
   const double qps = static_cast<double>(ok) / elapsed;
+  std::uint64_t slow_sent = 0, slow_evictions = 0;
+  for (const SlowReaderResult& r : slow_results) {
+    slow_sent += r.requests_sent;
+    slow_evictions += r.evictions;
+  }
 
   const net::StatsReply sstats = server.stats_snapshot();
   // Measured-window cache behaviour (deltas over the timed run only).
@@ -526,14 +629,25 @@ int main(int argc, char** argv) {
           ? static_cast<double>(cache_hits) /
                 static_cast<double>(cache_hits + cache_misses)
           : 0.0;
-  std::printf("mode=%s connections=%u%s: %llu ok, %llu busy, %llu errors "
-              "in %.2fs\n",
+  // Robustness deltas over the measured window (abuse traffic included).
+  const std::uint64_t d_shed = sstats.shed_total - pre_stats.shed_total;
+  const std::uint64_t d_timeouts =
+      sstats.timeouts_total - pre_stats.timeouts_total;
+  const std::uint64_t d_idle_closes =
+      sstats.idle_closes - pre_stats.idle_closes;
+  const std::uint64_t d_slow_closes =
+      sstats.slow_client_closes - pre_stats.slow_client_closes;
+  const std::uint64_t rss_growth =
+      rss_after > rss_before ? rss_after - rss_before : 0;
+  std::printf("mode=%s connections=%u%s: %llu ok, %llu busy, %llu timeout, "
+              "%llu errors in %.2fs\n",
               opt.mode.c_str(), opt.connections,
               opt.mode == "closed"
                   ? (" window=" + std::to_string(opt.window)).c_str()
                   : (" rate=" + std::to_string(opt.rate)).c_str(),
               static_cast<unsigned long long>(ok),
               static_cast<unsigned long long>(busy),
+              static_cast<unsigned long long>(timed_out),
               static_cast<unsigned long long>(errors), elapsed);
   std::printf("server qps: %.0f\n", qps);
   std::printf("client latency: p50=%.1fus p90=%.1fus p99=%.1fus max=%.1fus\n",
@@ -550,6 +664,22 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cache_misses),
                 cache_hit_rate,
                 static_cast<unsigned long long>(cache_evictions));
+  }
+  if (opt.slow_readers > 0) {
+    std::printf(
+        "slow readers: %zu attached, %llu frames flooded, %llu evictions "
+        "(server: shed=%llu timeouts=%llu idle_closes=%llu "
+        "slow_client_closes=%llu)\n",
+        opt.slow_readers, static_cast<unsigned long long>(slow_sent),
+        static_cast<unsigned long long>(slow_evictions),
+        static_cast<unsigned long long>(d_shed),
+        static_cast<unsigned long long>(d_timeouts),
+        static_cast<unsigned long long>(d_idle_closes),
+        static_cast<unsigned long long>(d_slow_closes));
+    std::printf("process rss: %.1f MiB -> %.1f MiB (growth %.1f MiB)\n",
+                static_cast<double>(rss_before) / (1 << 20),
+                static_cast<double>(rss_after) / (1 << 20),
+                static_cast<double>(rss_growth) / (1 << 20));
   }
   if (updates > 0) {
     std::printf("updates applied during the run: %llu (final epoch %llu)\n",
@@ -582,8 +712,22 @@ int main(int argc, char** argv) {
        << ", \"p99\": " << latency.percentile(99)
        << ", \"max\": " << latency.max() << "},\n"
        << "  \"busy\": " << busy << ",\n"
+       << "  \"timeouts\": " << timed_out << ",\n"
        << "  \"errors\": " << errors << ",\n"
        << "  \"open_loop_behind\": " << behind << ",\n"
+       << "  \"robustness\": {\"slow_readers\": " << opt.slow_readers
+       << ", \"slow_reader_frames\": " << slow_sent
+       << ", \"slow_reader_evictions\": " << slow_evictions
+       << ", \"request_timeout_ms\": " << opt.server.request_timeout_ms
+       << ", \"idle_timeout_ms\": " << opt.server.idle_timeout_ms
+       << ", \"max_conn_buffer_bytes\": " << opt.server.max_conn_buffer_bytes
+       << ", \"shed\": " << d_shed << ", \"timeouts\": " << d_timeouts
+       << ", \"idle_closes\": " << d_idle_closes
+       << ", \"slow_client_closes\": " << d_slow_closes
+       << ", \"rss_before_bytes\": " << rss_before
+       << ", \"rss_after_bytes\": " << rss_after
+       << ", \"rss_growth_mib\": "
+       << (static_cast<double>(rss_growth) / (1 << 20)) << "},\n"
        << "  \"cache\": {\"mb\": " << opt.server.cache_mb
        << ", \"ways\": " << opt.server.cache_ways
        << ", \"hits\": " << cache_hits << ", \"misses\": " << cache_misses
@@ -621,6 +765,27 @@ int main(int argc, char** argv) {
   if (errors > 0) {
     std::cerr << "FAIL: " << errors << " error responses under load\n";
     return 1;
+  }
+  if (opt.slow_readers > 0 && opt.server.max_conn_buffer_bytes > 0) {
+    if (d_slow_closes == 0) {
+      std::cerr << "FAIL: slow readers attached but the write-buffer cap "
+                   "evicted nobody (slow_client_closes stayed 0)\n";
+      return 1;
+    }
+    // The cap bounds what an abuser can pin: per attached abuser allow
+    // the buffered replies (cap) on both server and client side plus
+    // allocator slack; anything past that means the eviction path is not
+    // actually bounding memory.
+    const std::uint64_t rss_bound =
+        opt.slow_readers *
+            (4 * static_cast<std::uint64_t>(opt.server.max_conn_buffer_bytes)) +
+        (std::uint64_t{256} << 20);
+    if (rss_growth > rss_bound) {
+      std::cerr << "FAIL: rss grew " << (rss_growth >> 20)
+                << " MiB under slow-reader abuse (bound " << (rss_bound >> 20)
+                << " MiB)\n";
+      return 1;
+    }
   }
   return 0;
 }

@@ -23,8 +23,9 @@ Usage:
   check_bench_regression.py --throughput tp.json --updates up.json \
       [--directed-throughput tpd.json] [--packed-throughput tpp.json] \
       [--server srv.json] [--cached-server srv_cached.json] \
+      [--overload-server srv_overload.json] \
       --baseline bench/baselines/bench_smoke_baseline.json \
-      --out BENCH_pr9.json [--tolerance 0.20]
+      --out BENCH_pr10.json [--tolerance 0.20]
 
 Stdlib only; no third-party dependencies.
 """
@@ -92,6 +93,31 @@ def cached_server_metrics(server):
     return metrics
 
 
+def overload_server_metrics(server):
+    """Rows from the slow-reader abuse `bench_server --json` run
+    (--slow-readers > 0 with a bounded --max-conn-buffer-kb): the
+    well-behaved connections' qps and tail latency while the abuser is
+    attached, plus how much process RSS the abuse managed to pin. The
+    bench binary itself hard-fails when no eviction happened or RSS blew
+    past its bound, so these rows track the cost of surviving abuse, not
+    whether the defense works."""
+    metrics = {}
+    robustness = server.get("robustness", {})
+    if robustness.get("slow_readers", 0) > 0:
+        if "rss_growth_mib" in robustness:
+            metrics["overload_rss_growth_mib"] = robustness["rss_growth_mib"]
+        if "slow_client_closes" in robustness:
+            metrics["overload_slow_client_closes"] = (
+                robustness["slow_client_closes"])
+    if "server_qps" in server:
+        metrics["overload_qps"] = server["server_qps"]
+    latency = server.get("latency_us", {})
+    for pct in ("p50", "p99"):
+        if pct in latency:
+            metrics[f"overload_{pct}_us"] = latency[pct]
+    return metrics
+
+
 def update_metrics(updates):
     metrics = {}
     if "updates_per_sec" in updates:
@@ -128,6 +154,12 @@ def main():
                     help="cache-enabled bench_server --json output "
                          "(--cache-mb > 0); contributes cache_hit_rate / "
                          "cached_qps / cached_p50_us / cached_p99_us")
+    ap.add_argument("--overload-server", default=None,
+                    help="slow-reader abuse bench_server --json output "
+                         "(--slow-readers > 0); contributes overload_qps / "
+                         "overload_p50_us / overload_p99_us / "
+                         "overload_rss_growth_mib / "
+                         "overload_slow_client_closes")
     ap.add_argument("--baseline", required=True)
     ap.add_argument("--out", required=True)
     ap.add_argument("--tolerance", type=float, default=None,
@@ -159,6 +191,10 @@ def main():
     if args.cached_server:
         cached_server = load_json(args.cached_server)
         metrics.update(cached_server_metrics(cached_server))
+    overload_server = None
+    if args.overload_server:
+        overload_server = load_json(args.overload_server)
+        metrics.update(overload_server_metrics(overload_server))
 
     baseline_metrics = baseline["metrics"]
     failures = []
@@ -225,6 +261,8 @@ def main():
         report["server"] = server
     if cached_server is not None:
         report["cached_server"] = cached_server
+    if overload_server is not None:
+        report["overload_server"] = overload_server
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2)
         f.write("\n")

@@ -21,6 +21,14 @@ Phases:
   8. result cache: a third vicinityd with --cache-mb; STATS cache counters
      grow on repeated pairs, every entry goes stale after APPLY_UPDATE
      (misses, answers unchanged), then the cache re-warms
+  9. graceful drain: SIGTERM with a pipelined burst in flight; every
+     in-flight reply is delivered before the process exits 0
+ 10. fault injection: a daemon running under a benign
+     VICINITY_FAULT_INJECT schedule (EINTR/EAGAIN/short io) still
+     answers bit-for-bit and still drains cleanly
+ 11. idle/slow-loris defense: --idle-timeout-ms evicts both a silent
+     connection and a half-frame slow-loris, counted in STATS, while a
+     healthy connection stays up
 
 Stdlib only. Exit 0 on success; any assertion prints context and exits 1.
 vicinityd's stderr is captured to --stderr-log so CI can dump it on
@@ -44,17 +52,19 @@ import time
 from pathlib import Path
 
 HDR = struct.Struct("<IBBBBQ")  # payload_len, version, op, status, rsvd, rid
-VERSION = 1
+VERSION = 2
 OP_PING, OP_DISTANCE, OP_DISTANCES, OP_PATH, OP_UPDATE, OP_STATS = range(6)
-ST_OK, ST_ERROR, ST_BUSY = range(3)
+ST_OK, ST_ERROR, ST_BUSY, ST_TIMEOUT = range(4)
 INF_DIST = 0xFFFFFFFF
-# STATS payload: 16 u64 counters then 6 doubles (net/protocol.h). Cache
-# counters sit at u64 indices 12..15 (hits, misses, inserts, evictions);
-# the lifetime cache_hit_rate is the last double.
-STATS_FMT = struct.Struct("<16Q6d")
+# STATS payload: 19 u64 counters then 6 doubles (net/protocol.h). Cache
+# counters sit at u64 indices 12..15 (hits, misses, inserts, evictions),
+# the fault-tolerance counters at 16..18 (timeouts_total, idle_closes,
+# slow_client_closes); the lifetime cache_hit_rate is the last double.
+STATS_FMT = struct.Struct("<19Q6d")
 STATS_CACHE_HITS, STATS_CACHE_MISSES = 12, 13
 STATS_CACHE_INSERTS, STATS_CACHE_EVICTIONS = 14, 15
-STATS_CACHE_HIT_RATE = 21
+STATS_TIMEOUTS, STATS_IDLE_CLOSES, STATS_SLOW_CLIENT_CLOSES = 16, 17, 18
+STATS_CACHE_HIT_RATE = 24
 
 FAILURES = []
 
@@ -145,11 +155,16 @@ def cli_distances(cli, graph, index, pairs):
     return dists
 
 
-def start_vicinityd(binary, graph, index, stderr_file, extra=()):
+def start_vicinityd(binary, graph, index, stderr_file, extra=(), env=None):
+    child_env = dict(os.environ)
+    child_env.pop("VICINITY_FAULT_INJECT", None)
+    if env:
+        child_env.update(env)
     proc = subprocess.Popen(
         [binary, f"--graph={graph}", f"--index={index}", "--port=0",
          *extra],
-        stdout=subprocess.PIPE, stderr=stderr_file, text=True)
+        stdout=subprocess.PIPE, stderr=stderr_file, text=True,
+        env=child_env)
     line = proc.stdout.readline()
     m = re.match(r"listening on [\d.]+:(\d+)", line)
     if not m:
@@ -482,6 +497,120 @@ def main():
         if proc3.poll() is None:
             proc3.kill()
             proc3.wait()
+
+    # --- graceful drain: SIGTERM with a burst in flight --------------------
+    # Every request the server accepted before the signal must be answered
+    # (OK, or BUSY if shed by admission) before the process exits 0 —
+    # a kill that drops accepted work is the bug this phase pins.
+    print("== drain under load ==")
+    proc4, port4 = start_vicinityd(
+        str(vicinityd), graph, index, stderr_file,
+        extra=["--max-delay-us=20000", "--drain-timeout-ms=15000"])
+    try:
+        s4 = connect(port4)
+        # Synchronous round-trip before the burst: drain disarms the
+        # listen fd, so a connection still in the accept backlog at
+        # SIGTERM time is never served. The ping guarantees acceptance;
+        # after that every pipelined request is answered (OK or BUSY).
+        s4.sendall(frame(OP_PING, rid=7777))
+        r = recv_frame(s4)
+        check(r is not None and r["rid"] == 7777,
+              f"pre-drain ping failed: {r}")
+        n_inflight = 200
+        for i in range(n_inflight):
+            s4.sendall(distance_req(*pairs[i % len(pairs)], rid=i + 1))
+        time.sleep(0.05)  # let the io thread ingest the burst
+        proc4.send_signal(signal.SIGTERM)
+        delivered = set()
+        while True:
+            r = recv_frame(s4)
+            if r is None:
+                break  # server closed after the last reply
+            check(r["status"] in (ST_OK, ST_BUSY),
+                  f"drain delivered a non-OK/BUSY reply: {r}")
+            delivered.add(r["rid"])
+        check(len(delivered) == n_inflight,
+              f"drain delivered {len(delivered)}/{n_inflight} "
+              f"in-flight replies")
+        s4.close()
+        ret = proc4.wait(timeout=30)
+        check(ret == 0, f"vicinityd exited {ret} after drain")
+        print(f"   {len(delivered)}/{n_inflight} replies delivered")
+    finally:
+        if proc4.poll() is None:
+            proc4.kill()
+            proc4.wait()
+
+    # --- benign fault schedule: correctness is fault-invariant -------------
+    print("== fault injection ==")
+    proc5, port5 = start_vicinityd(
+        str(vicinityd), graph, index, stderr_file,
+        env={"VICINITY_FAULT_INJECT":
+             "seed=9,eintr=0.05,eagain=0.05,short=0.25"})
+    try:
+        s5 = connect(port5)
+        for (s, t), want in zip(pairs, expected):
+            dist = query_distance(s5, s, t)[1]
+            check(dist == want,
+                  f"DISTANCE({s},{t}) = {dist} under faults, want {want}")
+        s5.close()
+        proc5.send_signal(signal.SIGTERM)
+        check(proc5.wait(timeout=30) == 0,
+              "faulted server unclean exit on SIGTERM")
+    finally:
+        if proc5.poll() is None:
+            proc5.kill()
+            proc5.wait()
+
+    # --- idle timeout + slow-loris eviction --------------------------------
+    print("== idle / slow-loris defense ==")
+    proc6, port6 = start_vicinityd(
+        str(vicinityd), graph, index, stderr_file,
+        extra=["--idle-timeout-ms=700"])
+    try:
+        idle = connect(port6)            # connects, then says nothing
+        loris = connect(port6)
+        loris.sendall(distance_req(0, 1, rid=1)[:9])  # half a header, stall
+        active = connect(port6)          # keeps talking; must survive
+        deadline = time.time() + 15
+        evicted = 0
+        # Poll timeouts well under the idle budget: the keep-alive query on
+        # `active` must land at least once per 700 ms idle window.
+        idle.settimeout(0.1)
+        loris.settimeout(0.1)
+        while evicted < 2 and time.time() < deadline:
+            query_distance(active, *pairs[0])  # keep-alive traffic
+            for victim in (idle, loris):
+                if victim is None:
+                    continue
+                try:
+                    if victim.recv(1) == b"":
+                        evicted += 1
+                        victim.close()
+                        if victim is idle:
+                            idle = None
+                        else:
+                            loris = None
+                except socket.timeout:
+                    pass
+        check(evicted == 2,
+              f"only {evicted}/2 stalled connections evicted by "
+              f"--idle-timeout-ms")
+        vals = read_stats(active)
+        check(vals[STATS_IDLE_CLOSES] + vals[STATS_SLOW_CLIENT_CLOSES] >= 2,
+              f"STATS did not count the evictions: "
+              f"idle={vals[STATS_IDLE_CLOSES]} "
+              f"slow={vals[STATS_SLOW_CLIENT_CLOSES]}")
+        # The talkative connection was never evicted and still answers.
+        check(query_distance(active, *pairs[0])[1] == expected[0],
+              "active connection broken by idle sweeps")
+        active.close()
+        proc6.send_signal(signal.SIGTERM)
+        check(proc6.wait(timeout=30) == 0, "idle-phase server unclean exit")
+    finally:
+        if proc6.poll() is None:
+            proc6.kill()
+            proc6.wait()
         stderr_file.close()
 
     if FAILURES:

@@ -35,6 +35,12 @@ Checks invariants no generic tool knows about:
                              syscall treated as a hard error drops
                              connections under load (SIGTERM during
                              drain, profilers, timers).
+  net-syscall-shim           raw I/O syscalls in src/net must go through the
+                             util::fi:: wrappers (util/fault_inject.h) —
+                             `fi::read(...)`, not `::read(...)` — so the
+                             chaos suite's fault injector sees every call
+                             site; a bare syscall is a hole in fault
+                             coverage that no test can exercise.
   net-no-blocking-outside-client
                              blocking socket calls (connect/poll/select/
                              getaddrinfo) are confined to src/net/client.cpp
@@ -276,6 +282,34 @@ def check_net_syscall_eintr(root: Path) -> list[Finding]:
     return findings
 
 
+# Global-scope syscall spellings only: the lookbehind keeps `fi::read(`
+# and `util::fi::write(` (the shim itself) from matching.
+NET_RAW_SYSCALL_RE = re.compile(
+    r"(?<![A-Za-z0-9_])::\s*"
+    r"(read|write|recv|send|sendmsg|readv|writev|accept4|epoll_wait)"
+    r"\s*\(")
+
+
+def check_net_syscall_shim(root: Path) -> list[Finding]:
+    findings = []
+    for path in sorted((root / "src" / "net").glob("*.[hc]*")):
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        raw_lines = raw.splitlines()
+        code_lines = strip_comments_and_strings(raw).splitlines()
+        for lineno, line in enumerate(code_lines, start=1):
+            m = NET_RAW_SYSCALL_RE.search(line)
+            if not m:
+                continue
+            if allowed(raw_lines, lineno, "net-syscall-shim"):
+                continue
+            findings.append(Finding(
+                path, lineno, "net-syscall-shim",
+                f"raw ::{m.group(1)}() bypasses the fault-injection shim — "
+                f"call util::fi::{m.group(1)}() (util/fault_inject.h) so "
+                f"chaos schedules cover this site"))
+    return findings
+
+
 BLOCKING_CALL_RE = re.compile(
     r"(::\s*(connect|poll|select)\s*\(|\bgetaddrinfo\s*\()")
 
@@ -352,6 +386,13 @@ def extractable_bench_keys(root: Path) -> set[str]:
                   "latency_us": {"p50": 1.0, "p99": 1.0},
                   "cache": {"mb": 1, "hit_rate": 1.0}}
         keys |= set(mod.cached_server_metrics(cached))
+    if hasattr(mod, "overload_server_metrics"):
+        overload = {"server_qps": 1.0,
+                    "latency_us": {"p50": 1.0, "p99": 1.0},
+                    "robustness": {"slow_readers": 1,
+                                   "rss_growth_mib": 1.0,
+                                   "slow_client_closes": 1}}
+        keys |= set(mod.overload_server_metrics(overload))
     return keys
 
 
@@ -384,6 +425,7 @@ CHECKS = [
     check_umbrella,
     check_bench_keys,
     check_net_syscall_eintr,
+    check_net_syscall_shim,
     check_net_no_blocking_outside_client,
     check_no_raw_std_mutex,
 ]

@@ -1,17 +1,27 @@
 #include "net/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
+
+#include "util/fault_inject.h"
+#include "util/rng.h"
 
 namespace vicinity::net {
+
+namespace fi = util::fi;
 
 namespace {
 
@@ -20,6 +30,76 @@ namespace {
 /// frames — but still bounds them, so a corrupt length prefix cannot ask
 /// for gigabytes.
 constexpr std::uint32_t kMaxReplyPayloadBytes = 8u << 20;
+
+/// Errnos worth retrying connect() on: the server may simply not be up
+/// yet (tests race daemon start), or transient network weather. Anything
+/// else (bad address family, no route ever) fails the first attempt.
+bool transient_connect_errno(int err) {
+  switch (err) {
+    case ECONNREFUSED:
+    case ECONNRESET:
+    case ETIMEDOUT:
+    case EHOSTUNREACH:
+    case ENETUNREACH:
+    case EADDRNOTAVAIL:
+    case EAGAIN:
+    case EINTR:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// One non-blocking connect attempt with a poll()-enforced deadline.
+/// Returns the connected fd (restored to blocking mode), or -1 with
+/// errno describing the failure.
+int try_connect_once(const sockaddr_in& addr, std::uint32_t timeout_ms) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (fd < 0) return -1;
+  const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof addr);
+  if (rc != 0) {
+    // On a non-blocking socket EINTR means the connect proceeds
+    // asynchronously, same as EINPROGRESS: poll for the outcome.
+    if (errno != EINPROGRESS && errno != EINTR) {
+      const int err = errno;
+      ::close(fd);
+      errno = err;
+      return -1;
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    const int deadline =
+        timeout_ms > 0 ? static_cast<int>(timeout_ms) : -1;
+    int pr;
+    do {
+      pr = ::poll(&pfd, 1, deadline);
+    } while (pr < 0 && errno == EINTR);
+    if (pr <= 0) {
+      const int err = pr == 0 ? ETIMEDOUT : errno;
+      ::close(fd);
+      errno = err;
+      return -1;
+    }
+    int soerr = 0;
+    socklen_t len = sizeof soerr;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 ||
+        soerr != 0) {
+      const int err = soerr != 0 ? soerr : errno;
+      ::close(fd);
+      errno = err;
+      return -1;
+    }
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK) != 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    return -1;
+  }
+  return fd;
+}
 
 std::string reply_message(const RawReply& r) {
   return std::string(reinterpret_cast<const char*>(r.payload.data()),
@@ -40,6 +120,22 @@ FrameReader ok_reader(const RawReply& r, Op expect_op) {
 }
 
 }  // namespace
+
+const char* to_string(ClientErrorKind k) {
+  switch (k) {
+    case ClientErrorKind::kConnect:
+      return "CONNECT";
+    case ClientErrorKind::kTimeout:
+      return "TIMEOUT";
+    case ClientErrorKind::kClosed:
+      return "CLOSED";
+    case ClientErrorKind::kIo:
+      return "IO";
+    case ClientErrorKind::kServer:
+      return "SERVER";
+  }
+  return "?";
+}
 
 DistanceReply parse_distance_reply(const RawReply& r) {
   FrameReader rd = ok_reader(r, Op::kDistance);
@@ -97,37 +193,56 @@ Client::~Client() { close(); }
 
 void Client::connect(const std::string& host, std::uint16_t port) {
   close();
-  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd_ < 0) {
-    throw std::runtime_error("vicinity-client: socket() failed: " +
-                             std::string(std::strerror(errno)));
-  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    close();
-    throw std::runtime_error("vicinity-client: bad address " + host);
+    throw ConnectError("vicinity-client: bad address " + host, 0);
   }
-  int rc;
-  do {
-    rc = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                   sizeof addr);
-  } while (rc != 0 && errno == EINTR);
-  if (rc != 0) {
-    const std::string err = std::strerror(errno);
-    close();
-    throw std::runtime_error("vicinity-client: connect(" + host + ":" +
-                             std::to_string(port) + ") failed: " + err);
+  const std::uint32_t attempts = std::max(1u, opts_.connect_attempts);
+  std::string last_err = "no attempt made";
+  for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff jittered to [0.5, 1.0) of nominal: a herd of
+      // clients reconnecting after a restart decorrelates instead of
+      // hammering the listener in lockstep.
+      const std::uint64_t nominal =
+          static_cast<std::uint64_t>(opts_.backoff_base_ms)
+          << (attempt - 1);
+      const std::uint64_t h = util::mix64(opts_.backoff_seed ^ attempt);
+      const double u = static_cast<double>(h >> 11) *
+                       (1.0 / 9007199254740992.0);  // 53-bit / 2^53
+      const auto delay_ms =
+          static_cast<std::uint64_t>(static_cast<double>(nominal) *
+                                     (0.5 + 0.5 * u));
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+    const int fd = try_connect_once(addr, opts_.connect_timeout_ms);
+    if (fd >= 0) {
+      fd_ = fd;
+      const int one = 1;
+      ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      if (opts_.recv_timeout_ms > 0) {
+        timeval tv{};
+        tv.tv_sec = opts_.recv_timeout_ms / 1000;
+        tv.tv_usec = static_cast<long>(opts_.recv_timeout_ms % 1000) * 1000;
+        ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+      }
+      return;
+    }
+    const int err = errno;
+    last_err = std::strerror(err);
+    if (!transient_connect_errno(err)) {
+      throw ConnectError("vicinity-client: connect(" + host + ":" +
+                             std::to_string(port) + ") failed: " + last_err,
+                         attempt + 1);
+    }
   }
-  const int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  if (opts_.recv_timeout_ms > 0) {
-    timeval tv{};
-    tv.tv_sec = opts_.recv_timeout_ms / 1000;
-    tv.tv_usec = static_cast<long>(opts_.recv_timeout_ms % 1000) * 1000;
-    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-  }
+  throw ConnectError("vicinity-client: connect(" + host + ":" +
+                         std::to_string(port) + ") failed after " +
+                         std::to_string(attempts) +
+                         " attempts: " + last_err,
+                     attempts);
 }
 
 void Client::close() {
@@ -143,11 +258,12 @@ void Client::send_bytes(const void* data, std::size_t n) {
   while (sent < n) {
     ssize_t w;
     do {
-      w = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+      w = fi::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
     } while (w < 0 && errno == EINTR);
     if (w < 0) {
-      throw std::runtime_error("vicinity-client: send failed: " +
-                               std::string(std::strerror(errno)));
+      throw ClientError(ClientErrorKind::kIo,
+                        "vicinity-client: send failed: " +
+                            std::string(std::strerror(errno)));
     }
     sent += static_cast<std::size_t>(w);
   }
@@ -156,14 +272,15 @@ void Client::send_bytes(const void* data, std::size_t n) {
 std::size_t Client::recv_some(void* dst, std::size_t cap) {
   ssize_t r;
   do {
-    r = ::recv(fd_, dst, cap, 0);
+    r = fi::recv(fd_, dst, cap, 0);
   } while (r < 0 && errno == EINTR);
   if (r < 0) {
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
       throw ClientTimeout("vicinity-client: recv timed out");
     }
-    throw std::runtime_error("vicinity-client: recv failed: " +
-                             std::string(std::strerror(errno)));
+    throw ClientError(ClientErrorKind::kIo,
+                      "vicinity-client: recv failed: " +
+                          std::string(std::strerror(errno)));
   }
   return static_cast<std::size_t>(r);
 }
@@ -174,19 +291,20 @@ bool Client::recv_exact(void* dst, std::size_t n) {
   while (got < n) {
     ssize_t r;
     do {
-      r = ::recv(fd_, p + got, n - got, 0);
+      r = fi::recv(fd_, p + got, n - got, 0);
     } while (r < 0 && errno == EINTR);
     if (r < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         throw ClientTimeout("vicinity-client: recv timed out");
       }
-      throw std::runtime_error("vicinity-client: recv failed: " +
-                               std::string(std::strerror(errno)));
+      throw ClientError(ClientErrorKind::kIo,
+                        "vicinity-client: recv failed: " +
+                            std::string(std::strerror(errno)));
     }
     if (r == 0) {
       if (got == 0) return false;  // clean EOF between frames
-      throw std::runtime_error(
-          "vicinity-client: connection closed mid-frame");
+      throw ClientError(ClientErrorKind::kClosed,
+                        "vicinity-client: connection closed mid-frame");
     }
     got += static_cast<std::size_t>(r);
   }
@@ -205,7 +323,8 @@ std::optional<RawReply> Client::recv_reply() {
   out.payload.resize(out.header.payload_len);
   if (out.header.payload_len > 0 &&
       !recv_exact(out.payload.data(), out.payload.size())) {
-    throw std::runtime_error("vicinity-client: connection closed mid-frame");
+    throw ClientError(ClientErrorKind::kClosed,
+                      "vicinity-client: connection closed mid-frame");
   }
   return out;
 }
@@ -213,7 +332,8 @@ std::optional<RawReply> Client::recv_reply() {
 std::uint64_t Client::send_request(Op op,
                                    std::span<const std::uint8_t> payload) {
   if (fd_ < 0) {
-    throw std::runtime_error("vicinity-client: not connected");
+    throw ClientError(ClientErrorKind::kConnect,
+                      "vicinity-client: not connected");
   }
   FrameHeader h;
   h.payload_len = static_cast<std::uint32_t>(payload.size());
@@ -229,8 +349,8 @@ std::uint64_t Client::send_request(Op op,
 RawReply Client::expect_reply(std::uint64_t request_id, Op op) {
   std::optional<RawReply> r = recv_reply();
   if (!r) {
-    throw std::runtime_error(
-        "vicinity-client: server closed the connection");
+    throw ClientError(ClientErrorKind::kClosed,
+                      "vicinity-client: server closed the connection");
   }
   if (r->header.request_id != request_id) {
     throw ProtocolError("response id mismatch (interleaved pipelined use "

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -28,12 +29,38 @@
 
 namespace vicinity::net {
 
-/// A non-OK response from the server (status kError or kBusy), carrying
-/// the server's message payload.
-class ServerError : public std::runtime_error {
+/// Classification of every failure the client raises, so callers
+/// (bench_server, vicinity_cli, chaos tests) branch on failure mode
+/// instead of string-matching what().
+enum class ClientErrorKind : std::uint8_t {
+  kConnect,  ///< connection could not be established (attempts exhausted)
+  kTimeout,  ///< recv deadline fired; connection state unknown afterwards
+  kClosed,   ///< peer closed where (part of) a frame was expected
+  kIo,       ///< hard socket error (errno-level) on an established conn
+  kServer,   ///< the server answered with a non-OK status
+};
+
+const char* to_string(ClientErrorKind k);
+
+/// Base of the client's typed error hierarchy. Derives runtime_error so
+/// pre-existing catch sites keep working unchanged.
+class ClientError : public std::runtime_error {
+ public:
+  ClientError(ClientErrorKind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+
+  ClientErrorKind kind() const { return kind_; }
+
+ private:
+  ClientErrorKind kind_;
+};
+
+/// A non-OK response from the server (status kError, kBusy or kTimeout),
+/// carrying the server's message payload.
+class ServerError : public ClientError {
  public:
   ServerError(Status status, const std::string& message)
-      : std::runtime_error(message), status_(status) {}
+      : ClientError(ClientErrorKind::kServer, message), status_(status) {}
 
   Status status() const { return status_; }
 
@@ -43,16 +70,42 @@ class ServerError : public std::runtime_error {
 
 /// recv timed out (the socket-level SO_RCVTIMEO fired). Distinct from
 /// ServerError: the connection state is unknown afterwards.
-class ClientTimeout : public std::runtime_error {
+class ClientTimeout : public ClientError {
  public:
   explicit ClientTimeout(const std::string& what)
-      : std::runtime_error(what) {}
+      : ClientError(ClientErrorKind::kTimeout, what) {}
+};
+
+/// connect() failed after exhausting its retry budget (or on a
+/// non-transient error, e.g. a malformed address).
+class ConnectError : public ClientError {
+ public:
+  ConnectError(const std::string& what, std::uint32_t attempts)
+      : ClientError(ClientErrorKind::kConnect, what), attempts_(attempts) {}
+
+  /// How many connect attempts were made before giving up.
+  std::uint32_t attempts() const { return attempts_; }
+
+ private:
+  std::uint32_t attempts_;
 };
 
 struct ClientOptions {
   /// SO_RCVTIMEO for every recv; 0 waits forever. A finite default keeps
   /// test drivers from hanging when the server misbehaves.
   std::uint32_t recv_timeout_ms = 30000;
+  /// Per-attempt connect deadline (non-blocking connect + poll); 0 waits
+  /// as long as the kernel does.
+  std::uint32_t connect_timeout_ms = 5000;
+  /// Total connect attempts on transient failures (refused, reset, timed
+  /// out, unreachable); clamped to at least 1. Non-transient failures
+  /// (bad address) fail immediately regardless.
+  std::uint32_t connect_attempts = 3;
+  /// First retry backoff; doubles per retry, jittered to [0.5, 1.0) of the
+  /// nominal value so a reconnect herd decorrelates.
+  std::uint32_t backoff_base_ms = 20;
+  /// Jitter seed; the fixed default keeps test schedules reproducible.
+  std::uint64_t backoff_seed = 0x5eedc11e47ull;
 };
 
 struct RawReply {
@@ -107,8 +160,10 @@ class Client {
     return *this;
   }
 
-  /// Connects (blocking) and enables TCP_NODELAY. Throws std::runtime_error
-  /// on failure.
+  /// Connects and enables TCP_NODELAY. Each attempt is a non-blocking
+  /// connect bounded by connect_timeout_ms; transient failures (refused,
+  /// reset, unreachable, timed out) retry up to connect_attempts times
+  /// with jittered exponential backoff. Throws ConnectError on failure.
   void connect(const std::string& host, std::uint16_t port);
   void close();
   bool connected() const { return fd_ >= 0; }
@@ -133,7 +188,7 @@ class Client {
 
   /// Next response frame off the wire, in server completion order.
   /// nullopt on clean EOF (server closed); ClientTimeout on recv timeout;
-  /// std::runtime_error on socket error.
+  /// ClientError(kIo) on socket error, (kClosed) on EOF mid-frame.
   std::optional<RawReply> recv_reply();
 
   /// Raw transmit, for tests sending malformed or partial frames.

@@ -28,6 +28,8 @@ const char* to_string(Status s) {
       return "ERROR";
     case Status::kBusy:
       return "BUSY";
+    case Status::kTimeout:
+      return "TIMEOUT";
   }
   return "?";
 }
@@ -137,6 +139,9 @@ void write_stats_reply(FrameWriter& w, const StatsReply& r) {
   w.u64(r.cache_misses);
   w.u64(r.cache_inserts);
   w.u64(r.cache_evictions);
+  w.u64(r.timeouts_total);
+  w.u64(r.idle_closes);
+  w.u64(r.slow_client_closes);
   w.f64(r.qps);
   w.f64(r.p50_us);
   w.f64(r.p90_us);
@@ -163,6 +168,9 @@ StatsReply read_stats_reply(FrameReader& r) {
   s.cache_misses = r.u64();
   s.cache_inserts = r.u64();
   s.cache_evictions = r.u64();
+  s.timeouts_total = r.u64();
+  s.idle_closes = r.u64();
+  s.slow_client_closes = r.u64();
   s.qps = r.f64();
   s.p50_us = r.f64();
   s.p90_us = r.f64();

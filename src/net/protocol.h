@@ -8,7 +8,7 @@
 //
 //   offset  size  field
 //        0     4  payload_len   bytes following the 16-byte header
-//        4     1  version       kProtocolVersion (1)
+//        4     1  version       kProtocolVersion (2)
 //        5     1  op            Op below
 //        6     1  status        Status below (0 in requests)
 //        7     1  reserved      must be 0
@@ -48,7 +48,9 @@
 
 namespace vicinity::net {
 
-inline constexpr std::uint8_t kProtocolVersion = 1;
+// Version history: 1 = PR 8 initial protocol; 2 = kTimeout status and the
+// timeouts/idle_closes/slow_client_closes counters in StatsReply.
+inline constexpr std::uint8_t kProtocolVersion = 2;
 inline constexpr std::size_t kFrameHeaderBytes = 16;
 /// Upper bound on one frame's payload. Large enough for a DISTANCES fan
 /// of ~250k targets or a long path; small enough that a hostile length
@@ -69,8 +71,14 @@ const char* to_string(Op op);
 
 enum class Status : std::uint8_t {
   kOk = 0,
-  kError = 1,  ///< malformed request / capability refusal; payload = message
-  kBusy = 2,   ///< admission control shed this request; retry later
+  kError = 1,    ///< malformed request / capability refusal; payload = message
+  kBusy = 2,     ///< admission control shed this request; retry later
+  /// The request was admitted but waited out --request-timeout-ms before a
+  /// batch could run it; it was never executed. Distinct from kBusy (shed
+  /// at admission, queue full) so clients can tell "server refused
+  /// instantly, retry elsewhere" from "server is falling behind its
+  /// latency contract".
+  kTimeout = 3,
 };
 
 const char* to_string(Status s);
@@ -223,6 +231,11 @@ struct StatsReply {
   std::uint64_t cache_misses = 0;      ///< includes stale-epoch misses
   std::uint64_t cache_inserts = 0;
   std::uint64_t cache_evictions = 0;
+  /// Fault-tolerance counters (protocol v2, appended after the cache block
+  /// so v1 consumers' fixed offsets stayed put through the version bump).
+  std::uint64_t timeouts_total = 0;    ///< kTimeout responses (deadline hit)
+  std::uint64_t idle_closes = 0;       ///< conns closed by --idle-timeout-ms
+  std::uint64_t slow_client_closes = 0;  ///< evicted slow/stalled peers
   double qps = 0.0;                    ///< since the previous kStats
   double p50_us = 0.0;
   double p90_us = 0.0;

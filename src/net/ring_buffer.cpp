@@ -6,8 +6,13 @@
 
 #include <cerrno>
 #include <cstring>
+#include <new>
+
+#include "util/fault_inject.h"
 
 namespace vicinity::net {
+
+namespace fi = util::fi;
 
 namespace {
 
@@ -24,6 +29,11 @@ RingBuffer::RingBuffer(std::size_t initial_capacity)
 
 void RingBuffer::grow_to(std::size_t need) {
   if (need <= data_.size()) return;
+  // Allocation choke point for the chaos suite: buffer growth is where a
+  // connection's memory demand scales with peer behavior, so it is where
+  // simulated allocation failure must be survivable (the server closes the
+  // connection; see Server::io_loop's bad_alloc containment).
+  if (fi::inject_alloc_failure()) throw std::bad_alloc();
   std::vector<std::uint8_t> bigger(round_up_pow2(need));
   peek(bigger.data(), size_);  // linearize into the new storage
   data_ = std::move(bigger);
@@ -71,7 +81,7 @@ IoResult RingBuffer::fill_from_fd(int fd, std::size_t min_room) {
   }
   ssize_t n;
   do {
-    n = ::readv(fd, iov, iovcnt);
+    n = fi::readv(fd, iov, iovcnt);
   } while (n < 0 && errno == EINTR);
   if (n < 0) {
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -104,7 +114,7 @@ IoResult RingBuffer::drain_to_fd(int fd) {
   msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
   ssize_t n;
   do {
-    n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    n = fi::sendmsg(fd, &msg, MSG_NOSIGNAL);
   } while (n < 0 && errno == EINTR);
   if (n < 0) {
     if (errno == EAGAIN || errno == EWOULDBLOCK) {

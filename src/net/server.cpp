@@ -1,6 +1,7 @@
 #include "net/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
@@ -12,16 +13,25 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <new>
 #include <stdexcept>
 #include <utility>
 
 #include "core/any_oracle.h"
+#include "util/fault_inject.h"
 #include "util/log.h"
 #include "util/stats.h"
 
 namespace vicinity::net {
 
+namespace fi = util::fi;
+
 namespace {
+
+/// How long accepts stay paused after fd exhaustion before the listen fd
+/// is re-armed. Long enough to stop the level-triggered accept storm,
+/// short enough that a recovered process resumes promptly.
+constexpr std::uint64_t kListenRearmDelayUs = 50'000;
 
 /// RAII close for the error paths of start(); -1 is "not open".
 void close_if_open(int& fd) {
@@ -87,6 +97,11 @@ std::uint64_t Server::now_us() {
 void Server::start() {
   if (running_.load(std::memory_order_acquire)) return;
   stop_requested_.store(false, std::memory_order_release);
+  draining_.store(false, std::memory_order_release);
+  drain_io_idle_.store(false, std::memory_order_release);
+  listen_disarmed_ = false;
+  listen_rearm_at_us_ = 0;
+  last_sweep_us_ = 0;
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
                         0);
@@ -138,6 +153,10 @@ void Server::start() {
   ev.data.fd = wake_fd_;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
 
+  // Reserved fd released under EMFILE so one pending connection can be
+  // accepted and promptly closed instead of stalling in the backlog.
+  spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+
   start_us_ = now_us();
   {
     const util::MutexLock lock(smu_);
@@ -176,59 +195,147 @@ void Server::stop() {
   close_if_open(listen_fd_);
   close_if_open(wake_fd_);
   close_if_open(epoll_fd_);
+  close_if_open(spare_fd_);
+  draining_.store(false, std::memory_order_release);
+}
+
+bool Server::drain(std::uint32_t timeout_ms) {
+  if (!running_.load(std::memory_order_acquire)) return true;
+  draining_.store(true, std::memory_order_release);
+  wake_io();
+  const std::uint64_t deadline =
+      now_us() + static_cast<std::uint64_t>(timeout_ms) * 1000;
+  int settled = 0;
+  for (;;) {
+    bool idle = drain_io_idle_.load(std::memory_order_acquire);
+    if (idle) {
+      const util::MutexLock lock(bmu_);
+      if (!queue_.empty() || batch_busy_) idle = false;
+    }
+    if (idle) {
+      const util::MutexLock lock(rmu_);
+      if (!responses_.empty()) idle = false;
+    }
+    // Require several consecutive idle observations with io-loop wakeups
+    // in between: drain_io_idle_ is the io thread's last published view,
+    // so one stale read must not declare victory while a reply is still
+    // crossing from the batcher.
+    settled = idle ? settled + 1 : 0;
+    if (settled >= 3) return true;
+    if (now_us() >= deadline) return false;
+    wake_io();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
 }
 
 void Server::wake_io() {
   const std::uint64_t one = 1;
+  // The eventfd is process-internal plumbing, not peer-facing I/O: the
+  // kernel cannot transiently fail it, so injected faults here model
+  // nothing — and a fake EAGAIN would break the contract below (real
+  // EAGAIN implies a wakeup is already pending; an injected one does
+  // not, stranding queued responses until the next poll tick).
+  const util::FaultSuppressScope suppress;
   ssize_t n;
   do {
-    n = ::write(wake_fd_, &one, sizeof one);
-  } while (n < 0 && errno == EINTR);
+    // Retries everything except EAGAIN, which subsumes the EINTR retry.
+    // vicinity-lint: allow(net-syscall-eintr)
+    n = fi::write(wake_fd_, &one, sizeof one);
+  } while (n < 0 && errno != EAGAIN);
   // EAGAIN means the counter is already saturated: a wakeup is pending,
-  // which is all this write was for.
+  // which is all this write was for. Every other failure (EINTR, or an
+  // injected fault) must retry — a lost wakeup strands finished responses
+  // until the next poll tick.
 }
 
 // ---- event-loop side -------------------------------------------------------
+
+int Server::io_timeout_ms() const {
+  int t = -1;  // block until an event
+  if (draining_.load(std::memory_order_relaxed)) t = 5;
+  if (listen_disarmed_) t = t < 0 ? 10 : std::min(t, 10);
+  if (opts_.idle_timeout_ms > 0) {
+    // Poll a few times per budget so sweeps observe a stall well before
+    // it doubles the configured timeout.
+    const int tick = std::clamp<int>(
+        static_cast<int>(opts_.idle_timeout_ms / 4), 5, 250);
+    t = t < 0 ? tick : std::min(t, tick);
+  }
+  return t;
+}
 
 void Server::io_loop() {
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
   while (!stop_requested_.load(std::memory_order_acquire)) {
+    if (draining_.load(std::memory_order_acquire) && !listen_disarmed_) {
+      // Drain step 1: stop accepting. Established connections keep being
+      // served until their in-flight replies are flushed.
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      listen_disarmed_ = true;
+      listen_rearm_at_us_ = 0;
+    }
     int n;
     do {
-      n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+      n = fi::epoll_wait(epoll_fd_, events, kMaxEvents, io_timeout_ms());
     } while (n < 0 && errno == EINTR);
     if (n < 0) break;  // epoll fd itself failed; shut down
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       const std::uint32_t mask = events[i].events;
-      if (fd == wake_fd_) {
-        std::uint64_t drained = 0;
-        ssize_t r;
-        do {
-          r = ::read(wake_fd_, &drained, sizeof drained);
-        } while (r < 0 && errno == EINTR);
-        // EAGAIN: another wakeup raced the drain; the loop re-polls anyway.
-        deliver_responses();
-        continue;
+      try {
+        if (fd == wake_fd_) {
+          std::uint64_t drained = 0;
+          ssize_t r;
+          do {
+            r = fi::read(wake_fd_, &drained, sizeof drained);
+          } while (r < 0 && errno == EINTR);
+          // EAGAIN: another wakeup raced the drain; the loop re-polls
+          // anyway (and under injection, level-triggered epoll simply
+          // re-reports the still-readable eventfd).
+          deliver_responses();
+          continue;
+        }
+        if (fd == listen_fd_) {
+          accept_ready();
+          continue;
+        }
+        if (static_cast<std::size_t>(fd) >= conns_.size() ||
+            !conns_[fd].active) {
+          continue;  // closed earlier in this same event batch
+        }
+        if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
+          close_conn(fd);
+          continue;
+        }
+        if ((mask & EPOLLIN) != 0) conn_readable(fd);
+        if (static_cast<std::size_t>(fd) < conns_.size() &&
+            conns_[fd].active && (mask & EPOLLOUT) != 0) {
+          conn_writable(fd);
+        }
+      } catch (const std::bad_alloc&) {
+        // Allocation failure (injected or real) while growing one
+        // connection's buffers: that connection dies, the server does not.
+        if (fd != wake_fd_ && fd != listen_fd_ &&
+            static_cast<std::size_t>(fd) < conns_.size() &&
+            conns_[fd].active) {
+          errors_total_.fetch_add(1, std::memory_order_relaxed);
+          close_conn(fd);
+        }
       }
-      if (fd == listen_fd_) {
-        accept_ready();
-        continue;
+    }
+    const std::uint64_t now = now_us();
+    maybe_rearm_listen(now);
+    sweep_timeouts(now);
+    if (draining_.load(std::memory_order_acquire)) {
+      bool idle = true;
+      for (const Conn& c : conns_) {
+        if (c.active && (c.inflight != 0 || !c.out.empty())) {
+          idle = false;
+          break;
+        }
       }
-      if (static_cast<std::size_t>(fd) >= conns_.size() ||
-          !conns_[fd].active) {
-        continue;  // closed earlier in this same event batch
-      }
-      if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
-        close_conn(fd);
-        continue;
-      }
-      if ((mask & EPOLLIN) != 0) conn_readable(fd);
-      if (static_cast<std::size_t>(fd) < conns_.size() &&
-          conns_[fd].active && (mask & EPOLLOUT) != 0) {
-        conn_writable(fd);
-      }
+      drain_io_idle_.store(idle, std::memory_order_release);
     }
   }
   // Drain any responses the batcher posted between the last poll and the
@@ -236,17 +343,60 @@ void Server::io_loop() {
   deliver_responses();
 }
 
+void Server::maybe_rearm_listen(std::uint64_t now) {
+  if (!listen_disarmed_ || draining_.load(std::memory_order_relaxed)) return;
+  if (now < listen_rearm_at_us_) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0) {
+    listen_disarmed_ = false;
+  }
+}
+
+void Server::sweep_timeouts(std::uint64_t now) {
+  if (opts_.idle_timeout_ms == 0) return;
+  const std::uint64_t budget =
+      static_cast<std::uint64_t>(opts_.idle_timeout_ms) * 1000;
+  if (now - last_sweep_us_ < budget / 8) return;
+  last_sweep_us_ = now;
+  for (std::size_t fd = 0; fd < conns_.size(); ++fd) {
+    Conn& c = conns_[fd];
+    if (!c.active) continue;
+    if (c.partial_since_us != 0 && now - c.partial_since_us > budget) {
+      // Slow loris: bytes trickle in but a frame never completes. The
+      // per-frame clock only resets on a completed frame, so one byte per
+      // tick cannot keep a connection alive forever.
+      slow_client_closes_total_.fetch_add(1, std::memory_order_relaxed);
+      close_conn(static_cast<int>(fd));
+      continue;
+    }
+    if (!c.out.empty() && now - c.last_progress_us > budget) {
+      // Slow reader: replies are queued but the peer accepts no bytes.
+      slow_client_closes_total_.fetch_add(1, std::memory_order_relaxed);
+      close_conn(static_cast<int>(fd));
+      continue;
+    }
+    if (c.inflight == 0 && c.out.empty() && c.in.empty() &&
+        now - c.last_activity_us > budget) {
+      idle_closes_total_.fetch_add(1, std::memory_order_relaxed);
+      close_conn(static_cast<int>(fd));
+    }
+  }
+}
+
 void Server::accept_ready() {
   for (;;) {
     int fd;
     do {
-      fd = ::accept4(listen_fd_, nullptr, nullptr,
-                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+      fd = fi::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
     } while (fd < 0 && errno == EINTR);
     if (fd < 0) {
+      if (errno == EMFILE || errno == ENFILE) handle_accept_overload();
       // EAGAIN/EWOULDBLOCK: accepted everything pending. Other errnos
-      // (EMFILE, ECONNABORTED, ...) are transient here; retry on the next
-      // readiness notification rather than spinning.
+      // (ECONNABORTED, ...) are per-connection and transient; retry on the
+      // next readiness notification rather than spinning.
       return;
     }
     const int one = 1;
@@ -258,6 +408,7 @@ void Server::accept_ready() {
     c = Conn{};
     c.gen = next_gen_++;
     c.active = true;
+    c.last_activity_us = c.last_progress_us = now_us();
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
@@ -268,6 +419,36 @@ void Server::accept_ready() {
     }
     connections_open_.fetch_add(1, std::memory_order_relaxed);
     connections_total_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::handle_accept_overload() {
+  // Out of fds. Two-step degradation instead of a level-triggered busy
+  // spin (where epoll re-reports the pending backlog immediately and
+  // accept fails at 100% CPU forever):
+  //  1. Release the reserved spare fd, accept one pending connection and
+  //     close it immediately — that peer sees a prompt close instead of
+  //     hanging in the listen backlog until its own timeout.
+  //  2. Disarm the listen fd and re-arm after a grace period, so the
+  //     event loop keeps serving established connections at full speed
+  //     while the process sits at its fd limit.
+  if (spare_fd_ >= 0) {
+    ::close(spare_fd_);
+    spare_fd_ = -1;
+    int victim;
+    do {
+      victim = fi::accept4(listen_fd_, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+    } while (victim < 0 && errno == EINTR);
+    if (victim >= 0) ::close(victim);
+    spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+  }
+  if (!listen_disarmed_) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    listen_disarmed_ = true;
+    listen_rearm_at_us_ = now_us() + kListenRearmDelayUs;
+    util::log_debug("vicinityd: fd limit reached; pausing accepts for ",
+                    kListenRearmDelayUs / 1000, "ms");
   }
 }
 
@@ -307,10 +488,11 @@ void Server::conn_readable(int fd) {
 void Server::conn_writable(int fd) { flush_conn(fd); }
 
 void Server::parse_frames(int fd) {
+  bool consumed_any = false;
   for (;;) {
     Conn& c = conns_[fd];
     if (!c.active || c.close_after_flush) return;
-    if (c.in.size() < kFrameHeaderBytes) return;
+    if (c.in.size() < kFrameHeaderBytes) break;
     std::uint8_t hdr[kFrameHeaderBytes];
     c.in.peek(hdr, kFrameHeaderBytes);
     const FrameHeader h =
@@ -330,18 +512,43 @@ void Server::parse_frames(int fd) {
       }
       return;
     }
-    if (c.in.size() < kFrameHeaderBytes + h.payload_len) return;  // partial
+    if (c.in.size() < kFrameHeaderBytes + h.payload_len) break;  // partial
     c.in.consume(kFrameHeaderBytes);
     std::vector<std::uint8_t> payload(h.payload_len);
     c.in.peek(payload.data(), payload.size());
     c.in.consume(payload.size());
     dispatch(fd, h, payload);
+    consumed_any = true;
+  }
+  // Slow-loris bookkeeping. The mid-frame clock (partial_since_us) starts
+  // when bytes sit in the buffer without forming a complete frame and only
+  // restarts when a frame completes — a peer dribbling one byte per tick
+  // keeps last_activity_us fresh but can never reset this clock, so
+  // sweep_timeouts() evicts it after one idle budget.
+  Conn& c = conns_[fd];
+  if (!c.active) return;
+  const std::uint64_t now = now_us();
+  if (consumed_any) c.last_activity_us = now;
+  if (c.in.empty()) {
+    c.partial_since_us = 0;
+  } else if (consumed_any || c.partial_since_us == 0) {
+    c.partial_since_us = now;
   }
 }
 
 void Server::dispatch(int fd, const FrameHeader& header,
                       std::span<const std::uint8_t> payload) {
   requests_total_.fetch_add(1, std::memory_order_relaxed);
+  if (draining_.load(std::memory_order_acquire) && header.op != Op::kPing &&
+      header.op != Op::kStats) {
+    // Drain step 2: no new work enters the batcher; only replies already
+    // owed leave. PING/STATS stay answerable so health checks see the
+    // drain progressing.
+    shed_total_.fetch_add(1, std::memory_order_relaxed);
+    send_error(fd, header.request_id, header.op, Status::kBusy,
+               "server draining; retry elsewhere");
+    return;
+  }
   const NodeId num_nodes = oracle_->graph().num_nodes();
   try {
     FrameReader r(payload);
@@ -452,6 +659,10 @@ StatsReply Server::stats_snapshot() {
   r.connections_open = connections_open_.load(std::memory_order_relaxed);
   r.connections_total = connections_total_.load(std::memory_order_relaxed);
   r.max_batch = max_batch_seen_.load(std::memory_order_relaxed);
+  r.timeouts_total = timeouts_total_.load(std::memory_order_relaxed);
+  r.idle_closes = idle_closes_total_.load(std::memory_order_relaxed);
+  r.slow_client_closes =
+      slow_client_closes_total_.load(std::memory_order_relaxed);
   if (const cache::ResultCache* rc = engine_.result_cache()) {
     const cache::ResultCacheCounters c = rc->counters();
     r.cache_hits = c.hits;
@@ -496,8 +707,26 @@ void Server::send_frame(int fd, const FrameHeader& header,
   std::vector<std::uint8_t> frame;
   frame.reserve(kFrameHeaderBytes + payload.size());
   encode_frame(header, payload, frame);
+  if (c.out.empty()) c.last_progress_us = now_us();  // slow-reader clock
   c.out.append(frame.data(), frame.size());
+  if (enforce_out_cap(fd)) return;
   flush_conn(fd);
+}
+
+bool Server::enforce_out_cap(int fd) {
+  Conn& c = conns_[fd];
+  if (!c.active) return true;
+  if (opts_.max_conn_buffer_bytes == 0 ||
+      c.out.size() <= opts_.max_conn_buffer_bytes) {
+    return false;
+  }
+  // The peer pipelines requests faster than it reads replies; buffering
+  // more would let one connection grow server memory without bound.
+  slow_client_closes_total_.fetch_add(1, std::memory_order_relaxed);
+  util::log_debug("vicinityd: evicting slow reader fd=", fd, " (",
+                  c.out.size(), " reply bytes buffered)");
+  close_conn(fd);
+  return true;
 }
 
 void Server::send_error(int fd, std::uint64_t request_id, Op op,
@@ -516,6 +745,7 @@ void Server::flush_conn(int fd) {
     close_conn(fd);
     return;
   }
+  if (r.bytes > 0) c.last_progress_us = now_us();
   if (c.out.empty()) {
     if (c.want_write) {
       epoll_event ev{};
@@ -562,7 +792,17 @@ void Server::deliver_responses() {
     Conn& c = conns_[r.fd];
     if (!c.active || c.gen != r.gen) continue;  // connection was replaced
     if (c.inflight > 0) c.inflight--;
-    c.out.append(r.frame.data(), r.frame.size());
+    if (c.out.empty()) c.last_progress_us = now_us();
+    try {
+      c.out.append(r.frame.data(), r.frame.size());
+    } catch (const std::bad_alloc&) {
+      // Buffer growth failed (injected or real): this connection dies, the
+      // rest of the response batch still delivers.
+      errors_total_.fetch_add(1, std::memory_order_relaxed);
+      close_conn(r.fd);
+      continue;
+    }
+    if (enforce_out_cap(r.fd)) continue;
     if (dirty.empty() || dirty.back().first != r.fd) {
       dirty.emplace_back(r.fd, r.gen);
     }
@@ -592,6 +832,10 @@ void Server::batch_loop() {
   while (collect_flush(flush)) {
     process_flush(flush);
     flush.clear();
+    {
+      const util::MutexLock lock(bmu_);
+      batch_busy_ = false;
+    }
   }
 }
 
@@ -607,6 +851,7 @@ bool Server::collect_flush(std::vector<WorkItem>& flush) {
         flush.push_back(std::move(queue_.front()));
         queue_.pop_front();
         queued_units_ -= 1;
+        batch_busy_ = true;
         return true;
       }
       std::size_t units = 0;
@@ -633,6 +878,7 @@ bool Server::collect_flush(std::vector<WorkItem>& flush) {
           queued_units_ -= u;
           flush.push_back(std::move(it));
         }
+        batch_busy_ = true;
         return true;
       }
       // Not full yet: sleep out the remainder of the delay budget.
@@ -681,12 +927,31 @@ void Server::process_flush(std::vector<WorkItem>& flush) {
     return;
   }
 
+  // Per-request deadline: items that waited out --request-timeout-ms in
+  // the admission queue are answered kTimeout and never executed — the
+  // client already gave up on them, and running them anyway would spend
+  // engine time making every later request in this batch later too.
+  std::vector<bool> expired;
+  const std::uint64_t deadline_us =
+      static_cast<std::uint64_t>(opts_.request_timeout_ms) * 1000;
+  if (deadline_us > 0) {
+    const std::uint64_t now = now_us();
+    expired.assign(flush.size(), false);
+    for (std::size_t i = 0; i < flush.size(); ++i) {
+      expired[i] = now - flush[i].enqueue_us > deadline_us;
+    }
+  }
+  const auto is_expired = [&](std::size_t i) {
+    return !expired.empty() && expired[i];
+  };
+
   // Coalesce every distance-type unit of the flush into one engine batch.
   std::vector<core::Query> queries;
   std::vector<std::size_t> offsets(flush.size(), 0);
   for (std::size_t i = 0; i < flush.size(); ++i) {
     const WorkItem& it = flush[i];
     offsets[i] = queries.size();
+    if (is_expired(i)) continue;
     switch (it.op) {
       case Op::kDistance:
         queries.push_back({it.s, it.t});
@@ -735,6 +1000,18 @@ void Server::process_flush(std::vector<WorkItem>& flush) {
     Response resp;
     resp.fd = it.fd;
     resp.gen = it.gen;
+    if (is_expired(i)) {
+      timeouts_total_.fetch_add(1, std::memory_order_relaxed);
+      resp.frame = make_error_frame(
+          it.op, Status::kTimeout, it.request_id,
+          "request exceeded the " +
+              std::to_string(opts_.request_timeout_ms) +
+              "ms deadline before execution");
+      out.push_back(std::move(resp));
+      // Not recorded in the latency window: percentiles describe work the
+      // engine performed, and a timeout is precisely work it refused.
+      continue;
+    }
     if (!batch_error.empty() && it.op != Op::kPath) {
       resp.frame =
           make_error_frame(it.op, Status::kError, it.request_id, batch_error);

@@ -29,6 +29,15 @@
 // serving under a live update stream. Past queue_depth pending query
 // units, admission sheds new requests with a BUSY response instead of
 // letting the queue (and tail latency) grow without bound.
+//
+// Fault tolerance: every raw syscall on this path goes through the
+// util::fi shim (util/fault_inject.h) so chaos tests can inject EINTR,
+// EAGAIN, short transfers, ECONNRESET, EMFILE and allocation failure;
+// request_timeout_ms answers kTimeout instead of executing stale
+// batches; idle_timeout_ms + max_conn_buffer_bytes evict dead, slow-loris
+// and slow-reader peers; fd exhaustion sheds via a reserved spare fd and
+// a timed listen-fd disarm instead of busy-spinning; drain() implements
+// the SIGTERM contract (stop accepting, finish in-flight work, flush).
 #pragma once
 
 #include <atomic>
@@ -73,6 +82,22 @@ struct ServerOptions {
   std::size_t cache_mb = 0;
   /// Cache associativity (entries per set) when cache_mb > 0.
   unsigned cache_ways = 8;
+  /// Per-request deadline: an admitted request that waits longer than this
+  /// before its batch runs is answered with status kTimeout and never
+  /// executed — late answers are refused, not silently computed against a
+  /// stale batch budget. 0 disables. APPLY_UPDATE is exempt (it is a
+  /// fence; applying it late is still correct).
+  std::uint32_t request_timeout_ms = 0;
+  /// Idle/slow-peer budget: a connection that is silent with nothing
+  /// pending (idle_closes), stalls mid-frame without ever completing one
+  /// (slow-loris), or accepts no reply bytes while output is queued is
+  /// closed (slow_client_closes). 0 disables.
+  std::uint32_t idle_timeout_ms = 0;
+  /// Per-connection write-buffer cap: a pipelining peer that falls more
+  /// than this many buffered reply bytes behind is evicted
+  /// (slow_client_closes) instead of growing server memory without bound.
+  /// 0 = unbounded.
+  std::size_t max_conn_buffer_bytes = 64u << 20;
 };
 
 /// The serving loop. Construct over a built oracle (any backend), start(),
@@ -101,6 +126,15 @@ class Server {
   /// (it only sets a flag and writes an eventfd before joining).
   void stop();
 
+  /// Graceful drain, the SIGTERM contract: stops accepting connections,
+  /// sheds newly arriving query/update work with BUSY, completes every
+  /// in-flight batch and flushes every queued reply byte. Returns true
+  /// when fully drained, false when timeout_ms elapsed first; either way
+  /// the caller still invokes stop() to close connections and join
+  /// threads. Blocking — call from the signal-watching thread, not from a
+  /// handler.
+  bool drain(std::uint32_t timeout_ms);
+
   bool running() const { return running_.load(std::memory_order_acquire); }
 
   /// The bound port (useful with options.port == 0). Valid after start().
@@ -121,6 +155,10 @@ class Server {
     bool close_after_flush = false;
     bool read_closed = false;      ///< peer EOF seen; drain then close
     std::uint32_t inflight = 0;    ///< requests owned by the batcher
+    std::uint64_t last_activity_us = 0;  ///< accept / last complete frame
+    std::uint64_t partial_since_us = 0;  ///< mid-frame bytes pending since
+                                         ///< (0 = none); slow-loris clock
+    std::uint64_t last_progress_us = 0;  ///< out buffer last shrank/filled
   };
 
   /// One request unit crossing to the batcher.
@@ -145,6 +183,14 @@ class Server {
   // -- event-loop side -----------------------------------------------------
   void io_loop();
   void accept_ready();
+  void handle_accept_overload();
+  void maybe_rearm_listen(std::uint64_t now);
+  void sweep_timeouts(std::uint64_t now);
+  /// epoll_wait timeout: -1 (block) unless a timer needs servicing.
+  int io_timeout_ms() const;
+  /// Evicts fd when its out buffer exceeds max_conn_buffer_bytes; true
+  /// when the connection is gone (evicted now or already inactive).
+  bool enforce_out_cap(int fd);
   void conn_readable(int fd);
   void conn_writable(int fd);
   void parse_frames(int fd);
@@ -180,16 +226,27 @@ class Server {
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
-  int wake_fd_ = -1;  ///< eventfd: batcher -> event loop
+  int wake_fd_ = -1;   ///< eventfd: batcher -> event loop
+  int spare_fd_ = -1;  ///< reserved fd released to shed accepts at EMFILE
   std::uint16_t bound_port_ = 0;
   std::vector<Conn> conns_;  ///< indexed by fd
   std::uint64_t next_gen_ = 1;
   std::uint64_t start_us_ = 0;
 
+  // io-thread-only accept backoff state (EMFILE handling / drain).
+  bool listen_disarmed_ = false;
+  std::uint64_t listen_rearm_at_us_ = 0;
+  std::uint64_t last_sweep_us_ = 0;
+
   std::thread io_thread_;
   std::thread batch_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> draining_{false};
+  /// io thread's published "every connection has zero in-flight requests
+  /// and an empty out buffer" observation, recomputed each poll while
+  /// draining; drain() combines it with the queue/response checks.
+  std::atomic<bool> drain_io_idle_{false};
 
   /// Batcher-thread-only query scratch for PATH requests (engine.path runs
   /// on a caller context; the batcher is the sole query/update issuer, so
@@ -200,6 +257,9 @@ class Server {
   std::deque<WorkItem> queue_ VICINITY_GUARDED_BY(bmu_);
   std::size_t queued_units_ VICINITY_GUARDED_BY(bmu_) = 0;
   bool batch_stop_ VICINITY_GUARDED_BY(bmu_) = false;
+  /// True from a flush being collected until its responses are posted, so
+  /// drain() can tell "queue empty" from "queue empty and nothing mid-batch".
+  bool batch_busy_ VICINITY_GUARDED_BY(bmu_) = false;
   util::CondVar bcv_;
 
   util::Mutex rmu_;  ///< finished responses, batcher -> event loop
@@ -222,6 +282,9 @@ class Server {
   std::atomic<std::uint64_t> connections_open_{0};
   std::atomic<std::uint64_t> connections_total_{0};
   std::atomic<std::uint64_t> max_batch_seen_{0};
+  std::atomic<std::uint64_t> timeouts_total_{0};
+  std::atomic<std::uint64_t> idle_closes_total_{0};
+  std::atomic<std::uint64_t> slow_client_closes_total_{0};
 };
 
 }  // namespace vicinity::net

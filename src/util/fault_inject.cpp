@@ -1,0 +1,319 @@
+#include "util/fault_inject.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace vicinity::util {
+
+namespace {
+
+thread_local int t_suppress_depth = 0;
+
+/// One stateless splitmix64-mixed draw indexed by (seed, sequence): a
+/// given seed always yields the same fault at the same draw index.
+double unit_draw(std::uint64_t seed, std::uint64_t sequence) {
+  return static_cast<double>(mix64(seed ^ mix64(sequence)) >> 11) *
+         (1.0 / 9007199254740992.0);  // 53-bit mantissa / 2^53
+}
+
+double parse_probability(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  double p = 0.0;
+  try {
+    p = std::stod(value, &used);
+  } catch (const std::exception&) {
+    used = std::string::npos;
+  }
+  if (used != value.size() || p < 0.0 || p > 1.0) {
+    throw std::runtime_error("VICINITY_FAULT_INJECT: bad probability for '" +
+                             key + "': " + value);
+  }
+  return p;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::configure(const FaultPlan& plan) {
+  enabled_.store(false, std::memory_order_relaxed);
+  seed_ = plan.seed;
+  p_eintr_ = plan.eintr;
+  p_eagain_ = plan.eagain;
+  p_short_ = plan.short_io;
+  p_reset_ = plan.conn_reset;
+  p_emfile_ = plan.emfile;
+  p_alloc_ = plan.alloc_fail;
+  sequence_.store(0, std::memory_order_relaxed);
+  reset_counters();
+  enabled_.store(plan.any(), std::memory_order_release);
+}
+
+bool FaultInjector::configure_from_env() {
+  const char* env = std::getenv("VICINITY_FAULT_INJECT");
+  if (env == nullptr || *env == '\0') return false;
+  FaultPlan plan;
+  std::string spec(env);
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("VICINITY_FAULT_INJECT: expected key=value, "
+                               "got '" + item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "seed") {
+      try {
+        plan.seed = std::stoull(value);
+      } catch (const std::exception&) {
+        throw std::runtime_error("VICINITY_FAULT_INJECT: bad seed: " + value);
+      }
+    } else if (key == "eintr") {
+      plan.eintr = parse_probability(key, value);
+    } else if (key == "eagain") {
+      plan.eagain = parse_probability(key, value);
+    } else if (key == "short") {
+      plan.short_io = parse_probability(key, value);
+    } else if (key == "reset") {
+      plan.conn_reset = parse_probability(key, value);
+    } else if (key == "emfile") {
+      plan.emfile = parse_probability(key, value);
+    } else if (key == "alloc") {
+      plan.alloc_fail = parse_probability(key, value);
+    } else {
+      throw std::runtime_error("VICINITY_FAULT_INJECT: unknown key '" + key +
+                               "'");
+    }
+  }
+  configure(plan);
+  return plan.any();
+}
+
+void FaultInjector::disable() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+bool FaultInjector::armed() const {
+  return enabled_.load(std::memory_order_relaxed) && t_suppress_depth == 0;
+}
+
+FaultInjector::Fault FaultInjector::draw(unsigned site_mask) {
+  c_calls_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t seq = sequence_.fetch_add(1, std::memory_order_relaxed);
+  const double u = unit_draw(seed_, seq);
+  // Walk the cumulative probability windows of the faults this site is
+  // eligible for; one uniform draw decides among them.
+  double acc = 0.0;
+  const bool io = (site_mask & (kRead | kWrite)) != 0;
+  if ((site_mask & (kRead | kWrite | kAccept | kWait)) != 0) {
+    acc += p_eintr_;
+    if (u < acc) {
+      c_eintr_.fetch_add(1, std::memory_order_relaxed);
+      return Fault::kEintr;
+    }
+  }
+  if (io || (site_mask & kAccept) != 0) {
+    acc += p_eagain_;
+    if (u < acc) {
+      c_eagain_.fetch_add(1, std::memory_order_relaxed);
+      return Fault::kEagain;
+    }
+  }
+  if (io) {
+    acc += p_short_;
+    if (u < acc) {
+      c_short_.fetch_add(1, std::memory_order_relaxed);
+      return Fault::kShortIo;
+    }
+    acc += p_reset_;
+    if (u < acc) {
+      c_reset_.fetch_add(1, std::memory_order_relaxed);
+      return Fault::kConnReset;
+    }
+  }
+  if ((site_mask & kAccept) != 0) {
+    acc += p_emfile_;
+    if (u < acc) {
+      c_emfile_.fetch_add(1, std::memory_order_relaxed);
+      return Fault::kEmfile;
+    }
+  }
+  if ((site_mask & kAlloc) != 0) {
+    acc += p_alloc_;
+    if (u < acc) {
+      c_alloc_.fetch_add(1, std::memory_order_relaxed);
+      return Fault::kAllocFail;
+    }
+  }
+  return Fault::kNone;
+}
+
+FaultCounters FaultInjector::counters() const {
+  FaultCounters c;
+  c.calls = c_calls_.load(std::memory_order_relaxed);
+  c.eintr = c_eintr_.load(std::memory_order_relaxed);
+  c.eagain = c_eagain_.load(std::memory_order_relaxed);
+  c.short_io = c_short_.load(std::memory_order_relaxed);
+  c.conn_reset = c_reset_.load(std::memory_order_relaxed);
+  c.emfile = c_emfile_.load(std::memory_order_relaxed);
+  c.alloc_fail = c_alloc_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void FaultInjector::reset_counters() {
+  c_calls_.store(0, std::memory_order_relaxed);
+  c_eintr_.store(0, std::memory_order_relaxed);
+  c_eagain_.store(0, std::memory_order_relaxed);
+  c_short_.store(0, std::memory_order_relaxed);
+  c_reset_.store(0, std::memory_order_relaxed);
+  c_emfile_.store(0, std::memory_order_relaxed);
+  c_alloc_.store(0, std::memory_order_relaxed);
+}
+
+FaultSuppressScope::FaultSuppressScope() { ++t_suppress_depth; }
+FaultSuppressScope::~FaultSuppressScope() { --t_suppress_depth; }
+
+namespace fi {
+
+namespace {
+
+using Fault = FaultInjector::Fault;
+
+/// Maps an error-class fault to errno and reports whether one fired.
+/// kShortIo and kNone fall through to the (possibly clamped) real call.
+bool fail_now(Fault f, int emfile_errno = EMFILE) {
+  switch (f) {
+    case Fault::kEintr:
+      errno = EINTR;
+      return true;
+    case Fault::kEagain:
+      errno = EAGAIN;
+      return true;
+    case Fault::kConnReset:
+      errno = ECONNRESET;
+      return true;
+    case Fault::kEmfile:
+      errno = emfile_errno;
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+ssize_t read(int fd, void* buf, std::size_t count) {
+  FaultInjector& inj = FaultInjector::instance();
+  if (inj.armed()) {
+    const Fault f = inj.draw(FaultInjector::kRead);
+    if (fail_now(f)) return -1;
+    if (f == Fault::kShortIo && count > 1) count = 1;
+  }
+  return ::read(fd, buf, count);
+}
+
+ssize_t write(int fd, const void* buf, std::size_t count) {
+  FaultInjector& inj = FaultInjector::instance();
+  if (inj.armed()) {
+    const Fault f = inj.draw(FaultInjector::kWrite);
+    if (fail_now(f)) return -1;
+    if (f == Fault::kShortIo && count > 1) count = 1;
+  }
+  return ::write(fd, buf, count);
+}
+
+ssize_t recv(int fd, void* buf, std::size_t count, int flags) {
+  FaultInjector& inj = FaultInjector::instance();
+  if (inj.armed()) {
+    const Fault f = inj.draw(FaultInjector::kRead);
+    if (fail_now(f)) return -1;
+    if (f == Fault::kShortIo && count > 1) count = 1;
+  }
+  return ::recv(fd, buf, count, flags);
+}
+
+ssize_t send(int fd, const void* buf, std::size_t count, int flags) {
+  FaultInjector& inj = FaultInjector::instance();
+  if (inj.armed()) {
+    const Fault f = inj.draw(FaultInjector::kWrite);
+    if (fail_now(f)) return -1;
+    if (f == Fault::kShortIo && count > 1) count = 1;
+  }
+  return ::send(fd, buf, count, flags);
+}
+
+ssize_t readv(int fd, const struct iovec* iov, int iovcnt) {
+  FaultInjector& inj = FaultInjector::instance();
+  if (inj.armed()) {
+    const Fault f = inj.draw(FaultInjector::kRead);
+    if (fail_now(f)) return -1;
+    if (f == Fault::kShortIo && iovcnt > 0 && iov[0].iov_len > 0) {
+      // Clamp the vectored read to one byte of the first segment.
+      struct iovec one = iov[0];
+      one.iov_len = 1;
+      return ::readv(fd, &one, 1);
+    }
+  }
+  return ::readv(fd, iov, iovcnt);
+}
+
+ssize_t sendmsg(int fd, const struct msghdr* msg, int flags) {
+  FaultInjector& inj = FaultInjector::instance();
+  if (inj.armed()) {
+    const Fault f = inj.draw(FaultInjector::kWrite);
+    if (fail_now(f)) return -1;
+    if (f == Fault::kShortIo && msg != nullptr && msg->msg_iovlen > 0 &&
+        msg->msg_iov[0].iov_len > 0) {
+      struct iovec one = msg->msg_iov[0];
+      one.iov_len = 1;
+      struct msghdr clamped = *msg;
+      clamped.msg_iov = &one;
+      clamped.msg_iovlen = 1;
+      return ::sendmsg(fd, &clamped, flags);
+    }
+  }
+  return ::sendmsg(fd, msg, flags);
+}
+
+int accept4(int fd, struct sockaddr* addr, socklen_t* addrlen, int flags) {
+  FaultInjector& inj = FaultInjector::instance();
+  if (inj.armed()) {
+    const Fault f = inj.draw(FaultInjector::kAccept);
+    if (fail_now(f)) return -1;
+  }
+  return ::accept4(fd, addr, addrlen, flags);
+}
+
+int epoll_wait(int epfd, struct epoll_event* events, int maxevents,
+               int timeout) {
+  FaultInjector& inj = FaultInjector::instance();
+  if (inj.armed()) {
+    const Fault f = inj.draw(FaultInjector::kWait);
+    if (fail_now(f)) return -1;
+  }
+  return ::epoll_wait(epfd, events, maxevents, timeout);
+}
+
+bool inject_alloc_failure() {
+  FaultInjector& inj = FaultInjector::instance();
+  if (!inj.armed()) return false;
+  return inj.draw(FaultInjector::kAlloc) == Fault::kAllocFail;
+}
+
+}  // namespace fi
+
+}  // namespace vicinity::util

@@ -1,0 +1,168 @@
+// Syscall fault injection for the serving stack's chaos tests.
+//
+// Every raw socket/epoll syscall in src/net goes through the `fi::`
+// wrappers below (enforced by the net-syscall-shim lint rule). In
+// production the shim is a single relaxed atomic load and a tail call —
+// injection is off unless a test arms it, either programmatically via
+// FaultInjector::configure() (in-process server/client chaos tests) or
+// through the VICINITY_FAULT_INJECT environment variable (a live
+// vicinityd driven by scripts/server_e2e.py):
+//
+//   VICINITY_FAULT_INJECT="seed=42,eintr=0.05,eagain=0.02,short=0.2,
+//                          reset=0.01,emfile=0.01,alloc=0.005"
+//
+// Faults are drawn from a seeded splitmix64 sequence — one draw per
+// intercepted call — so a schedule is reproducible for a given seed and
+// call interleaving. Error injections (EINTR, EAGAIN, ECONNRESET, EMFILE)
+// return -1 with errno set WITHOUT performing the real syscall; short
+// read/write injections perform the real syscall clamped to one byte, so
+// injected faults can starve progress but never corrupt or duplicate
+// stream bytes. inject_alloc_failure() is polled at allocation choke
+// points (ring-buffer growth) to simulate std::bad_alloc under load.
+//
+// Only faults that make sense for a call site are considered: read-like
+// calls can see EINTR/EAGAIN/short/ECONNRESET, write-like the same,
+// accept4 sees EINTR/EAGAIN/EMFILE, epoll_wait only EINTR.
+#pragma once
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace vicinity::util {
+
+/// Injection probabilities in [0, 1], all zero by default (disabled).
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double eintr = 0.0;       ///< return -1/EINTR, syscall not performed
+  double eagain = 0.0;      ///< return -1/EAGAIN (not on epoll_wait)
+  double short_io = 0.0;    ///< perform the syscall clamped to 1 byte
+  double conn_reset = 0.0;  ///< return -1/ECONNRESET (read/write-like)
+  double emfile = 0.0;      ///< return -1/EMFILE (accept4 only)
+  double alloc_fail = 0.0;  ///< inject_alloc_failure() returns true
+
+  bool any() const {
+    return eintr > 0 || eagain > 0 || short_io > 0 || conn_reset > 0 ||
+           emfile > 0 || alloc_fail > 0;
+  }
+};
+
+/// Monotonic injection counts since the last configure()/reset_counters().
+struct FaultCounters {
+  std::uint64_t calls = 0;  ///< intercepted calls while armed
+  std::uint64_t eintr = 0;
+  std::uint64_t eagain = 0;
+  std::uint64_t short_io = 0;
+  std::uint64_t conn_reset = 0;
+  std::uint64_t emfile = 0;
+  std::uint64_t alloc_fail = 0;
+
+  std::uint64_t injected() const {
+    return eintr + eagain + short_io + conn_reset + emfile + alloc_fail;
+  }
+};
+
+class FaultInjector {
+ public:
+  /// Fault classes a call site is eligible for (bitmask).
+  enum Site : unsigned {
+    kRead = 1u << 0,    ///< read/recv/readv
+    kWrite = 1u << 1,   ///< write/send/sendmsg
+    kAccept = 1u << 2,  ///< accept4
+    kWait = 1u << 3,    ///< epoll_wait
+    kAlloc = 1u << 4,
+  };
+
+  enum class Fault : std::uint8_t {
+    kNone,
+    kEintr,
+    kEagain,
+    kShortIo,
+    kConnReset,
+    kEmfile,
+    kAllocFail,
+  };
+
+  static FaultInjector& instance();
+
+  /// Arms (or re-arms) injection with the given plan. Resets counters and
+  /// the draw sequence. Not thread-safe against concurrent draws: arm
+  /// before starting the threads under test.
+  void configure(const FaultPlan& plan);
+
+  /// Parses VICINITY_FAULT_INJECT (see file comment) and configures from
+  /// it. Returns true when the variable was present and enabled any fault.
+  /// Malformed keys/values throw std::runtime_error.
+  bool configure_from_env();
+
+  void disable();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// True when this call should consult draw(): armed globally and not
+  /// suppressed on the calling thread.
+  bool armed() const;
+
+  /// Draws the next fault for a call site of the given class. kNone when
+  /// the draw landed outside every armed probability window.
+  Fault draw(unsigned site_mask);
+
+  FaultCounters counters() const;
+  void reset_counters();
+
+ private:
+  FaultInjector() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> sequence_{0};
+  std::uint64_t seed_ = 1;
+  // Probabilities are written only by configure() while the system under
+  // test is quiescent; draws read them without synchronization.
+  double p_eintr_ = 0, p_eagain_ = 0, p_short_ = 0, p_reset_ = 0,
+         p_emfile_ = 0, p_alloc_ = 0;
+
+  std::atomic<std::uint64_t> c_calls_{0}, c_eintr_{0}, c_eagain_{0},
+      c_short_{0}, c_reset_{0}, c_emfile_{0}, c_alloc_{0};
+
+  friend class FaultSuppressScope;
+};
+
+/// RAII: suppresses injection for the calling thread while alive. Chaos
+/// tests arm the injector process-wide but drive traffic from the test
+/// thread; suppressing there confines faults to the server's threads so
+/// the driver can still assert exact answers.
+class FaultSuppressScope {
+ public:
+  FaultSuppressScope();
+  ~FaultSuppressScope();
+  FaultSuppressScope(const FaultSuppressScope&) = delete;
+  FaultSuppressScope& operator=(const FaultSuppressScope&) = delete;
+};
+
+/// The injectable syscall surface. Signature-compatible with the raw
+/// syscalls; call through these (never `::read` etc.) anywhere in src/net.
+namespace fi {
+
+ssize_t read(int fd, void* buf, std::size_t count);
+ssize_t write(int fd, const void* buf, std::size_t count);
+ssize_t recv(int fd, void* buf, std::size_t count, int flags);
+ssize_t send(int fd, const void* buf, std::size_t count, int flags);
+ssize_t readv(int fd, const struct iovec* iov, int iovcnt);
+ssize_t sendmsg(int fd, const struct msghdr* msg, int flags);
+int accept4(int fd, struct sockaddr* addr, socklen_t* addrlen, int flags);
+int epoll_wait(int epfd, struct epoll_event* events, int maxevents,
+               int timeout);
+
+/// True when the caller should simulate allocation failure (throw
+/// std::bad_alloc) at this choke point.
+bool inject_alloc_failure();
+
+}  // namespace fi
+
+}  // namespace vicinity::util

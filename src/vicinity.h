@@ -73,6 +73,7 @@
 #include "util/bit_vector.h"
 #include "util/bucket_queue.h"
 #include "util/csv.h"
+#include "util/fault_inject.h"
 #include "util/flat_hash.h"
 #include "util/log.h"
 #include "util/mapped_file.h"

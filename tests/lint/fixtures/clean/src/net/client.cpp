@@ -1,7 +1,11 @@
 // Clean fixture: client.cpp is the one sanctioned home for blocking socket
-// calls, and its syscalls retry on EINTR.
+// calls, and its syscalls retry on EINTR and go through the fi:: shim.
 #include <cerrno>
 #include <sys/socket.h>
+
+namespace fi {
+long recv(int fd, void* buf, unsigned long n, int flags);
+}
 
 namespace fixture {
 
@@ -16,7 +20,7 @@ int blocking_connect(int fd, const sockaddr* addr, unsigned len) {
 long careful_recv(int fd, void* buf, unsigned long n) {
   long r;
   do {
-    r = ::recv(fd, buf, n, 0);
+    r = fi::recv(fd, buf, n, 0);
   } while (r < 0 && errno == EINTR);
   return r;
 }

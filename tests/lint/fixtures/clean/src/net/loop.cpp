@@ -1,15 +1,22 @@
-// Clean fixture: server-side syscalls with idiomatic EINTR retry, plus an
-// allow-marked blocking call (a deliberate, documented exception).
+// Clean fixture: server-side syscalls routed through the fault-injection
+// shim with idiomatic EINTR retry, plus allow-marked exceptions (a
+// deliberate blocking probe, and one raw syscall documented as exempt
+// from the shim).
 #include <cerrno>
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <unistd.h>
+
+namespace fi {
+int epoll_wait(int epfd, epoll_event* events, int cap, int timeout);
+}
 
 namespace fixture {
 
 int wait_ready(int epfd, epoll_event* events, int cap) {
   int n;
   do {
-    n = ::epoll_wait(epfd, events, cap, -1);
+    n = fi::epoll_wait(epfd, events, cap, -1);
   } while (n < 0 && errno == EINTR);
   return n;
 }
@@ -17,6 +24,15 @@ int wait_ready(int epfd, epoll_event* events, int cap) {
 int sanctioned_blocking_probe(int fd, const sockaddr* addr, unsigned len) {
   // vicinity-lint: allow(net-no-blocking-outside-client)
   return ::connect(fd, addr, len);
+}
+
+long sanctioned_raw_write(int fd, const void* buf, unsigned long n) {
+  long r;
+  do {
+    // vicinity-lint: allow(net-syscall-shim)
+    r = ::write(fd, buf, n);
+  } while (r < 0 && errno == EINTR);
+  return r;
 }
 
 }  // namespace fixture

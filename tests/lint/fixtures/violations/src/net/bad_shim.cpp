@@ -1,0 +1,16 @@
+// Seeded violation: EINTR is handled, but the syscall bypasses the
+// fault-injection shim — a site no chaos schedule can ever reach.
+#include <cerrno>
+#include <unistd.h>
+
+namespace fixture {
+
+long shimless_write(int fd, const void* buf, unsigned long n) {
+  long r;
+  do {
+    r = ::write(fd, buf, n);
+  } while (r < 0 && errno == EINTR);
+  return r;
+}
+
+}  // namespace fixture

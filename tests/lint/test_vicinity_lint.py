@@ -61,6 +61,13 @@ class ViolationFixtureTest(unittest.TestCase):
         self.assertIn("[net-syscall-eintr]", self.output)
         self.assertIn("bad_syscall.cpp", self.output)
 
+    def test_net_shim_rule_fires(self):
+        # bad_shim.cpp handles EINTR correctly, so only the shim rule may
+        # flag it — proving the two rules are independent.
+        self.assertIn("[net-syscall-shim]", self.output)
+        self.assertIn("bad_shim.cpp", self.output)
+        self.assertNotIn("bad_shim.cpp:11: [net-syscall-eintr]", self.output)
+
     def test_net_blocking_rule_fires(self):
         self.assertIn("[net-no-blocking-outside-client]", self.output)
         self.assertIn("bad_blocking.cpp", self.output)
@@ -91,6 +98,9 @@ class CleanFixtureTest(unittest.TestCase):
         # loops and the allow-marked blocking probe must not be reported.
         self.assertNotIn("net-syscall-eintr", self.output)
         self.assertNotIn("net-no-blocking-outside-client", self.output)
+        # fi::-routed syscalls and the allow-marked raw write are exempt
+        # from the shim rule.
+        self.assertNotIn("net-syscall-shim", self.output)
 
     def test_raw_mutex_rule_stays_silent_on_clean_tree(self):
         # good_shard.cpp locks through util::Mutex and allow-marks its one

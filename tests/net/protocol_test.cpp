@@ -41,7 +41,7 @@ TEST(Protocol, HeaderByteLayoutIsFrozen) {
   encode_header(h, bytes);
   const std::uint8_t expect[kFrameHeaderBytes] = {
       8, 0, 0, 0,        // payload_len LE
-      1,                 // version
+      2,                 // version (kProtocolVersion)
       1,                 // op = kDistance
       0,                 // status = kOk
       0,                 // reserved
@@ -142,6 +142,9 @@ TEST(Protocol, StatsReplyRoundTrip) {
   reply.cache_misses = 200;
   reply.cache_inserts = 195;
   reply.cache_evictions = 17;
+  reply.timeouts_total = 21;
+  reply.idle_closes = 5;
+  reply.slow_client_closes = 2;
   reply.qps = 123456.5;
   reply.p50_us = 80.25;
   reply.p90_us = 200.0;
@@ -171,6 +174,9 @@ TEST(Protocol, StatsReplyRoundTrip) {
   EXPECT_EQ(d.cache_misses, reply.cache_misses);
   EXPECT_EQ(d.cache_inserts, reply.cache_inserts);
   EXPECT_EQ(d.cache_evictions, reply.cache_evictions);
+  EXPECT_EQ(d.timeouts_total, reply.timeouts_total);
+  EXPECT_EQ(d.idle_closes, reply.idle_closes);
+  EXPECT_EQ(d.slow_client_closes, reply.slow_client_closes);
   EXPECT_DOUBLE_EQ(d.qps, reply.qps);
   EXPECT_DOUBLE_EQ(d.p50_us, reply.p50_us);
   EXPECT_DOUBLE_EQ(d.p90_us, reply.p90_us);

@@ -1,0 +1,252 @@
+// FaultInjector unit tests: deterministic schedules, site eligibility,
+// env-var configuration, suppression scopes, and the fi:: wrappers'
+// errno behavior on real fds. These are tier-1 — the chaos suite
+// (tests/net/chaos_test.cpp) is only as trustworthy as the shim it
+// replays faults through.
+#include "util/fault_inject.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace vicinity::util {
+namespace {
+
+using Fault = FaultInjector::Fault;
+
+/// Restores a clean (disabled) injector and env around every test so
+/// ordering cannot leak state between them.
+class FaultInjectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::unsetenv("VICINITY_FAULT_INJECT");
+    FaultInjector::instance().disable();
+  }
+  void TearDown() override {
+    ::unsetenv("VICINITY_FAULT_INJECT");
+    FaultInjector::instance().disable();
+  }
+};
+
+TEST_F(FaultInjectTest, DisabledInjectorNeverFires) {
+  FaultInjector& inj = FaultInjector::instance();
+  EXPECT_FALSE(inj.enabled());
+  EXPECT_FALSE(inj.armed());
+
+  // The wrappers must be transparent pass-throughs when disabled.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const char msg[] = "hello";
+  EXPECT_EQ(fi::write(fds[1], msg, sizeof msg),
+            static_cast<ssize_t>(sizeof msg));
+  char buf[16];
+  EXPECT_EQ(fi::read(fds[0], buf, sizeof buf),
+            static_cast<ssize_t>(sizeof msg));
+  ::close(fds[0]);
+  ::close(fds[1]);
+  EXPECT_FALSE(fi::inject_alloc_failure());
+}
+
+TEST_F(FaultInjectTest, SameSeedSameSchedule) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.eintr = 0.2;
+  plan.eagain = 0.2;
+  plan.short_io = 0.2;
+
+  FaultInjector& inj = FaultInjector::instance();
+  const auto sample = [&] {
+    inj.configure(plan);
+    std::vector<Fault> out;
+    for (int i = 0; i < 200; ++i) {
+      out.push_back(inj.draw(FaultInjector::kRead));
+    }
+    return out;
+  };
+  const std::vector<Fault> a = sample();
+  const std::vector<Fault> b = sample();
+  EXPECT_EQ(a, b);
+
+  plan.seed = 43;
+  inj.configure(plan);
+  std::vector<Fault> c;
+  for (int i = 0; i < 200; ++i) c.push_back(inj.draw(FaultInjector::kRead));
+  EXPECT_NE(a, c);  // a different seed is a different schedule
+}
+
+TEST_F(FaultInjectTest, SiteEligibilityRestrictsFaults) {
+  // Certain faults only make sense at certain call sites: epoll_wait can
+  // see EINTR but never a short read; accept can see EMFILE but never a
+  // connection reset.
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.short_io = 1.0;
+  plan.conn_reset = 0.0;
+  FaultInjector& inj = FaultInjector::instance();
+  inj.configure(plan);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(inj.draw(FaultInjector::kWait), Fault::kNone);
+    EXPECT_EQ(inj.draw(FaultInjector::kAccept), Fault::kNone);
+    EXPECT_EQ(inj.draw(FaultInjector::kAlloc), Fault::kNone);
+    EXPECT_EQ(inj.draw(FaultInjector::kRead), Fault::kShortIo);
+  }
+
+  plan.short_io = 0.0;
+  plan.emfile = 1.0;
+  inj.configure(plan);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(inj.draw(FaultInjector::kAccept), Fault::kEmfile);
+    EXPECT_EQ(inj.draw(FaultInjector::kRead), Fault::kNone);
+    EXPECT_EQ(inj.draw(FaultInjector::kWait), Fault::kNone);
+  }
+
+  plan.emfile = 0.0;
+  plan.alloc_fail = 1.0;
+  inj.configure(plan);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(inj.draw(FaultInjector::kAlloc), Fault::kAllocFail);
+    EXPECT_EQ(inj.draw(FaultInjector::kWrite), Fault::kNone);
+  }
+}
+
+TEST_F(FaultInjectTest, CountersTrackInjections) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.eintr = 1.0;
+  FaultInjector& inj = FaultInjector::instance();
+  inj.configure(plan);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(inj.draw(FaultInjector::kRead), Fault::kEintr);
+  }
+  FaultCounters c = inj.counters();
+  EXPECT_EQ(c.calls, 50u);
+  EXPECT_EQ(c.eintr, 50u);
+  EXPECT_EQ(c.injected(), 50u);
+  inj.reset_counters();
+  c = inj.counters();
+  EXPECT_EQ(c.calls, 0u);
+  EXPECT_EQ(c.injected(), 0u);
+}
+
+TEST_F(FaultInjectTest, SuppressScopeDisarmsThisThread) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.eintr = 1.0;
+  FaultInjector& inj = FaultInjector::instance();
+  inj.configure(plan);
+  ASSERT_TRUE(inj.armed());
+  {
+    FaultSuppressScope suppress;
+    EXPECT_FALSE(inj.armed());
+    {
+      FaultSuppressScope nested;  // scopes must nest
+      EXPECT_FALSE(inj.armed());
+    }
+    EXPECT_FALSE(inj.armed());
+
+    // Suppressed wrappers are pass-throughs even with eintr=1.0.
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    const char msg[] = "x";
+    EXPECT_EQ(fi::write(fds[1], msg, 1), 1);
+    char buf[4];
+    EXPECT_EQ(fi::read(fds[0], buf, sizeof buf), 1);
+    ::close(fds[0]);
+    ::close(fds[1]);
+  }
+  EXPECT_TRUE(inj.armed());
+}
+
+TEST_F(FaultInjectTest, WrappersSetErrnoWithoutTouchingTheFd) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.eintr = 1.0;
+  FaultInjector& inj = FaultInjector::instance();
+  inj.configure(plan);
+
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const char msg[] = "payload";
+
+  // Injected EINTR: the call fails and no bytes move.
+  errno = 0;
+  EXPECT_EQ(fi::write(fds[1], msg, sizeof msg), -1);
+  EXPECT_EQ(errno, EINTR);
+
+  // Disable and confirm the pipe is still empty — the failed write never
+  // reached the kernel.
+  inj.disable();
+  EXPECT_EQ(fi::write(fds[1], msg, sizeof msg),
+            static_cast<ssize_t>(sizeof msg));
+  char buf[32];
+  EXPECT_EQ(fi::read(fds[0], buf, sizeof buf),
+            static_cast<ssize_t>(sizeof msg));
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST_F(FaultInjectTest, ShortIoClampsToOneByte) {
+  FaultPlan plan;
+  plan.seed = 13;
+  plan.short_io = 1.0;
+  FaultInjector::instance().configure(plan);
+
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const char msg[] = "abcdefgh";
+  // Every write is clamped to one byte, so draining the message takes
+  // one call per byte — exactly the loop discipline the callers need.
+  std::size_t sent = 0;
+  while (sent < sizeof msg) {
+    const ssize_t w = fi::write(fds[1], msg + sent, sizeof msg - sent);
+    ASSERT_EQ(w, 1);
+    sent += static_cast<std::size_t>(w);
+  }
+  FaultInjector::instance().disable();
+  char buf[32];
+  EXPECT_EQ(fi::read(fds[0], buf, sizeof buf),
+            static_cast<ssize_t>(sizeof msg));
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST_F(FaultInjectTest, EnvConfigurationRoundTrips) {
+  ::setenv("VICINITY_FAULT_INJECT", "seed=99,eintr=1.0", 1);
+  EXPECT_TRUE(FaultInjector::instance().configure_from_env());
+  EXPECT_TRUE(FaultInjector::instance().enabled());
+  EXPECT_EQ(FaultInjector::instance().draw(FaultInjector::kRead),
+            Fault::kEintr);
+
+  // All-zero probabilities parse but arm nothing.
+  ::setenv("VICINITY_FAULT_INJECT", "seed=1,eintr=0,short=0", 1);
+  EXPECT_FALSE(FaultInjector::instance().configure_from_env());
+  EXPECT_FALSE(FaultInjector::instance().enabled());
+
+  ::unsetenv("VICINITY_FAULT_INJECT");
+  EXPECT_FALSE(FaultInjector::instance().configure_from_env());
+}
+
+TEST_F(FaultInjectTest, MalformedEnvThrows) {
+  const char* bad[] = {
+      "eintr",            // no value
+      "eintr=",           // empty value
+      "eintr=1.5",        // out of range
+      "eintr=-0.1",       // negative
+      "eintr=abc",        // not a number
+      "seed=xyz",         // bad seed
+      "frobnicate=0.5",   // unknown key
+  };
+  for (const char* spec : bad) {
+    ::setenv("VICINITY_FAULT_INJECT", spec, 1);
+    EXPECT_THROW(FaultInjector::instance().configure_from_env(),
+                 std::runtime_error)
+        << "spec: " << spec;
+  }
+}
+
+}  // namespace
+}  // namespace vicinity::util
